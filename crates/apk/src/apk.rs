@@ -1,0 +1,128 @@
+//! The APK container: manifest + (possibly packed) dex payload.
+
+use crate::dex::Dex;
+use crate::manifest::Manifest;
+use crate::packer::{self, ParseDexError};
+use std::fmt;
+
+/// The dex payload of an APK: plain or hidden by a packer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// An ordinary, directly-readable dex.
+    Plain(Dex),
+    /// A packed dex blob that must be recovered first (cf. DexHunter).
+    Packed(Vec<u8>),
+}
+
+/// A simulated APK file.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_apk::{Apk, Dex, Manifest};
+///
+/// let manifest = Manifest::new("com.example.app");
+/// let dex = Dex::builder().build();
+/// let apk = Apk::new(manifest, dex);
+/// assert!(!apk.is_packed());
+/// assert!(apk.dex().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Apk {
+    /// The parsed `AndroidManifest.xml`.
+    pub manifest: Manifest,
+    payload: Payload,
+}
+
+impl Apk {
+    /// Creates an APK with a plain dex.
+    pub fn new(manifest: Manifest, dex: Dex) -> Self {
+        Apk { manifest, payload: Payload::Plain(dex) }
+    }
+
+    /// Creates an APK whose dex is packed with `key` (as a packer would).
+    pub fn new_packed(manifest: Manifest, dex: &Dex, key: u8) -> Self {
+        Apk {
+            manifest,
+            payload: Payload::Packed(packer::pack(dex, key)),
+        }
+    }
+
+    /// Returns `true` if the dex is packed.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.payload, Payload::Packed(_))
+    }
+
+    /// Returns the dex, recovering it with the unpacker if necessary.
+    ///
+    /// This mirrors the paper's flow: "If the app is packed, we use our
+    /// unpacking tool DexHunter to recover the dex file."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDexError`] if a packed payload cannot be recovered.
+    pub fn dex(&self) -> Result<Dex, ParseDexError> {
+        match &self.payload {
+            Payload::Plain(d) => Ok(d.clone()),
+            Payload::Packed(blob) => packer::unpack(blob),
+        }
+    }
+
+    /// Borrows the plain dex without unpacking; `None` when packed.
+    pub fn plain_dex(&self) -> Option<&Dex> {
+        match &self.payload {
+            Payload::Plain(d) => Some(d),
+            Payload::Packed(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Apk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Apk({}, {} permissions, {})",
+            self.manifest.package,
+            self.manifest.permissions.len(),
+            if self.is_packed() { "packed" } else { "plain" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dex::Dex;
+
+    fn dex() -> Dex {
+        Dex::builder()
+            .class("com.x.Main", |c| {
+                c.method("onCreate", 1, |m| {
+                    m.const_string(0, "hello");
+                });
+            })
+            .build()
+    }
+
+    #[test]
+    fn plain_apk_exposes_dex() {
+        let apk = Apk::new(Manifest::new("com.x"), dex());
+        assert!(!apk.is_packed());
+        assert_eq!(apk.dex().unwrap(), dex());
+        assert!(apk.plain_dex().is_some());
+    }
+
+    #[test]
+    fn packed_apk_recovers_dex() {
+        let apk = Apk::new_packed(Manifest::new("com.x"), &dex(), 0x33);
+        assert!(apk.is_packed());
+        assert!(apk.plain_dex().is_none());
+        assert_eq!(apk.dex().unwrap(), dex());
+    }
+
+    #[test]
+    fn display_mentions_packing() {
+        let apk = Apk::new_packed(Manifest::new("com.x"), &dex(), 1);
+        assert!(apk.to_string().contains("packed"));
+    }
+}

@@ -1,0 +1,560 @@
+//! A register-based dex-like intermediate representation.
+//!
+//! The real PPChecker analyzes Dalvik bytecode recovered from the APK. This
+//! module models the subset of Dalvik that the paper's static analysis
+//! observes: classes with superclasses and interfaces, methods with
+//! register-based instructions, string constants (for content-provider
+//! URIs), virtual/static invocations, field accesses, object allocation,
+//! and intra-method control flow.
+
+use std::fmt;
+
+/// A virtual register index.
+pub type Reg = u32;
+
+/// Invocation kinds (mirrors `invoke-virtual` / `invoke-static` / ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// `invoke-virtual`
+    Virtual,
+    /// `invoke-static`
+    Static,
+    /// `invoke-direct` (constructors, private methods)
+    Direct,
+    /// `invoke-interface`
+    Interface,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insn {
+    /// Loads a string constant into `dst`.
+    ConstString {
+        /// Destination register.
+        dst: Reg,
+        /// The constant.
+        value: String,
+    },
+    /// Invokes `class.method(args)`, optionally storing the result.
+    Invoke {
+        /// Invocation kind.
+        kind: InvokeKind,
+        /// Declaring class of the callee (receiver static type).
+        class: String,
+        /// Method name.
+        method: String,
+        /// Argument registers (receiver first for non-static calls).
+        args: Vec<Reg>,
+        /// Register receiving the return value (from a following
+        /// `move-result`), if any.
+        dst: Option<Reg>,
+    },
+    /// Register copy.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Stores `src` into an instance/static field.
+    FieldPut {
+        /// Declaring class.
+        class: String,
+        /// Field name.
+        field: String,
+        /// Source register.
+        src: Reg,
+    },
+    /// Loads a field into `dst`.
+    FieldGet {
+        /// Declaring class.
+        class: String,
+        /// Field name.
+        field: String,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Allocates an object of `class` into `dst`.
+    NewInstance {
+        /// Destination register.
+        dst: Reg,
+        /// Allocated class.
+        class: String,
+    },
+    /// Returns, optionally with a value.
+    Return {
+        /// Returned register, if non-void.
+        src: Option<Reg>,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Goto {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional jump on `cond` to `target` (fall-through otherwise).
+    IfNonZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// No-op.
+    Nop,
+}
+
+/// A method body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Method name (no signature — the IR is name-resolved).
+    pub name: String,
+    /// Number of parameter registers; parameters occupy registers
+    /// `0..param_count`.
+    pub param_count: u32,
+    /// Instruction list.
+    pub instructions: Vec<Insn>,
+}
+
+impl Method {
+    /// Creates an empty method.
+    pub fn new(name: &str, param_count: u32) -> Self {
+        Method {
+            name: name.to_string(),
+            param_count,
+            instructions: Vec::new(),
+        }
+    }
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Class {
+    /// Fully qualified name, e.g. `com.example.app.MainActivity`.
+    pub name: String,
+    /// Superclass fully qualified name.
+    pub superclass: String,
+    /// Implemented interfaces.
+    pub interfaces: Vec<String>,
+    /// Methods.
+    pub methods: Vec<Method>,
+}
+
+impl Class {
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A dex file: the set of application classes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dex {
+    /// All classes.
+    pub classes: Vec<Class>,
+}
+
+impl Dex {
+    /// Creates an empty dex.
+    pub fn new() -> Self {
+        Dex::default()
+    }
+
+    /// Starts building a dex fluently.
+    pub fn builder() -> DexBuilder {
+        DexBuilder { dex: Dex::new() }
+    }
+
+    /// Looks up a class by fully qualified name.
+    pub fn class(&self, name: &str) -> Option<&Class> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Iterates `(class, method)` pairs.
+    pub fn iter_methods(&self) -> impl Iterator<Item = (&Class, &Method)> {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter().map(move |m| (c, m)))
+    }
+
+    /// Total instruction count (a rough "bytecode size").
+    pub fn instruction_count(&self) -> usize {
+        self.iter_methods().map(|(_, m)| m.instructions.len()).sum()
+    }
+}
+
+/// Fluent builder for [`Dex`].
+#[derive(Debug)]
+pub struct DexBuilder {
+    dex: Dex,
+}
+
+impl DexBuilder {
+    /// Adds a class, configured by `f`.
+    pub fn class(mut self, name: &str, f: impl FnOnce(&mut ClassBuilder)) -> Self {
+        let mut cb = ClassBuilder {
+            class: Class {
+                name: name.to_string(),
+                superclass: "java.lang.Object".to_string(),
+                interfaces: Vec::new(),
+                methods: Vec::new(),
+            },
+        };
+        f(&mut cb);
+        self.dex.classes.push(cb.class);
+        self
+    }
+
+    /// Finishes the dex.
+    pub fn build(self) -> Dex {
+        self.dex
+    }
+}
+
+/// Fluent builder for [`Class`].
+#[derive(Debug)]
+pub struct ClassBuilder {
+    class: Class,
+}
+
+impl ClassBuilder {
+    /// Sets the superclass.
+    pub fn extends(&mut self, superclass: &str) -> &mut Self {
+        self.class.superclass = superclass.to_string();
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn implements(&mut self, iface: &str) -> &mut Self {
+        self.class.interfaces.push(iface.to_string());
+        self
+    }
+
+    /// Adds a method, configured by `f`.
+    pub fn method(&mut self, name: &str, param_count: u32, f: impl FnOnce(&mut MethodBuilder)) -> &mut Self {
+        let mut mb = MethodBuilder {
+            method: Method::new(name, param_count),
+        };
+        f(&mut mb);
+        if !matches!(mb.method.instructions.last(), Some(Insn::Return { .. })) {
+            mb.method.instructions.push(Insn::Return { src: None });
+        }
+        self.class.methods.push(mb.method);
+        self
+    }
+}
+
+/// Fluent builder for [`Method`] bodies.
+#[derive(Debug)]
+pub struct MethodBuilder {
+    method: Method,
+}
+
+impl MethodBuilder {
+    /// Appends a raw instruction.
+    pub fn push(&mut self, insn: Insn) -> &mut Self {
+        self.method.instructions.push(insn);
+        self
+    }
+
+    /// `const-string dst, value`
+    pub fn const_string(&mut self, dst: Reg, value: &str) -> &mut Self {
+        self.push(Insn::ConstString { dst, value: value.to_string() })
+    }
+
+    /// `invoke-virtual class.method(args)` with optional result register.
+    pub fn invoke_virtual(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> &mut Self {
+        self.push(Insn::Invoke {
+            kind: InvokeKind::Virtual,
+            class: class.to_string(),
+            method: method.to_string(),
+            args: args.to_vec(),
+            dst,
+        })
+    }
+
+    /// `invoke-static class.method(args)` with optional result register.
+    pub fn invoke_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> &mut Self {
+        self.push(Insn::Invoke {
+            kind: InvokeKind::Static,
+            class: class.to_string(),
+            method: method.to_string(),
+            args: args.to_vec(),
+            dst,
+        })
+    }
+
+    /// `move dst, src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Insn::Move { dst, src })
+    }
+
+    /// `new-instance dst, class`
+    pub fn new_instance(&mut self, dst: Reg, class: &str) -> &mut Self {
+        self.push(Insn::NewInstance { dst, class: class.to_string() })
+    }
+
+    /// `iput/sput src → class.field`
+    pub fn field_put(&mut self, class: &str, field: &str, src: Reg) -> &mut Self {
+        self.push(Insn::FieldPut { class: class.to_string(), field: field.to_string(), src })
+    }
+
+    /// `iget/sget class.field → dst`
+    pub fn field_get(&mut self, class: &str, field: &str, dst: Reg) -> &mut Self {
+        self.push(Insn::FieldGet { class: class.to_string(), field: field.to_string(), dst })
+    }
+
+    /// `return` / `return v`
+    pub fn ret(&mut self, src: Option<Reg>) -> &mut Self {
+        self.push(Insn::Return { src })
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::ConstString { dst, value } => write!(f, "const-string v{dst}, \"{value}\""),
+            Insn::Invoke { kind, class, method, args, dst } => {
+                let k = match kind {
+                    InvokeKind::Virtual => "invoke-virtual",
+                    InvokeKind::Static => "invoke-static",
+                    InvokeKind::Direct => "invoke-direct",
+                    InvokeKind::Interface => "invoke-interface",
+                };
+                let a: Vec<String> = args.iter().map(|r| format!("v{r}")).collect();
+                write!(f, "{k} {}.{}({})", class, method, a.join(", "))?;
+                if let Some(d) = dst {
+                    write!(f, " → v{d}")?;
+                }
+                Ok(())
+            }
+            Insn::Move { dst, src } => write!(f, "move v{dst}, v{src}"),
+            Insn::FieldPut { class, field, src } => write!(f, "iput v{src} → {class}.{field}"),
+            Insn::FieldGet { class, field, dst } => write!(f, "iget {class}.{field} → v{dst}"),
+            Insn::NewInstance { dst, class } => write!(f, "new-instance v{dst}, {class}"),
+            Insn::Return { src: Some(s) } => write!(f, "return v{s}"),
+            Insn::Return { src: None } => write!(f, "return-void"),
+            Insn::Goto { target } => write!(f, "goto @{target}"),
+            Insn::IfNonZero { cond, target } => write!(f, "if-nez v{cond} @{target}"),
+            Insn::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dex() -> Dex {
+        Dex::builder()
+            .class("com.example.app.MainActivity", |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.invoke_virtual(
+                        "android.telephony.TelephonyManager",
+                        "getDeviceId",
+                        &[2],
+                        Some(3),
+                    );
+                    m.invoke_static("android.util.Log", "d", &[3], None);
+                });
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_constructs_classes_and_methods() {
+        let dex = sample_dex();
+        let cls = dex.class("com.example.app.MainActivity").unwrap();
+        assert_eq!(cls.superclass, "android.app.Activity");
+        let m = cls.method("onCreate").unwrap();
+        // two invokes + implicit return
+        assert_eq!(m.instructions.len(), 3);
+    }
+
+    #[test]
+    fn builder_appends_implicit_return() {
+        let dex = sample_dex();
+        let m = dex
+            .class("com.example.app.MainActivity")
+            .unwrap()
+            .method("onCreate")
+            .unwrap();
+        assert!(matches!(m.instructions.last(), Some(Insn::Return { src: None })));
+    }
+
+    #[test]
+    fn iter_methods_walks_everything() {
+        let dex = sample_dex();
+        assert_eq!(dex.iter_methods().count(), 1);
+        assert_eq!(dex.instruction_count(), 3);
+    }
+
+    #[test]
+    fn insn_display_is_dalvik_like() {
+        let i = Insn::ConstString { dst: 1, value: "content://contacts".into() };
+        assert_eq!(i.to_string(), "const-string v1, \"content://contacts\"");
+        let inv = Insn::Invoke {
+            kind: InvokeKind::Virtual,
+            class: "a.B".into(),
+            method: "c".into(),
+            args: vec![0],
+            dst: Some(1),
+        };
+        assert_eq!(inv.to_string(), "invoke-virtual a.B.c(v0) → v1");
+    }
+}
+
+/// A structural problem found by [`Dex::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DexDefect {
+    /// Two classes share a name.
+    DuplicateClass(String),
+    /// Two methods in one class share a name.
+    DuplicateMethod(String, String),
+    /// A branch targets an instruction index outside the method body.
+    BranchOutOfRange {
+        /// Class name.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Instruction index of the branch.
+        at: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// A method body does not end with a `return`.
+    MissingReturn(String, String),
+}
+
+impl fmt::Display for DexDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DexDefect::DuplicateClass(c) => write!(f, "duplicate class {c}"),
+            DexDefect::DuplicateMethod(c, m) => write!(f, "duplicate method {c}.{m}"),
+            DexDefect::BranchOutOfRange { class, method, at, target } => write!(
+                f,
+                "branch at {class}.{method}@{at} targets out-of-range index {target}"
+            ),
+            DexDefect::MissingReturn(c, m) => write!(f, "{c}.{m} does not end with return"),
+        }
+    }
+}
+
+impl Dex {
+    /// Checks structural well-formedness: unique class/method names,
+    /// in-range branch targets, and return-terminated bodies. Returns all
+    /// defects found (empty = valid).
+    pub fn validate(&self) -> Vec<DexDefect> {
+        let mut defects = Vec::new();
+        let mut class_names: Vec<&str> = Vec::new();
+        for class in &self.classes {
+            if class_names.contains(&class.name.as_str()) {
+                defects.push(DexDefect::DuplicateClass(class.name.clone()));
+            }
+            class_names.push(&class.name);
+            let mut method_names: Vec<&str> = Vec::new();
+            for m in &class.methods {
+                if method_names.contains(&m.name.as_str()) {
+                    defects.push(DexDefect::DuplicateMethod(
+                        class.name.clone(),
+                        m.name.clone(),
+                    ));
+                }
+                method_names.push(&m.name);
+                for (at, insn) in m.instructions.iter().enumerate() {
+                    let target = match insn {
+                        Insn::Goto { target } => Some(*target),
+                        Insn::IfNonZero { target, .. } => Some(*target),
+                        _ => None,
+                    };
+                    if let Some(t) = target {
+                        if t >= m.instructions.len() {
+                            defects.push(DexDefect::BranchOutOfRange {
+                                class: class.name.clone(),
+                                method: m.name.clone(),
+                                at,
+                                target: t,
+                            });
+                        }
+                    }
+                }
+                if !matches!(m.instructions.last(), Some(Insn::Return { .. })) {
+                    defects.push(DexDefect::MissingReturn(class.name.clone(), m.name.clone()));
+                }
+            }
+        }
+        defects
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use super::*;
+
+    #[test]
+    fn builder_output_is_valid() {
+        let dex = Dex::builder()
+            .class("com.x.A", |c| {
+                c.method("m", 1, |b| {
+                    b.const_string(0, "x");
+                });
+            })
+            .build();
+        assert!(dex.validate().is_empty());
+    }
+
+    #[test]
+    fn duplicate_class_detected() {
+        let dex = Dex::builder()
+            .class("com.x.A", |c| {
+                c.method("m", 0, |_| {});
+            })
+            .class("com.x.A", |c| {
+                c.method("m", 0, |_| {});
+            })
+            .build();
+        assert!(matches!(dex.validate()[0], DexDefect::DuplicateClass(_)));
+    }
+
+    #[test]
+    fn out_of_range_branch_detected() {
+        let mut dex = Dex::builder()
+            .class("com.x.A", |c| {
+                c.method("m", 0, |b| {
+                    b.push(Insn::Goto { target: 99 });
+                });
+            })
+            .build();
+        let defects = dex.validate();
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, DexDefect::BranchOutOfRange { target: 99, .. })));
+        // Fixing the branch clears the defect.
+        dex.classes[0].methods[0].instructions[0] = Insn::Nop;
+        assert!(dex.validate().is_empty());
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        let dex = Dex {
+            classes: vec![Class {
+                name: "com.x.A".to_string(),
+                superclass: "java.lang.Object".to_string(),
+                interfaces: vec![],
+                methods: vec![Method { name: "m".to_string(), param_count: 0, instructions: vec![Insn::Nop] }],
+            }],
+        };
+        assert!(matches!(dex.validate()[0], DexDefect::MissingReturn(..)));
+    }
+}

@@ -1,0 +1,202 @@
+//! The private-information taxonomy shared by every PPChecker module.
+//!
+//! The paper maps sensitive APIs, content-provider URIs, permissions, and
+//! policy phrases onto a common set of private-information categories
+//! ("device ID, IP address, cookie, location, account, contact, calendar,
+//! telephone number, camera, audio, and app list" plus SMS and friends).
+
+use crate::manifest::Permission;
+use std::fmt;
+
+/// A category of private information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrivateInfo {
+    /// Geographic location (GPS, cell, last-known).
+    Location,
+    /// Device identifiers (IMEI, Android ID, serial).
+    DeviceId,
+    /// The user's telephone number.
+    PhoneNumber,
+    /// IP / network addresses.
+    IpAddress,
+    /// Browser or HTTP cookies.
+    Cookie,
+    /// Device accounts (Google account, email accounts).
+    Account,
+    /// The contact list / address book.
+    Contact,
+    /// Calendar events.
+    Calendar,
+    /// Camera images.
+    Camera,
+    /// Microphone audio.
+    Audio,
+    /// The list of installed or running apps.
+    AppList,
+    /// SMS / text messages.
+    Sms,
+    /// The call log.
+    CallLog,
+    /// Web browsing history and bookmarks.
+    BrowsingHistory,
+    /// Hardware sensor data.
+    Sensor,
+    /// Bluetooth identifiers and paired devices.
+    Bluetooth,
+    /// Mobile carrier / SIM operator details.
+    Carrier,
+    /// Clipboard contents.
+    Clipboard,
+    /// Email address.
+    Email,
+    /// Personal name.
+    Name,
+    /// Date of birth.
+    Birthday,
+}
+
+impl PrivateInfo {
+    /// All categories, in a stable order.
+    pub const ALL: &'static [PrivateInfo] = &[
+        PrivateInfo::Location,
+        PrivateInfo::DeviceId,
+        PrivateInfo::PhoneNumber,
+        PrivateInfo::IpAddress,
+        PrivateInfo::Cookie,
+        PrivateInfo::Account,
+        PrivateInfo::Contact,
+        PrivateInfo::Calendar,
+        PrivateInfo::Camera,
+        PrivateInfo::Audio,
+        PrivateInfo::AppList,
+        PrivateInfo::Sms,
+        PrivateInfo::CallLog,
+        PrivateInfo::BrowsingHistory,
+        PrivateInfo::Sensor,
+        PrivateInfo::Bluetooth,
+        PrivateInfo::Carrier,
+        PrivateInfo::Clipboard,
+        PrivateInfo::Email,
+        PrivateInfo::Name,
+        PrivateInfo::Birthday,
+    ];
+
+    /// The canonical English phrase used when comparing against policy text
+    /// with ESA.
+    pub fn canonical_phrase(&self) -> &'static str {
+        match self {
+            PrivateInfo::Location => "location",
+            PrivateInfo::DeviceId => "device id",
+            PrivateInfo::PhoneNumber => "phone number",
+            PrivateInfo::IpAddress => "ip address",
+            PrivateInfo::Cookie => "cookie",
+            PrivateInfo::Account => "account",
+            PrivateInfo::Contact => "contact",
+            PrivateInfo::Calendar => "calendar",
+            PrivateInfo::Camera => "camera",
+            PrivateInfo::Audio => "audio",
+            PrivateInfo::AppList => "app list",
+            PrivateInfo::Sms => "sms",
+            PrivateInfo::CallLog => "call log",
+            PrivateInfo::BrowsingHistory => "browsing history",
+            PrivateInfo::Sensor => "sensor",
+            PrivateInfo::Bluetooth => "bluetooth",
+            PrivateInfo::Carrier => "carrier",
+            PrivateInfo::Clipboard => "clipboard",
+            PrivateInfo::Email => "email address",
+            PrivateInfo::Name => "name",
+            PrivateInfo::Birthday => "birthday",
+        }
+    }
+
+    /// The private information implied by a permission (the paper maps
+    /// permissions to information "by analyzing the official document",
+    /// e.g. `ACCESS_FINE_LOCATION` → location/latitude/longitude).
+    pub fn from_permission(p: &Permission) -> &'static [PrivateInfo] {
+        match p {
+            Permission::AccessCoarseLocation | Permission::AccessFineLocation => {
+                &[PrivateInfo::Location]
+            }
+            Permission::Camera => &[PrivateInfo::Camera],
+            Permission::GetAccounts => &[PrivateInfo::Account],
+            Permission::ReadCalendar => &[PrivateInfo::Calendar],
+            Permission::ReadContacts | Permission::WriteContacts => &[PrivateInfo::Contact],
+            Permission::ReadPhoneState => &[PrivateInfo::DeviceId, PrivateInfo::PhoneNumber],
+            Permission::RecordAudio => &[PrivateInfo::Audio],
+            Permission::ReadSms | Permission::ReceiveSms | Permission::SendSms => {
+                &[PrivateInfo::Sms]
+            }
+            Permission::ReadCallLog => &[PrivateInfo::CallLog],
+            Permission::GetTasks => &[PrivateInfo::AppList],
+            Permission::AccessWifiState => &[PrivateInfo::IpAddress],
+            Permission::ReadHistoryBookmarks => &[PrivateInfo::BrowsingHistory],
+            Permission::Bluetooth => &[PrivateInfo::Bluetooth],
+            _ => &[],
+        }
+    }
+
+    /// The permission guarding this information, if any. Algorithm 2 only
+    /// reports code-detected incompleteness when the app actually requests
+    /// the guarding permission.
+    pub fn required_permission(&self) -> Option<Permission> {
+        match self {
+            PrivateInfo::Location => Some(Permission::AccessFineLocation),
+            PrivateInfo::DeviceId | PrivateInfo::PhoneNumber | PrivateInfo::Carrier => {
+                Some(Permission::ReadPhoneState)
+            }
+            PrivateInfo::Account => Some(Permission::GetAccounts),
+            PrivateInfo::Contact => Some(Permission::ReadContacts),
+            PrivateInfo::Calendar => Some(Permission::ReadCalendar),
+            PrivateInfo::Camera => Some(Permission::Camera),
+            PrivateInfo::Audio => Some(Permission::RecordAudio),
+            PrivateInfo::AppList => Some(Permission::GetTasks),
+            PrivateInfo::Sms => Some(Permission::ReadSms),
+            PrivateInfo::CallLog => Some(Permission::ReadCallLog),
+            PrivateInfo::BrowsingHistory => Some(Permission::ReadHistoryBookmarks),
+            PrivateInfo::Bluetooth => Some(Permission::Bluetooth),
+            PrivateInfo::IpAddress => Some(Permission::AccessWifiState),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PrivateInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.canonical_phrase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_to_info_mapping() {
+        assert_eq!(
+            PrivateInfo::from_permission(&Permission::AccessFineLocation),
+            &[PrivateInfo::Location]
+        );
+        assert!(PrivateInfo::from_permission(&Permission::ReadPhoneState)
+            .contains(&PrivateInfo::DeviceId));
+        assert!(PrivateInfo::from_permission(&Permission::Internet).is_empty());
+    }
+
+    #[test]
+    fn required_permission_round_trips_for_guarded_info() {
+        let p = PrivateInfo::Contact.required_permission().unwrap();
+        assert!(PrivateInfo::from_permission(&p).contains(&PrivateInfo::Contact));
+    }
+
+    #[test]
+    fn canonical_phrases_unique() {
+        let mut phrases: Vec<&str> = PrivateInfo::ALL.iter().map(|i| i.canonical_phrase()).collect();
+        phrases.sort_unstable();
+        phrases.dedup();
+        assert_eq!(phrases.len(), PrivateInfo::ALL.len());
+    }
+
+    #[test]
+    fn display_uses_canonical_phrase() {
+        assert_eq!(PrivateInfo::Location.to_string(), "location");
+    }
+}

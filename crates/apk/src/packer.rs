@@ -1,0 +1,347 @@
+//! Dex serialization and the packer/unpacker (DexHunter substitute).
+//!
+//! Some real-world apps ship a packed (encrypted) dex that defeats static
+//! analysis; the paper recovers those with DexHunter before building the
+//! property graph. We model this end-to-end: [`serialize`]/[`deserialize`]
+//! give the dex a concrete on-disk form, [`pack`] XOR-scrambles it the way
+//! commercial packers hide the original dex, and [`unpack`] recovers it.
+
+use crate::dex::{Class, Dex, Insn, InvokeKind, Method};
+use std::fmt;
+
+/// Error produced when parsing a serialized or packed dex fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDexError {
+    /// Line number (1-based) where parsing failed, when known.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dex at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDexError {}
+
+/// Serializes a dex to its textual form.
+pub fn serialize(dex: &Dex) -> String {
+    let mut out = String::new();
+    for class in &dex.classes {
+        out.push_str(&format!("class {} extends {}\n", class.name, class.superclass));
+        for iface in &class.interfaces {
+            out.push_str(&format!("  implements {iface}\n"));
+        }
+        for m in &class.methods {
+            out.push_str(&format!("  method {} params {}\n", m.name, m.param_count));
+            for insn in &m.instructions {
+                out.push_str(&format!("    {}\n", encode_insn(insn)));
+            }
+        }
+    }
+    out
+}
+
+fn encode_insn(i: &Insn) -> String {
+    match i {
+        Insn::ConstString { dst, value } => format!("conststr {dst} \"{}\"", escape(value)),
+        Insn::Invoke { kind, class, method, args, dst } => {
+            let k = match kind {
+                InvokeKind::Virtual => "virtual",
+                InvokeKind::Static => "static",
+                InvokeKind::Direct => "direct",
+                InvokeKind::Interface => "interface",
+            };
+            let a: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            let d = dst.map(|d| d.to_string()).unwrap_or_else(|| "-".into());
+            format!("invoke {k} {class} {method} [{}] {d}", a.join(","))
+        }
+        Insn::Move { dst, src } => format!("move {dst} {src}"),
+        Insn::FieldPut { class, field, src } => format!("fput {class} {field} {src}"),
+        Insn::FieldGet { class, field, dst } => format!("fget {class} {field} {dst}"),
+        Insn::NewInstance { dst, class } => format!("new {dst} {class}"),
+        Insn::Return { src: Some(s) } => format!("ret {s}"),
+        Insn::Return { src: None } => "retvoid".to_string(),
+        Insn::Goto { target } => format!("goto {target}"),
+        Insn::IfNonZero { cond, target } => format!("ifnz {cond} {target}"),
+        Insn::Nop => "nop".to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Parses a dex from its textual form.
+///
+/// # Errors
+///
+/// Returns [`ParseDexError`] if a line cannot be interpreted.
+pub fn deserialize(text: &str) -> Result<Dex, ParseDexError> {
+    let mut dex = Dex::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| ParseDexError { line: lineno, message: msg.to_string() };
+        if let Some(rest) = line.strip_prefix("class ") {
+            let (name, sup) = rest
+                .split_once(" extends ")
+                .ok_or_else(|| err("missing 'extends'"))?;
+            dex.classes.push(Class {
+                name: name.to_string(),
+                superclass: sup.to_string(),
+                interfaces: Vec::new(),
+                methods: Vec::new(),
+            });
+        } else if let Some(iface) = line.strip_prefix("implements ") {
+            dex.classes
+                .last_mut()
+                .ok_or_else(|| err("'implements' before any class"))?
+                .interfaces
+                .push(iface.to_string());
+        } else if let Some(rest) = line.strip_prefix("method ") {
+            let (name, params) = rest
+                .split_once(" params ")
+                .ok_or_else(|| err("missing 'params'"))?;
+            let pc: u32 = params.parse().map_err(|_| err("bad param count"))?;
+            dex.classes
+                .last_mut()
+                .ok_or_else(|| err("'method' before any class"))?
+                .methods
+                .push(Method::new(name, pc));
+        } else {
+            let insn = decode_insn(line).ok_or_else(|| err("unknown instruction"))?;
+            dex.classes
+                .last_mut()
+                .and_then(|c| c.methods.last_mut())
+                .ok_or_else(|| err("instruction before any method"))?
+                .instructions
+                .push(insn);
+        }
+    }
+    Ok(dex)
+}
+
+fn decode_insn(line: &str) -> Option<Insn> {
+    let mut parts = line.splitn(2, ' ');
+    let op = parts.next()?;
+    let rest = parts.next().unwrap_or("");
+    match op {
+        "conststr" => {
+            let (dst, value) = rest.split_once(' ')?;
+            let value = value.strip_prefix('"')?.strip_suffix('"')?;
+            Some(Insn::ConstString { dst: dst.parse().ok()?, value: unescape(value) })
+        }
+        "invoke" => {
+            let mut f = rest.split(' ');
+            let kind = match f.next()? {
+                "virtual" => InvokeKind::Virtual,
+                "static" => InvokeKind::Static,
+                "direct" => InvokeKind::Direct,
+                "interface" => InvokeKind::Interface,
+                _ => return None,
+            };
+            let class = f.next()?.to_string();
+            let method = f.next()?.to_string();
+            let args_s = f.next()?;
+            let args_s = args_s.strip_prefix('[')?.strip_suffix(']')?;
+            let args = if args_s.is_empty() {
+                Vec::new()
+            } else {
+                args_s
+                    .split(',')
+                    .map(|a| a.parse().ok())
+                    .collect::<Option<Vec<_>>>()?
+            };
+            let dst = match f.next()? {
+                "-" => None,
+                d => Some(d.parse().ok()?),
+            };
+            Some(Insn::Invoke { kind, class, method, args, dst })
+        }
+        "move" => {
+            let (d, s) = rest.split_once(' ')?;
+            Some(Insn::Move { dst: d.parse().ok()?, src: s.parse().ok()? })
+        }
+        "fput" => {
+            let mut f = rest.split(' ');
+            Some(Insn::FieldPut {
+                class: f.next()?.to_string(),
+                field: f.next()?.to_string(),
+                src: f.next()?.parse().ok()?,
+            })
+        }
+        "fget" => {
+            let mut f = rest.split(' ');
+            Some(Insn::FieldGet {
+                class: f.next()?.to_string(),
+                field: f.next()?.to_string(),
+                dst: f.next()?.parse().ok()?,
+            })
+        }
+        "new" => {
+            let (d, c) = rest.split_once(' ')?;
+            Some(Insn::NewInstance { dst: d.parse().ok()?, class: c.to_string() })
+        }
+        "ret" => Some(Insn::Return { src: Some(rest.parse().ok()?) }),
+        "retvoid" => Some(Insn::Return { src: None }),
+        "goto" => Some(Insn::Goto { target: rest.parse().ok()? }),
+        "ifnz" => {
+            let (c, t) = rest.split_once(' ')?;
+            Some(Insn::IfNonZero { cond: c.parse().ok()?, target: t.parse().ok()? })
+        }
+        "nop" => Some(Insn::Nop),
+        _ => None,
+    }
+}
+
+/// Magic header marking a packed dex payload.
+const PACK_MAGIC: &[u8] = b"PKDX1\0";
+
+/// Packs a dex into an opaque byte blob (rolling-XOR scramble), as a
+/// commercial packer would hide the original dex inside the APK.
+pub fn pack(dex: &Dex, key: u8) -> Vec<u8> {
+    let text = serialize(dex);
+    let mut out = Vec::with_capacity(text.len() + PACK_MAGIC.len() + 1);
+    out.extend_from_slice(PACK_MAGIC);
+    out.push(key);
+    let mut k = key;
+    for b in text.bytes() {
+        let enc = b ^ k;
+        out.push(enc);
+        k = k.wrapping_add(13).wrapping_mul(3) ^ enc;
+    }
+    out
+}
+
+/// Recovers a packed dex (the DexHunter substitute).
+///
+/// # Errors
+///
+/// Returns [`ParseDexError`] if the blob is not a packed dex or the
+/// recovered text fails to parse.
+pub fn unpack(blob: &[u8]) -> Result<Dex, ParseDexError> {
+    let bad = |msg: &str| ParseDexError { line: 0, message: msg.to_string() };
+    if blob.len() < PACK_MAGIC.len() + 1 || &blob[..PACK_MAGIC.len()] != PACK_MAGIC {
+        return Err(bad("missing packed-dex magic"));
+    }
+    let key = blob[PACK_MAGIC.len()];
+    let mut k = key;
+    let mut text = Vec::with_capacity(blob.len());
+    for &enc in &blob[PACK_MAGIC.len() + 1..] {
+        text.push(enc ^ k);
+        k = k.wrapping_add(13).wrapping_mul(3) ^ enc;
+    }
+    let text = String::from_utf8(text).map_err(|_| bad("packed payload is not UTF-8"))?;
+    deserialize(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dex::Dex;
+
+    fn sample() -> Dex {
+        Dex::builder()
+            .class("com.example.Main", |c| {
+                c.extends("android.app.Activity");
+                c.implements("android.view.View$OnClickListener");
+                c.method("onCreate", 1, |m| {
+                    m.const_string(1, "content://com.android.calendar");
+                    m.invoke_virtual(
+                        "android.content.ContentResolver",
+                        "query",
+                        &[0, 1],
+                        Some(2),
+                    );
+                    m.field_put("com.example.Main", "cache", 2);
+                });
+                c.method("onClick", 1, |m| {
+                    m.field_get("com.example.Main", "cache", 3);
+                    m.invoke_static("android.util.Log", "d", &[3], None);
+                    m.ret(None);
+                });
+            })
+            .build()
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let dex = sample();
+        let text = serialize(&dex);
+        let back = deserialize(&text).unwrap();
+        assert_eq!(dex, back);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let dex = sample();
+        let blob = pack(&dex, 0xA7);
+        let back = unpack(&blob).unwrap();
+        assert_eq!(dex, back);
+    }
+
+    #[test]
+    fn packed_blob_is_scrambled() {
+        let dex = sample();
+        let blob = pack(&dex, 0x42);
+        let body = &blob[7..];
+        let text = serialize(&dex);
+        // The payload should not contain the plaintext class name.
+        let needle = b"com.example.Main";
+        assert!(text.as_bytes().windows(needle.len()).any(|w| w == needle));
+        assert!(!body.windows(needle.len()).any(|w| w == needle));
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        assert!(unpack(b"not a dex").is_err());
+        assert!(unpack(b"").is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_malformed_lines() {
+        let err = deserialize("class Foo\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(deserialize("    bogus 1 2\n").is_err());
+    }
+
+    #[test]
+    fn escape_round_trip_in_strings() {
+        let dex = Dex::builder()
+            .class("a.B", |c| {
+                c.method("m", 0, |m| {
+                    m.const_string(0, "line\nbreak\\slash");
+                });
+            })
+            .build();
+        let back = deserialize(&serialize(&dex)).unwrap();
+        assert_eq!(dex, back);
+    }
+}

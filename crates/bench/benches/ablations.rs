@@ -1,0 +1,98 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! entry-point reachability analysis (the paper's improvement over Slavin
+//! et al.), content-provider URI analysis, and bootstrapped patterns vs.
+//! the five seeds alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppchecker_bench::sample_app;
+use ppchecker_nlp::depparse::parse;
+use ppchecker_policy::{match_sentence, Pattern, PolicyAnalyzer};
+use ppchecker_static::{analyze_with, AnalysisOptions};
+use std::hint::black_box;
+
+fn bench_reachability_ablation(c: &mut Criterion) {
+    let app = sample_app();
+    let mut g = c.benchmark_group("ablation_reachability");
+    g.bench_function("with_reachability", |b| {
+        b.iter(|| {
+            analyze_with(
+                black_box(&app.apk),
+                AnalysisOptions { reachability: true, uri_analysis: true },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("without_reachability", |b| {
+        b.iter(|| {
+            analyze_with(
+                black_box(&app.apk),
+                AnalysisOptions { reachability: false, uri_analysis: true },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_uri_ablation(c: &mut Criterion) {
+    let app = sample_app();
+    let mut g = c.benchmark_group("ablation_uri_analysis");
+    g.bench_function("with_uri_analysis", |b| {
+        b.iter(|| {
+            analyze_with(
+                black_box(&app.apk),
+                AnalysisOptions { reachability: true, uri_analysis: true },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("without_uri_analysis", |b| {
+        b.iter(|| {
+            analyze_with(
+                black_box(&app.apk),
+                AnalysisOptions { reachability: true, uri_analysis: false },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pattern_ablation(c: &mut Criterion) {
+    let sentences = [
+        "we may harvest your contacts",
+        "we have access to your contacts",
+        "we will collect your location",
+        "your personal information will be used",
+        "we may view your photos",
+    ];
+    let parses: Vec<_> = sentences.iter().map(|s| parse(s)).collect();
+    let seeds = Pattern::seeds();
+    let full = PolicyAnalyzer::new().patterns().to_vec();
+    let mut g = c.benchmark_group("ablation_patterns");
+    g.bench_function("seed_patterns_only", |b| {
+        b.iter(|| {
+            parses
+                .iter()
+                .filter(|p| match_sentence(black_box(p), &seeds).is_some())
+                .count()
+        })
+    });
+    g.bench_function("bootstrapped_patterns", |b| {
+        b.iter(|| {
+            parses
+                .iter()
+                .filter(|p| match_sentence(black_box(p), &full).is_some())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reachability_ablation,
+    bench_uri_ablation,
+    bench_pattern_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Per-experiment benchmarks: one bench per table/figure of the paper's
+//! evaluation section. Each bench exercises exactly the workload that the
+//! matching `repro_*` binary uses to regenerate the table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ppchecker_corpus::fig12::{best_n, fig12_corpus, run_sweep};
+use ppchecker_corpus::{evaluate, small_dataset};
+use ppchecker_policy::bootstrap::score_patterns;
+use ppchecker_policy::Bootstrapper;
+use std::hint::black_box;
+
+/// Fig. 12 — pattern bootstrapping + Eq. 1 scoring + n-sweep.
+fn bench_fig12(c: &mut Criterion) {
+    let corpus = fig12_corpus();
+    let mut g = c.benchmark_group("fig12_pattern_selection");
+    g.sample_size(20);
+    g.bench_function("mine_patterns", |b| {
+        let bs = Bootstrapper::default();
+        b.iter(|| bs.mine(black_box(&corpus.mining)))
+    });
+    g.bench_function("score_patterns", |b| {
+        let pats = Bootstrapper::default().mine(&corpus.mining);
+        b.iter(|| score_patterns(black_box(&pats), &corpus.positive, &corpus.negative))
+    });
+    g.bench_function("full_sweep", |b| {
+        b.iter(|| {
+            let sweep = run_sweep(black_box(&corpus), 10);
+            best_n(&sweep)
+        })
+    });
+    g.finish();
+}
+
+/// Table III — incomplete-via-description detection over the
+/// description-detected slice of the corpus (apps 0..64).
+fn bench_table3(c: &mut Criterion) {
+    let dataset = small_dataset(42, 64);
+    let checker = dataset.make_checker();
+    let mut g = c.benchmark_group("tab3_incomplete_desc");
+    g.sample_size(10);
+    g.bench_function("detect_64_apps", |b| {
+        b.iter(|| {
+            let mut flagged = 0usize;
+            for app in &dataset.apps {
+                let r = checker.check(black_box(&app.input)).unwrap();
+                if r.missed_via_description().count() > 0 {
+                    flagged += 1;
+                }
+            }
+            flagged
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 13 — incomplete-via-code detection over a code-only slice
+/// (apps 64..164).
+fn bench_fig13(c: &mut Criterion) {
+    let dataset = small_dataset(42, 164);
+    let checker = dataset.make_checker();
+    let slice: Vec<_> = dataset.apps.iter().skip(64).collect();
+    let mut g = c.benchmark_group("fig13_incomplete_code");
+    g.sample_size(10);
+    g.bench_function("detect_100_apps", |b| {
+        b.iter(|| {
+            let mut records = 0usize;
+            for app in &slice {
+                let r = checker.check(black_box(&app.input)).unwrap();
+                records += r.missed_via_code().count();
+            }
+            records
+        })
+    });
+    g.finish();
+}
+
+/// Table IV — inconsistency detection over the fresh-inconsistency slice
+/// (apps 250..310) with all 81 lib policies registered.
+fn bench_table4(c: &mut Criterion) {
+    let dataset = small_dataset(42, 310);
+    let checker = dataset.make_checker();
+    let slice: Vec<_> = dataset.apps.iter().skip(250).collect();
+    let mut g = c.benchmark_group("tab4_inconsistency");
+    g.sample_size(10);
+    g.bench_function("detect_60_apps", |b| {
+        b.iter(|| {
+            let mut conflicts = 0usize;
+            for app in &slice {
+                let r = checker.check(black_box(&app.input)).unwrap();
+                conflicts += r.inconsistencies.len();
+            }
+            conflicts
+        })
+    });
+    g.finish();
+}
+
+/// §V-F summary — the full evaluation over a 200-app prefix (the complete
+/// 1,197-app run lives in `repro_summary`).
+fn bench_summary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_summary");
+    g.sample_size(10);
+    g.bench_function("evaluate_200_apps", |b| {
+        b.iter_batched(
+            || small_dataset(42, 200),
+            |d| evaluate(black_box(&d)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig12,
+    bench_table3,
+    bench_fig13,
+    bench_table4,
+    bench_summary
+);
+criterion_main!(benches);

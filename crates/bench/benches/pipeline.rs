@@ -1,0 +1,88 @@
+//! Component-level throughput benchmarks for every stage of the PPChecker
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppchecker_bench::{sample_app, SAMPLE_POLICY};
+use ppchecker_core::PPChecker;
+use ppchecker_esa::Interpreter;
+use ppchecker_nlp::depparse;
+use ppchecker_nlp::tagger;
+use ppchecker_nlp::token;
+use ppchecker_policy::PolicyAnalyzer;
+use std::hint::black_box;
+
+const SENTENCE: &str =
+    "we will provide your information to third party companies to improve service if you agree";
+
+fn bench_nlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nlp");
+    g.bench_function("tokenize", |b| {
+        b.iter(|| token::tokenize(black_box(SENTENCE)))
+    });
+    g.bench_function("tag", |b| b.iter(|| tagger::tag_str(black_box(SENTENCE))));
+    g.bench_function("depparse", |b| b.iter(|| depparse::parse(black_box(SENTENCE))));
+    g.finish();
+}
+
+fn bench_esa(c: &mut Criterion) {
+    let esa = Interpreter::shared();
+    let mut g = c.benchmark_group("esa");
+    g.bench_function("similarity_short", |b| {
+        b.iter(|| esa.similarity(black_box("location"), black_box("gps coordinates")))
+    });
+    g.bench_function("similarity_phrase", |b| {
+        b.iter(|| {
+            esa.similarity(
+                black_box("your personal information"),
+                black_box("contact list and address book"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let analyzer = PolicyAnalyzer::new();
+    let mut g = c.benchmark_group("policy");
+    g.bench_function("analyze_policy_html", |b| {
+        b.iter(|| analyzer.analyze_html(black_box(SAMPLE_POLICY)))
+    });
+    g.finish();
+}
+
+fn bench_static(c: &mut Criterion) {
+    let app = sample_app();
+    let mut g = c.benchmark_group("static");
+    g.bench_function("analyze_apk", |b| {
+        b.iter(|| ppchecker_static::analyze(black_box(&app.apk)).unwrap())
+    });
+    let packed = ppchecker_apk::Apk::new_packed(
+        app.apk.manifest.clone(),
+        &app.apk.dex().unwrap(),
+        0x5A,
+    );
+    g.bench_function("unpack_and_analyze", |b| {
+        b.iter(|| ppchecker_static::analyze(black_box(&packed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let checker = PPChecker::new();
+    let app = sample_app();
+    let mut g = c.benchmark_group("end_to_end");
+    g.bench_function("check_one_app", |b| {
+        b.iter(|| checker.check(black_box(&app)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nlp,
+    bench_esa,
+    bench_policy,
+    bench_static,
+    bench_end_to_end
+);
+criterion_main!(benches);

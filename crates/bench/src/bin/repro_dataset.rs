@@ -1,0 +1,62 @@
+//! Descriptive statistics of the generated corpus (the §V-A counterpart):
+//! how the synthetic dataset is shaped, so readers can judge the
+//! substitution documented in DESIGN.md.
+
+use ppchecker_corpus::paper_dataset;
+use ppchecker_policy::PolicyAnalyzer;
+use ppchecker_static::LibKind;
+
+fn main() {
+    println!("§V-A — dataset statistics (synthetic corpus, seed 42)\n");
+    let dataset = paper_dataset(42);
+    let analyzer = PolicyAnalyzer::new();
+
+    let mut total_sentences = 0usize;
+    let mut useful_sentences = 0usize;
+    let mut negative_sentences = 0usize;
+    let mut disclaimers = 0usize;
+    let mut packed = 0usize;
+    let mut classes = 0usize;
+    let mut instructions = 0usize;
+
+    for app in &dataset.apps {
+        let analysis = analyzer.analyze_html(&app.input.policy_html);
+        total_sentences += analysis.total_sentences;
+        useful_sentences += analysis.sentences.len();
+        negative_sentences += analysis.negative_sentences().count();
+        if analysis.has_disclaimer {
+            disclaimers += 1;
+        }
+        if app.input.apk.is_packed() {
+            packed += 1;
+        }
+        let dex = app.input.apk.dex().expect("corpus dex is well-formed");
+        classes += dex.classes.len();
+        instructions += dex.instruction_count();
+    }
+
+    let n = dataset.apps.len();
+    println!("apps:                        {n}");
+    println!("policy sentences:            {total_sentences} ({:.1}/app)", total_sentences as f64 / n as f64);
+    println!("  useful (pattern-matched):  {useful_sentences}");
+    println!("  negative:                  {negative_sentences}");
+    println!("policies with disclaimers:   {disclaimers}");
+    println!("packed APKs (DexHunter path):{packed:>5}");
+    println!("dex classes:                 {classes} ({:.1}/app)", classes as f64 / n as f64);
+    println!("dex instructions:            {instructions}");
+
+    let ad = dataset.lib_policies.iter().filter(|l| l.lib.kind == LibKind::Ad).count();
+    let social = dataset.lib_policies.iter().filter(|l| l.lib.kind == LibKind::Social).count();
+    let dev = dataset.lib_policies.iter().filter(|l| l.lib.kind == LibKind::DevTool).count();
+    println!("\nlib policies: {ad} ad + {social} social + {dev} dev tools = {}", ad + social + dev);
+
+    let with_libs = dataset
+        .apps
+        .iter()
+        .filter(|a| !a.spec.libs.is_empty())
+        .count();
+    println!(
+        "apps embedding ≥1 lib:       {with_libs} ({:.0}%) — paper: 879 (73%)",
+        with_libs as f64 / n as f64 * 100.0
+    );
+}

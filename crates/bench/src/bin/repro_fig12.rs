@@ -1,0 +1,37 @@
+//! Regenerates Fig. 12: false-positive and false-negative rates of
+//! sentence selection as the number of selected patterns `n` grows.
+//!
+//! Paper result: n = 230 minimizes FN+FP with detection 88.0% (FN 12%)
+//! and FP 2.8%.
+
+use ppchecker_corpus::fig12::{best_n, fig12_corpus, run_sweep};
+
+fn main() {
+    println!("Fig. 12 — pattern selection: FP/FN rate vs. number of patterns n");
+    println!("(250 positive + 250 negative labeled sentences)\n");
+    let corpus = fig12_corpus();
+    let sweep = run_sweep(&corpus, 10);
+
+    println!("{:>5} {:>8} {:>8} {:>8}", "n", "FN rate", "FP rate", "FN+FP");
+    for p in &sweep {
+        let marker = |v: f64| "#".repeat((v * 100.0).round() as usize);
+        println!(
+            "{:>5} {:>8.3} {:>8.3} {:>8.3}  |{}",
+            p.n,
+            p.fn_rate,
+            p.fp_rate,
+            p.fn_rate + p.fp_rate,
+            marker(p.fn_rate),
+        );
+    }
+
+    let best = best_n(&sweep);
+    println!("\nselected n = {} (minimal FN+FP)", best.n);
+    println!(
+        "detection rate = {:.1}% (FN {:.1}%), FP rate = {:.1}%",
+        (1.0 - best.fn_rate) * 100.0,
+        best.fn_rate * 100.0,
+        best.fp_rate * 100.0
+    );
+    println!("paper:        n = 230, detection 88.0% (FN 12%), FP 2.8%");
+}

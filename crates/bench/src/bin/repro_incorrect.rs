@@ -1,0 +1,38 @@
+//! Regenerates §V-D: discovering incorrect privacy policies through
+//! descriptions (2 apps) and through code (4 confirmed apps + 2
+//! context-caused false positives).
+
+use ppchecker_core::Channel;
+use ppchecker_corpus::{evaluate, paper_dataset};
+
+fn main() {
+    println!("§V-D — discovering incorrect privacy policies\n");
+    let dataset = paper_dataset(42);
+    let ev = evaluate(&dataset);
+
+    println!("{:<46} {:>6} {:>6}", "", "paper", "ours");
+    println!("{:<46} {:>6} {:>6}", "apps flagged via description", 2, ev.incorrect_desc_flagged);
+    println!("{:<46} {:>6} {:>6}", "apps flagged via code", 6, ev.incorrect_code_flagged);
+    println!("{:<46} {:>6} {:>6}", "confirmed incorrect (manual check)", 4, ev.incorrect_tp);
+    println!("{:<46} {:>6} {:>6}", "false positives (context)", 2, ev.incorrect_fp);
+
+    // Show the concrete findings, paper-style.
+    println!("\n== flagged apps ==");
+    let checker = dataset.make_checker();
+    for app in &dataset.apps {
+        let report = checker.check(&app.input).expect("corpus analyzes cleanly");
+        if report.is_incorrect() {
+            let confirmed = if app.spec.truth.incorrect { "TP" } else { "FP" };
+            for f in &report.incorrect {
+                let ch = match f.channel {
+                    Channel::Description => "desc",
+                    Channel::Code => "code",
+                };
+                println!(
+                    "[{confirmed}] {} via {ch}: denies {} of {} — «{}»",
+                    report.package, f.category, f.info, f.sentence
+                );
+            }
+        }
+    }
+}

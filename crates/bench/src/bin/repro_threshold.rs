@@ -1,0 +1,55 @@
+//! Sensitivity of the ESA similarity threshold (the paper adopts 0.67
+//! following AutoCog). Sweeps the threshold and reports how inconsistency
+//! detection quality moves on a corpus slice containing both genuine
+//! conflicts and the generic-"information" false-positive bait.
+
+use ppchecker_core::PPChecker;
+use ppchecker_corpus::small_dataset;
+
+fn main() {
+    println!("ESA threshold sensitivity (inconsistency detection, apps 250..332)\n");
+    // Slice: 60 genuine inconsistents (250..310), 9 FP baits (320..329),
+    // 2 FN plants (330, 331), and clean apps in between.
+    let dataset = small_dataset(42, 332);
+    let slice: Vec<_> = dataset.apps.iter().skip(250).collect();
+
+    println!(
+        "{:>9} {:>8} {:>6} {:>6} {:>10} {:>8}",
+        "threshold", "flagged", "TP", "FP", "precision", "recall"
+    );
+    for &threshold in &[0.30, 0.50, 0.60, 0.67, 0.75, 0.85, 0.95] {
+        let mut checker = PPChecker::new().with_similarity_threshold(threshold);
+        for lp in &dataset.lib_policies {
+            checker.register_lib_policy(lp.lib.id, &lp.html);
+        }
+        let mut flagged = 0usize;
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut truth_total = 0usize;
+        for app in &slice {
+            let is_true = app.spec.truth.inconsistent();
+            if is_true {
+                truth_total += 1;
+            }
+            let report = checker.check(&app.input).expect("corpus analyzes cleanly");
+            if report.is_inconsistent() {
+                flagged += 1;
+                if is_true {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+        }
+        let precision = if flagged > 0 { tp as f64 / flagged as f64 } else { 0.0 };
+        let recall = if truth_total > 0 { tp as f64 / truth_total as f64 } else { 0.0 };
+        let marker = if (threshold - 0.67).abs() < 1e-9 { "  <- paper" } else { "" };
+        println!(
+            "{threshold:>9.2} {flagged:>8} {tp:>6} {fp:>6} {:>9.1}% {:>7.1}%{marker}",
+            precision * 100.0,
+            recall * 100.0
+        );
+    }
+    println!("\nlow thresholds over-match (generic 'information' hits everything);");
+    println!("high thresholds miss paraphrases ('location information' vs 'location').");
+}

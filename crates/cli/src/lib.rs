@@ -1,0 +1,247 @@
+//! # ppchecker-cli
+//!
+//! The `ppchecker` command-line tool: audit an app's privacy policy
+//! against its description and (simulated) APK from files on disk.
+//!
+//! ```text
+//! ppchecker check --policy policy.html --description desc.txt \
+//!                 --manifest manifest.txt --dex app.dex \
+//!                 [--lib-policy ID=policy.html]... [--suggest] \
+//!                 [--synonyms] [--constraints]
+//! ppchecker policy <policy.html>      # inspect the six-step analysis
+//! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
+//! ppchecker unpack <in.pkdx> <out.txt>
+//! ppchecker demo                      # run the bundled sample app
+//! ```
+//!
+//! The dex file uses the textual serialization of
+//! [`ppchecker_apk::packer`]; the manifest uses the line format of
+//! [`manifest_text`].
+
+pub mod json;
+pub mod manifest_text;
+
+use ppchecker_apk::{packer, Apk};
+use ppchecker_core::{suggest_fixes, AppInput, PPChecker};
+use ppchecker_policy::{PolicyAnalyzer, VerbCategory};
+use std::fmt::Write as _;
+
+/// The bundled demo inputs (`assets/`).
+pub mod assets {
+    /// Demo policy HTML.
+    pub const POLICY: &str = include_str!("../assets/policy.html");
+    /// Demo description.
+    pub const DESCRIPTION: &str = include_str!("../assets/description.txt");
+    /// Demo manifest (text format).
+    pub const MANIFEST: &str = include_str!("../assets/manifest.txt");
+    /// Demo dex (textual serialization).
+    pub const DEX: &str = include_str!("../assets/app.dex");
+}
+
+/// CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// Parsed `check` options.
+#[derive(Debug, Default)]
+pub struct CheckOptions {
+    /// Policy HTML content.
+    pub policy_html: String,
+    /// Description text.
+    pub description: String,
+    /// Manifest text.
+    pub manifest_text: String,
+    /// Dex text.
+    pub dex_text: String,
+    /// `(lib id, policy html)` pairs.
+    pub lib_policies: Vec<(String, String)>,
+    /// Print repair suggestions.
+    pub suggest: bool,
+    /// Enable verb-synonym expansion.
+    pub synonyms: bool,
+    /// Enable constraint modeling.
+    pub constraints: bool,
+    /// Emit JSON instead of the human-readable report.
+    pub json: bool,
+}
+
+/// Runs a `check` and renders the report to a string.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when any input fails to parse.
+pub fn run_check(opts: &CheckOptions) -> Result<String, CliError> {
+    let manifest = manifest_text::parse_manifest(&opts.manifest_text)
+        .map_err(|e| CliError(e.to_string()))?;
+    let dex = packer::deserialize(&opts.dex_text).map_err(|e| CliError(e.to_string()))?;
+    let package = manifest.package.clone();
+    let app = AppInput {
+        package,
+        policy_html: opts.policy_html.clone(),
+        description: opts.description.clone(),
+        apk: Apk::new(manifest, dex),
+    };
+
+    let mut analyzer = PolicyAnalyzer::new();
+    if opts.synonyms {
+        analyzer = analyzer.with_synonym_expansion();
+    }
+    if opts.constraints {
+        analyzer = analyzer.with_constraint_modeling();
+    }
+    let mut checker = PPChecker::new().with_analyzer(analyzer);
+    for (id, html) in &opts.lib_policies {
+        checker.register_lib_policy(id, html);
+    }
+
+    let report = checker.check(&app).map_err(|e| CliError(e.to_string()))?;
+    if opts.json {
+        return Ok(format!("{}\n", json::report_to_json(&report)));
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{report}");
+    let verdict = if report.has_any_problem() {
+        "VERDICT: questionable privacy policy"
+    } else {
+        "VERDICT: no problems detected"
+    };
+    let _ = writeln!(out, "{verdict}");
+    if opts.suggest {
+        let fixes = suggest_fixes(&report);
+        if !fixes.is_empty() {
+            let _ = writeln!(out, "\nsuggested fixes:");
+            for fix in fixes {
+                let _ = writeln!(out, "  {fix}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the six-step policy analysis of an HTML document.
+pub fn run_policy(policy_html: &str) -> String {
+    let analysis = PolicyAnalyzer::new().analyze_html(policy_html);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sentences, {} useful, disclaimer: {}",
+        analysis.total_sentences,
+        analysis.sentences.len(),
+        analysis.has_disclaimer
+    );
+    for s in &analysis.sentences {
+        let _ = writeln!(
+            out,
+            "[{}{}] {:?} — «{}»",
+            if s.negative { "NOT " } else { "" },
+            s.category,
+            s.resources(),
+            s.text
+        );
+    }
+    for cat in VerbCategory::ALL {
+        let pos = analysis.resources(cat, false);
+        if !pos.is_empty() {
+            let _ = writeln!(out, "{cat}: {pos:?}");
+        }
+        let neg = analysis.resources(cat, true);
+        if !neg.is_empty() {
+            let _ = writeln!(out, "NOT {cat}: {neg:?}");
+        }
+    }
+    out
+}
+
+/// Packs a textual dex into a packed blob.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the dex text fails to parse.
+pub fn run_pack(dex_text: &str, key: u8) -> Result<Vec<u8>, CliError> {
+    let dex = packer::deserialize(dex_text).map_err(|e| CliError(e.to_string()))?;
+    Ok(packer::pack(&dex, key))
+}
+
+/// Unpacks a packed blob back into textual form.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the blob is not a packed dex.
+pub fn run_unpack(blob: &[u8]) -> Result<String, CliError> {
+    let dex = packer::unpack(blob).map_err(|e| CliError(e.to_string()))?;
+    Ok(packer::serialize(&dex))
+}
+
+/// Runs the bundled demo (the `demo` subcommand).
+///
+/// # Errors
+///
+/// Never fails in practice — the bundled assets are well-formed.
+pub fn run_demo() -> Result<String, CliError> {
+    run_check(&CheckOptions {
+        policy_html: assets::POLICY.to_string(),
+        description: assets::DESCRIPTION.to_string(),
+        manifest_text: assets::MANIFEST.to_string(),
+        dex_text: assets::DEX.to_string(),
+        lib_policies: vec![(
+            "unity3d".to_string(),
+            "<p>we may receive your location information and device identifiers.</p>"
+                .to_string(),
+        )],
+        suggest: true,
+        ..CheckOptions::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_detects_problems_and_suggests_fixes() {
+        let out = run_demo().unwrap();
+        assert!(out.contains("incomplete: true"), "demo output:\n{out}");
+        assert!(out.contains("VERDICT: questionable"));
+        assert!(out.contains("suggested fixes:"));
+    }
+
+    #[test]
+    fn policy_subcommand_renders_sets() {
+        let out = run_policy(assets::POLICY);
+        assert!(out.contains("collect:"));
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let blob = run_pack(assets::DEX, 0x7C).unwrap();
+        let text = run_unpack(&blob).unwrap();
+        let a = ppchecker_apk::packer::deserialize(assets::DEX).unwrap();
+        let b = ppchecker_apk::packer::deserialize(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn check_rejects_bad_manifest() {
+        let err = run_check(&CheckOptions {
+            manifest_text: "bogus".to_string(),
+            dex_text: assets::DEX.to_string(),
+            ..CheckOptions::default()
+        })
+        .unwrap_err();
+        assert!(err.0.contains("manifest"));
+    }
+}

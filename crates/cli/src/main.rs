@@ -1,0 +1,103 @@
+//! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
+
+use ppchecker_cli::{
+    run_check, run_demo, run_pack, run_policy, run_unpack, CheckOptions, CliError,
+};
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ppchecker — is this privacy policy trustworthy?
+
+USAGE:
+  ppchecker check --policy <policy.html> --description <desc.txt> \\
+                  --manifest <manifest.txt> --dex <app.dex> \\
+                  [--lib-policy ID=policy.html]... [--suggest] \\
+                  [--synonyms] [--constraints] [--json]
+  ppchecker policy <policy.html>
+  ppchecker pack <dex.txt> <out.pkdx> [--key N]
+  ppchecker unpack <in.pkdx> <out.txt>
+  ppchecker demo
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("policy") => {
+            let path = args.get(1).ok_or_else(|| CliError("missing policy file".into()))?;
+            Ok(run_policy(&fs::read_to_string(path)?))
+        }
+        Some("pack") => {
+            let input = args.get(1).ok_or_else(|| CliError("missing input".into()))?;
+            let output = args.get(2).ok_or_else(|| CliError("missing output".into()))?;
+            let key = flag_value(args, "--key")
+                .map(|v| v.parse::<u8>().map_err(|_| CliError("bad --key".into())))
+                .transpose()?
+                .unwrap_or(0xA5);
+            let blob = run_pack(&fs::read_to_string(input)?, key)?;
+            fs::write(output, blob)?;
+            Ok(format!("packed into {output}\n"))
+        }
+        Some("unpack") => {
+            let input = args.get(1).ok_or_else(|| CliError("missing input".into()))?;
+            let output = args.get(2).ok_or_else(|| CliError("missing output".into()))?;
+            let text = run_unpack(&fs::read(input)?)?;
+            fs::write(output, text)?;
+            Ok(format!("unpacked into {output}\n"))
+        }
+        Some("demo") => run_demo(),
+        _ => Err(CliError("missing or unknown subcommand".into())),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn check(args: &[String]) -> Result<String, CliError> {
+    let need = |flag: &str| -> Result<String, CliError> {
+        let path = flag_value(args, flag)
+            .ok_or_else(|| CliError(format!("missing required {flag} <file>")))?;
+        Ok(fs::read_to_string(path)?)
+    };
+    let mut opts = CheckOptions {
+        policy_html: need("--policy")?,
+        description: need("--description")?,
+        manifest_text: need("--manifest")?,
+        dex_text: need("--dex")?,
+        suggest: args.iter().any(|a| a == "--suggest"),
+        synonyms: args.iter().any(|a| a == "--synonyms"),
+        constraints: args.iter().any(|a| a == "--constraints"),
+        json: args.iter().any(|a| a == "--json"),
+        ..CheckOptions::default()
+    };
+    for (i, a) in args.iter().enumerate() {
+        if a == "--lib-policy" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| CliError("--lib-policy needs ID=file".into()))?;
+            let (id, path) = spec
+                .split_once('=')
+                .ok_or_else(|| CliError("--lib-policy needs ID=file".into()))?;
+            opts.lib_policies.push((id.to_string(), fs::read_to_string(path)?));
+        }
+    }
+    run_check(&opts)
+}

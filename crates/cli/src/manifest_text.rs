@@ -1,0 +1,59 @@
+//! The CLI's textual `AndroidManifest` format — thin wrappers over
+//! [`ppchecker_apk::Manifest::from_text`] / [`to_text`](ppchecker_apk::Manifest::to_text).
+
+pub use ppchecker_apk::ParseManifestError;
+use ppchecker_apk::Manifest;
+
+/// Parses the textual manifest format.
+///
+/// # Errors
+///
+/// Returns [`ParseManifestError`] on unknown directives or a missing
+/// `package` line.
+pub fn parse_manifest(text: &str) -> Result<Manifest, ParseManifestError> {
+    Manifest::from_text(text)
+}
+
+/// Renders a manifest back into the text format.
+pub fn render_manifest(m: &Manifest) -> String {
+    m.to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_apk::Permission;
+
+    const SAMPLE: &str = "\
+# demo manifest
+package com.example.weather
+permission ACCESS_FINE_LOCATION
+permission INTERNET
+activity com.example.weather.Main main
+service com.example.weather.Sync
+";
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_manifest(SAMPLE).unwrap();
+        assert_eq!(m.package, "com.example.weather");
+        assert!(m.has_permission(&Permission::AccessFineLocation));
+        assert_eq!(m.components.len(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = parse_manifest(SAMPLE).unwrap();
+        assert_eq!(parse_manifest(&render_manifest(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert_eq!(parse_manifest("package a\nbogus x\n").unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_package() {
+        assert!(parse_manifest("permission CAMERA\n").is_err());
+    }
+}

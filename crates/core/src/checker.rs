@@ -1,0 +1,275 @@
+//! The PPChecker orchestrator: wires the policy, description, and static
+//! analysis modules through the problem-identification algorithms.
+
+use crate::incomplete;
+use crate::inconsistent;
+use crate::incorrect;
+use crate::matcher::Matcher;
+use crate::problems::Report;
+use ppchecker_apk::{Apk, ParseDexError};
+use ppchecker_desc::analyze_description_with;
+use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
+use ppchecker_static::{analyze_with, AnalysisOptions};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Everything PPChecker needs about one app: the policy, the description,
+/// and the APK (Fig. 4's inputs; third-party lib policies are registered
+/// on the checker itself).
+#[derive(Debug, Clone)]
+pub struct AppInput {
+    /// Package name, e.g. `com.dooing.dooing`.
+    pub package: String,
+    /// The privacy policy, as HTML.
+    pub policy_html: String,
+    /// The Google Play description.
+    pub description: String,
+    /// The APK.
+    pub apk: Apk,
+}
+
+/// Error from a full check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The APK's dex could not be recovered.
+    Dex(ParseDexError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Dex(e) => write!(f, "static analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<ParseDexError> for CheckError {
+    fn from(e: ParseDexError) -> Self {
+        CheckError::Dex(e)
+    }
+}
+
+/// The PPChecker system.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_core::{AppInput, PPChecker};
+/// use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
+///
+/// let mut manifest = Manifest::new("com.example.weather");
+/// manifest.add_permission(Permission::AccessFineLocation);
+/// manifest.add_component(ComponentKind::Activity, "com.example.weather.Main", true);
+/// let dex = Dex::builder()
+///     .class("com.example.weather.Main", |c| {
+///         c.method("onCreate", 1, |m| {
+///             m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+///         });
+///     })
+///     .build();
+///
+/// let app = AppInput {
+///     package: "com.example.weather".into(),
+///     policy_html: "<p>We collect your email address.</p>".into(),
+///     description: "Accurate weather for your location.".into(),
+///     apk: Apk::new(manifest, dex),
+/// };
+/// let report = PPChecker::new().check(&app)?;
+/// assert!(report.is_incomplete()); // location is collected but never mentioned
+/// # Ok::<(), ppchecker_core::CheckError>(())
+/// ```
+#[derive(Debug)]
+pub struct PPChecker {
+    analyzer: PolicyAnalyzer,
+    matcher: Matcher,
+    lib_policies: HashMap<String, PolicyAnalysis>,
+    static_options: AnalysisOptions,
+}
+
+impl Default for PPChecker {
+    fn default() -> Self {
+        PPChecker::new()
+    }
+}
+
+impl PPChecker {
+    /// A checker with the default policy analyzer and ESA interpreter.
+    pub fn new() -> Self {
+        PPChecker {
+            analyzer: PolicyAnalyzer::new(),
+            matcher: Matcher::new(),
+            lib_policies: HashMap::new(),
+            static_options: AnalysisOptions::default(),
+        }
+    }
+
+    /// Replaces the policy analyzer (e.g. with freshly bootstrapped
+    /// patterns).
+    pub fn with_analyzer(mut self, analyzer: PolicyAnalyzer) -> Self {
+        self.analyzer = analyzer;
+        self
+    }
+
+    /// Sets the static-analysis ablation options.
+    pub fn with_static_options(mut self, options: AnalysisOptions) -> Self {
+        self.static_options = options;
+        self
+    }
+
+    /// Overrides the ESA similarity threshold (the paper uses 0.67).
+    pub fn with_similarity_threshold(mut self, threshold: f64) -> Self {
+        self.matcher = Matcher::with_threshold(threshold);
+        self
+    }
+
+    /// Registers a third-party lib's privacy policy (HTML) under its id.
+    pub fn register_lib_policy(&mut self, lib_id: &str, policy_html: &str) {
+        let analysis = self.analyzer.analyze_html(policy_html);
+        self.lib_policies.insert(lib_id.to_string(), analysis);
+    }
+
+    /// Number of registered lib policies.
+    pub fn lib_policy_count(&self) -> usize {
+        self.lib_policies.len()
+    }
+
+    /// The policy analyzer in use.
+    pub fn analyzer(&self) -> &PolicyAnalyzer {
+        &self.analyzer
+    }
+
+    /// Runs the complete PPChecker pipeline on one app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
+    pub fn check(&self, app: &AppInput) -> Result<Report, CheckError> {
+        let policy = self.analyzer.analyze_html(&app.policy_html);
+        let desc = analyze_description_with(&app.description, self.matcher.esa());
+        let code = analyze_with(&app.apk, self.static_options)?;
+
+        let mut report = Report {
+            package: app.package.clone(),
+            has_disclaimer: policy.has_disclaimer,
+            libs: code.libs.iter().map(|l| l.id.to_string()).collect(),
+            ..Report::default()
+        };
+
+        // Incomplete (Algorithms 1–2). Information found through both
+        // channels is reported once per channel, as the paper counts them
+        // separately (64 via description, 180 via code).
+        report
+            .missed
+            .extend(incomplete::via_description(&policy, &desc, &self.matcher));
+        report
+            .missed
+            .extend(incomplete::via_code(&policy, &code, &app.apk.manifest, &self.matcher));
+
+        // Incorrect (Algorithms 3–4).
+        report
+            .incorrect
+            .extend(incorrect::via_description(&policy, &desc, &self.matcher));
+        report
+            .incorrect
+            .extend(incorrect::via_code(&policy, &code, &self.matcher));
+
+        // Inconsistent (Algorithm 5) against the registered policies of
+        // the libs actually embedded in this app.
+        let libs: Vec<(&str, &PolicyAnalysis)> = code
+            .libs
+            .iter()
+            .filter_map(|l| self.lib_policies.get(l.id).map(|p| (l.id, p)))
+            .collect();
+        report.inconsistencies = inconsistent::check_all(&policy, libs, &self.matcher);
+
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
+
+    fn weather_app(policy: &str) -> AppInput {
+        let mut manifest = Manifest::new("com.example.weather");
+        manifest.add_permission(Permission::AccessFineLocation);
+        manifest.add_component(ComponentKind::Activity, "com.example.weather.Main", true);
+        let dex = Dex::builder()
+            .class("com.example.weather.Main", |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.invoke_virtual(
+                        "android.location.LocationManager",
+                        "getLastKnownLocation",
+                        &[0],
+                        Some(1),
+                    );
+                });
+            })
+            .class("com.unity3d.ads.UnityAds", |c| {
+                c.method("init", 1, |_| {});
+            })
+            .build();
+        AppInput {
+            package: "com.example.weather".to_string(),
+            policy_html: format!("<html><body><p>{policy}</p></body></html>"),
+            description: "Accurate weather forecast for your current location.".to_string(),
+            apk: Apk::new(manifest, dex),
+        }
+    }
+
+    #[test]
+    fn clean_app_has_no_problems() {
+        let app = weather_app(
+            "We may collect your location to show the forecast. \
+             We may also collect your device id.",
+        );
+        let report = PPChecker::new().check(&app).unwrap();
+        assert!(!report.has_any_problem(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn incomplete_app_detected_through_both_channels() {
+        let app = weather_app("We collect your email address.");
+        let report = PPChecker::new().check(&app).unwrap();
+        assert!(report.is_incomplete());
+        assert!(report.missed_via_description().count() >= 1);
+        assert!(report.missed_via_code().count() >= 1);
+    }
+
+    #[test]
+    fn incorrect_app_detected() {
+        let app = weather_app("We will not collect your location information.");
+        let report = PPChecker::new().check(&app).unwrap();
+        assert!(report.is_incorrect());
+    }
+
+    #[test]
+    fn inconsistency_needs_registered_lib_policy() {
+        let app = weather_app(
+            "We may collect your location. We do not collect your device id.",
+        );
+        let mut checker = PPChecker::new();
+        // Without the lib policy: no inconsistency possible.
+        let r1 = checker.check(&app).unwrap();
+        assert!(!r1.is_inconsistent());
+        // With unity3d's policy declaring device-id collection: conflict.
+        checker.register_lib_policy(
+            "unityads",
+            "<p>We may collect your device id and advertising identifier.</p>",
+        );
+        let r2 = checker.check(&app).unwrap();
+        assert!(r2.is_inconsistent());
+        assert_eq!(r2.inconsistencies[0].lib_id, "unityads");
+    }
+
+    #[test]
+    fn report_lists_embedded_libs() {
+        let app = weather_app("We may collect your location and your device id.");
+        let report = PPChecker::new().check(&app).unwrap();
+        assert!(report.libs.contains(&"unityads".to_string()));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ppchecker-core
+//!
+//! The problem-identification module and orchestrator of the PPChecker
+//! reproduction (Yu et al., *Can We Trust the Privacy Policies of Android
+//! Apps?*, DSN 2016).
+//!
+//! PPChecker takes an app's privacy policy, description, and APK plus the
+//! privacy policies of known third-party libraries, and reports three
+//! kinds of problems:
+//!
+//! - **Incomplete** ([`incomplete`], Algorithms 1–2): the policy fails to
+//!   cover information the description implies or the bytecode collects or
+//!   retains.
+//! - **Incorrect** ([`incorrect`], Algorithms 3–4): the policy denies a
+//!   behaviour the app performs.
+//! - **Inconsistent** ([`inconsistent`], Algorithm 5): the policy denies a
+//!   behaviour an embedded third-party lib's policy declares.
+//!
+//! See [`PPChecker`] for the end-to-end entry point.
+
+pub mod checker;
+pub mod matcher;
+pub mod incomplete;
+pub mod inconsistent;
+pub mod incorrect;
+pub mod problems;
+pub mod suggest;
+
+pub use checker::{AppInput, CheckError, PPChecker};
+pub use matcher::Matcher;
+pub use problems::{Channel, IncorrectFinding, Inconsistency, MissedInfo, Report};
+pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};

@@ -1,0 +1,79 @@
+//! The similarity matcher: ESA plus a configurable decision threshold.
+//!
+//! The paper adopts 0.67 following AutoCog; exposing the threshold lets
+//! the benches study its precision/recall trade-off (see
+//! `repro_threshold`).
+
+use ppchecker_esa::{Interpreter, SIMILARITY_THRESHOLD};
+
+/// An ESA interpreter paired with a decision threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Matcher {
+    esa: &'static Interpreter,
+    threshold: f64,
+}
+
+impl Default for Matcher {
+    fn default() -> Self {
+        Matcher::new()
+    }
+}
+
+impl Matcher {
+    /// The paper's configuration: shared interpreter, threshold 0.67.
+    pub fn new() -> Self {
+        Matcher { esa: Interpreter::shared(), threshold: SIMILARITY_THRESHOLD }
+    }
+
+    /// Same interpreter, custom threshold (clamped to `[0, 1]`).
+    pub fn with_threshold(threshold: f64) -> Self {
+        Matcher {
+            esa: Interpreter::shared(),
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The active threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The underlying interpreter.
+    pub fn esa(&self) -> &'static Interpreter {
+        self.esa
+    }
+
+    /// The paper's "refer to the same thing" predicate.
+    pub fn same_thing(&self, a: &str, b: &str) -> bool {
+        self.esa.similarity(a, b) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_threshold() {
+        let m = Matcher::new();
+        assert!((m.threshold() - 0.67).abs() < 1e-12);
+        assert!(m.same_thing("location", "gps location"));
+        assert!(!m.same_thing("location", "calendar"));
+    }
+
+    #[test]
+    fn lower_threshold_is_more_permissive() {
+        let strict = Matcher::with_threshold(0.95);
+        let loose = Matcher::with_threshold(0.3);
+        // A related-but-not-identical pair flips between the two.
+        let (a, b) = ("location", "latitude");
+        assert!(loose.same_thing(a, b));
+        assert!(!strict.same_thing(a, b) || strict.esa().similarity(a, b) >= 0.95);
+    }
+
+    #[test]
+    fn threshold_is_clamped() {
+        assert_eq!(Matcher::with_threshold(7.0).threshold(), 1.0);
+        assert_eq!(Matcher::with_threshold(-1.0).threshold(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Finding types: the three kinds of privacy-policy problems.
+
+use ppchecker_apk::{Permission, PrivateInfo};
+use ppchecker_policy::VerbCategory;
+use std::fmt;
+
+/// Which evidence channel detected a problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Contrasted against the app's description (AutoCog side).
+    Description,
+    /// Contrasted against the app's bytecode (static-analysis side).
+    Code,
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Channel::Description => "description",
+            Channel::Code => "code",
+        })
+    }
+}
+
+/// One record of information missed by an incomplete privacy policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissedInfo {
+    /// The missed information.
+    pub info: PrivateInfo,
+    /// How it was detected.
+    pub channel: Channel,
+    /// For description-channel findings: the permission whose inference
+    /// exposed the gap (Table III keys on this).
+    pub permission: Option<Permission>,
+    /// For code-channel findings: `true` when the information is also
+    /// *retained* (flows to a sink), not merely collected.
+    pub retained: bool,
+}
+
+/// One incorrect-policy finding: the policy denies a behaviour the app
+/// performs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncorrectFinding {
+    /// The information whose denial is contradicted.
+    pub info: PrivateInfo,
+    /// How the contradiction was established.
+    pub channel: Channel,
+    /// The offending negative policy sentence.
+    pub sentence: String,
+    /// The denied behaviour's category.
+    pub category: VerbCategory,
+}
+
+/// One inconsistency between the app's policy and a third-party lib's
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inconsistency {
+    /// The library whose policy conflicts.
+    pub lib_id: String,
+    /// Shared verb category of the two sentences.
+    pub category: VerbCategory,
+    /// The app's negative sentence.
+    pub app_sentence: String,
+    /// The lib's positive sentence.
+    pub lib_sentence: String,
+    /// The conflicting resource (app side).
+    pub app_resource: String,
+    /// The conflicting resource (lib side).
+    pub lib_resource: String,
+}
+
+/// The full PPChecker report for one app.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// App package name.
+    pub package: String,
+    /// Incomplete-policy findings.
+    pub missed: Vec<MissedInfo>,
+    /// Incorrect-policy findings.
+    pub incorrect: Vec<IncorrectFinding>,
+    /// Inconsistent-policy findings.
+    pub inconsistencies: Vec<Inconsistency>,
+    /// Detected third-party library ids.
+    pub libs: Vec<String>,
+    /// `true` if the app policy disclaims third-party responsibility
+    /// (suppresses inconsistency findings).
+    pub has_disclaimer: bool,
+}
+
+impl Report {
+    /// Is the policy incomplete?
+    pub fn is_incomplete(&self) -> bool {
+        !self.missed.is_empty()
+    }
+
+    /// Is the policy incorrect?
+    pub fn is_incorrect(&self) -> bool {
+        !self.incorrect.is_empty()
+    }
+
+    /// Is the policy inconsistent with a lib policy?
+    pub fn is_inconsistent(&self) -> bool {
+        !self.inconsistencies.is_empty()
+    }
+
+    /// Does the policy have at least one kind of problem (the headline
+    /// 23.6% statistic counts these)?
+    pub fn has_any_problem(&self) -> bool {
+        self.is_incomplete() || self.is_incorrect() || self.is_inconsistent()
+    }
+
+    /// Missed-info records detected through the description.
+    pub fn missed_via_description(&self) -> impl Iterator<Item = &MissedInfo> {
+        self.missed.iter().filter(|m| m.channel == Channel::Description)
+    }
+
+    /// Missed-info records detected through code.
+    pub fn missed_via_code(&self) -> impl Iterator<Item = &MissedInfo> {
+        self.missed.iter().filter(|m| m.channel == Channel::Code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PPChecker report for {}", self.package)?;
+        writeln!(
+            f,
+            "  incomplete: {} ({} records)",
+            self.is_incomplete(),
+            self.missed.len()
+        )?;
+        for m in &self.missed {
+            writeln!(
+                f,
+                "    missed {} via {}{}",
+                m.info,
+                m.channel,
+                if m.retained { " (retained)" } else { "" }
+            )?;
+        }
+        writeln!(f, "  incorrect: {} ({} findings)", self.is_incorrect(), self.incorrect.len())?;
+        for i in &self.incorrect {
+            writeln!(f, "    denies {} of {} but does it: \"{}\"", i.category, i.info, i.sentence)?;
+        }
+        writeln!(
+            f,
+            "  inconsistent: {} ({} findings)",
+            self.is_inconsistent(),
+            self.inconsistencies.len()
+        )?;
+        for i in &self.inconsistencies {
+            writeln!(f, "    vs {}: app denies but lib declares {}", i.lib_id, i.category)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_has_no_problem() {
+        let r = Report::default();
+        assert!(!r.has_any_problem());
+    }
+
+    #[test]
+    fn missed_info_makes_incomplete() {
+        let r = Report {
+            missed: vec![MissedInfo {
+                info: PrivateInfo::Location,
+                channel: Channel::Code,
+                permission: None,
+                retained: false,
+            }],
+            ..Report::default()
+        };
+        assert!(r.is_incomplete());
+        assert!(r.has_any_problem());
+        assert_eq!(r.missed_via_code().count(), 1);
+        assert_eq!(r.missed_via_description().count(), 0);
+    }
+
+    #[test]
+    fn report_display_is_nonempty() {
+        let r = Report { package: "com.x".to_string(), ..Report::default() };
+        assert!(r.to_string().contains("com.x"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Privacy-policy repair suggestions (an AutoPPG-style extension).
+//!
+//! The paper's related work (§VII) notes the authors' companion system
+//! AutoPPG, which *generates* privacy-policy text from an app's behaviour.
+//! This module closes the loop for PPChecker's output: given the detected
+//! problems, it drafts the sentences a developer should add (for missed
+//! information) or remove/reword (for contradicted denials), turning a
+//! report into an actionable fix list.
+
+use crate::problems::{Channel, Report};
+use ppchecker_static::SinkKind;
+use std::fmt;
+
+/// What kind of edit a suggestion proposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Add a new disclosure sentence.
+    Add,
+    /// Remove or reword a contradicted denial.
+    Reword,
+    /// Add a pointer to third-party lib policies.
+    AddThirdPartyNotice,
+}
+
+/// One suggested policy edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// Edit kind.
+    pub kind: EditKind,
+    /// The proposed sentence (for adds) or the offending sentence (for
+    /// rewording).
+    pub text: String,
+    /// Why the edit is needed.
+    pub reason: String,
+}
+
+impl fmt::Display for Suggestion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verb = match self.kind {
+            EditKind::Add => "ADD",
+            EditKind::Reword => "REWORD",
+            EditKind::AddThirdPartyNotice => "ADD NOTICE",
+        };
+        write!(f, "[{verb}] {} — {}", self.text, self.reason)
+    }
+}
+
+/// Drafts policy edits that would resolve every finding in `report`.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_core::{problems::{Channel, MissedInfo, Report}, suggest::suggest_fixes};
+/// use ppchecker_apk::PrivateInfo;
+///
+/// let report = Report {
+///     missed: vec![MissedInfo {
+///         info: PrivateInfo::Location,
+///         channel: Channel::Code,
+///         permission: None,
+///         retained: true,
+///     }],
+///     ..Report::default()
+/// };
+/// let fixes = suggest_fixes(&report);
+/// assert!(fixes[0].text.contains("location"));
+/// ```
+pub fn suggest_fixes(report: &Report) -> Vec<Suggestion> {
+    let mut out = Vec::new();
+
+    // Incomplete: draft a disclosure per missed info. Retained info needs
+    // the stronger "collect and store" phrasing.
+    let mut seen = Vec::new();
+    for m in &report.missed {
+        if seen.contains(&m.info) {
+            continue;
+        }
+        seen.push(m.info);
+        let phrase = natural_phrase(m.info);
+        let (text, why) = if m.retained {
+            (
+                format!("We may collect and store your {phrase}."),
+                format!(
+                    "the app retains {phrase} (a source-to-sink flow exists) but the policy \
+                     never mentions it"
+                ),
+            )
+        } else {
+            (
+                format!("We may collect your {phrase}."),
+                match m.channel {
+                    Channel::Code => format!(
+                        "the app's code collects {phrase} but the policy never mentions it"
+                    ),
+                    Channel::Description => format!(
+                        "the description implies {phrase} use but the policy never mentions it"
+                    ),
+                },
+            )
+        };
+        out.push(Suggestion { kind: EditKind::Add, text, reason: why });
+    }
+
+    // Incorrect: the denial must go (one suggestion per offending
+    // sentence, however many channels flagged it).
+    let mut reworded: Vec<&str> = Vec::new();
+    for f in &report.incorrect {
+        if reworded.contains(&f.sentence.as_str()) {
+            continue;
+        }
+        reworded.push(&f.sentence);
+        out.push(Suggestion {
+            kind: EditKind::Reword,
+            text: f.sentence.clone(),
+            reason: format!(
+                "this sentence denies {} of {}, but the app performs that behaviour",
+                f.category,
+                f.info.canonical_phrase()
+            ),
+        });
+    }
+
+    // Inconsistent: either drop the denial or add a third-party notice.
+    for inc in &report.inconsistencies {
+        out.push(Suggestion {
+            kind: EditKind::Reword,
+            text: inc.app_sentence.clone(),
+            reason: format!(
+                "the embedded library '{}' declares it will {} {} — narrow this denial to \
+                 first-party behaviour or remove it",
+                inc.lib_id, inc.category, inc.lib_resource
+            ),
+        });
+    }
+    if !report.inconsistencies.is_empty() && !report.has_disclaimer {
+        out.push(Suggestion {
+            kind: EditKind::AddThirdPartyNotice,
+            text: format!(
+                "Our app embeds third-party components ({}); their data practices are \
+                 governed by their own privacy policies.",
+                report.libs.join(", ")
+            ),
+            reason: "the policy makes claims its embedded libraries contradict and carries \
+                     no third-party notice"
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// A phrasing of the category suited to generated sentences ("your
+/// contacts" reads better than "your contact").
+fn natural_phrase(info: ppchecker_apk::PrivateInfo) -> &'static str {
+    use ppchecker_apk::PrivateInfo;
+    match info {
+        PrivateInfo::Contact => "contacts",
+        PrivateInfo::Cookie => "cookies",
+        PrivateInfo::Sms => "sms messages",
+        PrivateInfo::Camera => "camera pictures",
+        other => other.canonical_phrase(),
+    }
+}
+
+/// Describes a retained-information flow as the paper prints findings
+/// ("a path between getLatitude() and Log.i()").
+pub fn describe_leak(leak: &ppchecker_static::Leak) -> String {
+    let destination = match leak.sink {
+        SinkKind::Log => "the log",
+        SinkKind::File => "a file",
+        SinkKind::Network => "the network",
+        SinkKind::Sms => "an SMS",
+        SinkKind::Bluetooth => "a Bluetooth channel",
+    };
+    format!(
+        "a path between {} and {} (in {}) writes {} to {destination}",
+        leak.source_api,
+        leak.sink_api,
+        leak.at_method,
+        leak.info.canonical_phrase(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{IncorrectFinding, Inconsistency, MissedInfo};
+    use ppchecker_apk::PrivateInfo;
+    use ppchecker_policy::VerbCategory;
+
+    #[test]
+    fn missed_info_yields_add_suggestions() {
+        let report = Report {
+            missed: vec![
+                MissedInfo {
+                    info: PrivateInfo::Location,
+                    channel: Channel::Code,
+                    permission: None,
+                    retained: false,
+                },
+                MissedInfo {
+                    info: PrivateInfo::Contact,
+                    channel: Channel::Code,
+                    permission: None,
+                    retained: true,
+                },
+            ],
+            ..Report::default()
+        };
+        let fixes = suggest_fixes(&report);
+        assert_eq!(fixes.len(), 2);
+        assert!(fixes.iter().all(|f| f.kind == EditKind::Add));
+        assert!(fixes[1].text.contains("collect and store"));
+    }
+
+    #[test]
+    fn duplicate_channels_suggest_once() {
+        let mi = |channel| MissedInfo {
+            info: PrivateInfo::Location,
+            channel,
+            permission: None,
+            retained: false,
+        };
+        let report = Report {
+            missed: vec![mi(Channel::Description), mi(Channel::Code)],
+            ..Report::default()
+        };
+        assert_eq!(suggest_fixes(&report).len(), 1);
+    }
+
+    #[test]
+    fn incorrect_yields_reword() {
+        let report = Report {
+            incorrect: vec![IncorrectFinding {
+                info: PrivateInfo::Contact,
+                channel: Channel::Code,
+                sentence: "we will not store your contacts.".to_string(),
+                category: VerbCategory::Retain,
+            }],
+            ..Report::default()
+        };
+        let fixes = suggest_fixes(&report);
+        assert_eq!(fixes[0].kind, EditKind::Reword);
+        assert!(fixes[0].reason.contains("retain"));
+    }
+
+    #[test]
+    fn inconsistency_without_disclaimer_adds_notice() {
+        let report = Report {
+            libs: vec!["admob".to_string()],
+            inconsistencies: vec![Inconsistency {
+                lib_id: "admob".to_string(),
+                category: VerbCategory::Disclose,
+                app_sentence: "we will never share your device id.".to_string(),
+                lib_sentence: "we may share your device id.".to_string(),
+                app_resource: "device id".to_string(),
+                lib_resource: "device id".to_string(),
+            }],
+            ..Report::default()
+        };
+        let fixes = suggest_fixes(&report);
+        assert!(fixes.iter().any(|f| f.kind == EditKind::AddThirdPartyNotice));
+        // With a disclaimer already present, no notice is suggested.
+        let with_disclaimer = Report { has_disclaimer: true, ..report };
+        assert!(suggest_fixes(&with_disclaimer)
+            .iter()
+            .all(|f| f.kind != EditKind::AddThirdPartyNotice));
+    }
+
+    #[test]
+    fn leak_description_reads_like_the_paper() {
+        let leak = ppchecker_static::Leak {
+            info: PrivateInfo::Location,
+            sink: SinkKind::Log,
+            source_api: "android.location.Location.getLatitude".to_string(),
+            sink_api: "android.util.Log.i".to_string(),
+            at_method: "com.x.Main.onCreate".to_string(),
+        };
+        let s = describe_leak(&leak);
+        assert!(s.contains("getLatitude"));
+        assert!(s.contains("Log.i"));
+        assert!(s.contains("the log"));
+    }
+
+    #[test]
+    fn clean_report_needs_no_fixes() {
+        assert!(suggest_fixes(&Report::default()).is_empty());
+    }
+}

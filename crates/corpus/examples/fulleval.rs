@@ -1,0 +1,17 @@
+//! Runs the full §V evaluation over the 1,197-app corpus and dumps the
+//! raw [`ppchecker_corpus::Evaluation`] (the `repro_*` binaries in
+//! `ppchecker-bench` print the formatted per-table views).
+
+use ppchecker_corpus::{evaluate, paper_dataset};
+fn main() {
+    let t0 = std::time::Instant::now();
+    let d = paper_dataset(42);
+    eprintln!("dataset built in {:?}", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let ev = evaluate(&d);
+    eprintln!("evaluated in {:?}", t1.elapsed());
+    println!("{ev:#?}");
+    println!("problem rate {:.1}%", ev.problem_rate()*100.0);
+    println!("cur precision {:.3} recall {:.3} f1 {:.3}", ev.cur.precision(), ev.cur.recall(), ev.cur.f1());
+    println!("d precision {:.3} recall {:.3} f1 {:.3}", ev.disclose.precision(), ev.disclose.recall(), ev.disclose.f1());
+}

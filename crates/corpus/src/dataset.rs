@@ -1,0 +1,97 @@
+//! Dataset assembly: the calibrated 1,197-app corpus plus the lib-policy
+//! corpus, and a ready-to-run [`PPChecker`] configured with all 81 lib
+//! policies.
+
+use crate::generate::generate_app;
+use crate::libs::{lib_policies, LibPolicy};
+use crate::plan::{build_plan, AppSpec};
+use ppchecker_core::{AppInput, PPChecker};
+
+/// One generated app with its spec (which carries the ground truth).
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// PPChecker's input bundle.
+    pub input: AppInput,
+    /// The generator spec, including [`crate::plan::GroundTruth`].
+    pub spec: AppSpec,
+}
+
+/// The full synthetic corpus.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The 1,197 apps.
+    pub apps: Vec<GeneratedApp>,
+    /// The 81 third-party lib policies.
+    pub lib_policies: Vec<LibPolicy>,
+}
+
+impl Dataset {
+    /// Builds a [`PPChecker`] with every lib policy registered.
+    pub fn make_checker(&self) -> PPChecker {
+        let mut checker = PPChecker::new();
+        for lp in &self.lib_policies {
+            checker.register_lib_policy(lp.lib.id, &lp.html);
+        }
+        checker
+    }
+
+    /// The apps marked as the 200-app manual-inspection sample.
+    pub fn sample(&self) -> impl Iterator<Item = &GeneratedApp> {
+        self.apps.iter().filter(|a| a.spec.truth.in_sample)
+    }
+}
+
+/// Generates the paper's dataset: 1,197 apps calibrated to §V, seeded for
+/// reproducibility.
+pub fn paper_dataset(seed: u64) -> Dataset {
+    let plan = build_plan();
+    let apps = plan
+        .into_iter()
+        .map(|spec| GeneratedApp { input: generate_app(&spec, seed), spec })
+        .collect();
+    Dataset { apps, lib_policies: lib_policies() }
+}
+
+/// A small slice of the dataset (the first `n` apps of the same plan) for
+/// fast tests and benches.
+pub fn small_dataset(seed: u64, n: usize) -> Dataset {
+    let plan = build_plan();
+    let apps = plan
+        .into_iter()
+        .take(n)
+        .map(|spec| GeneratedApp { input: generate_app(&spec, seed), spec })
+        .collect();
+    Dataset { apps, lib_policies: lib_policies() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_dataset_generates() {
+        let d = small_dataset(42, 10);
+        assert_eq!(d.apps.len(), 10);
+        assert_eq!(d.lib_policies.len(), 81);
+        for a in &d.apps {
+            assert!(!a.input.policy_html.is_empty());
+            assert!(!a.input.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn checker_registers_all_lib_policies() {
+        let d = small_dataset(42, 1);
+        let checker = d.make_checker();
+        assert_eq!(checker.lib_policy_count(), 81);
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = small_dataset(7, 5);
+        let b = small_dataset(7, 5);
+        for (x, y) in a.apps.iter().zip(b.apps.iter()) {
+            assert_eq!(x.input.policy_html, y.input.policy_html);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Evaluation harness: runs PPChecker over the dataset and computes every
+//! statistic of the paper's §V, comparing detector output against the
+//! planted ground truth exactly the way the authors' manual verification
+//! did.
+
+use crate::dataset::Dataset;
+use ppchecker_apk::{Permission, PrivateInfo};
+use ppchecker_core::Report;
+use ppchecker_policy::VerbCategory;
+use std::collections::BTreeMap;
+
+/// Precision/recall counters for one Table IV row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RowMetrics {
+    /// Apps the detector flagged on this row.
+    pub flagged: usize,
+    /// Flagged apps confirmed by ground truth.
+    pub tp: usize,
+    /// Flagged apps rejected by ground truth.
+    pub fp: usize,
+    /// Ground-truth apps inside the manual sample.
+    pub sample_truth: usize,
+    /// Detected apps inside the manual sample.
+    pub sample_detected: usize,
+}
+
+impl RowMetrics {
+    /// `TP / flagged`.
+    pub fn precision(&self) -> f64 {
+        if self.flagged == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.flagged as f64
+        }
+    }
+
+    /// `detected / truth` over the manual sample.
+    pub fn recall(&self) -> f64 {
+        if self.sample_truth == 0 {
+            0.0
+        } else {
+            self.sample_detected as f64 / self.sample_truth as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Every statistic the paper reports.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluation {
+    /// Dataset size (1,197).
+    pub total_apps: usize,
+    /// Apps embedding ≥1 lib (879).
+    pub apps_with_libs: usize,
+    /// Apps flagged incomplete via description (64).
+    pub incomplete_desc_flagged: usize,
+    /// Table III: permission → number of flagged apps.
+    pub table3: BTreeMap<Permission, usize>,
+    /// Apps flagged incomplete via code (195).
+    pub incomplete_code_flagged: usize,
+    /// ... of which confirmed (180).
+    pub incomplete_code_tp: usize,
+    /// ... of which rejected (15).
+    pub incomplete_code_fp: usize,
+    /// Missed-info records among confirmed apps (234).
+    pub missed_records: usize,
+    /// ... of which retained (32).
+    pub retained_records: usize,
+    /// Fig. 13: info → missed-record count among confirmed apps.
+    pub fig13: BTreeMap<PrivateInfo, usize>,
+    /// Apps flagged incorrect via description (2).
+    pub incorrect_desc_flagged: usize,
+    /// Apps flagged incorrect via code (6).
+    pub incorrect_code_flagged: usize,
+    /// ... of which confirmed (4).
+    pub incorrect_tp: usize,
+    /// ... of which rejected (2).
+    pub incorrect_fp: usize,
+    /// Table IV collect/use/retain row.
+    pub cur: RowMetrics,
+    /// Table IV disclose row.
+    pub disclose: RowMetrics,
+    /// Apps with ≥1 confirmed detected problem (282).
+    pub problem_apps: usize,
+    /// Confirmed inconsistent apps (75).
+    pub inconsistent_apps: usize,
+    /// Confirmed incomplete apps (222).
+    pub incomplete_apps: usize,
+}
+
+impl Evaluation {
+    /// `problem_apps / total_apps`.
+    pub fn problem_rate(&self) -> f64 {
+        self.problem_apps as f64 / self.total_apps as f64
+    }
+}
+
+/// Runs the checker over every app and aggregates the paper's statistics.
+///
+/// # Panics
+///
+/// Panics if an app's dex fails to unpack (generated corpora never do).
+pub fn evaluate(dataset: &Dataset) -> Evaluation {
+    let checker = dataset.make_checker();
+    let mut ev = Evaluation {
+        total_apps: dataset.apps.len(),
+        ..Evaluation::default()
+    };
+
+    for app in &dataset.apps {
+        let report = checker.check(&app.input).expect("generated apps analyze cleanly");
+        accumulate(&mut ev, app, &report);
+    }
+    ev
+}
+
+fn accumulate(ev: &mut Evaluation, app: &crate::dataset::GeneratedApp, report: &Report) {
+    let truth = &app.spec.truth;
+    if !report.libs.is_empty() {
+        ev.apps_with_libs += 1;
+    }
+
+    // ---- incomplete via description (Table III) ----
+    let desc_missed: Vec<_> = report.missed_via_description().collect();
+    if !desc_missed.is_empty() {
+        ev.incomplete_desc_flagged += 1;
+        for m in &desc_missed {
+            if let Some(p) = &m.permission {
+                *ev.table3.entry(p.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // ---- incomplete via code (Fig. 13) ----
+    let code_missed: Vec<_> = report.missed_via_code().collect();
+    if !code_missed.is_empty() {
+        ev.incomplete_code_flagged += 1;
+        if truth.incomplete_via_code {
+            ev.incomplete_code_tp += 1;
+            for m in &code_missed {
+                *ev.fig13.entry(m.info).or_insert(0) += 1;
+                ev.missed_records += 1;
+                if m.retained {
+                    ev.retained_records += 1;
+                }
+            }
+        } else {
+            ev.incomplete_code_fp += 1;
+        }
+    }
+
+    // ---- incorrect ----
+    let incorrect_desc = report
+        .incorrect
+        .iter()
+        .any(|f| f.channel == ppchecker_core::Channel::Description);
+    let incorrect_code = report
+        .incorrect
+        .iter()
+        .any(|f| f.channel == ppchecker_core::Channel::Code);
+    if incorrect_desc {
+        ev.incorrect_desc_flagged += 1;
+    }
+    if incorrect_code {
+        ev.incorrect_code_flagged += 1;
+        if truth.incorrect {
+            ev.incorrect_tp += 1;
+        } else {
+            ev.incorrect_fp += 1;
+        }
+    }
+
+    // ---- inconsistent (Table IV) ----
+    let cur_flagged = report
+        .inconsistencies
+        .iter()
+        .any(|i| i.category != VerbCategory::Disclose);
+    let d_flagged = report
+        .inconsistencies
+        .iter()
+        .any(|i| i.category == VerbCategory::Disclose);
+    if cur_flagged {
+        ev.cur.flagged += 1;
+        if truth.inconsistent_cur() {
+            ev.cur.tp += 1;
+        } else {
+            ev.cur.fp += 1;
+        }
+    }
+    if d_flagged {
+        ev.disclose.flagged += 1;
+        if truth.inconsistent_d() {
+            ev.disclose.tp += 1;
+        } else {
+            ev.disclose.fp += 1;
+        }
+    }
+    if truth.in_sample {
+        if truth.inconsistent_cur() {
+            ev.cur.sample_truth += 1;
+            if cur_flagged {
+                ev.cur.sample_detected += 1;
+            }
+        }
+        if truth.inconsistent_d() {
+            ev.disclose.sample_truth += 1;
+            if d_flagged {
+                ev.disclose.sample_detected += 1;
+            }
+        }
+    }
+
+    // ---- headline (confirmed, detected problems) ----
+    let confirmed_incomplete = (!desc_missed.is_empty() && truth.incomplete_via_desc)
+        || (!code_missed.is_empty() && truth.incomplete_via_code);
+    let confirmed_incorrect = (incorrect_desc || incorrect_code) && truth.incorrect;
+    let confirmed_inconsistent =
+        (cur_flagged && truth.inconsistent_cur()) || (d_flagged && truth.inconsistent_d());
+    if confirmed_incomplete {
+        ev.incomplete_apps += 1;
+    }
+    if confirmed_inconsistent {
+        ev.inconsistent_apps += 1;
+    }
+    if confirmed_incomplete || confirmed_incorrect || confirmed_inconsistent {
+        ev.problem_apps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::small_dataset;
+
+    #[test]
+    fn row_metrics_math() {
+        let m = RowMetrics { flagged: 46, tp: 41, fp: 5, sample_truth: 12, sample_detected: 11 };
+        assert!((m.precision() - 0.8913).abs() < 1e-3);
+        assert!((m.recall() - 0.9167).abs() < 1e-3);
+        assert!((m.f1() - 0.9038).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evaluation_runs_on_a_small_slice() {
+        // The first 64 apps are the description/both incomplete plants.
+        let d = small_dataset(42, 64);
+        let ev = evaluate(&d);
+        assert_eq!(ev.total_apps, 64);
+        assert_eq!(ev.incomplete_desc_flagged, 64);
+        assert!(ev.table3.values().sum::<usize>() >= 64);
+    }
+}

@@ -1,0 +1,112 @@
+//! Corpus export: write generated apps to disk in the file formats the
+//! `ppchecker` CLI consumes (policy HTML, description text, manifest text,
+//! textual or packed dex), so the corpus doubles as a file-based test bed.
+
+use crate::dataset::{Dataset, GeneratedApp};
+use ppchecker_apk::packer;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes one app into `dir` (created if needed):
+/// `policy.html`, `description.txt`, `manifest.txt`, and `app.dex`
+/// (or `app.pkdx` when the APK ships packed).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_app(dir: &Path, app: &GeneratedApp) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("policy.html"), &app.input.policy_html)?;
+    fs::write(dir.join("description.txt"), &app.input.description)?;
+    fs::write(dir.join("manifest.txt"), app.input.apk.manifest.to_text())?;
+    match app.input.apk.plain_dex() {
+        Some(dex) => fs::write(dir.join("app.dex"), packer::serialize(dex))?,
+        None => {
+            // Already packed: re-pack deterministically from the recovered
+            // dex so the bytes on disk are self-contained.
+            let dex = app
+                .input
+                .apk
+                .dex()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            fs::write(dir.join("app.pkdx"), packer::pack(&dex, 0xA5))?;
+        }
+    }
+    Ok(())
+}
+
+/// Exports the first `n` apps of a dataset into `dir/app-NNNN/`
+/// subdirectories plus the lib policies into `dir/libs/<id>.html`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export_dataset(dir: &Path, dataset: &Dataset, n: usize) -> io::Result<()> {
+    for app in dataset.apps.iter().take(n) {
+        export_app(&dir.join(format!("app-{:04}", app.spec.index)), app)?;
+    }
+    let libs_dir = dir.join("libs");
+    fs::create_dir_all(&libs_dir)?;
+    for lp in &dataset.lib_policies {
+        fs::write(libs_dir.join(format!("{}.html", lp.lib.id)), &lp.html)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::small_dataset;
+    use ppchecker_apk::{Apk, Manifest};
+    use ppchecker_core::{AppInput, PPChecker};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ppchecker-export-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn exported_app_reloads_and_checks_identically() {
+        let dataset = small_dataset(42, 70);
+        let dir = temp_dir("roundtrip");
+        // App 66 is one of the planted incorrect apps — a strong signal.
+        let app = &dataset.apps[66];
+        export_app(&dir, app).unwrap();
+
+        // Reload from the files like the CLI does.
+        let manifest =
+            Manifest::from_text(&fs::read_to_string(dir.join("manifest.txt")).unwrap()).unwrap();
+        let dex =
+            packer::deserialize(&fs::read_to_string(dir.join("app.dex")).unwrap()).unwrap();
+        let reloaded = AppInput {
+            package: manifest.package.clone(),
+            policy_html: fs::read_to_string(dir.join("policy.html")).unwrap(),
+            description: fs::read_to_string(dir.join("description.txt")).unwrap(),
+            apk: Apk::new(manifest, dex),
+        };
+
+        let checker = dataset.make_checker();
+        let original = checker.check(&app.input).unwrap();
+        let again = PPChecker::new().check(&reloaded).unwrap();
+        assert_eq!(original.is_incomplete(), again.is_incomplete());
+        assert_eq!(original.is_incorrect(), again.is_incorrect());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_dataset_writes_libs() {
+        let dataset = small_dataset(42, 3);
+        let dir = temp_dir("dataset");
+        export_dataset(&dir, &dataset, 3).unwrap();
+        assert!(dir.join("app-0000/policy.html").exists());
+        assert!(dir.join("app-0002/manifest.txt").exists());
+        assert!(dir.join("libs/admob.html").exists());
+        assert_eq!(fs::read_dir(dir.join("libs")).unwrap().count(), 81);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ppchecker-corpus
+//!
+//! The synthetic evaluation corpus for the PPChecker reproduction.
+//!
+//! The paper evaluates on 1,197 Google Play apps plus the privacy policies
+//! of 81 third-party libraries — data we cannot redistribute. This crate
+//! generates an equivalent corpus: English privacy-policy HTML, Google
+//! Play-style descriptions, and simulated APKs whose dex actually performs
+//! the behaviours the policies do (or do not) describe, with problems
+//! planted at indices calibrated so that running the *real* pipeline
+//! reproduces every statistic of §V (Table III, Table IV, Fig. 12,
+//! Fig. 13, and the 282/1,197 headline).
+//!
+//! - [`plan`] — the calibrated plan and per-app ground truth
+//! - [`generate`] — spec → policy / description / APK
+//! - [`libs`] — the 81 lib policies (52 ad, 9 social, 20 dev tools)
+//! - [`dataset`] — assembly ([`paper_dataset`])
+//! - [`eval`] — the §V statistics harness ([`evaluate`])
+//! - [`fig12`] — the pattern-selection experiment (Fig. 12)
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use ppchecker_corpus::{paper_dataset, evaluate};
+//!
+//! let dataset = paper_dataset(42);
+//! let ev = evaluate(&dataset);
+//! assert_eq!(ev.total_apps, 1197);
+//! assert_eq!(ev.problem_apps, 282);
+//! ```
+
+pub mod adversarial;
+pub mod dataset;
+pub mod eval;
+pub mod export;
+pub mod fig12;
+pub mod generate;
+pub mod libs;
+pub mod phrases;
+pub mod plan;
+
+pub use dataset::{paper_dataset, small_dataset, Dataset, GeneratedApp};
+pub use eval::{evaluate, Evaluation, RowMetrics};
+pub use export::{export_app, export_dataset};
+pub use plan::{build_plan, AppSpec, GroundTruth, APP_COUNT};

@@ -1,0 +1,154 @@
+//! The third-party-library privacy-policy corpus: one English policy per
+//! known library (52 ad + 9 social + 20 development tools, §V-A), with a
+//! machine-readable record of what each policy declares so inconsistency
+//! planting and ground-truth evaluation agree.
+
+use ppchecker_apk::PrivateInfo;
+use ppchecker_policy::VerbCategory;
+use ppchecker_static::{KnownLib, LibKind, KNOWN_LIBS};
+
+/// One declared behaviour of a lib policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Declaration {
+    /// The behaviour category of the positive sentence.
+    pub category: VerbCategory,
+    /// The declared information.
+    pub info: PrivateInfo,
+}
+
+/// A generated lib policy.
+#[derive(Debug, Clone)]
+pub struct LibPolicy {
+    /// The library.
+    pub lib: &'static KnownLib,
+    /// Policy document (HTML).
+    pub html: String,
+    /// The behaviours the policy declares (positive sentences).
+    pub declares: Vec<Declaration>,
+}
+
+/// The declarations for a library family.
+pub fn declarations_for(kind: LibKind) -> Vec<Declaration> {
+    use PrivateInfo::*;
+    use VerbCategory::*;
+    match kind {
+        LibKind::Ad => vec![
+            Declaration { category: Collect, info: DeviceId },
+            Declaration { category: Collect, info: Location },
+            Declaration { category: Collect, info: IpAddress },
+            Declaration { category: Use, info: DeviceId },
+            Declaration { category: Retain, info: DeviceId },
+            Declaration { category: Disclose, info: DeviceId },
+            Declaration { category: Disclose, info: Location },
+        ],
+        LibKind::Social => vec![
+            Declaration { category: Collect, info: Contact },
+            Declaration { category: Collect, info: Account },
+            Declaration { category: Use, info: Contact },
+            Declaration { category: Retain, info: Account },
+            Declaration { category: Disclose, info: Account },
+        ],
+        LibKind::DevTool => vec![
+            Declaration { category: Collect, info: DeviceId },
+            Declaration { category: Collect, info: Location },
+            Declaration { category: Use, info: DeviceId },
+            Declaration { category: Retain, info: Location },
+            Declaration { category: Disclose, info: DeviceId },
+        ],
+    }
+}
+
+fn declaration_sentence(d: &Declaration) -> String {
+    let phrase = crate::phrases::policy_phrases(d.info)[0];
+    match d.category {
+        VerbCategory::Collect => format!("we may collect {phrase}."),
+        VerbCategory::Use => format!("we may use {phrase} to serve our partners."),
+        VerbCategory::Retain => format!("we may store {phrase} on our servers."),
+        VerbCategory::Disclose => format!("we may share {phrase} with our partners."),
+    }
+}
+
+/// Generates the full lib-policy corpus (deterministic).
+///
+/// Every policy additionally carries the generic "personal information"
+/// sentences that cause the paper's ESA false positives (§V-E: AdMob's
+/// "We will share personal information with companies").
+pub fn lib_policies() -> Vec<LibPolicy> {
+    KNOWN_LIBS
+        .iter()
+        .map(|lib| {
+            let declares = declarations_for(lib.kind);
+            let mut body = String::new();
+            body.push_str("<html><body><h1>Privacy Policy</h1>");
+            body.push_str("<p>this privacy policy explains our data practices.</p>");
+            for d in &declares {
+                body.push_str(&format!("<p>{}</p>", declaration_sentence(d)));
+            }
+            body.push_str("<p>we may collect personal information.</p>");
+            body.push_str("<p>we will share personal information with companies.</p>");
+            body.push_str("</body></html>");
+            LibPolicy { lib, html: body, declares }
+        })
+        .collect()
+}
+
+/// Finds the policy record for a lib id.
+pub fn lib_policy(policies: &[LibPolicy], id: &str) -> Option<usize> {
+    policies.iter().position(|p| p.lib.id == id)
+}
+
+/// Returns `true` if the library's policy positively declares `category`
+/// of `info`.
+pub fn declares(kind: LibKind, category: VerbCategory, info: PrivateInfo) -> bool {
+    declarations_for(kind)
+        .iter()
+        .any(|d| d.category == category && d.info == info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_policy::PolicyAnalyzer;
+
+    #[test]
+    fn corpus_covers_all_81_libs() {
+        let ps = lib_policies();
+        assert_eq!(ps.len(), 81);
+    }
+
+    #[test]
+    fn policies_parse_back_to_their_declarations() {
+        // The generated text must actually yield the declared behaviours
+        // when run through the real policy pipeline.
+        let analyzer = PolicyAnalyzer::new();
+        for p in lib_policies().iter().take(5) {
+            let analysis = analyzer.analyze_html(&p.html);
+            for d in &p.declares {
+                let resources = analysis.resources(d.category, false);
+                assert!(
+                    !resources.is_empty(),
+                    "{}: no positive {} resources parsed",
+                    p.lib.id,
+                    d.category
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_personal_information_sentence_present() {
+        let analyzer = PolicyAnalyzer::new();
+        let ps = lib_policies();
+        let analysis = analyzer.analyze_html(&ps[0].html);
+        assert!(analysis
+            .resources(VerbCategory::Disclose, false)
+            .iter()
+            .any(|r| r.contains("personal information")));
+    }
+
+    #[test]
+    fn unity3d_declares_location_collection() {
+        // Fig. 3's Temple Run 2 ↔ Unity3d conflict requires this.
+        assert!(declares(LibKind::DevTool, VerbCategory::Collect, PrivateInfo::Location));
+    }
+}

@@ -1,0 +1,223 @@
+//! Phrase pools: how each private-information category is verbalized in
+//! generated policies and descriptions.
+
+use ppchecker_apk::{Permission, PrivateInfo};
+use rand::prelude::*;
+
+/// Policy phrases for an information category (all ESA-match the
+/// category's canonical phrase).
+pub fn policy_phrases(info: PrivateInfo) -> &'static [&'static str] {
+    match info {
+        PrivateInfo::Location => &["your location", "your location information", "your gps location"],
+        PrivateInfo::DeviceId => &["your device id", "your device identifier", "your unique device identifier"],
+        PrivateInfo::PhoneNumber => &["your phone number", "your telephone number", "your mobile number"],
+        PrivateInfo::IpAddress => &["your ip address", "your internet protocol address"],
+        PrivateInfo::Cookie => &["cookies", "browser cookies", "tracking cookies"],
+        PrivateInfo::Account => &["your account information", "your account name", "your user account"],
+        PrivateInfo::Calendar => &["your calendar events", "your calendar information"],
+        PrivateInfo::Contact => &["your contacts", "your contact list", "your address book"],
+        PrivateInfo::Camera => &["your photos", "camera pictures", "your camera images"],
+        PrivateInfo::Audio => &["microphone audio", "your voice recordings", "audio recordings"],
+        PrivateInfo::AppList => &["your installed apps", "the app list", "your installed applications"],
+        PrivateInfo::Sms => &["your sms messages", "your text messages"],
+        PrivateInfo::CallLog => &["your call log", "your phone call log"],
+        PrivateInfo::BrowsingHistory => &["your browsing history", "your web history"],
+        PrivateInfo::Sensor => &["sensor data", "motion sensor data"],
+        PrivateInfo::Bluetooth => &["bluetooth identifiers", "bluetooth device addresses"],
+        PrivateInfo::Carrier => &["your carrier name", "your network operator"],
+        PrivateInfo::Clipboard => &["clipboard contents", "your clipboard data"],
+        PrivateInfo::Email => &["your email address", "your e-mail address"],
+        PrivateInfo::Name => &["your name", "your full name"],
+        PrivateInfo::Birthday => &["your birthday", "your date of birth"],
+    }
+}
+
+/// Picks one policy phrase for `info`.
+pub fn pick_policy_phrase(info: PrivateInfo, rng: &mut StdRng) -> &'static str {
+    let pool = policy_phrases(info);
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Description phrases that imply a given permission (tuned to the
+/// AutoCog-substitute semantic profiles).
+pub fn description_phrases(perm: &Permission) -> &'static [&'static str] {
+    match perm {
+        Permission::AccessFineLocation => &[
+            "turn-by-turn gps navigation on the map",
+            "track your runs with precise gps location",
+            "accurate gps location for the map view",
+        ],
+        Permission::AccessCoarseLocation => &[
+            "find nearby places in your city",
+            "deals around your nearby area",
+            "weather for your nearby city",
+        ],
+        Permission::Camera => &[
+            "take beautiful photos with the camera",
+            "scan documents using your camera",
+            "apply filters to your camera pictures",
+        ],
+        Permission::ReadContacts => &[
+            "synchronizes birthdays with your contacts list",
+            "invite friends from your phonebook",
+            "sync with your contacts easily",
+        ],
+        Permission::WriteContacts => &[
+            "merge duplicate contacts entries quickly",
+        ],
+        Permission::GetAccounts => &[
+            "sign in with your account",
+            "sync data across devices with your account",
+            "login with your existing account",
+        ],
+        Permission::ReadCalendar => &[
+            "see your calendar events at a glance",
+            "plan your schedule with calendar events",
+        ],
+        Permission::RecordAudio => &[
+            "record voice memos with the microphone",
+            "voice recording for your notes",
+        ],
+        Permission::ReadSms => &[
+            "organize your sms text messages",
+            "backup text messages automatically",
+        ],
+        Permission::ReadPhoneState => &[
+            "works with your phone number and device",
+        ],
+        Permission::ReadCallLog => &[
+            "review your call history log",
+        ],
+        Permission::GetTasks => &[
+            "manage the running apps list",
+        ],
+        _ => &[],
+    }
+}
+
+/// Neutral description boilerplate (implies no permission).
+pub const NEUTRAL_DESCRIPTIONS: &[&str] = &[
+    "A fun and addictive puzzle game with hundreds of levels.",
+    "Beat your high score and challenge the leaderboard.",
+    "A beautiful and fast experience loved by millions.",
+    "Simple, elegant, and easy to get started.",
+    "The best tool for staying productive every day.",
+    "Enjoy a smooth and delightful design.",
+    "Discover new content updated every week.",
+    "Lightweight, reliable, and battery friendly.",
+];
+
+/// Collect-style positive sentence templates (`{}` = resource phrase).
+pub const COLLECT_TEMPLATES: &[&str] = &[
+    "we may collect {}.",
+    "we will collect {} to provide our services.",
+    "we collect {} when you use the app.",
+    "we may gather {}.",
+    "we are able to collect {}.",
+    "we may receive {}.",
+    "we may obtain {}.",
+];
+
+/// Use-style templates.
+pub const USE_TEMPLATES: &[&str] = &[
+    "we may use {}.",
+    "we use {} to improve our products.",
+    "we may process {}.",
+    "we analyze {} to personalize content.",
+];
+
+/// Retain-style templates.
+pub const RETAIN_TEMPLATES: &[&str] = &[
+    "we may store {} on our servers.",
+    "we retain {} for a limited period.",
+    "we will keep {} as long as necessary.",
+    "we may save {}.",
+];
+
+/// Disclose-style templates.
+pub const DISCLOSE_TEMPLATES: &[&str] = &[
+    "we may share {} with our partners.",
+    "we may disclose {} to comply with the law.",
+    "we will share {} with service providers.",
+    "we may transfer {} to our affiliates.",
+];
+
+/// Negative templates per category index (0 = collect, 1 = use, 2 =
+/// retain, 3 = disclose).
+pub const NEGATIVE_TEMPLATES: [&[&str]; 4] = [
+    &[
+        "we will not collect {}.",
+        "we do not collect {}.",
+        "we never collect {}.",
+        "we are not collecting {}.",
+    ],
+    &["we do not use {}.", "we will not use {}.", "we never process {}."],
+    &[
+        "we will not store {}.",
+        "we do not retain {}.",
+        "we never keep {}.",
+    ],
+    &[
+        "we will not share {}.",
+        "we do not disclose {}.",
+        "we will never share {} with anyone.",
+        "we do not sell {}.",
+    ],
+];
+
+/// Filler policy sentences (match no pattern or are filtered out).
+pub const POLICY_BOILERPLATE: &[&str] = &[
+    "this privacy policy describes our practices.",
+    "please read this policy carefully before using the app.",
+    "this policy may change from time to time.",
+    "your privacy is important to us.",
+    "by using the app you agree to this policy.",
+    "please contact us with any questions about this policy.",
+];
+
+/// Picks a random element of a slice.
+pub fn pick<'a>(pool: &[&'a str], rng: &mut StdRng) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_esa::Interpreter;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_info_has_policy_phrases() {
+        for &info in PrivateInfo::ALL {
+            assert!(!policy_phrases(info).is_empty(), "{info} missing phrases");
+        }
+    }
+
+    #[test]
+    fn policy_phrases_match_their_canonical_info() {
+        // Every phrase must ESA-match its category, else planted coverage
+        // would not count as coverage.
+        let esa = Interpreter::shared();
+        for &info in PrivateInfo::ALL {
+            for phrase in policy_phrases(info) {
+                let stripped = phrase.strip_prefix("your ").unwrap_or(phrase);
+                assert!(
+                    esa.same_thing(info.canonical_phrase(), stripped),
+                    "{phrase} does not match {info}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(
+                pick_policy_phrase(PrivateInfo::Location, &mut a),
+                pick_policy_phrase(PrivateInfo::Location, &mut b)
+            );
+        }
+    }
+}

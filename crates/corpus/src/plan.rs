@@ -1,0 +1,750 @@
+//! The dataset plan: which of the 1,197 apps get which planted problems,
+//! calibrated so that running the real PPChecker pipeline over the corpus
+//! reproduces every statistic of the paper's evaluation section.
+//!
+//! Paper targets (§V):
+//! - 1,197 apps; 879 (73%) embed at least one of 81 third-party libs
+//! - 282 apps (23.6%) with ≥1 problem
+//! - incomplete: 222 apps (64 via description — Table III; 180 via code,
+//!   +15 detector false positives; 234 missed-info records — Fig. 13 — of
+//!   which 32 retained)
+//! - incorrect: 2 via description, 4 via code, +2 false positives
+//! - inconsistent: Table IV (41 TP + 5 FP collect/use/retain; 39 TP + 4 FP
+//!   disclose; recall 11/12 and 12/13 on a 200-app manual sample)
+
+use ppchecker_apk::{Permission, PrivateInfo};
+use ppchecker_policy::VerbCategory;
+
+/// Total number of apps in the dataset.
+pub const APP_COUNT: usize = 1197;
+/// Apps embedding at least one third-party library.
+pub const APPS_WITH_LIBS: usize = 879;
+/// Size of the manual-inspection sample used for recall (§V-E).
+pub const SAMPLE_SIZE: usize = 200;
+
+// ---- index ranges of the planted roles ----
+/// Incomplete via description only.
+pub const RANGE_DESC_ONLY: std::ops::Range<usize> = 0..42;
+/// Incomplete via description and code.
+pub const RANGE_BOTH: std::ops::Range<usize> = 42..64;
+/// Incomplete via code only.
+pub const RANGE_CODE_ONLY: std::ops::Range<usize> = 64..222;
+/// Incomplete-via-code detector false positives (extraction-resistant
+/// coverage sentences).
+pub const RANGE_CODE_FP: std::ops::Range<usize> = 222..237;
+/// Incorrect via description + code (collect) — inside [`RANGE_BOTH`].
+pub const INCORRECT_DESC_APPS: [usize; 2] = [42, 43];
+/// Incorrect via code (retain) — inside [`RANGE_CODE_ONLY`].
+pub const INCORRECT_RETAIN_APPS: [usize; 2] = [66, 67];
+/// Incorrect detector false positives (context, zoho-style).
+pub const INCORRECT_FP_APPS: [usize; 2] = [240, 241];
+/// Code-only incomplete apps that are *also* inconsistent (the 15-app
+/// overlap that makes the union 282).
+pub const RANGE_INCONSISTENT_OVERLAP: std::ops::Range<usize> = 200..215;
+/// Fresh inconsistent true positives.
+pub const RANGE_INCONSISTENT_FRESH: std::ops::Range<usize> = 250..310;
+/// Inconsistency detector false positives (generic "information" vs
+/// "personal information").
+pub const RANGE_INCONSISTENT_FP: std::ops::Range<usize> = 320..329;
+/// Inconsistency false negatives (denial verbs outside the pattern set).
+pub const INCONSISTENT_FN_APPS: [usize; 2] = [330, 331];
+
+/// An inconsistency plant: the row it belongs to and whether the detector
+/// can see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InconsistencyPlant {
+    /// Category of the planted denial.
+    pub category: VerbCategory,
+    /// `true` → counts in Table IV's collect/use/retain row, `false` →
+    /// disclose row.
+    pub cur_row: bool,
+    /// `false` for false-negative plants (undetectable verb).
+    pub detectable: bool,
+    /// `false` for detector-false-positive plants (generic resource).
+    pub genuine: bool,
+}
+
+/// Ground truth for one app.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Truly incomplete via the description channel.
+    pub incomplete_via_desc: bool,
+    /// Permissions whose description evidence exposes the gap (Table III).
+    pub desc_missed_perms: Vec<Permission>,
+    /// Truly incomplete via the code channel.
+    pub incomplete_via_code: bool,
+    /// The true missed-info records `(info, retained)` (Fig. 13).
+    pub code_missed: Vec<(PrivateInfo, bool)>,
+    /// Flagged via code by the detector but actually covered (FP).
+    pub incomplete_code_fp: bool,
+    /// Truly incorrect.
+    pub incorrect: bool,
+    /// Flagged incorrect by the detector but actually fine (FP).
+    pub incorrect_fp: bool,
+    /// Inconsistency plants (possibly one per Table IV row).
+    pub inconsistencies: Vec<InconsistencyPlant>,
+    /// Member of the 200-app manual-inspection sample.
+    pub in_sample: bool,
+}
+
+impl GroundTruth {
+    /// Truly incomplete through either channel.
+    pub fn incomplete(&self) -> bool {
+        self.incomplete_via_desc || self.incomplete_via_code
+    }
+
+    /// Truly inconsistent (genuine plant, detectable or not).
+    pub fn inconsistent(&self) -> bool {
+        self.inconsistencies.iter().any(|p| p.genuine)
+    }
+
+    /// Truly has at least one problem (284 in the plan: the 282 the
+    /// detector confirms plus the two inconsistency false negatives).
+    pub fn has_any_problem(&self) -> bool {
+        self.incomplete() || self.incorrect || self.inconsistent()
+    }
+
+    /// Truly has a problem the detector can find — the paper's headline
+    /// counts these (282 apps, 23.6%).
+    pub fn detectable_problem(&self) -> bool {
+        self.incomplete()
+            || self.incorrect
+            || self
+                .inconsistencies
+                .iter()
+                .any(|p| p.genuine && p.detectable)
+    }
+
+    /// Genuine plant in Table IV's collect/use/retain row.
+    pub fn inconsistent_cur(&self) -> bool {
+        self.inconsistencies.iter().any(|p| p.genuine && p.cur_row)
+    }
+
+    /// Genuine plant in Table IV's disclose row.
+    pub fn inconsistent_d(&self) -> bool {
+        self.inconsistencies.iter().any(|p| p.genuine && !p.cur_row)
+    }
+}
+
+/// The generator-facing spec for one app.
+#[derive(Debug, Clone, Default)]
+pub struct AppSpec {
+    /// Dataset index.
+    pub index: usize,
+    /// Information the dex collects (reachably), with a retained flag
+    /// (taint path to a log sink).
+    pub code_collect: Vec<(PrivateInfo, bool)>,
+    /// Information the policy covers with ordinary positive sentences.
+    pub policy_cover: Vec<PrivateInfo>,
+    /// Information covered only by an extraction-resistant sentence
+    /// (plants an incomplete-code false positive).
+    pub tricky_cover: Vec<PrivateInfo>,
+    /// Negative policy sentences: `(category, info, detectable verb?)`.
+    pub policy_deny: Vec<(VerbCategory, PrivateInfo, bool)>,
+    /// Denials of a generic "information" resource (inconsistency FP bait):
+    /// one category each.
+    pub policy_deny_generic: Vec<VerbCategory>,
+    /// Permissions implied by the description.
+    pub desc_perms: Vec<Permission>,
+    /// Embedded third-party library ids.
+    pub libs: Vec<&'static str>,
+    /// Whether the policy carries a third-party disclaimer.
+    pub disclaimer: bool,
+    /// Zoho-style context trap: the policy positively covers the info AND
+    /// negatively mentions it in a different context.
+    pub context_trap: Option<PrivateInfo>,
+    /// Ship the dex packed (exercises the DexHunter substitute).
+    pub packed: bool,
+    /// The ground truth.
+    pub truth: GroundTruth,
+}
+
+/// The Fig. 13 distribution of missed-info records for the code-only range
+/// `(info, total records, retained records)`; 212 records over 158 apps.
+/// The 22 both-channel apps contribute 10 location + 12 contact records,
+/// making the paper's 234 total (32 retained).
+const CODE_ONLY_DISTRIBUTION: &[(PrivateInfo, usize, usize)] = &[
+    (PrivateInfo::Location, 52, 8),
+    (PrivateInfo::DeviceId, 34, 6),
+    (PrivateInfo::Account, 27, 5),
+    (PrivateInfo::PhoneNumber, 18, 3),
+    (PrivateInfo::Contact, 16, 4), // +2 retained on the incorrect apps = 6
+    (PrivateInfo::Camera, 15, 0),
+    (PrivateInfo::AppList, 12, 4),
+    (PrivateInfo::Calendar, 10, 0),
+    (PrivateInfo::Audio, 8, 0),
+    (PrivateInfo::Sms, 8, 0),
+    (PrivateInfo::IpAddress, 6, 0),
+    (PrivateInfo::Cookie, 4, 0),
+];
+
+/// Table III permission plan over the description-detected apps.
+fn desc_permission_for(index: usize) -> Vec<Permission> {
+    use Permission::*;
+    match index {
+        0 => vec![AccessFineLocation, Camera], // the one two-permission app
+        1..=14 => vec![AccessCoarseLocation],  // 14 apps
+        15..=22 => vec![AccessFineLocation],   // 8 apps (9 with app 0)
+        23..=27 => vec![Camera],               // 5 apps (6 with app 0)
+        28..=38 => vec![GetAccounts],          // 11 apps
+        39..=40 => vec![ReadCalendar],         // 2 apps
+        41 => vec![WriteContacts],             // 1 app
+        42..=53 => vec![ReadContacts],         // 12 apps (both-channel)
+        54..=63 => vec![AccessFineLocation],   // 10 apps (both-channel)
+        _ => vec![],
+    }
+}
+
+/// Builds the complete 1,197-app plan.
+pub fn build_plan() -> Vec<AppSpec> {
+    let mut specs: Vec<AppSpec> = (0..APP_COUNT)
+        .map(|index| AppSpec { index, ..AppSpec::default() })
+        .collect();
+
+    plan_incomplete(&mut specs);
+    plan_incorrect(&mut specs);
+    plan_inconsistent(&mut specs);
+    plan_libs_and_fillers(&mut specs);
+    plan_sample(&mut specs);
+    specs
+}
+
+fn plan_incomplete(specs: &mut [AppSpec]) {
+    // Description-detected apps (Table III): manifest permission present,
+    // description implies the info, the policy omits it. The
+    // description-only range has no offending code.
+    for i in RANGE_DESC_ONLY.chain(RANGE_BOTH) {
+        let perms = desc_permission_for(i);
+        let spec = &mut specs[i];
+        spec.desc_perms = perms.clone();
+        spec.truth.incomplete_via_desc = true;
+        spec.truth.desc_missed_perms = perms.clone();
+        // Cover some unrelated information so the policy is non-trivial.
+        spec.policy_cover = vec![PrivateInfo::Email, PrivateInfo::Cookie];
+        // Both-channel apps also collect the implied info in code.
+        if RANGE_BOTH.contains(&i) {
+            let info = *PrivateInfo::from_permission(&perms[0])
+                .first()
+                .expect("desc permission maps to info");
+            spec.code_collect = vec![(info, false)];
+            spec.truth.incomplete_via_code = true;
+            spec.truth.code_missed = vec![(info, false)];
+        }
+    }
+    // The policy of the description-detected apps must not cover cookie by
+    // coincidence when the app is a camera app etc. — covered infos were
+    // chosen to be disjoint from every Table III info.
+
+    // Code-only range: distribute the Fig. 13 records.
+    let mut records: Vec<(PrivateInfo, bool)> = Vec::new();
+    for &(info, total, retained) in CODE_ONLY_DISTRIBUTION {
+        for k in 0..total {
+            records.push((info, k < retained));
+        }
+    }
+    // The two retain-incorrect apps get their fixed contact records and are
+    // handled in plan_incorrect; exclude their records here.
+    let apps: Vec<usize> = RANGE_CODE_ONLY
+        .filter(|i| !INCORRECT_RETAIN_APPS.contains(i))
+        .collect();
+    // 212 records over 156 apps: the first 56 apps take two records each
+    // (paired from distant halves so the two infos differ).
+    let doubles = records.len() - apps.len();
+    let half = records.len() / 2;
+    let mut assigned: Vec<Vec<(PrivateInfo, bool)>> = Vec::with_capacity(apps.len());
+    for k in 0..doubles {
+        assigned.push(vec![records[k], records[half + k]]);
+    }
+    let mut rest: Vec<(PrivateInfo, bool)> = records[doubles..half]
+        .iter()
+        .chain(records[half + doubles..].iter())
+        .copied()
+        .collect();
+    for _ in doubles..apps.len() {
+        assigned.push(vec![rest.pop().expect("enough records")]);
+    }
+    for (app_idx, recs) in apps.into_iter().zip(assigned) {
+        let spec = &mut specs[app_idx];
+        spec.code_collect = recs.clone();
+        spec.truth.incomplete_via_code = true;
+        spec.truth.code_missed = recs;
+        spec.policy_cover = vec![PrivateInfo::Email];
+    }
+
+    // Detector false positives: the policy covers the collected info, but
+    // only in an extraction-resistant sentence.
+    for i in RANGE_CODE_FP {
+        let spec = &mut specs[i];
+        spec.code_collect = vec![(PrivateInfo::DeviceId, false)];
+        spec.tricky_cover = vec![PrivateInfo::DeviceId];
+        spec.policy_cover = vec![PrivateInfo::Email];
+        spec.truth.incomplete_code_fp = true;
+    }
+}
+
+fn plan_incorrect(specs: &mut [AppSpec]) {
+    // The two description+code apps (birthdaylist-style): deny collecting
+    // contacts while the description implies contacts and the code queries
+    // the contacts provider. They are already both-channel incomplete.
+    for &i in &INCORRECT_DESC_APPS {
+        let spec = &mut specs[i];
+        spec.policy_deny = vec![(VerbCategory::Collect, PrivateInfo::Contact, true)];
+        spec.truth.incorrect = true;
+    }
+    // The two retain apps (easyxapp-style): deny storing contacts while a
+    // taint path logs them. Also counted as code-incomplete (contact is
+    // never positively covered).
+    for &i in &INCORRECT_RETAIN_APPS {
+        let spec = &mut specs[i];
+        spec.code_collect = vec![(PrivateInfo::Contact, true)];
+        spec.policy_cover = vec![PrivateInfo::Email];
+        spec.policy_deny = vec![(VerbCategory::Retain, PrivateInfo::Contact, true)];
+        spec.truth.incomplete_via_code = true;
+        spec.truth.code_missed = vec![(PrivateInfo::Contact, true)];
+        spec.truth.incorrect = true;
+    }
+    // Context-trap false positives (zoho-style): the policy covers account
+    // collection positively AND has a negative sentence about account
+    // contents in an advertising context; the code reads accounts.
+    for &i in &INCORRECT_FP_APPS {
+        let spec = &mut specs[i];
+        spec.code_collect = vec![(PrivateInfo::Account, false)];
+        spec.policy_cover = vec![PrivateInfo::Account, PrivateInfo::Email];
+        spec.context_trap = Some(PrivateInfo::Account);
+        spec.truth.incorrect_fp = true;
+    }
+}
+
+/// Per-row inconsistency plants: (category, cur_row) cycles.
+const CUR_CATEGORIES: [VerbCategory; 3] =
+    [VerbCategory::Collect, VerbCategory::Use, VerbCategory::Retain];
+
+fn plan_inconsistent(specs: &mut [AppSpec]) {
+    // 15 overlap apps inside the code-only incomplete range: 8 CUR + 7 D.
+    let overlap: Vec<usize> = RANGE_INCONSISTENT_OVERLAP.collect();
+    // 60 fresh apps: 28 CUR-only, 27 D-only, 5 both rows.
+    let fresh: Vec<usize> = RANGE_INCONSISTENT_FRESH.collect();
+
+    let mut cur_count = 0usize;
+    let mut plant_cur = |spec: &mut AppSpec| {
+        let mut category = CUR_CATEGORIES[cur_count % 3];
+        cur_count += 1;
+        // Ad libs declare collect location, use device id, retain device id.
+        let pick = |category: VerbCategory| match category {
+            VerbCategory::Collect => (PrivateInfo::Location, "unity3d"),
+            VerbCategory::Use | VerbCategory::Retain => (PrivateInfo::DeviceId, "admob"),
+            VerbCategory::Disclose => unreachable!(),
+        };
+        // The denied behaviour must not be one the app's own code performs
+        // (that would make the app *incorrect*, not merely inconsistent).
+        let mut choice = pick(category);
+        if spec.code_collect.iter().any(|(i, _)| *i == choice.0) {
+            category = if category == VerbCategory::Collect {
+                VerbCategory::Use
+            } else {
+                VerbCategory::Collect
+            };
+            choice = pick(category);
+        }
+        let (info, lib) = choice;
+        spec.policy_deny.push((category, info, true));
+        if !spec.libs.contains(&lib) {
+            spec.libs.push(lib);
+        }
+        spec.truth.inconsistencies.push(InconsistencyPlant {
+            category,
+            cur_row: true,
+            detectable: true,
+            genuine: true,
+        });
+    };
+    let plant_d = |spec: &mut AppSpec| {
+        // Avoid denying a disclosure of something the app itself retains.
+        let info = if spec
+            .code_collect
+            .iter()
+            .any(|(i, retained)| *i == PrivateInfo::DeviceId && *retained)
+        {
+            PrivateInfo::Location
+        } else {
+            PrivateInfo::DeviceId
+        };
+        spec.policy_deny.push((VerbCategory::Disclose, info, true));
+        if !spec.libs.contains(&"admob") {
+            spec.libs.push("admob");
+        }
+        spec.truth.inconsistencies.push(InconsistencyPlant {
+            category: VerbCategory::Disclose,
+            cur_row: false,
+            detectable: true,
+            genuine: true,
+        });
+    };
+
+    for (k, &i) in overlap.iter().enumerate() {
+        if k < 8 {
+            plant_cur(&mut specs[i]);
+        } else {
+            plant_d(&mut specs[i]);
+        }
+    }
+    for (k, &i) in fresh.iter().enumerate() {
+        match k {
+            0..=27 => plant_cur(&mut specs[i]),
+            28..=54 => plant_d(&mut specs[i]),
+            _ => {
+                // 5 apps in both rows.
+                plant_cur(&mut specs[i]);
+                plant_d(&mut specs[i]);
+            }
+        }
+        if specs[i].policy_cover.is_empty() {
+            specs[i].policy_cover = vec![PrivateInfo::Email, PrivateInfo::Cookie];
+        }
+    }
+
+    // Detector false positives: generic "information" denials against the
+    // libs' "personal information" sentences. 5 CUR + 4 D.
+    for (k, i) in RANGE_INCONSISTENT_FP.enumerate() {
+        let spec = &mut specs[i];
+        let cur_row = k < 5;
+        let category = if cur_row {
+            VerbCategory::Collect
+        } else {
+            VerbCategory::Disclose
+        };
+        spec.policy_deny_generic.push(category);
+        spec.libs.push("admob");
+        spec.policy_cover = vec![PrivateInfo::Email];
+        spec.truth.inconsistencies.push(InconsistencyPlant {
+            category,
+            cur_row,
+            detectable: true,
+            genuine: false,
+        });
+    }
+
+    // False negatives: genuine conflicts phrased with verbs outside the
+    // pattern set ("refrain from collecting", "display").
+    for (k, &i) in INCONSISTENT_FN_APPS.iter().enumerate() {
+        let spec = &mut specs[i];
+        let cur_row = k == 0;
+        let (category, info, lib) = if cur_row {
+            (VerbCategory::Collect, PrivateInfo::Location, "unity3d")
+        } else {
+            (VerbCategory::Disclose, PrivateInfo::DeviceId, "admob")
+        };
+        spec.policy_deny.push((category, info, false));
+        spec.libs.push(lib);
+        spec.policy_cover = vec![PrivateInfo::Email];
+        spec.truth.inconsistencies.push(InconsistencyPlant {
+            category,
+            cur_row,
+            detectable: false,
+            genuine: true,
+        });
+    }
+}
+
+fn plan_libs_and_fillers(specs: &mut [AppSpec]) {
+    use ppchecker_static::KNOWN_LIBS;
+    // Filler behaviour for unplanted (clean) apps, plus lib assignment up
+    // to exactly 879 lib-bearing apps.
+    let mut with_libs = specs.iter().filter(|s| !s.libs.is_empty()).count();
+    let clean_infos = [
+        PrivateInfo::Location,
+        PrivateInfo::DeviceId,
+        PrivateInfo::Camera,
+        PrivateInfo::Account,
+        PrivateInfo::Contact,
+        PrivateInfo::Calendar,
+    ];
+    // Harmless libs for fillers (declare nothing the fillers deny).
+    let filler_libs: Vec<&'static str> =
+        KNOWN_LIBS.iter().map(|l| l.id).collect();
+    let mut lib_cursor = 0usize;
+
+    for i in 0..specs.len() {
+        let is_planted = specs[i].truth.incomplete()
+            || specs[i].truth.incorrect
+            || specs[i].truth.incorrect_fp
+            || specs[i].truth.incomplete_code_fp
+            || !specs[i].truth.inconsistencies.is_empty();
+        if !is_planted && specs[i].policy_cover.is_empty() {
+            // Clean app: collect 1–2 infos, cover them all; a seeded
+            // subset also advertises them in the description.
+            let a = clean_infos[i % clean_infos.len()];
+            let b = clean_infos[(i / 7) % clean_infos.len()];
+            let mut cover = vec![a];
+            if b != a {
+                cover.push(b);
+            }
+            specs[i].code_collect = vec![(a, false)];
+            specs[i].policy_cover = cover;
+            specs[i].disclaimer = i % 3 == 0;
+            // Exercise the unpacker on a slice of the corpus.
+            specs[i].packed = i % 101 == 0;
+        }
+        // Assign libs to reach exactly APPS_WITH_LIBS.
+        if specs[i].libs.is_empty() && with_libs < APPS_WITH_LIBS {
+            specs[i].libs.push(filler_libs[lib_cursor % filler_libs.len()]);
+            lib_cursor += 1;
+            with_libs += 1;
+        }
+    }
+}
+
+fn plan_sample(specs: &mut [AppSpec]) {
+    // The 200-app manual-inspection sample: 11 detectable CUR plants, 12
+    // detectable D plants, both FN apps, and clean filler.
+    let mut sample: Vec<usize> = Vec::with_capacity(SAMPLE_SIZE);
+    let mut cur_needed = 11;
+    let mut d_needed = 12;
+    for i in RANGE_INCONSISTENT_FRESH {
+        let t = &specs[i].truth;
+        if cur_needed > 0 && t.inconsistent_cur() && !t.inconsistent_d() {
+            sample.push(i);
+            cur_needed -= 1;
+        } else if d_needed > 0 && t.inconsistent_d() && !t.inconsistent_cur() {
+            sample.push(i);
+            d_needed -= 1;
+        }
+    }
+    sample.extend_from_slice(&INCONSISTENT_FN_APPS);
+    let mut filler = 400usize;
+    while sample.len() < SAMPLE_SIZE {
+        if !specs[filler].truth.inconsistent() {
+            sample.push(filler);
+        }
+        filler += 1;
+    }
+    for &i in &sample {
+        specs[i].truth.in_sample = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_has_1197_apps() {
+        assert_eq!(build_plan().len(), APP_COUNT);
+    }
+
+    #[test]
+    fn headline_union_is_282() {
+        let plan = build_plan();
+        let detectable = plan.iter().filter(|s| s.truth.detectable_problem()).count();
+        assert_eq!(detectable, 282);
+        // Including the two planted false negatives: 284 true problems.
+        let with_problem = plan.iter().filter(|s| s.truth.has_any_problem()).count();
+        assert_eq!(with_problem, 284);
+    }
+
+    #[test]
+    fn incomplete_counts() {
+        let plan = build_plan();
+        assert_eq!(plan.iter().filter(|s| s.truth.incomplete()).count(), 222);
+        assert_eq!(
+            plan.iter().filter(|s| s.truth.incomplete_via_desc).count(),
+            64
+        );
+        assert_eq!(
+            plan.iter().filter(|s| s.truth.incomplete_via_code).count(),
+            180
+        );
+        let records: usize = plan.iter().map(|s| s.truth.code_missed.len()).sum();
+        assert_eq!(records, 234);
+        let retained: usize = plan
+            .iter()
+            .flat_map(|s| s.truth.code_missed.iter())
+            .filter(|(_, r)| *r)
+            .count();
+        assert_eq!(retained, 32);
+    }
+
+    #[test]
+    fn table3_permission_counts() {
+        use Permission::*;
+        let plan = build_plan();
+        let count = |p: Permission| {
+            plan.iter()
+                .flat_map(|s| s.truth.desc_missed_perms.iter())
+                .filter(|q| **q == p)
+                .count()
+        };
+        assert_eq!(count(AccessCoarseLocation), 14);
+        assert_eq!(count(AccessFineLocation), 19);
+        assert_eq!(count(Camera), 6);
+        assert_eq!(count(GetAccounts), 11);
+        assert_eq!(count(ReadCalendar), 2);
+        assert_eq!(count(ReadContacts), 12);
+        assert_eq!(count(WriteContacts), 1);
+    }
+
+    #[test]
+    fn incorrect_counts() {
+        let plan = build_plan();
+        assert_eq!(plan.iter().filter(|s| s.truth.incorrect).count(), 4);
+        assert_eq!(plan.iter().filter(|s| s.truth.incorrect_fp).count(), 2);
+    }
+
+    #[test]
+    fn table4_truth_counts() {
+        let plan = build_plan();
+        let cur_tp = plan
+            .iter()
+            .filter(|s| {
+                s.truth
+                    .inconsistencies
+                    .iter()
+                    .any(|p| p.genuine && p.cur_row && p.detectable)
+            })
+            .count();
+        let d_tp = plan
+            .iter()
+            .filter(|s| {
+                s.truth
+                    .inconsistencies
+                    .iter()
+                    .any(|p| p.genuine && !p.cur_row && p.detectable)
+            })
+            .count();
+        assert_eq!(cur_tp, 41);
+        assert_eq!(d_tp, 39);
+        let truly_inconsistent = plan.iter().filter(|s| s.truth.inconsistent()).count();
+        assert_eq!(truly_inconsistent, 77); // 75 detectable + 2 FN apps
+        let fp_cur = plan
+            .iter()
+            .filter(|s| {
+                s.truth
+                    .inconsistencies
+                    .iter()
+                    .any(|p| !p.genuine && p.cur_row)
+            })
+            .count();
+        assert_eq!(fp_cur, 5);
+    }
+
+    #[test]
+    fn lib_assignment_hits_879() {
+        let plan = build_plan();
+        assert_eq!(
+            plan.iter().filter(|s| !s.libs.is_empty()).count(),
+            APPS_WITH_LIBS
+        );
+    }
+
+    #[test]
+    fn sample_contains_the_recall_targets() {
+        let plan = build_plan();
+        let sample: Vec<&AppSpec> = plan.iter().filter(|s| s.truth.in_sample).collect();
+        assert_eq!(sample.len(), SAMPLE_SIZE);
+        let cur_truth = sample.iter().filter(|s| s.truth.inconsistent_cur()).count();
+        let d_truth = sample.iter().filter(|s| s.truth.inconsistent_d()).count();
+        assert_eq!(cur_truth, 12); // 11 detectable + 1 FN
+        assert_eq!(d_truth, 13); // 12 detectable + 1 FN
+    }
+
+    #[test]
+    fn double_record_apps_have_distinct_infos() {
+        let plan = build_plan();
+        for s in &plan {
+            if s.truth.code_missed.len() == 2 {
+                assert_ne!(s.truth.code_missed[0].0, s.truth.code_missed[1].0, "app {}", s.index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod invariant_tests {
+    use super::*;
+
+    /// Denied behaviours must never be behaviours the app's own code
+    /// performs (that would silently turn inconsistent plants into
+    /// incorrect findings).
+    #[test]
+    fn denials_never_collide_with_own_code() {
+        for spec in build_plan() {
+            if spec.truth.incorrect {
+                continue; // incorrect apps collide on purpose
+            }
+            for (category, info, _) in &spec.policy_deny {
+                let collide = spec.code_collect.iter().any(|(i, retained)| {
+                    i == info
+                        && match category {
+                            VerbCategory::Collect | VerbCategory::Use => true,
+                            VerbCategory::Retain | VerbCategory::Disclose => *retained,
+                        }
+                });
+                assert!(
+                    !collide,
+                    "app {} denies {category:?} {info:?} but its code performs it",
+                    spec.index
+                );
+            }
+        }
+    }
+
+    /// Every inconsistency plant embeds a lib whose policy actually
+    /// declares the denied behaviour (else it would be a false negative by
+    /// construction).
+    #[test]
+    fn inconsistency_plants_have_matching_libs() {
+        use crate::libs::declares;
+        use ppchecker_static::KNOWN_LIBS;
+        for spec in build_plan() {
+            for plant in &spec.truth.inconsistencies {
+                if !plant.genuine || !plant.detectable {
+                    continue;
+                }
+                let denied = spec
+                    .policy_deny
+                    .iter()
+                    .find(|(c, _, d)| *c == plant.category && *d)
+                    .map(|(_, info, _)| *info);
+                let Some(info) = denied else {
+                    panic!("app {}: plant without denial", spec.index)
+                };
+                let satisfied = spec.libs.iter().any(|id| {
+                    KNOWN_LIBS
+                        .iter()
+                        .find(|l| l.id == *id)
+                        .is_some_and(|l| declares(l.kind, plant.category, info))
+                });
+                assert!(satisfied, "app {}: no embedded lib declares {:?}", spec.index, plant);
+            }
+        }
+    }
+
+    /// Code-FP apps must cover their collected info only via the
+    /// extraction-resistant sentence.
+    #[test]
+    fn code_fp_apps_use_tricky_coverage() {
+        for spec in build_plan() {
+            if spec.truth.incomplete_code_fp {
+                assert!(!spec.tricky_cover.is_empty(), "app {}", spec.index);
+                for (info, _) in &spec.code_collect {
+                    assert!(spec.tricky_cover.contains(info));
+                    assert!(!spec.policy_cover.contains(info));
+                }
+            }
+        }
+    }
+
+    /// Every description-missed permission actually maps to information.
+    #[test]
+    fn desc_plants_map_to_info() {
+        for spec in build_plan() {
+            for p in &spec.truth.desc_missed_perms {
+                assert!(
+                    !PrivateInfo::from_permission(p).is_empty(),
+                    "app {}: {p} maps to no info",
+                    spec.index
+                );
+            }
+        }
+    }
+}

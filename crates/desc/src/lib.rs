@@ -1,0 +1,163 @@
+//! # ppchecker-desc
+//!
+//! The description analysis module (AutoCog substitute): maps an app's
+//! Google Play description to the permissions its text implies, then maps
+//! those permissions to private information (`Info_desc`).
+//!
+//! AutoCog builds a semantic model relating description noun phrases to
+//! permissions; this reproduction compares each description noun phrase
+//! against a semantic profile per permission using the same ESA similarity
+//! and 0.67 threshold the rest of the pipeline uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppchecker_desc::analyze_description;
+//! use ppchecker_apk::{Permission, PrivateInfo};
+//!
+//! let a = analyze_description(
+//!     "Location aware tasks will help you to utilize your field force in optimum way.",
+//! );
+//! assert!(a.permissions.contains(&Permission::AccessFineLocation));
+//! assert!(a.info.contains(&PrivateInfo::Location));
+//! ```
+
+use ppchecker_apk::{Permission, PrivateInfo};
+use ppchecker_esa::Interpreter;
+use ppchecker_nlp::chunk::chunk_nps;
+use ppchecker_nlp::sentence::split_sentences;
+use ppchecker_nlp::tagger::tag_str;
+use std::collections::BTreeSet;
+
+/// One matched description phrase and the permission it implies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evidence {
+    /// The description noun phrase.
+    pub phrase: String,
+    /// The inferred permission.
+    pub permission: Permission,
+    /// ESA similarity against the permission's semantic profile.
+    pub similarity: f64,
+}
+
+/// The result of analyzing a description.
+#[derive(Debug, Clone, Default)]
+pub struct DescriptionAnalysis {
+    /// Permissions the description implies.
+    pub permissions: BTreeSet<Permission>,
+    /// `Info_desc`: private information implied by those permissions.
+    pub info: BTreeSet<PrivateInfo>,
+    /// Phrase-level evidence.
+    pub evidence: Vec<Evidence>,
+}
+
+/// Semantic profiles: `(permission, profile text)` pairs the description
+/// phrases are compared against (the AutoCog semantic-model substitute).
+pub fn permission_profiles() -> &'static [(Permission, &'static str)] {
+    use Permission::*;
+    const PROFILES: &[(Permission, &str)] = &[
+        (AccessFineLocation, "location latitude longitude gps"),
+        (AccessCoarseLocation, "nearby city area around"),
+        (Camera, "camera photo picture"),
+        (ReadContacts, "contacts phonebook"),
+        (WriteContacts, "merge duplicate entries cleanup"),
+        (GetAccounts, "account sign-in login"),
+        (ReadCalendar, "calendar events schedule"),
+        (RecordAudio, "microphone voice recording"),
+        (ReadSms, "sms text messages"),
+        (ReadPhoneState, "phone number device"),
+        (ReadCallLog, "call history log"),
+        (GetTasks, "running apps list"),
+        (ReadHistoryBookmarks, "browsing history bookmarks"),
+    ];
+    PROFILES
+}
+
+/// Analyzes a description with the shared ESA interpreter.
+pub fn analyze_description(text: &str) -> DescriptionAnalysis {
+    analyze_description_with(text, Interpreter::shared())
+}
+
+/// Analyzes a description with an explicit ESA interpreter.
+///
+/// Every noun phrase of every sentence is compared against each permission
+/// profile; a similarity at or above [`ppchecker_esa::SIMILARITY_THRESHOLD`]
+/// infers the permission.
+pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAnalysis {
+    let mut out = DescriptionAnalysis::default();
+    for sent in split_sentences(text) {
+        let tokens = tag_str(&sent);
+        for np in chunk_nps(&tokens) {
+            let phrase = np.content_text(&tokens);
+            if phrase.is_empty() {
+                continue;
+            }
+            for (perm, profile) in permission_profiles() {
+                let sim = esa.similarity(&phrase, profile);
+                if sim >= ppchecker_esa::SIMILARITY_THRESHOLD {
+                    out.permissions.insert(perm.clone());
+                    for &info in PrivateInfo::from_permission(perm) {
+                        out.info.insert(info);
+                    }
+                    out.evidence.push(Evidence {
+                        phrase: phrase.clone(),
+                        permission: perm.clone(),
+                        similarity: sim,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dooing_description_implies_location() {
+        // Fig. 2's description sentence.
+        let a = analyze_description(
+            "Location aware tasks will help you to utilize your field force in optimum way.",
+        );
+        assert!(a
+            .permissions
+            .iter()
+            .any(|p| matches!(p, Permission::AccessFineLocation | Permission::AccessCoarseLocation)));
+        assert!(a.info.contains(&PrivateInfo::Location));
+    }
+
+    #[test]
+    fn paper_birthdaylist_description_implies_contacts() {
+        // §V-D: "This app synchronizes all birthdays with your contacts
+        // list and facebook."
+        let a = analyze_description(
+            "This app synchronizes all birthdays with your contacts list and facebook.",
+        );
+        assert!(a.permissions.contains(&Permission::ReadContacts));
+        assert!(a.info.contains(&PrivateInfo::Contact));
+    }
+
+    #[test]
+    fn neutral_description_implies_nothing() {
+        let a = analyze_description(
+            "A fun and addictive puzzle game with hundreds of levels. Beat your high score!",
+        );
+        assert!(a.permissions.is_empty());
+        assert!(a.info.is_empty());
+    }
+
+    #[test]
+    fn camera_description() {
+        let a = analyze_description("Take beautiful photos with powerful camera filters.");
+        assert!(a.permissions.contains(&Permission::Camera));
+        assert!(a.info.contains(&PrivateInfo::Camera));
+    }
+
+    #[test]
+    fn evidence_records_similarity() {
+        let a = analyze_description("See the weather at your current location now.");
+        assert!(a.evidence.iter().any(|e| e.similarity >= 0.67));
+    }
+}

@@ -1,0 +1,287 @@
+//! The ESA interpreter: term → concept-space vectors and text similarity.
+
+use crate::kb::{concepts, Concept};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Similarity threshold adopted by the paper (following AutoCog): two texts
+/// whose ESA cosine similarity reaches this value "refer to the same thing".
+pub const SIMILARITY_THRESHOLD: f64 = 0.67;
+
+/// A sparse vector in concept space: `concept index → weight`.
+pub type ConceptVector = HashMap<usize, f64>;
+
+/// Explicit Semantic Analysis interpreter over the bundled knowledge base.
+///
+/// Builds a TF-IDF inverted index from terms to concepts once; texts are
+/// interpreted as the TF-weighted sum of their terms' concept vectors and
+/// compared by cosine similarity.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_esa::Interpreter;
+/// let esa = Interpreter::shared();
+/// assert!(esa.similarity("location", "location information") > 0.67);
+/// assert!(esa.similarity("location", "device id") < 0.67);
+/// ```
+#[derive(Debug)]
+pub struct Interpreter {
+    /// term → vector of (concept, tf-idf weight).
+    index: HashMap<String, Vec<(usize, f64)>>,
+    n_concepts: usize,
+}
+
+impl Interpreter {
+    /// Builds an interpreter over the given concept corpus.
+    pub fn new(corpus: &[Concept]) -> Self {
+        let n = corpus.len();
+        // term frequencies per concept
+        let mut tf: Vec<HashMap<String, f64>> = Vec::with_capacity(n);
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for concept in corpus {
+            let mut counts: HashMap<String, f64> = HashMap::new();
+            for term in terms(concept.text) {
+                *counts.entry(term).or_insert(0.0) += 1.0;
+            }
+            for term in counts.keys() {
+                *df.entry(term.clone()).or_insert(0) += 1;
+            }
+            tf.push(counts);
+        }
+        let mut index: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+        for (ci, counts) in tf.iter().enumerate() {
+            for (term, &count) in counts {
+                let idf = ((n as f64 + 1.0) / (df[term] as f64 + 1.0)).ln() + 1.0;
+                let w = (1.0 + count.ln()) * idf;
+                index.entry(term.clone()).or_default().push((ci, w));
+            }
+        }
+        // L2-normalize each term's interpretation vector so frequent terms
+        // don't dominate purely by article length.
+        for vec in index.values_mut() {
+            let norm = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (_, w) in vec.iter_mut() {
+                    *w /= norm;
+                }
+            }
+        }
+        Interpreter { index, n_concepts: n }
+    }
+
+    /// Returns the process-wide interpreter over the bundled knowledge base.
+    pub fn shared() -> &'static Interpreter {
+        static ESA: OnceLock<Interpreter> = OnceLock::new();
+        ESA.get_or_init(|| Interpreter::new(concepts()))
+    }
+
+    /// Number of concepts in the knowledge base.
+    pub fn concept_count(&self) -> usize {
+        self.n_concepts
+    }
+
+    /// Maps a text to its concept-space interpretation vector.
+    pub fn interpret(&self, text: &str) -> ConceptVector {
+        let mut v: ConceptVector = HashMap::new();
+        for term in terms(text) {
+            if let Some(tv) = self.index.get(&term) {
+                for &(ci, w) in tv {
+                    *v.entry(ci).or_insert(0.0) += w;
+                }
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two texts in concept space, in `[0, 1]`.
+    ///
+    /// Returns `0.0` when either text has no known terms.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.interpret(a);
+        let vb = self.interpret(b);
+        cosine(&va, &vb)
+    }
+
+    /// Decides the paper's "matching" predicate: whether two pieces of
+    /// information refer to the same thing (similarity ≥ threshold).
+    pub fn same_thing(&self, a: &str, b: &str) -> bool {
+        self.similarity(a, b) >= SIMILARITY_THRESHOLD
+    }
+}
+
+/// Cosine similarity between sparse concept vectors.
+pub fn cosine(a: &ConceptVector, b: &ConceptVector) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Stopwords excluded from interpretation.
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "by", "for", "with", "from",
+    "is", "are", "was", "were", "be", "been", "will", "would", "can", "could", "may", "might",
+    "we", "you", "your", "our", "their", "this", "that", "these", "those", "it", "its", "as",
+    "not", "no", "any", "all", "such", "other", "about", "into", "if", "when", "than", "then",
+];
+
+/// Extracts normalized terms: lowercase alphabetic tokens, stopwords
+/// removed, naive plural stripping so "cookies" matches "cookie".
+fn terms(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '-')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .filter(|t| !STOPWORDS.contains(&t.as_str()) && t.len() > 1)
+        .map(|t| singularize(&t))
+        .collect()
+}
+
+fn singularize(t: &str) -> String {
+    if t.ends_with("ies") && t.len() > 4 {
+        format!("{}y", &t[..t.len() - 3])
+    } else if t.ends_with('s')
+        && !t.ends_with("ss")
+        && !matches!(t, "gps" | "sms" | "its" | "this" | "analytics" | "diagnostics" | "address")
+        && t.len() > 3
+    {
+        t[..t.len() - 1].to_string()
+    } else {
+        t.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esa() -> &'static Interpreter {
+        Interpreter::shared()
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let s = esa().similarity("location", "location");
+        assert!((s - 1.0).abs() < 1e-9, "self similarity was {s}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let ab = esa().similarity("location data", "gps coordinates");
+        let ba = esa().similarity("gps coordinates", "location data");
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_concept_phrases_match() {
+        assert!(esa().same_thing("location", "location information"));
+        assert!(esa().same_thing("contact", "contacts list"));
+        assert!(esa().same_thing("device id", "device identifier"));
+        assert!(esa().same_thing("phone number", "telephone number"));
+    }
+
+    #[test]
+    fn related_terms_match_via_shared_concept() {
+        assert!(esa().same_thing("latitude", "location"));
+        assert!(esa().same_thing("gps", "location"));
+    }
+
+    #[test]
+    fn different_concepts_do_not_match() {
+        assert!(!esa().same_thing("location", "device id"));
+        assert!(!esa().same_thing("contact", "calendar"));
+        assert!(!esa().same_thing("camera", "sms"));
+        assert!(!esa().same_thing("location", "cookie"));
+    }
+
+    #[test]
+    fn unrelated_domains_are_dissimilar() {
+        assert!(esa().similarity("location", "game score") < 0.3);
+        assert!(esa().similarity("contact list", "weather forecast") < 0.3);
+    }
+
+    #[test]
+    fn paper_false_positive_reproduced() {
+        // §V-E: ESA mistakenly matched "information" (StaffMark) with
+        // "personal information" (AdMob) — the reproduction preserves this
+        // failure mode.
+        assert!(esa().same_thing("information", "personal information"));
+    }
+
+    #[test]
+    fn unknown_terms_yield_zero() {
+        assert_eq!(esa().similarity("zzzqqq", "location"), 0.0);
+        assert_eq!(esa().similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn similarity_in_unit_range() {
+        for (a, b) in [
+            ("location", "contacts"),
+            ("personal information", "data"),
+            ("camera photos", "pictures"),
+        ] {
+            let s = esa().similarity(a, b);
+            assert!((0.0..=1.0).contains(&s), "similarity({a},{b}) = {s}");
+        }
+    }
+
+    #[test]
+    fn plural_invariance() {
+        let s1 = esa().similarity("cookie", "cookies");
+        assert!(s1 > 0.99);
+    }
+}
+
+#[cfg(test)]
+mod interpretation_tests {
+    use super::*;
+
+    #[test]
+    fn interpret_yields_concept_weights() {
+        let esa = Interpreter::shared();
+        let v = esa.interpret("location gps latitude");
+        assert!(!v.is_empty());
+        assert!(v.values().all(|w| *w > 0.0));
+        assert!(v.keys().all(|&c| c < esa.concept_count()));
+    }
+
+    #[test]
+    fn interpret_of_unknown_text_is_empty() {
+        let esa = Interpreter::shared();
+        assert!(esa.interpret("qqq zzz xxx").is_empty());
+    }
+
+    #[test]
+    fn cosine_of_disjoint_vectors_is_zero() {
+        let mut a = ConceptVector::new();
+        a.insert(0, 1.0);
+        let mut b = ConceptVector::new();
+        b.insert(1, 1.0);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn custom_corpus_interpreter() {
+        let corpus = [
+            Concept { title: "A", text: "alpha beta gamma" },
+            Concept { title: "B", text: "delta epsilon zeta" },
+        ];
+        let esa = Interpreter::new(&corpus);
+        assert_eq!(esa.concept_count(), 2);
+        assert!(esa.similarity("alpha beta", "gamma") > 0.9);
+        assert_eq!(esa.similarity("alpha", "delta"), 0.0);
+    }
+}

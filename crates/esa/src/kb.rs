@@ -1,0 +1,437 @@
+//! The bundled knowledge base backing Explicit Semantic Analysis.
+//!
+//! ESA (Gabrilovich & Markovitch, 2007) maps a text to a weighted vector of
+//! knowledge-base concepts and compares texts by cosine similarity in that
+//! concept space. The paper runs ESA over Wikipedia; this reproduction
+//! bundles a compact, privacy-domain-scoped concept corpus that covers the
+//! vocabulary PPChecker compares: private-information categories on one side
+//! and distractor concepts (services, payments, games, ...) on the other.
+
+/// A knowledge-base concept: a title and a short article.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Concept {
+    /// Concept title.
+    pub title: &'static str,
+    /// Article text.
+    pub text: &'static str,
+}
+
+/// Returns the full bundled concept corpus.
+pub fn concepts() -> &'static [Concept] {
+    CONCEPTS
+}
+
+const CONCEPTS: &[Concept] = &[
+    // ---- private information concepts ----
+    Concept {
+        title: "Location",
+        text: "location location location geolocation geographic position place \
+               gps latitude longitude coordinates coarse fine precise approximate \
+               location information location data whereabouts map navigation \
+               position tracking geo coordinates city country region locate",
+    },
+    Concept {
+        title: "GPS",
+        text: "gps global positioning system satellite location latitude longitude \
+               navigation position coordinates precise location receiver signal",
+    },
+    Concept {
+        title: "Device identifier",
+        text: "device id device identifier unique identifier imei imsi udid android \
+               id serial hardware identifier device information handset \
+               identifier device id device fingerprint",
+    },
+    Concept {
+        title: "IP address",
+        text: "ip address internet protocol ip ipv4 ipv6 host ip routing \
+               ip connection internet ip network identifier ip",
+    },
+    Concept {
+        title: "Cookie",
+        text: "cookie cookies browser cookie tracking cookie session cookie web \
+               beacon pixel local storage cookie identifier http cookie \
+               persistent cookie third-party cookie",
+    },
+    Concept {
+        title: "Contact list",
+        text: "contact contacts contact list address book phonebook contact \
+               information friends contact data people acquaintances contact \
+               details contacts list phone contacts stored contacts",
+    },
+    Concept {
+        title: "Account",
+        text: "account accounts user account account name account information \
+               google account login credentials username sign-in \
+               account data registered account profile account",
+    },
+    Concept {
+        title: "Calendar",
+        text: "calendar calendar events appointments schedule meetings reminders \
+               calendar information calendar data agenda events dates calendar \
+               entries",
+    },
+    Concept {
+        title: "Phone number",
+        text: "phone number telephone number mobile number msisdn cell number \
+               real phone number phone digits caller number telephone digits \
+               number phone line subscriber number",
+    },
+    Concept {
+        title: "Camera",
+        text: "camera photo photos picture pictures image images photographs \
+               camera roll lens capture snapshot video recording camera data \
+               photography gallery",
+    },
+    Concept {
+        title: "Microphone audio",
+        text: "audio microphone voice sound recording speech mic audio data \
+               voice recording sound capture audio information listening",
+    },
+    Concept {
+        title: "Installed applications",
+        text: "app list installed apps applications installed packages package \
+               list application list software list installed applications apps \
+               on device running apps app inventory",
+    },
+    Concept {
+        title: "SMS messages",
+        text: "sms text message text messages short message service mms messages \
+               sms content message body inbox sent messages messaging sms data",
+    },
+    Concept {
+        title: "Call log",
+        text: "call log call history phone calls outgoing calls incoming calls \
+               call records dialed numbers call duration call data",
+    },
+    Concept {
+        title: "Email address",
+        text: "email e-mail email address electronic mail mail address inbox \
+               e-mail address correspondence",
+    },
+    Concept {
+        title: "Personal name",
+        text: "name real name full name first name last name surname given name \
+               legal name username display name personal name",
+    },
+    Concept {
+        title: "Birthday",
+        text: "birthday birth date date of birth birthdate age anniversary born \
+               birth year dob",
+    },
+    Concept {
+        title: "Gender",
+        text: "gender sex male female demographic gender identity",
+    },
+    Concept {
+        title: "Personal information",
+        text: "personal information personally identifiable information pii \
+               personal data private information sensitive information user \
+               information individual information personal details private data \
+               information about you identifiable data personal",
+    },
+    Concept {
+        title: "Browsing history",
+        text: "browsing history web history visited pages browser history surfing \
+               history navigation history search history viewed pages history",
+    },
+    Concept {
+        title: "Password",
+        text: "password passcode secret credentials pin authentication password \
+               security code login secret",
+    },
+    Concept {
+        title: "Wi-Fi network",
+        text: "wifi wi-fi wireless network ssid access point network name \
+               connection wifi state bssid hotspot",
+    },
+    Concept {
+        title: "Clipboard",
+        text: "clipboard copied text paste buffer clipboard contents copy paste",
+    },
+    Concept {
+        title: "Usage data",
+        text: "usage data usage statistics analytics data app usage interaction \
+               data activity data behavior telemetry diagnostics usage \
+               information crash reports logs",
+    },
+    Concept {
+        title: "Financial information",
+        text: "payment credit card billing financial information bank account \
+               card number purchase transaction money payment details",
+    },
+    Concept {
+        title: "Address",
+        text: "address postal address street address mailing address home \
+               address zip code city state residence physical address",
+    },
+    Concept {
+        title: "Profile",
+        text: "profile user profile profile information profile picture bio \
+               social profile member profile preferences",
+    },
+    Concept {
+        title: "Sensor data",
+        text: "sensor sensors accelerometer gyroscope barometer proximity light \
+               sensor motion data orientation",
+    },
+    // ---- actor / behaviour concepts (help disambiguate sentences) ----
+    Concept {
+        title: "Third party",
+        text: "third party third parties partner companies advertisers affiliates \
+               vendors service providers external parties other companies",
+    },
+    Concept {
+        title: "Advertising",
+        text: "advertising advertisement ads ad network banner interstitial \
+               sponsored targeted advertising ad identifier marketing promotion",
+    },
+    Concept {
+        title: "Analytics service",
+        text: "analytics measurement metrics tracking service statistics \
+               reporting service audience measurement",
+    },
+    Concept {
+        title: "Data collection",
+        text: "collect collection gather obtain acquire receive record data \
+               collection information collection collected data",
+    },
+    Concept {
+        title: "Data retention",
+        text: "retain retention store storage keep save preserve hold archive \
+               retained data stored data retention period",
+    },
+    Concept {
+        title: "Data disclosure",
+        text: "disclose disclosure share sharing transfer provide transmit sell \
+               release reveal distribute disclosed data shared data",
+    },
+    // ---- distractor concepts ----
+    Concept {
+        title: "Mobile application",
+        text: "app application mobile app software program apk android \
+               application smartphone app feature functionality",
+    },
+    Concept {
+        title: "Service",
+        text: "service services functionality feature offering platform \
+               operation experience improve service provide service quality",
+    },
+    Concept {
+        title: "Website",
+        text: "website web site webpage web page internet site online portal \
+               url link browser visit website",
+    },
+    Concept {
+        title: "Privacy policy",
+        text: "privacy policy terms conditions agreement notice legal document \
+               policy statement privacy practices terms of service",
+    },
+    Concept {
+        title: "Security",
+        text: "security encryption secure protection safeguard ssl https \
+               firewall security measures protect",
+    },
+    Concept {
+        title: "Law",
+        text: "law legal regulation compliance statute act legislation court \
+               government authority jurisdiction",
+    },
+    Concept {
+        title: "Children",
+        text: "children child kids minors under 13 coppa parental consent \
+               age restriction young users",
+    },
+    Concept {
+        title: "Customer support",
+        text: "support help customer service assistance feedback inquiry \
+               question reach out respond",
+    },
+    Concept {
+        title: "Game",
+        text: "game games gaming play player score level achievement puzzle \
+               arcade entertainment fun",
+    },
+    Concept {
+        title: "Weather",
+        text: "weather forecast temperature rain snow climate conditions \
+               humidity wind meteorology",
+    },
+    Concept {
+        title: "Music",
+        text: "music song audio player playlist artist album streaming listen \
+               radio sound track",
+    },
+    Concept {
+        title: "Shopping",
+        text: "shopping purchase buy store cart checkout order product item \
+               price deal discount",
+    },
+    Concept {
+        title: "News",
+        text: "news article headline story journalism media press breaking \
+               newspaper magazine",
+    },
+    Concept {
+        title: "Social network",
+        text: "social network facebook twitter friends followers post share \
+               like comment feed social media community",
+    },
+    Concept {
+        title: "Fitness",
+        text: "fitness exercise workout health steps running training gym \
+               calories activity heart rate",
+    },
+    Concept {
+        title: "Travel",
+        text: "travel trip flight hotel booking destination vacation tourism \
+               itinerary journey",
+    },
+    Concept {
+        title: "Photography app",
+        text: "filter edit crop collage sticker beauty effect lens gallery \
+               editor enhance",
+    },
+    Concept {
+        title: "Messaging app",
+        text: "chat messaging conversation send receive emoji group chat \
+               instant message notification reply",
+    },
+    Concept {
+        title: "Education",
+        text: "education learning course lesson study school student teacher \
+               quiz knowledge",
+    },
+    Concept {
+        title: "Finance app",
+        text: "finance banking budget expense income investment stock wallet \
+               currency exchange",
+    },
+    Concept {
+        title: "Productivity",
+        text: "productivity task todo note reminder document spreadsheet \
+               organize work office",
+    },
+    Concept {
+        title: "Navigation app",
+        text: "navigation map route direction traffic drive turn-by-turn \
+               destination street transit",
+    },
+    Concept {
+        title: "Video streaming",
+        text: "video streaming watch movie episode series player subtitle \
+               channel playback",
+    },
+    Concept {
+        title: "Keyboard app",
+        text: "keyboard typing input method key layout autocorrect swipe \
+               emoji prediction",
+    },
+    Concept {
+        title: "Battery",
+        text: "battery power charge energy saver consumption drain optimize",
+    },
+    Concept {
+        title: "File storage",
+        text: "file files folder document storage download upload cloud sync \
+               backup drive",
+    },
+    Concept {
+        title: "Operating system",
+        text: "operating system android version platform firmware kernel \
+               update system software os",
+    },
+    Concept {
+        title: "Network carrier",
+        text: "carrier operator network provider mobile network cellular \
+               roaming signal sim",
+    },
+    Concept {
+        title: "Notification",
+        text: "notification push alert badge sound vibrate remind message \
+               banner",
+    },
+    Concept {
+        title: "Subscription",
+        text: "subscription premium trial renewal plan membership upgrade \
+               billing cycle",
+    },
+    Concept {
+        title: "Registration",
+        text: "register registration sign up create account enroll join \
+               membership signup form",
+    },
+    Concept {
+        title: "Consent",
+        text: "consent permission authorize agree opt-in opt-out choice \
+               approval acceptance",
+    },
+    Concept {
+        title: "Aggregated data",
+        text: "aggregate aggregated anonymous anonymized statistical \
+               de-identified non-personal summary data",
+    },
+    Concept {
+        title: "Server",
+        text: "server servers backend database host infrastructure cloud \
+               datacenter request response",
+    },
+    Concept {
+        title: "Log file",
+        text: "log logs log file logging server log event log error log \
+               recorded entries diagnostic log",
+    },
+    Concept {
+        title: "Bluetooth",
+        text: "bluetooth pairing wireless short-range beacon ble connection \
+               peripheral",
+    },
+    Concept {
+        title: "Screen",
+        text: "screen display resolution brightness orientation touchscreen \
+               pixel",
+    },
+    Concept {
+        title: "Language",
+        text: "language locale translation english spanish localization \
+               dialect",
+    },
+    Concept {
+        title: "Time zone",
+        text: "time zone clock date time timestamp utc local time",
+    },
+    Concept {
+        title: "Neighborhood",
+        text: "nearby city area district neighborhood around town local \
+               places close vicinity surrounding",
+    },
+    Concept {
+        title: "Contact management",
+        text: "merge duplicate duplicates organize entries entry backup \
+               restore cleanup deduplicate editing",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_reasonably_sized() {
+        assert!(concepts().len() >= 60, "need a rich concept space");
+    }
+
+    #[test]
+    fn titles_are_unique() {
+        let mut titles: Vec<&str> = concepts().iter().map(|c| c.title).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), concepts().len());
+    }
+
+    #[test]
+    fn articles_are_nonempty() {
+        for c in concepts() {
+            assert!(!c.text.trim().is_empty(), "empty article: {}", c.title);
+        }
+    }
+}

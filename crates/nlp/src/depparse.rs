@@ -1,0 +1,875 @@
+//! A deterministic typed-dependency parser for the privacy-policy register.
+//!
+//! The paper uses the Stanford Parser and consumes a small set of typed
+//! dependencies: `root`, `nsubj`, `nsubjpass`, `dobj`, `aux`, `auxpass`,
+//! `neg`, `xcomp`, `advcl`, `mark`, `prep`/`pobj`, `conj`/`cc` and the
+//! NP-internal relations. This parser produces exactly those relations with
+//! a clause-oriented rule algorithm:
+//!
+//! 1. chunk base noun phrases;
+//! 2. find verb groups (modal/auxiliary/negation/verb runs) and detect
+//!    passive voice (a form of *be* governing a past participle);
+//! 3. segment subordinate clauses introduced by markers (*if*, *when*,
+//!    *unless*, *before*, *upon*, ...);
+//! 4. pick the root (main verb of the first main-clause verb group, or the
+//!    copular predicate adjective as Stanford does for "we are able to ...");
+//! 5. attach subjects, objects, infinitival complements, purpose clauses,
+//!    prepositional phrases and coordination.
+
+use crate::chunk::{chunk_nps, NounPhrase};
+use crate::lexicon::{BE_FORMS, DO_FORMS, HAVE_FORMS, SUBORDINATORS};
+use crate::tagger;
+use crate::token::{Tag, Token};
+use std::fmt;
+
+/// Typed-dependency relations (Stanford dependencies subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// Sentence root.
+    Root,
+    /// Nominal subject.
+    Nsubj,
+    /// Passive nominal subject.
+    NsubjPass,
+    /// Direct object.
+    Dobj,
+    /// Auxiliary.
+    Aux,
+    /// Passive auxiliary.
+    AuxPass,
+    /// Negation modifier.
+    Neg,
+    /// Open clausal complement ("able *to collect*").
+    Xcomp,
+    /// Adverbial clause ("we use GPS *to get* your location"; "if you ...").
+    Advcl,
+    /// Clause marker ("*if* you register").
+    Mark,
+    /// Prepositional modifier (head → preposition).
+    Prep,
+    /// Object of a preposition (preposition → NP head).
+    Pobj,
+    /// Coordination (first conjunct → later conjunct).
+    Conj,
+    /// Coordinating conjunction word.
+    Cc,
+    /// Determiner.
+    Det,
+    /// Possessive modifier.
+    Poss,
+    /// Adjectival modifier.
+    Amod,
+    /// Anything else.
+    Dep,
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rel::Root => "root",
+            Rel::Nsubj => "nsubj",
+            Rel::NsubjPass => "nsubjpass",
+            Rel::Dobj => "dobj",
+            Rel::Aux => "aux",
+            Rel::AuxPass => "auxpass",
+            Rel::Neg => "neg",
+            Rel::Xcomp => "xcomp",
+            Rel::Advcl => "advcl",
+            Rel::Mark => "mark",
+            Rel::Prep => "prep",
+            Rel::Pobj => "pobj",
+            Rel::Conj => "conj",
+            Rel::Cc => "cc",
+            Rel::Det => "det",
+            Rel::Poss => "poss",
+            Rel::Amod => "amod",
+            Rel::Dep => "dep",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single dependency edge `rel(head, dep)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dependency {
+    /// Token index of the governor.
+    pub head: usize,
+    /// Token index of the dependent.
+    pub dep: usize,
+    /// Relation label.
+    pub rel: Rel,
+}
+
+/// A contiguous verbal group, e.g. "will not be collected".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerbGroup {
+    /// First token of the group.
+    pub start: usize,
+    /// One past the last token of the group.
+    pub end: usize,
+    /// The main (content) token: last verb, or the copular predicate
+    /// adjective for "be + ADJ" groups.
+    pub main: usize,
+    /// `true` if the group is passive voice (*be* + past participle).
+    pub passive: bool,
+    /// `true` if the main token is a copular predicate adjective.
+    pub copular: bool,
+}
+
+/// The result of parsing one sentence.
+#[derive(Debug, Clone)]
+pub struct Parse {
+    /// Tagged tokens.
+    pub tokens: Vec<Token>,
+    /// All dependency edges.
+    pub deps: Vec<Dependency>,
+    /// Index of the root token, if the sentence has a verb.
+    pub root: Option<usize>,
+    /// Base noun phrases.
+    pub chunks: Vec<NounPhrase>,
+    /// Verb groups in textual order.
+    pub groups: Vec<VerbGroup>,
+}
+
+impl Parse {
+    /// All dependents of `head` with relation `rel`.
+    pub fn dependents(&self, head: usize, rel: Rel) -> Vec<usize> {
+        self.deps
+            .iter()
+            .filter(|d| d.head == head && d.rel == rel)
+            .map(|d| d.dep)
+            .collect()
+    }
+
+    /// The first dependent of `head` with relation `rel`.
+    pub fn dependent(&self, head: usize, rel: Rel) -> Option<usize> {
+        self.deps
+            .iter()
+            .find(|d| d.head == head && d.rel == rel)
+            .map(|d| d.dep)
+    }
+
+    /// The governor of `dep` under relation `rel`.
+    pub fn governor(&self, dep: usize, rel: Rel) -> Option<usize> {
+        self.deps
+            .iter()
+            .find(|d| d.dep == dep && d.rel == rel)
+            .map(|d| d.head)
+    }
+
+    /// Returns `true` if token `idx` has a passive auxiliary.
+    pub fn has_auxpass(&self, idx: usize) -> bool {
+        self.dependent(idx, Rel::AuxPass).is_some()
+    }
+
+    /// The noun-phrase chunk whose head is token `idx`, if any.
+    pub fn chunk_headed_by(&self, idx: usize) -> Option<&NounPhrase> {
+        self.chunks.iter().find(|c| c.head == idx)
+    }
+
+    /// The verb group whose main token is `idx`, if any.
+    pub fn group_of_main(&self, idx: usize) -> Option<&VerbGroup> {
+        self.groups.iter().find(|g| g.main == idx)
+    }
+
+    /// Lemma of token `idx`.
+    pub fn lemma(&self, idx: usize) -> &str {
+        &self.tokens[idx].lemma
+    }
+
+    /// Renders the dependency list like the Stanford "typed dependencies"
+    /// output, for debugging.
+    pub fn to_dep_string(&self) -> String {
+        let mut out = String::new();
+        if let Some(r) = self.root {
+            out.push_str(&format!("root(ROOT-0, {}-{})\n", self.tokens[r].lower, r + 1));
+        }
+        for d in &self.deps {
+            out.push_str(&format!(
+                "{}({}-{}, {}-{})\n",
+                d.rel,
+                self.tokens[d.head].lower,
+                d.head + 1,
+                self.tokens[d.dep].lower,
+                d.dep + 1
+            ));
+        }
+        out
+    }
+}
+
+/// Parses a raw sentence string (tokenize → tag → parse).
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_nlp::depparse::{parse, Rel};
+/// let p = parse("we will provide your information to third party companies");
+/// let root = p.root.unwrap();
+/// assert_eq!(p.tokens[root].lemma, "provide");
+/// let subj = p.dependent(root, Rel::Nsubj).unwrap();
+/// assert_eq!(p.tokens[subj].lower, "we");
+/// let obj = p.dependent(root, Rel::Dobj).unwrap();
+/// assert_eq!(p.tokens[obj].lower, "information");
+/// ```
+pub fn parse(sentence: &str) -> Parse {
+    let tokens = tagger::tag_str(sentence);
+    parse_tokens(tokens)
+}
+
+/// Parses already-tagged tokens.
+pub fn parse_tokens(tokens: Vec<Token>) -> Parse {
+    let chunks = chunk_nps(&tokens);
+    let groups = find_verb_groups(&tokens);
+    let sub_spans = subordinate_spans(&tokens);
+    let mut deps: Vec<Dependency> = Vec::new();
+
+    // NP-internal edges.
+    for c in &chunks {
+        for i in c.start..c.end {
+            if i == c.head {
+                continue;
+            }
+            let rel = match tokens[i].tag {
+                Tag::Det => Rel::Det,
+                Tag::PronounPoss => Rel::Poss,
+                Tag::Adj | Tag::VerbGerund => Rel::Amod,
+                _ => Rel::Dep,
+            };
+            deps.push(Dependency { head: c.head, dep: i, rel });
+        }
+    }
+
+    // Root selection: main of the first verb group outside subordinate spans.
+    let root_group_idx = groups
+        .iter()
+        .position(|g| !in_spans(&sub_spans, g.main) && !preceded_by_to(&tokens, g))
+        .or_else(|| groups.iter().position(|g| !preceded_by_to(&tokens, g)))
+        .or(if groups.is_empty() { None } else { Some(0) });
+    let root = root_group_idx.map(|gi| groups[gi].main);
+
+    // Per-group edges: aux / auxpass / neg / subject.
+    for g in &groups {
+        attach_group_internals(&tokens, g, &mut deps);
+        attach_subject(&tokens, &chunks, g, &mut deps);
+    }
+
+    // Inter-group edges: xcomp / advcl / conj between verb groups.
+    link_groups(&tokens, &groups, &sub_spans, root_group_idx, &mut deps);
+
+    // Post-verbal attachment: objects, PPs, coordination.
+    for (gi, g) in groups.iter().enumerate() {
+        let limit = groups
+            .get(gi + 1)
+            .map(|n| n.start)
+            .unwrap_or(tokens.len());
+        attach_postverbal(&tokens, &chunks, g, limit, &mut deps);
+    }
+
+    // Mark edges for subordinators.
+    for (marker, span_end) in &sub_spans {
+        if let Some(g) = groups
+            .iter()
+            .find(|g| g.main > *marker && g.main < *span_end)
+        {
+            deps.push(Dependency { head: g.main, dep: *marker, rel: Rel::Mark });
+            if let Some(r) = root {
+                if r != g.main && !deps.iter().any(|d| d.dep == g.main && matches!(d.rel, Rel::Advcl | Rel::Xcomp | Rel::Conj)) {
+                    deps.push(Dependency { head: r, dep: g.main, rel: Rel::Advcl });
+                }
+            }
+        }
+    }
+
+    Parse { tokens, deps, root, chunks, groups }
+}
+
+fn preceded_by_to(tokens: &[Token], g: &VerbGroup) -> bool {
+    g.start > 0 && tokens[g.start - 1].tag == Tag::To
+}
+
+fn in_spans(spans: &[(usize, usize)], idx: usize) -> bool {
+    spans.iter().any(|&(m, e)| idx > m && idx < e)
+}
+
+/// Subordinate clause spans: `(marker_index, exclusive_end)`.
+fn subordinate_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let is_marker = SUBORDINATORS.contains(&t.lower.as_str())
+            && t.tag == Tag::Prep
+            // "before/after + NP" is a plain PP, not a clause; require a verb
+            // somewhere after the marker and before the span end.
+            ;
+        if !is_marker {
+            continue;
+        }
+        // Span ends at the next comma at this level, or sentence end.
+        let end = tokens[i + 1..]
+            .iter()
+            .position(|t| t.lower == ",")
+            .map(|p| i + 1 + p)
+            .unwrap_or(tokens.len());
+        // Require a verbal token inside the span for it to be a clause.
+        if tokens[i + 1..end].iter().any(|t| t.tag.is_verb()) {
+            spans.push((i, end));
+        }
+    }
+    spans
+}
+
+/// Finds maximal verbal groups.
+fn find_verb_groups(tokens: &[Token]) -> Vec<VerbGroup> {
+    let mut groups = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        let t = &tokens[i];
+        let starts = t.tag == Tag::Modal || t.tag.is_verb();
+        if !starts {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        let mut last_verb: Option<usize> = None;
+        while j < n {
+            let tj = &tokens[j];
+            if tj.tag == Tag::Modal || tj.tag.is_verb() {
+                if tj.tag.is_verb() {
+                    last_verb = Some(j);
+                }
+                j += 1;
+            } else if tj.tag == Tag::Adv && j + 1 < n {
+                // Allow adverbs inside the group only if more verbal
+                // material follows ("will not collect").
+                let lookahead = &tokens[j + 1];
+                if lookahead.tag == Tag::Modal || lookahead.tag.is_verb() || (lookahead.tag == Tag::Adv && j + 2 < n && tokens[j + 2].tag.is_verb()) {
+                    j += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(mut main) = last_verb else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Absorb directly-preceding adverbs ("we never collect ...") so
+        // negation analysis sees them as verb modifiers.
+        let mut start = start;
+        while start > 0 && tokens[start - 1].tag == Tag::Adv {
+            start -= 1;
+        }
+        let mut end = main + 1;
+        let mut copular = false;
+
+        // Copular predicate: "be"-form main followed by an adjective
+        // ("we are able ...") — the adjective becomes the main token, as in
+        // Stanford parses.
+        if BE_FORMS.contains(&tokens[main].lower.as_str()) {
+            let mut k = main + 1;
+            while k < n && tokens[k].tag == Tag::Adv {
+                k += 1;
+            }
+            if k < n && tokens[k].tag == Tag::Adj {
+                main = k;
+                end = k + 1;
+                copular = true;
+            }
+        }
+
+        // Passive: some "be" form in the group strictly before a past
+        // participle main.
+        let passive = !copular
+            && tokens[main].tag == Tag::VerbPastPart
+            && tokens[start..main]
+                .iter()
+                .any(|t| BE_FORMS.contains(&t.lower.as_str()));
+
+        groups.push(VerbGroup { start, end, main, passive, copular });
+        i = end.max(j);
+    }
+    groups
+}
+
+fn attach_group_internals(tokens: &[Token], g: &VerbGroup, deps: &mut Vec<Dependency>) {
+    for i in g.start..g.end {
+        if i == g.main {
+            continue;
+        }
+        let t = &tokens[i];
+        let rel = if matches!(t.lower.as_str(), "not" | "n't" | "never" | "hardly" | "rarely" | "seldom")
+        {
+            Rel::Neg
+        } else if t.tag == Tag::Modal
+            || HAVE_FORMS.contains(&t.lower.as_str())
+            || DO_FORMS.contains(&t.lower.as_str())
+        {
+            Rel::Aux
+        } else if BE_FORMS.contains(&t.lower.as_str()) {
+            if g.passive {
+                Rel::AuxPass
+            } else {
+                Rel::Aux
+            }
+        } else if t.tag == Tag::Adv {
+            Rel::Dep
+        } else if t.tag.is_verb() {
+            // e.g. "have been collected": "been" under "collected".
+            if BE_FORMS.contains(&t.lower.as_str()) && g.passive {
+                Rel::AuxPass
+            } else {
+                Rel::Aux
+            }
+        } else {
+            Rel::Dep
+        };
+        deps.push(Dependency { head: g.main, dep: i, rel });
+    }
+}
+
+fn attach_subject(
+    tokens: &[Token],
+    chunks: &[NounPhrase],
+    g: &VerbGroup,
+    deps: &mut Vec<Dependency>,
+) {
+    // Nearest chunk ending at the group start, allowing one adverb or comma
+    // in between ("we , however , collect" is out of scope; "we also collect"
+    // is handled by the adverb being inside the group).
+    let mut pos = g.start;
+    let mut slack = 0;
+    while pos > 0 && slack < 2 {
+        let before = &tokens[pos - 1];
+        if before.tag == Tag::Adv || before.lower == "," {
+            pos -= 1;
+            slack += 1;
+            continue;
+        }
+        break;
+    }
+    if pos == 0 {
+        return;
+    }
+    // "to collect ..." infinitives have no local subject.
+    if tokens[pos - 1].tag == Tag::To {
+        return;
+    }
+    let Some(chunk) = chunks.iter().find(|c| c.end == pos) else {
+        return;
+    };
+    let rel = if g.passive { Rel::NsubjPass } else { Rel::Nsubj };
+    deps.push(Dependency { head: g.main, dep: chunk.head, rel });
+
+    // Coordinated subjects: "your name and your email address will be
+    // collected" — walk back over chunks separated only by commas and
+    // conjunctions and attach them as conjuncts of the subject head.
+    let mut current = chunk;
+    loop {
+        let Some(prev) = chunks.iter().find(|c| c.end <= current.start && {
+            tokens[c.end..current.start]
+                .iter()
+                .all(|t| t.tag == Tag::Conj || t.lower == ",")
+                && c.end < current.start
+        }) else {
+            break;
+        };
+        deps.push(Dependency { head: chunk.head, dep: prev.head, rel: Rel::Conj });
+        for (off, t) in tokens[prev.end..current.start].iter().enumerate() {
+            if t.tag == Tag::Conj {
+                deps.push(Dependency { head: chunk.head, dep: prev.end + off, rel: Rel::Cc });
+            }
+        }
+        current = prev;
+    }
+}
+
+/// Links verb groups with xcomp / advcl / conj.
+fn link_groups(
+    tokens: &[Token],
+    groups: &[VerbGroup],
+    sub_spans: &[(usize, usize)],
+    root_group_idx: Option<usize>,
+    deps: &mut Vec<Dependency>,
+) {
+    for (gi, g) in groups.iter().enumerate() {
+        if Some(gi) == root_group_idx {
+            continue;
+        }
+        // "to V" → complement of nearest previous group in the same clause.
+        if preceded_by_to(tokens, g) {
+            let Some(prev) = groups[..gi]
+                .iter()
+                .rev()
+                .find(|p| same_clause(sub_spans, p.main, g.main))
+            else {
+                continue;
+            };
+            // xcomp when the governor is copular ("able to V"), passive
+            // ("allowed to V"), or immediately adjacent ("want to V");
+            // advcl (purpose clause) when an object intervenes
+            // ("use GPS to get your location").
+            let gap = &tokens[prev.end..g.start - 1];
+            let has_intervening_np = gap.iter().any(|t| t.tag.is_nominal());
+            let rel = if prev.copular || prev.passive || !has_intervening_np {
+                Rel::Xcomp
+            } else {
+                Rel::Advcl
+            };
+            deps.push(Dependency { head: prev.main, dep: g.main, rel });
+            continue;
+        }
+        // "V1 and V2" → conj.
+        if let Some(prev) = groups[..gi].last() {
+            let gap = &tokens[prev.end..g.start];
+            let only_cc = !gap.is_empty()
+                && gap
+                    .iter()
+                    .all(|t| t.tag == Tag::Conj || t.lower == "," || t.tag == Tag::Adv);
+            if only_cc && gap.iter().any(|t| t.tag == Tag::Conj) {
+                deps.push(Dependency { head: prev.main, dep: g.main, rel: Rel::Conj });
+                for (off, t) in gap.iter().enumerate() {
+                    if t.tag == Tag::Conj {
+                        deps.push(Dependency {
+                            head: prev.main,
+                            dep: prev.end + off,
+                            rel: Rel::Cc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn same_clause(sub_spans: &[(usize, usize)], a: usize, b: usize) -> bool {
+    let clause_of = |i: usize| {
+        sub_spans
+            .iter()
+            .position(|&(m, e)| i > m && i < e)
+            .map(|p| p as isize)
+            .unwrap_or(-1)
+    };
+    clause_of(a) == clause_of(b)
+}
+
+/// Attaches objects, prepositional phrases, and NP coordination after a
+/// verb group, scanning up to `limit` (the start of the next group).
+fn attach_postverbal(
+    tokens: &[Token],
+    chunks: &[NounPhrase],
+    g: &VerbGroup,
+    limit: usize,
+    deps: &mut Vec<Dependency>,
+) {
+    let mut i = g.end;
+    let mut dobj_head: Option<usize> = None;
+    let mut last_np_head: Option<usize> = None;
+    let mut pending_prep: Option<usize> = None;
+    let mut attach_conj_to: Option<usize> = None;
+
+    while i < limit && i < tokens.len() {
+        let t = &tokens[i];
+        if t.tag == Tag::To {
+            break; // infinitive handled by link_groups
+        }
+        if SUBORDINATORS.contains(&t.lower.as_str()) && t.tag == Tag::Prep {
+            break; // constraint clause
+        }
+        if t.tag == Tag::Prep {
+            pending_prep = Some(i);
+            deps.push(Dependency { head: g.main, dep: i, rel: Rel::Prep });
+            attach_conj_to = None;
+            i += 1;
+            continue;
+        }
+        if t.tag == Tag::Conj {
+            if let Some(h) = attach_conj_to {
+                deps.push(Dependency { head: h, dep: i, rel: Rel::Cc });
+            }
+            i += 1;
+            continue;
+        }
+        if let Some(chunk) = chunks.iter().find(|c| c.start == i) {
+            if let Some(p) = pending_prep {
+                deps.push(Dependency { head: p, dep: chunk.head, rel: Rel::Pobj });
+                pending_prep = None;
+                attach_conj_to = Some(chunk.head);
+                last_np_head = Some(chunk.head);
+            } else if dobj_head.is_none() && last_np_head.is_none() {
+                if !g.passive && !g.copular {
+                    deps.push(Dependency { head: g.main, dep: chunk.head, rel: Rel::Dobj });
+                    dobj_head = Some(chunk.head);
+                    attach_conj_to = Some(chunk.head);
+                } else {
+                    deps.push(Dependency { head: g.main, dep: chunk.head, rel: Rel::Dep });
+                }
+                last_np_head = Some(chunk.head);
+            } else if let Some(first) = attach_conj_to {
+                // Coordinated NP: conj back to the first conjunct.
+                deps.push(Dependency { head: first, dep: chunk.head, rel: Rel::Conj });
+                last_np_head = Some(chunk.head);
+            }
+            i = chunk.end;
+            continue;
+        }
+        if t.lower == "," {
+            i += 1;
+            continue;
+        }
+        // Anything else (adjective without noun, adverb, punctuation) —
+        // skip without resetting coordination state for punctuation.
+        if t.tag != Tag::Punct {
+            attach_conj_to = attach_conj_to.take();
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_svo() {
+        let p = parse("we will collect your location");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[p.dependent(r, Rel::Nsubj).unwrap()].lower, "we");
+        assert_eq!(
+            p.tokens[p.dependent(r, Rel::Dobj).unwrap()].lower,
+            "location"
+        );
+        assert!(p.dependent(r, Rel::Aux).is_some());
+    }
+
+    #[test]
+    fn passive_voice() {
+        let p = parse("your personal information will be used");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "use");
+        assert!(p.has_auxpass(r));
+        let subj = p.dependent(r, Rel::NsubjPass).unwrap();
+        assert_eq!(p.tokens[subj].lower, "information");
+    }
+
+    #[test]
+    fn negation_edge() {
+        let p = parse("we will not collect your contacts");
+        let r = p.root.unwrap();
+        assert!(p.dependent(r, Rel::Neg).is_some());
+    }
+
+    #[test]
+    fn contraction_negation() {
+        let p = parse("we don't sell your data");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "sell");
+        assert!(p.dependent(r, Rel::Neg).is_some());
+    }
+
+    #[test]
+    fn able_to_collect_is_copular_xcomp() {
+        let p = parse("we are able to collect location information");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lower, "able");
+        let x = p.dependent(r, Rel::Xcomp).unwrap();
+        assert_eq!(p.tokens[x].lemma, "collect");
+        let obj = p.dependent(x, Rel::Dobj).unwrap();
+        assert_eq!(p.tokens[obj].lower, "information");
+    }
+
+    #[test]
+    fn allowed_to_access_is_passive_xcomp() {
+        let p = parse("we are allowed to access your personal information");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "allow");
+        assert!(p.has_auxpass(r));
+        let x = p.dependent(r, Rel::Xcomp).unwrap();
+        assert_eq!(p.tokens[x].lemma, "access");
+    }
+
+    #[test]
+    fn purpose_clause_is_advcl() {
+        let p = parse("we use gps to get your location");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "use");
+        let a = p.dependent(r, Rel::Advcl).unwrap();
+        assert_eq!(p.tokens[a].lemma, "get");
+    }
+
+    #[test]
+    fn prepositional_phrase() {
+        let p = parse("we will provide your information to third party companies");
+        let r = p.root.unwrap();
+        let prep = p
+            .dependents(r, Rel::Prep)
+            .into_iter()
+            .find(|&i| p.tokens[i].lower == "to");
+        // "to" before an NP is tagged Prep? Our lexicon tags "to" as To, so
+        // the disclose target is reached via the dobj; check dobj instead.
+        let obj = p.dependent(r, Rel::Dobj).unwrap();
+        assert_eq!(p.tokens[obj].lower, "information");
+        let _ = prep;
+    }
+
+    #[test]
+    fn with_preposition_attaches_pobj() {
+        let p = parse("we may share your information with advertisers");
+        let r = p.root.unwrap();
+        let prep = p.dependent(r, Rel::Prep).unwrap();
+        assert_eq!(p.tokens[prep].lower, "with");
+        let pobj = p.dependent(prep, Rel::Pobj).unwrap();
+        assert_eq!(p.tokens[pobj].lower, "advertisers");
+    }
+
+    #[test]
+    fn coordinated_objects() {
+        let p = parse("we will not store your real phone number , name and contacts");
+        let r = p.root.unwrap();
+        let obj = p.dependent(r, Rel::Dobj).unwrap();
+        assert_eq!(p.tokens[obj].lower, "number");
+        let conjs = p.dependents(obj, Rel::Conj);
+        let words: Vec<&str> = conjs.iter().map(|&i| p.tokens[i].lower.as_str()).collect();
+        assert!(words.contains(&"name"));
+        assert!(words.contains(&"contacts"));
+    }
+
+    #[test]
+    fn leading_conditional_clause() {
+        let p = parse("if you register an account , we will collect your email address");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        let advcl = p.dependent(r, Rel::Advcl).unwrap();
+        assert_eq!(p.tokens[advcl].lemma, "register");
+        let mark = p.dependent(advcl, Rel::Mark).unwrap();
+        assert_eq!(p.tokens[mark].lower, "if");
+    }
+
+    #[test]
+    fn trailing_when_clause() {
+        let p = parse("we collect usage data when you use the service");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        let advcl = p
+            .dependents(r, Rel::Advcl)
+            .into_iter()
+            .find(|&i| p.tokens[i].lemma == "use");
+        assert!(advcl.is_some());
+    }
+
+    #[test]
+    fn negative_subject_parse() {
+        let p = parse("nothing will be collected");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        let subj = p.dependent(r, Rel::NsubjPass).unwrap();
+        assert_eq!(p.tokens[subj].lower, "nothing");
+    }
+
+    #[test]
+    fn coordinated_verbs() {
+        let p = parse("we collect and store your location");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        let conj = p.dependent(r, Rel::Conj).unwrap();
+        assert_eq!(p.tokens[conj].lemma, "store");
+    }
+
+    #[test]
+    fn verbless_sentence_has_no_root() {
+        let p = parse("privacy policy");
+        assert!(p.root.is_none());
+    }
+
+    #[test]
+    fn dep_string_renders() {
+        let p = parse("we collect data");
+        let s = p.to_dep_string();
+        assert!(s.contains("root(ROOT-0, collect-2)"));
+        assert!(s.contains("nsubj(collect-2, we-1)"));
+    }
+
+    #[test]
+    fn passive_by_agent() {
+        let p = parse("your location will be collected by us");
+        let r = p.root.unwrap();
+        assert!(p.has_auxpass(r));
+        let prep = p.dependent(r, Rel::Prep).unwrap();
+        assert_eq!(p.tokens[prep].lower, "by");
+        let agent = p.dependent(prep, Rel::Pobj).unwrap();
+        assert_eq!(p.tokens[agent].lower, "us");
+    }
+}
+
+#[cfg(test)]
+mod construction_tests {
+    use super::*;
+
+    #[test]
+    fn conjoined_main_clauses_take_first_root() {
+        let p = parse("we collect your location and we store your contacts");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+    }
+
+    #[test]
+    fn double_negative_aux_chain() {
+        let p = parse("we will not be collecting your location");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        assert!(p.dependent(r, Rel::Neg).is_some());
+    }
+
+    #[test]
+    fn have_been_collected_is_passive() {
+        let p = parse("your contacts have been collected");
+        let r = p.root.unwrap();
+        assert_eq!(p.tokens[r].lemma, "collect");
+        assert!(p.has_auxpass(r));
+    }
+
+    #[test]
+    fn unless_clause_is_pre_condition_marker() {
+        let p = parse("we do not share your data unless you consent");
+        let r = p.root.unwrap();
+        let advcl = p.dependent(r, Rel::Advcl).expect("unless-clause attaches");
+        let mark = p.dependent(advcl, Rel::Mark).unwrap();
+        assert_eq!(p.tokens[mark].lower, "unless");
+    }
+
+    #[test]
+    fn multiple_prepositional_phrases() {
+        let p = parse("we share your data with partners for advertising");
+        let r = p.root.unwrap();
+        let preps = p.dependents(r, Rel::Prep);
+        assert!(preps.len() >= 2, "{}", p.to_dep_string());
+    }
+
+    #[test]
+    fn sentence_of_only_punctuation() {
+        let p = parse("... !!! ,,,");
+        assert!(p.root.is_none());
+        assert!(p.deps.is_empty());
+    }
+
+    #[test]
+    fn groups_are_ordered_and_disjoint() {
+        let p = parse("if you register an account , we will collect and store your email");
+        for w in p.groups.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn chunk_helpers_work() {
+        let p = parse("we collect your location data");
+        let obj = p.dependent(p.root.unwrap(), Rel::Dobj).unwrap();
+        let chunk = p.chunk_headed_by(obj).unwrap();
+        assert_eq!(chunk.content_text(&p.tokens), "location data");
+        assert!(p.group_of_main(p.root.unwrap()).is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! A hand-built part-of-speech lexicon covering the privacy-policy register
+//! of English, plus a suffix-based guesser for out-of-vocabulary words.
+//!
+//! The Stanford Parser used by the paper carries a statistical model; our
+//! substitute is a closed lexicon (function words are a closed class anyway)
+//! combined with morphological heuristics for open-class words, which is
+//! sufficient for the constrained register privacy policies are written in.
+
+use crate::token::Tag;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Lexicon mapping lowercased word forms to their most likely tag.
+#[derive(Debug)]
+pub struct Lexicon {
+    entries: HashMap<&'static str, Tag>,
+}
+
+/// Modal verbs (`MD`).
+pub const MODALS: &[&str] = &[
+    "will", "would", "can", "could", "may", "might", "must", "shall", "should", "wo", "ca",
+];
+
+/// Forms of "be" (used for passive-voice detection).
+pub const BE_FORMS: &[&str] = &["be", "am", "is", "are", "was", "were", "been", "being"];
+
+/// Forms of "have" used as auxiliaries.
+pub const HAVE_FORMS: &[&str] = &["have", "has", "had", "having"];
+
+/// Forms of "do" used as auxiliaries.
+pub const DO_FORMS: &[&str] = &["do", "does", "did", "doing"];
+
+/// Subordinating words that introduce constraints in privacy policies.
+/// Pre-conditions per the paper: "if", "upon", "unless"; post-conditions:
+/// "when", "before".
+pub const SUBORDINATORS: &[&str] = &[
+    "if", "when", "unless", "before", "after", "upon", "while", "until", "once", "whenever",
+    "because", "although", "though", "since",
+];
+
+/// Personal pronouns.
+pub const PRONOUNS: &[&str] = &[
+    "we", "you", "they", "it", "i", "he", "she", "us", "them", "me", "him", "her", "itself",
+    "themselves", "ourselves", "yourself", "anyone", "everyone", "nobody", "nothing", "someone",
+    "something", "anything",
+];
+
+/// Possessive pronouns.
+pub const POSS_PRONOUNS: &[&str] = &["your", "our", "their", "its", "my", "his", "her"];
+
+/// Determiners, including negative determiner "no".
+pub const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "no", "any", "some", "each", "every",
+    "all", "both", "such", "another", "either", "neither", "certain", "other", "following",
+];
+
+/// Prepositions.
+pub const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "about", "from", "into", "through", "during",
+    "including", "against", "among", "throughout", "via", "within", "without", "regarding",
+    "concerning", "per", "as", "like", "out", "off", "over", "under", "between", "to",
+];
+
+/// Coordinating conjunctions.
+pub const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "plus"];
+
+/// Wh-words.
+pub const WH_WORDS: &[&str] = &[
+    "which", "who", "whom", "whose", "what", "where", "why", "how", "whether", "that",
+];
+
+/// Verbs that matter to the pipeline, stored in base form. Inflected forms
+/// are recognized through [`crate::lemma`].
+pub const VERBS: &[&str] = &[
+    // collect-category and friends
+    "collect", "gather", "obtain", "acquire", "access", "receive", "record", "solicit", "get",
+    "take", "capture", "request", "ask", "check", "know", "track", "monitor", "read", "scan",
+    // use-category
+    "use", "process", "utilize", "employ", "analyze", "combine", "connect", "link", "associate",
+    "serve", "improve", "personalize", "customize", "operate", "deliver",
+    // retain-category
+    "retain", "store", "keep", "save", "preserve", "hold", "maintain", "archive", "cache",
+    "remember", "log",
+    // disclose-category
+    "disclose", "share", "transfer", "provide", "send", "transmit", "give", "sell", "rent",
+    "release", "reveal", "distribute", "report", "expose", "supply", "pass", "lease", "trade",
+    "display", "show", "upload", "post", "publish",
+    // general verbs seen in policies
+    "agree", "allow", "permit", "enable", "require", "need", "want", "help", "make", "create",
+    "delete", "remove", "protect", "secure", "encrypt", "review", "update", "change", "modify",
+    "contact", "notify", "inform", "register", "sign", "visit", "browse", "download", "install",
+    "uninstall", "open", "close", "click", "tap", "enter", "submit", "choose", "select",
+    "prevent", "stop", "refuse", "decline", "deny", "opt", "consent", "comply", "apply",
+    "include", "contain", "cover", "describe", "explain", "govern", "identify", "locate",
+    "determine", "enhance", "measure", "offer", "support", "ensure", "limit", "restrict",
+    "encourage", "respond", "occur", "happen", "work", "run", "play", "see", "view", "find",
+    "learn", "understand", "believe", "think", "say", "state", "mention", "note", "write",
+];
+
+/// Nouns that matter to the pipeline (privacy resources, actors, etc.).
+pub const NOUNS: &[&str] = &[
+    // resources
+    "information", "data", "location", "address", "name", "email", "e-mail", "phone", "number",
+    "contact", "contacts", "calendar", "account", "accounts", "identifier", "id", "device",
+    "cookie", "cookies", "ip", "camera", "photo", "photos", "picture", "pictures", "image",
+    "images", "audio", "microphone", "voice", "video", "sms", "message", "messages", "text",
+    "call", "calls", "history", "list", "apps", "app", "application", "applications",
+    "latitude", "longitude", "gps", "birthday", "birthdate", "age", "gender", "password",
+    "username", "profile", "preferences", "settings", "content", "contents", "file", "files",
+    "log", "logs", "record", "records", "detail", "details", "imei", "imsi", "mac", "wifi",
+    "network", "browser", "os", "carrier", "sim", "storage", "clipboard", "sensor", "sensors",
+    // actors and misc
+    "user", "users", "visitor", "visitors", "customer", "customers", "member", "members",
+    "child", "children", "party", "parties", "company", "companies", "partner", "partners",
+    "advertiser", "advertisers", "affiliate", "affiliates", "provider", "providers", "vendor",
+    "vendors", "service", "services", "website", "websites", "site", "sites", "server",
+    "servers", "policy", "policies", "privacy", "terms", "law", "laws", "regulation",
+    "regulations", "consent", "permission", "permissions", "purpose", "purposes", "time",
+    "period", "library", "libraries", "lib", "libs", "sdk", "analytics", "advertising",
+    "advertisement", "advertisements", "ads", "ad", "game", "games", "feature", "features",
+    "functionality", "security", "practice", "practices", "right", "rights", "option",
+    "options", "question", "questions", "section", "page", "pages", "agreement", "notice",
+    "identifiers", "friends", "field", "force", "way", "tasks", "task", "order", "experience",
+    "quality", "basis", "internet",
+];
+
+/// Adjectives seen in policies.
+pub const ADJECTIVES: &[&str] = &[
+    "personal", "private", "sensitive", "personally", "identifiable", "anonymous", "aggregate",
+    "aggregated", "technical", "mobile", "unique", "real", "actual", "third", "third-party",
+    "necessary", "able", "unable", "responsible", "applicable", "available", "current",
+    "precise", "approximate", "demographic", "financial", "medical", "geographic", "such",
+    "certain", "other", "own", "new", "free", "optional", "legal", "specific", "general",
+    "additional", "effective", "important", "relevant", "various", "non-personal", "online",
+];
+
+/// Adverbs, including negation markers the paper's Step 5 relies on.
+pub const ADVERBS: &[&str] = &[
+    "not", "n't", "never", "hardly", "rarely", "seldom", "no longer", "also", "only",
+    "automatically", "directly", "indirectly", "always", "sometimes", "occasionally",
+    "periodically", "solely", "generally", "typically", "specifically", "currently", "however",
+    "therefore", "moreover", "furthermore", "additionally", "please", "again", "already",
+    "together", "too", "very", "well", "then", "thus", "hereby", "herein", "instead",
+];
+
+impl Lexicon {
+    fn build() -> Self {
+        let mut entries = HashMap::new();
+        // Order matters: later inserts win, so put the highest-priority
+        // (closed) classes last.
+        for &w in NOUNS {
+            entries.insert(w, Tag::Noun);
+        }
+        for &w in VERBS {
+            entries.insert(w, Tag::VerbBase);
+        }
+        for &w in ADJECTIVES {
+            entries.insert(w, Tag::Adj);
+        }
+        for &w in ADVERBS {
+            entries.insert(w, Tag::Adv);
+        }
+        for &w in WH_WORDS {
+            entries.insert(w, Tag::Wh);
+        }
+        for &w in PREPOSITIONS {
+            entries.insert(w, Tag::Prep);
+        }
+        for &w in SUBORDINATORS {
+            entries.insert(w, Tag::Prep);
+        }
+        for &w in CONJUNCTIONS {
+            entries.insert(w, Tag::Conj);
+        }
+        for &w in DETERMINERS {
+            entries.insert(w, Tag::Det);
+        }
+        for &w in PRONOUNS {
+            entries.insert(w, Tag::Pronoun);
+        }
+        for &w in POSS_PRONOUNS {
+            entries.insert(w, Tag::PronounPoss);
+        }
+        for &w in MODALS {
+            entries.insert(w, Tag::Modal);
+        }
+        for &w in BE_FORMS {
+            entries.insert(w, Tag::VerbPres);
+        }
+        for &w in HAVE_FORMS {
+            entries.insert(w, Tag::VerbPres);
+        }
+        for &w in DO_FORMS {
+            entries.insert(w, Tag::VerbPres);
+        }
+        entries.insert("to", Tag::To);
+        entries.insert("not", Tag::Adv);
+        entries.insert("n't", Tag::Adv);
+        Lexicon { entries }
+    }
+
+    /// Returns the process-wide shared lexicon.
+    pub fn shared() -> &'static Lexicon {
+        static LEX: OnceLock<Lexicon> = OnceLock::new();
+        LEX.get_or_init(Lexicon::build)
+    }
+
+    /// Looks up a lowercased word form.
+    pub fn lookup(&self, lower: &str) -> Option<Tag> {
+        self.entries.get(lower).copied()
+    }
+
+    /// Returns `true` if the word (in any inflection) is a known verb.
+    pub fn is_known_verb(&self, lower: &str) -> bool {
+        if matches!(self.lookup(lower), Some(t) if t.is_verb()) {
+            return true;
+        }
+        let lemma = crate::lemma::lemmatize_verb(lower);
+        matches!(self.lookup(&lemma), Some(t) if t.is_verb())
+    }
+
+    /// Guesses the tag of an out-of-vocabulary word from its morphology.
+    pub fn guess(&self, word: &str, lower: &str) -> Tag {
+        if lower.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') {
+            return Tag::Num;
+        }
+        if word.chars().next().is_some_and(|c| c.is_uppercase()) {
+            return Tag::NounProper;
+        }
+        if lower.ends_with("ly") {
+            return Tag::Adv;
+        }
+        if lower.ends_with("ing") {
+            return Tag::VerbGerund;
+        }
+        if lower.ends_with("ed") {
+            return Tag::VerbPastPart;
+        }
+        if lower.ends_with("ous")
+            || lower.ends_with("ful")
+            || lower.ends_with("able")
+            || lower.ends_with("ible")
+            || lower.ends_with("ive")
+            || lower.ends_with("al")
+        {
+            return Tag::Adj;
+        }
+        if lower.ends_with('s') && lower.len() > 3 && !lower.ends_with("ss") {
+            return Tag::NounPlural;
+        }
+        Tag::Noun
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_class_lookup() {
+        let lex = Lexicon::shared();
+        assert_eq!(lex.lookup("will"), Some(Tag::Modal));
+        assert_eq!(lex.lookup("your"), Some(Tag::PronounPoss));
+        assert_eq!(lex.lookup("no"), Some(Tag::Det));
+        assert_eq!(lex.lookup("to"), Some(Tag::To));
+        assert_eq!(lex.lookup("and"), Some(Tag::Conj));
+    }
+
+    #[test]
+    fn open_class_lookup() {
+        let lex = Lexicon::shared();
+        assert_eq!(lex.lookup("collect"), Some(Tag::VerbBase));
+        assert_eq!(lex.lookup("location"), Some(Tag::Noun));
+        assert_eq!(lex.lookup("personal"), Some(Tag::Adj));
+    }
+
+    #[test]
+    fn suffix_guesser() {
+        let lex = Lexicon::shared();
+        assert_eq!(lex.guess("quickly", "quickly"), Tag::Adv);
+        assert_eq!(lex.guess("syncing", "syncing"), Tag::VerbGerund);
+        assert_eq!(lex.guess("harvested", "harvested"), Tag::VerbPastPart);
+        assert_eq!(lex.guess("widgets", "widgets"), Tag::NounPlural);
+        assert_eq!(lex.guess("Facebook", "facebook"), Tag::NounProper);
+        assert_eq!(lex.guess("42", "42"), Tag::Num);
+    }
+
+    #[test]
+    fn inflected_verbs_are_known() {
+        let lex = Lexicon::shared();
+        assert!(lex.is_known_verb("collects"));
+        assert!(lex.is_known_verb("collected"));
+        assert!(lex.is_known_verb("sharing"));
+        assert!(lex.is_known_verb("kept"));
+        assert!(!lex.is_known_verb("location"));
+    }
+}

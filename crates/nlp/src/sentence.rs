@@ -1,0 +1,202 @@
+//! Sentence segmentation with the enumeration-list repair described in the
+//! paper's Step 1.
+//!
+//! NLTK (used by the paper) splits an enumeration such as
+//! `"we will collect the following information: your name; your IP address;
+//! your device ID"` into four pieces. PPChecker repairs this by re-joining a
+//! fragment onto the previous sentence whenever that sentence ends with `;`
+//! or `,` or `:` or the fragment starts with a lowercase letter after a list
+//! separator. This module reproduces both the naive split and the repair.
+
+/// Abbreviations that do not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "etc", "mr", "mrs", "ms", "dr", "inc", "ltd", "corp", "co", "vs", "no", "v",
+    "st", "jr", "sr", "u.s", "u.k",
+];
+
+/// Splits raw text into sentences.
+///
+/// The splitter breaks on `.`, `!` and `?` (not inside known abbreviations
+/// or decimal numbers) and on newlines that separate paragraphs, then
+/// applies the enumeration repair: a fragment following a sentence that ends
+/// in `;`, `,` or `:` is appended to that sentence, matching the paper's
+/// fix for NLTK's behaviour on bullet lists.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_nlp::sentence::split_sentences;
+/// let text = "We value privacy. We will collect the following: your name; \
+///             your IP address; your device ID. Contact us anytime.";
+/// let sents = split_sentences(text);
+/// assert_eq!(sents.len(), 3);
+/// assert!(sents[1].contains("device id"));
+/// ```
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let naive = naive_split(text);
+    repair_enumerations(naive)
+}
+
+/// The naive NLTK-like split (exposed for testing the repair step).
+pub fn naive_split(text: &str) -> Vec<String> {
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        match c {
+            '.' | '!' | '?' => {
+                // Decimal number?
+                if c == '.'
+                    && i > 0
+                    && chars[i - 1].is_ascii_digit()
+                    && i + 1 < n
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    current.push(c);
+                } else if c == '.' && ends_with_abbreviation(&current) {
+                    current.push(c);
+                } else if c == '.'
+                    && i + 1 < n
+                    && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')
+                {
+                    // Interior dot of a package name or URL.
+                    current.push(c);
+                } else {
+                    current.push(c);
+                    flush(&mut sentences, &mut current);
+                }
+            }
+            '\n' => {
+                // Paragraph break ends a sentence; single newline is a space.
+                if i + 1 < n && chars[i + 1] == '\n' {
+                    flush(&mut sentences, &mut current);
+                    i += 1;
+                } else {
+                    current.push(' ');
+                }
+            }
+            _ => current.push(c),
+        }
+        i += 1;
+    }
+    flush(&mut sentences, &mut current);
+    sentences
+}
+
+fn flush(sentences: &mut Vec<String>, current: &mut String) {
+    let trimmed = current.trim();
+    if !trimmed.is_empty() {
+        sentences.push(normalize(trimmed));
+    }
+    current.clear();
+}
+
+/// Lowercases and collapses whitespace, and strips non-ASCII symbols
+/// (the paper's Step 1 keeps only English letters and specified punctuation).
+fn normalize(s: &str) -> String {
+    let filtered: String = s
+        .chars()
+        .filter(|c| c.is_ascii())
+        .collect();
+    let collapsed = filtered.split_whitespace().collect::<Vec<_>>().join(" ");
+    collapsed.to_lowercase()
+}
+
+fn ends_with_abbreviation(current: &str) -> bool {
+    let last_word: String = current
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '.')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let lw = last_word.trim_end_matches('.').to_lowercase();
+    ABBREVIATIONS.contains(&lw.as_str())
+}
+
+/// The paper's repair: if the previous sentence ends with `;`, `,` or `:`,
+/// append the current fragment to it.
+pub fn repair_enumerations(raw: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(raw.len());
+    for sent in raw {
+        match out.last_mut() {
+            Some(prev)
+                if prev.trim_end().ends_with(';')
+                    || prev.trim_end().ends_with(',')
+                    || prev.trim_end().ends_with(':') =>
+            {
+                prev.push(' ');
+                prev.push_str(&sent);
+            }
+            _ => out.push(sent),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_basic_sentences() {
+        let s = split_sentences("First sentence. Second sentence. Third one!");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "first sentence.");
+    }
+
+    #[test]
+    fn keeps_abbreviations_together() {
+        let s = split_sentences("We share data with partners, e.g. advertisers. Done.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("e.g. advertisers"));
+    }
+
+    #[test]
+    fn keeps_decimals_together() {
+        let s = split_sentences("Version 1.2 is out. Enjoy.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn enumeration_repair_joins_fragments() {
+        // Simulate NLTK splitting a semicolon list into fragments.
+        let raw = vec![
+            "we will collect the following information: your name;".to_string(),
+            "your ip address;".to_string(),
+            "your device id.".to_string(),
+            "contact us.".to_string(),
+        ];
+        let repaired = repair_enumerations(raw);
+        assert_eq!(repaired.len(), 2);
+        assert!(repaired[0].contains("your device id."));
+    }
+
+    #[test]
+    fn normalizes_to_lowercase_ascii() {
+        let s = split_sentences("We collect DATA\u{2122} and cookies.");
+        assert_eq!(s[0], "we collect data and cookies.");
+    }
+
+    #[test]
+    fn paragraph_breaks_split() {
+        let s = split_sentences("no trailing period here\n\nanother paragraph.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn package_names_survive() {
+        let s = split_sentences("The app com.example.game is popular. Yes.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("com.example.game"));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+    }
+}

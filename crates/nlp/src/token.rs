@@ -1,0 +1,353 @@
+//! Tokens, part-of-speech tags, and the tokenizer.
+
+use std::fmt;
+
+/// Part-of-speech tags, modeled on the Penn Treebank tag set that the
+/// Stanford Parser (used by the paper) emits. Only the tags the PPChecker
+/// pipeline consumes are distinguished; everything else is [`Tag::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// Singular or mass noun (`NN`).
+    Noun,
+    /// Plural noun (`NNS`).
+    NounPlural,
+    /// Proper noun (`NNP`).
+    NounProper,
+    /// Personal pronoun (`PRP`): we, you, they, it, ...
+    Pronoun,
+    /// Possessive pronoun (`PRP$`): your, our, their, ...
+    PronounPoss,
+    /// Verb, base form (`VB`).
+    VerbBase,
+    /// Verb, past tense (`VBD`).
+    VerbPast,
+    /// Verb, gerund / present participle (`VBG`).
+    VerbGerund,
+    /// Verb, past participle (`VBN`).
+    VerbPastPart,
+    /// Verb, 3rd-person singular present (`VBZ`).
+    Verb3sg,
+    /// Verb, non-3rd-person singular present (`VBP`).
+    VerbPres,
+    /// Modal (`MD`): will, may, can, must, should, would, could, might.
+    Modal,
+    /// Determiner (`DT`): the, a, an, this, no, any, ...
+    Det,
+    /// Adjective (`JJ`).
+    Adj,
+    /// Adverb (`RB`), including negation adverbs like "not".
+    Adv,
+    /// Preposition or subordinating conjunction (`IN`).
+    Prep,
+    /// Coordinating conjunction (`CC`): and, or, but.
+    Conj,
+    /// The word "to" (`TO`).
+    To,
+    /// Cardinal number (`CD`).
+    Num,
+    /// Wh-word (`WDT`/`WP`/`WRB`): which, who, when, where, ...
+    Wh,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl Tag {
+    /// Returns `true` for any verbal tag (`VB*`).
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            Tag::VerbBase
+                | Tag::VerbPast
+                | Tag::VerbGerund
+                | Tag::VerbPastPart
+                | Tag::Verb3sg
+                | Tag::VerbPres
+        )
+    }
+
+    /// Returns `true` for any nominal tag (`NN*`, pronouns).
+    pub fn is_nominal(self) -> bool {
+        matches!(
+            self,
+            Tag::Noun | Tag::NounPlural | Tag::NounProper | Tag::Pronoun
+        )
+    }
+
+    /// Returns `true` for tags that may appear inside a noun phrase before
+    /// its head (determiners, possessives, adjectives, numbers, nouns).
+    pub fn is_np_interior(self) -> bool {
+        matches!(
+            self,
+            Tag::Det
+                | Tag::PronounPoss
+                | Tag::Adj
+                | Tag::Num
+                | Tag::Noun
+                | Tag::NounPlural
+                | Tag::NounProper
+                | Tag::VerbGerund
+        )
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tag::Noun => "NN",
+            Tag::NounPlural => "NNS",
+            Tag::NounProper => "NNP",
+            Tag::Pronoun => "PRP",
+            Tag::PronounPoss => "PRP$",
+            Tag::VerbBase => "VB",
+            Tag::VerbPast => "VBD",
+            Tag::VerbGerund => "VBG",
+            Tag::VerbPastPart => "VBN",
+            Tag::Verb3sg => "VBZ",
+            Tag::VerbPres => "VBP",
+            Tag::Modal => "MD",
+            Tag::Det => "DT",
+            Tag::Adj => "JJ",
+            Tag::Adv => "RB",
+            Tag::Prep => "IN",
+            Tag::Conj => "CC",
+            Tag::To => "TO",
+            Tag::Num => "CD",
+            Tag::Wh => "W",
+            Tag::Punct => ".",
+            Tag::Other => "X",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single token: its surface text, lowercased form, and (after tagging)
+/// its part of speech and lemma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Surface form as it appeared in the input.
+    pub text: String,
+    /// Lowercased surface form.
+    pub lower: String,
+    /// Part-of-speech tag; [`Tag::Other`] until tagged.
+    pub tag: Tag,
+    /// Lemma (base form); equals `lower` until lemmatized.
+    pub lemma: String,
+    /// Byte offset of the token start in the original sentence string.
+    pub start: usize,
+}
+
+impl Token {
+    /// Creates an untagged token.
+    pub fn new(text: &str, start: usize) -> Self {
+        let lower = text.to_lowercase();
+        Token {
+            text: text.to_string(),
+            lemma: lower.clone(),
+            lower,
+            tag: Tag::Other,
+            start,
+        }
+    }
+
+    /// Returns `true` if this token is punctuation-only.
+    pub fn is_punct(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_punctuation())
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.text, self.tag)
+    }
+}
+
+/// Splits a sentence into word and punctuation tokens.
+///
+/// Contractions of the form `n't` and possessive `'s` are split off, matching
+/// the Penn Treebank convention used by the Stanford tokenizer. Hyphenated
+/// words (`e-mail`, `third-party`) are kept as single tokens.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_nlp::token::tokenize;
+/// let toks = tokenize("We don't sell your e-mail address.");
+/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(words, ["We", "do", "n't", "sell", "your", "e-mail", "address", "."]);
+/// ```
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    // (byte offset, char) pairs — all slicing below happens on char
+    // boundaries.
+    let chars: Vec<(usize, char)> = sentence.char_indices().collect();
+    let n = chars.len();
+    let end_of = |k: usize| {
+        if k < n {
+            chars[k].0
+        } else {
+            sentence.len()
+        }
+    };
+    let mut i = 0;
+    while i < n {
+        let (start, c) = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphanumeric() || c == '_' {
+            let mut j = i;
+            while j < n {
+                let cj = chars[j].1;
+                let next = chars.get(j + 1).map(|&(_, c)| c);
+                if cj.is_alphanumeric() || cj == '_' {
+                    j += 1;
+                } else if (cj == '-' || cj == '/')
+                    && next.is_some_and(|c| c.is_alphanumeric() || c == '/')
+                {
+                    // Keep hyphens and URI slashes inside a token
+                    // (e.g. "third-party", "content://contacts").
+                    j += 1;
+                } else if cj == ':'
+                    && next == Some('/')
+                    && chars.get(j + 2).map(|&(_, c)| c) == Some('/')
+                {
+                    // URI scheme separator: "content://".
+                    j += 1;
+                } else if cj == '.'
+                    && next.is_some_and(|c| c.is_alphanumeric())
+                    && word_so_far_is_dotted(&sentence[start..chars[j].0])
+                {
+                    // Dotted identifiers like package names: com.example.app
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let word = &sentence[start..end_of(j)];
+            // Split trailing "n't" / "'s" style contractions.
+            push_word(&mut tokens, word, start);
+            i = j;
+        } else if c == '\'' && i + 1 < n {
+            // Apostrophe beginning a contraction suffix: 's, 't, 're, 'll...
+            let mut j = i + 1;
+            while j < n && chars[j].1.is_alphanumeric() {
+                j += 1;
+            }
+            let suffix = &sentence[start..end_of(j)];
+            // "don't"/"won't": move the "n" from the previous token so the
+            // negation surfaces as the Penn-style "n't" token.
+            if suffix == "'t"
+                && tokens
+                    .last()
+                    .is_some_and(|t| t.lower.ends_with('n') && t.lower.len() > 1)
+            {
+                let prev = tokens.pop().expect("checked non-empty");
+                let keep_len = prev.text.len() - 1;
+                let keep = prev.text[..keep_len].to_string();
+                let prev_start = prev.start;
+                tokens.push(Token::new(&keep, prev_start));
+                tokens.push(Token::new("n't", prev_start + keep_len));
+            } else {
+                tokens.push(Token::new(suffix, start));
+            }
+            i = j;
+        } else {
+            tokens.push(Token::new(&sentence[start..end_of(i + 1)], start));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Heuristic: treat `com.example` style strings (contains a previous dot or
+/// looks like a reverse-domain prefix) as dotted identifiers.
+fn word_so_far_is_dotted(prefix: &str) -> bool {
+    prefix.contains('.')
+        || matches!(
+            prefix,
+            "com" | "org" | "net" | "android" | "io" | "www" | "edu"
+        )
+}
+
+fn push_word(tokens: &mut Vec<Token>, word: &str, start: usize) {
+    let lower = word.to_lowercase();
+    if let Some(stem) = lower.strip_suffix("n't") {
+        if !stem.is_empty() {
+            let keep = &word[..word.len() - 3];
+            tokens.push(Token::new(keep, start));
+            tokens.push(Token::new(&word[word.len() - 3..], start + keep.len()));
+            return;
+        }
+    }
+    tokens.push(Token::new(word, start));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_simple_sentence() {
+        let toks = tokenize("We will collect your location.");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["We", "will", "collect", "your", "location", "."]);
+    }
+
+    #[test]
+    fn tokenize_keeps_hyphenated_words() {
+        let toks = tokenize("third-party libraries");
+        assert_eq!(toks[0].text, "third-party");
+    }
+
+    #[test]
+    fn tokenize_splits_negative_contraction() {
+        let toks = tokenize("we won't share data");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(words, ["we", "wo", "n't", "share", "data"]);
+    }
+
+    #[test]
+    fn tokenize_handles_uri_like_tokens() {
+        let toks = tokenize("query content://com.android.calendar now");
+        assert!(toks.iter().any(|t| t.text.contains("content://")));
+    }
+
+    #[test]
+    fn tokenize_empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_records_offsets() {
+        let toks = tokenize("a bc");
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[1].start, 2);
+    }
+
+    #[test]
+    fn punctuation_detection() {
+        let toks = tokenize("data, and logs;");
+        assert!(toks.iter().any(|t| t.text == "," && t.is_punct()));
+        assert!(toks.iter().any(|t| t.text == ";" && t.is_punct()));
+    }
+
+    #[test]
+    fn tag_predicates() {
+        assert!(Tag::VerbPastPart.is_verb());
+        assert!(!Tag::Noun.is_verb());
+        assert!(Tag::Pronoun.is_nominal());
+        assert!(Tag::Adj.is_np_interior());
+        assert!(!Tag::Conj.is_np_interior());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Tag::Noun.to_string(), "NN");
+        let t = Token::new("Data", 0);
+        assert_eq!(t.to_string(), "Data/X");
+    }
+}

@@ -1,0 +1,117 @@
+//! Shallow phrase-structure rendering (the parse-tree half of the paper's
+//! Fig. 6).
+//!
+//! The Stanford Parser emits both a constituency tree and typed
+//! dependencies; PPChecker's algorithms consume only the dependencies,
+//! but the tree view is invaluable for debugging pattern matches. This
+//! module renders the flat chunk/verb-group structure the parser builds
+//! as a bracketed tree: `(S (NP we) (VP will provide (NP your
+//! information)) ...)`.
+
+use crate::depparse::Parse;
+use crate::token::Tag;
+
+/// Renders a bracketed phrase-structure view of a parse.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_nlp::{depparse::parse, tree::to_bracketed};
+/// let p = parse("we will collect your location");
+/// assert_eq!(
+///     to_bracketed(&p),
+///     "(S (NP we/PRP) (VP will/MD collect/VB (NP your/PRP$ location/NN)))"
+/// );
+/// ```
+pub fn to_bracketed(parse: &Parse) -> String {
+    let n = parse.tokens.len();
+    let mut pieces: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Verb group containing i?
+        if let Some(g) = parse.groups.iter().find(|g| g.start == i) {
+            let mut vp = String::from("(VP");
+            for k in g.start..g.end {
+                vp.push(' ');
+                vp.push_str(&leaf(parse, k));
+            }
+            // Attach the following NP (direct object) inside the VP, as a
+            // constituency tree would.
+            let mut next = g.end;
+            if let Some(chunk) = parse.chunks.iter().find(|c| c.start == g.end) {
+                vp.push(' ');
+                vp.push_str(&np(parse, chunk.start, chunk.end));
+                next = chunk.end;
+            }
+            vp.push(')');
+            pieces.push(vp);
+            i = next;
+            continue;
+        }
+        if let Some(chunk) = parse.chunks.iter().find(|c| c.start == i) {
+            pieces.push(np(parse, chunk.start, chunk.end));
+            i = chunk.end;
+            continue;
+        }
+        let t = &parse.tokens[i];
+        if t.tag == Tag::Prep {
+            // PP: preposition plus the following NP, if adjacent.
+            if let Some(chunk) = parse.chunks.iter().find(|c| c.start == i + 1) {
+                pieces.push(format!(
+                    "(PP {} {})",
+                    leaf(parse, i),
+                    np(parse, chunk.start, chunk.end)
+                ));
+                i = chunk.end;
+                continue;
+            }
+        }
+        pieces.push(leaf(parse, i));
+        i += 1;
+    }
+    format!("(S {})", pieces.join(" "))
+}
+
+fn np(parse: &Parse, start: usize, end: usize) -> String {
+    let body: Vec<String> = (start..end).map(|k| leaf(parse, k)).collect();
+    format!("(NP {})", body.join(" "))
+}
+
+fn leaf(parse: &Parse, i: usize) -> String {
+    let t = &parse.tokens[i];
+    format!("{}/{}", t.lower, t.tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depparse::parse;
+
+    #[test]
+    fn simple_svo_tree() {
+        let p = parse("we will collect your location");
+        let t = to_bracketed(&p);
+        assert!(t.starts_with("(S (NP we/PRP) (VP"));
+        assert!(t.contains("(NP your/PRP$ location/NN)"));
+    }
+
+    #[test]
+    fn pp_attachment_rendered() {
+        let p = parse("we may share your information with advertisers");
+        let t = to_bracketed(&p);
+        assert!(t.contains("(PP with/IN (NP advertisers/NN"), "{t}");
+    }
+
+    #[test]
+    fn passive_group_in_one_vp() {
+        let p = parse("your location will be collected");
+        let t = to_bracketed(&p);
+        assert!(t.contains("(VP will/MD be/VBP collected/VBN)"), "{t}");
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let p = parse("");
+        assert_eq!(to_bracketed(&p), "(S )");
+    }
+}

@@ -1,0 +1,344 @@
+//! Pattern bootstrapping (Step 3): automatic pattern mining with blacklist
+//! control of semantic drift, and the accuracy/confidence scoring of Eq. 1.
+//!
+//! Starting from the seed subject-verb-object pattern and the four verb
+//! lists, the miner alternates between (a) harvesting frequent subjects and
+//! objects from sentences the current patterns match, and (b) proposing new
+//! patterns from still-unmatched sentences whose subject and object are
+//! already in those lists — extracting the path between them (in our
+//! representation, a lexical verb or verb+noun shape). Three blacklists
+//! (subjects, verbs, objects) remove semantic drift.
+
+use crate::elements;
+use crate::patterns::{match_sentence, Pattern, PatternKind};
+use crate::verbs::VerbCategory;
+use ppchecker_nlp::depparse::{parse, Parse, Rel};
+use std::collections::HashMap;
+
+/// A mining-corpus sentence, labeled with the behaviour section it came
+/// from (the paper's corpus is organized by collection / use / retention /
+/// disclosure).
+#[derive(Debug, Clone)]
+pub struct CorpusSentence {
+    /// The sentence text.
+    pub text: String,
+    /// Which behaviour the corpus section describes.
+    pub category: VerbCategory,
+}
+
+/// A pattern with its Eq.-1 quality metrics.
+#[derive(Debug, Clone)]
+pub struct ScoredPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Positive sentences matched.
+    pub pos: usize,
+    /// Negative sentences matched.
+    pub neg: usize,
+    /// `acc(p) = pos / (pos + neg)`.
+    pub acc: f64,
+    /// `conf(p) = (pos - neg) / (pos + neg + unk)`.
+    pub conf: f64,
+    /// `Score(p) = conf(p) × log(pos)`.
+    pub score: f64,
+}
+
+/// The bootstrapper with its three anti-drift blacklists.
+#[derive(Debug, Clone)]
+pub struct Bootstrapper {
+    /// Subjects describing the *user* rather than the app.
+    pub subject_blacklist: Vec<String>,
+    /// Verbs unrelated to the four behaviours.
+    pub verb_blacklist: Vec<String>,
+    /// Objects that are not personal information.
+    pub object_blacklist: Vec<String>,
+}
+
+impl Default for Bootstrapper {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect();
+        Bootstrapper {
+            subject_blacklist: s(&[
+                "you", "user", "users", "visitor", "visitors", "customer", "customers",
+                "member", "members", "child", "children",
+            ]),
+            verb_blacklist: s(&[
+                "be", "have", "make", "do", "go", "come", "see", "say", "want", "like",
+                "visit", "click", "agree", "read", "contact", "review",
+            ]),
+            object_blacklist: s(&[
+                "service", "services", "website", "site", "app", "application", "policy",
+                "terms", "agreement", "question", "questions", "page", "pages", "feature",
+                "features", "experience", "time", "support",
+            ]),
+        }
+    }
+}
+
+impl Bootstrapper {
+    /// Runs the bootstrapping loop over a mining corpus, returning the seed
+    /// patterns followed by every mined pattern (unranked — rank with
+    /// [`score_patterns`]).
+    pub fn mine(&self, corpus: &[CorpusSentence]) -> Vec<Pattern> {
+        let parses: Vec<(Parse, VerbCategory)> = corpus
+            .iter()
+            .map(|s| (parse(&s.text), s.category))
+            .collect();
+
+        let mut patterns = Pattern::seeds();
+
+        loop {
+            // Phase a: harvest subjects/objects from matched sentences.
+            let mut subjects: HashMap<String, usize> = HashMap::new();
+            let mut objects: HashMap<String, usize> = HashMap::new();
+            let mut matched = vec![false; parses.len()];
+            for (i, (p, _)) in parses.iter().enumerate() {
+                if let Some(m) = match_sentence(p, &patterns) {
+                    matched[i] = true;
+                    if let Some(exec) = elements::executor_of(p, m.verb) {
+                        if !self.subject_blacklist.contains(&exec) {
+                            *subjects.entry(exec).or_insert(0) += 1;
+                        }
+                    }
+                    for r in elements::resources_of(p, &m) {
+                        let head = ppchecker_nlp::lemma::lemmatize_noun(
+                            r.split_whitespace().last().unwrap_or(&r),
+                        );
+                        if !self.object_blacklist.contains(&head) {
+                            *objects.entry(head).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            let subj_list = above_median(&subjects);
+            let obj_list = above_median(&objects);
+
+            // Phase b: propose patterns from unmatched sentences whose
+            // subject and object are already known.
+            let mut added = false;
+            for (i, (p, category)) in parses.iter().enumerate() {
+                if matched[i] {
+                    continue;
+                }
+                let Some(candidate) = self.propose(p, *category, &subj_list, &obj_list) else {
+                    continue;
+                };
+                if !patterns.contains(&candidate) {
+                    patterns.push(candidate);
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        patterns
+    }
+
+    /// Proposes a new pattern from an unmatched sentence: the path between
+    /// a known subject and a known object through the root.
+    fn propose(
+        &self,
+        p: &Parse,
+        category: VerbCategory,
+        subj_list: &[String],
+        obj_list: &[String],
+    ) -> Option<Pattern> {
+        let root = p.root?;
+        let subj = p
+            .dependent(root, Rel::Nsubj)
+            .or_else(|| p.dependent(root, Rel::NsubjPass))?;
+        let subj_word = p.tokens[subj].lower.clone();
+        if self.subject_blacklist.contains(&subj_word) || !subj_list.contains(&subj_word) {
+            return None;
+        }
+        let root_lemma = p.lemma(root).to_string();
+        if self.verb_blacklist.contains(&root_lemma) {
+            // "have access to X": the verb is blacklisted but the
+            // verb+object-noun shape may still be meaningful.
+            let obj = p.dependent(root, Rel::Dobj)?;
+            let noun = p.lemma(obj).to_string();
+            if self.object_blacklist.contains(&noun) {
+                return None;
+            }
+            // The actual resource must follow and be known.
+            let chunk = p.chunks.iter().find(|c| c.start > obj)?;
+            let res_head = p.tokens[chunk.head].lemma.clone();
+            if !obj_list.contains(&res_head) || self.object_blacklist.contains(&res_head) {
+                return None;
+            }
+            return Some(Pattern::new(PatternKind::VerbNounResource {
+                verb: root_lemma,
+                noun,
+                category,
+            }));
+        }
+        // Plain new verb: its object must be a known resource.
+        let obj = p
+            .dependent(root, Rel::Dobj)
+            .or_else(|| p.dependent(root, Rel::NsubjPass))?;
+        let obj_lemma = p.tokens[obj].lemma.clone();
+        if self.object_blacklist.contains(&obj_lemma) || !obj_list.contains(&obj_lemma) {
+            return None;
+        }
+        if VerbCategory::of_verb(&root_lemma).is_some() {
+            return None; // already covered by seeds
+        }
+        Some(Pattern::new(PatternKind::LexicalVerb { verb: root_lemma, category }))
+    }
+}
+
+fn above_median(freqs: &HashMap<String, usize>) -> Vec<String> {
+    if freqs.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<usize> = freqs.values().copied().collect();
+    counts.sort_unstable();
+    let median = counts[counts.len() / 2];
+    let threshold = median.max(1);
+    freqs
+        .iter()
+        .filter(|(_, &c)| c >= threshold)
+        .map(|(w, _)| w.clone())
+        .collect()
+}
+
+/// Scores patterns against manually-labeled positive and negative sentence
+/// sets (Eq. 1) and returns them sorted by descending score.
+pub fn score_patterns(
+    patterns: &[Pattern],
+    positive: &[String],
+    negative: &[String],
+) -> Vec<ScoredPattern> {
+    let pos_parses: Vec<Parse> = positive.iter().map(|s| parse(s)).collect();
+    let neg_parses: Vec<Parse> = negative.iter().map(|s| parse(s)).collect();
+
+    // unk: sentences not matched by ANY pattern.
+    let unk = pos_parses
+        .iter()
+        .chain(neg_parses.iter())
+        .filter(|p| match_sentence(p, patterns).is_none())
+        .count();
+
+    let mut scored: Vec<ScoredPattern> = patterns
+        .iter()
+        .map(|pat| {
+            let single = std::slice::from_ref(pat);
+            let pos = pos_parses
+                .iter()
+                .filter(|p| match_sentence(p, single).is_some())
+                .count();
+            let neg = neg_parses
+                .iter()
+                .filter(|p| match_sentence(p, single).is_some())
+                .count();
+            let denom = (pos + neg) as f64;
+            let acc = if denom > 0.0 { pos as f64 / denom } else { 0.0 };
+            let conf_denom = (pos + neg + unk) as f64;
+            let conf = if conf_denom > 0.0 {
+                (pos as f64 - neg as f64) / conf_denom
+            } else {
+                0.0
+            };
+            let score = if pos > 0 { conf * (pos as f64).ln() } else { f64::NEG_INFINITY };
+            ScoredPattern { pattern: pat.clone(), pos, neg, acc, conf, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+}
+
+/// Takes the top-`n` patterns from a scored ranking.
+pub fn select_top_n(scored: &[ScoredPattern], n: usize) -> Vec<Pattern> {
+    scored.iter().take(n).map(|s| s.pattern.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<CorpusSentence> {
+        let mk = |t: &str, c| CorpusSentence { text: t.to_string(), category: c };
+        vec![
+            mk("we will collect your location", VerbCategory::Collect),
+            mk("we collect your device id", VerbCategory::Collect),
+            mk("we collect your contacts", VerbCategory::Collect),
+            mk("we may gather your email address", VerbCategory::Collect),
+            mk("we will harvest your contacts", VerbCategory::Collect),
+            mk("we harvest your location", VerbCategory::Collect),
+            mk("we have access to your contacts", VerbCategory::Collect),
+            mk("we store your email address", VerbCategory::Retain),
+            mk("we will share your location", VerbCategory::Disclose),
+        ]
+    }
+
+    #[test]
+    fn mines_new_lexical_verb() {
+        let b = Bootstrapper::default();
+        let pats = b.mine(&corpus());
+        assert!(pats.iter().any(|p| matches!(
+            &p.kind,
+            PatternKind::LexicalVerb { verb, category: VerbCategory::Collect } if verb == "harvest"
+        )));
+    }
+
+    #[test]
+    fn mines_verb_noun_resource() {
+        let b = Bootstrapper::default();
+        let pats = b.mine(&corpus());
+        assert!(pats.iter().any(|p| matches!(
+            &p.kind,
+            PatternKind::VerbNounResource { verb, noun, .. } if verb == "have" && noun == "access"
+        )));
+    }
+
+    #[test]
+    fn blacklisted_subject_not_mined() {
+        let b = Bootstrapper::default();
+        let mut c = corpus();
+        c.push(CorpusSentence {
+            text: "you will download the files".to_string(),
+            category: VerbCategory::Collect,
+        });
+        let pats = b.mine(&c);
+        assert!(!pats.iter().any(|p| matches!(
+            &p.kind,
+            PatternKind::LexicalVerb { verb, .. } if verb == "download"
+        )));
+    }
+
+    #[test]
+    fn scoring_ranks_precise_patterns_first() {
+        let b = Bootstrapper::default();
+        let pats = b.mine(&corpus());
+        let positive: Vec<String> = vec![
+            "we will collect your location".to_string(),
+            "we collect your contacts".to_string(),
+            "your personal information will be used".to_string(),
+            "we harvest your location".to_string(),
+        ];
+        let negative: Vec<String> = vec![
+            "this policy describes our practices".to_string(),
+            "the service is provided as is".to_string(),
+        ];
+        let scored = score_patterns(&pats, &positive, &negative);
+        assert!(!scored.is_empty());
+        // Sorted descending.
+        for w in scored.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // acc within [0, 1].
+        for s in &scored {
+            assert!((0.0..=1.0).contains(&s.acc) || s.pos + s.neg == 0);
+        }
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let b = Bootstrapper::default();
+        let pats = b.mine(&corpus());
+        let scored = score_patterns(&pats, &["we collect your location".to_string()], &[]);
+        assert_eq!(select_top_n(&scored, 3).len(), 3);
+        assert!(select_top_n(&scored, 1000).len() <= scored.len());
+    }
+}

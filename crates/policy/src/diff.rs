@@ -1,0 +1,157 @@
+//! Privacy-policy version diffing.
+//!
+//! Policies change over time ("this policy may change from time to time")
+//! and regulators care exactly about what changed: which behaviours were
+//! newly declared, which disclosures quietly disappeared, and which
+//! promises ("we will not ...") were dropped. This module compares two
+//! [`PolicyAnalysis`] results at the behaviour level rather than the text
+//! level.
+
+use crate::pipeline::PolicyAnalysis;
+use crate::verbs::VerbCategory;
+use std::collections::BTreeSet;
+
+/// One behaviour statement: a category plus a resource, with polarity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Statement {
+    /// The behaviour category.
+    pub category: VerbCategory,
+    /// The resource phrase.
+    pub resource: String,
+    /// `true` for denials ("we will not ...").
+    pub negative: bool,
+}
+
+/// The behaviour-level difference between two policy versions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyDiff {
+    /// Statements present in the new version only.
+    pub added: Vec<Statement>,
+    /// Statements present in the old version only.
+    pub removed: Vec<Statement>,
+    /// The disclaimer appeared (`Some(true)`) or disappeared
+    /// (`Some(false)`); `None` when unchanged.
+    pub disclaimer_changed: Option<bool>,
+}
+
+impl PolicyDiff {
+    /// `true` when nothing changed at the behaviour level.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.disclaimer_changed.is_none()
+    }
+
+    /// Newly declared data practices (positive statements added) — the
+    /// changes a user would most want to be notified about.
+    pub fn new_practices(&self) -> impl Iterator<Item = &Statement> {
+        self.added.iter().filter(|s| !s.negative)
+    }
+
+    /// Dropped promises (negative statements removed): the policy used to
+    /// deny a behaviour and no longer does.
+    pub fn dropped_promises(&self) -> impl Iterator<Item = &Statement> {
+        self.removed.iter().filter(|s| s.negative)
+    }
+}
+
+fn statements(analysis: &PolicyAnalysis) -> BTreeSet<Statement> {
+    let mut out = BTreeSet::new();
+    for cat in VerbCategory::ALL {
+        for negative in [false, true] {
+            for r in analysis.resources(cat, negative) {
+                out.insert(Statement {
+                    category: cat,
+                    resource: r.to_string(),
+                    negative,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Computes the behaviour-level diff from `old` to `new`.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_policy::{diff::diff, PolicyAnalyzer};
+///
+/// let analyzer = PolicyAnalyzer::new();
+/// let v1 = analyzer.analyze_text("We collect your email address. We will not share your location.");
+/// let v2 = analyzer.analyze_text("We collect your email address. We may share your location.");
+/// let d = diff(&v1, &v2);
+/// assert_eq!(d.dropped_promises().count(), 1); // the location promise is gone
+/// assert_eq!(d.new_practices().count(), 1);    // and sharing is now declared
+/// ```
+pub fn diff(old: &PolicyAnalysis, new: &PolicyAnalysis) -> PolicyDiff {
+    let old_set = statements(old);
+    let new_set = statements(new);
+    PolicyDiff {
+        added: new_set.difference(&old_set).cloned().collect(),
+        removed: old_set.difference(&new_set).cloned().collect(),
+        disclaimer_changed: if old.has_disclaimer == new.has_disclaimer {
+            None
+        } else {
+            Some(new.has_disclaimer)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PolicyAnalyzer;
+
+    fn analyze(text: &str) -> PolicyAnalysis {
+        PolicyAnalyzer::new().analyze_text(text)
+    }
+
+    #[test]
+    fn identical_policies_diff_empty() {
+        let a = analyze("We collect your location. We will not sell your personal information.");
+        let d = diff(&a, &a);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn added_collection_detected() {
+        let old = analyze("We collect your email address.");
+        let new = analyze("We collect your email address. We may collect your location.");
+        let d = diff(&old, &new);
+        assert_eq!(d.removed.len(), 0);
+        assert!(d
+            .added
+            .iter()
+            .any(|s| s.category == VerbCategory::Collect && s.resource.contains("location")));
+    }
+
+    #[test]
+    fn dropped_promise_detected() {
+        let old = analyze("We will not share your contacts. We collect your email address.");
+        let new = analyze("We collect your email address.");
+        let d = diff(&old, &new);
+        let dropped: Vec<_> = d.dropped_promises().collect();
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].resource.contains("contacts"));
+    }
+
+    #[test]
+    fn disclaimer_appearance_tracked() {
+        let old = analyze("We collect your location.");
+        let new = analyze(
+            "We collect your location. We are not responsible for the privacy practices of \
+             those third party sites.",
+        );
+        assert_eq!(diff(&old, &new).disclaimer_changed, Some(true));
+        assert_eq!(diff(&new, &old).disclaimer_changed, Some(false));
+    }
+
+    #[test]
+    fn polarity_flip_is_add_plus_remove() {
+        let old = analyze("We will not collect your location.");
+        let new = analyze("We may collect your location.");
+        let d = diff(&old, &new);
+        assert!(d.added.iter().any(|s| !s.negative));
+        assert!(d.removed.iter().any(|s| s.negative));
+    }
+}

@@ -1,0 +1,67 @@
+//! Third-party disclaimer detection.
+//!
+//! Some policies declare they are "not responsible for the privacy
+//! practices" of third parties; the paper ignores app↔lib inconsistencies
+//! for such policies.
+
+/// Returns `true` if the sentence is a third-party responsibility
+/// disclaimer.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_policy::disclaimer::is_disclaimer;
+/// assert!(is_disclaimer(
+///     "we are not responsible for the privacy practices of those sites"
+/// ));
+/// assert!(!is_disclaimer("we will not collect your location"));
+/// ```
+pub fn is_disclaimer(sentence: &str) -> bool {
+    let s = sentence.to_lowercase();
+    let negated_responsibility = s.contains("not responsible")
+        || s.contains("no responsibility")
+        || s.contains("not liable")
+        || s.contains("cannot be held responsible");
+    if !negated_responsibility {
+        return false;
+    }
+    s.contains("third part")
+        || s.contains("privacy practice")
+        || s.contains("those sites")
+        || s.contains("these sites")
+        || s.contains("other sites")
+        || s.contains("external")
+        || s.contains("other companies")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_disclaimer() {
+        // com.shortbreakstudios.HammerTime, §IV-C.
+        assert!(is_disclaimer(
+            "we encourage you to review the privacy practices of these third parties before \
+             disclosing any personally identifiable information, as we are not responsible \
+             for the privacy practices of those sites"
+        ));
+    }
+
+    #[test]
+    fn responsibility_without_third_party_is_not() {
+        assert!(!is_disclaimer("we are not responsible for your password strength"));
+    }
+
+    #[test]
+    fn ordinary_negative_sentence_is_not() {
+        assert!(!is_disclaimer("we do not share your contacts with anyone"));
+    }
+
+    #[test]
+    fn liability_variant() {
+        assert!(is_disclaimer(
+            "we are not liable for the data collection of third parties"
+        ));
+    }
+}

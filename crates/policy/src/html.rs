@@ -1,0 +1,164 @@
+//! HTML text extraction (the Beautiful Soup substitute).
+//!
+//! Privacy policies arrive as HTML pages; Step 1 extracts the visible text,
+//! dropping tags, scripts, styles, and comments, and decoding the common
+//! entities. Block-level closing tags become paragraph breaks so the
+//! sentence splitter sees document structure.
+
+/// Extracts visible text from an HTML document.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_policy::html::extract_text;
+/// let html = "<html><body><h1>Privacy</h1><p>We collect data.</p>\
+///             <script>var x=1;</script></body></html>";
+/// let text = extract_text(html);
+/// assert!(text.contains("We collect data."));
+/// assert!(!text.contains("var x"));
+/// ```
+pub fn extract_text(html: &str) -> String {
+    let mut out = String::with_capacity(html.len() / 2);
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    let mut skip_until: Option<&str> = None;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            // Comment?
+            if html[i..].starts_with("<!--") {
+                match html[i..].find("-->") {
+                    Some(end) => {
+                        i += end + 3;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let close = match html[i..].find('>') {
+                Some(c) => i + c,
+                None => break,
+            };
+            let tag_body = &html[i + 1..close];
+            let tag_name: String = tag_body
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            if let Some(terminator) = skip_until {
+                if tag_body.starts_with('/') && tag_name == terminator {
+                    skip_until = None;
+                }
+                i = close + 1;
+                continue;
+            }
+            match tag_name.as_str() {
+                "script" | "style" if !tag_body.starts_with('/') => {
+                    skip_until = Some(if tag_name == "script" { "script" } else { "style" });
+                }
+                // Block-level boundaries become paragraph breaks.
+                "p" | "div" | "li" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6" | "tr" | "table"
+                | "ul" | "ol" | "section" | "article" | "header" | "footer" | "blockquote" => {
+                    out.push_str("\n\n");
+                }
+                "br" => out.push('\n'),
+                _ => {}
+            }
+            i = close + 1;
+        } else if skip_until.is_some() {
+            i += 1;
+        } else if bytes[i] == b'&' {
+            let (decoded, len) = decode_entity(&html[i..]);
+            out.push_str(decoded);
+            i += len;
+        } else {
+            // SAFETY of slicing: iterate bytes but push full UTF-8 chars.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&html[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    out
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn decode_entity(s: &str) -> (&'static str, usize) {
+    const ENTITIES: &[(&str, &str)] = &[
+        ("&amp;", "&"),
+        ("&lt;", "<"),
+        ("&gt;", ">"),
+        ("&quot;", "\""),
+        ("&apos;", "'"),
+        ("&#39;", "'"),
+        ("&nbsp;", " "),
+        ("&mdash;", "-"),
+        ("&ndash;", "-"),
+        ("&rsquo;", "'"),
+        ("&lsquo;", "'"),
+        ("&rdquo;", "\""),
+        ("&ldquo;", "\""),
+    ];
+    for (ent, rep) in ENTITIES {
+        if s.starts_with(ent) {
+            return (rep, ent.len());
+        }
+    }
+    ("&", 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags() {
+        assert_eq!(
+            extract_text("<p>We collect <b>location</b> data.</p>").trim(),
+            "We collect location data."
+        );
+    }
+
+    #[test]
+    fn drops_script_and_style() {
+        let t = extract_text("<style>.x{}</style><script>alert(1)</script><p>ok</p>");
+        assert!(t.contains("ok"));
+        assert!(!t.contains("alert"));
+        assert!(!t.contains(".x{}"));
+    }
+
+    #[test]
+    fn drops_comments() {
+        let t = extract_text("before<!-- hidden -->after");
+        assert_eq!(t, "beforeafter");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let t = extract_text("Terms &amp; Conditions&nbsp;&lt;here&gt;");
+        assert_eq!(t, "Terms & Conditions <here>");
+    }
+
+    #[test]
+    fn block_tags_become_breaks() {
+        let t = extract_text("<p>one</p><p>two</p>");
+        assert!(t.contains("\n\n"));
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(extract_text("no markup at all"), "no markup at all");
+    }
+
+    #[test]
+    fn unterminated_tag_is_safe() {
+        assert_eq!(extract_text("text <unclosed"), "text ");
+    }
+}

@@ -1,0 +1,186 @@
+//! Negation analysis (Step 5).
+//!
+//! A sentence is negative if negation appears in either of two places: the
+//! subject ("**nothing** will be collected") or the modifiers of the root
+//! word ("we will **not** collect information"). The negation word list
+//! follows the paper's source and includes negative verbs ("prevent"),
+//! adverbs ("hardly"), adjectives ("unable"), and determiners ("no").
+
+use ppchecker_nlp::depparse::{Parse, Rel};
+
+/// Negative adverbs and particles.
+pub const NEG_ADVERBS: &[&str] = &[
+    "not", "n't", "never", "hardly", "rarely", "seldom", "scarcely", "barely", "neither", "nor",
+];
+
+/// Negative determiners and pronouns.
+pub const NEG_DETERMINERS: &[&str] = &["no", "none", "nothing", "nobody", "neither"];
+
+/// Negative verbs: their complement is negated ("we prevent the app from
+/// collecting...").
+pub const NEG_VERBS: &[&str] = &["prevent", "refuse", "decline", "deny", "avoid", "prohibit", "forbid"];
+
+/// Negative adjectives ("we are unable to collect ...").
+pub const NEG_ADJECTIVES: &[&str] = &["unable", "unlikely", "impossible"];
+
+/// Decides whether the clause rooted at `verb` is negated.
+///
+/// Checks, per the paper:
+/// 1. the subject (nsubj/nsubjpass) for negative determiners/pronouns;
+/// 2. the modifiers of the root word (a `neg` dependency or negative
+///    adverbs/verbs/adjectives on the root or its governing chain).
+pub fn is_negative(parse: &Parse, verb: usize) -> bool {
+    // neg() edge on the verb itself.
+    if parse.dependent(verb, Rel::Neg).is_some() {
+        return true;
+    }
+    // Negative root lemma (negative verb or adjective as root/governor).
+    let lemma = parse.lemma(verb);
+    if NEG_VERBS.contains(&lemma) || NEG_ADJECTIVES.contains(&lemma) {
+        return true;
+    }
+    // A negated or negative governor: "we are unable to collect",
+    // "we will not be allowed to access" — the verb hangs off the governor
+    // via xcomp/advcl.
+    for rel in [Rel::Xcomp, Rel::Advcl] {
+        if let Some(gov) = parse.governor(verb, rel) {
+            if parse.dependent(gov, Rel::Neg).is_some() {
+                return true;
+            }
+            let gl = parse.lemma(gov);
+            if NEG_VERBS.contains(&gl) || NEG_ADJECTIVES.contains(&gl) {
+                return true;
+            }
+        }
+    }
+    // Negative subject.
+    let subj = parse
+        .dependent(verb, Rel::Nsubj)
+        .or_else(|| parse.dependent(verb, Rel::NsubjPass))
+        .or_else(|| {
+            // Subject may attach to the governor ("we are unable to ...").
+            [Rel::Xcomp, Rel::Advcl].iter().find_map(|&r| {
+                parse.governor(verb, r).and_then(|g| {
+                    parse
+                        .dependent(g, Rel::Nsubj)
+                        .or_else(|| parse.dependent(g, Rel::NsubjPass))
+                })
+            })
+        });
+    if let Some(s) = subj {
+        if NEG_DETERMINERS.contains(&parse.tokens[s].lower.as_str()) {
+            return true;
+        }
+        if let Some(chunk) = parse.chunk_headed_by(s) {
+            for i in chunk.start..chunk.end {
+                if NEG_DETERMINERS.contains(&parse.tokens[i].lower.as_str()) {
+                    return true;
+                }
+            }
+            // Partitive negative subjects: "none of your contacts will be
+            // collected" — the negative head sits before the "of".
+            if chunk.start >= 2
+                && parse.tokens[chunk.start - 1].lower == "of"
+                && NEG_DETERMINERS.contains(&parse.tokens[chunk.start - 2].lower.as_str())
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_nlp::depparse::parse;
+
+    fn root_negative(s: &str) -> bool {
+        let p = parse(s);
+        let r = p.root.expect("sentence should have a root");
+        is_negative(&p, r)
+    }
+
+    #[test]
+    fn plain_positive_sentence() {
+        assert!(!root_negative("we will collect your location"));
+    }
+
+    #[test]
+    fn not_modifier() {
+        assert!(root_negative("we will not collect your location"));
+    }
+
+    #[test]
+    fn contracted_negation() {
+        assert!(root_negative("we don't sell your data"));
+    }
+
+    #[test]
+    fn never_adverb() {
+        assert!(root_negative("we will never share your contacts"));
+    }
+
+    #[test]
+    fn negative_subject() {
+        assert!(root_negative("nothing will be collected"));
+        assert!(root_negative("no personal information will be collected"));
+    }
+
+    #[test]
+    fn negative_adjective_root() {
+        // "unable" is the copular root; the collect verb hangs off it.
+        let p = parse("we are unable to collect your location");
+        let r = p.root.unwrap();
+        assert!(is_negative(&p, r));
+        // and the embedded verb is also judged negative via its governor
+        let x = p.dependent(r, Rel::Xcomp).unwrap();
+        assert!(is_negative(&p, x));
+    }
+
+    #[test]
+    fn positive_passive() {
+        assert!(!root_negative("your personal information will be used"));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use ppchecker_nlp::depparse::parse;
+
+    fn root_negative(s: &str) -> bool {
+        let p = parse(s);
+        is_negative(&p, p.root.expect("root"))
+    }
+
+    #[test]
+    fn hardly_and_rarely_are_negative() {
+        assert!(root_negative("we hardly collect your location"));
+        assert!(root_negative("we rarely share your data"));
+    }
+
+    #[test]
+    fn prevent_style_verbs_negate() {
+        let p = parse("we prevent our partners from collecting your location");
+        assert!(is_negative(&p, p.root.unwrap()));
+    }
+
+    #[test]
+    fn neither_nor_subject_negates() {
+        assert!(root_negative("none of your contacts will be collected"));
+    }
+
+    #[test]
+    fn affirmative_with_negative_looking_words_stays_positive() {
+        // "no longer than necessary" style wording — "no" is inside a PP,
+        // not the subject or root modifiers.
+        assert!(!root_negative("we keep your data for a short period"));
+        assert!(!root_negative("we collect your anonymous usage data"));
+    }
+
+    #[test]
+    fn wont_contraction() {
+        assert!(root_negative("we won't share your contacts"));
+    }
+}

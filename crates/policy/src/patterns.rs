@@ -1,0 +1,325 @@
+//! Sentence-selection patterns (Step 4).
+//!
+//! The five hand-seeded shapes of Table II (active voice, passive voice,
+//! passive allow expression, ability expression, purpose expression) plus
+//! the lexical patterns mined by the bootstrapper. A sentence is *useful*
+//! iff it matches at least one selected pattern; the match pins down the
+//! category-bearing verb used by element extraction.
+
+use crate::verbs::VerbCategory;
+use ppchecker_nlp::depparse::{Parse, Rel};
+use std::fmt;
+
+/// The shape a pattern matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternKind {
+    /// P1: the root verb is a main verb, active voice
+    /// ("we will collect location").
+    ActiveVoice,
+    /// P2: the root verb is a main verb, passive voice
+    /// ("your personal information will be used").
+    PassiveVoice,
+    /// P3: passive allow expression — root is `trigger` (a passive
+    /// participle like "allowed"/"permitted") with an xcomp main verb
+    /// ("we are allowed to access your personal information").
+    PassiveAllow {
+        /// The participle word, e.g. "allowed".
+        trigger: String,
+    },
+    /// P4: ability expression — root is the copular adjective `trigger`
+    /// with an xcomp main verb ("we are able to collect location").
+    AbilityAdj {
+        /// The adjective, e.g. "able".
+        trigger: String,
+    },
+    /// P5: purpose expression — the root has an advcl/xcomp verb that is a
+    /// main verb ("we use GPS to get your location").
+    PurposeClause,
+    /// Mined: a specific verb lemma outside the seed lists, mapped to a
+    /// category ("we may harvest your contacts" → collect).
+    LexicalVerb {
+        /// The verb lemma.
+        verb: String,
+        /// Category the bootstrapper assigned.
+        category: VerbCategory,
+    },
+    /// Mined: verb + object-noun shape whose real resource follows the
+    /// noun ("we have access to your contacts").
+    VerbNounResource {
+        /// Root verb lemma, e.g. "have".
+        verb: String,
+        /// Object noun lemma, e.g. "access".
+        noun: String,
+        /// Category the bootstrapper assigned.
+        category: VerbCategory,
+    },
+}
+
+/// A selectable pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// The matcher.
+    pub kind: PatternKind,
+}
+
+impl Pattern {
+    /// Creates a pattern.
+    pub fn new(kind: PatternKind) -> Self {
+        Pattern { kind }
+    }
+
+    /// The five seed patterns of Table II.
+    pub fn seeds() -> Vec<Pattern> {
+        vec![
+            Pattern::new(PatternKind::ActiveVoice),
+            Pattern::new(PatternKind::PassiveVoice),
+            Pattern::new(PatternKind::PassiveAllow { trigger: "allow".to_string() }),
+            Pattern::new(PatternKind::AbilityAdj { trigger: "able".to_string() }),
+            Pattern::new(PatternKind::PurposeClause),
+        ]
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PatternKind::ActiveVoice => write!(f, "sbj→V_P→obj (active)"),
+            PatternKind::PassiveVoice => write!(f, "obj→V_P (passive)"),
+            PatternKind::PassiveAllow { trigger } => write!(f, "sbj {trigger} to V_P"),
+            PatternKind::AbilityAdj { trigger } => write!(f, "sbj {trigger} to V_P"),
+            PatternKind::PurposeClause => write!(f, "sbj V x to V_P obj"),
+            PatternKind::LexicalVerb { verb, category } => write!(f, "sbj→{verb}→obj [{category}]"),
+            PatternKind::VerbNounResource { verb, noun, category } => {
+                write!(f, "sbj {verb} {noun} obj [{category}]")
+            }
+        }
+    }
+}
+
+/// The result of matching a sentence against a pattern list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentenceMatch {
+    /// Index of the matching pattern in the supplied list.
+    pub pattern_idx: usize,
+    /// Behaviour category.
+    pub category: VerbCategory,
+    /// Token index of the category-bearing verb.
+    pub verb: usize,
+    /// `true` if that verb is passive.
+    pub passive: bool,
+    /// For [`PatternKind::VerbNounResource`]: the object-noun token whose
+    /// following NP is the actual resource.
+    pub resource_after: Option<usize>,
+}
+
+/// Matches a parsed sentence against an ordered pattern list, returning
+/// the first hit.
+pub fn match_sentence(parse: &Parse, patterns: &[Pattern]) -> Option<SentenceMatch> {
+    let root = parse.root?;
+    patterns
+        .iter()
+        .enumerate()
+        .find_map(|(idx, p)| match_one(parse, root, idx, p))
+}
+
+fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Option<SentenceMatch> {
+    let root_lemma = parse.lemma(root).to_string();
+    let root_passive = parse.has_auxpass(root);
+    match &pattern.kind {
+        PatternKind::ActiveVoice => {
+            let cat = VerbCategory::of_verb(&root_lemma)?;
+            if root_passive {
+                return None;
+            }
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: cat,
+                verb: root,
+                passive: false,
+                resource_after: None,
+            })
+        }
+        PatternKind::PassiveVoice => {
+            let cat = VerbCategory::of_verb(&root_lemma)?;
+            if !root_passive {
+                return None;
+            }
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: cat,
+                verb: root,
+                passive: true,
+                resource_after: None,
+            })
+        }
+        PatternKind::PassiveAllow { trigger } => {
+            if &root_lemma != trigger || !root_passive {
+                return None;
+            }
+            let x = parse.dependent(root, Rel::Xcomp)?;
+            let cat = VerbCategory::of_verb(parse.lemma(x))?;
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: cat,
+                verb: x,
+                passive: false,
+                resource_after: None,
+            })
+        }
+        PatternKind::AbilityAdj { trigger } => {
+            if &root_lemma != trigger {
+                return None;
+            }
+            let x = parse.dependent(root, Rel::Xcomp)?;
+            let cat = VerbCategory::of_verb(parse.lemma(x))?;
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: cat,
+                verb: x,
+                passive: false,
+                resource_after: None,
+            })
+        }
+        PatternKind::PurposeClause => {
+            // Root itself must NOT be a main verb (those are P1/P2), but an
+            // advcl/xcomp child is.
+            if VerbCategory::of_verb(&root_lemma).is_some() {
+                return None;
+            }
+            for rel in [Rel::Advcl, Rel::Xcomp] {
+                for child in parse.dependents(root, rel) {
+                    // Skip constraint clauses ("if you register"): those
+                    // carry a mark dependency.
+                    if parse.dependent(child, Rel::Mark).is_some() {
+                        continue;
+                    }
+                    if let Some(cat) = VerbCategory::of_verb(parse.lemma(child)) {
+                        return Some(SentenceMatch {
+                            pattern_idx: idx,
+                            category: cat,
+                            verb: child,
+                            passive: parse.has_auxpass(child),
+                            resource_after: None,
+                        });
+                    }
+                }
+            }
+            None
+        }
+        PatternKind::LexicalVerb { verb, category } => {
+            if &root_lemma != verb {
+                return None;
+            }
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: *category,
+                verb: root,
+                passive: root_passive,
+                resource_after: None,
+            })
+        }
+        PatternKind::VerbNounResource { verb, noun, category } => {
+            if &root_lemma != verb {
+                return None;
+            }
+            let obj = parse.dependent(root, Rel::Dobj)?;
+            if parse.lemma(obj) != noun {
+                return None;
+            }
+            Some(SentenceMatch {
+                pattern_idx: idx,
+                category: *category,
+                verb: root,
+                passive: false,
+                resource_after: Some(obj),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_nlp::depparse::parse;
+
+    fn match_with_seeds(s: &str) -> Option<SentenceMatch> {
+        match_sentence(&parse(s), &Pattern::seeds())
+    }
+
+    #[test]
+    fn p1_active_voice() {
+        let m = match_with_seeds("we are able to collect location information");
+        // "able" matches P4 before P1 would; check a plain active sentence:
+        let m2 = match_with_seeds("we will collect your location").unwrap();
+        assert_eq!(m2.category, VerbCategory::Collect);
+        assert!(!m2.passive);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn p2_passive_voice() {
+        let m = match_with_seeds("your personal information will be used").unwrap();
+        assert_eq!(m.category, VerbCategory::Use);
+        assert!(m.passive);
+    }
+
+    #[test]
+    fn p3_passive_allow() {
+        let m = match_with_seeds("we are allowed to access your personal information").unwrap();
+        assert_eq!(m.category, VerbCategory::Collect);
+    }
+
+    #[test]
+    fn p4_ability() {
+        let m = match_with_seeds("we are able to collect location information").unwrap();
+        assert_eq!(m.category, VerbCategory::Collect);
+    }
+
+    #[test]
+    fn p5_purpose_clause() {
+        let m = match_with_seeds("we use gps to get your location");
+        // "use" ∈ V_use so this actually matches P1 with category Use —
+        // acceptable and matches the paper's Table II row ordering.
+        assert!(m.is_some());
+        // A root outside the lists exercises P5 proper:
+        let m2 = match_with_seeds("we need your permission to access your contacts").unwrap();
+        assert_eq!(m2.category, VerbCategory::Collect);
+    }
+
+    #[test]
+    fn mined_lexical_verb() {
+        let mut pats = Pattern::seeds();
+        pats.push(Pattern::new(PatternKind::LexicalVerb {
+            verb: "harvest".to_string(),
+            category: VerbCategory::Collect,
+        }));
+        let m = match_sentence(&parse("we may harvest your contacts"), &pats).unwrap();
+        assert_eq!(m.category, VerbCategory::Collect);
+    }
+
+    #[test]
+    fn mined_verb_noun_resource() {
+        let mut pats = Pattern::seeds();
+        pats.push(Pattern::new(PatternKind::VerbNounResource {
+            verb: "have".to_string(),
+            noun: "access".to_string(),
+            category: VerbCategory::Collect,
+        }));
+        let m = match_sentence(&parse("we have access to your contacts"), &pats).unwrap();
+        assert_eq!(m.category, VerbCategory::Collect);
+        assert!(m.resource_after.is_some());
+    }
+
+    #[test]
+    fn irrelevant_sentence_is_unmatched() {
+        assert!(match_with_seeds("this policy describes our practices").is_none());
+        assert!(match_with_seeds("the weather is nice today").is_none());
+    }
+
+    #[test]
+    fn unmined_verb_is_unmatched_without_its_pattern() {
+        // The paper's false negative: "display" is not in the seed lists.
+        assert!(match_with_seeds("we will not display any of your personal information")
+            .is_none());
+    }
+}

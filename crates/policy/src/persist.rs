@@ -1,0 +1,167 @@
+//! Pattern-list persistence: save a bootstrapped/selected pattern set to a
+//! line-based text form and load it back, so the expensive mining +
+//! scoring pass (Fig. 12) can run once and ship its result.
+
+use crate::patterns::{Pattern, PatternKind};
+use crate::verbs::VerbCategory;
+use std::fmt;
+
+/// Error produced when parsing a persisted pattern list fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+fn category_tag(c: VerbCategory) -> &'static str {
+    match c {
+        VerbCategory::Collect => "collect",
+        VerbCategory::Use => "use",
+        VerbCategory::Retain => "retain",
+        VerbCategory::Disclose => "disclose",
+    }
+}
+
+fn parse_category(s: &str) -> Option<VerbCategory> {
+    match s {
+        "collect" => Some(VerbCategory::Collect),
+        "use" => Some(VerbCategory::Use),
+        "retain" => Some(VerbCategory::Retain),
+        "disclose" => Some(VerbCategory::Disclose),
+        _ => None,
+    }
+}
+
+/// Serializes a pattern list, one pattern per line.
+pub fn to_text(patterns: &[Pattern]) -> String {
+    let mut out = String::new();
+    for p in patterns {
+        let line = match &p.kind {
+            PatternKind::ActiveVoice => "active".to_string(),
+            PatternKind::PassiveVoice => "passive".to_string(),
+            PatternKind::PassiveAllow { trigger } => format!("allow {trigger}"),
+            PatternKind::AbilityAdj { trigger } => format!("ability {trigger}"),
+            PatternKind::PurposeClause => "purpose".to_string(),
+            PatternKind::LexicalVerb { verb, category } => {
+                format!("verb {verb} {}", category_tag(*category))
+            }
+            PatternKind::VerbNounResource { verb, noun, category } => {
+                format!("verbnoun {verb} {noun} {}", category_tag(*category))
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a persisted pattern list.
+///
+/// # Errors
+///
+/// Returns [`ParsePatternError`] on malformed lines; blank lines and `#`
+/// comments are skipped.
+pub fn from_text(text: &str) -> Result<Vec<Pattern>, ParsePatternError> {
+    let mut out = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = ln + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ParsePatternError { line: lineno, message: message.into() };
+        let mut f = line.split_whitespace();
+        let kind = match f.next().unwrap_or_default() {
+            "active" => PatternKind::ActiveVoice,
+            "passive" => PatternKind::PassiveVoice,
+            "allow" => PatternKind::PassiveAllow {
+                trigger: f.next().ok_or_else(|| err("allow needs a trigger"))?.to_string(),
+            },
+            "ability" => PatternKind::AbilityAdj {
+                trigger: f.next().ok_or_else(|| err("ability needs a trigger"))?.to_string(),
+            },
+            "purpose" => PatternKind::PurposeClause,
+            "verb" => {
+                let verb = f.next().ok_or_else(|| err("verb needs a lemma"))?.to_string();
+                let cat = f
+                    .next()
+                    .and_then(parse_category)
+                    .ok_or_else(|| err("verb needs a category"))?;
+                PatternKind::LexicalVerb { verb, category: cat }
+            }
+            "verbnoun" => {
+                let verb = f.next().ok_or_else(|| err("verbnoun needs a verb"))?.to_string();
+                let noun = f.next().ok_or_else(|| err("verbnoun needs a noun"))?.to_string();
+                let cat = f
+                    .next()
+                    .and_then(parse_category)
+                    .ok_or_else(|| err("verbnoun needs a category"))?;
+                PatternKind::VerbNounResource { verb, noun, category: cat }
+            }
+            other => return Err(err(&format!("unknown pattern kind '{other}'"))),
+        };
+        out.push(Pattern::new(kind));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{default_mined_patterns, PolicyAnalyzer};
+
+    #[test]
+    fn seed_patterns_round_trip() {
+        let pats = Pattern::seeds();
+        let text = to_text(&pats);
+        assert_eq!(from_text(&text).unwrap(), pats);
+    }
+
+    #[test]
+    fn mined_patterns_round_trip() {
+        let mut pats = Pattern::seeds();
+        pats.extend(default_mined_patterns());
+        let text = to_text(&pats);
+        assert_eq!(from_text(&text).unwrap(), pats);
+    }
+
+    #[test]
+    fn full_analyzer_set_round_trips() {
+        let analyzer = PolicyAnalyzer::new().with_synonym_expansion();
+        let pats = analyzer.patterns().to_vec();
+        assert_eq!(from_text(&to_text(&pats)).unwrap(), pats);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# my patterns\n\nactive\n  passive  \n";
+        assert_eq!(from_text(text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert_eq!(from_text("bogus").unwrap_err().line, 1);
+        assert!(from_text("verb collectonly").is_err());
+        assert!(from_text("verb x nosuchcategory").is_err());
+        assert!(from_text("allow").is_err());
+    }
+
+    #[test]
+    fn loaded_patterns_drive_the_analyzer() {
+        let text = "active\npassive\nverb harvest collect\n";
+        let pats = from_text(text).unwrap();
+        let analyzer = PolicyAnalyzer::with_patterns(pats);
+        let a = analyzer.analyze_text("we may harvest your contacts.");
+        assert_eq!(a.sentences.len(), 1);
+    }
+}

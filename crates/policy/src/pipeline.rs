@@ -1,0 +1,431 @@
+//! The six-step privacy-policy analysis pipeline (Fig. 5):
+//! sentence extraction → syntactic analysis → pattern generation →
+//! sentence selection → negation analysis → information-element extraction.
+
+use crate::disclaimer;
+use crate::elements::{self, Constraint, Elements};
+use crate::html;
+use crate::negation;
+use crate::patterns::{match_sentence, Pattern, PatternKind};
+use crate::verbs::VerbCategory;
+use ppchecker_nlp::depparse::parse;
+use ppchecker_nlp::sentence::split_sentences;
+use std::collections::BTreeSet;
+
+/// A useful sentence with its extracted elements.
+#[derive(Debug, Clone)]
+pub struct AnalyzedSentence {
+    /// Normalized sentence text.
+    pub text: String,
+    /// Behaviour category of the main verb.
+    pub category: VerbCategory,
+    /// `true` if the sentence is negated (Step 5).
+    pub negative: bool,
+    /// `true` if a consent-style exception conditions the sentence
+    /// ("without your consent", "unless you opt in" — the paper's §VI
+    /// observation that such constraints "affect the actual meaning").
+    pub conditional: bool,
+    /// Extracted elements (Step 6).
+    pub elements: Elements,
+}
+
+impl AnalyzedSentence {
+    /// Resource phrases of this sentence.
+    pub fn resources(&self) -> &[String] {
+        &self.elements.resources
+    }
+}
+
+/// The analysis of one privacy policy.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyAnalysis {
+    /// The useful sentences.
+    pub sentences: Vec<AnalyzedSentence>,
+    /// Total sentences in the document (before selection).
+    pub total_sentences: usize,
+    /// `true` if the policy disclaims responsibility for third parties.
+    pub has_disclaimer: bool,
+}
+
+impl PolicyAnalysis {
+    /// Resources of positive (`negative == false`) or negative sentences in
+    /// one category: the paper's `Collect_PP` / `NotCollect_PP` etc.
+    pub fn resources(&self, category: VerbCategory, negative: bool) -> BTreeSet<&str> {
+        self.sentences
+            .iter()
+            .filter(|s| s.category == category && s.negative == negative)
+            .flat_map(|s| s.resources().iter().map(|r| r.as_str()))
+            .collect()
+    }
+
+    /// Union of positive resources across all four categories: the
+    /// `PPInfos` set of Algorithms 1–2.
+    pub fn mentioned_resources(&self) -> BTreeSet<&str> {
+        VerbCategory::ALL
+            .into_iter()
+            .flat_map(|c| self.resources(c, false))
+            .collect()
+    }
+
+    /// Union of negated resources across all four categories.
+    pub fn denied_resources(&self) -> BTreeSet<&str> {
+        VerbCategory::ALL
+            .into_iter()
+            .flat_map(|c| self.resources(c, true))
+            .collect()
+    }
+
+    /// Positive sentences (for Algorithm 5's lib side).
+    pub fn positive_sentences(&self) -> impl Iterator<Item = &AnalyzedSentence> {
+        self.sentences.iter().filter(|s| !s.negative)
+    }
+
+    /// Negative sentences (for Algorithm 5's app side).
+    pub fn negative_sentences(&self) -> impl Iterator<Item = &AnalyzedSentence> {
+        self.sentences.iter().filter(|s| s.negative)
+    }
+}
+
+/// The configured analyzer: a pattern list plus the filtering blacklists.
+#[derive(Debug, Clone)]
+pub struct PolicyAnalyzer {
+    patterns: Vec<Pattern>,
+    subject_blacklist: Vec<&'static str>,
+    object_blacklist: Vec<&'static str>,
+    model_constraints: bool,
+}
+
+impl Default for PolicyAnalyzer {
+    fn default() -> Self {
+        PolicyAnalyzer::new()
+    }
+}
+
+impl PolicyAnalyzer {
+    /// An analyzer with the seed patterns plus the curated mined patterns
+    /// the deployed system ships with.
+    pub fn new() -> Self {
+        let mut patterns = Pattern::seeds();
+        patterns.extend(default_mined_patterns());
+        PolicyAnalyzer::with_patterns(patterns)
+    }
+
+    /// An analyzer over an explicit (e.g. freshly bootstrapped) pattern
+    /// list.
+    pub fn with_patterns(patterns: Vec<Pattern>) -> Self {
+        PolicyAnalyzer {
+            patterns,
+            model_constraints: false,
+            subject_blacklist: vec![
+                "you", "user", "users", "visitor", "visitors", "customer", "customers",
+                "member", "members",
+            ],
+            object_blacklist: vec![
+                "service", "services", "website", "site", "app", "application", "policy",
+                "terms", "agreement", "experience", "question", "questions", "feature",
+                "features", "support", "page", "pages", "time",
+            ],
+        }
+    }
+
+    /// The active pattern list.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Enables constraint modeling (the paper's §VI future-work item):
+    /// a denial carrying a consent-style exception ("we will not share X
+    /// *without your consent*") is conditional rather than absolute, so it
+    /// is excluded from the `Not*_PP` sets instead of producing spurious
+    /// incorrect/inconsistent findings.
+    pub fn with_constraint_modeling(mut self) -> Self {
+        self.model_constraints = true;
+        self
+    }
+
+    /// Enables verb-synonym expansion (the paper's §V-E future-work item):
+    /// additional verbs like "display" are mapped onto the four categories,
+    /// recovering sentences the mined patterns miss.
+    pub fn with_synonym_expansion(mut self) -> Self {
+        for p in crate::synonyms::synonym_patterns() {
+            if !self.patterns.contains(&p) {
+                self.patterns.push(p);
+            }
+        }
+        self
+    }
+
+    /// Analyzes a privacy policy delivered as HTML.
+    pub fn analyze_html(&self, html_doc: &str) -> PolicyAnalysis {
+        self.analyze_text(&html::extract_text(html_doc))
+    }
+
+    /// Analyzes plain policy text.
+    pub fn analyze_text(&self, text: &str) -> PolicyAnalysis {
+        let sents = split_sentences(text);
+        let mut analysis = PolicyAnalysis {
+            total_sentences: sents.len(),
+            ..PolicyAnalysis::default()
+        };
+        for sent in sents {
+            if disclaimer::is_disclaimer(&sent) {
+                analysis.has_disclaimer = true;
+                continue;
+            }
+            if let Some(a) = self.analyze_sentence(&sent) {
+                analysis.sentences.push(a);
+            }
+        }
+        analysis
+    }
+
+    /// Runs steps 2 and 4–6 on one sentence. Returns `None` for sentences
+    /// that are not useful.
+    pub fn analyze_sentence(&self, sentence: &str) -> Option<AnalyzedSentence> {
+        let p = parse(sentence);
+        let m = match_sentence(&p, &self.patterns)?;
+        let negative = negation::is_negative(&p, m.verb)
+            || p.root.is_some_and(|r| r != m.verb && negation::is_negative(&p, r));
+        let els = elements::extract(&p, &m);
+        let conditional = has_consent_exception(sentence);
+        if self.model_constraints && negative && conditional {
+            // A consent-gated denial neither promises nor forbids the
+            // behaviour unconditionally.
+            return None;
+        }
+
+        // Subject blacklist: sentences about the user's own actions.
+        if let Some(exec) = &els.executor {
+            if self.subject_blacklist.contains(&exec.as_str()) {
+                return None;
+            }
+            if exec.contains("website") || exec.contains("site") {
+                return None;
+            }
+        }
+
+        // Constraint filter: behaviours performed on the website, not by
+        // the app (registration through a website; website visit logging).
+        if els.constraints.iter().any(|c: &Constraint| {
+            c.text.contains("website") || c.text.contains("web site") || c.text.contains("our site")
+        }) {
+            return None;
+        }
+
+        // Object blacklist: resources that are not personal information.
+        let resources: Vec<String> = els
+            .resources
+            .iter()
+            .filter(|r| {
+                let head = r.split_whitespace().last().unwrap_or(r);
+                !self.object_blacklist.contains(&head)
+            })
+            .cloned()
+            .collect();
+        if resources.is_empty() {
+            return None;
+        }
+
+        Some(AnalyzedSentence {
+            text: sentence.to_string(),
+            category: m.category,
+            negative,
+            conditional,
+            elements: Elements { resources, ..els },
+        })
+    }
+}
+
+/// Detects consent-style exceptions that condition a sentence's meaning.
+fn has_consent_exception(sentence: &str) -> bool {
+    const EXCEPTIONS: &[&str] = &[
+        "without your consent",
+        "without your permission",
+        "without your prior consent",
+        "without your explicit consent",
+        "unless you consent",
+        "unless you agree",
+        "unless you opt in",
+        "unless you allow us",
+        "with your consent",
+        "except as described",
+        "except as required by law",
+        "if you do not allow us",
+    ];
+    let lower = sentence.to_lowercase();
+    EXCEPTIONS.iter().any(|e| lower.contains(e))
+}
+
+/// The curated mined patterns the deployed analyzer ships with (a compact
+/// stand-in for the top-230 bootstrap selection; the full bootstrap is
+/// exercised by the Fig. 12 bench).
+pub fn default_mined_patterns() -> Vec<Pattern> {
+    use VerbCategory::*;
+    let lex = |verb: &str, category| {
+        Pattern::new(PatternKind::LexicalVerb { verb: verb.to_string(), category })
+    };
+    vec![
+        lex("harvest", Collect),
+        lex("view", Collect),
+        lex("monitor", Collect),
+        lex("check", Collect),
+        lex("scan", Collect),
+        lex("sync", Collect),
+        lex("know", Collect),
+        lex("log", Retain),
+        lex("upload", Disclose),
+        lex("post", Disclose),
+        lex("publish", Disclose),
+        lex("report", Disclose),
+        Pattern::new(PatternKind::VerbNounResource {
+            verb: "have".to_string(),
+            noun: "access".to_string(),
+            category: Collect,
+        }),
+        Pattern::new(PatternKind::VerbNounResource {
+            verb: "make".to_string(),
+            noun: "use".to_string(),
+            category: Use,
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzer() -> PolicyAnalyzer {
+        PolicyAnalyzer::new()
+    }
+
+    #[test]
+    fn extracts_collect_set() {
+        let a = analyzer().analyze_text(
+            "We value your privacy. We will collect your location and your device id. \
+             We will not share your contacts.",
+        );
+        let collected = a.resources(VerbCategory::Collect, false);
+        assert!(collected.contains("location"));
+        assert!(collected.contains("device id"));
+        let not_disclosed = a.resources(VerbCategory::Disclose, true);
+        assert!(not_disclosed.contains("contacts"));
+    }
+
+    #[test]
+    fn negative_retain_set() {
+        // com.easyxapp.secret's sentence (§II-B).
+        let a = analyzer()
+            .analyze_text("We will not store your real phone number, name and contacts.");
+        let not_retained = a.resources(VerbCategory::Retain, true);
+        assert!(not_retained.contains("real phone number"));
+        assert!(not_retained.contains("name"));
+        assert!(not_retained.contains("contacts"));
+    }
+
+    #[test]
+    fn user_subject_sentences_dropped() {
+        let a = analyzer().analyze_text("You may provide your email address.");
+        assert!(a.sentences.is_empty());
+    }
+
+    #[test]
+    fn website_constraint_dropped() {
+        let a = analyzer().analyze_text(
+            "We collect your email address when you register through our website.",
+        );
+        assert!(a.sentences.is_empty());
+    }
+
+    #[test]
+    fn blacklisted_objects_dropped() {
+        let a = analyzer().analyze_text("We will improve the service.");
+        assert!(a.sentences.is_empty());
+    }
+
+    #[test]
+    fn disclaimer_flag_set() {
+        let a = analyzer().analyze_text(
+            "We are not responsible for the privacy practices of those third party sites. \
+             We collect your location.",
+        );
+        assert!(a.has_disclaimer);
+        assert_eq!(a.sentences.len(), 1);
+    }
+
+    #[test]
+    fn html_pipeline_end_to_end() {
+        let htmldoc = "<html><body><h1>Privacy Policy</h1>\
+            <p>We may collect your location and IP address.</p>\
+            <script>track();</script>\
+            <p>We will not disclose your phone number.</p></body></html>";
+        let a = analyzer().analyze_html(htmldoc);
+        assert!(a.resources(VerbCategory::Collect, false).contains("location"));
+        assert!(a
+            .resources(VerbCategory::Disclose, true)
+            .contains("phone number"));
+    }
+
+    #[test]
+    fn enumeration_list_resources_extracted() {
+        let a = analyzer().analyze_text(
+            "We will collect the following information: your name; your IP address; your device ID.",
+        );
+        // The splitter repairs the enumeration into one sentence; the
+        // resource extraction reaches at least the first conjunct chain.
+        assert!(!a.sentences.is_empty());
+    }
+
+    #[test]
+    fn mentioned_resources_unions_categories() {
+        let a = analyzer().analyze_text(
+            "We collect your location. We store your email address. We may share your device id.",
+        );
+        let all = a.mentioned_resources();
+        assert!(all.contains("location"));
+        assert!(all.contains("email address"));
+        assert!(all.contains("device id"));
+    }
+
+    #[test]
+    fn total_sentences_counted() {
+        let a = analyzer().analyze_text("One. Two. Three.");
+        assert_eq!(a.total_sentences, 3);
+    }
+}
+
+#[cfg(test)]
+mod constraint_tests {
+    use super::*;
+
+    const CONDITIONAL_DENIAL: &str =
+        "we will not share your location without your consent.";
+
+    #[test]
+    fn conditional_denial_is_marked() {
+        let a = PolicyAnalyzer::new().analyze_text(CONDITIONAL_DENIAL);
+        assert_eq!(a.sentences.len(), 1);
+        assert!(a.sentences[0].negative);
+        assert!(a.sentences[0].conditional);
+    }
+
+    #[test]
+    fn constraint_modeling_drops_conditional_denials() {
+        let analyzer = PolicyAnalyzer::new().with_constraint_modeling();
+        let a = analyzer.analyze_text(CONDITIONAL_DENIAL);
+        assert!(a.sentences.is_empty());
+        // Unconditional denials survive.
+        let b = analyzer.analyze_text("we will not share your location.");
+        assert_eq!(b.sentences.len(), 1);
+        // Positive sentences with consent wording also survive.
+        let c = analyzer.analyze_text("we may collect your location with your consent.");
+        assert_eq!(c.sentences.len(), 1);
+        assert!(c.sentences[0].conditional);
+    }
+
+    #[test]
+    fn unless_phrasing_detected() {
+        let a = PolicyAnalyzer::new()
+            .analyze_text("we do not disclose your contacts unless you agree.");
+        assert!(a.sentences[0].conditional);
+    }
+}

@@ -1,0 +1,102 @@
+//! Verb-synonym expansion — the paper's §V-E future-work item.
+//!
+//! PPChecker missed "we will not display any of your personal information"
+//! because "display" was in neither the seed lists nor the mined patterns;
+//! the authors propose using "the synonyms of major verbs to tackle this
+//! issue in future work". This module implements that extension: a synonym
+//! table mapping additional verbs onto the four categories, exposed as
+//! extra [`Pattern`]s that [`crate::PolicyAnalyzer`] can opt into.
+
+use crate::patterns::{Pattern, PatternKind};
+use crate::verbs::VerbCategory;
+
+/// Synonyms of the main verbs, by category.
+pub const SYNONYMS: &[(&str, VerbCategory)] = &[
+    // collect
+    ("examine", VerbCategory::Collect),
+    ("inspect", VerbCategory::Collect),
+    ("observe", VerbCategory::Collect),
+    ("retrieve", VerbCategory::Collect),
+    ("fetch", VerbCategory::Collect),
+    ("extract", VerbCategory::Collect),
+    ("look", VerbCategory::Collect),
+    ("survey", VerbCategory::Collect),
+    // use
+    ("leverage", VerbCategory::Use),
+    ("evaluate", VerbCategory::Use),
+    ("interpret", VerbCategory::Use),
+    ("profile", VerbCategory::Use),
+    ("aggregate", VerbCategory::Use),
+    // retain
+    ("persist", VerbCategory::Retain),
+    ("warehouse", VerbCategory::Retain),
+    ("stockpile", VerbCategory::Retain),
+    ("backup", VerbCategory::Retain),
+    // disclose — including the paper's missed "display"
+    ("display", VerbCategory::Disclose),
+    ("show", VerbCategory::Disclose),
+    ("exhibit", VerbCategory::Disclose),
+    ("present", VerbCategory::Disclose),
+    ("broadcast", VerbCategory::Disclose),
+    ("forward", VerbCategory::Disclose),
+    ("publicize", VerbCategory::Disclose),
+    ("divulge", VerbCategory::Disclose),
+];
+
+/// Builds the synonym patterns.
+pub fn synonym_patterns() -> Vec<Pattern> {
+    SYNONYMS
+        .iter()
+        .map(|(verb, category)| {
+            Pattern::new(PatternKind::LexicalVerb {
+                verb: verb.to_string(),
+                category: *category,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PolicyAnalyzer;
+
+    #[test]
+    fn synonym_table_is_consistent() {
+        for (v, _) in SYNONYMS {
+            assert!(
+                VerbCategory::of_verb(v).is_none(),
+                "{v} is already a main verb — not a synonym"
+            );
+        }
+        let mut verbs: Vec<&str> = SYNONYMS.iter().map(|(v, _)| *v).collect();
+        verbs.sort_unstable();
+        verbs.dedup();
+        assert_eq!(verbs.len(), SYNONYMS.len());
+    }
+
+    #[test]
+    fn display_sentence_recovered_with_expansion() {
+        // The paper's §V-E false negative.
+        let sentence = "we will not display any of your personal information.";
+        let plain = PolicyAnalyzer::new();
+        assert!(plain.analyze_text(sentence).sentences.is_empty());
+
+        let expanded = PolicyAnalyzer::new().with_synonym_expansion();
+        let analysis = expanded.analyze_text(sentence);
+        assert_eq!(analysis.sentences.len(), 1);
+        let s = &analysis.sentences[0];
+        assert_eq!(s.category, VerbCategory::Disclose);
+        assert!(s.negative);
+    }
+
+    #[test]
+    fn expansion_does_not_change_plain_matches() {
+        let text = "we will collect your location. we will not share your contacts.";
+        let plain = PolicyAnalyzer::new().analyze_text(text);
+        let expanded = PolicyAnalyzer::new()
+            .with_synonym_expansion()
+            .analyze_text(text);
+        assert_eq!(plain.sentences.len(), expanded.sentences.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! The four main-verb categories of privacy-policy sentences
+//! ($V_P^{collect}$, $V_P^{use}$, $V_P^{retain}$, $V_P^{disclose}$).
+
+use std::fmt;
+
+/// The behaviour a policy sentence describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VerbCategory {
+    /// One party accesses/collects/acquires data from another.
+    Collect,
+    /// One party uses data for some purpose.
+    Use,
+    /// One party keeps collected data.
+    Retain,
+    /// One party transfers collected data to another party.
+    Disclose,
+}
+
+impl VerbCategory {
+    /// All categories.
+    pub const ALL: [VerbCategory; 4] = [
+        VerbCategory::Collect,
+        VerbCategory::Use,
+        VerbCategory::Retain,
+        VerbCategory::Disclose,
+    ];
+
+    /// The seed verbs of the category (base forms).
+    pub fn verbs(self) -> &'static [&'static str] {
+        match self {
+            VerbCategory::Collect => &[
+                "collect", "gather", "obtain", "acquire", "access", "receive", "record",
+                "request", "track", "capture", "solicit", "read",
+            ],
+            VerbCategory::Use => &[
+                "use", "process", "utilize", "employ", "analyze", "combine", "link", "associate",
+            ],
+            VerbCategory::Retain => &[
+                "retain", "store", "keep", "save", "preserve", "hold", "maintain", "archive",
+                "cache", "remember",
+            ],
+            VerbCategory::Disclose => &[
+                "disclose", "share", "transfer", "provide", "send", "transmit", "give", "sell",
+                "rent", "release", "reveal", "distribute", "supply", "pass", "trade", "expose",
+            ],
+        }
+    }
+
+    /// Classifies a verb lemma into its category, if it is a main verb.
+    pub fn of_verb(lemma: &str) -> Option<VerbCategory> {
+        VerbCategory::ALL
+            .into_iter()
+            .find(|c| c.verbs().contains(&lemma))
+    }
+}
+
+impl fmt::Display for VerbCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VerbCategory::Collect => "collect",
+            VerbCategory::Use => "use",
+            VerbCategory::Retain => "retain",
+            VerbCategory::Disclose => "disclose",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_verbs_classify() {
+        assert_eq!(VerbCategory::of_verb("collect"), Some(VerbCategory::Collect));
+        assert_eq!(VerbCategory::of_verb("store"), Some(VerbCategory::Retain));
+        assert_eq!(VerbCategory::of_verb("share"), Some(VerbCategory::Disclose));
+        assert_eq!(VerbCategory::of_verb("process"), Some(VerbCategory::Use));
+        assert_eq!(VerbCategory::of_verb("dance"), None);
+    }
+
+    #[test]
+    fn categories_are_disjoint() {
+        for a in VerbCategory::ALL {
+            for b in VerbCategory::ALL {
+                if a == b {
+                    continue;
+                }
+                for v in a.verbs() {
+                    assert!(!b.verbs().contains(v), "{v} in both {a} and {b}");
+                }
+            }
+        }
+    }
+}

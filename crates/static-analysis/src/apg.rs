@@ -1,0 +1,495 @@
+//! Android property graph (APG) construction.
+//!
+//! The APG integrates the AST (class → method → instruction containment),
+//! the interprocedural CFG, the method call graph, and dependency edges
+//! into one property graph ([`crate::graph::Graph`]), as the paper does
+//! with its ValHunter-based module. Implicit callback edges (EdgeMiner
+//! substitute) and intent edges (IccTA substitute) are added during
+//! construction.
+
+use crate::callbacks;
+use crate::graph::{EdgeKind, Graph, NodeId, NodeKind};
+use ppchecker_apk::{Apk, ComponentKind, Dex, Insn, ParseDexError};
+use std::collections::HashMap;
+
+/// Lifecycle entry methods per component kind.
+pub fn lifecycle_methods(kind: ComponentKind) -> &'static [&'static str] {
+    match kind {
+        ComponentKind::Activity => &[
+            "onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy", "onRestart",
+        ],
+        ComponentKind::Service => &["onCreate", "onStartCommand", "onBind", "onDestroy"],
+        ComponentKind::Receiver => &["onReceive"],
+        ComponentKind::Provider => &["onCreate", "query", "insert", "update", "delete"],
+    }
+}
+
+/// The constructed property graph plus lookup indexes.
+#[derive(Debug)]
+pub struct Apg {
+    /// The underlying graph store.
+    pub graph: Graph,
+    /// The recovered dex the graph was built from.
+    pub dex: Dex,
+    /// `(class, method)` → method node.
+    pub method_ids: HashMap<(String, String), NodeId>,
+    /// Method node → `(class, method)`.
+    pub method_names: HashMap<NodeId, (String, String)>,
+    /// Component nodes (from the manifest).
+    pub component_ids: Vec<NodeId>,
+}
+
+impl Apg {
+    /// Builds the APG for an APK, unpacking the dex first if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDexError`] if a packed dex cannot be recovered.
+    pub fn build(apk: &Apk) -> Result<Apg, ParseDexError> {
+        let dex = apk.dex()?;
+        let mut graph = Graph::new();
+        let mut method_ids = HashMap::new();
+        let mut method_names = HashMap::new();
+
+        // AST: classes, methods, instructions; intra-method CFG.
+        for class in &dex.classes {
+            let cid = graph.add_node(NodeKind::Class, class.name.clone());
+            graph.set_attr(cid, "superclass", class.superclass.clone());
+            for m in &class.methods {
+                let mid = graph.add_node(NodeKind::Method, m.name.clone());
+                graph.set_attr(mid, "class", class.name.clone());
+                graph.add_edge(cid, EdgeKind::Contains, mid);
+                method_ids.insert((class.name.clone(), m.name.clone()), mid);
+                method_names.insert(mid, (class.name.clone(), m.name.clone()));
+                let mut prev: Option<NodeId> = None;
+                let mut insn_nodes = Vec::with_capacity(m.instructions.len());
+                for (idx, insn) in m.instructions.iter().enumerate() {
+                    let iid = graph.add_node(NodeKind::Instruction, insn.to_string());
+                    graph.set_attr(iid, "index", idx.to_string());
+                    graph.add_edge(mid, EdgeKind::Contains, iid);
+                    if let Some(p) = prev {
+                        graph.add_edge(p, EdgeKind::CfgNext, iid);
+                    }
+                    insn_nodes.push(iid);
+                    prev = Some(iid);
+                }
+                // Branch edges.
+                for (idx, insn) in m.instructions.iter().enumerate() {
+                    let target = match insn {
+                        Insn::Goto { target } => Some(*target),
+                        Insn::IfNonZero { target, .. } => Some(*target),
+                        _ => None,
+                    };
+                    if let Some(t) = target {
+                        if t < insn_nodes.len() {
+                            graph.add_edge(insn_nodes[idx], EdgeKind::CfgNext, insn_nodes[t]);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut apg = Apg {
+            graph,
+            dex,
+            method_ids,
+            method_names,
+            component_ids: Vec::new(),
+        };
+
+        apg.add_call_edges();
+        apg.add_implicit_callback_edges();
+        apg.add_icc_edges();
+        apg.add_components(apk);
+        Ok(apg)
+    }
+
+    /// Method call graph: for each invoke, link the caller method to every
+    /// in-dex class that defines the callee (exact class or a subclass
+    /// overriding it — a simple class-hierarchy analysis).
+    fn add_call_edges(&mut self) {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for class in &self.dex.classes {
+            for m in &class.methods {
+                let Some(&caller) = self.method_ids.get(&(class.name.clone(), m.name.clone()))
+                else {
+                    continue;
+                };
+                for insn in &m.instructions {
+                    let Insn::Invoke { class: cc, method: mm, .. } = insn else {
+                        continue;
+                    };
+                    for target in self.resolve_targets(cc, mm) {
+                        edges.push((caller, target));
+                    }
+                }
+            }
+        }
+        for (a, b) in edges {
+            self.graph.add_edge(a, EdgeKind::Call, b);
+        }
+    }
+
+    /// Resolves an invocation to method nodes: the named class itself, or
+    /// any class whose superclass chain reaches it.
+    fn resolve_targets(&self, class: &str, method: &str) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if let Some(&id) = self.method_ids.get(&(class.to_string(), method.to_string())) {
+            out.push(id);
+        }
+        for c in &self.dex.classes {
+            if c.name == class {
+                continue;
+            }
+            if self.superclass_chain_contains(&c.name, class)
+                && c.method(method).is_some()
+            {
+                if let Some(&id) = self.method_ids.get(&(c.name.clone(), method.to_string())) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    fn superclass_chain_contains(&self, class: &str, ancestor: &str) -> bool {
+        let mut cur = class.to_string();
+        for _ in 0..32 {
+            let Some(c) = self.dex.class(&cur) else { return false };
+            if c.superclass == ancestor {
+                return true;
+            }
+            cur = c.superclass.clone();
+        }
+        false
+    }
+
+    /// EdgeMiner substitute: for each registration call, find the listener
+    /// object (a `new-instance` reaching one of the argument registers in
+    /// the same method) and add an edge to its callback method.
+    fn add_implicit_callback_edges(&mut self) {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for class in &self.dex.classes {
+            for m in &class.methods {
+                let Some(&caller) = self.method_ids.get(&(class.name.clone(), m.name.clone()))
+                else {
+                    continue;
+                };
+                for (idx, insn) in m.instructions.iter().enumerate() {
+                    let Insn::Invoke { class: cc, method: mm, args, .. } = insn else {
+                        continue;
+                    };
+                    let Some(cb_name) = callbacks::callback_for(cc, mm) else {
+                        continue;
+                    };
+                    // Backward scan: which class was newly instantiated into
+                    // one of the argument registers?
+                    for &arg in args {
+                        if let Some(listener) = last_new_instance(&m.instructions[..idx], arg) {
+                            if let Some(&target) =
+                                self.method_ids.get(&(listener.clone(), cb_name.to_string()))
+                            {
+                                edges.push((caller, target));
+                            }
+                        }
+                    }
+                    // The registering class itself may implement the
+                    // listener interface ("this" receivers).
+                    if let Some(&target) =
+                        self.method_ids.get(&(class.name.clone(), cb_name.to_string()))
+                    {
+                        edges.push((caller, target));
+                    }
+                }
+            }
+        }
+        for (a, b) in edges {
+            self.graph.add_edge(a, EdgeKind::ImplicitCallback, b);
+        }
+    }
+
+    /// IccTA substitute: intent construction + `startActivity`/`startService`
+    /// /`sendBroadcast` becomes an edge to the target component's lifecycle
+    /// entry methods.
+    fn add_icc_edges(&mut self) {
+        const LAUNCHERS: &[(&str, &[&str])] = &[
+            ("startActivity", &["onCreate"]),
+            ("startService", &["onCreate", "onStartCommand"]),
+            ("sendBroadcast", &["onReceive"]),
+        ];
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for class in &self.dex.classes {
+            for m in &class.methods {
+                let Some(&caller) = self.method_ids.get(&(class.name.clone(), m.name.clone()))
+                else {
+                    continue;
+                };
+                // Map register → intent target class (via setClass-style calls).
+                let mut intent_target: HashMap<u32, String> = HashMap::new();
+                let mut strings: HashMap<u32, String> = HashMap::new();
+                for insn in &m.instructions {
+                    match insn {
+                        Insn::ConstString { dst, value } => {
+                            strings.insert(*dst, value.clone());
+                        }
+                        Insn::Invoke { class: cc, method: mm, args, .. }
+                            if cc == "android.content.Intent"
+                                && matches!(mm.as_str(), "setClass" | "setClassName" | "setComponent") =>
+                        {
+                            if let (Some(&intent_reg), Some(target)) = (
+                                args.first(),
+                                args.iter().skip(1).find_map(|r| strings.get(r)),
+                            ) {
+                                intent_target.insert(intent_reg, target.clone());
+                            }
+                        }
+                        Insn::Invoke { method: mm, args, .. } => {
+                            let Some((_, entries)) =
+                                LAUNCHERS.iter().find(|(name, _)| name == mm)
+                            else {
+                                continue;
+                            };
+                            for arg in args.iter().skip(1) {
+                                if let Some(target_class) = intent_target.get(arg) {
+                                    for entry in *entries {
+                                        if let Some(&t) = self
+                                            .method_ids
+                                            .get(&(target_class.clone(), entry.to_string()))
+                                        {
+                                            edges.push((caller, t));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (a, b) in edges {
+            self.graph.add_edge(a, EdgeKind::Icc, b);
+        }
+    }
+
+    /// Component nodes and lifecycle edges from the manifest.
+    fn add_components(&mut self, apk: &Apk) {
+        for comp in &apk.manifest.components {
+            let nid = self.graph.add_node(NodeKind::Component, comp.class_name.clone());
+            self.graph.set_attr(nid, "kind", format!("{:?}", comp.kind));
+            if comp.main {
+                self.graph.set_attr(nid, "main", "true");
+            }
+            for entry in lifecycle_methods(comp.kind) {
+                if let Some(&mid) = self
+                    .method_ids
+                    .get(&(comp.class_name.clone(), entry.to_string()))
+                {
+                    self.graph.add_edge(nid, EdgeKind::Lifecycle, mid);
+                }
+            }
+            self.component_ids.push(nid);
+        }
+    }
+
+    /// The `(class, method)` names for a method node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a method node of this APG.
+    pub fn method_name(&self, id: NodeId) -> &(String, String) {
+        &self.method_names[&id]
+    }
+}
+
+/// Finds the class most recently `new-instance`d into `reg` (also follows
+/// simple `move` chains), scanning backwards.
+fn last_new_instance(insns: &[Insn], reg: u32) -> Option<String> {
+    let mut wanted = reg;
+    for insn in insns.iter().rev() {
+        match insn {
+            Insn::NewInstance { dst, class } if *dst == wanted => return Some(class.clone()),
+            Insn::Move { dst, src } if *dst == wanted => wanted = *src,
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::EdgeKind;
+    use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest};
+
+    fn sample_apk() -> Apk {
+        let mut manifest = Manifest::new("com.example.app");
+        manifest.add_component(ComponentKind::Activity, "com.example.app.Main", true);
+        let dex = Dex::builder()
+            .class("com.example.app.Main", |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.new_instance(2, "com.example.app.Listener");
+                    m.invoke_virtual("android.view.View", "setOnClickListener", &[1, 2], None);
+                    m.invoke_virtual("com.example.app.Helper", "load", &[0], None);
+                });
+            })
+            .class("com.example.app.Listener", |c| {
+                c.implements("android.view.View$OnClickListener");
+                c.method("onClick", 1, |m| {
+                    m.invoke_virtual(
+                        "android.location.Location",
+                        "getLatitude",
+                        &[0],
+                        Some(3),
+                    );
+                });
+            })
+            .class("com.example.app.Helper", |c| {
+                c.method("load", 1, |_| {});
+            })
+            .build();
+        Apk::new(manifest, dex)
+    }
+
+    #[test]
+    fn builds_ast_nodes() {
+        let apg = Apg::build(&sample_apk()).unwrap();
+        assert!(apg.method_ids.contains_key(&(
+            "com.example.app.Main".to_string(),
+            "onCreate".to_string()
+        )));
+        assert!(apg.graph.node_count() > 5);
+    }
+
+    #[test]
+    fn call_edge_to_helper() {
+        let apg = Apg::build(&sample_apk()).unwrap();
+        let caller = apg.method_ids[&("com.example.app.Main".into(), "onCreate".into())];
+        let callee = apg.method_ids[&("com.example.app.Helper".into(), "load".into())];
+        assert!(apg.graph.successors(caller, EdgeKind::Call).contains(&callee));
+    }
+
+    #[test]
+    fn implicit_callback_edge_to_listener() {
+        let apg = Apg::build(&sample_apk()).unwrap();
+        let caller = apg.method_ids[&("com.example.app.Main".into(), "onCreate".into())];
+        let cb = apg.method_ids[&("com.example.app.Listener".into(), "onClick".into())];
+        assert!(apg
+            .graph
+            .successors(caller, EdgeKind::ImplicitCallback)
+            .contains(&cb));
+    }
+
+    #[test]
+    fn lifecycle_edge_from_component() {
+        let apg = Apg::build(&sample_apk()).unwrap();
+        let comp = apg.component_ids[0];
+        let entry = apg.method_ids[&("com.example.app.Main".into(), "onCreate".into())];
+        assert!(apg.graph.successors(comp, EdgeKind::Lifecycle).contains(&entry));
+    }
+
+    #[test]
+    fn icc_edge_to_started_service() {
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        manifest.add_component(ComponentKind::Service, "com.x.Sync", false);
+        let dex = Dex::builder()
+            .class("com.x.Main", |c| {
+                c.method("onCreate", 1, |m| {
+                    m.new_instance(1, "android.content.Intent");
+                    m.const_string(2, "com.x.Sync");
+                    m.invoke_virtual("android.content.Intent", "setClass", &[1, 0, 2], None);
+                    m.invoke_virtual("android.app.Activity", "startService", &[0, 1], None);
+                });
+            })
+            .class("com.x.Sync", |c| {
+                c.extends("android.app.Service");
+                c.method("onStartCommand", 3, |_| {});
+            })
+            .build();
+        let apg = Apg::build(&Apk::new(manifest, dex)).unwrap();
+        let caller = apg.method_ids[&("com.x.Main".into(), "onCreate".into())];
+        let target = apg.method_ids[&("com.x.Sync".into(), "onStartCommand".into())];
+        assert!(apg.graph.successors(caller, EdgeKind::Icc).contains(&target));
+    }
+
+    #[test]
+    fn virtual_dispatch_resolves_subclass_override() {
+        let dex = Dex::builder()
+            .class("com.x.Base", |c| {
+                c.method("work", 1, |_| {});
+            })
+            .class("com.x.Derived", |c| {
+                c.extends("com.x.Base");
+                c.method("work", 1, |_| {});
+            })
+            .class("com.x.Caller", |c| {
+                c.method("go", 1, |m| {
+                    m.invoke_virtual("com.x.Base", "work", &[0], None);
+                });
+            })
+            .build();
+        let apg = Apg::build(&Apk::new(Manifest::new("com.x"), dex)).unwrap();
+        let caller = apg.method_ids[&("com.x.Caller".into(), "go".into())];
+        let base = apg.method_ids[&("com.x.Base".into(), "work".into())];
+        let derived = apg.method_ids[&("com.x.Derived".into(), "work".into())];
+        let succs = apg.graph.successors(caller, EdgeKind::Call);
+        assert!(succs.contains(&base) && succs.contains(&derived));
+    }
+}
+
+/// Size summary of a constructed APG.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApgStats {
+    /// Class nodes.
+    pub classes: usize,
+    /// Method nodes.
+    pub methods: usize,
+    /// Instruction nodes.
+    pub instructions: usize,
+    /// Component nodes.
+    pub components: usize,
+    /// Total edges of all kinds.
+    pub edges: usize,
+}
+
+impl Apg {
+    /// Computes node/edge counts by kind.
+    pub fn stats(&self) -> ApgStats {
+        use crate::graph::NodeKind;
+        ApgStats {
+            classes: self.graph.nodes_of_kind(NodeKind::Class).count(),
+            methods: self.graph.nodes_of_kind(NodeKind::Method).count(),
+            instructions: self.graph.nodes_of_kind(NodeKind::Instruction).count(),
+            components: self.graph.nodes_of_kind(NodeKind::Component).count(),
+            edges: self.graph.edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest};
+
+    #[test]
+    fn stats_count_every_kind() {
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        let dex = Dex::builder()
+            .class("com.x.Main", |c| {
+                c.method("onCreate", 1, |m| {
+                    m.const_string(1, "hello");
+                });
+            })
+            .build();
+        let apg = Apg::build(&Apk::new(manifest, dex)).unwrap();
+        let s = apg.stats();
+        assert_eq!(s.classes, 1);
+        assert_eq!(s.methods, 1);
+        assert_eq!(s.instructions, 2); // const-string + implicit return
+        assert_eq!(s.components, 1);
+        assert!(s.edges >= 4); // contains ×3 + cfg + lifecycle
+    }
+}

@@ -1,0 +1,296 @@
+//! An in-memory property-graph store.
+//!
+//! The paper stores the Android property graph (APG) in a graph database
+//! and answers analyses as graph queries. This module provides the
+//! equivalent: typed nodes with string attributes, typed edges, and
+//! adjacency indexes for forward/backward traversal.
+
+use std::collections::HashMap;
+
+/// Identifier of a node in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Node types of the Android property graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A class definition (AST level).
+    Class,
+    /// A method definition.
+    Method,
+    /// One instruction (statement).
+    Instruction,
+    /// A manifest component.
+    Component,
+}
+
+/// Edge types of the Android property graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Structural containment (class → method → instruction): the AST part.
+    Contains,
+    /// Intra-procedural control flow (instruction → instruction): ICFG.
+    CfgNext,
+    /// Call edge (call-site instruction → callee method): MCG.
+    Call,
+    /// Implicit callback edge (registration site → callback method),
+    /// recovered EdgeMiner-style.
+    ImplicitCallback,
+    /// Inter-component (intent) edge, recovered IccTA-style.
+    Icc,
+    /// Data dependency (instruction → instruction): the SDG part.
+    DataDep,
+    /// Component → its lifecycle entry method.
+    Lifecycle,
+}
+
+/// A stored node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node type.
+    pub kind: NodeKind,
+    /// Primary label (class name, method name, rendered instruction, ...).
+    pub label: String,
+    /// Extra attributes.
+    pub attrs: HashMap<String, String>,
+}
+
+/// A property graph with typed adjacency indexes.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    out: HashMap<(NodeId, EdgeKind), Vec<NodeId>>,
+    inc: HashMap<(NodeId, EdgeKind), Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+            attrs: HashMap::new(),
+        });
+        id
+    }
+
+    /// Sets an attribute on a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn set_attr(&mut self, id: NodeId, key: &str, value: impl Into<String>) {
+        self.nodes[id.0].attrs.insert(key.to_string(), value.into());
+    }
+
+    /// Reads an attribute.
+    pub fn attr(&self, id: NodeId, key: &str) -> Option<&str> {
+        self.nodes[id.0].attrs.get(key).map(|s| s.as_str())
+    }
+
+    /// Adds a typed edge.
+    pub fn add_edge(&mut self, from: NodeId, kind: EdgeKind, to: NodeId) {
+        self.out.entry((from, kind)).or_default().push(to);
+        self.inc.entry((to, kind)).or_default().push(from);
+        self.edge_count += 1;
+    }
+
+    /// The node payload.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Outgoing neighbors via `kind`.
+    pub fn successors(&self, id: NodeId, kind: EdgeKind) -> &[NodeId] {
+        self.out.get(&(id, kind)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Incoming neighbors via `kind`.
+    pub fn predecessors(&self, id: NodeId, kind: EdgeKind) -> &[NodeId] {
+        self.inc.get(&(id, kind)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All node ids of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.kind == kind)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Finds the first node of `kind` whose label equals `label`.
+    pub fn find(&self, kind: NodeKind, label: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.kind == kind && n.label == label)
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Breadth-first closure from `starts` following `kinds` edges forward.
+    pub fn reachable_from(&self, starts: &[NodeId], kinds: &[EdgeKind]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &s in starts {
+            if !seen[s.0] {
+                seen[s.0] = true;
+                queue.push(s);
+            }
+        }
+        let mut i = 0;
+        while i < queue.len() {
+            let cur = queue[i];
+            i += 1;
+            for &kind in kinds {
+                for &next in self.successors(cur, kind) {
+                    if !seen[next.0] {
+                        seen[next.0] = true;
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Class, "com.x.A");
+        let m = g.add_node(NodeKind::Method, "onCreate");
+        g.add_edge(a, EdgeKind::Contains, m);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.successors(a, EdgeKind::Contains), &[m]);
+        assert_eq!(g.predecessors(m, EdgeKind::Contains), &[a]);
+        assert!(g.successors(a, EdgeKind::Call).is_empty());
+    }
+
+    #[test]
+    fn attributes() {
+        let mut g = Graph::new();
+        let n = g.add_node(NodeKind::Instruction, "invoke");
+        g.set_attr(n, "class", "android.util.Log");
+        assert_eq!(g.attr(n, "class"), Some("android.util.Log"));
+        assert_eq!(g.attr(n, "missing"), None);
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Method, "a");
+        let b = g.add_node(NodeKind::Method, "b");
+        let c = g.add_node(NodeKind::Method, "c");
+        let d = g.add_node(NodeKind::Method, "d");
+        g.add_edge(a, EdgeKind::Call, b);
+        g.add_edge(b, EdgeKind::Call, c);
+        g.add_edge(d, EdgeKind::Call, c);
+        let r = g.reachable_from(&[a], &[EdgeKind::Call]);
+        assert!(r.contains(&a) && r.contains(&b) && r.contains(&c));
+        assert!(!r.contains(&d));
+    }
+
+    #[test]
+    fn find_by_label() {
+        let mut g = Graph::new();
+        g.add_node(NodeKind::Class, "com.x.A");
+        let b = g.add_node(NodeKind::Class, "com.x.B");
+        assert_eq!(g.find(NodeKind::Class, "com.x.B"), Some(b));
+        assert_eq!(g.find(NodeKind::Method, "com.x.B"), None);
+    }
+
+    #[test]
+    fn multiple_edge_kinds_are_indexed_separately() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Instruction, "i1");
+        let b = g.add_node(NodeKind::Instruction, "i2");
+        g.add_edge(a, EdgeKind::CfgNext, b);
+        g.add_edge(a, EdgeKind::DataDep, b);
+        assert_eq!(g.successors(a, EdgeKind::CfgNext), &[b]);
+        assert_eq!(g.successors(a, EdgeKind::DataDep), &[b]);
+        assert_eq!(g.edge_count(), 2);
+    }
+}
+
+/// Renders the graph in Graphviz dot format for inspection.
+///
+/// Node labels carry the kind; edges are colored per [`EdgeKind`].
+pub fn to_dot(graph: &Graph) -> String {
+    let mut out = String::from("digraph apg {\n  rankdir=LR;\n  node [fontsize=9];\n");
+    for id in 0..graph.node_count() {
+        let node = graph.node(NodeId(id));
+        let shape = match node.kind {
+            NodeKind::Class => "box",
+            NodeKind::Method => "ellipse",
+            NodeKind::Instruction => "plaintext",
+            NodeKind::Component => "hexagon",
+        };
+        let label = node.label.replace('"', "'");
+        out.push_str(&format!("  n{id} [shape={shape} label=\"{label}\"];\n"));
+    }
+    const KINDS: &[(EdgeKind, &str)] = &[
+        (EdgeKind::Contains, "gray"),
+        (EdgeKind::CfgNext, "black"),
+        (EdgeKind::Call, "blue"),
+        (EdgeKind::ImplicitCallback, "purple"),
+        (EdgeKind::Icc, "orange"),
+        (EdgeKind::DataDep, "green"),
+        (EdgeKind::Lifecycle, "red"),
+    ];
+    for id in 0..graph.node_count() {
+        for &(kind, color) in KINDS {
+            for to in graph.successors(NodeId(id), kind) {
+                out.push_str(&format!("  n{id} -> n{} [color={color}];\n", to.0));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Class, "com.x.A");
+        let m = g.add_node(NodeKind::Method, "onCreate");
+        g.add_edge(a, EdgeKind::Contains, m);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph apg"));
+        assert!(dot.contains("com.x.A"));
+        assert!(dot.contains("n0 -> n1 [color=gray]"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut g = Graph::new();
+        g.add_node(NodeKind::Instruction, "const-string v1, \"x\"");
+        assert!(!to_dot(&g).contains("\"x\""));
+    }
+}

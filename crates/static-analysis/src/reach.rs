@@ -1,0 +1,171 @@
+//! Entry-point discovery and reachability analysis.
+//!
+//! The paper conducts "reachability analysis from the app's entry points,
+//! including life-cycle callbacks (e.g., `Activity.onCreate()`), major
+//! components' entry functions (e.g., `query()` in content provider), and
+//! UI related callbacks (e.g., `onClick()`)" and ignores sensitive APIs
+//! with no feasible path from an entry point (dead code).
+
+use crate::apg::{lifecycle_methods, Apg};
+use crate::callbacks::UI_CALLBACKS;
+use crate::graph::{EdgeKind, NodeId};
+use std::collections::HashSet;
+
+/// Collects the entry-point method nodes of an APG.
+///
+/// Entry points: lifecycle methods of manifest components, UI callbacks in
+/// any application class, and `run`/`doInBackground` bodies (threads wired
+/// from XML or the framework).
+pub fn entry_points(apg: &Apg) -> Vec<NodeId> {
+    let mut entries: Vec<NodeId> = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+
+    // Lifecycle methods reachable from components.
+    for &comp in &apg.component_ids {
+        for &m in apg.graph.successors(comp, EdgeKind::Lifecycle) {
+            if seen.insert(m) {
+                entries.push(m);
+            }
+        }
+    }
+
+    // Lifecycle-named methods in classes extending framework components but
+    // not declared in the manifest (defensive: exported fragments etc.) are
+    // NOT entries — the paper starts only from declared components — but UI
+    // callbacks anywhere in the app are (XML-wired handlers).
+    for ((_class, method), &mid) in &apg.method_ids {
+        if UI_CALLBACKS.contains(&method.as_str()) && seen.insert(mid) {
+            entries.push(mid);
+        }
+    }
+    entries
+}
+
+/// Returns the set of methods reachable from the entry points over call,
+/// implicit-callback, and intent edges.
+pub fn reachable_methods(apg: &Apg) -> HashSet<NodeId> {
+    let entries = entry_points(apg);
+    apg.graph
+        .reachable_from(
+            &entries,
+            &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc],
+        )
+        .into_iter()
+        .collect()
+}
+
+/// Convenience used by tests and ablations: is the lifecycle table sane for
+/// every component kind?
+pub fn lifecycle_table_covers(kind: ppchecker_apk::ComponentKind) -> bool {
+    !lifecycle_methods(kind).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apg::Apg;
+    use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest};
+
+    fn apk_with_dead_code() -> Apk {
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        let dex = Dex::builder()
+            .class("com.x.Main", |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.invoke_virtual("com.x.Main", "live", &[0], None);
+                });
+                c.method("live", 1, |_| {});
+                c.method("dead", 1, |m| {
+                    m.invoke_virtual(
+                        "android.telephony.TelephonyManager",
+                        "getDeviceId",
+                        &[0],
+                        Some(1),
+                    );
+                });
+            })
+            .build();
+        Apk::new(manifest, dex)
+    }
+
+    #[test]
+    fn entry_points_include_lifecycle() {
+        let apg = Apg::build(&apk_with_dead_code()).unwrap();
+        let entries = entry_points(&apg);
+        let on_create = apg.method_ids[&("com.x.Main".into(), "onCreate".into())];
+        assert!(entries.contains(&on_create));
+    }
+
+    #[test]
+    fn dead_method_is_unreachable() {
+        let apg = Apg::build(&apk_with_dead_code()).unwrap();
+        let reach = reachable_methods(&apg);
+        let live = apg.method_ids[&("com.x.Main".into(), "live".into())];
+        let dead = apg.method_ids[&("com.x.Main".into(), "dead".into())];
+        assert!(reach.contains(&live));
+        assert!(!reach.contains(&dead));
+    }
+
+    #[test]
+    fn ui_callbacks_are_entries() {
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        let dex = Dex::builder()
+            .class("com.x.Main", |c| {
+                c.method("onCreate", 1, |_| {});
+            })
+            .class("com.x.ClickHandler", |c| {
+                c.method("onClick", 1, |m| {
+                    m.invoke_virtual("com.x.Worker", "go", &[0], None);
+                });
+            })
+            .class("com.x.Worker", |c| {
+                c.method("go", 1, |_| {});
+            })
+            .build();
+        let apg = Apg::build(&Apk::new(manifest, dex)).unwrap();
+        let reach = reachable_methods(&apg);
+        let worker = apg.method_ids[&("com.x.Worker".into(), "go".into())];
+        assert!(reach.contains(&worker));
+    }
+
+    #[test]
+    fn reachability_through_implicit_callback() {
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        let dex = Dex::builder()
+            .class("com.x.Main", |c| {
+                c.method("onCreate", 1, |m| {
+                    m.new_instance(2, "com.x.Task");
+                    m.invoke_virtual("java.lang.Thread", "start", &[2], None);
+                });
+            })
+            .class("com.x.Task", |c| {
+                c.implements("java.lang.Runnable");
+                c.method("run", 1, |m| {
+                    m.invoke_virtual("com.x.Deep", "fetch", &[0], None);
+                });
+            })
+            .class("com.x.Deep", |c| {
+                c.method("fetch", 1, |_| {});
+            })
+            .build();
+        let apg = Apg::build(&Apk::new(manifest, dex)).unwrap();
+        let reach = reachable_methods(&apg);
+        let deep = apg.method_ids[&("com.x.Deep".into(), "fetch".into())];
+        assert!(reach.contains(&deep));
+    }
+
+    #[test]
+    fn lifecycle_tables_nonempty() {
+        for kind in [
+            ComponentKind::Activity,
+            ComponentKind::Service,
+            ComponentKind::Receiver,
+            ComponentKind::Provider,
+        ] {
+            assert!(lifecycle_table_covers(kind));
+        }
+    }
+}

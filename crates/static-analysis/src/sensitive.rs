@@ -1,0 +1,164 @@
+//! The sensitive-API table: 68 Android APIs mapped to private information.
+//!
+//! The paper selects 68 sensitive APIs "covering the information about
+//! device ID, IP address, cookie, location, account, contact, calendar,
+//! telephone number, camera, audio, and app list" from the PScout and
+//! SuSi-style data sets, and maps each to the information it yields by
+//! reading the official documentation.
+
+use ppchecker_apk::PrivateInfo;
+
+/// One sensitive API: declaring class, method name, and the information it
+/// exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensitiveApi {
+    /// Fully qualified declaring class.
+    pub class: &'static str,
+    /// Method name.
+    pub method: &'static str,
+    /// Private information obtained by calling it.
+    pub info: PrivateInfo,
+}
+
+/// The full 68-entry sensitive API table.
+pub const SENSITIVE_APIS: &[SensitiveApi] = &[
+    // ---- location (14) ----
+    api("android.location.LocationManager", "getLastKnownLocation", PrivateInfo::Location),
+    api("android.location.LocationManager", "requestLocationUpdates", PrivateInfo::Location),
+    api("android.location.LocationManager", "requestSingleUpdate", PrivateInfo::Location),
+    api("android.location.LocationManager", "getBestProvider", PrivateInfo::Location),
+    api("android.location.LocationManager", "addNmeaListener", PrivateInfo::Location),
+    api("android.location.Location", "getLatitude", PrivateInfo::Location),
+    api("android.location.Location", "getLongitude", PrivateInfo::Location),
+    api("android.location.Location", "getAltitude", PrivateInfo::Location),
+    api("android.location.Location", "getAccuracy", PrivateInfo::Location),
+    api("android.location.Geocoder", "getFromLocation", PrivateInfo::Location),
+    api("android.location.Geocoder", "getFromLocationName", PrivateInfo::Location),
+    api("android.telephony.TelephonyManager", "getCellLocation", PrivateInfo::Location),
+    api("android.telephony.gsm.GsmCellLocation", "getCid", PrivateInfo::Location),
+    api("android.media.ExifInterface", "getLatLong", PrivateInfo::Location),
+    // ---- device id (7) ----
+    api("android.telephony.TelephonyManager", "getDeviceId", PrivateInfo::DeviceId),
+    api("android.telephony.TelephonyManager", "getImei", PrivateInfo::DeviceId),
+    api("android.telephony.TelephonyManager", "getMeid", PrivateInfo::DeviceId),
+    api("android.telephony.TelephonyManager", "getSubscriberId", PrivateInfo::DeviceId),
+    api("android.telephony.TelephonyManager", "getSimSerialNumber", PrivateInfo::DeviceId),
+    api("android.provider.Settings$Secure", "getString", PrivateInfo::DeviceId),
+    api("android.os.Build", "getSerial", PrivateInfo::DeviceId),
+    // ---- phone number (2) ----
+    api("android.telephony.TelephonyManager", "getLine1Number", PrivateInfo::PhoneNumber),
+    api("android.telephony.TelephonyManager", "getVoiceMailNumber", PrivateInfo::PhoneNumber),
+    // ---- ip address / network (5) ----
+    api("java.net.InetAddress", "getHostAddress", PrivateInfo::IpAddress),
+    api("android.net.wifi.WifiInfo", "getIpAddress", PrivateInfo::IpAddress),
+    api("android.net.wifi.WifiInfo", "getMacAddress", PrivateInfo::IpAddress),
+    api("android.net.wifi.WifiInfo", "getSSID", PrivateInfo::IpAddress),
+    api("android.net.wifi.WifiManager", "getConnectionInfo", PrivateInfo::IpAddress),
+    // ---- cookie (2) ----
+    api("android.webkit.CookieManager", "getCookie", PrivateInfo::Cookie),
+    api("java.net.HttpCookie", "getValue", PrivateInfo::Cookie),
+    // ---- account (5) ----
+    api("android.accounts.AccountManager", "getAccounts", PrivateInfo::Account),
+    api("android.accounts.AccountManager", "getAccountsByType", PrivateInfo::Account),
+    api("android.accounts.AccountManager", "getAuthToken", PrivateInfo::Account),
+    api("android.accounts.AccountManager", "getPassword", PrivateInfo::Account),
+    api("android.accounts.AccountManager", "getUserData", PrivateInfo::Account),
+    // ---- contact (2) ----
+    api("android.provider.ContactsContract$Contacts", "getLookupUri", PrivateInfo::Contact),
+    api("android.provider.ContactsContract$PhoneLookup", "lookupContact", PrivateInfo::Contact),
+    // ---- calendar (1) ----
+    api("android.provider.CalendarContract$Instances", "query", PrivateInfo::Calendar),
+    // ---- camera (4) ----
+    api("android.hardware.Camera", "open", PrivateInfo::Camera),
+    api("android.hardware.Camera", "takePicture", PrivateInfo::Camera),
+    api("android.hardware.camera2.CameraManager", "openCamera", PrivateInfo::Camera),
+    api("android.media.MediaRecorder", "setVideoSource", PrivateInfo::Camera),
+    // ---- audio (3) ----
+    api("android.media.MediaRecorder", "setAudioSource", PrivateInfo::Audio),
+    api("android.media.AudioRecord", "startRecording", PrivateInfo::Audio),
+    api("android.media.AudioRecord", "read", PrivateInfo::Audio),
+    // ---- app list (4) ----
+    api("android.content.pm.PackageManager", "getInstalledPackages", PrivateInfo::AppList),
+    api("android.content.pm.PackageManager", "getInstalledApplications", PrivateInfo::AppList),
+    api("android.app.ActivityManager", "getRunningTasks", PrivateInfo::AppList),
+    api("android.app.ActivityManager", "getRunningAppProcesses", PrivateInfo::AppList),
+    // ---- sms (3) ----
+    api("android.telephony.SmsMessage", "getMessageBody", PrivateInfo::Sms),
+    api("android.telephony.SmsMessage", "getOriginatingAddress", PrivateInfo::Sms),
+    api("android.telephony.SmsMessage", "getDisplayMessageBody", PrivateInfo::Sms),
+    // ---- call log (1) ----
+    api("android.provider.CallLog$Calls", "getLastOutgoingCall", PrivateInfo::CallLog),
+    // ---- browsing history (3) ----
+    api("android.provider.Browser", "getAllBookmarks", PrivateInfo::BrowsingHistory),
+    api("android.provider.Browser", "getAllVisitedUrls", PrivateInfo::BrowsingHistory),
+    api("android.webkit.WebView", "getUrl", PrivateInfo::BrowsingHistory),
+    // ---- sensors (2) ----
+    api("android.hardware.SensorManager", "registerListener", PrivateInfo::Sensor),
+    api("android.hardware.SensorManager", "getSensorList", PrivateInfo::Sensor),
+    // ---- bluetooth (2) ----
+    api("android.bluetooth.BluetoothAdapter", "getAddress", PrivateInfo::Bluetooth),
+    api("android.bluetooth.BluetoothAdapter", "getBondedDevices", PrivateInfo::Bluetooth),
+    // ---- carrier / sim (4) ----
+    api("android.telephony.TelephonyManager", "getNetworkOperator", PrivateInfo::Carrier),
+    api("android.telephony.TelephonyManager", "getNetworkOperatorName", PrivateInfo::Carrier),
+    api("android.telephony.TelephonyManager", "getSimOperator", PrivateInfo::Carrier),
+    api("android.telephony.TelephonyManager", "getSimCountryIso", PrivateInfo::Carrier),
+    // ---- wifi scan (2) ----
+    api("android.net.wifi.WifiManager", "getScanResults", PrivateInfo::Location),
+    api("android.net.wifi.WifiManager", "getConfiguredNetworks", PrivateInfo::IpAddress),
+    // ---- clipboard (1) ----
+    api("android.content.ClipboardManager", "getText", PrivateInfo::Clipboard),
+    // ---- audio again? no: camera gallery (1) ----
+    api("android.provider.MediaStore$Images$Media", "query", PrivateInfo::Camera),
+];
+
+const fn api(class: &'static str, method: &'static str, info: PrivateInfo) -> SensitiveApi {
+    SensitiveApi { class, method, info }
+}
+
+/// Looks up `(class, method)` in the sensitive-API table.
+pub fn lookup(class: &str, method: &str) -> Option<&'static SensitiveApi> {
+    SENSITIVE_APIS
+        .iter()
+        .find(|a| a.class == class && a.method == method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_68_apis() {
+        assert_eq!(SENSITIVE_APIS.len(), 68, "the paper's table has 68 APIs");
+    }
+
+    #[test]
+    fn entries_are_unique() {
+        let mut keys: Vec<(&str, &str)> =
+            SENSITIVE_APIS.iter().map(|a| (a.class, a.method)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), SENSITIVE_APIS.len());
+    }
+
+    #[test]
+    fn lookup_known_api() {
+        let a = lookup("android.telephony.TelephonyManager", "getDeviceId").unwrap();
+        assert_eq!(a.info, PrivateInfo::DeviceId);
+        assert!(lookup("android.telephony.TelephonyManager", "toString").is_none());
+    }
+
+    #[test]
+    fn covers_all_paper_categories() {
+        use PrivateInfo::*;
+        for cat in [
+            DeviceId, IpAddress, Cookie, Location, Account, Contact, Calendar, PhoneNumber,
+            Camera, Audio, AppList,
+        ] {
+            assert!(
+                SENSITIVE_APIS.iter().any(|a| a.info == cat),
+                "missing category {cat:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Sink APIs for the taint analysis.
+//!
+//! Per the paper: "The sinks refer to APIs that store information into a
+//! log (e.g., `Log.d()`) or a file (e.g., `FileOutputStream.write()`), or
+//! send it out through network (e.g., `AndroidHttpClient.execute()`),
+//! SMS (`sendTextMessage()`), or Bluetooth
+//! (`BluetoothOutputStream.write()`)."
+
+use std::fmt;
+
+/// Where tainted data escapes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// Written to the Android log.
+    Log,
+    /// Written to a file.
+    File,
+    /// Sent over the network.
+    Network,
+    /// Sent by SMS.
+    Sms,
+    /// Sent over Bluetooth.
+    Bluetooth,
+}
+
+impl fmt::Display for SinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SinkKind::Log => "log",
+            SinkKind::File => "file",
+            SinkKind::Network => "network",
+            SinkKind::Sms => "sms",
+            SinkKind::Bluetooth => "bluetooth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A sink API entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkApi {
+    /// Declaring class.
+    pub class: &'static str,
+    /// Method name.
+    pub method: &'static str,
+    /// Sink category.
+    pub kind: SinkKind,
+}
+
+/// The sink table.
+pub const SINKS: &[SinkApi] = &[
+    sink("android.util.Log", "d", SinkKind::Log),
+    sink("android.util.Log", "e", SinkKind::Log),
+    sink("android.util.Log", "i", SinkKind::Log),
+    sink("android.util.Log", "v", SinkKind::Log),
+    sink("android.util.Log", "w", SinkKind::Log),
+    sink("android.util.Log", "wtf", SinkKind::Log),
+    sink("java.io.FileOutputStream", "write", SinkKind::File),
+    sink("java.io.FileWriter", "write", SinkKind::File),
+    sink("java.io.BufferedWriter", "write", SinkKind::File),
+    sink("java.io.ObjectOutputStream", "writeObject", SinkKind::File),
+    sink("android.content.SharedPreferences$Editor", "putString", SinkKind::File),
+    sink("android.net.http.AndroidHttpClient", "execute", SinkKind::Network),
+    sink("org.apache.http.impl.client.DefaultHttpClient", "execute", SinkKind::Network),
+    sink("java.net.HttpURLConnection", "getOutputStream", SinkKind::Network),
+    sink("java.net.URLConnection", "getOutputStream", SinkKind::Network),
+    sink("java.io.OutputStream", "write", SinkKind::Network),
+    sink("java.io.DataOutputStream", "writeBytes", SinkKind::Network),
+    sink("java.net.Socket", "getOutputStream", SinkKind::Network),
+    sink("android.webkit.WebView", "loadUrl", SinkKind::Network),
+    sink("android.telephony.SmsManager", "sendTextMessage", SinkKind::Sms),
+    sink("android.telephony.SmsManager", "sendMultipartTextMessage", SinkKind::Sms),
+    sink("android.telephony.SmsManager", "sendDataMessage", SinkKind::Sms),
+    sink("android.bluetooth.BluetoothSocket", "getOutputStream", SinkKind::Bluetooth),
+    sink("android.bluetooth.BluetoothOutputStream", "write", SinkKind::Bluetooth),
+];
+
+const fn sink(class: &'static str, method: &'static str, kind: SinkKind) -> SinkApi {
+    SinkApi { class, method, kind }
+}
+
+/// Looks up `(class, method)` in the sink table.
+pub fn lookup(class: &str, method: &str) -> Option<&'static SinkApi> {
+    SINKS.iter().find(|s| s.class == class && s.method == method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_is_a_sink() {
+        assert_eq!(lookup("android.util.Log", "d").unwrap().kind, SinkKind::Log);
+        assert_eq!(lookup("android.util.Log", "i").unwrap().kind, SinkKind::Log);
+    }
+
+    #[test]
+    fn all_five_categories_present() {
+        for kind in [SinkKind::Log, SinkKind::File, SinkKind::Network, SinkKind::Sms, SinkKind::Bluetooth] {
+            assert!(SINKS.iter().any(|s| s.kind == kind), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn non_sink_is_none() {
+        assert!(lookup("android.util.Log", "isLoggable").is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Content-provider URI tables: 12 URI strings and 615 URI fields, mapped
+//! to permissions and private information (the PScout substitute).
+//!
+//! The paper regards `ContentResolver.query()` with a sensitive URI as a
+//! sensitive API call. URI *strings* are matched directly; URI *fields*
+//! (`<android.provider.X: android.net.Uri CONTENT_URI>` constants) map to
+//! permissions via PScout, and the permission maps to information.
+
+use ppchecker_apk::{Permission, PrivateInfo};
+use std::sync::OnceLock;
+
+/// A sensitive URI string with its information category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UriString {
+    /// The `content://` URI prefix.
+    pub uri: &'static str,
+    /// Information obtained by querying it.
+    pub info: PrivateInfo,
+}
+
+/// The 12 sensitive URI strings.
+pub const URI_STRINGS: &[UriString] = &[
+    UriString { uri: "content://contacts", info: PrivateInfo::Contact },
+    UriString { uri: "content://com.android.contacts", info: PrivateInfo::Contact },
+    UriString { uri: "content://icc/adn", info: PrivateInfo::Contact },
+    UriString { uri: "content://com.android.calendar", info: PrivateInfo::Calendar },
+    UriString { uri: "content://calendar", info: PrivateInfo::Calendar },
+    UriString { uri: "content://sms", info: PrivateInfo::Sms },
+    UriString { uri: "content://mms-sms", info: PrivateInfo::Sms },
+    UriString { uri: "content://call_log", info: PrivateInfo::CallLog },
+    UriString { uri: "content://browser/bookmarks", info: PrivateInfo::BrowsingHistory },
+    UriString { uri: "content://com.android.browser/history", info: PrivateInfo::BrowsingHistory },
+    UriString { uri: "content://media/external/images", info: PrivateInfo::Camera },
+    UriString { uri: "content://settings/secure", info: PrivateInfo::DeviceId },
+];
+
+/// A URI field constant (as read out of bytecode), mapped PScout-style to a
+/// permission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UriField {
+    /// The field descriptor, e.g.
+    /// `<android.provider.Telephony$Sms: android.net.Uri CONTENT_URI>`.
+    pub field: String,
+    /// The permission PScout associates with the field.
+    pub permission: Permission,
+    /// Information derived from the permission.
+    pub info: PrivateInfo,
+}
+
+/// Generation plan: `(provider class, field count, permission, info)` per
+/// provider family; the counts sum to 615 like the paper's data set.
+const FIELD_PLAN: &[(&str, usize, Permission, PrivateInfo)] = &[
+    ("android.provider.ContactsContract", 120, Permission::ReadContacts, PrivateInfo::Contact),
+    ("android.provider.CalendarContract", 85, Permission::ReadCalendar, PrivateInfo::Calendar),
+    ("android.provider.Telephony$Sms", 110, Permission::ReceiveSms, PrivateInfo::Sms),
+    ("android.provider.CallLog", 60, Permission::ReadCallLog, PrivateInfo::CallLog),
+    ("android.provider.Browser", 55, Permission::ReadHistoryBookmarks, PrivateInfo::BrowsingHistory),
+    ("android.provider.MediaStore$Images", 45, Permission::Camera, PrivateInfo::Camera),
+    ("android.provider.MediaStore$Audio", 30, Permission::RecordAudio, PrivateInfo::Audio),
+    ("android.provider.Settings", 40, Permission::ReadPhoneState, PrivateInfo::DeviceId),
+    ("android.provider.Telephony", 70, Permission::ReadPhoneState, PrivateInfo::PhoneNumber),
+];
+
+/// Returns the 615-entry URI-field table.
+pub fn uri_fields() -> &'static [UriField] {
+    static FIELDS: OnceLock<Vec<UriField>> = OnceLock::new();
+    FIELDS.get_or_init(|| {
+        let mut out = Vec::with_capacity(615);
+        for (provider, count, permission, info) in FIELD_PLAN {
+            for i in 0..*count {
+                let suffix = match i {
+                    0 => "CONTENT_URI".to_string(),
+                    n => format!("CONTENT_URI_{n}"),
+                };
+                out.push(UriField {
+                    field: format!("<{provider}: android.net.Uri {suffix}>"),
+                    permission: permission.clone(),
+                    info: *info,
+                });
+            }
+        }
+        out
+    })
+}
+
+/// Matches a URI string (possibly with a longer path) against the table.
+///
+/// # Examples
+///
+/// ```
+/// use ppchecker_static::uris::match_uri_string;
+/// use ppchecker_apk::PrivateInfo;
+/// let hit = match_uri_string("content://com.android.calendar/events").unwrap();
+/// assert_eq!(hit.info, PrivateInfo::Calendar);
+/// assert!(match_uri_string("content://com.example.custom").is_none());
+/// ```
+pub fn match_uri_string(uri: &str) -> Option<&'static UriString> {
+    URI_STRINGS.iter().find(|u| uri.starts_with(u.uri))
+}
+
+/// Looks up a URI field descriptor.
+///
+/// Exact descriptors hit directly; otherwise the declaring class is
+/// matched by provider-family prefix, so
+/// `<android.provider.ContactsContract$CommonDataKinds$Phone: android.net.Uri CONTENT_URI>`
+/// resolves through the `ContactsContract` family, as PScout's map does.
+pub fn match_uri_field(field: &str) -> Option<&'static UriField> {
+    if let Some(hit) = uri_fields().iter().find(|f| f.field == field) {
+        return Some(hit);
+    }
+    let class = field.strip_prefix('<')?.split(':').next()?;
+    if !field.contains("CONTENT_URI") {
+        return None;
+    }
+    FIELD_PLAN
+        .iter()
+        .position(|(provider, ..)| class.starts_with(provider))
+        .map(|i| {
+            // The family's canonical CONTENT_URI entry stands in.
+            let offset: usize = FIELD_PLAN[..i].iter().map(|(_, c, ..)| *c).sum();
+            &uri_fields()[offset]
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_uri_strings() {
+        assert_eq!(URI_STRINGS.len(), 12);
+    }
+
+    #[test]
+    fn exactly_615_uri_fields() {
+        assert_eq!(uri_fields().len(), 615, "the paper's data set has 615");
+    }
+
+    #[test]
+    fn field_descriptors_unique() {
+        let mut fs: Vec<&str> = uri_fields().iter().map(|f| f.field.as_str()).collect();
+        fs.sort_unstable();
+        fs.dedup();
+        assert_eq!(fs.len(), 615);
+    }
+
+    #[test]
+    fn uri_prefix_matching() {
+        assert_eq!(
+            match_uri_string("content://contacts/people/1").unwrap().info,
+            PrivateInfo::Contact
+        );
+        assert!(match_uri_string("http://example.com").is_none());
+    }
+
+    #[test]
+    fn field_lookup_maps_to_permission_and_info() {
+        let f = match_uri_field(
+            "<android.provider.Telephony$Sms: android.net.Uri CONTENT_URI>",
+        )
+        .unwrap();
+        assert_eq!(f.permission, Permission::ReceiveSms);
+        assert_eq!(f.info, PrivateInfo::Sms);
+    }
+}

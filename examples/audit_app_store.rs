@@ -1,0 +1,67 @@
+//! Audit a whole app-store slice, the way a market owner or regulator
+//! (FTC-style, per the paper's motivation) would: run PPChecker over a
+//! corpus of apps and print a findings digest.
+//!
+//! ```sh
+//! cargo run --release --example audit_app_store -- [num_apps]
+//! ```
+
+use ppchecker_corpus::small_dataset;
+use std::collections::BTreeMap;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+    println!("auditing a {n}-app store slice...\n");
+
+    let dataset = small_dataset(42, n);
+    let checker = dataset.make_checker();
+
+    let mut incomplete = 0usize;
+    let mut incorrect = 0usize;
+    let mut inconsistent = 0usize;
+    let mut missed_by_info: BTreeMap<String, usize> = BTreeMap::new();
+    let mut worst: Vec<(usize, String)> = Vec::new();
+
+    for app in &dataset.apps {
+        let report = checker.check(&app.input).expect("corpus apps analyze cleanly");
+        if report.is_incomplete() {
+            incomplete += 1;
+            for m in &report.missed {
+                *missed_by_info.entry(m.info.to_string()).or_insert(0) += 1;
+            }
+        }
+        if report.is_incorrect() {
+            incorrect += 1;
+        }
+        if report.is_inconsistent() {
+            inconsistent += 1;
+        }
+        let findings =
+            report.missed.len() + report.incorrect.len() + report.inconsistencies.len();
+        if findings > 0 {
+            worst.push((findings, report.package.clone()));
+        }
+    }
+    worst.sort_by(|a, b| b.0.cmp(&a.0));
+
+    println!("== audit summary ==");
+    println!("apps audited:          {n}");
+    println!("incomplete policies:   {incomplete}");
+    println!("incorrect policies:    {incorrect}");
+    println!("inconsistent policies: {inconsistent}");
+
+    println!("\n== most commonly unmentioned information ==");
+    let mut ranked: Vec<(&String, &usize)> = missed_by_info.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(a.1));
+    for (info, count) in ranked.iter().take(8) {
+        println!("  {count:4}  {info}");
+    }
+
+    println!("\n== apps with the most findings ==");
+    for (count, package) in worst.iter().take(10) {
+        println!("  {count:3} findings  {package}");
+    }
+}

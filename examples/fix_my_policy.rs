@@ -1,0 +1,72 @@
+//! Developer-facing workflow: check an app, then get concrete edits that
+//! would fix its privacy policy (the AutoPPG-style extension), and see the
+//! retained-information flows PPChecker found as source→sink witnesses.
+//!
+//! ```sh
+//! cargo run --example fix_my_policy
+//! ```
+
+use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
+use ppchecker_core::{describe_leak, suggest_fixes, AppInput, PPChecker};
+
+fn main() {
+    let mut manifest = Manifest::new("com.example.fitness");
+    manifest.add_permission(Permission::AccessFineLocation);
+    manifest.add_permission(Permission::ReadContacts);
+    manifest.add_component(ComponentKind::Activity, "com.example.fitness.Main", true);
+
+    let dex = Dex::builder()
+        .class("com.example.fitness.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |m| {
+                // Tracks the run...
+                m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+                // ...and quietly logs the coordinates.
+                m.invoke_static("android.util.Log", "d", &[1], None);
+                // Also reads the address book for "find friends".
+                m.const_string(2, "content://com.android.contacts");
+                m.invoke_virtual("android.content.ContentResolver", "query", &[0, 2], Some(3));
+            });
+        })
+        .class("com.google.android.gms.ads.AdView", |c| {
+            c.method("loadAd", 1, |_| {});
+        })
+        .build();
+
+    let app = AppInput {
+        package: "com.example.fitness".to_string(),
+        policy_html: "<html><body><h1>Privacy</h1>\
+            <p>We may collect your email address.</p>\
+            <p>We will never share your device id with anyone.</p>\
+            </body></html>"
+            .to_string(),
+        description: "Track your runs with precise gps location. Invite friends from your \
+                      phonebook."
+            .to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+
+    let mut checker = PPChecker::new();
+    checker.register_lib_policy(
+        "admob",
+        "<p>we may share your device id with our partners.</p>",
+    );
+    let report = checker.check(&app).expect("analyzes cleanly");
+
+    println!("== findings ==");
+    println!("{report}");
+
+    // The static analysis also yields the raw flow witnesses.
+    let static_report = ppchecker_static::analyze(&app.apk).expect("plain dex");
+    if !static_report.retained.is_empty() {
+        println!("== retained-information flows ==");
+        for leak in &static_report.retained {
+            println!("  {}", describe_leak(leak));
+        }
+    }
+
+    println!("\n== suggested policy edits ==");
+    for fix in suggest_fixes(&report) {
+        println!("  {fix}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Policy-watchdog scenario: diff two versions of a privacy policy at the
+//! behaviour level and re-audit the app against the new version — the
+//! workflow a market owner would run when a developer uploads an updated
+//! policy ("this policy may change from time to time").
+//!
+//! ```sh
+//! cargo run --example policy_watchdog
+//! ```
+
+use ppchecker_policy::{diff, PolicyAnalyzer};
+
+const V1: &str = "<html><body><h1>Privacy Policy v1</h1>\
+    <p>We may collect your email address.</p>\
+    <p>We will not share your location.</p>\
+    <p>We will not sell your personal information.</p>\
+    </body></html>";
+
+const V2: &str = "<html><body><h1>Privacy Policy v2</h1>\
+    <p>We may collect your email address.</p>\
+    <p>We may share your location with our partners.</p>\
+    <p>We will not sell your personal information.</p>\
+    <p>We may collect your device id.</p>\
+    <p>We are not responsible for the privacy practices of those third party sites.</p>\
+    </body></html>";
+
+fn main() {
+    let analyzer = PolicyAnalyzer::new();
+    let old = analyzer.analyze_html(V1);
+    let new = analyzer.analyze_html(V2);
+    let d = diff(&old, &new);
+
+    println!("== policy update: v1 → v2 ==\n");
+    println!("newly declared practices:");
+    for s in d.new_practices() {
+        println!("  + {} {}", s.category, s.resource);
+    }
+    println!("\ndropped promises (denials removed):");
+    for s in d.dropped_promises() {
+        println!("  - no longer promises NOT to {} {}", s.category, s.resource);
+    }
+    if let Some(appeared) = d.disclaimer_changed {
+        println!(
+            "\nthird-party disclaimer {}",
+            if appeared { "ADDED" } else { "REMOVED" }
+        );
+    }
+
+    assert!(!d.is_empty());
+    assert!(d.dropped_promises().count() >= 1);
+    println!("\nverdict: v2 weakens the location promise — re-review required.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: check a single app's privacy policy against its
+//! description and (simulated) APK.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
+use ppchecker_core::{AppInput, PPChecker};
+
+fn main() {
+    // 1. The app's manifest: a weather app asking for fine location.
+    let mut manifest = Manifest::new("com.example.weather");
+    manifest.add_permission(Permission::AccessFineLocation);
+    manifest.add_permission(Permission::Internet);
+    manifest.add_component(ComponentKind::Activity, "com.example.weather.Main", true);
+
+    // 2. Its (simulated) bytecode: grabs the last known location in
+    //    onCreate and logs it.
+    let dex = Dex::builder()
+        .class("com.example.weather.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |m| {
+                m.invoke_virtual(
+                    "android.location.LocationManager",
+                    "getLastKnownLocation",
+                    &[0],
+                    Some(1),
+                );
+                m.invoke_static("android.util.Log", "d", &[1], None);
+            });
+        })
+        .build();
+
+    // 3. The policy conspicuously never mentions location.
+    let app = AppInput {
+        package: "com.example.weather".to_string(),
+        policy_html: "<html><body><h1>Privacy Policy</h1>\
+            <p>We may collect your email address to create your account.</p>\
+            <p>We will not sell your personal information.</p>\
+            </body></html>"
+            .to_string(),
+        description: "Accurate weather forecasts for your current location, updated hourly."
+            .to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+
+    // 4. Run PPChecker.
+    let checker = PPChecker::new();
+    let report = checker.check(&app).expect("plain dex analyzes cleanly");
+
+    println!("{report}");
+    println!("incomplete?   {}", report.is_incomplete());
+    println!("incorrect?    {}", report.is_incorrect());
+    println!("inconsistent? {}", report.is_inconsistent());
+    assert!(report.is_incomplete(), "the location gap must be detected");
+}

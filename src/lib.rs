@@ -1,0 +1,14 @@
+//! Umbrella crate for the PPChecker reproduction workspace.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in
+//! the `ppchecker-*` crates under `crates/`.
+
+pub use ppchecker_apk as apk;
+pub use ppchecker_core as core;
+pub use ppchecker_corpus as corpus;
+pub use ppchecker_desc as desc;
+pub use ppchecker_esa as esa;
+pub use ppchecker_nlp as nlp;
+pub use ppchecker_policy as policy;
+pub use ppchecker_static as static_analysis;

@@ -1,0 +1,68 @@
+//! End-to-end file workflow: export a corpus app to disk, audit it through
+//! the CLI code paths, and exercise the pack/unpack round trip — the way a
+//! downstream user without the Rust API would drive PPChecker.
+
+use ppchecker_cli::{run_check, run_pack, run_unpack, CheckOptions};
+use ppchecker_corpus::{export_app, small_dataset};
+use std::fs;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppchecker-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn exported_incomplete_app_flagged_through_cli() {
+    let dataset = small_dataset(42, 70);
+    let dir = temp_dir("cli");
+    // App 64 is code-only incomplete.
+    export_app(&dir, &dataset.apps[64]).unwrap();
+
+    let out = run_check(&CheckOptions {
+        policy_html: fs::read_to_string(dir.join("policy.html")).unwrap(),
+        description: fs::read_to_string(dir.join("description.txt")).unwrap(),
+        manifest_text: fs::read_to_string(dir.join("manifest.txt")).unwrap(),
+        dex_text: fs::read_to_string(dir.join("app.dex")).unwrap(),
+        suggest: true,
+        ..CheckOptions::default()
+    })
+    .unwrap();
+    assert!(out.contains("incomplete: true"), "{out}");
+    assert!(out.contains("suggested fixes:"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let dataset = small_dataset(42, 70);
+    let dir = temp_dir("json");
+    export_app(&dir, &dataset.apps[66]).unwrap(); // incorrect app
+
+    let out = run_check(&CheckOptions {
+        policy_html: fs::read_to_string(dir.join("policy.html")).unwrap(),
+        description: fs::read_to_string(dir.join("description.txt")).unwrap(),
+        manifest_text: fs::read_to_string(dir.join("manifest.txt")).unwrap(),
+        dex_text: fs::read_to_string(dir.join("app.dex")).unwrap(),
+        json: true,
+        ..CheckOptions::default()
+    })
+    .unwrap();
+    assert!(out.trim_start().starts_with('{'));
+    assert!(out.contains("\"incorrect\":true"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pack_then_unpack_preserves_exported_dex() {
+    let dataset = small_dataset(42, 5);
+    let dir = temp_dir("pack");
+    export_app(&dir, &dataset.apps[2]).unwrap();
+    let dex_text = fs::read_to_string(dir.join("app.dex")).unwrap();
+    let blob = run_pack(&dex_text, 0x42).unwrap();
+    let back = run_unpack(&blob).unwrap();
+    let a = ppchecker_apk::packer::deserialize(&dex_text).unwrap();
+    let b = ppchecker_apk::packer::deserialize(&back).unwrap();
+    assert_eq!(a, b);
+    let _ = fs::remove_dir_all(&dir);
+}

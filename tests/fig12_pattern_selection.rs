@@ -1,0 +1,33 @@
+//! Integration test for the Fig. 12 pattern-selection experiment.
+
+use ppchecker_corpus::fig12::{best_n, fig12_corpus, run_sweep};
+
+#[test]
+fn sweep_reproduces_fig12() {
+    let corpus = fig12_corpus();
+    let sweep = run_sweep(&corpus, 10);
+
+    // The false-negative rate is non-increasing in n.
+    for w in sweep.windows(2) {
+        assert!(w[1].fn_rate <= w[0].fn_rate + 1e-12);
+    }
+    // The false-positive rate is non-decreasing in n.
+    for w in sweep.windows(2) {
+        assert!(w[1].fp_rate + 1e-12 >= w[0].fp_rate);
+    }
+
+    // The paper's operating point: n = 230 with 88.0% detection (12% FN)
+    // and 2.8% FP.
+    let best = best_n(&sweep);
+    assert_eq!(best.n, 230);
+    assert!((best.fn_rate - 0.120).abs() < 1e-9);
+    assert!((best.fp_rate - 0.028).abs() < 1e-9);
+}
+
+#[test]
+fn too_few_patterns_miss_most_sentences() {
+    let corpus = fig12_corpus();
+    let sweep = run_sweep(&corpus, 10);
+    let first = sweep.first().unwrap();
+    assert!(first.fn_rate > 0.5, "n={} fn={}", first.n, first.fn_rate);
+}

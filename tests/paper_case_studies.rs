@@ -1,0 +1,254 @@
+//! Integration tests reproducing the paper's named case studies across
+//! crate boundaries (policy + description + static analysis + core).
+
+use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
+use ppchecker_core::{AppInput, PPChecker};
+use ppchecker_policy::VerbCategory;
+
+/// §II-B (1) / Fig. 2 — com.dooing.dooing: the description advertises
+/// location-aware tasks and the class `com.dooing.dooing.ee` calls
+/// `getLatitude()`/`getLongitude()`, but the policy never mentions
+/// location.
+#[test]
+fn dooing_incomplete_policy() {
+    let mut manifest = Manifest::new("com.dooing.dooing");
+    manifest.add_permission(Permission::AccessFineLocation);
+    manifest.add_component(ComponentKind::Activity, "com.dooing.dooing.Main", true);
+    let dex = Dex::builder()
+        .class("com.dooing.dooing.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |m| {
+                m.invoke_virtual("com.dooing.dooing.ee", "locate", &[0], None);
+            });
+        })
+        .class("com.dooing.dooing.ee", |c| {
+            c.method("locate", 1, |m| {
+                m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+                m.invoke_virtual("android.location.Location", "getLongitude", &[0], Some(2));
+            });
+        })
+        .build();
+    let app = AppInput {
+        package: "com.dooing.dooing".to_string(),
+        policy_html: "<p>We may collect your email address. We store your account name.</p>"
+            .to_string(),
+        description: "Location aware tasks will help you to utilize your field force in \
+                      optimum way."
+            .to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let report = PPChecker::new().check(&app).unwrap();
+    assert!(report.is_incomplete());
+    assert!(report
+        .missed_via_description()
+        .any(|m| m.info == PrivateInfo::Location));
+    assert!(report
+        .missed_via_code()
+        .any(|m| m.info == PrivateInfo::Location));
+    assert!(!report.is_incorrect());
+}
+
+/// §II-B (2) / §V-D — com.easyxapp.secret: the policy declares "we will
+/// not store your real phone number, name and contacts", but the code
+/// queries the contacts provider and writes the result to the log.
+#[test]
+fn easyxapp_incorrect_policy() {
+    let mut manifest = Manifest::new("com.easyxapp.secret");
+    manifest.add_permission(Permission::ReadContacts);
+    manifest.add_component(ComponentKind::Activity, "com.easyxapp.secret.Main", true);
+    let dex = Dex::builder()
+        .class("com.easyxapp.secret.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |m| {
+                m.field_get(
+                    "android.provider.ContactsContract$CommonDataKinds$Phone",
+                    "CONTENT_URI",
+                    1,
+                );
+                m.invoke_virtual("android.content.ContentResolver", "query", &[0, 1], Some(2));
+                m.invoke_static("android.util.Log", "i", &[2], None);
+            });
+        })
+        .build();
+    let app = AppInput {
+        package: "com.easyxapp.secret".to_string(),
+        policy_html: "<p>We may collect your email address.</p>\
+                      <p>We will not store your real phone number, name and contacts.</p>"
+            .to_string(),
+        description: "Share secrets anonymously with people around you.".to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let report = PPChecker::new().check(&app).unwrap();
+    assert!(report.is_incorrect());
+    assert!(report
+        .incorrect
+        .iter()
+        .any(|f| f.info == PrivateInfo::Contact && f.category == VerbCategory::Retain));
+}
+
+/// §V-D — hko.MyObservatory_v1_0: "Users locations would not be
+/// transmitted out from the app", yet a path from `getLatitude()` to
+/// `Log.i()` exists.
+#[test]
+fn myobservatory_incorrect_policy() {
+    let mut manifest = Manifest::new("hko.MyObservatory_v1_0");
+    manifest.add_permission(Permission::AccessFineLocation);
+    manifest.add_component(
+        ComponentKind::Activity,
+        "hko.MyObservatory_v1_0.Main",
+        true,
+    );
+    let dex = Dex::builder()
+        .class("hko.MyObservatory_v1_0.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |m| {
+                m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+                m.invoke_static("android.util.Log", "i", &[1], None);
+            });
+        })
+        .build();
+    let app = AppInput {
+        package: "hko.MyObservatory_v1_0".to_string(),
+        policy_html: "<p>We may collect your location for the weather forecast.</p>\
+                      <p>We will not transmit your location out from the app.</p>"
+            .to_string(),
+        description: "The official weather app.".to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let report = PPChecker::new().check(&app).unwrap();
+    assert!(report.is_incorrect());
+    assert!(report.incorrect.iter().any(|f| f.info == PrivateInfo::Location));
+}
+
+/// Fig. 3 — com.imangi.templerun2 ↔ Unity3d: the app's policy denies
+/// using/collecting location; the embedded Unity3d lib's policy declares
+/// it will receive location information.
+#[test]
+fn templerun_inconsistent_policy() {
+    let mut manifest = Manifest::new("com.imangi.templerun2");
+    manifest.add_component(ComponentKind::Activity, "com.imangi.templerun2.Main", true);
+    let dex = Dex::builder()
+        .class("com.imangi.templerun2.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |_| {});
+        })
+        .class("com.unity3d.player.UnityPlayer", |c| {
+            c.method("init", 1, |_| {});
+        })
+        .build();
+    let app = AppInput {
+        package: "com.imangi.templerun2".to_string(),
+        policy_html: "<p>We do not collect your location information.</p>".to_string(),
+        description: "Run for your life in the sequel to the smash hit!".to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let mut checker = PPChecker::new();
+    checker.register_lib_policy(
+        "unity3d",
+        "<p>We may receive your location information and device identifiers.</p>",
+    );
+    let report = checker.check(&app).unwrap();
+    assert!(report.is_inconsistent());
+    assert_eq!(report.inconsistencies[0].lib_id, "unity3d");
+    assert_eq!(report.inconsistencies[0].category, VerbCategory::Collect);
+}
+
+/// §IV-C — com.shortbreakstudios.HammerTime: a disclaimer ("we are not
+/// responsible for the privacy practices of those sites") suppresses
+/// app↔lib inconsistency findings.
+#[test]
+fn hammertime_disclaimer_suppresses_inconsistency() {
+    let mut manifest = Manifest::new("com.shortbreakstudios.HammerTime");
+    manifest.add_component(
+        ComponentKind::Activity,
+        "com.shortbreakstudios.HammerTime.Main",
+        true,
+    );
+    let dex = Dex::builder()
+        .class("com.shortbreakstudios.HammerTime.Main", |c| {
+            c.method("onCreate", 1, |_| {});
+        })
+        .class("com.unity3d.player.UnityPlayer", |c| {
+            c.method("init", 1, |_| {});
+        })
+        .build();
+    let app = AppInput {
+        package: "com.shortbreakstudios.HammerTime".to_string(),
+        policy_html: "<p>We encourage you to review the privacy practices of these third \
+                      parties before disclosing any personally identifiable information, as \
+                      we are not responsible for the privacy practices of those sites.</p>\
+                      <p>We do not collect your location information.</p>"
+            .to_string(),
+        description: "Stop! Hammer time.".to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let mut checker = PPChecker::new();
+    checker.register_lib_policy(
+        "unity3d",
+        "<p>We may receive your location information.</p>",
+    );
+    let report = checker.check(&app).unwrap();
+    assert!(report.has_disclaimer);
+    assert!(!report.is_inconsistent());
+}
+
+/// Fig. 9 — com.qisiemoji.inputmethod: `getInstalledPackages()` flows to
+/// `Log.e()`, so the app-list information is *retained*.
+#[test]
+fn qisiemoji_retains_app_list() {
+    let mut manifest = Manifest::new("com.qisiemoji.inputmethod");
+    manifest.add_permission(Permission::GetTasks);
+    manifest.add_component(
+        ComponentKind::Activity,
+        "com.qisiemoji.inputmethod.Main",
+        true,
+    );
+    let dex = Dex::builder()
+        .class("com.qisiemoji.inputmethod.Main", |c| {
+            c.method("onCreate", 1, |m| {
+                m.invoke_virtual(
+                    "android.content.pm.PackageManager",
+                    "getInstalledPackages",
+                    &[0],
+                    Some(5),
+                );
+                m.invoke_virtual("java.lang.StringBuilder", "append", &[6, 5], Some(7));
+                m.invoke_static("android.util.Log", "e", &[7], None);
+            });
+        })
+        .build();
+    let report = ppchecker_static::analyze(&Apk::new(manifest, dex)).unwrap();
+    assert!(report.retain_code().contains(&PrivateInfo::AppList));
+    assert_eq!(report.retained[0].sink, ppchecker_static::SinkKind::Log);
+}
+
+/// §V-E — the StaffMark ↔ AdMob ESA false positive: generic "information"
+/// is (incorrectly) matched to "personal information".
+#[test]
+fn staffmark_esa_false_positive_reproduced() {
+    let mut manifest = Manifest::new("com.staffmark.app");
+    manifest.add_component(ComponentKind::Activity, "com.staffmark.app.Main", true);
+    let dex = Dex::builder()
+        .class("com.staffmark.app.Main", |c| {
+            c.method("onCreate", 1, |_| {});
+        })
+        .class("com.google.android.gms.ads.AdView", |c| {
+            c.method("loadAd", 1, |_| {});
+        })
+        .build();
+    let app = AppInput {
+        package: "com.staffmark.app".to_string(),
+        policy_html: "<p>We do not transmit that information over the internet.</p>"
+            .to_string(),
+        description: "Find your next job.".to_string(),
+        apk: Apk::new(manifest, dex),
+    };
+    let mut checker = PPChecker::new();
+    checker.register_lib_policy(
+        "admob",
+        "<p>We will share personal information with companies.</p>",
+    );
+    let report = checker.check(&app).unwrap();
+    // The detector flags it — matching the paper's false positive.
+    assert!(report.is_inconsistent());
+}

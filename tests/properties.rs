@@ -1,0 +1,270 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the pipeline.
+
+use proptest::prelude::*;
+use ppchecker_apk::{packer, Dex, Insn, InvokeKind};
+use ppchecker_esa::Interpreter;
+use ppchecker_nlp::{depparse, sentence, token};
+
+// ---------- NLP ----------
+
+proptest! {
+    /// The tokenizer never panics and never emits whitespace-bearing or
+    /// empty tokens.
+    #[test]
+    fn tokenizer_is_total_and_clean(s in ".{0,200}") {
+        let toks = token::tokenize(&s);
+        for t in &toks {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(!t.text.chars().any(char::is_whitespace));
+            prop_assert!(t.start <= s.len());
+        }
+    }
+
+    /// Sentence splitting never loses alphanumeric content (modulo the
+    /// deliberate non-ASCII stripping and lowercasing).
+    #[test]
+    fn splitter_preserves_ascii_alnum(s in "[a-zA-Z0-9 .,;:!?]{0,300}") {
+        let sents = sentence::split_sentences(&s);
+        let kept: String = sents
+            .join(" ")
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        let original: String = s
+            .to_lowercase()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        prop_assert_eq!(kept, original);
+    }
+
+    /// After enumeration repair, no sentence but the last ends with a
+    /// list-continuation mark.
+    #[test]
+    fn repair_leaves_no_dangling_separators(s in "[a-z ;,:.]{0,300}") {
+        let sents = sentence::split_sentences(&s);
+        for sent in sents.iter().rev().skip(1) {
+            let t = sent.trim_end();
+            prop_assert!(
+                !(t.ends_with(';') || t.ends_with(',') || t.ends_with(':')),
+                "dangling separator in {sent:?}"
+            );
+        }
+    }
+
+    /// The dependency parser is total and all edges reference real tokens.
+    #[test]
+    fn parser_edges_are_well_formed(s in "[a-zA-Z ,.';]{0,150}") {
+        let p = depparse::parse(&s);
+        let n = p.tokens.len();
+        if let Some(r) = p.root {
+            prop_assert!(r < n);
+        }
+        for d in &p.deps {
+            prop_assert!(d.head < n && d.dep < n);
+            prop_assert_ne!(d.head, d.dep);
+        }
+        for c in &p.chunks {
+            prop_assert!(c.start <= c.head && c.head < c.end && c.end <= n);
+        }
+    }
+
+    /// Verb lemmatization is idempotent.
+    #[test]
+    fn verb_lemmatization_idempotent(w in "[a-z]{1,12}") {
+        let once = ppchecker_nlp::lemma::lemmatize_verb(&w);
+        let twice = ppchecker_nlp::lemma::lemmatize_verb(&once);
+        prop_assert_eq!(once, twice);
+    }
+}
+
+// ---------- ESA ----------
+
+proptest! {
+    /// Similarity stays in [0, 1] and is symmetric for any pair of texts.
+    #[test]
+    fn esa_similarity_bounded_and_symmetric(
+        a in "[a-z ]{0,60}",
+        b in "[a-z ]{0,60}",
+    ) {
+        let esa = Interpreter::shared();
+        let ab = esa.similarity(&a, &b);
+        let ba = esa.similarity(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+}
+
+// ---------- APK / packer ----------
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        ("[ -~]{0,40}", 0u32..16).prop_map(|(v, r)| Insn::ConstString { dst: r, value: v }),
+        (0u32..16, 0u32..16).prop_map(|(d, s)| Insn::Move { dst: d, src: s }),
+        ("[a-zA-Z.$]{1,30}", "[a-zA-Z]{1,15}", proptest::collection::vec(0u32..16, 0..4))
+            .prop_map(|(c, m, args)| Insn::Invoke {
+                kind: InvokeKind::Virtual,
+                class: c,
+                method: m,
+                args,
+                dst: None,
+            }),
+        ("[a-zA-Z.]{1,20}", "[a-zA-Z]{1,12}", 0u32..16)
+            .prop_map(|(c, f, r)| Insn::FieldPut { class: c, field: f, src: r }),
+        (0u32..16).prop_map(|r| Insn::Return { src: Some(r) }),
+        Just(Insn::Nop),
+    ]
+}
+
+fn arb_dex() -> impl Strategy<Value = Dex> {
+    proptest::collection::vec(
+        (
+            "[a-z][a-z.]{0,20}",
+            proptest::collection::vec(
+                ("[a-z][a-zA-Z]{0,10}", proptest::collection::vec(arb_insn(), 0..8)),
+                0..4,
+            ),
+        ),
+        0..4,
+    )
+    .prop_map(|classes| {
+        let mut b = Dex::builder();
+        for (i, (name, methods)) in classes.into_iter().enumerate() {
+            // Guarantee distinct class names.
+            let name = format!("{name}{i}");
+            b = b.class(&name, |c| {
+                for (j, (mname, insns)) in methods.into_iter().enumerate() {
+                    let mname = format!("{mname}{j}");
+                    c.method(&mname, 1, |mb| {
+                        for insn in insns {
+                            mb.push(insn);
+                        }
+                    });
+                }
+            });
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    /// Serialization round-trips arbitrary dex files.
+    #[test]
+    fn dex_serialization_round_trips(dex in arb_dex()) {
+        let text = packer::serialize(&dex);
+        let back = packer::deserialize(&text).expect("own output must parse");
+        prop_assert_eq!(dex, back);
+    }
+
+    /// Packing + unpacking is the identity for any key.
+    #[test]
+    fn packer_round_trips(dex in arb_dex(), key: u8) {
+        let blob = packer::pack(&dex, key);
+        let back = packer::unpack(&blob).expect("own blob must unpack");
+        prop_assert_eq!(dex, back);
+    }
+
+    /// Unpacking never panics on arbitrary garbage.
+    #[test]
+    fn unpack_is_total(blob in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = packer::unpack(&blob);
+    }
+}
+
+// ---------- static analysis ----------
+
+proptest! {
+    /// The APG builds for any generated dex and reachability stays within
+    /// the node set.
+    #[test]
+    fn apg_builds_for_arbitrary_dex(dex in arb_dex()) {
+        let apk = ppchecker_apk::Apk::new(ppchecker_apk::Manifest::new("com.x"), dex);
+        let report = ppchecker_static::analyze(&apk).expect("plain dex");
+        prop_assert!(report.reachable_method_count <= 1000);
+    }
+}
+
+// ---------- policy pipeline ----------
+
+proptest! {
+    /// The policy analyzer is total over arbitrary HTML-ish input.
+    #[test]
+    fn policy_analyzer_is_total(s in "[a-zA-Z <>/&;.,]{0,300}") {
+        let analyzer = ppchecker_policy::PolicyAnalyzer::new();
+        let analysis = analyzer.analyze_html(&s);
+        prop_assert!(analysis.sentences.len() <= analysis.total_sentences);
+    }
+
+    /// Every extracted resource is non-empty and every sentence has at
+    /// least one resource (pipeline filter invariant).
+    #[test]
+    fn useful_sentences_always_carry_resources(s in "[a-z .,]{0,200}") {
+        let analyzer = ppchecker_policy::PolicyAnalyzer::new();
+        for sent in &analyzer.analyze_text(&s).sentences {
+            prop_assert!(!sent.resources().is_empty());
+            for r in sent.resources() {
+                prop_assert!(!r.is_empty());
+            }
+        }
+    }
+}
+
+// ---------- HTML extraction ----------
+
+proptest! {
+    /// The HTML extractor is total and its output never contains tag
+    /// delimiters from well-formed markup.
+    #[test]
+    fn html_extractor_is_total(s in "[a-zA-Z <>/&;=\"']{0,300}") {
+        let _ = ppchecker_policy::html::extract_text(&s);
+    }
+
+    /// Text wrapped in simple tags always survives extraction.
+    #[test]
+    fn wrapped_text_survives(words in "[a-z]{1,10}( [a-z]{1,10}){0,5}") {
+        let html = format!("<html><body><p>{words}</p></body></html>");
+        let text = ppchecker_policy::html::extract_text(&html);
+        prop_assert!(text.contains(&words));
+    }
+}
+
+// ---------- manifest text format ----------
+
+proptest! {
+    /// Manifest parsing is total over arbitrary line soup.
+    #[test]
+    fn manifest_parse_is_total(s in "([a-z ]{0,30}\n){0,10}") {
+        let _ = ppchecker_apk::Manifest::from_text(&s);
+    }
+
+    /// Any manifest built from generated parts round-trips through the
+    /// text format.
+    #[test]
+    fn manifest_text_round_trips(
+        package in "[a-z]{2,8}(\\.[a-z]{2,8}){1,3}",
+        perms in proptest::collection::vec(0usize..8, 0..5),
+        classes in proptest::collection::vec("[A-Z][a-zA-Z]{1,10}", 0..4),
+    ) {
+        use ppchecker_apk::{ComponentKind, Manifest, Permission};
+        const PERMS: &[Permission] = &[
+            Permission::AccessFineLocation,
+            Permission::Camera,
+            Permission::ReadContacts,
+            Permission::GetAccounts,
+            Permission::ReadCalendar,
+            Permission::RecordAudio,
+            Permission::ReadSms,
+            Permission::Internet,
+        ];
+        let mut m = Manifest::new(&package);
+        for &p in &perms {
+            m.add_permission(PERMS[p].clone());
+        }
+        for (i, c) in classes.iter().enumerate() {
+            m.add_component(ComponentKind::Activity, &format!("{package}.{c}"), i == 0);
+        }
+        let again = Manifest::from_text(&m.to_text()).expect("own output parses");
+        prop_assert_eq!(m, again);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sentence-level regression corpus: real-policy-style sentences with the
+//! expected category, polarity, and at least one expected resource. Guards
+//! the whole NLP stack (tokenizer → tagger → parser → patterns → negation
+//! → elements) against regressions.
+
+use ppchecker_policy::{PolicyAnalyzer, VerbCategory};
+
+struct Case {
+    sentence: &'static str,
+    category: VerbCategory,
+    negative: bool,
+    /// A substring that must appear among extracted resources.
+    resource: &'static str,
+}
+
+const fn case(
+    sentence: &'static str,
+    category: VerbCategory,
+    negative: bool,
+    resource: &'static str,
+) -> Case {
+    Case { sentence, category, negative, resource }
+}
+
+use VerbCategory::{Collect, Disclose, Retain, Use};
+
+const CASES: &[Case] = &[
+    // ---- plain active ----
+    case("We collect your location.", Collect, false, "location"),
+    case("We may collect your device id and your email address.", Collect, false, "device id"),
+    case("Our app collects your precise location data.", Collect, false, "location data"),
+    case("We gather anonymous usage data.", Collect, false, "usage data"),
+    case("We will obtain your phone number during registration.", Collect, false, "phone number"),
+    case("The app may record audio recordings.", Collect, false, "audio"),
+    case("We may request your calendar events.", Collect, false, "calendar"),
+    // ---- modals, adverbs ----
+    case("We may also collect your contacts.", Collect, false, "contacts"),
+    case("We will sometimes use your browsing history.", Use, false, "browsing history"),
+    // ---- passive ----
+    case("Your personal information will be used.", Use, false, "personal information"),
+    case("Your location may be collected automatically.", Collect, false, "location"),
+    case("Cookies are stored on your device.", Retain, false, "cookies"),
+    // ---- P3 / P4 ----
+    case("We are able to collect location information.", Collect, false, "location"),
+    case("We are allowed to access your personal information.", Collect, false, "personal information"),
+    // ---- P5 purpose ----
+    case("We need your consent to access your contacts.", Collect, false, "contacts"),
+    // ---- retain ----
+    case("We retain your messages for thirty days.", Retain, false, "messages"),
+    case("We will keep your account information as long as necessary.", Retain, false, "account"),
+    case("We may store your photos on our servers.", Retain, false, "photos"),
+    // ---- disclose ----
+    case("We may share your device id with our partners.", Disclose, false, "device id"),
+    case("We will disclose your information to comply with the law.", Disclose, false, "information"),
+    case("We may transfer your data to our affiliates.", Disclose, false, "data"),
+    case("We sell aggregated location data to advertisers.", Disclose, false, "location data"),
+    // ---- negation forms ----
+    case("We will not collect your location.", Collect, true, "location"),
+    case("We do not collect your contacts.", Collect, true, "contacts"),
+    case("We don't sell your personal information.", Disclose, true, "personal information"),
+    case("We never share your email address.", Disclose, true, "email address"),
+    case("We will never disclose your phone number to anyone.", Disclose, true, "phone number"),
+    case("We are not collecting your date of birth.", Collect, true, "date"),
+    case("Nothing will be collected.", Collect, true, "nothing"),
+    case("No personal information will be collected.", Collect, true, "personal information"),
+    case("We will not store your real phone number.", Retain, true, "real phone number"),
+    case("We do not retain your sms messages.", Retain, true, "sms"),
+    case("We are unable to collect your precise location.", Collect, true, "location"),
+    // ---- coordination ----
+    case("We collect your name, your ip address and your device id.", Collect, false, "ip address"),
+    case("We will not store your real phone number, name and contacts.", Retain, true, "contacts"),
+    // ---- such as / including ----
+    case("We collect information such as your name and your email address.", Collect, false, "email address"),
+    case("We may share data including your device id.", Disclose, false, "device id"),
+    // ---- constraints ----
+    case("If you enable sync, we collect your calendar events.", Collect, false, "calendar"),
+    case("We collect diagnostic data when the app crashes.", Collect, false, "diagnostic data"),
+];
+
+#[test]
+fn regression_corpus_analyzes_as_expected() {
+    let analyzer = PolicyAnalyzer::new();
+    let mut failures: Vec<String> = Vec::new();
+    for c in CASES {
+        let analysis = analyzer.analyze_text(c.sentence);
+        let Some(s) = analysis.sentences.first() else {
+            failures.push(format!("NOT USEFUL: {}", c.sentence));
+            continue;
+        };
+        if s.category != c.category {
+            failures.push(format!(
+                "CATEGORY {:?} != {:?}: {}",
+                s.category, c.category, c.sentence
+            ));
+        }
+        if s.negative != c.negative {
+            failures.push(format!(
+                "POLARITY {} != {}: {}",
+                s.negative, c.negative, c.sentence
+            ));
+        }
+        if !s.resources().iter().any(|r| r.contains(c.resource)) {
+            failures.push(format!(
+                "RESOURCE {:?} missing {:?}: {}",
+                s.resources(),
+                c.resource,
+                c.sentence
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} cases failed:\n{}",
+        failures.len(),
+        CASES.len(),
+        failures.join("\n")
+    );
+}
+
+/// Sentences that must NOT be selected (noise rejection).
+#[test]
+fn noise_sentences_rejected() {
+    let analyzer = PolicyAnalyzer::new();
+    const NOISE: &[&str] = &[
+        "This privacy policy describes our practices.",
+        "Please read this policy carefully.",
+        "You may contact our support team at any time.",
+        "The service is provided as is.",
+        "We encourage you to review this page periodically.",
+        "Our website uses industry standard security.",
+        "We will improve the service continuously.",
+        "You can delete your account at any time.",
+        "Thank you for using our app!",
+    ];
+    for s in NOISE {
+        let analysis = analyzer.analyze_text(s);
+        assert!(
+            analysis.sentences.is_empty(),
+            "noise selected: {s} -> {:?}",
+            analysis.sentences[0].resources()
+        );
+    }
+}
