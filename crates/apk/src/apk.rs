@@ -48,6 +48,17 @@ impl Apk {
         }
     }
 
+    /// Creates an APK from a raw packed-dex blob *without* validating it.
+    ///
+    /// This is how on-disk `.pkdx` payloads enter the pipeline: the blob
+    /// may be truncated or corrupt, in which case [`Apk::dex`] (and any
+    /// analysis over it) reports the recovery failure. Batch runtimes
+    /// rely on this to turn one bad app into one error record instead of
+    /// a load-time abort.
+    pub fn from_packed_blob(manifest: Manifest, blob: Vec<u8>) -> Self {
+        Apk { manifest, payload: Payload::Packed(blob) }
+    }
+
     /// Returns `true` if the dex is packed.
     pub fn is_packed(&self) -> bool {
         matches!(self.payload, Payload::Packed(_))

@@ -16,7 +16,7 @@ fn main() {
         .iter()
         .map(|(info, count)| (info.to_string(), *count))
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
 
     for (info, count) in &rows {
         println!("{info:<18} {count:>4}  |{}", "#".repeat(*count / 2));

@@ -3,7 +3,8 @@
 //! (Algorithm 5), split into the collect/use/retain row and the disclose
 //! row, with recall measured on the 200-app manual-inspection sample.
 
-use ppchecker_corpus::{evaluate, paper_dataset, RowMetrics};
+use ppchecker_corpus::{evaluate_parallel, paper_dataset, RowMetrics};
+use ppchecker_engine::available_jobs;
 
 fn row(name: &str, m: &RowMetrics, paper: (usize, usize, f64, f64, f64)) {
     println!(
@@ -23,7 +24,7 @@ fn row(name: &str, m: &RowMetrics, paper: (usize, usize, f64, f64, f64)) {
 fn main() {
     println!("Table IV — detecting inconsistent privacy policies\n");
     let dataset = paper_dataset(42);
-    let ev = evaluate(&dataset);
+    let (ev, _metrics) = evaluate_parallel(&dataset, available_jobs());
 
     println!(
         "{:<28} {:>3}  {:>3}  {:>10} {:>9} {:>9}",

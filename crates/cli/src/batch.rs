@@ -1,0 +1,295 @@
+//! The `ppchecker batch` subcommand: run the batch engine over a corpus
+//! directory in the `corpus::export` layout and emit JSON-lines results.
+//!
+//! Layout consumed (as written by `export_dataset`):
+//!
+//! ```text
+//! corpus/
+//!   app-0000/ policy.html description.txt manifest.txt app.dex|app.pkdx
+//!   app-0001/ ...
+//!   libs/ admob.html unityads.html ...
+//! ```
+//!
+//! Output is one JSON object per app in directory order, followed by one
+//! `{"aggregate": ...}` line. Everything on that stream is deterministic —
+//! `--jobs 1` and `--jobs 16` produce byte-identical bytes — while the
+//! timing-dependent metrics summary is returned separately for stderr.
+
+use crate::json::{escape, report_to_json};
+use crate::{manifest_text, CliError};
+use ppchecker_apk::{packer, Apk};
+use ppchecker_core::{AppInput, PPChecker};
+use ppchecker_engine::{available_jobs, AggregateSummary, Engine};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Parsed `batch` options.
+#[derive(Debug)]
+pub struct BatchOptions {
+    /// Corpus directory (`corpus::export` layout).
+    pub corpus_dir: PathBuf,
+    /// Worker threads; defaults to the available cores.
+    pub jobs: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { corpus_dir: PathBuf::new(), jobs: available_jobs() }
+    }
+}
+
+/// Loads one exported app directory into an [`AppInput`].
+///
+/// A corrupt dex is *not* an error here: the packed blob is loaded as-is
+/// and the engine turns the downstream failure into a per-app error
+/// record, so one bad app never aborts the batch.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when a required file is missing or the manifest
+/// fails to parse (without a manifest there is no package identity).
+pub fn load_app_dir(dir: &Path) -> Result<AppInput, CliError> {
+    let read = |name: &str| -> Result<String, CliError> {
+        fs::read_to_string(dir.join(name))
+            .map_err(|e| CliError(format!("{}/{name}: {e}", dir.display())))
+    };
+    let manifest = manifest_text::parse_manifest(&read("manifest.txt")?)
+        .map_err(|e| CliError(format!("{}/manifest.txt: {e}", dir.display())))?;
+    let package = manifest.package.clone();
+
+    let dex_path = dir.join("app.dex");
+    let apk = if dex_path.exists() {
+        let dex = packer::deserialize(&read("app.dex")?)
+            .map_err(|e| CliError(format!("{}/app.dex: {e}", dir.display())))?;
+        Apk::new(manifest, dex)
+    } else {
+        let blob = fs::read(dir.join("app.pkdx"))
+            .map_err(|e| CliError(format!("{}/app.pkdx: {e}", dir.display())))?;
+        Apk::from_packed_blob(manifest, blob)
+    };
+
+    Ok(AppInput {
+        package,
+        policy_html: read("policy.html")?,
+        description: read("description.txt")?,
+        apk,
+    })
+}
+
+/// `(lib id, policy html)` pairs loaded from a corpus `libs/` directory.
+pub type LibPolicies = Vec<(String, String)>;
+
+/// Loads every `app-*` subdirectory (sorted by name, so directory order is
+/// stable) and the `libs/*.html` policies of a corpus directory.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unreadable directories or malformed apps.
+pub fn load_corpus(dir: &Path) -> Result<(Vec<AppInput>, LibPolicies), CliError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
+    let mut app_dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("app-"))
+        })
+        .collect();
+    app_dirs.sort();
+    if app_dirs.is_empty() {
+        return Err(CliError(format!(
+            "no app-* directories under {}",
+            dir.display()
+        )));
+    }
+    let apps = app_dirs
+        .iter()
+        .map(|d| load_app_dir(d))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut libs = Vec::new();
+    let libs_dir = dir.join("libs");
+    if libs_dir.is_dir() {
+        let mut lib_files: Vec<PathBuf> = fs::read_dir(&libs_dir)
+            .map_err(|e| CliError(format!("{}: {e}", libs_dir.display())))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "html"))
+            .collect();
+        lib_files.sort();
+        for path in lib_files {
+            let id = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let html = fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            libs.push((id, html));
+        }
+    }
+    Ok((apps, libs))
+}
+
+fn aggregate_to_json(agg: &AggregateSummary) -> String {
+    format!(
+        "{{\"aggregate\":{{\"apps\":{},\"errors\":{},\"with_libs\":{},\"incomplete\":{},\
+         \"incorrect\":{},\"inconsistent\":{},\"problem_apps\":{},\"missed_records\":{},\
+         \"incorrect_findings\":{},\"inconsistencies\":{}}}}}",
+        agg.apps,
+        agg.errors,
+        agg.with_libs,
+        agg.incomplete,
+        agg.incorrect,
+        agg.inconsistent,
+        agg.problem_apps,
+        agg.missed_records,
+        agg.incorrect_findings,
+        agg.inconsistencies,
+    )
+}
+
+/// Runs the engine over a loaded corpus and renders the two output
+/// streams: the deterministic JSON-lines records (+ aggregate line), and
+/// the timing-dependent metrics summary.
+pub fn render_batch(
+    apps: Vec<AppInput>,
+    libs: Vec<(String, String)>,
+    jobs: usize,
+) -> (String, String) {
+    let engine = Engine::with_lib_policies(PPChecker::new(), libs).with_jobs(jobs);
+    let batch = engine.run(apps);
+
+    let mut records = String::new();
+    for record in &batch.records {
+        match record.report() {
+            Some(report) => {
+                let _ = writeln!(
+                    records,
+                    "{{\"index\":{},\"ok\":true,\"report\":{}}}",
+                    record.index,
+                    report_to_json(report),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    records,
+                    "{{\"index\":{},\"ok\":false,\"package\":\"{}\",\"error\":\"{}\"}}",
+                    record.index,
+                    escape(&record.package),
+                    escape(record.error().unwrap_or_default()),
+                );
+            }
+        }
+    }
+    let _ = writeln!(records, "{}", aggregate_to_json(&batch.aggregate()));
+    (records, format!("{}\n", batch.metrics))
+}
+
+/// The `batch` entry point: load, run, render.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the corpus directory is unreadable.
+pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
+    let (apps, libs) = load_corpus(&opts.corpus_dir)?;
+    Ok(render_batch(apps, libs, opts.jobs.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_apk::{ComponentKind, Dex, Manifest, Permission};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ppchecker-batch-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_app(dir: &Path, package: &str, policy: &str, corrupt: bool) {
+        fs::create_dir_all(dir).unwrap();
+        let mut manifest = Manifest::new(package);
+        manifest.add_permission(Permission::AccessFineLocation);
+        manifest.add_component(ComponentKind::Activity, &format!("{package}.Main"), true);
+        fs::write(dir.join("manifest.txt"), manifest.to_text()).unwrap();
+        fs::write(dir.join("policy.html"), format!("<p>{policy}</p>")).unwrap();
+        fs::write(dir.join("description.txt"), "A handy app.").unwrap();
+        if corrupt {
+            fs::write(dir.join("app.pkdx"), [0xBA, 0xD0, 0xBA, 0xD0]).unwrap();
+        } else {
+            let dex = Dex::builder()
+                .class(&format!("{package}.Main"), |c| {
+                    c.extends("android.app.Activity");
+                    c.method("onCreate", 1, |m| {
+                        m.invoke_virtual(
+                            "android.location.Location",
+                            "getLatitude",
+                            &[0],
+                            Some(1),
+                        );
+                    });
+                })
+                .build();
+            fs::write(dir.join("app.dex"), packer::serialize(&dex)).unwrap();
+        }
+    }
+
+    fn write_corpus(root: &Path, n: usize, corrupt_at: Option<usize>) {
+        for i in 0..n {
+            write_app(
+                &root.join(format!("app-{i:04}")),
+                &format!("com.batch.app{i}"),
+                "we may collect your location.",
+                corrupt_at == Some(i),
+            );
+        }
+        let libs = root.join("libs");
+        fs::create_dir_all(&libs).unwrap();
+        fs::write(libs.join("admob.html"), "<p>we may collect your device id.</p>")
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_output_is_jobs_invariant() {
+        let dir = temp_dir("determinism");
+        write_corpus(&dir, 6, None);
+        let serial =
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
+        let parallel =
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4 }).unwrap();
+        assert_eq!(serial.0, parallel.0, "record stream must be byte-identical");
+        assert!(serial.0.lines().count() == 7, "6 records + aggregate line");
+        assert!(serial.0.contains("\"aggregate\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_app_becomes_error_record() {
+        let dir = temp_dir("corrupt");
+        write_corpus(&dir, 4, Some(2));
+        let (records, metrics) =
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 2 }).unwrap();
+        assert!(records.contains("\"ok\":false"));
+        assert!(records.contains("com.batch.app2"));
+        assert_eq!(records.matches("\"ok\":true").count(), 3);
+        assert!(records.contains("\"errors\":1"));
+        assert!(metrics.contains("1 errors"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_dir_is_an_error() {
+        let err = run_batch(&BatchOptions {
+            corpus_dir: PathBuf::from("/nonexistent/corpus"),
+            jobs: 1,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("/nonexistent/corpus"));
+    }
+}

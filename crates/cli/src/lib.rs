@@ -8,6 +8,7 @@
 //!                 --manifest manifest.txt --dex app.dex \
 //!                 [--lib-policy ID=policy.html]... [--suggest] \
 //!                 [--synonyms] [--constraints]
+//! ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl]
 //! ppchecker policy <policy.html>      # inspect the six-step analysis
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
 //! ppchecker unpack <in.pkdx> <out.txt>
@@ -18,8 +19,11 @@
 //! [`ppchecker_apk::packer`]; the manifest uses the line format of
 //! [`manifest_text`].
 
+pub mod batch;
 pub mod json;
 pub mod manifest_text;
+
+pub use batch::{run_batch, BatchOptions};
 
 use ppchecker_apk::{packer, Apk};
 use ppchecker_core::{suggest_fixes, AppInput, PPChecker};

@@ -1,7 +1,8 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    run_check, run_demo, run_pack, run_policy, run_unpack, CheckOptions, CliError,
+    run_batch, run_check, run_demo, run_pack, run_policy, run_unpack, BatchOptions,
+    CheckOptions, CliError,
 };
 use std::fs;
 use std::process::ExitCode;
@@ -14,6 +15,7 @@ USAGE:
                   --manifest <manifest.txt> --dex <app.dex> \\
                   [--lib-policy ID=policy.html]... [--suggest] \\
                   [--synonyms] [--constraints] [--json]
+  ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl]
   ppchecker policy <policy.html>
   ppchecker pack <dex.txt> <out.pkdx> [--key N]
   ppchecker unpack <in.pkdx> <out.txt>
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
+        Some("batch") => batch(&args[1..]),
         Some("policy") => {
             let path = args.get(1).ok_or_else(|| CliError("missing policy file".into()))?;
             Ok(run_policy(&fs::read_to_string(path)?))
@@ -69,6 +72,33 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn batch(args: &[String]) -> Result<String, CliError> {
+    let corpus = flag_value(args, "--corpus")
+        .ok_or_else(|| CliError("missing required --corpus <dir>".into()))?;
+    let mut opts = BatchOptions {
+        corpus_dir: corpus.into(),
+        ..BatchOptions::default()
+    };
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        opts.jobs = jobs
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| CliError("--jobs needs a positive integer".into()))?;
+    }
+    let (records, metrics) = run_batch(&opts)?;
+    // The record stream is deterministic; the timing summary goes to
+    // stderr so piping/diffing stdout stays byte-stable across runs.
+    eprint!("{metrics}");
+    match flag_value(args, "--out") {
+        Some(path) => {
+            fs::write(path, records)?;
+            Ok(format!("wrote results to {path}\n"))
+        }
+        None => Ok(records),
+    }
 }
 
 fn check(args: &[String]) -> Result<String, CliError> {

@@ -12,6 +12,8 @@ use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
 use ppchecker_static::{analyze_with, AnalysisOptions};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Everything PPChecker needs about one app: the policy, the description,
 /// and the APK (Fig. 4's inputs; third-party lib policies are registered
@@ -51,7 +53,49 @@ impl From<ParseDexError> for CheckError {
     }
 }
 
+/// Wall time spent in each stage of one [`PPChecker::check_timed`] call.
+///
+/// The four stages mirror Fig. 4: policy NLP, description analysis,
+/// static analysis, and the matching/problem-identification algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Policy-analysis stage (HTML → [`PolicyAnalysis`]). Zero when a
+    /// batch runtime served the analysis from its artifact cache.
+    pub policy: Duration,
+    /// Description-analysis stage.
+    pub description: Duration,
+    /// Static-analysis stage (unpack + APG + taint).
+    pub static_analysis: Duration,
+    /// Matching + Algorithms 1–5.
+    pub matching: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.policy + self.description + self.static_analysis + self.matching
+    }
+
+    /// Component-wise sum (for cross-app aggregation).
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.policy += other.policy;
+        self.description += other.description;
+        self.static_analysis += other.static_analysis;
+        self.matching += other.matching;
+    }
+}
+
 /// The PPChecker system.
+///
+/// # Thread safety
+///
+/// `PPChecker` is `Send + Sync`: every field is immutable after
+/// construction ([`PolicyAnalyzer`] holds plain pattern data, [`Matcher`]
+/// a `&'static` ESA interpreter, and the lib-policy map is only written
+/// through `&mut self` registration). A batch runtime therefore shares
+/// one checker across workers behind an `Arc` — register all lib
+/// policies *first*, then wrap; per-app state (the [`Report`] under
+/// construction, stage timers) lives on the worker's stack.
 ///
 /// # Examples
 ///
@@ -130,6 +174,13 @@ impl PPChecker {
         self.lib_policies.insert(lib_id.to_string(), analysis);
     }
 
+    /// Registers an already-analyzed lib policy (e.g. served from a batch
+    /// runtime's artifact cache, so the HTML is parsed once per run even
+    /// when it is also some app's own policy text).
+    pub fn register_lib_policy_analysis(&mut self, lib_id: &str, analysis: PolicyAnalysis) {
+        self.lib_policies.insert(lib_id.to_string(), analysis);
+    }
+
     /// Number of registered lib policies.
     pub fn lib_policy_count(&self) -> usize {
         self.lib_policies.len()
@@ -146,10 +197,71 @@ impl PPChecker {
     ///
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
     pub fn check(&self, app: &AppInput) -> Result<Report, CheckError> {
-        let policy = self.analyzer.analyze_html(&app.policy_html);
-        let desc = analyze_description_with(&app.description, self.matcher.esa());
-        let code = analyze_with(&app.apk, self.static_options)?;
+        self.check_timed(app).map(|(report, _)| report)
+    }
 
+    /// Like [`check`](Self::check), also reporting per-stage wall time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
+    pub fn check_timed(&self, app: &AppInput) -> Result<(Report, StageTimings), CheckError> {
+        self.check_with_policy_provider(app, |analyzer, html| {
+            Arc::new(analyzer.analyze_html(html))
+        })
+    }
+
+    /// The instrumented pipeline with a pluggable policy-analysis source.
+    ///
+    /// `provide_policy` maps the app's policy HTML to its analysis; batch
+    /// runtimes pass a content-addressed cache here so duplicate policy
+    /// texts (and the fixed set of third-party lib policies) are parsed
+    /// once per run instead of once per app. The default provider simply
+    /// calls [`PolicyAnalyzer::analyze_html`].
+    ///
+    /// The returned [`StageTimings`] measure this call only; a cached
+    /// policy analysis shows up as a near-zero `policy` stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
+    pub fn check_with_policy_provider<F>(
+        &self,
+        app: &AppInput,
+        provide_policy: F,
+    ) -> Result<(Report, StageTimings), CheckError>
+    where
+        F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis>,
+    {
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let policy = provide_policy(&self.analyzer, &app.policy_html);
+        timings.policy = t.elapsed();
+
+        let t = Instant::now();
+        let desc = analyze_description_with(&app.description, self.matcher.esa());
+        timings.description = t.elapsed();
+
+        let t = Instant::now();
+        let code = analyze_with(&app.apk, self.static_options)?;
+        timings.static_analysis = t.elapsed();
+
+        let t = Instant::now();
+        let report = self.identify_problems(app, &policy, &desc, &code);
+        timings.matching = t.elapsed();
+
+        Ok((report, timings))
+    }
+
+    /// Algorithms 1–5 over already-analyzed inputs.
+    fn identify_problems(
+        &self,
+        app: &AppInput,
+        policy: &PolicyAnalysis,
+        desc: &ppchecker_desc::DescriptionAnalysis,
+        code: &ppchecker_static::StaticReport,
+    ) -> Report {
         let mut report = Report {
             package: app.package.clone(),
             has_disclaimer: policy.has_disclaimer,
@@ -162,18 +274,18 @@ impl PPChecker {
         // separately (64 via description, 180 via code).
         report
             .missed
-            .extend(incomplete::via_description(&policy, &desc, &self.matcher));
+            .extend(incomplete::via_description(policy, desc, &self.matcher));
         report
             .missed
-            .extend(incomplete::via_code(&policy, &code, &app.apk.manifest, &self.matcher));
+            .extend(incomplete::via_code(policy, code, &app.apk.manifest, &self.matcher));
 
         // Incorrect (Algorithms 3–4).
         report
             .incorrect
-            .extend(incorrect::via_description(&policy, &desc, &self.matcher));
+            .extend(incorrect::via_description(policy, desc, &self.matcher));
         report
             .incorrect
-            .extend(incorrect::via_code(&policy, &code, &self.matcher));
+            .extend(incorrect::via_code(policy, code, &self.matcher));
 
         // Inconsistent (Algorithm 5) against the registered policies of
         // the libs actually embedded in this app.
@@ -182,9 +294,9 @@ impl PPChecker {
             .iter()
             .filter_map(|l| self.lib_policies.get(l.id).map(|p| (l.id, p)))
             .collect();
-        report.inconsistencies = inconsistent::check_all(&policy, libs, &self.matcher);
+        report.inconsistencies = inconsistent::check_all(policy, libs, &self.matcher);
 
-        Ok(report)
+        report
     }
 }
 
@@ -271,5 +383,40 @@ mod tests {
         let app = weather_app("We may collect your location and your device id.");
         let report = PPChecker::new().check(&app).unwrap();
         assert!(report.libs.contains(&"unityads".to_string()));
+    }
+
+    #[test]
+    fn checker_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PPChecker>();
+        assert_send_sync::<AppInput>();
+        assert_send_sync::<StageTimings>();
+    }
+
+    #[test]
+    fn timed_check_matches_untimed() {
+        let app = weather_app("We collect your email address.");
+        let checker = PPChecker::new();
+        let plain = checker.check(&app).unwrap();
+        let (timed, timings) = checker.check_timed(&app).unwrap();
+        assert_eq!(format!("{plain}"), format!("{timed}"));
+        assert!(timings.total() >= timings.matching);
+    }
+
+    #[test]
+    fn policy_provider_result_is_used_verbatim() {
+        let app = weather_app("We collect your email address.");
+        let checker = PPChecker::new();
+        // Pre-analyzed elsewhere (as a batch cache would hold it).
+        let cached = Arc::new(checker.analyzer().analyze_html(&app.policy_html));
+        let mut called = false;
+        let (report, _) = checker
+            .check_with_policy_provider(&app, |_, _| {
+                called = true;
+                Arc::clone(&cached)
+            })
+            .unwrap();
+        assert!(called);
+        assert!(report.is_incomplete());
     }
 }

@@ -26,7 +26,7 @@ pub mod incorrect;
 pub mod problems;
 pub mod suggest;
 
-pub use checker::{AppInput, CheckError, PPChecker};
+pub use checker::{AppInput, CheckError, PPChecker, StageTimings};
 pub use matcher::Matcher;
 pub use problems::{Channel, IncorrectFinding, Inconsistency, MissedInfo, Report};
 pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};

@@ -39,6 +39,22 @@ impl Dataset {
     pub fn sample(&self) -> impl Iterator<Item = &GeneratedApp> {
         self.apps.iter().filter(|a| a.spec.truth.in_sample)
     }
+
+    /// Iterates the app inputs in corpus order without copying them.
+    pub fn iter_apps(&self) -> impl Iterator<Item = &AppInput> {
+        self.apps.iter().map(|a| &a.input)
+    }
+}
+
+/// Streams the paper corpus lazily: the plan (small specs) is built up
+/// front, but each [`GeneratedApp`] — policy HTML, description, dex — is
+/// generated only when the consumer pulls it, and can be dropped as soon
+/// as it is processed. Feeding this into the engine's bounded scheduler
+/// keeps peak memory at `O(jobs)` apps instead of all 1,197.
+pub fn stream_apps(seed: u64) -> impl Iterator<Item = GeneratedApp> {
+    build_plan()
+        .into_iter()
+        .map(move |spec| GeneratedApp { input: generate_app(&spec, seed), spec })
 }
 
 /// Generates the paper's dataset: 1,197 apps calibrated to §V, seeded for

@@ -56,7 +56,7 @@ impl RowMetrics {
 }
 
 /// Every statistic the paper reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Evaluation {
     /// Dataset size (1,197).
     pub total_apps: usize,
@@ -122,6 +122,42 @@ pub fn evaluate(dataset: &Dataset) -> Evaluation {
         accumulate(&mut ev, app, &report);
     }
     ev
+}
+
+/// Like [`evaluate`], but runs the corpus through the batch engine with
+/// `jobs` workers. Records come back in submission order, so the fold is
+/// identical to the serial one and the returned [`Evaluation`] equals
+/// `evaluate(dataset)` for any worker count. The engine's metrics summary
+/// is returned alongside for throughput/cache reporting.
+///
+/// # Panics
+///
+/// Panics if an app's dex fails to unpack (generated corpora never do).
+pub fn evaluate_parallel(
+    dataset: &Dataset,
+    jobs: usize,
+) -> (Evaluation, ppchecker_engine::MetricsSummary) {
+    let engine = ppchecker_engine::Engine::with_lib_policies(
+        ppchecker_core::PPChecker::new(),
+        dataset
+            .lib_policies
+            .iter()
+            .map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+    )
+    .with_jobs(jobs);
+
+    let batch = engine.run(dataset.iter_apps().cloned());
+    let mut ev = Evaluation {
+        total_apps: dataset.apps.len(),
+        ..Evaluation::default()
+    };
+    for (record, app) in batch.records.iter().zip(dataset.apps.iter()) {
+        let report = record
+            .report()
+            .unwrap_or_else(|| panic!("generated apps analyze cleanly: {:?}", record.error()));
+        accumulate(&mut ev, app, report);
+    }
+    (ev, batch.metrics)
 }
 
 fn accumulate(ev: &mut Evaluation, app: &crate::dataset::GeneratedApp, report: &Report) {

@@ -186,7 +186,7 @@ pub fn fig12_corpus() -> Fig12Corpus {
     // 40 seed-form sentences.
     for i in 0..8 {
         positive.push(format!("we will collect {}.", res(i)));
-        positive.push(format!("{} will be used.", res(i + 1).replace("your ", "your ")));
+        positive.push(format!("{} will be used.", res(i + 1)));
         positive.push(format!("we are allowed to access {}.", res(i + 2)));
         positive.push(format!("we are able to collect {}.", res(i + 3)));
         positive.push(format!("we need your consent to access {}.", res(i + 4)));

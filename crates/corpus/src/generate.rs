@@ -207,7 +207,7 @@ pub fn generate_apk(spec: &AppSpec, package: &str, rng: &mut StdRng) -> Apk {
 
     let mut builder = Dex::builder();
     let collect = spec.code_collect.clone();
-    let has_dead_code = spec.index % 13 == 0 && collect.is_empty();
+    let has_dead_code = spec.index.is_multiple_of(13) && collect.is_empty();
     let main_for_class = main_class.clone();
     builder = builder.class(&main_class, move |c| {
         c.extends("android.app.Activity");

@@ -39,7 +39,7 @@ pub mod libs;
 pub mod phrases;
 pub mod plan;
 
-pub use dataset::{paper_dataset, small_dataset, Dataset, GeneratedApp};
-pub use eval::{evaluate, Evaluation, RowMetrics};
+pub use dataset::{paper_dataset, small_dataset, stream_apps, Dataset, GeneratedApp};
+pub use eval::{evaluate, evaluate_parallel, Evaluation, RowMetrics};
 pub use export::{export_app, export_dataset};
 pub use plan::{build_plan, AppSpec, GroundTruth, APP_COUNT};

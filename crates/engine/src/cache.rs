@@ -1,0 +1,141 @@
+//! Content-addressed artifact cache.
+//!
+//! Policy texts repeat across a corpus — the 81 third-party lib policies
+//! are checked against every app embedding them, template policies are
+//! shared by whole app families, and re-runs see identical bytes. The
+//! cache keys parsed [`PolicyAnalysis`] results by a 128-bit content
+//! hash of the HTML, so each distinct text is pushed through the NLP
+//! pipeline exactly once per run regardless of worker count.
+
+use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A 128-bit content key: two independent FNV-1a streams over the same
+/// bytes. Collisions are out of reach for corpus-scale inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentKey(u64, u64);
+
+impl ContentKey {
+    /// Hashes `bytes`.
+    pub fn of(bytes: &[u8]) -> Self {
+        let mut a: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut b: u64 = 0x6C62_272E_07BB_0142;
+        for &byte in bytes {
+            a ^= byte as u64;
+            a = a.wrapping_mul(0x0000_0100_0000_01B3);
+            b = b.wrapping_mul(0x0000_0100_0000_01B3);
+            b ^= byte as u64;
+        }
+        ContentKey(a, b)
+    }
+}
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (== number of distinct texts analyzed).
+    pub misses: u64,
+    /// Entries resident at snapshot time.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when empty.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo of parsed policy analyses, shared by all workers of
+/// a batch run.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    policies: RwLock<HashMap<ContentKey, Arc<PolicyAnalysis>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// Returns the analysis of `html`, computing it with `analyzer` on
+    /// first sight of the text.
+    pub fn policy(&self, analyzer: &PolicyAnalyzer, html: &str) -> Arc<PolicyAnalysis> {
+        let key = ContentKey::of(html.as_bytes());
+        if let Some(hit) = self.policies.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Analyze outside the write lock; a concurrent duplicate costs
+        // one redundant parse but never blocks other texts. First insert
+        // wins so every consumer shares one allocation.
+        let fresh = Arc::new(analyzer.analyze_html(html));
+        let mut map = self.policies.write().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&fresh));
+        let out = Arc::clone(entry);
+        drop(map);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.policies.read().expect("cache lock").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_bytes_distinct_keys() {
+        let a = ContentKey::of(b"we collect location");
+        let b = ContentKey::of(b"we collect location!");
+        let c = ContentKey::of(b"we collect locatioN");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, ContentKey::of(b"we collect location"));
+    }
+
+    #[test]
+    fn repeated_text_analyzed_once() {
+        let cache = ArtifactCache::new();
+        let analyzer = PolicyAnalyzer::new();
+        let html = "<p>we may collect your location.</p>";
+        let first = cache.policy(&analyzer, html);
+        let again = cache.policy(&analyzer, html);
+        assert!(Arc::ptr_eq(&first, &again), "same allocation shared");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_texts_get_different_analyses() {
+        let cache = ArtifactCache::new();
+        let analyzer = PolicyAnalyzer::new();
+        let a = cache.policy(&analyzer, "<p>we collect your location.</p>");
+        let b = cache.policy(&analyzer, "<p>we collect your contacts.</p>");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

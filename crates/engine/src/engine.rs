@@ -1,0 +1,410 @@
+//! The batch scheduler: shards an app stream across a worker pool and
+//! reassembles results deterministically.
+//!
+//! ## Topology
+//!
+//! One bounded job channel feeds `jobs` workers (bounded = backpressure:
+//! a slow pool stalls the producer instead of buffering the whole corpus
+//! in memory). Workers pull `(index, AppInput)` pairs, run the full
+//! pipeline, and push `(AppRecord, StageTimings)` into an unbounded
+//! result channel — unbounded so a worker can never deadlock against the
+//! producer. The caller's thread is the producer, then the collector.
+//!
+//! ## Shared vs per-worker state
+//!
+//! Shared (read-only behind `&Engine`): the [`PPChecker`] with all lib
+//! policies registered, the [`ArtifactCache`], the process-wide ESA
+//! interpreter. Per-worker (stack): the app being processed, its report
+//! under construction, its stage timers.
+//!
+//! ## Fault isolation
+//!
+//! Each app runs inside `catch_unwind`: a panic (or a `CheckError`, e.g.
+//! an unrecoverable packed dex) yields one [`AppOutcome::Error`] record
+//! and the worker moves on. A poisoned app can never take down the run.
+//!
+//! ## Determinism
+//!
+//! Records are reassembled in submission order, and everything the
+//! pipeline computes is a pure function of the input, so `jobs=1` and
+//! `jobs=16` runs emit byte-identical record sequences and aggregates.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::metrics::MetricsSummary;
+use crate::report::{AppOutcome, AppRecord, BatchReport};
+use ppchecker_core::{AppInput, PPChecker, StageTimings};
+use ppchecker_esa::Interpreter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Worker-pool parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads. `1` runs inline on the calling thread.
+    pub jobs: usize,
+    /// Bound of the job channel (backpressure depth), in apps.
+    pub channel_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let jobs = available_jobs();
+        EngineConfig { jobs, channel_depth: 2 * jobs }
+    }
+}
+
+/// Number of hardware threads available to the process.
+pub fn available_jobs() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The batch-analysis engine: a configured checker, an artifact cache,
+/// and a scheduler.
+#[derive(Debug)]
+pub struct Engine {
+    checker: PPChecker,
+    cache: ArtifactCache,
+    config: EngineConfig,
+    lib_policies: usize,
+}
+
+impl Engine {
+    /// Wraps an already-configured checker (lib policies registered).
+    pub fn new(checker: PPChecker) -> Self {
+        let lib_policies = checker.lib_policy_count();
+        Engine {
+            checker,
+            cache: ArtifactCache::new(),
+            config: EngineConfig::default(),
+            lib_policies,
+        }
+    }
+
+    /// Builds an engine from a bare checker plus `(lib id, policy html)`
+    /// pairs. Each lib policy is analyzed through the artifact cache, so
+    /// it is parsed exactly once per run — including when the same bytes
+    /// later appear as some app's own policy.
+    pub fn with_lib_policies<I>(mut checker: PPChecker, libs: I) -> Self
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        let cache = ArtifactCache::new();
+        let mut count = 0;
+        for (id, html) in libs {
+            let analysis = cache.policy(checker.analyzer(), &html);
+            checker.register_lib_policy_analysis(&id, (*analysis).clone());
+            count += 1;
+        }
+        Engine {
+            checker,
+            cache,
+            config: EngineConfig::default(),
+            lib_policies: count,
+        }
+    }
+
+    /// Sets the worker count (clamped to ≥ 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs.max(1);
+        self.config.channel_depth = 2 * self.config.jobs;
+        self
+    }
+
+    /// Overrides the full scheduler configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = EngineConfig {
+            jobs: config.jobs.max(1),
+            channel_depth: config.channel_depth.max(1),
+        };
+        self
+    }
+
+    /// The shared checker.
+    pub fn checker(&self) -> &PPChecker {
+        &self.checker
+    }
+
+    /// The artifact cache (for inspection; stats also land in metrics).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Runs the pipeline over every app in the stream and returns records
+    /// in submission order plus run metrics.
+    ///
+    /// The stream is consumed incrementally under backpressure — pair it
+    /// with a lazy source (e.g. a corpus `iter_apps()` generator or a
+    /// directory walker) to keep peak memory at
+    /// `O(jobs + channel_depth + results)` instead of `O(corpus)`.
+    pub fn run<I>(&self, apps: I) -> BatchReport
+    where
+        I: IntoIterator<Item = AppInput>,
+    {
+        let started = Instant::now();
+        let policy_before = self.cache.stats();
+        let (esa_hits_before, esa_misses_before) = Interpreter::shared().vector_cache_stats();
+
+        let jobs = self.config.jobs.max(1);
+        let mut outputs = if jobs == 1 {
+            self.run_serial(apps)
+        } else {
+            self.run_parallel(apps, jobs)
+        };
+        outputs.sort_by_key(|(record, _)| record.index);
+
+        let mut stage_totals = StageTimings::default();
+        let mut errors = 0;
+        let mut records = Vec::with_capacity(outputs.len());
+        for (record, timings) in outputs {
+            stage_totals.accumulate(&timings);
+            if record.error().is_some() {
+                errors += 1;
+            }
+            records.push(record);
+        }
+
+        let policy_after = self.cache.stats();
+        let (esa_hits_after, esa_misses_after) = Interpreter::shared().vector_cache_stats();
+        let metrics = MetricsSummary {
+            jobs,
+            apps: records.len(),
+            errors,
+            lib_policies: self.lib_policies,
+            wall_time: started.elapsed(),
+            stage_totals,
+            policy_cache: CacheStats {
+                hits: policy_after.hits - policy_before.hits,
+                misses: policy_after.misses - policy_before.misses,
+                entries: policy_after.entries,
+            },
+            esa_cache: CacheStats {
+                hits: esa_hits_after - esa_hits_before,
+                misses: esa_misses_after - esa_misses_before,
+                entries: Interpreter::shared().vector_cache_len(),
+            },
+        };
+        BatchReport { records, metrics }
+    }
+
+    fn run_serial<I>(&self, apps: I) -> Vec<(AppRecord, StageTimings)>
+    where
+        I: IntoIterator<Item = AppInput>,
+    {
+        apps.into_iter()
+            .enumerate()
+            .map(|(index, app)| self.process_one(index, app))
+            .collect()
+    }
+
+    fn run_parallel<I>(&self, apps: I, jobs: usize) -> Vec<(AppRecord, StageTimings)>
+    where
+        I: IntoIterator<Item = AppInput>,
+    {
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, AppInput)>(self.config.channel_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel();
+
+        thread::scope(|scope| {
+            for _ in 0..jobs {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue itself.
+                    let job = job_rx.lock().expect("job queue lock").recv();
+                    match job {
+                        Ok((index, app)) => {
+                            if result_tx.send(self.process_one(index, app)).is_err() {
+                                break; // collector gone; shut down
+                            }
+                        }
+                        Err(_) => break, // producer done and queue drained
+                    }
+                });
+            }
+            drop(result_tx);
+
+            // Produce under backpressure, then collect. The result channel
+            // is unbounded so workers never block sending while this
+            // thread is still feeding.
+            for job in apps.into_iter().enumerate() {
+                if job_tx.send(job).is_err() {
+                    break; // all workers died; stop feeding
+                }
+            }
+            drop(job_tx);
+
+            result_rx.iter().collect()
+        })
+    }
+
+    /// Runs one app through the full pipeline, converting failures (and
+    /// panics) into error records.
+    fn process_one(&self, index: usize, app: AppInput) -> (AppRecord, StageTimings) {
+        let package = app.package.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.checker
+                .check_with_policy_provider(&app, |analyzer, html| self.cache.policy(analyzer, html))
+        }));
+        match outcome {
+            Ok(Ok((report, timings))) => (
+                AppRecord { index, package, outcome: AppOutcome::Report(report) },
+                timings,
+            ),
+            Ok(Err(check_error)) => (
+                AppRecord {
+                    index,
+                    package,
+                    outcome: AppOutcome::Error(check_error.to_string()),
+                },
+                StageTimings::default(),
+            ),
+            Err(panic) => (
+                AppRecord {
+                    index,
+                    package,
+                    outcome: AppOutcome::Error(format!("worker panic: {}", panic_message(&panic))),
+                },
+                StageTimings::default(),
+            ),
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
+
+    fn app(i: usize, policy: &str) -> AppInput {
+        let package = format!("com.engine.test{i}");
+        let mut manifest = Manifest::new(&package);
+        manifest.add_permission(Permission::AccessFineLocation);
+        manifest.add_component(ComponentKind::Activity, &format!("{package}.Main"), true);
+        let dex = Dex::builder()
+            .class(&format!("{package}.Main"), |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+                });
+            })
+            .build();
+        AppInput {
+            package,
+            policy_html: format!("<html><body><p>{policy}</p></body></html>"),
+            description: "A handy utility app.".to_string(),
+            apk: Apk::new(manifest, dex),
+        }
+    }
+
+    fn corrupt_app(i: usize) -> AppInput {
+        let package = format!("com.engine.corrupt{i}");
+        let manifest = Manifest::new(&package);
+        AppInput {
+            package,
+            policy_html: "<p>we collect nothing.</p>".to_string(),
+            description: "Broken app.".to_string(),
+            apk: Apk::from_packed_blob(manifest, vec![0xDE, 0xAD, 0xBE, 0xEF]),
+        }
+    }
+
+    fn apps(n: usize) -> Vec<AppInput> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    app(i, "we may collect your location.")
+                } else {
+                    app(i, "we collect your email address.")
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = Engine::new(PPChecker::new()).with_jobs(1).run(apps(12));
+        let parallel = Engine::new(PPChecker::new()).with_jobs(4).run(apps(12));
+        assert_eq!(serial.records.len(), 12);
+        assert_eq!(serial.aggregate(), parallel.aggregate());
+        for (s, p) in serial.records.iter().zip(parallel.records.iter()) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.package, p.package);
+            assert_eq!(
+                format!("{:?}", s.outcome),
+                format!("{:?}", p.outcome),
+                "record {} diverged between jobs=1 and jobs=4",
+                s.index
+            );
+        }
+    }
+
+    #[test]
+    fn records_come_back_in_submission_order() {
+        let batch = Engine::new(PPChecker::new()).with_jobs(3).run(apps(20));
+        for (i, record) in batch.records.iter().enumerate() {
+            assert_eq!(record.index, i);
+        }
+    }
+
+    #[test]
+    fn corrupt_app_yields_one_error_record() {
+        let mut inputs = apps(6);
+        inputs.insert(3, corrupt_app(99));
+        let batch = Engine::new(PPChecker::new()).with_jobs(2).run(inputs);
+        assert_eq!(batch.records.len(), 7);
+        assert_eq!(batch.metrics.errors, 1);
+        assert!(batch.records[3].error().unwrap().contains("static analysis failed"));
+        assert!(batch.records.iter().filter(|r| r.report().is_some()).count() == 6);
+    }
+
+    #[test]
+    fn duplicate_policies_hit_the_cache() {
+        let batch = Engine::new(PPChecker::new()).with_jobs(2).run(apps(10));
+        // 10 apps, 2 distinct policy texts.
+        assert_eq!(batch.metrics.policy_cache.misses, 2);
+        assert_eq!(batch.metrics.policy_cache.hits, 8);
+    }
+
+    #[test]
+    fn lib_policies_are_analyzed_once_through_the_cache() {
+        let libs = vec![
+            ("unityads".to_string(), "<p>we may collect your device id.</p>".to_string()),
+            ("admob".to_string(), "<p>we may collect your location.</p>".to_string()),
+        ];
+        let engine = Engine::with_lib_policies(PPChecker::new(), libs);
+        assert_eq!(engine.checker().lib_policy_count(), 2);
+        let before = engine.cache().stats();
+        assert_eq!(before.misses, 2, "each lib policy parsed exactly once");
+        let batch = engine.with_jobs(2).run(apps(8));
+        // Lib registration happened before the run; the run itself only
+        // pays for the two distinct app policy texts.
+        assert_eq!(batch.metrics.policy_cache.misses, 2);
+        assert_eq!(batch.metrics.lib_policies, 2);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let batch = Engine::new(PPChecker::new()).with_jobs(4).run(Vec::new());
+        assert!(batch.records.is_empty());
+        assert_eq!(batch.aggregate().apps, 0);
+    }
+
+    #[test]
+    fn stage_totals_accumulate() {
+        let batch = Engine::new(PPChecker::new()).with_jobs(1).run(apps(4));
+        assert!(batch.metrics.stage_totals.total() > std::time::Duration::ZERO);
+        assert!(batch.metrics.throughput() > 0.0);
+    }
+}

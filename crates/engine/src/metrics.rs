@@ -1,0 +1,135 @@
+//! Per-run metrics: stage wall time, cache effectiveness, throughput.
+//!
+//! Counts in the summary are deterministic for a given corpus; durations
+//! measure the actual run. The summary deliberately separates the two so
+//! determinism tests can compare aggregate *results* while dashboards
+//! still see real timings.
+
+use crate::cache::CacheStats;
+use ppchecker_core::StageTimings;
+use std::fmt;
+use std::time::Duration;
+
+/// Everything a batch run reports about itself.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSummary {
+    /// Worker count the run was scheduled with.
+    pub jobs: usize,
+    /// Apps submitted.
+    pub apps: usize,
+    /// Apps that produced an error record instead of a report.
+    pub errors: usize,
+    /// Third-party lib policies registered (each analyzed exactly once,
+    /// at engine construction).
+    pub lib_policies: usize,
+    /// End-to-end wall time of the run.
+    pub wall_time: Duration,
+    /// Sum of per-stage wall time across all workers. With `jobs > 1`
+    /// this exceeds `wall_time`; the ratio is the effective parallelism.
+    pub stage_totals: StageTimings,
+    /// Policy artifact cache counters (app policies only; lib policies
+    /// enter the cache during construction).
+    pub policy_cache: CacheStats,
+    /// ESA interpretation-vector cache counters, as a delta over the run
+    /// (the interpreter is process-wide).
+    pub esa_cache: CacheStats,
+}
+
+impl MetricsSummary {
+    /// Apps per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.apps as f64 / secs
+        }
+    }
+
+    /// Effective parallelism: total stage time over wall time.
+    pub fn effective_parallelism(&self) -> f64 {
+        let wall = self.wall_time.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.stage_totals.total().as_secs_f64() / wall
+        }
+    }
+}
+
+impl fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {} apps ({} errors), jobs={}, wall {:?}, {:.1} apps/sec, parallelism {:.2}x",
+            self.apps,
+            self.errors,
+            self.jobs,
+            self.wall_time,
+            self.throughput(),
+            self.effective_parallelism(),
+        )?;
+        writeln!(
+            f,
+            "stages: policy {:?}, description {:?}, static {:?}, matching {:?}",
+            self.stage_totals.policy,
+            self.stage_totals.description,
+            self.stage_totals.static_analysis,
+            self.stage_totals.matching,
+        )?;
+        writeln!(
+            f,
+            "policy cache: {} hits / {} misses ({:.1}% hit rate, {} entries); lib policies analyzed: {}",
+            self.policy_cache.hits,
+            self.policy_cache.misses,
+            self.policy_cache.hit_rate() * 100.0,
+            self.policy_cache.entries,
+            self.lib_policies,
+        )?;
+        write!(
+            f,
+            "esa cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.esa_cache.hits,
+            self.esa_cache.misses,
+            self.esa_cache.hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_parallelism() {
+        let m = MetricsSummary {
+            jobs: 4,
+            apps: 100,
+            wall_time: Duration::from_secs(10),
+            stage_totals: StageTimings {
+                policy: Duration::from_secs(12),
+                description: Duration::from_secs(8),
+                static_analysis: Duration::from_secs(10),
+                matching: Duration::from_secs(6),
+            },
+            ..MetricsSummary::default()
+        };
+        assert!((m.throughput() - 10.0).abs() < 1e-9);
+        assert!((m.effective_parallelism() - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_time_is_safe() {
+        let m = MetricsSummary::default();
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.effective_parallelism(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_cache_and_stages() {
+        let m = MetricsSummary::default();
+        let text = m.to_string();
+        assert!(text.contains("policy cache"));
+        assert!(text.contains("stages:"));
+    }
+}

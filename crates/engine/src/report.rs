@@ -1,0 +1,171 @@
+//! Batch results: per-app records in submission order plus deterministic
+//! aggregation.
+
+use crate::metrics::MetricsSummary;
+use ppchecker_core::Report;
+use std::fmt;
+
+/// What one app produced: a full report, or an error record. A poisoned
+/// app (corrupt dex, worker panic) never kills the run — it becomes an
+/// `Err` record and the remaining apps proceed.
+#[derive(Debug, Clone)]
+pub enum AppOutcome {
+    /// The pipeline completed.
+    Report(Report),
+    /// The pipeline failed; the message describes why.
+    Error(String),
+}
+
+/// One app's result, tagged with its submission index.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Position in the submitted stream (0-based).
+    pub index: usize,
+    /// Package name.
+    pub package: String,
+    /// Report or error.
+    pub outcome: AppOutcome,
+}
+
+impl AppRecord {
+    /// The report, if the app completed.
+    pub fn report(&self) -> Option<&Report> {
+        match &self.outcome {
+            AppOutcome::Report(r) => Some(r),
+            AppOutcome::Error(_) => None,
+        }
+    }
+
+    /// The error message, if the app failed.
+    pub fn error(&self) -> Option<&str> {
+        match &self.outcome {
+            AppOutcome::Report(_) => None,
+            AppOutcome::Error(e) => Some(e),
+        }
+    }
+}
+
+/// Deterministic aggregate of a batch: pure counts over the records,
+/// independent of worker count and completion order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateSummary {
+    /// Apps submitted.
+    pub apps: usize,
+    /// Error records.
+    pub errors: usize,
+    /// Apps embedding at least one known third-party lib.
+    pub with_libs: usize,
+    /// Apps with an incomplete policy.
+    pub incomplete: usize,
+    /// Apps with an incorrect policy.
+    pub incorrect: usize,
+    /// Apps with a policy inconsistent with an embedded lib's.
+    pub inconsistent: usize,
+    /// Apps with at least one problem of any kind.
+    pub problem_apps: usize,
+    /// Total missed-information records.
+    pub missed_records: usize,
+    /// Total incorrect findings.
+    pub incorrect_findings: usize,
+    /// Total app-vs-lib inconsistencies.
+    pub inconsistencies: usize,
+}
+
+impl fmt::Display for AggregateSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} apps ({} errors): {} with libs, {} incomplete, {} incorrect, {} inconsistent, \
+             {} with >=1 problem; {} missed records, {} incorrect findings, {} inconsistencies",
+            self.apps,
+            self.errors,
+            self.with_libs,
+            self.incomplete,
+            self.incorrect,
+            self.inconsistent,
+            self.problem_apps,
+            self.missed_records,
+            self.incorrect_findings,
+            self.inconsistencies,
+        )
+    }
+}
+
+/// The full result of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-app records, reassembled in submission order: `records[i]` is
+    /// the i-th submitted app whatever worker finished it, so `jobs=1`
+    /// and `jobs=16` produce identical record sequences.
+    pub records: Vec<AppRecord>,
+    /// Run metrics (timings are measurements, counts are deterministic).
+    pub metrics: MetricsSummary,
+}
+
+impl BatchReport {
+    /// Aggregates the records into deterministic counts.
+    pub fn aggregate(&self) -> AggregateSummary {
+        let mut agg = AggregateSummary {
+            apps: self.records.len(),
+            ..AggregateSummary::default()
+        };
+        for record in &self.records {
+            match &record.outcome {
+                AppOutcome::Error(_) => agg.errors += 1,
+                AppOutcome::Report(r) => {
+                    if !r.libs.is_empty() {
+                        agg.with_libs += 1;
+                    }
+                    if r.is_incomplete() {
+                        agg.incomplete += 1;
+                    }
+                    if r.is_incorrect() {
+                        agg.incorrect += 1;
+                    }
+                    if r.is_inconsistent() {
+                        agg.inconsistent += 1;
+                    }
+                    if r.has_any_problem() {
+                        agg.problem_apps += 1;
+                    }
+                    agg.missed_records += r.missed.len();
+                    agg.incorrect_findings += r.incorrect.len();
+                    agg.inconsistencies += r.inconsistencies.len();
+                }
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, outcome: AppOutcome) -> AppRecord {
+        AppRecord { index, package: format!("com.app{index}"), outcome }
+    }
+
+    #[test]
+    fn aggregate_counts_errors_and_reports() {
+        let ok = Report { package: "com.app0".into(), ..Report::default() };
+        let batch = BatchReport {
+            records: vec![
+                record(0, AppOutcome::Report(ok)),
+                record(1, AppOutcome::Error("bad dex".into())),
+            ],
+            metrics: MetricsSummary::default(),
+        };
+        let agg = batch.aggregate();
+        assert_eq!(agg.apps, 2);
+        assert_eq!(agg.errors, 1);
+        assert_eq!(agg.problem_apps, 0);
+    }
+
+    #[test]
+    fn accessors_distinguish_outcomes() {
+        let r = record(0, AppOutcome::Error("boom".into()));
+        assert!(r.report().is_none());
+        assert_eq!(r.error(), Some("boom"));
+    }
+}

@@ -2,7 +2,8 @@
 
 use crate::kb::{concepts, Concept};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Similarity threshold adopted by the paper (following AutoCog): two texts
 /// whose ESA cosine similarity reaches this value "refer to the same thing".
@@ -30,6 +31,25 @@ pub struct Interpreter {
     /// term → vector of (concept, tf-idf weight).
     index: HashMap<String, Vec<(usize, f64)>>,
     n_concepts: usize,
+    /// Memoized interpretation vectors (text → vector + norm). Policy
+    /// phrases and resource names repeat massively across a corpus, so
+    /// [`similarity`](Self::similarity) is served from here after the
+    /// first interpretation of each text. Bounded by
+    /// [`VECTOR_CACHE_CAP`]; thread-safe.
+    vector_cache: RwLock<HashMap<String, Arc<CachedVector>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Upper bound on memoized interpretation vectors; past this the cache
+/// stops admitting new texts (hits on existing entries still count).
+const VECTOR_CACHE_CAP: usize = 65_536;
+
+/// An interpretation vector with its precomputed L2 norm.
+#[derive(Debug)]
+struct CachedVector {
+    vector: ConceptVector,
+    norm: f64,
 }
 
 impl Interpreter {
@@ -67,7 +87,13 @@ impl Interpreter {
                 }
             }
         }
-        Interpreter { index, n_concepts: n }
+        Interpreter {
+            index,
+            n_concepts: n,
+            vector_cache: RwLock::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
     }
 
     /// Returns the process-wide interpreter over the bundled knowledge base.
@@ -94,13 +120,61 @@ impl Interpreter {
         v
     }
 
+    /// The memoized interpretation of `text`, with its norm.
+    fn cached_vector(&self, text: &str) -> Arc<CachedVector> {
+        if let Some(hit) = self.vector_cache.read().expect("esa cache lock").get(text) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let vector = self.interpret(text);
+        let norm = vector.values().map(|v| v * v).sum::<f64>().sqrt();
+        let entry = Arc::new(CachedVector { vector, norm });
+        let mut cache = self.vector_cache.write().expect("esa cache lock");
+        if cache.len() < VECTOR_CACHE_CAP {
+            // Two threads may race to interpret the same text; both
+            // compute the same pure result, so either insert wins.
+            cache.entry(text.to_string()).or_insert_with(|| Arc::clone(&entry));
+        }
+        entry
+    }
+
+    /// `(hits, misses)` of the interpretation-vector cache.
+    pub fn vector_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized interpretation vectors.
+    pub fn vector_cache_len(&self) -> usize {
+        self.vector_cache.read().expect("esa cache lock").len()
+    }
+
     /// Cosine similarity of two texts in concept space, in `[0, 1]`.
     ///
     /// Returns `0.0` when either text has no known terms.
+    ///
+    /// Interpretation vectors are memoized per text (see
+    /// [`vector_cache_stats`](Self::vector_cache_stats)); the memo is a
+    /// pure-function cache, so results are identical with or without it.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
-        let va = self.interpret(a);
-        let vb = self.interpret(b);
-        cosine(&va, &vb)
+        let ca = self.cached_vector(a);
+        let cb = self.cached_vector(b);
+        if ca.norm == 0.0 || cb.norm == 0.0 {
+            return 0.0;
+        }
+        let (small, large) = if ca.vector.len() <= cb.vector.len() {
+            (&ca.vector, &cb.vector)
+        } else {
+            (&cb.vector, &ca.vector)
+        };
+        let dot: f64 = small
+            .iter()
+            .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+            .sum();
+        (dot / (ca.norm * cb.norm)).clamp(0.0, 1.0)
     }
 
     /// Decides the paper's "matching" predicate: whether two pieces of
@@ -271,6 +345,25 @@ mod interpretation_tests {
         b.insert(1, 1.0);
         assert_eq!(cosine(&a, &b), 0.0);
         assert_eq!(cosine(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn vector_cache_memoizes_and_preserves_results() {
+        let corpus = [
+            Concept { title: "A", text: "alpha beta gamma" },
+            Concept { title: "B", text: "delta epsilon zeta" },
+        ];
+        let esa = Interpreter::new(&corpus);
+        let first = esa.similarity("alpha beta", "gamma");
+        let (h0, m0) = esa.vector_cache_stats();
+        assert_eq!(h0, 0);
+        assert_eq!(m0, 2);
+        let second = esa.similarity("alpha beta", "gamma");
+        let (h1, m1) = esa.vector_cache_stats();
+        assert_eq!(h1, 2, "repeat lookup served from cache");
+        assert_eq!(m1, 2);
+        assert_eq!(first, second);
+        assert_eq!(esa.vector_cache_len(), 2);
     }
 
     #[test]

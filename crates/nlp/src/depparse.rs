@@ -226,11 +226,11 @@ pub fn parse_tokens(tokens: Vec<Token>) -> Parse {
 
     // NP-internal edges.
     for c in &chunks {
-        for i in c.start..c.end {
+        for (i, token) in tokens.iter().enumerate().take(c.end).skip(c.start) {
             if i == c.head {
                 continue;
             }
-            let rel = match tokens[i].tag {
+            let rel = match token.tag {
                 Tag::Det => Rel::Det,
                 Tag::PronounPoss => Rel::Poss,
                 Tag::Adj | Tag::VerbGerund => Rel::Amod,
@@ -396,11 +396,10 @@ fn find_verb_groups(tokens: &[Token]) -> Vec<VerbGroup> {
 }
 
 fn attach_group_internals(tokens: &[Token], g: &VerbGroup, deps: &mut Vec<Dependency>) {
-    for i in g.start..g.end {
+    for (i, t) in tokens.iter().enumerate().take(g.end).skip(g.start) {
         if i == g.main {
             continue;
         }
-        let t = &tokens[i];
         let rel = if matches!(t.lower.as_str(), "not" | "n't" | "never" | "hardly" | "rarely" | "seldom")
         {
             Rel::Neg
@@ -468,15 +467,14 @@ fn attach_subject(
     // collected" — walk back over chunks separated only by commas and
     // conjunctions and attach them as conjuncts of the subject head.
     let mut current = chunk;
-    loop {
-        let Some(prev) = chunks.iter().find(|c| c.end <= current.start && {
+    while let Some(prev) = chunks.iter().find(|c| {
+        c.end <= current.start && {
             tokens[c.end..current.start]
                 .iter()
                 .all(|t| t.tag == Tag::Conj || t.lower == ",")
                 && c.end < current.start
-        }) else {
-            break;
-        };
+        }
+    }) {
         deps.push(Dependency { head: chunk.head, dep: prev.head, rel: Rel::Conj });
         for (off, t) in tokens[prev.end..current.start].iter().enumerate() {
             if t.tag == Tag::Conj {

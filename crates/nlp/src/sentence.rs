@@ -48,24 +48,18 @@ pub fn naive_split(text: &str) -> Vec<String> {
         let c = chars[i];
         match c {
             '.' | '!' | '?' => {
-                // Decimal number?
-                if c == '.'
-                    && i > 0
-                    && chars[i - 1].is_ascii_digit()
-                    && i + 1 < n
-                    && chars[i + 1].is_ascii_digit()
-                {
-                    current.push(c);
-                } else if c == '.' && ends_with_abbreviation(&current) {
-                    current.push(c);
-                } else if c == '.'
-                    && i + 1 < n
-                    && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')
-                {
-                    // Interior dot of a package name or URL.
-                    current.push(c);
-                } else {
-                    current.push(c);
+                // A dot inside a decimal number, after an abbreviation, or
+                // interior to a package name / URL does not end a sentence.
+                let interior_dot = c == '.'
+                    && ((i > 0
+                        && chars[i - 1].is_ascii_digit()
+                        && i + 1 < n
+                        && chars[i + 1].is_ascii_digit())
+                        || ends_with_abbreviation(&current)
+                        || (i + 1 < n
+                            && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')));
+                current.push(c);
+                if !interior_dot {
                     flush(&mut sentences, &mut current);
                 }
             }

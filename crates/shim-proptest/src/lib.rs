@@ -1,0 +1,636 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this dependency-free re-implementation of the slice of proptest it
+//! uses: the [`proptest!`] macro, `prop_assert*` macros, [`Strategy`]
+//! with `prop_map`, [`prop_oneof!`], [`Just`], [`any`], regex-subset
+//! string strategies, integer-range strategies, tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Semantics: each test runs `PROPTEST_CASES` (default 64) seeded random
+//! cases. The seed is derived from the test name, so runs are fully
+//! deterministic; there is no shrinking — a failing case reports its
+//! inputs directly.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// deterministic RNG (SplitMix64, same construction as the rand shim)
+// ---------------------------------------------------------------------
+
+/// The per-test random source.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x243F_6A88_85A3_08D3 }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from an inclusive-exclusive span.
+    pub fn in_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+}
+
+/// FNV-1a hash of a test name, used as the base seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`] backend).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> OneOf<T> {
+    /// Builds from pre-boxed arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// integer ranges -------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// any ------------------------------------------------------------------
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// regex-subset string strategies ---------------------------------------
+
+/// One parsed regex atom with its repetition bounds.
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    Any,
+    Class(Vec<(char, char)>),
+    Group(Vec<(Atom, usize, usize)>),
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Any => {
+            // Printable ASCII plus whitespace and a sprinkling of
+            // non-ASCII, approximating proptest's arbitrary `char`.
+            const EXTRA: &[char] = &['\t', '\n', 'é', 'ß', 'λ', '中', '—', '☂'];
+            let roll = rng.below(100);
+            if roll < 88 {
+                out.push(char::from_u32(rng.in_range(0x20, 0x7F) as u32).unwrap());
+            } else {
+                out.push(EXTRA[rng.below(EXTRA.len() as u64) as usize]);
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (a, b) in ranges {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total span");
+        }
+        Atom::Group(atoms) => {
+            for (inner, lo, hi) in atoms {
+                let reps = rng.in_range(*lo as u64, *hi as u64 + 1) as usize;
+                for _ in 0..reps {
+                    generate_atom(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Parses the supported regex subset: literals, `\`-escapes, `.`,
+/// `[...]` classes (with ranges), `(...)` groups, and `{m,n}` / `{n}`
+/// repetition.
+fn parse_regex(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    parse_seq(&chars, &mut i, None)
+}
+
+fn parse_seq(chars: &[char], i: &mut usize, until: Option<char>) -> Vec<(Atom, usize, usize)> {
+    let mut atoms = Vec::new();
+    while *i < chars.len() {
+        let c = chars[*i];
+        if Some(c) == until {
+            *i += 1;
+            break;
+        }
+        *i += 1;
+        let atom = match c {
+            '.' => Atom::Any,
+            '\\' => {
+                let e = chars[*i];
+                *i += 1;
+                Atom::Lit(unescape(e))
+            }
+            '[' => Atom::Class(parse_class(chars, i)),
+            '(' => Atom::Group(parse_seq(chars, i, Some(')'))),
+            other => Atom::Lit(other),
+        };
+        let (lo, hi) = parse_quantifier(chars, i);
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], i: &mut usize) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    while chars[*i] != ']' {
+        let mut lo = chars[*i];
+        *i += 1;
+        if lo == '\\' {
+            lo = unescape(chars[*i]);
+            *i += 1;
+        }
+        if chars[*i] == '-' && chars[*i + 1] != ']' {
+            *i += 1;
+            let mut hi = chars[*i];
+            *i += 1;
+            if hi == '\\' {
+                hi = unescape(chars[*i]);
+                *i += 1;
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    *i += 1; // consume ']'
+    ranges
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+    if *i < chars.len() && chars[*i] == '{' {
+        *i += 1;
+        let mut spec = String::new();
+        while chars[*i] != '}' {
+            spec.push(chars[*i]);
+            *i += 1;
+        }
+        *i += 1; // consume '}'
+        match spec.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+            None => {
+                let n = spec.trim().parse().unwrap();
+                (n, n)
+            }
+        }
+    } else {
+        (1, 1)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let reps = rng.in_range(*lo as u64, *hi as u64 + 1) as usize;
+            for _ in 0..reps {
+                generate_atom(atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+// collections ----------------------------------------------------------
+
+/// `proptest::collection` equivalents.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` with a length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.in_range(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------
+
+/// Asserts a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    // terminal: no more arguments — run the body.
+    ($rng:ident; $body:block;) => {{
+        let __res: ::std::result::Result<(), String> = (|| {
+            $body
+            #[allow(unreachable_code)]
+            Ok(())
+        })();
+        __res
+    }};
+    // `name in strategy` binding.
+    ($rng:ident; $body:block; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::Strategy::generate(&$strat, &mut $rng);
+        $crate::__prop_bind!($rng; $body; $($rest)*)
+    }};
+    ($rng:ident; $body:block; $name:ident in $strat:expr) => {
+        $crate::__prop_bind!($rng; $body; $name in $strat,)
+    };
+    // `name: Type` binding (any::<Type>()).
+    ($rng:ident; $body:block; $name:ident : $ty:ty, $($rest:tt)*) => {{
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__prop_bind!($rng; $body; $($rest)*)
+    }};
+    ($rng:ident; $body:block; $name:ident : $ty:ty) => {
+        $crate::__prop_bind!($rng; $body; $name: $ty,)
+    };
+}
+
+/// Declares property tests. Each function body runs for
+/// [`case_count`] seeded cases; `prop_assert*` failures abort the case
+/// with a diagnostic.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::case_count();
+                let base = $crate::seed_of(stringify!($name));
+                for case in 0..cases {
+                    let mut __prop_rng =
+                        $crate::TestRng::new(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let outcome = $crate::__prop_bind!(__prop_rng; $body; $($args)*);
+                    if let Err(msg) = outcome {
+                        panic!(
+                            "property {} failed at case {case}/{cases}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, OneOf, Strategy,
+    };
+    /// Nested module mirror so `prop::collection::vec` paths resolve.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_class_with_ranges() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 .,;:!?]{0,30}".generate(&mut rng);
+            assert!(s.len() <= 30);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " .,;:!?".contains(c)));
+        }
+    }
+
+    #[test]
+    fn regex_group_repetition() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = "[a-z]{2,8}(\\.[a-z]{2,8}){1,3}".generate(&mut rng);
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!((2..=4).contains(&parts.len()), "parts in {s:?}");
+            for p in parts {
+                assert!((2..=8).contains(&p.len()));
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn regex_space_to_tilde_range() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn regex_newline_escape() {
+        let mut rng = TestRng::new(4);
+        let mut saw_newline = false;
+        for _ in 0..50 {
+            let s = "([a-z ]{0,10}\n){0,5}".generate(&mut rng);
+            if s.contains('\n') {
+                saw_newline = true;
+            }
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\n'));
+        }
+        assert!(saw_newline);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = collection::vec(0u32..10, 2..5);
+        let mut rng = TestRng::new(6);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end-to-end, including mixed arg forms.
+        #[test]
+        fn macro_smoke(s in "[a-c]{1,4}", n in 0u32..7, b: u8) {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() <= 4);
+            prop_assert!(n < 7);
+            let _ = b;
+            prop_assert_eq!(s.clone(), s.clone());
+            prop_assert_ne!(s.len(), 99usize);
+        }
+    }
+}

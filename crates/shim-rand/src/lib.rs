@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal, dependency-free implementation of the `rand 0.8`
+//! API surface it actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, [`Rng::gen`], and the
+//! [`rngs::StdRng`] type. The generator is a SplitMix64 — statistically
+//! solid for corpus generation and, crucially, *deterministic across
+//! platforms and runs*, which the synthetic-dataset calibration depends
+//! on.
+//!
+//! This is not a cryptographic RNG and does not pretend to match the
+//! stream of the real `rand::rngs::StdRng`; the corpus phrase pools are
+//! calibrated against *this* stream.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Uniform: Sized {
+    /// Draws one value from the raw 64-bit stream.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Uniform for u8 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 56) as u8
+    }
+}
+
+impl Uniform for u16 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 48) as u16
+    }
+}
+
+impl Uniform for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Uniform for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Uniform for usize {
+    fn from_u64(raw: u64) -> Self {
+        raw as usize
+    }
+}
+
+impl Uniform for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & (1 << 63) != 0
+    }
+}
+
+impl Uniform for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Converts to the u64 sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the u64 sampling domain.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize);
+
+/// The random-generator trait: the subset of `rand::Rng` this workspace
+/// calls.
+pub trait Rng {
+    /// The next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T`.
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform draw from `range` (half-open, like `rand`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the small pool sizes used here and the mapping
+        // is deterministic, which is what matters.
+        let raw = self.next_u64();
+        let mapped = ((raw as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + mapped)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable generators (the subset of `rand::SeedableRng` used).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: SplitMix64.
+    ///
+    /// Passes BigCrush in its 64-bit output form and is trivially
+    /// seedable — more than adequate for phrase-pool selection.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One scramble round so nearby seeds diverge immediately.
+            let mut rng = StdRng { state: seed ^ 0x5155_7472_6173_6F6E };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// The prelude, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+pub use prelude::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = rngs::StdRng::seed_from_u64(1);
+        let mut b = rngs::StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_pools() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all pool slots reachable");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

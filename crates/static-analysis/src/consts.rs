@@ -68,8 +68,9 @@ pub fn query_sites(method: &Method) -> Vec<(usize, UriValue)> {
         let Insn::Invoke { class, method: m, args, .. } = insn else {
             continue;
         };
-        let is_query = (class == "android.content.ContentResolver" && m == "query")
-            || (class == "android.content.ContentProviderClient" && m == "query")
+        let is_query = (m == "query"
+            && (class == "android.content.ContentResolver"
+                || class == "android.content.ContentProviderClient"))
             || (class == "android.content.CursorLoader" && m == "loadInBackground");
         if !is_query {
             continue;

@@ -45,7 +45,7 @@ fn main() {
             worst.push((findings, report.package.clone()));
         }
     }
-    worst.sort_by(|a, b| b.0.cmp(&a.0));
+    worst.sort_by_key(|w| std::cmp::Reverse(w.0));
 
     println!("== audit summary ==");
     println!("apps audited:          {n}");

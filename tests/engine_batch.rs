@@ -1,0 +1,104 @@
+//! Integration tests for the batch engine: determinism across worker
+//! counts on a seeded corpus, and fault isolation for poisoned apps.
+
+use ppchecker_apk::Apk;
+use ppchecker_core::PPChecker;
+use ppchecker_corpus::{evaluate, evaluate_parallel, export_dataset, small_dataset};
+use ppchecker_engine::Engine;
+
+/// `jobs=1` and `jobs=8` over the same seeded 50-app corpus must produce
+/// identical evaluations and byte-identical aggregate renderings.
+#[test]
+fn parallel_evaluation_is_deterministic_across_worker_counts() {
+    let dataset = small_dataset(42, 50);
+
+    let (serial, m1) = evaluate_parallel(&dataset, 1);
+    let (parallel, m8) = evaluate_parallel(&dataset, 8);
+    assert_eq!(serial, parallel, "jobs=1 vs jobs=8 evaluations diverged");
+    assert_eq!(m1.jobs, 1);
+    assert_eq!(m8.jobs, 8);
+
+    // And both must match the plain serial harness.
+    assert_eq!(serial, evaluate(&dataset));
+}
+
+/// The aggregate report bytes (not just the struct) must be identical for
+/// any worker count.
+#[test]
+fn aggregate_rendering_is_byte_identical() {
+    let dataset = small_dataset(7, 50);
+    let libs = || {
+        dataset
+            .lib_policies
+            .iter()
+            .map(|lp| (lp.lib.id.to_string(), lp.html.clone()))
+    };
+
+    let one = Engine::with_lib_policies(PPChecker::new(), libs())
+        .with_jobs(1)
+        .run(dataset.iter_apps().cloned());
+    let eight = Engine::with_lib_policies(PPChecker::new(), libs())
+        .with_jobs(8)
+        .run(dataset.iter_apps().cloned());
+
+    assert_eq!(one.aggregate(), eight.aggregate());
+    assert_eq!(one.aggregate().to_string(), eight.aggregate().to_string());
+    for (a, b) in one.records.iter().zip(eight.records.iter()) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.package, b.package);
+        assert_eq!(format!("{:?}", a.outcome), format!("{:?}", b.outcome));
+    }
+}
+
+/// One corrupt-dex app in a batch yields exactly one error record; the
+/// other N−1 apps still produce full reports.
+#[test]
+fn corrupt_dex_app_is_isolated_to_one_error_record() {
+    let dataset = small_dataset(42, 20);
+    let mut inputs: Vec<_> = dataset.iter_apps().cloned().collect();
+
+    // Poison app 11: replace its APK with an unpackable blob.
+    let manifest = inputs[11].apk.manifest.clone();
+    inputs[11].apk = Apk::from_packed_blob(manifest, vec![0x00, 0xFF, 0x13, 0x37]);
+
+    let engine = Engine::with_lib_policies(
+        PPChecker::new(),
+        dataset
+            .lib_policies
+            .iter()
+            .map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+    )
+    .with_jobs(4);
+    let batch = engine.run(inputs);
+
+    assert_eq!(batch.records.len(), 20);
+    assert_eq!(batch.metrics.errors, 1);
+    assert!(batch.records[11].error().unwrap().contains("static analysis failed"));
+    assert_eq!(
+        batch.records.iter().filter(|r| r.report().is_some()).count(),
+        19,
+        "all other apps must still complete"
+    );
+    assert_eq!(batch.aggregate().errors, 1);
+}
+
+/// End-to-end through the export layout: `ppchecker batch` record streams
+/// are byte-identical across worker counts.
+#[test]
+fn batch_cli_records_are_jobs_invariant_over_exported_corpus() {
+    use ppchecker_cli::{run_batch, BatchOptions};
+
+    let dataset = small_dataset(42, 12);
+    let dir = std::env::temp_dir()
+        .join(format!("ppchecker-engine-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_dataset(&dir, &dataset, 12).unwrap();
+
+    let (serial, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
+    let (parallel, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8 }).unwrap();
+    assert_eq!(serial, parallel, "JSONL output must be byte-identical");
+    assert_eq!(serial.lines().count(), 13, "12 records + 1 aggregate line");
+    let _ = std::fs::remove_dir_all(&dir);
+}
