@@ -42,10 +42,7 @@ impl Apk {
 
     /// Creates an APK whose dex is packed with `key` (as a packer would).
     pub fn new_packed(manifest: Manifest, dex: &Dex, key: u8) -> Self {
-        Apk {
-            manifest,
-            payload: Payload::Packed(packer::pack(dex, key)),
-        }
+        Apk { manifest, payload: Payload::Packed(packer::pack(dex, key)) }
     }
 
     /// Creates an APK from a raw packed-dex blob *without* validating it.

@@ -117,11 +117,7 @@ pub struct Method {
 impl Method {
     /// Creates an empty method.
     pub fn new(name: &str, param_count: u32) -> Self {
-        Method {
-            name: name.to_string(),
-            param_count,
-            instructions: Vec::new(),
-        }
+        Method { name: name.to_string(), param_count, instructions: Vec::new() }
     }
 }
 
@@ -170,9 +166,7 @@ impl Dex {
 
     /// Iterates `(class, method)` pairs.
     pub fn iter_methods(&self) -> impl Iterator<Item = (&Class, &Method)> {
-        self.classes
-            .iter()
-            .flat_map(|c| c.methods.iter().map(move |m| (c, m)))
+        self.classes.iter().flat_map(|c| c.methods.iter().map(move |m| (c, m)))
     }
 
     /// Total instruction count (a rough "bytecode size").
@@ -229,10 +223,13 @@ impl ClassBuilder {
     }
 
     /// Adds a method, configured by `f`.
-    pub fn method(&mut self, name: &str, param_count: u32, f: impl FnOnce(&mut MethodBuilder)) -> &mut Self {
-        let mut mb = MethodBuilder {
-            method: Method::new(name, param_count),
-        };
+    pub fn method(
+        &mut self,
+        name: &str,
+        param_count: u32,
+        f: impl FnOnce(&mut MethodBuilder),
+    ) -> &mut Self {
+        let mut mb = MethodBuilder { method: Method::new(name, param_count) };
         f(&mut mb);
         if !matches!(mb.method.instructions.last(), Some(Insn::Return { .. })) {
             mb.method.instructions.push(Insn::Return { src: None });
@@ -385,11 +382,7 @@ mod tests {
     #[test]
     fn builder_appends_implicit_return() {
         let dex = sample_dex();
-        let m = dex
-            .class("com.example.app.MainActivity")
-            .unwrap()
-            .method("onCreate")
-            .unwrap();
+        let m = dex.class("com.example.app.MainActivity").unwrap().method("onCreate").unwrap();
         assert!(matches!(m.instructions.last(), Some(Insn::Return { src: None })));
     }
 
@@ -442,10 +435,9 @@ impl fmt::Display for DexDefect {
         match self {
             DexDefect::DuplicateClass(c) => write!(f, "duplicate class {c}"),
             DexDefect::DuplicateMethod(c, m) => write!(f, "duplicate method {c}.{m}"),
-            DexDefect::BranchOutOfRange { class, method, at, target } => write!(
-                f,
-                "branch at {class}.{method}@{at} targets out-of-range index {target}"
-            ),
+            DexDefect::BranchOutOfRange { class, method, at, target } => {
+                write!(f, "branch at {class}.{method}@{at} targets out-of-range index {target}")
+            }
             DexDefect::MissingReturn(c, m) => write!(f, "{c}.{m} does not end with return"),
         }
     }
@@ -466,10 +458,7 @@ impl Dex {
             let mut method_names: Vec<&str> = Vec::new();
             for m in &class.methods {
                 if method_names.contains(&m.name.as_str()) {
-                    defects.push(DexDefect::DuplicateMethod(
-                        class.name.clone(),
-                        m.name.clone(),
-                    ));
+                    defects.push(DexDefect::DuplicateMethod(class.name.clone(), m.name.clone()));
                 }
                 method_names.push(&m.name);
                 for (at, insn) in m.instructions.iter().enumerate() {
@@ -552,7 +541,11 @@ mod validate_tests {
                 name: "com.x.A".to_string(),
                 superclass: "java.lang.Object".to_string(),
                 interfaces: vec![],
-                methods: vec![Method { name: "m".to_string(), param_count: 0, instructions: vec![Insn::Nop] }],
+                methods: vec![Method {
+                    name: "m".to_string(),
+                    param_count: 0,
+                    instructions: vec![Insn::Nop],
+                }],
             }],
         };
         assert!(matches!(dex.validate()[0], DexDefect::MissingReturn(..)));

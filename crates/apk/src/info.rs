@@ -189,7 +189,8 @@ mod tests {
 
     #[test]
     fn canonical_phrases_unique() {
-        let mut phrases: Vec<&str> = PrivateInfo::ALL.iter().map(|i| i.canonical_phrase()).collect();
+        let mut phrases: Vec<&str> =
+            PrivateInfo::ALL.iter().map(|i| i.canonical_phrase()).collect();
         phrases.sort_unstable();
         phrases.dedup();
         assert_eq!(phrases.len(), PrivateInfo::ALL.len());

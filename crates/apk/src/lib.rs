@@ -39,7 +39,7 @@ pub mod manifest;
 pub mod packer;
 
 pub use apk::{Apk, Payload};
-pub use info::PrivateInfo;
 pub use dex::{Class, Dex, DexBuilder, Insn, InvokeKind, Method, MethodBuilder, Reg};
+pub use info::PrivateInfo;
 pub use manifest::{Component, ComponentKind, Manifest, ParseManifestError, Permission};
 pub use packer::ParseDexError;

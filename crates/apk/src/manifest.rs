@@ -162,11 +162,7 @@ pub struct Manifest {
 impl Manifest {
     /// Creates an empty manifest for `package`.
     pub fn new(package: &str) -> Self {
-        Manifest {
-            package: package.to_string(),
-            permissions: Vec::new(),
-            components: Vec::new(),
-        }
+        Manifest { package: package.to_string(), permissions: Vec::new(), components: Vec::new() }
     }
 
     /// Adds a permission (deduplicated).
@@ -178,7 +174,12 @@ impl Manifest {
     }
 
     /// Adds a component.
-    pub fn add_component(&mut self, kind: ComponentKind, class_name: &str, main: bool) -> &mut Self {
+    pub fn add_component(
+        &mut self,
+        kind: ComponentKind,
+        class_name: &str,
+        main: bool,
+    ) -> &mut Self {
         self.components.push(Component {
             kind,
             class_name: class_name.to_string(),
@@ -195,12 +196,9 @@ impl Manifest {
 
     /// The launcher activity, if declared.
     pub fn main_activity(&self) -> Option<&Component> {
-        self.components
-            .iter()
-            .find(|c| c.main && c.kind == ComponentKind::Activity)
+        self.components.iter().find(|c| c.main && c.kind == ComponentKind::Activity)
     }
 }
-
 
 /// Error parsing the textual manifest format (see [`Manifest::from_text`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -240,8 +238,7 @@ impl Manifest {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err =
-                |message: &str| ParseManifestError { line: lineno, message: message.into() };
+            let err = |message: &str| ParseManifestError { line: lineno, message: message.into() };
             let mut parts = line.split_whitespace();
             let directive = parts.next().unwrap_or_default();
             match directive {
@@ -318,10 +315,7 @@ mod tests {
 
     #[test]
     fn qualified_name_has_android_prefix() {
-        assert_eq!(
-            Permission::ReadSms.qualified_name(),
-            "android.permission.READ_SMS"
-        );
+        assert_eq!(Permission::ReadSms.qualified_name(), "android.permission.READ_SMS");
     }
 
     #[test]

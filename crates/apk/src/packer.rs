@@ -110,9 +110,8 @@ pub fn deserialize(text: &str) -> Result<Dex, ParseDexError> {
         }
         let err = |msg: &str| ParseDexError { line: lineno, message: msg.to_string() };
         if let Some(rest) = line.strip_prefix("class ") {
-            let (name, sup) = rest
-                .split_once(" extends ")
-                .ok_or_else(|| err("missing 'extends'"))?;
+            let (name, sup) =
+                rest.split_once(" extends ").ok_or_else(|| err("missing 'extends'"))?;
             dex.classes.push(Class {
                 name: name.to_string(),
                 superclass: sup.to_string(),
@@ -126,9 +125,8 @@ pub fn deserialize(text: &str) -> Result<Dex, ParseDexError> {
                 .interfaces
                 .push(iface.to_string());
         } else if let Some(rest) = line.strip_prefix("method ") {
-            let (name, params) = rest
-                .split_once(" params ")
-                .ok_or_else(|| err("missing 'params'"))?;
+            let (name, params) =
+                rest.split_once(" params ").ok_or_else(|| err("missing 'params'"))?;
             let pc: u32 = params.parse().map_err(|_| err("bad param count"))?;
             dex.classes
                 .last_mut()
@@ -174,10 +172,7 @@ fn decode_insn(line: &str) -> Option<Insn> {
             let args = if args_s.is_empty() {
                 Vec::new()
             } else {
-                args_s
-                    .split(',')
-                    .map(|a| a.parse().ok())
-                    .collect::<Option<Vec<_>>>()?
+                args_s.split(',').map(|a| a.parse().ok()).collect::<Option<Vec<_>>>()?
             };
             let dst = match f.next()? {
                 "-" => None,
@@ -274,12 +269,7 @@ mod tests {
                 c.implements("android.view.View$OnClickListener");
                 c.method("onCreate", 1, |m| {
                     m.const_string(1, "content://com.android.calendar");
-                    m.invoke_virtual(
-                        "android.content.ContentResolver",
-                        "query",
-                        &[0, 1],
-                        Some(2),
-                    );
+                    m.invoke_virtual("android.content.ContentResolver", "query", &[0, 1], Some(2));
                     m.field_put("com.example.Main", "cache", 2);
                 });
                 c.method("onClick", 1, |m| {

@@ -71,28 +71,13 @@ fn bench_pattern_ablation(c: &mut Criterion) {
     let full = PolicyAnalyzer::new().patterns().to_vec();
     let mut g = c.benchmark_group("ablation_patterns");
     g.bench_function("seed_patterns_only", |b| {
-        b.iter(|| {
-            parses
-                .iter()
-                .filter(|p| match_sentence(black_box(p), &seeds).is_some())
-                .count()
-        })
+        b.iter(|| parses.iter().filter(|p| match_sentence(black_box(p), &seeds).is_some()).count())
     });
     g.bench_function("bootstrapped_patterns", |b| {
-        b.iter(|| {
-            parses
-                .iter()
-                .filter(|p| match_sentence(black_box(p), &full).is_some())
-                .count()
-        })
+        b.iter(|| parses.iter().filter(|p| match_sentence(black_box(p), &full).is_some()).count())
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_reachability_ablation,
-    bench_uri_ablation,
-    bench_pattern_ablation
-);
+criterion_group!(benches, bench_reachability_ablation, bench_uri_ablation, bench_pattern_ablation);
 criterion_main!(benches);

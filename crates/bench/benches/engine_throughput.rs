@@ -8,8 +8,8 @@
 //! per run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ppchecker_corpus::{paper_dataset, small_dataset, Dataset};
 use ppchecker_core::PPChecker;
+use ppchecker_corpus::{paper_dataset, small_dataset, Dataset};
 use ppchecker_engine::{available_jobs, Engine};
 use std::hint::black_box;
 use std::time::Instant;
@@ -17,10 +17,7 @@ use std::time::Instant;
 fn engine_for(dataset: &Dataset) -> Engine {
     Engine::with_lib_policies(
         PPChecker::new(),
-        dataset
-            .lib_policies
-            .iter()
-            .map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+        dataset.lib_policies.iter().map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
     )
 }
 
@@ -44,9 +41,7 @@ fn report_full_corpus() {
     let (serial, _, serial_misses) = run_once(&dataset, 1);
     let (parallel, hits, misses) = run_once(&dataset, jobs);
     let speedup = serial.as_secs_f64() / parallel.as_secs_f64();
-    println!(
-        "  jobs=1: {serial:?}  jobs={jobs}: {parallel:?}  speedup: {speedup:.2}x"
-    );
+    println!("  jobs=1: {serial:?}  jobs={jobs}: {parallel:?}  speedup: {speedup:.2}x");
     println!(
         "  policy cache at jobs={jobs}: {hits} hits / {misses} misses \
          (jobs=1 misses: {serial_misses}) — each distinct policy text analyzed once"

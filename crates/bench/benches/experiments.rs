@@ -110,12 +110,5 @@ fn bench_summary(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig12,
-    bench_table3,
-    bench_fig13,
-    bench_table4,
-    bench_summary
-);
+criterion_group!(benches, bench_fig12, bench_table3, bench_fig13, bench_table4, bench_summary);
 criterion_main!(benches);

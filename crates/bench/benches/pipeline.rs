@@ -16,9 +16,7 @@ const SENTENCE: &str =
 
 fn bench_nlp(c: &mut Criterion) {
     let mut g = c.benchmark_group("nlp");
-    g.bench_function("tokenize", |b| {
-        b.iter(|| token::tokenize(black_box(SENTENCE)))
-    });
+    g.bench_function("tokenize", |b| b.iter(|| token::tokenize(black_box(SENTENCE))));
     g.bench_function("tag", |b| b.iter(|| tagger::tag_str(black_box(SENTENCE))));
     g.bench_function("depparse", |b| b.iter(|| depparse::parse(black_box(SENTENCE))));
     g.finish();
@@ -56,11 +54,8 @@ fn bench_static(c: &mut Criterion) {
     g.bench_function("analyze_apk", |b| {
         b.iter(|| ppchecker_static::analyze(black_box(&app.apk)).unwrap())
     });
-    let packed = ppchecker_apk::Apk::new_packed(
-        app.apk.manifest.clone(),
-        &app.apk.dex().unwrap(),
-        0x5A,
-    );
+    let packed =
+        ppchecker_apk::Apk::new_packed(app.apk.manifest.clone(), &app.apk.dex().unwrap(), 0x5A);
     g.bench_function("unpack_and_analyze", |b| {
         b.iter(|| ppchecker_static::analyze(black_box(&packed)).unwrap())
     });
@@ -71,18 +66,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let checker = PPChecker::new();
     let app = sample_app();
     let mut g = c.benchmark_group("end_to_end");
-    g.bench_function("check_one_app", |b| {
-        b.iter(|| checker.check(black_box(&app)).unwrap())
-    });
+    g.bench_function("check_one_app", |b| b.iter(|| checker.check(black_box(&app)).unwrap()));
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nlp,
-    bench_esa,
-    bench_policy,
-    bench_static,
-    bench_end_to_end
-);
+criterion_group!(benches, bench_nlp, bench_esa, bench_policy, bench_static, bench_end_to_end);
 criterion_main!(benches);

@@ -34,7 +34,9 @@ fn main() {
     }
     println!("== static analysis (300 apps) ==");
     println!("collected info categories, full analysis:        {}", full.0);
-    println!("collected info categories, no reachability:      {no_reach} (dead code becomes findings)");
+    println!(
+        "collected info categories, no reachability:      {no_reach} (dead code becomes findings)"
+    );
     println!("collected info categories, no URI analysis:      {no_uri} (provider reads vanish)");
     println!("sensitive call sites pruned as unreachable:      {}", full.1);
 

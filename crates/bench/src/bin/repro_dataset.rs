@@ -37,7 +37,10 @@ fn main() {
 
     let n = dataset.apps.len();
     println!("apps:                        {n}");
-    println!("policy sentences:            {total_sentences} ({:.1}/app)", total_sentences as f64 / n as f64);
+    println!(
+        "policy sentences:            {total_sentences} ({:.1}/app)",
+        total_sentences as f64 / n as f64
+    );
     println!("  useful (pattern-matched):  {useful_sentences}");
     println!("  negative:                  {negative_sentences}");
     println!("policies with disclaimers:   {disclaimers}");
@@ -50,11 +53,7 @@ fn main() {
     let dev = dataset.lib_policies.iter().filter(|l| l.lib.kind == LibKind::DevTool).count();
     println!("\nlib policies: {ad} ad + {social} social + {dev} dev tools = {}", ad + social + dev);
 
-    let with_libs = dataset
-        .apps
-        .iter()
-        .filter(|a| !a.spec.libs.is_empty())
-        .count();
+    let with_libs = dataset.apps.iter().filter(|a| !a.spec.libs.is_empty()).count();
     println!(
         "apps embedding ≥1 lib:       {with_libs} ({:.0}%) — paper: 879 (73%)",
         with_libs as f64 / n as f64 * 100.0

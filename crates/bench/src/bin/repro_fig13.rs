@@ -11,11 +11,8 @@ fn main() {
     let dataset = paper_dataset(42);
     let ev = evaluate(&dataset);
 
-    let mut rows: Vec<(String, usize)> = ev
-        .fig13
-        .iter()
-        .map(|(info, count)| (info.to_string(), *count))
-        .collect();
+    let mut rows: Vec<(String, usize)> =
+        ev.fig13.iter().map(|(info, count)| (info.to_string(), *count)).collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.1));
 
     for (info, count) in &rows {
@@ -24,7 +21,10 @@ fn main() {
 
     println!("\n{:<42} {:>6} {:>6}", "", "paper", "ours");
     println!("{:<42} {:>6} {:>6}", "apps flagged via code", 195, ev.incomplete_code_flagged);
-    println!("{:<42} {:>6} {:>6}", "confirmed incomplete (manual check)", 180, ev.incomplete_code_tp);
+    println!(
+        "{:<42} {:>6} {:>6}",
+        "confirmed incomplete (manual check)", 180, ev.incomplete_code_tp
+    );
     println!("{:<42} {:>6} {:>6}", "false positives", 15, ev.incomplete_code_fp);
     println!("{:<42} {:>6} {:>6}", "missed-information records", 234, ev.missed_records);
     println!("{:<42} {:>6} {:>6}", "...of which retained", 32, ev.retained_records);

@@ -19,15 +19,14 @@ fn main() {
     };
     line("apps in the dataset (§V-A)", "1197".into(), ev.total_apps.to_string());
     line("apps embedding ≥1 third-party lib", "879".into(), ev.apps_with_libs.to_string());
-    line("third-party lib policies (52 ad + 9 social + 20 dev)", "81".into(),
-        dataset.lib_policies.len().to_string());
+    line(
+        "third-party lib policies (52 ad + 9 social + 20 dev)",
+        "81".into(),
+        dataset.lib_policies.len().to_string(),
+    );
     println!();
     line("apps with ≥1 problem", "282".into(), ev.problem_apps.to_string());
-    line(
-        "problem rate",
-        "23.6%".into(),
-        format!("{:.1}%", ev.problem_rate() * 100.0),
-    );
+    line("problem rate", "23.6%".into(), format!("{:.1}%", ev.problem_rate() * 100.0));
     println!();
     line("incomplete policies (total)", "222".into(), ev.incomplete_apps.to_string());
     line("  via description", "64".into(), ev.incomplete_desc_flagged.to_string());

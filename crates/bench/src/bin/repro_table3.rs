@@ -23,15 +23,8 @@ fn main() {
 
     println!("{:<26} {:>6} {:>6}", "Permission", "paper", "ours");
     for (name, paper_count) in PAPER {
-        let ours = ev
-            .table3
-            .get(&Permission::from_name(name))
-            .copied()
-            .unwrap_or(0);
+        let ours = ev.table3.get(&Permission::from_name(name)).copied().unwrap_or(0);
         println!("{name:<26} {paper_count:>6} {ours:>6}");
     }
-    println!(
-        "\nquestionable apps via description: paper 64, ours {}",
-        ev.incomplete_desc_flagged
-    );
+    println!("\nquestionable apps via description: paper 64, ours {}", ev.incomplete_desc_flagged);
 }

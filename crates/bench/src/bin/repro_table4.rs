@@ -30,16 +30,14 @@ fn main() {
         "{:<28} {:>3}  {:>3}  {:>10} {:>9} {:>9}",
         "Sentence category", "TP", "FP", "Precision", "Recall", "F1"
     );
-    row(
-        "Sents collect/use/retain",
-        &ev.cur,
-        (41, 5, 89.1, 91.7, 90.4),
-    );
+    row("Sents collect/use/retain", &ev.cur, (41, 5, 89.1, 91.7, 90.4));
     row("Sents disclose", &ev.disclose, (39, 4, 90.7, 92.3, 91.4));
 
     println!(
         "\nrecall sample: {}/{} (c/u/r), {}/{} (disclose) over the 200-app manual sample",
-        ev.cur.sample_detected, ev.cur.sample_truth, ev.disclose.sample_detected,
+        ev.cur.sample_detected,
+        ev.cur.sample_truth,
+        ev.disclose.sample_detected,
         ev.disclose.sample_truth
     );
     println!(

@@ -87,29 +87,20 @@ pub type LibPolicies = Vec<(String, String)>;
 ///
 /// Returns [`CliError`] on unreadable directories or malformed apps.
 pub fn load_corpus(dir: &Path) -> Result<(Vec<AppInput>, LibPolicies), CliError> {
-    let entries =
-        fs::read_dir(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
+    let entries = fs::read_dir(dir).map_err(|e| CliError(format!("{}: {e}", dir.display())))?;
     let mut app_dirs: Vec<PathBuf> = entries
         .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| {
             p.is_dir()
-                && p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("app-"))
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("app-"))
         })
         .collect();
     app_dirs.sort();
     if app_dirs.is_empty() {
-        return Err(CliError(format!(
-            "no app-* directories under {}",
-            dir.display()
-        )));
+        return Err(CliError(format!("no app-* directories under {}", dir.display())));
     }
-    let apps = app_dirs
-        .iter()
-        .map(|d| load_app_dir(d))
-        .collect::<Result<Vec<_>, _>>()?;
+    let apps = app_dirs.iter().map(|d| load_app_dir(d)).collect::<Result<Vec<_>, _>>()?;
 
     let mut libs = Vec::new();
     let libs_dir = dir.join("libs");
@@ -122,11 +113,7 @@ pub fn load_corpus(dir: &Path) -> Result<(Vec<AppInput>, LibPolicies), CliError>
             .collect();
         lib_files.sort();
         for path in lib_files {
-            let id = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .unwrap_or_default()
-                .to_string();
+            let id = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default().to_string();
             let html = fs::read_to_string(&path)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
             libs.push((id, html));
@@ -206,8 +193,8 @@ mod tests {
     use ppchecker_apk::{ComponentKind, Dex, Manifest, Permission};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("ppchecker-batch-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ppchecker-batch-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -227,12 +214,7 @@ mod tests {
                 .class(&format!("{package}.Main"), |c| {
                     c.extends("android.app.Activity");
                     c.method("onCreate", 1, |m| {
-                        m.invoke_virtual(
-                            "android.location.Location",
-                            "getLatitude",
-                            &[0],
-                            Some(1),
-                        );
+                        m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
                     });
                 })
                 .build();
@@ -251,18 +233,15 @@ mod tests {
         }
         let libs = root.join("libs");
         fs::create_dir_all(&libs).unwrap();
-        fs::write(libs.join("admob.html"), "<p>we may collect your device id.</p>")
-            .unwrap();
+        fs::write(libs.join("admob.html"), "<p>we may collect your device id.</p>").unwrap();
     }
 
     #[test]
     fn batch_output_is_jobs_invariant() {
         let dir = temp_dir("determinism");
         write_corpus(&dir, 6, None);
-        let serial =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
-        let parallel =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4 }).unwrap();
+        let serial = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
+        let parallel = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4 }).unwrap();
         assert_eq!(serial.0, parallel.0, "record stream must be byte-identical");
         assert!(serial.0.lines().count() == 7, "6 records + aggregate line");
         assert!(serial.0.contains("\"aggregate\""));
@@ -285,11 +264,9 @@ mod tests {
 
     #[test]
     fn missing_corpus_dir_is_an_error() {
-        let err = run_batch(&BatchOptions {
-            corpus_dir: PathBuf::from("/nonexistent/corpus"),
-            jobs: 1,
-        })
-        .unwrap_err();
+        let err =
+            run_batch(&BatchOptions { corpus_dir: PathBuf::from("/nonexistent/corpus"), jobs: 1 })
+                .unwrap_err();
         assert!(err.0.contains("/nonexistent/corpus"));
     }
 }

@@ -89,8 +89,8 @@ pub struct CheckOptions {
 ///
 /// Returns [`CliError`] when any input fails to parse.
 pub fn run_check(opts: &CheckOptions) -> Result<String, CliError> {
-    let manifest = manifest_text::parse_manifest(&opts.manifest_text)
-        .map_err(|e| CliError(e.to_string()))?;
+    let manifest =
+        manifest_text::parse_manifest(&opts.manifest_text).map_err(|e| CliError(e.to_string()))?;
     let dex = packer::deserialize(&opts.dex_text).map_err(|e| CliError(e.to_string()))?;
     let package = manifest.package.clone();
     let app = AppInput {
@@ -153,7 +153,7 @@ pub fn run_policy(policy_html: &str) -> String {
             "[{}{}] {:?} — «{}»",
             if s.negative { "NOT " } else { "" },
             s.category,
-            s.resources(),
+            s.resources().collect::<Vec<_>>(),
             s.text
         );
     }
@@ -203,8 +203,7 @@ pub fn run_demo() -> Result<String, CliError> {
         dex_text: assets::DEX.to_string(),
         lib_policies: vec![(
             "unity3d".to_string(),
-            "<p>we may receive your location information and device identifiers.</p>"
-                .to_string(),
+            "<p>we may receive your location information and device identifiers.</p>".to_string(),
         )],
         suggest: true,
         ..CheckOptions::default()

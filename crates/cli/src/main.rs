@@ -1,8 +1,8 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    run_batch, run_check, run_demo, run_pack, run_policy, run_unpack, BatchOptions,
-    CheckOptions, CliError,
+    run_batch, run_check, run_demo, run_pack, run_policy, run_unpack, BatchOptions, CheckOptions,
+    CliError,
 };
 use std::fs;
 use std::process::ExitCode;
@@ -68,19 +68,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn batch(args: &[String]) -> Result<String, CliError> {
     let corpus = flag_value(args, "--corpus")
         .ok_or_else(|| CliError("missing required --corpus <dir>".into()))?;
-    let mut opts = BatchOptions {
-        corpus_dir: corpus.into(),
-        ..BatchOptions::default()
-    };
+    let mut opts = BatchOptions { corpus_dir: corpus.into(), ..BatchOptions::default() };
     if let Some(jobs) = flag_value(args, "--jobs") {
         opts.jobs = jobs
             .parse::<usize>()
@@ -120,9 +114,8 @@ fn check(args: &[String]) -> Result<String, CliError> {
     };
     for (i, a) in args.iter().enumerate() {
         if a == "--lib-policy" {
-            let spec = args
-                .get(i + 1)
-                .ok_or_else(|| CliError("--lib-policy needs ID=file".into()))?;
+            let spec =
+                args.get(i + 1).ok_or_else(|| CliError("--lib-policy needs ID=file".into()))?;
             let (id, path) = spec
                 .split_once('=')
                 .ok_or_else(|| CliError("--lib-policy needs ID=file".into()))?;

@@ -1,8 +1,8 @@
 //! The CLI's textual `AndroidManifest` format — thin wrappers over
 //! [`ppchecker_apk::Manifest::from_text`] / [`to_text`](ppchecker_apk::Manifest::to_text).
 
-pub use ppchecker_apk::ParseManifestError;
 use ppchecker_apk::Manifest;
+pub use ppchecker_apk::ParseManifestError;
 
 /// Parses the textual manifest format.
 ///

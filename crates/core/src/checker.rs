@@ -206,9 +206,7 @@ impl PPChecker {
     ///
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
     pub fn check_timed(&self, app: &AppInput) -> Result<(Report, StageTimings), CheckError> {
-        self.check_with_policy_provider(app, |analyzer, html| {
-            Arc::new(analyzer.analyze_html(html))
-        })
+        self.check_with_policy_provider(app, |analyzer, html| Arc::new(analyzer.analyze_html(html)))
     }
 
     /// The instrumented pipeline with a pluggable policy-analysis source.
@@ -272,20 +270,12 @@ impl PPChecker {
         // Incomplete (Algorithms 1–2). Information found through both
         // channels is reported once per channel, as the paper counts them
         // separately (64 via description, 180 via code).
-        report
-            .missed
-            .extend(incomplete::via_description(policy, desc, &self.matcher));
-        report
-            .missed
-            .extend(incomplete::via_code(policy, code, &app.apk.manifest, &self.matcher));
+        report.missed.extend(incomplete::via_description(policy, desc, &self.matcher));
+        report.missed.extend(incomplete::via_code(policy, code, &app.apk.manifest, &self.matcher));
 
         // Incorrect (Algorithms 3–4).
-        report
-            .incorrect
-            .extend(incorrect::via_description(policy, desc, &self.matcher));
-        report
-            .incorrect
-            .extend(incorrect::via_code(policy, code, &self.matcher));
+        report.incorrect.extend(incorrect::via_description(policy, desc, &self.matcher));
+        report.incorrect.extend(incorrect::via_code(policy, code, &self.matcher));
 
         // Inconsistent (Algorithm 5) against the registered policies of
         // the libs actually embedded in this app.
@@ -361,9 +351,7 @@ mod tests {
 
     #[test]
     fn inconsistency_needs_registered_lib_policy() {
-        let app = weather_app(
-            "We may collect your location. We do not collect your device id.",
-        );
+        let app = weather_app("We may collect your location. We do not collect your device id.");
         let mut checker = PPChecker::new();
         // Without the lib policy: no inconsistency possible.
         let r1 = checker.check(&app).unwrap();

@@ -4,6 +4,7 @@ use crate::matcher::Matcher;
 use crate::problems::{Channel, MissedInfo};
 use ppchecker_apk::{Manifest, PrivateInfo};
 use ppchecker_desc::DescriptionAnalysis;
+use ppchecker_nlp::{intern, Symbol};
 use ppchecker_policy::PolicyAnalysis;
 use ppchecker_static::StaticReport;
 
@@ -19,7 +20,7 @@ pub fn via_description(
     desc: &DescriptionAnalysis,
     esa: &Matcher,
 ) -> Vec<MissedInfo> {
-    let pp_infos: Vec<&str> = policy.mentioned_resources().into_iter().collect();
+    let pp_infos: Vec<Symbol> = policy.mentioned_resource_symbols().into_iter().collect();
     let mut out = Vec::new();
     for &info in &desc.info {
         if covered(info, &pp_infos, esa) {
@@ -34,12 +35,7 @@ pub fn via_description(
             .filter(|e| PrivateInfo::from_permission(&e.permission).contains(&info))
             .max_by(|a, b| a.similarity.total_cmp(&b.similarity))
             .map(|e| e.permission.clone());
-        out.push(MissedInfo {
-            info,
-            channel: Channel::Description,
-            permission,
-            retained: false,
-        });
+        out.push(MissedInfo { info, channel: Channel::Description, permission, retained: false });
     }
     out
 }
@@ -55,7 +51,7 @@ pub fn via_code(
     manifest: &Manifest,
     esa: &Matcher,
 ) -> Vec<MissedInfo> {
-    let pp_infos: Vec<&str> = policy.mentioned_resources().into_iter().collect();
+    let pp_infos: Vec<Symbol> = policy.mentioned_resource_symbols().into_iter().collect();
     let retained = code.retain_code();
     let mut out = Vec::new();
     let mut all: Vec<PrivateInfo> = code.collect_code().into_iter().collect();
@@ -84,10 +80,12 @@ pub fn via_code(
 }
 
 /// The `Similarity(Info, PPInfo) > threshold` test of the algorithms.
-fn covered(info: PrivateInfo, pp_infos: &[&str], esa: &Matcher) -> bool {
-    pp_infos
-        .iter()
-        .any(|pp| esa.same_thing(info.canonical_phrase(), pp))
+///
+/// Canonical phrases are part of the interner's static pre-seed, so the
+/// `intern` here is a read-side probe, not an allocation.
+fn covered(info: PrivateInfo, pp_infos: &[Symbol], esa: &Matcher) -> bool {
+    let info_sym = intern(info.canonical_phrase());
+    pp_infos.iter().any(|&pp| esa.same_thing_sym(info_sym, pp))
 }
 
 #[cfg(test)]

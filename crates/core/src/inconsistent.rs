@@ -5,8 +5,8 @@
 //! policy: same verb category, same resource (ESA similarity). Policies
 //! that disclaim third-party responsibility are exempt.
 
-use crate::problems::Inconsistency;
 use crate::matcher::Matcher;
+use crate::problems::Inconsistency;
 use ppchecker_policy::PolicyAnalysis;
 
 /// Algorithm 5 over one app policy and one lib policy.
@@ -30,16 +30,16 @@ pub fn check_pair(
             if app_sent.category != lib_sent.category {
                 continue;
             }
-            for app_res in app_sent.resources() {
-                for lib_res in lib_sent.resources() {
-                    if esa.same_thing(app_res, lib_res) {
+            for &app_res in app_sent.resource_symbols() {
+                for &lib_res in lib_sent.resource_symbols() {
+                    if esa.same_thing_sym(app_res, lib_res) {
                         out.push(Inconsistency {
                             lib_id: lib_id.to_string(),
                             category: app_sent.category,
                             app_sentence: app_sent.text.clone(),
                             lib_sentence: lib_sent.text.clone(),
-                            app_resource: app_res.clone(),
-                            lib_resource: lib_res.clone(),
+                            app_resource: app_res.as_str().to_string(),
+                            lib_resource: lib_res.as_str().to_string(),
                         });
                     }
                 }
@@ -142,11 +142,7 @@ mod tests {
         let app = analyze("We do not collect your location information.");
         let lib1 = analyze("We may receive your location information.");
         let lib2 = analyze("We collect your device id.");
-        let found = check_all(
-            &app,
-            [("unity3d", &lib1), ("flurry", &lib2)],
-            &esa(),
-        );
+        let found = check_all(&app, [("unity3d", &lib1), ("flurry", &lib2)], &esa());
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].lib_id, "unity3d");
     }

@@ -9,6 +9,7 @@ use crate::matcher::Matcher;
 use crate::problems::{Channel, IncorrectFinding};
 use ppchecker_apk::PrivateInfo;
 use ppchecker_desc::DescriptionAnalysis;
+use ppchecker_nlp::intern;
 use ppchecker_policy::{PolicyAnalysis, VerbCategory};
 use ppchecker_static::StaticReport;
 
@@ -23,9 +24,10 @@ pub fn via_description(
 ) -> Vec<IncorrectFinding> {
     let mut out = Vec::new();
     for &info in &desc.info {
+        let info_sym = intern(info.canonical_phrase());
         for sent in policy.negative_sentences() {
-            for res in sent.resources() {
-                if esa.same_thing(info.canonical_phrase(), res) {
+            for &res in sent.resource_symbols() {
+                if esa.same_thing_sym(info_sym, res) {
                     out.push(IncorrectFinding {
                         info,
                         channel: Channel::Description,
@@ -59,8 +61,9 @@ pub fn via_code(
             VerbCategory::Retain | VerbCategory::Disclose => retained.iter().copied().collect(),
         };
         for info in code_infos {
-            for res in sent.resources() {
-                if esa.same_thing(info.canonical_phrase(), res) {
+            let info_sym = intern(info.canonical_phrase());
+            for &res in sent.resource_symbols() {
+                if esa.same_thing_sym(info_sym, res) {
                     out.push(IncorrectFinding {
                         info,
                         channel: Channel::Code,
@@ -116,8 +119,7 @@ mod tests {
 
     #[test]
     fn consistent_denial_not_flagged_via_description() {
-        let policy =
-            PolicyAnalyzer::new().analyze_text("We will not collect your location.");
+        let policy = PolicyAnalyzer::new().analyze_text("We will not collect your location.");
         let desc = analyze_description("Edit your photos with beautiful filters.");
         assert!(via_description(&policy, &desc, &esa()).is_empty());
     }
@@ -133,12 +135,7 @@ mod tests {
                         "CONTENT_URI",
                         1,
                     );
-                    m.invoke_virtual(
-                        "android.content.ContentResolver",
-                        "query",
-                        &[0, 1],
-                        Some(2),
-                    );
+                    m.invoke_virtual("android.content.ContentResolver", "query", &[0, 1], Some(2));
                     m.invoke_static("android.util.Log", "i", &[2], None);
                 });
             })
@@ -162,8 +159,7 @@ mod tests {
     #[test]
     fn not_collect_refuted_by_collect_code() {
         let report = app_collecting_contacts_and_logging();
-        let policy =
-            PolicyAnalyzer::new().analyze_text("We do not collect your contacts.");
+        let policy = PolicyAnalyzer::new().analyze_text("We do not collect your contacts.");
         let findings = via_code(&policy, &report, &esa());
         assert!(findings.iter().any(|f| f.info == PrivateInfo::Contact));
     }
@@ -171,8 +167,8 @@ mod tests {
     #[test]
     fn denial_of_unperformed_behaviour_is_fine() {
         let report = app_collecting_contacts_and_logging();
-        let policy = PolicyAnalyzer::new()
-            .analyze_text("We will not collect your calendar events.");
+        let policy =
+            PolicyAnalyzer::new().analyze_text("We will not collect your calendar events.");
         assert!(via_code(&policy, &report, &esa()).is_empty());
     }
 
@@ -190,8 +186,7 @@ mod tests {
             })
             .build();
         let report = ppchecker_static::analyze(&Apk::new(manifest, dex)).unwrap();
-        let policy =
-            PolicyAnalyzer::new().analyze_text("We will not store your location.");
+        let policy = PolicyAnalyzer::new().analyze_text("We will not store your location.");
         assert!(via_code(&policy, &report, &esa()).is_empty());
     }
 }

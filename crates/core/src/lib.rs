@@ -19,14 +19,14 @@
 //! See [`PPChecker`] for the end-to-end entry point.
 
 pub mod checker;
-pub mod matcher;
 pub mod incomplete;
 pub mod inconsistent;
 pub mod incorrect;
+pub mod matcher;
 pub mod problems;
 pub mod suggest;
 
 pub use checker::{AppInput, CheckError, PPChecker, StageTimings};
 pub use matcher::Matcher;
-pub use problems::{Channel, IncorrectFinding, Inconsistency, MissedInfo, Report};
+pub use problems::{Channel, Inconsistency, IncorrectFinding, MissedInfo, Report};
 pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};

@@ -5,6 +5,7 @@
 //! `repro_threshold`).
 
 use ppchecker_esa::{Interpreter, SIMILARITY_THRESHOLD};
+use ppchecker_nlp::Symbol;
 
 /// An ESA interpreter paired with a decision threshold.
 #[derive(Debug, Clone, Copy)]
@@ -27,10 +28,7 @@ impl Matcher {
 
     /// Same interpreter, custom threshold (clamped to `[0, 1]`).
     pub fn with_threshold(threshold: f64) -> Self {
-        Matcher {
-            esa: Interpreter::shared(),
-            threshold: threshold.clamp(0.0, 1.0),
-        }
+        Matcher { esa: Interpreter::shared(), threshold: threshold.clamp(0.0, 1.0) }
     }
 
     /// The active threshold.
@@ -46,6 +44,14 @@ impl Matcher {
     /// The paper's "refer to the same thing" predicate.
     pub fn same_thing(&self, a: &str, b: &str) -> bool {
         self.esa.similarity(a, b) >= self.threshold
+    }
+
+    /// [`same_thing`] over interned symbols: identical symbols short-circuit
+    /// and both concept vectors come from the symbol-keyed memo.
+    ///
+    /// [`same_thing`]: Matcher::same_thing
+    pub fn same_thing_sym(&self, a: Symbol, b: Symbol) -> bool {
+        a == b || self.esa.similarity_sym(a, b) >= self.threshold
     }
 }
 
@@ -69,6 +75,17 @@ mod tests {
         let (a, b) = ("location", "latitude");
         assert!(loose.same_thing(a, b));
         assert!(!strict.same_thing(a, b) || strict.esa().similarity(a, b) >= 0.95);
+    }
+
+    #[test]
+    fn symbol_predicate_matches_string_predicate() {
+        use ppchecker_nlp::intern;
+        let m = Matcher::new();
+        for (a, b) in
+            [("location", "gps location"), ("location", "calendar"), ("device id", "device id")]
+        {
+            assert_eq!(m.same_thing_sym(intern(a), intern(b)), m.same_thing(a, b));
+        }
     }
 
     #[test]

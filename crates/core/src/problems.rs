@@ -123,12 +123,7 @@ impl Report {
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "PPChecker report for {}", self.package)?;
-        writeln!(
-            f,
-            "  incomplete: {} ({} records)",
-            self.is_incomplete(),
-            self.missed.len()
-        )?;
+        writeln!(f, "  incomplete: {} ({} records)", self.is_incomplete(), self.missed.len())?;
         for m in &self.missed {
             writeln!(
                 f,

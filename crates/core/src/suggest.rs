@@ -89,9 +89,9 @@ pub fn suggest_fixes(report: &Report) -> Vec<Suggestion> {
             (
                 format!("We may collect your {phrase}."),
                 match m.channel {
-                    Channel::Code => format!(
-                        "the app's code collects {phrase} but the policy never mentions it"
-                    ),
+                    Channel::Code => {
+                        format!("the app's code collects {phrase} but the policy never mentions it")
+                    }
                     Channel::Description => format!(
                         "the description implies {phrase} use but the policy never mentions it"
                     ),
@@ -183,7 +183,7 @@ pub fn describe_leak(leak: &ppchecker_static::Leak) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problems::{IncorrectFinding, Inconsistency, MissedInfo};
+    use crate::problems::{Inconsistency, IncorrectFinding, MissedInfo};
     use ppchecker_apk::PrivateInfo;
     use ppchecker_policy::VerbCategory;
 

@@ -11,7 +11,17 @@ fn main() {
     let ev = evaluate(&d);
     eprintln!("evaluated in {:?}", t1.elapsed());
     println!("{ev:#?}");
-    println!("problem rate {:.1}%", ev.problem_rate()*100.0);
-    println!("cur precision {:.3} recall {:.3} f1 {:.3}", ev.cur.precision(), ev.cur.recall(), ev.cur.f1());
-    println!("d precision {:.3} recall {:.3} f1 {:.3}", ev.disclose.precision(), ev.disclose.recall(), ev.disclose.f1());
+    println!("problem rate {:.1}%", ev.problem_rate() * 100.0);
+    println!(
+        "cur precision {:.3} recall {:.3} f1 {:.3}",
+        ev.cur.precision(),
+        ev.cur.recall(),
+        ev.cur.f1()
+    );
+    println!(
+        "d precision {:.3} recall {:.3} f1 {:.3}",
+        ev.disclose.precision(),
+        ev.disclose.recall(),
+        ev.disclose.f1()
+    );
 }

@@ -145,9 +145,7 @@ mod tests {
         let repackaged = repackage(&clean.input, &[PrivateInfo::Contact]);
         let after = checker.check(&repackaged).unwrap();
         assert!(after.is_incomplete(), "{after}");
-        assert!(after
-            .missed_via_code()
-            .any(|m| m.info == PrivateInfo::Contact && m.retained));
+        assert!(after.missed_via_code().any(|m| m.info == PrivateInfo::Contact && m.retained));
     }
 
     #[test]

@@ -112,10 +112,7 @@ impl Evaluation {
 /// Panics if an app's dex fails to unpack (generated corpora never do).
 pub fn evaluate(dataset: &Dataset) -> Evaluation {
     let checker = dataset.make_checker();
-    let mut ev = Evaluation {
-        total_apps: dataset.apps.len(),
-        ..Evaluation::default()
-    };
+    let mut ev = Evaluation { total_apps: dataset.apps.len(), ..Evaluation::default() };
 
     for app in &dataset.apps {
         let report = checker.check(&app.input).expect("generated apps analyze cleanly");
@@ -139,18 +136,12 @@ pub fn evaluate_parallel(
 ) -> (Evaluation, ppchecker_engine::MetricsSummary) {
     let engine = ppchecker_engine::Engine::with_lib_policies(
         ppchecker_core::PPChecker::new(),
-        dataset
-            .lib_policies
-            .iter()
-            .map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+        dataset.lib_policies.iter().map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
     )
     .with_jobs(jobs);
 
     let batch = engine.run(dataset.iter_apps().cloned());
-    let mut ev = Evaluation {
-        total_apps: dataset.apps.len(),
-        ..Evaluation::default()
-    };
+    let mut ev = Evaluation { total_apps: dataset.apps.len(), ..Evaluation::default() };
     for (record, app) in batch.records.iter().zip(dataset.apps.iter()) {
         let report = record
             .report()
@@ -196,14 +187,10 @@ fn accumulate(ev: &mut Evaluation, app: &crate::dataset::GeneratedApp, report: &
     }
 
     // ---- incorrect ----
-    let incorrect_desc = report
-        .incorrect
-        .iter()
-        .any(|f| f.channel == ppchecker_core::Channel::Description);
-    let incorrect_code = report
-        .incorrect
-        .iter()
-        .any(|f| f.channel == ppchecker_core::Channel::Code);
+    let incorrect_desc =
+        report.incorrect.iter().any(|f| f.channel == ppchecker_core::Channel::Description);
+    let incorrect_code =
+        report.incorrect.iter().any(|f| f.channel == ppchecker_core::Channel::Code);
     if incorrect_desc {
         ev.incorrect_desc_flagged += 1;
     }
@@ -217,14 +204,8 @@ fn accumulate(ev: &mut Evaluation, app: &crate::dataset::GeneratedApp, report: &
     }
 
     // ---- inconsistent (Table IV) ----
-    let cur_flagged = report
-        .inconsistencies
-        .iter()
-        .any(|i| i.category != VerbCategory::Disclose);
-    let d_flagged = report
-        .inconsistencies
-        .iter()
-        .any(|i| i.category == VerbCategory::Disclose);
+    let cur_flagged = report.inconsistencies.iter().any(|i| i.category != VerbCategory::Disclose);
+    let d_flagged = report.inconsistencies.iter().any(|i| i.category == VerbCategory::Disclose);
     if cur_flagged {
         ev.cur.flagged += 1;
         if truth.inconsistent_cur() {

@@ -62,10 +62,8 @@ mod tests {
     use ppchecker_core::{AppInput, PPChecker};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ppchecker-export-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ppchecker-export-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -81,8 +79,7 @@ mod tests {
         // Reload from the files like the CLI does.
         let manifest =
             Manifest::from_text(&fs::read_to_string(dir.join("manifest.txt")).unwrap()).unwrap();
-        let dex =
-            packer::deserialize(&fs::read_to_string(dir.join("app.dex")).unwrap()).unwrap();
+        let dex = packer::deserialize(&fs::read_to_string(dir.join("app.dex")).unwrap()).unwrap();
         let reloaded = AppInput {
             package: manifest.package.clone(),
             policy_html: fs::read_to_string(dir.join("policy.html")).unwrap(),

@@ -8,9 +8,9 @@
 //! negative rate falls as `n` grows while the false positive rate creeps
 //! up, with the FN+FP minimum around n = 230 (detection 88.0%, FP 2.8%).
 
+use ppchecker_nlp::depparse::parse;
 use ppchecker_policy::bootstrap::{score_patterns, CorpusSentence};
 use ppchecker_policy::{match_sentence, Bootstrapper, Pattern, VerbCategory};
-use ppchecker_nlp::depparse::parse;
 
 /// Resources used in mining and labeled sentences (their head lemmas form
 /// the bootstrapper's object list).
@@ -113,10 +113,8 @@ const UNMINED_VERBS: &[&str] = &["display", "present", "exhibit", "depict", "por
 /// Builds the full mined-verb inventory (230 verbs): the 80 base verbs
 /// plus prefixed variants, in a deterministic order.
 pub fn verb_inventory() -> Vec<(String, VerbCategory)> {
-    let mut out: Vec<(String, VerbCategory)> = BASE_VERBS
-        .iter()
-        .map(|(v, c)| (v.to_string(), *c))
-        .collect();
+    let mut out: Vec<(String, VerbCategory)> =
+        BASE_VERBS.iter().map(|(v, c)| (v.to_string(), *c)).collect();
     // Words the bootstrapper's verb blacklist would reject (e.g. the
     // accidental "re"+"view" = "review") are skipped.
     const BLOCKED: &[&str] = &["review", "read", "contact", "agree", "visit", "click"];
@@ -229,11 +227,7 @@ pub fn fig12_corpus() -> Fig12Corpus {
         "the soundtrack features original music.",
     ];
     for i in 0..238 {
-        negative.push(format!(
-            "{} version note {}.",
-            IRRELEVANT[i % IRRELEVANT.len()],
-            i
-        ));
+        negative.push(format!("{} version note {}.", IRRELEVANT[i % IRRELEVANT.len()], i));
     }
     // 3 negatives matched by common (top-ranked) patterns.
     for (v, _) in verbs.iter().take(3) {
@@ -309,13 +303,15 @@ pub fn run_sweep(corpus: &Fig12Corpus, step: usize) -> Vec<SweepPoint> {
 pub fn best_n(sweep: &[SweepPoint]) -> SweepPoint {
     *sweep
         .iter()
-        .reduce(|best, p| {
-            if p.fn_rate + p.fp_rate <= best.fn_rate + best.fp_rate {
-                p
-            } else {
-                best
-            }
-        })
+        .reduce(
+            |best, p| {
+                if p.fn_rate + p.fp_rate <= best.fn_rate + best.fp_rate {
+                    p
+                } else {
+                    best
+                }
+            },
+        )
         .expect("sweep is non-empty")
 }
 
@@ -347,10 +343,7 @@ mod tests {
         let seeds = Pattern::seeds();
         for s in c.negative.iter().take(20) {
             let p = parse(s);
-            assert!(
-                match_sentence(&p, &seeds).is_none(),
-                "negative matched a seed: {s}"
-            );
+            assert!(match_sentence(&p, &seeds).is_none(), "negative matched a seed: {s}");
         }
     }
 
@@ -358,11 +351,7 @@ mod tests {
     fn mining_discovers_most_of_the_inventory() {
         let c = fig12_corpus();
         let patterns = Bootstrapper::default().mine(&c.mining);
-        assert!(
-            patterns.len() >= 200,
-            "only {} patterns mined",
-            patterns.len()
-        );
+        assert!(patterns.len() >= 200, "only {} patterns mined", patterns.len());
     }
 }
 
@@ -393,9 +382,7 @@ mod calibrated_tests {
         let detected = corpus
             .positive
             .iter()
-            .filter(|s| {
-                match_sentence(&parse(s), analyzer.patterns()).is_some()
-            })
+            .filter(|s| match_sentence(&parse(s), analyzer.patterns()).is_some())
             .count();
         assert_eq!(detected, 220, "88% of 250");
     }

@@ -4,8 +4,7 @@
 
 use crate::phrases::{
     description_phrases, pick, pick_policy_phrase, COLLECT_TEMPLATES, DISCLOSE_TEMPLATES,
-    NEGATIVE_TEMPLATES, NEUTRAL_DESCRIPTIONS, POLICY_BOILERPLATE, RETAIN_TEMPLATES,
-    USE_TEMPLATES,
+    NEGATIVE_TEMPLATES, NEUTRAL_DESCRIPTIONS, POLICY_BOILERPLATE, RETAIN_TEMPLATES, USE_TEMPLATES,
 };
 use crate::plan::AppSpec;
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
@@ -17,7 +16,8 @@ use rand::rngs::StdRng;
 
 /// Generates the app for a spec, deterministically under `seed`.
 pub fn generate_app(spec: &AppSpec, seed: u64) -> AppInput {
-    let mut rng = StdRng::seed_from_u64(seed ^ (spec.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (spec.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let package = format!("com.app{:04}.{}", spec.index, flavor(spec.index));
     AppInput {
         policy_html: generate_policy(spec, &mut rng),
@@ -29,8 +29,7 @@ pub fn generate_app(spec: &AppSpec, seed: u64) -> AppInput {
 
 fn flavor(index: usize) -> &'static str {
     const FLAVORS: &[&str] = &[
-        "weather", "game", "notes", "music", "fitness", "travel", "news", "photo", "chat",
-        "shop",
+        "weather", "game", "notes", "music", "fitness", "travel", "news", "photo", "chat", "shop",
     ];
     FLAVORS[index % FLAVORS.len()]
 }
@@ -44,15 +43,9 @@ pub fn generate_policy(spec: &AppSpec, rng: &mut StdRng) -> String {
     // (the NLTK-splitting hazard the paper's Step 1 repairs); the rest as
     // one sentence per item, cycling the four behaviour categories.
     if spec.policy_cover.len() >= 2 && spec.index % 5 == 1 {
-        let items: Vec<&str> = spec
-            .policy_cover
-            .iter()
-            .map(|&info| pick_policy_phrase(info, rng))
-            .collect();
-        sentences.push(format!(
-            "we will collect the following information: {}.",
-            items.join("; ")
-        ));
+        let items: Vec<&str> =
+            spec.policy_cover.iter().map(|&info| pick_policy_phrase(info, rng)).collect();
+        sentences.push(format!("we will collect the following information: {}.", items.join("; ")));
     } else {
         for (k, &info) in spec.policy_cover.iter().enumerate() {
             let phrase = pick_policy_phrase(info, rng);
@@ -174,9 +167,7 @@ fn access_path(info: PrivateInfo) -> AccessPath {
         PrivateInfo::Calendar => Uri("content://com.android.calendar"),
         PrivateInfo::Camera => Api("android.hardware.Camera", "open"),
         PrivateInfo::Audio => Api("android.media.AudioRecord", "read"),
-        PrivateInfo::AppList => {
-            Api("android.content.pm.PackageManager", "getInstalledPackages")
-        }
+        PrivateInfo::AppList => Api("android.content.pm.PackageManager", "getInstalledPackages"),
         PrivateInfo::Sms => Uri("content://sms"),
         PrivateInfo::CallLog => Uri("content://call_log"),
         PrivateInfo::BrowsingHistory => Api("android.provider.Browser", "getAllBookmarks"),
@@ -329,13 +320,8 @@ mod tests {
         let analysis = ppchecker_policy::PolicyAnalyzer::new().analyze_html(&app.policy_html);
         // Covered email must be mentioned; contact denial must be negative
         // retain.
-        assert!(analysis
-            .mentioned_resources()
-            .iter()
-            .any(|r| r.contains("mail")));
-        assert!(!analysis
-            .resources(VerbCategory::Retain, true)
-            .is_empty());
+        assert!(analysis.mentioned_resources().iter().any(|r| r.contains("mail")));
+        assert!(!analysis.resources(VerbCategory::Retain, true).is_empty());
     }
 
     #[test]

@@ -100,9 +100,7 @@ pub fn lib_policy(policies: &[LibPolicy], id: &str) -> Option<usize> {
 /// Returns `true` if the library's policy positively declares `category`
 /// of `info`.
 pub fn declares(kind: LibKind, category: VerbCategory, info: PrivateInfo) -> bool {
-    declarations_for(kind)
-        .iter()
-        .any(|d| d.category == category && d.info == info)
+    declarations_for(kind).iter().any(|d| d.category == category && d.info == info)
 }
 
 #[cfg(test)]

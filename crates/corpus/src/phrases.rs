@@ -8,17 +8,27 @@ use rand::prelude::*;
 /// category's canonical phrase).
 pub fn policy_phrases(info: PrivateInfo) -> &'static [&'static str] {
     match info {
-        PrivateInfo::Location => &["your location", "your location information", "your gps location"],
-        PrivateInfo::DeviceId => &["your device id", "your device identifier", "your unique device identifier"],
-        PrivateInfo::PhoneNumber => &["your phone number", "your telephone number", "your mobile number"],
+        PrivateInfo::Location => {
+            &["your location", "your location information", "your gps location"]
+        }
+        PrivateInfo::DeviceId => {
+            &["your device id", "your device identifier", "your unique device identifier"]
+        }
+        PrivateInfo::PhoneNumber => {
+            &["your phone number", "your telephone number", "your mobile number"]
+        }
         PrivateInfo::IpAddress => &["your ip address", "your internet protocol address"],
         PrivateInfo::Cookie => &["cookies", "browser cookies", "tracking cookies"],
-        PrivateInfo::Account => &["your account information", "your account name", "your user account"],
+        PrivateInfo::Account => {
+            &["your account information", "your account name", "your user account"]
+        }
         PrivateInfo::Calendar => &["your calendar events", "your calendar information"],
         PrivateInfo::Contact => &["your contacts", "your contact list", "your address book"],
         PrivateInfo::Camera => &["your photos", "camera pictures", "your camera images"],
         PrivateInfo::Audio => &["microphone audio", "your voice recordings", "audio recordings"],
-        PrivateInfo::AppList => &["your installed apps", "the app list", "your installed applications"],
+        PrivateInfo::AppList => {
+            &["your installed apps", "the app list", "your installed applications"]
+        }
         PrivateInfo::Sms => &["your sms messages", "your text messages"],
         PrivateInfo::CallLog => &["your call log", "your phone call log"],
         PrivateInfo::BrowsingHistory => &["your browsing history", "your web history"],
@@ -62,35 +72,24 @@ pub fn description_phrases(perm: &Permission) -> &'static [&'static str] {
             "invite friends from your phonebook",
             "sync with your contacts easily",
         ],
-        Permission::WriteContacts => &[
-            "merge duplicate contacts entries quickly",
-        ],
+        Permission::WriteContacts => &["merge duplicate contacts entries quickly"],
         Permission::GetAccounts => &[
             "sign in with your account",
             "sync data across devices with your account",
             "login with your existing account",
         ],
-        Permission::ReadCalendar => &[
-            "see your calendar events at a glance",
-            "plan your schedule with calendar events",
-        ],
-        Permission::RecordAudio => &[
-            "record voice memos with the microphone",
-            "voice recording for your notes",
-        ],
-        Permission::ReadSms => &[
-            "organize your sms text messages",
-            "backup text messages automatically",
-        ],
-        Permission::ReadPhoneState => &[
-            "works with your phone number and device",
-        ],
-        Permission::ReadCallLog => &[
-            "review your call history log",
-        ],
-        Permission::GetTasks => &[
-            "manage the running apps list",
-        ],
+        Permission::ReadCalendar => {
+            &["see your calendar events at a glance", "plan your schedule with calendar events"]
+        }
+        Permission::RecordAudio => {
+            &["record voice memos with the microphone", "voice recording for your notes"]
+        }
+        Permission::ReadSms => {
+            &["organize your sms text messages", "backup text messages automatically"]
+        }
+        Permission::ReadPhoneState => &["works with your phone number and device"],
+        Permission::ReadCallLog => &["review your call history log"],
+        Permission::GetTasks => &["manage the running apps list"],
         _ => &[],
     }
 }
@@ -152,11 +151,7 @@ pub const NEGATIVE_TEMPLATES: [&[&str]; 4] = [
         "we are not collecting {}.",
     ],
     &["we do not use {}.", "we will not use {}.", "we never process {}."],
-    &[
-        "we will not store {}.",
-        "we do not retain {}.",
-        "we never keep {}.",
-    ],
+    &["we will not store {}.", "we do not retain {}.", "we never keep {}."],
     &[
         "we will not share {}.",
         "we do not disclose {}.",

@@ -109,10 +109,7 @@ impl GroundTruth {
     pub fn detectable_problem(&self) -> bool {
         self.incomplete()
             || self.incorrect
-            || self
-                .inconsistencies
-                .iter()
-                .any(|p| p.genuine && p.detectable)
+            || self.inconsistencies.iter().any(|p| p.genuine && p.detectable)
     }
 
     /// Genuine plant in Table IV's collect/use/retain row.
@@ -197,9 +194,8 @@ fn desc_permission_for(index: usize) -> Vec<Permission> {
 
 /// Builds the complete 1,197-app plan.
 pub fn build_plan() -> Vec<AppSpec> {
-    let mut specs: Vec<AppSpec> = (0..APP_COUNT)
-        .map(|index| AppSpec { index, ..AppSpec::default() })
-        .collect();
+    let mut specs: Vec<AppSpec> =
+        (0..APP_COUNT).map(|index| AppSpec { index, ..AppSpec::default() }).collect();
 
     plan_incomplete(&mut specs);
     plan_incorrect(&mut specs);
@@ -244,9 +240,7 @@ fn plan_incomplete(specs: &mut [AppSpec]) {
     }
     // The two retain-incorrect apps get their fixed contact records and are
     // handled in plan_incorrect; exclude their records here.
-    let apps: Vec<usize> = RANGE_CODE_ONLY
-        .filter(|i| !INCORRECT_RETAIN_APPS.contains(i))
-        .collect();
+    let apps: Vec<usize> = RANGE_CODE_ONLY.filter(|i| !INCORRECT_RETAIN_APPS.contains(i)).collect();
     // 212 records over 156 apps: the first 56 apps take two records each
     // (paired from distant halves so the two infos differ).
     let doubles = records.len() - apps.len();
@@ -255,11 +249,8 @@ fn plan_incomplete(specs: &mut [AppSpec]) {
     for k in 0..doubles {
         assigned.push(vec![records[k], records[half + k]]);
     }
-    let mut rest: Vec<(PrivateInfo, bool)> = records[doubles..half]
-        .iter()
-        .chain(records[half + doubles..].iter())
-        .copied()
-        .collect();
+    let mut rest: Vec<(PrivateInfo, bool)> =
+        records[doubles..half].iter().chain(records[half + doubles..].iter()).copied().collect();
     for _ in doubles..apps.len() {
         assigned.push(vec![rest.pop().expect("enough records")]);
     }
@@ -408,11 +399,7 @@ fn plan_inconsistent(specs: &mut [AppSpec]) {
     for (k, i) in RANGE_INCONSISTENT_FP.enumerate() {
         let spec = &mut specs[i];
         let cur_row = k < 5;
-        let category = if cur_row {
-            VerbCategory::Collect
-        } else {
-            VerbCategory::Disclose
-        };
+        let category = if cur_row { VerbCategory::Collect } else { VerbCategory::Disclose };
         spec.policy_deny_generic.push(category);
         spec.libs.push("admob");
         spec.policy_cover = vec![PrivateInfo::Email];
@@ -460,8 +447,7 @@ fn plan_libs_and_fillers(specs: &mut [AppSpec]) {
         PrivateInfo::Calendar,
     ];
     // Harmless libs for fillers (declare nothing the fillers deny).
-    let filler_libs: Vec<&'static str> =
-        KNOWN_LIBS.iter().map(|l| l.id).collect();
+    let filler_libs: Vec<&'static str> = KNOWN_LIBS.iter().map(|l| l.id).collect();
     let mut lib_cursor = 0usize;
 
     for i in 0..specs.len() {
@@ -546,21 +532,12 @@ mod tests {
     fn incomplete_counts() {
         let plan = build_plan();
         assert_eq!(plan.iter().filter(|s| s.truth.incomplete()).count(), 222);
-        assert_eq!(
-            plan.iter().filter(|s| s.truth.incomplete_via_desc).count(),
-            64
-        );
-        assert_eq!(
-            plan.iter().filter(|s| s.truth.incomplete_via_code).count(),
-            180
-        );
+        assert_eq!(plan.iter().filter(|s| s.truth.incomplete_via_desc).count(), 64);
+        assert_eq!(plan.iter().filter(|s| s.truth.incomplete_via_code).count(), 180);
         let records: usize = plan.iter().map(|s| s.truth.code_missed.len()).sum();
         assert_eq!(records, 234);
-        let retained: usize = plan
-            .iter()
-            .flat_map(|s| s.truth.code_missed.iter())
-            .filter(|(_, r)| *r)
-            .count();
+        let retained: usize =
+            plan.iter().flat_map(|s| s.truth.code_missed.iter()).filter(|(_, r)| *r).count();
         assert_eq!(retained, 32);
     }
 
@@ -569,10 +546,7 @@ mod tests {
         use Permission::*;
         let plan = build_plan();
         let count = |p: Permission| {
-            plan.iter()
-                .flat_map(|s| s.truth.desc_missed_perms.iter())
-                .filter(|q| **q == p)
-                .count()
+            plan.iter().flat_map(|s| s.truth.desc_missed_perms.iter()).filter(|q| **q == p).count()
         };
         assert_eq!(count(AccessCoarseLocation), 14);
         assert_eq!(count(AccessFineLocation), 19);
@@ -596,19 +570,13 @@ mod tests {
         let cur_tp = plan
             .iter()
             .filter(|s| {
-                s.truth
-                    .inconsistencies
-                    .iter()
-                    .any(|p| p.genuine && p.cur_row && p.detectable)
+                s.truth.inconsistencies.iter().any(|p| p.genuine && p.cur_row && p.detectable)
             })
             .count();
         let d_tp = plan
             .iter()
             .filter(|s| {
-                s.truth
-                    .inconsistencies
-                    .iter()
-                    .any(|p| p.genuine && !p.cur_row && p.detectable)
+                s.truth.inconsistencies.iter().any(|p| p.genuine && !p.cur_row && p.detectable)
             })
             .count();
         assert_eq!(cur_tp, 41);
@@ -617,12 +585,7 @@ mod tests {
         assert_eq!(truly_inconsistent, 77); // 75 detectable + 2 FN apps
         let fp_cur = plan
             .iter()
-            .filter(|s| {
-                s.truth
-                    .inconsistencies
-                    .iter()
-                    .any(|p| !p.genuine && p.cur_row)
-            })
+            .filter(|s| s.truth.inconsistencies.iter().any(|p| !p.genuine && p.cur_row))
             .count();
         assert_eq!(fp_cur, 5);
     }
@@ -630,10 +593,7 @@ mod tests {
     #[test]
     fn lib_assignment_hits_879() {
         let plan = build_plan();
-        assert_eq!(
-            plan.iter().filter(|s| !s.libs.is_empty()).count(),
-            APPS_WITH_LIBS
-        );
+        assert_eq!(plan.iter().filter(|s| !s.libs.is_empty()).count(), APPS_WITH_LIBS);
     }
 
     #[test]
@@ -705,9 +665,7 @@ mod invariant_tests {
                     .iter()
                     .find(|(c, _, d)| *c == plant.category && *d)
                     .map(|(_, info, _)| *info);
-                let Some(info) = denied else {
-                    panic!("app {}: plant without denial", spec.index)
-                };
+                let Some(info) = denied else { panic!("app {}: plant without denial", spec.index) };
                 let satisfied = spec.libs.iter().any(|id| {
                     KNOWN_LIBS
                         .iter()

@@ -121,10 +121,10 @@ mod tests {
         let a = analyze_description(
             "Location aware tasks will help you to utilize your field force in optimum way.",
         );
-        assert!(a
-            .permissions
-            .iter()
-            .any(|p| matches!(p, Permission::AccessFineLocation | Permission::AccessCoarseLocation)));
+        assert!(a.permissions.iter().any(|p| matches!(
+            p,
+            Permission::AccessFineLocation | Permission::AccessCoarseLocation
+        )));
         assert!(a.info.contains(&PrivateInfo::Location));
     }
 

@@ -3,34 +3,20 @@
 //! Policy texts repeat across a corpus — the 81 third-party lib policies
 //! are checked against every app embedding them, template policies are
 //! shared by whole app families, and re-runs see identical bytes. The
-//! cache keys parsed [`PolicyAnalysis`] results by a 128-bit content
-//! hash of the HTML, so each distinct text is pushed through the NLP
-//! pipeline exactly once per run regardless of worker count.
+//! cache interns each policy's HTML and keys parsed [`PolicyAnalysis`]
+//! results by the resulting [`Symbol`], so each distinct text is pushed
+//! through the NLP pipeline exactly once per run regardless of worker
+//! count, collisions are impossible by construction (the interner
+//! compares bytes, not hashes), and repeat lookups probe a `u32`-keyed
+//! map. The trade-off: each *distinct* policy text stays resident in the
+//! interner for the life of the process — bounded by corpus text volume,
+//! which the resident analyses already dominate (see DESIGN.md §9).
 
+use ppchecker_nlp::{intern, Symbol};
 use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
-
-/// A 128-bit content key: two independent FNV-1a streams over the same
-/// bytes. Collisions are out of reach for corpus-scale inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ContentKey(u64, u64);
-
-impl ContentKey {
-    /// Hashes `bytes`.
-    pub fn of(bytes: &[u8]) -> Self {
-        let mut a: u64 = 0xCBF2_9CE4_8422_2325;
-        let mut b: u64 = 0x6C62_272E_07BB_0142;
-        for &byte in bytes {
-            a ^= byte as u64;
-            a = a.wrapping_mul(0x0000_0100_0000_01B3);
-            b = b.wrapping_mul(0x0000_0100_0000_01B3);
-            b ^= byte as u64;
-        }
-        ContentKey(a, b)
-    }
-}
 
 /// Hit/miss counters of one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,7 +45,7 @@ impl CacheStats {
 /// a batch run.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    policies: RwLock<HashMap<ContentKey, Arc<PolicyAnalysis>>>,
+    policies: RwLock<HashMap<Symbol, Arc<PolicyAnalysis>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -73,21 +59,32 @@ impl ArtifactCache {
     /// Returns the analysis of `html`, computing it with `analyzer` on
     /// first sight of the text.
     pub fn policy(&self, analyzer: &PolicyAnalyzer, html: &str) -> Arc<PolicyAnalysis> {
-        let key = ContentKey::of(html.as_bytes());
+        let key = intern(html);
         if let Some(hit) = self.policies.read().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         // Analyze outside the write lock; a concurrent duplicate costs
         // one redundant parse but never blocks other texts. First insert
-        // wins so every consumer shares one allocation.
+        // wins so every consumer shares one allocation, and only the
+        // winner counts a miss — the loser's lookup resolves from the
+        // cache, so `misses` always equals the number of distinct texts.
         let fresh = Arc::new(analyzer.analyze_html(html));
         let mut map = self.policies.write().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&fresh));
-        let out = Arc::clone(entry);
-        drop(map);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        out
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                let out = Arc::clone(entry.get());
+                drop(map);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&fresh));
+                drop(map);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                fresh
+            }
+        }
     }
 
     /// Snapshot of the counters.
@@ -105,13 +102,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn distinct_bytes_distinct_keys() {
-        let a = ContentKey::of(b"we collect location");
-        let b = ContentKey::of(b"we collect location!");
-        let c = ContentKey::of(b"we collect locatioN");
+    fn distinct_texts_distinct_keys() {
+        let a = intern("we collect location");
+        let b = intern("we collect location!");
+        let c = intern("we collect locatioN");
         assert_ne!(a, b);
         assert_ne!(a, c);
-        assert_eq!(a, ContentKey::of(b"we collect location"));
+        assert_eq!(a, intern("we collect location"));
     }
 
     #[test]

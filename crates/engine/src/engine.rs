@@ -98,12 +98,7 @@ impl Engine {
             checker.register_lib_policy_analysis(&id, (*analysis).clone());
             count += 1;
         }
-        Engine {
-            checker,
-            cache,
-            config: EngineConfig::default(),
-            lib_policies: count,
-        }
+        Engine { checker, cache, config: EngineConfig::default(), lib_policies: count }
     }
 
     /// Sets the worker count (clamped to ≥ 1).
@@ -115,10 +110,8 @@ impl Engine {
 
     /// Overrides the full scheduler configuration.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
-        self.config = EngineConfig {
-            jobs: config.jobs.max(1),
-            channel_depth: config.channel_depth.max(1),
-        };
+        self.config =
+            EngineConfig { jobs: config.jobs.max(1), channel_depth: config.channel_depth.max(1) };
         self
     }
 
@@ -148,11 +141,8 @@ impl Engine {
         let (esa_hits_before, esa_misses_before) = Interpreter::shared().vector_cache_stats();
 
         let jobs = self.config.jobs.max(1);
-        let mut outputs = if jobs == 1 {
-            self.run_serial(apps)
-        } else {
-            self.run_parallel(apps, jobs)
-        };
+        let mut outputs =
+            if jobs == 1 { self.run_serial(apps) } else { self.run_parallel(apps, jobs) };
         outputs.sort_by_key(|(record, _)| record.index);
 
         let mut stage_totals = StageTimings::default();
@@ -185,6 +175,7 @@ impl Engine {
                 misses: esa_misses_after - esa_misses_before,
                 entries: Interpreter::shared().vector_cache_len(),
             },
+            interner: ppchecker_nlp::Interner::global().stats(),
         };
         BatchReport { records, metrics }
     }
@@ -193,10 +184,7 @@ impl Engine {
     where
         I: IntoIterator<Item = AppInput>,
     {
-        apps.into_iter()
-            .enumerate()
-            .map(|(index, app)| self.process_one(index, app))
-            .collect()
+        apps.into_iter().enumerate().map(|(index, app)| self.process_one(index, app)).collect()
     }
 
     fn run_parallel<I>(&self, apps: I, jobs: usize) -> Vec<(AppRecord, StageTimings)>
@@ -245,20 +233,16 @@ impl Engine {
     fn process_one(&self, index: usize, app: AppInput) -> (AppRecord, StageTimings) {
         let package = app.package.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.checker
-                .check_with_policy_provider(&app, |analyzer, html| self.cache.policy(analyzer, html))
+            self.checker.check_with_policy_provider(&app, |analyzer, html| {
+                self.cache.policy(analyzer, html)
+            })
         }));
         match outcome {
-            Ok(Ok((report, timings))) => (
-                AppRecord { index, package, outcome: AppOutcome::Report(report) },
-                timings,
-            ),
+            Ok(Ok((report, timings))) => {
+                (AppRecord { index, package, outcome: AppOutcome::Report(report) }, timings)
+            }
             Ok(Err(check_error)) => (
-                AppRecord {
-                    index,
-                    package,
-                    outcome: AppOutcome::Error(check_error.to_string()),
-                },
+                AppRecord { index, package, outcome: AppOutcome::Error(check_error.to_string()) },
                 StageTimings::default(),
             ),
             Err(panic) => (

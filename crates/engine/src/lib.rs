@@ -9,9 +9,10 @@
 //!   source is consumed under backpressure instead of being materialized.
 //!   A panicking or failing app becomes one error record; the run survives.
 //! * **Artifact caching** — [`ArtifactCache`] memoizes parsed policy
-//!   analyses by content hash, and the ESA interpreter memoizes
-//!   interpretation vectors, so duplicate texts (lib policies, template
-//!   policies) are analyzed exactly once per run.
+//!   analyses keyed by the interned symbol of the HTML, and the ESA
+//!   interpreter memoizes interpretation vectors by phrase symbol, so
+//!   duplicate texts (lib policies, template policies) are analyzed
+//!   exactly once per run.
 //! * **Metrics** — [`MetricsSummary`] reports per-stage wall time, cache
 //!   hit rates, throughput, and effective parallelism.
 //! * **Deterministic aggregation** — records come back in submission
@@ -34,7 +35,7 @@ pub mod engine;
 pub mod metrics;
 pub mod report;
 
-pub use cache::{ArtifactCache, CacheStats, ContentKey};
+pub use cache::{ArtifactCache, CacheStats};
 pub use engine::{available_jobs, Engine, EngineConfig};
 pub use metrics::MetricsSummary;
 pub use report::{AggregateSummary, AppOutcome, AppRecord, BatchReport};

@@ -7,6 +7,7 @@
 
 use crate::cache::CacheStats;
 use ppchecker_core::StageTimings;
+use ppchecker_nlp::InternerStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -33,6 +34,9 @@ pub struct MetricsSummary {
     /// ESA interpretation-vector cache counters, as a delta over the run
     /// (the interpreter is process-wide).
     pub esa_cache: CacheStats,
+    /// Global interner occupancy at the end of the run (process-wide:
+    /// includes the static pre-seed plus everything interned so far).
+    pub interner: InternerStats,
 }
 
 impl MetricsSummary {
@@ -86,12 +90,17 @@ impl fmt::Display for MetricsSummary {
             self.policy_cache.entries,
             self.lib_policies,
         )?;
-        write!(
+        writeln!(
             f,
             "esa cache: {} hits / {} misses ({:.1}% hit rate)",
             self.esa_cache.hits,
             self.esa_cache.misses,
             self.esa_cache.hit_rate() * 100.0,
+        )?;
+        write!(
+            f,
+            "interner: {} symbols ({} preseeded, {} bytes)",
+            self.interner.symbols, self.interner.preseeded, self.interner.bytes,
         )
     }
 }
@@ -131,5 +140,6 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("policy cache"));
         assert!(text.contains("stages:"));
+        assert!(text.contains("interner:"));
     }
 }

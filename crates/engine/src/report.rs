@@ -105,10 +105,7 @@ pub struct BatchReport {
 impl BatchReport {
     /// Aggregates the records into deterministic counts.
     pub fn aggregate(&self) -> AggregateSummary {
-        let mut agg = AggregateSummary {
-            apps: self.records.len(),
-            ..AggregateSummary::default()
-        };
+        let mut agg = AggregateSummary { apps: self.records.len(), ..AggregateSummary::default() };
         for record in &self.records {
             match &record.outcome {
                 AppOutcome::Error(_) => agg.errors += 1,

@@ -1,6 +1,7 @@
 //! The ESA interpreter: term → concept-space vectors and text similarity.
 
 use crate::kb::{concepts, Concept};
+use ppchecker_nlp::intern::{Interner, Symbol};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -31,12 +32,15 @@ pub struct Interpreter {
     /// term → vector of (concept, tf-idf weight).
     index: HashMap<String, Vec<(usize, f64)>>,
     n_concepts: usize,
-    /// Memoized interpretation vectors (text → vector + norm). Policy
-    /// phrases and resource names repeat massively across a corpus, so
-    /// [`similarity`](Self::similarity) is served from here after the
-    /// first interpretation of each text. Bounded by
-    /// [`VECTOR_CACHE_CAP`]; thread-safe.
-    vector_cache: RwLock<HashMap<String, Arc<CachedVector>>>,
+    /// Memoized interpretation vectors, keyed by interned [`Symbol`]
+    /// (text → vector + norm). Policy phrases and resource names repeat
+    /// massively across a corpus, so [`similarity`](Self::similarity) is
+    /// served from here — one `u32` hash probe, no string hashing — after
+    /// the first interpretation of each text. Bounded by
+    /// [`VECTOR_CACHE_CAP`]; thread-safe. Texts are only interned once the
+    /// cache admits them, so the cap also bounds interner growth from this
+    /// path.
+    vector_cache: RwLock<HashMap<Symbol, Arc<CachedVector>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
@@ -120,31 +124,51 @@ impl Interpreter {
         v
     }
 
-    /// The memoized interpretation of `text`, with its norm.
+    /// The memoized interpretation of `text`, with its norm. Probes the
+    /// interner without interning first: a text that was never interned
+    /// cannot be cached yet.
     fn cached_vector(&self, text: &str) -> Arc<CachedVector> {
-        if let Some(hit) = self.vector_cache.read().expect("esa cache lock").get(text) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        if let Some(sym) = Interner::global().get(text) {
+            return self.cached_vector_sym(sym);
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let vector = self.interpret(text);
-        let norm = vector.values().map(|v| v * v).sum::<f64>().sqrt();
-        let entry = Arc::new(CachedVector { vector, norm });
+        let entry = Arc::new(self.compute_vector(text));
         let mut cache = self.vector_cache.write().expect("esa cache lock");
         if cache.len() < VECTOR_CACHE_CAP {
+            // Intern only when the cache admits the text, so a full cache
+            // never grows the interner.
+            let sym = Interner::global().intern(text);
             // Two threads may race to interpret the same text; both
             // compute the same pure result, so either insert wins.
-            cache.entry(text.to_string()).or_insert_with(|| Arc::clone(&entry));
+            cache.entry(sym).or_insert_with(|| Arc::clone(&entry));
         }
         entry
     }
 
+    /// Symbol-keyed variant of [`cached_vector`](Self::cached_vector).
+    fn cached_vector_sym(&self, sym: Symbol) -> Arc<CachedVector> {
+        if let Some(hit) = self.vector_cache.read().expect("esa cache lock").get(&sym) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(self.compute_vector(sym.as_str()));
+        let mut cache = self.vector_cache.write().expect("esa cache lock");
+        if cache.len() < VECTOR_CACHE_CAP {
+            cache.entry(sym).or_insert_with(|| Arc::clone(&entry));
+        }
+        entry
+    }
+
+    fn compute_vector(&self, text: &str) -> CachedVector {
+        let vector = self.interpret(text);
+        let norm = vector.values().map(|v| v * v).sum::<f64>().sqrt();
+        CachedVector { vector, norm }
+    }
+
     /// `(hits, misses)` of the interpretation-vector cache.
     pub fn vector_cache_stats(&self) -> (u64, u64) {
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
+        (self.cache_hits.load(Ordering::Relaxed), self.cache_misses.load(Ordering::Relaxed))
     }
 
     /// Number of memoized interpretation vectors.
@@ -160,8 +184,16 @@ impl Interpreter {
     /// [`vector_cache_stats`](Self::vector_cache_stats)); the memo is a
     /// pure-function cache, so results are identical with or without it.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
-        let ca = self.cached_vector(a);
-        let cb = self.cached_vector(b);
+        Self::cosine_cached(&self.cached_vector(a), &self.cached_vector(b))
+    }
+
+    /// Symbol-keyed similarity: both interpretation vectors are looked up
+    /// (and memoized) under the symbols themselves.
+    pub fn similarity_sym(&self, a: Symbol, b: Symbol) -> f64 {
+        Self::cosine_cached(&self.cached_vector_sym(a), &self.cached_vector_sym(b))
+    }
+
+    fn cosine_cached(ca: &CachedVector, cb: &CachedVector) -> f64 {
         if ca.norm == 0.0 || cb.norm == 0.0 {
             return 0.0;
         }
@@ -170,10 +202,7 @@ impl Interpreter {
         } else {
             (&cb.vector, &ca.vector)
         };
-        let dot: f64 = small
-            .iter()
-            .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
-            .sum();
+        let dot: f64 = small.iter().filter_map(|(k, va)| large.get(k).map(|vb| va * vb)).sum();
         (dot / (ca.norm * cb.norm)).clamp(0.0, 1.0)
     }
 
@@ -181,6 +210,11 @@ impl Interpreter {
     /// information refer to the same thing (similarity ≥ threshold).
     pub fn same_thing(&self, a: &str, b: &str) -> bool {
         self.similarity(a, b) >= SIMILARITY_THRESHOLD
+    }
+
+    /// Symbol-keyed [`same_thing`](Self::same_thing).
+    pub fn same_thing_sym(&self, a: Symbol, b: Symbol) -> bool {
+        self.similarity_sym(a, b) >= SIMILARITY_THRESHOLD
     }
 }
 
@@ -190,10 +224,7 @@ pub fn cosine(a: &ConceptVector, b: &ConceptVector) -> f64 {
         return 0.0;
     }
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
-        .sum();
+    let dot: f64 = small.iter().filter_map(|(k, va)| large.get(k).map(|vb| va * vb)).sum();
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -205,10 +236,10 @@ pub fn cosine(a: &ConceptVector, b: &ConceptVector) -> f64 {
 
 /// Stopwords excluded from interpretation.
 const STOPWORDS: &[&str] = &[
-    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "by", "for", "with", "from",
-    "is", "are", "was", "were", "be", "been", "will", "would", "can", "could", "may", "might",
-    "we", "you", "your", "our", "their", "this", "that", "these", "those", "it", "its", "as",
-    "not", "no", "any", "all", "such", "other", "about", "into", "if", "when", "than", "then",
+    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "by", "for", "with", "from", "is",
+    "are", "was", "were", "be", "been", "will", "would", "can", "could", "may", "might", "we",
+    "you", "your", "our", "their", "this", "that", "these", "those", "it", "its", "as", "not",
+    "no", "any", "all", "such", "other", "about", "into", "if", "when", "than", "then",
 ];
 
 /// Extracts normalized terms: lowercase alphabetic tokens, stopwords

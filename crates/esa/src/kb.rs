@@ -118,10 +118,7 @@ const CONCEPTS: &[Concept] = &[
         text: "birthday birth date date of birth birthdate age anniversary born \
                birth year dob",
     },
-    Concept {
-        title: "Gender",
-        text: "gender sex male female demographic gender identity",
-    },
+    Concept { title: "Gender", text: "gender sex male female demographic gender identity" },
     Concept {
         title: "Personal information",
         text: "personal information personally identifiable information pii \
@@ -395,10 +392,7 @@ const CONCEPTS: &[Concept] = &[
         text: "language locale translation english spanish localization \
                dialect",
     },
-    Concept {
-        title: "Time zone",
-        text: "time zone clock date time timestamp utc local time",
-    },
+    Concept { title: "Time zone", text: "time zone clock date time timestamp utc local time" },
     Concept {
         title: "Neighborhood",
         text: "nearby city area district neighborhood around town local \

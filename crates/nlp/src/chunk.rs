@@ -4,6 +4,7 @@
 //! operate on base noun phrases: maximal `(DT|PRP$|JJ|CD|NN*)* NN*` spans
 //! whose head is the final nominal token.
 
+use crate::intern::Symbol;
 use crate::token::{Tag, Token};
 
 /// A base noun phrase: token span `[start, end)` with `head` index.
@@ -20,11 +21,7 @@ pub struct NounPhrase {
 impl NounPhrase {
     /// Returns the phrase text joined with single spaces.
     pub fn text(&self, tokens: &[Token]) -> String {
-        tokens[self.start..self.end]
-            .iter()
-            .map(|t| t.lower.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+        tokens[self.start..self.end].iter().map(|t| t.lower()).collect::<Vec<_>>().join(" ")
     }
 
     /// Returns the phrase text without leading determiners/possessives.
@@ -35,11 +32,23 @@ impl NounPhrase {
         while s < self.head && matches!(tokens[s].tag, Tag::Det | Tag::PronounPoss) {
             s += 1;
         }
-        tokens[s..self.end]
-            .iter()
-            .map(|t| t.lower.as_str())
-            .collect::<Vec<_>>()
-            .join(" ")
+        tokens[s..self.end].iter().map(|t| t.lower()).collect::<Vec<_>>().join(" ")
+    }
+
+    /// The phrase's content as a single interned symbol.
+    ///
+    /// Single-token phrases reuse the token's own `lower` symbol; multi-word
+    /// phrases intern the joined content text once and hit the interner's
+    /// read path on every later occurrence.
+    pub fn content_symbol(&self, tokens: &[Token]) -> Symbol {
+        let mut s = self.start;
+        while s < self.head && matches!(tokens[s].tag, Tag::Det | Tag::PronounPoss) {
+            s += 1;
+        }
+        if self.end - s == 1 {
+            return tokens[s].lower;
+        }
+        crate::intern::intern(&self.content_text(tokens))
     }
 
     /// Returns `true` if `idx` lies within the phrase.
@@ -71,11 +80,7 @@ pub fn chunk_nps(tokens: &[Token]) -> Vec<NounPhrase> {
     while i < n {
         let t = &tokens[i];
         if t.tag == Tag::Pronoun {
-            chunks.push(NounPhrase {
-                start: i,
-                end: i + 1,
-                head: i,
-            });
+            chunks.push(NounPhrase { start: i, end: i + 1, head: i });
             i += 1;
             continue;
         }
@@ -84,20 +89,13 @@ pub fn chunk_nps(tokens: &[Token]) -> Vec<NounPhrase> {
             let mut last_nominal: Option<usize> = None;
             let mut j = i;
             while j < n && tokens[j].tag.is_np_interior() {
-                if matches!(
-                    tokens[j].tag,
-                    Tag::Noun | Tag::NounPlural | Tag::NounProper
-                ) {
+                if matches!(tokens[j].tag, Tag::Noun | Tag::NounPlural | Tag::NounProper) {
                     last_nominal = Some(j);
                 }
                 j += 1;
             }
             if let Some(head) = last_nominal {
-                chunks.push(NounPhrase {
-                    start,
-                    end: head + 1,
-                    head,
-                });
+                chunks.push(NounPhrase { start, end: head + 1, head });
                 i = head + 1;
                 continue;
             }
@@ -126,7 +124,7 @@ mod tests {
         assert_eq!(nps.len(), 2);
         assert_eq!(nps[0].text(&toks), "we");
         assert_eq!(nps[1].text(&toks), "your location");
-        assert_eq!(toks[nps[1].head].lower, "location");
+        assert_eq!(toks[nps[1].head].lower(), "location");
     }
 
     #[test]
@@ -154,9 +152,24 @@ mod tests {
     }
 
     #[test]
+    fn content_symbol_matches_content_text() {
+        let toks = tag_str("we collect your location and the personal information");
+        for np in chunk_nps(&toks) {
+            assert_eq!(np.content_symbol(&toks).as_str(), np.content_text(&toks));
+        }
+    }
+
+    #[test]
+    fn single_token_content_reuses_token_symbol() {
+        let toks = tag_str("your location");
+        let nps = chunk_nps(&toks);
+        assert_eq!(nps[0].content_symbol(&toks), toks[nps[0].head].lower);
+    }
+
+    #[test]
     fn head_is_last_nominal() {
         let toks = tag_str("your real phone number");
         let nps = chunk_nps(&toks);
-        assert_eq!(toks[nps[0].head].lower, "number");
+        assert_eq!(toks[nps[0].head].lower(), "number");
     }
 }

@@ -17,10 +17,25 @@
 //!    prepositional phrases and coordination.
 
 use crate::chunk::{chunk_nps, NounPhrase};
-use crate::lexicon::{BE_FORMS, DO_FORMS, HAVE_FORMS, SUBORDINATORS};
+use crate::intern::{Symbol, SymbolSet};
+use crate::lexicon;
 use crate::tagger;
 use crate::token::{Tag, Token};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Negation markers attached with the `neg` relation.
+fn is_neg_word(sym: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    SET.get_or_init(|| SymbolSet::new(&["not", "n't", "never", "hardly", "rarely", "seldom"]))
+        .contains(sym)
+}
+
+/// The interned comma symbol (pre-seeded, so this never allocates).
+fn comma() -> Symbol {
+    static COMMA: OnceLock<Symbol> = OnceLock::new();
+    *COMMA.get_or_init(|| crate::intern::Interner::global().intern_static(","))
+}
 
 /// Typed-dependency relations (Stanford dependencies subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,27 +149,17 @@ pub struct Parse {
 impl Parse {
     /// All dependents of `head` with relation `rel`.
     pub fn dependents(&self, head: usize, rel: Rel) -> Vec<usize> {
-        self.deps
-            .iter()
-            .filter(|d| d.head == head && d.rel == rel)
-            .map(|d| d.dep)
-            .collect()
+        self.deps.iter().filter(|d| d.head == head && d.rel == rel).map(|d| d.dep).collect()
     }
 
     /// The first dependent of `head` with relation `rel`.
     pub fn dependent(&self, head: usize, rel: Rel) -> Option<usize> {
-        self.deps
-            .iter()
-            .find(|d| d.head == head && d.rel == rel)
-            .map(|d| d.dep)
+        self.deps.iter().find(|d| d.head == head && d.rel == rel).map(|d| d.dep)
     }
 
     /// The governor of `dep` under relation `rel`.
     pub fn governor(&self, dep: usize, rel: Rel) -> Option<usize> {
-        self.deps
-            .iter()
-            .find(|d| d.dep == dep && d.rel == rel)
-            .map(|d| d.head)
+        self.deps.iter().find(|d| d.dep == dep && d.rel == rel).map(|d| d.head)
     }
 
     /// Returns `true` if token `idx` has a passive auxiliary.
@@ -172,9 +177,14 @@ impl Parse {
         self.groups.iter().find(|g| g.main == idx)
     }
 
-    /// Lemma of token `idx`.
-    pub fn lemma(&self, idx: usize) -> &str {
-        &self.tokens[idx].lemma
+    /// Lemma of token `idx` as text.
+    pub fn lemma(&self, idx: usize) -> &'static str {
+        self.tokens[idx].lemma()
+    }
+
+    /// Lemma of token `idx` as an interned symbol.
+    pub fn lemma_sym(&self, idx: usize) -> Symbol {
+        self.tokens[idx].lemma
     }
 
     /// Renders the dependency list like the Stanford "typed dependencies"
@@ -182,15 +192,15 @@ impl Parse {
     pub fn to_dep_string(&self) -> String {
         let mut out = String::new();
         if let Some(r) = self.root {
-            out.push_str(&format!("root(ROOT-0, {}-{})\n", self.tokens[r].lower, r + 1));
+            out.push_str(&format!("root(ROOT-0, {}-{})\n", self.tokens[r].lower(), r + 1));
         }
         for d in &self.deps {
             out.push_str(&format!(
                 "{}({}-{}, {}-{})\n",
                 d.rel,
-                self.tokens[d.head].lower,
+                self.tokens[d.head].lower(),
                 d.head + 1,
-                self.tokens[d.dep].lower,
+                self.tokens[d.dep].lower(),
                 d.dep + 1
             ));
         }
@@ -206,11 +216,11 @@ impl Parse {
 /// use ppchecker_nlp::depparse::{parse, Rel};
 /// let p = parse("we will provide your information to third party companies");
 /// let root = p.root.unwrap();
-/// assert_eq!(p.tokens[root].lemma, "provide");
+/// assert_eq!(p.tokens[root].lemma(), "provide");
 /// let subj = p.dependent(root, Rel::Nsubj).unwrap();
-/// assert_eq!(p.tokens[subj].lower, "we");
+/// assert_eq!(p.tokens[subj].lower(), "we");
 /// let obj = p.dependent(root, Rel::Dobj).unwrap();
-/// assert_eq!(p.tokens[obj].lower, "information");
+/// assert_eq!(p.tokens[obj].lower(), "information");
 /// ```
 pub fn parse(sentence: &str) -> Parse {
     let tokens = tagger::tag_str(sentence);
@@ -259,22 +269,20 @@ pub fn parse_tokens(tokens: Vec<Token>) -> Parse {
 
     // Post-verbal attachment: objects, PPs, coordination.
     for (gi, g) in groups.iter().enumerate() {
-        let limit = groups
-            .get(gi + 1)
-            .map(|n| n.start)
-            .unwrap_or(tokens.len());
+        let limit = groups.get(gi + 1).map(|n| n.start).unwrap_or(tokens.len());
         attach_postverbal(&tokens, &chunks, g, limit, &mut deps);
     }
 
     // Mark edges for subordinators.
     for (marker, span_end) in &sub_spans {
-        if let Some(g) = groups
-            .iter()
-            .find(|g| g.main > *marker && g.main < *span_end)
-        {
+        if let Some(g) = groups.iter().find(|g| g.main > *marker && g.main < *span_end) {
             deps.push(Dependency { head: g.main, dep: *marker, rel: Rel::Mark });
             if let Some(r) = root {
-                if r != g.main && !deps.iter().any(|d| d.dep == g.main && matches!(d.rel, Rel::Advcl | Rel::Xcomp | Rel::Conj)) {
+                if r != g.main
+                    && !deps.iter().any(|d| {
+                        d.dep == g.main && matches!(d.rel, Rel::Advcl | Rel::Xcomp | Rel::Conj)
+                    })
+                {
                     deps.push(Dependency { head: r, dep: g.main, rel: Rel::Advcl });
                 }
             }
@@ -296,7 +304,7 @@ fn in_spans(spans: &[(usize, usize)], idx: usize) -> bool {
 fn subordinate_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
-        let is_marker = SUBORDINATORS.contains(&t.lower.as_str())
+        let is_marker = lexicon::is_subordinator(t.lower)
             && t.tag == Tag::Prep
             // "before/after + NP" is a plain PP, not a clause; require a verb
             // somewhere after the marker and before the span end.
@@ -307,7 +315,7 @@ fn subordinate_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
         // Span ends at the next comma at this level, or sentence end.
         let end = tokens[i + 1..]
             .iter()
-            .position(|t| t.lower == ",")
+            .position(|t| t.lower == comma())
             .map(|p| i + 1 + p)
             .unwrap_or(tokens.len());
         // Require a verbal token inside the span for it to be a clause.
@@ -344,7 +352,10 @@ fn find_verb_groups(tokens: &[Token]) -> Vec<VerbGroup> {
                 // Allow adverbs inside the group only if more verbal
                 // material follows ("will not collect").
                 let lookahead = &tokens[j + 1];
-                if lookahead.tag == Tag::Modal || lookahead.tag.is_verb() || (lookahead.tag == Tag::Adv && j + 2 < n && tokens[j + 2].tag.is_verb()) {
+                if lookahead.tag == Tag::Modal
+                    || lookahead.tag.is_verb()
+                    || (lookahead.tag == Tag::Adv && j + 2 < n && tokens[j + 2].tag.is_verb())
+                {
                     j += 1;
                 } else {
                     break;
@@ -369,7 +380,7 @@ fn find_verb_groups(tokens: &[Token]) -> Vec<VerbGroup> {
         // Copular predicate: "be"-form main followed by an adjective
         // ("we are able ...") — the adjective becomes the main token, as in
         // Stanford parses.
-        if BE_FORMS.contains(&tokens[main].lower.as_str()) {
+        if lexicon::is_be_form(tokens[main].lower) {
             let mut k = main + 1;
             while k < n && tokens[k].tag == Tag::Adv {
                 k += 1;
@@ -385,9 +396,7 @@ fn find_verb_groups(tokens: &[Token]) -> Vec<VerbGroup> {
         // participle main.
         let passive = !copular
             && tokens[main].tag == Tag::VerbPastPart
-            && tokens[start..main]
-                .iter()
-                .any(|t| BE_FORMS.contains(&t.lower.as_str()));
+            && tokens[start..main].iter().any(|t| lexicon::is_be_form(t.lower));
 
         groups.push(VerbGroup { start, end, main, passive, copular });
         i = end.max(j);
@@ -400,15 +409,14 @@ fn attach_group_internals(tokens: &[Token], g: &VerbGroup, deps: &mut Vec<Depend
         if i == g.main {
             continue;
         }
-        let rel = if matches!(t.lower.as_str(), "not" | "n't" | "never" | "hardly" | "rarely" | "seldom")
-        {
+        let rel = if is_neg_word(t.lower) {
             Rel::Neg
         } else if t.tag == Tag::Modal
-            || HAVE_FORMS.contains(&t.lower.as_str())
-            || DO_FORMS.contains(&t.lower.as_str())
+            || lexicon::is_have_form(t.lower)
+            || lexicon::is_do_form(t.lower)
         {
             Rel::Aux
-        } else if BE_FORMS.contains(&t.lower.as_str()) {
+        } else if lexicon::is_be_form(t.lower) {
             if g.passive {
                 Rel::AuxPass
             } else {
@@ -418,7 +426,7 @@ fn attach_group_internals(tokens: &[Token], g: &VerbGroup, deps: &mut Vec<Depend
             Rel::Dep
         } else if t.tag.is_verb() {
             // e.g. "have been collected": "been" under "collected".
-            if BE_FORMS.contains(&t.lower.as_str()) && g.passive {
+            if lexicon::is_be_form(t.lower) && g.passive {
                 Rel::AuxPass
             } else {
                 Rel::Aux
@@ -443,7 +451,7 @@ fn attach_subject(
     let mut slack = 0;
     while pos > 0 && slack < 2 {
         let before = &tokens[pos - 1];
-        if before.tag == Tag::Adv || before.lower == "," {
+        if before.tag == Tag::Adv || before.lower == comma() {
             pos -= 1;
             slack += 1;
             continue;
@@ -469,9 +477,7 @@ fn attach_subject(
     let mut current = chunk;
     while let Some(prev) = chunks.iter().find(|c| {
         c.end <= current.start && {
-            tokens[c.end..current.start]
-                .iter()
-                .all(|t| t.tag == Tag::Conj || t.lower == ",")
+            tokens[c.end..current.start].iter().all(|t| t.tag == Tag::Conj || t.lower == comma())
                 && c.end < current.start
         }
     }) {
@@ -499,10 +505,8 @@ fn link_groups(
         }
         // "to V" → complement of nearest previous group in the same clause.
         if preceded_by_to(tokens, g) {
-            let Some(prev) = groups[..gi]
-                .iter()
-                .rev()
-                .find(|p| same_clause(sub_spans, p.main, g.main))
+            let Some(prev) =
+                groups[..gi].iter().rev().find(|p| same_clause(sub_spans, p.main, g.main))
             else {
                 continue;
             };
@@ -526,7 +530,7 @@ fn link_groups(
             let only_cc = !gap.is_empty()
                 && gap
                     .iter()
-                    .all(|t| t.tag == Tag::Conj || t.lower == "," || t.tag == Tag::Adv);
+                    .all(|t| t.tag == Tag::Conj || t.lower == comma() || t.tag == Tag::Adv);
             if only_cc && gap.iter().any(|t| t.tag == Tag::Conj) {
                 deps.push(Dependency { head: prev.main, dep: g.main, rel: Rel::Conj });
                 for (off, t) in gap.iter().enumerate() {
@@ -545,11 +549,7 @@ fn link_groups(
 
 fn same_clause(sub_spans: &[(usize, usize)], a: usize, b: usize) -> bool {
     let clause_of = |i: usize| {
-        sub_spans
-            .iter()
-            .position(|&(m, e)| i > m && i < e)
-            .map(|p| p as isize)
-            .unwrap_or(-1)
+        sub_spans.iter().position(|&(m, e)| i > m && i < e).map(|p| p as isize).unwrap_or(-1)
     };
     clause_of(a) == clause_of(b)
 }
@@ -574,7 +574,7 @@ fn attach_postverbal(
         if t.tag == Tag::To {
             break; // infinitive handled by link_groups
         }
-        if SUBORDINATORS.contains(&t.lower.as_str()) && t.tag == Tag::Prep {
+        if lexicon::is_subordinator(t.lower) && t.tag == Tag::Prep {
             break; // constraint clause
         }
         if t.tag == Tag::Prep {
@@ -614,7 +614,7 @@ fn attach_postverbal(
             i = chunk.end;
             continue;
         }
-        if t.lower == "," {
+        if t.lower == comma() {
             i += 1;
             continue;
         }
@@ -635,12 +635,9 @@ mod tests {
     fn active_svo() {
         let p = parse("we will collect your location");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
-        assert_eq!(p.tokens[p.dependent(r, Rel::Nsubj).unwrap()].lower, "we");
-        assert_eq!(
-            p.tokens[p.dependent(r, Rel::Dobj).unwrap()].lower,
-            "location"
-        );
+        assert_eq!(p.tokens[r].lemma(), "collect");
+        assert_eq!(p.tokens[p.dependent(r, Rel::Nsubj).unwrap()].lower(), "we");
+        assert_eq!(p.tokens[p.dependent(r, Rel::Dobj).unwrap()].lower(), "location");
         assert!(p.dependent(r, Rel::Aux).is_some());
     }
 
@@ -648,10 +645,10 @@ mod tests {
     fn passive_voice() {
         let p = parse("your personal information will be used");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "use");
+        assert_eq!(p.tokens[r].lemma(), "use");
         assert!(p.has_auxpass(r));
         let subj = p.dependent(r, Rel::NsubjPass).unwrap();
-        assert_eq!(p.tokens[subj].lower, "information");
+        assert_eq!(p.tokens[subj].lower(), "information");
     }
 
     #[test]
@@ -665,7 +662,7 @@ mod tests {
     fn contraction_negation() {
         let p = parse("we don't sell your data");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "sell");
+        assert_eq!(p.tokens[r].lemma(), "sell");
         assert!(p.dependent(r, Rel::Neg).is_some());
     }
 
@@ -673,44 +670,41 @@ mod tests {
     fn able_to_collect_is_copular_xcomp() {
         let p = parse("we are able to collect location information");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lower, "able");
+        assert_eq!(p.tokens[r].lower(), "able");
         let x = p.dependent(r, Rel::Xcomp).unwrap();
-        assert_eq!(p.tokens[x].lemma, "collect");
+        assert_eq!(p.tokens[x].lemma(), "collect");
         let obj = p.dependent(x, Rel::Dobj).unwrap();
-        assert_eq!(p.tokens[obj].lower, "information");
+        assert_eq!(p.tokens[obj].lower(), "information");
     }
 
     #[test]
     fn allowed_to_access_is_passive_xcomp() {
         let p = parse("we are allowed to access your personal information");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "allow");
+        assert_eq!(p.tokens[r].lemma(), "allow");
         assert!(p.has_auxpass(r));
         let x = p.dependent(r, Rel::Xcomp).unwrap();
-        assert_eq!(p.tokens[x].lemma, "access");
+        assert_eq!(p.tokens[x].lemma(), "access");
     }
 
     #[test]
     fn purpose_clause_is_advcl() {
         let p = parse("we use gps to get your location");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "use");
+        assert_eq!(p.tokens[r].lemma(), "use");
         let a = p.dependent(r, Rel::Advcl).unwrap();
-        assert_eq!(p.tokens[a].lemma, "get");
+        assert_eq!(p.tokens[a].lemma(), "get");
     }
 
     #[test]
     fn prepositional_phrase() {
         let p = parse("we will provide your information to third party companies");
         let r = p.root.unwrap();
-        let prep = p
-            .dependents(r, Rel::Prep)
-            .into_iter()
-            .find(|&i| p.tokens[i].lower == "to");
+        let prep = p.dependents(r, Rel::Prep).into_iter().find(|&i| p.tokens[i].lower() == "to");
         // "to" before an NP is tagged Prep? Our lexicon tags "to" as To, so
         // the disclose target is reached via the dobj; check dobj instead.
         let obj = p.dependent(r, Rel::Dobj).unwrap();
-        assert_eq!(p.tokens[obj].lower, "information");
+        assert_eq!(p.tokens[obj].lower(), "information");
         let _ = prep;
     }
 
@@ -719,9 +713,9 @@ mod tests {
         let p = parse("we may share your information with advertisers");
         let r = p.root.unwrap();
         let prep = p.dependent(r, Rel::Prep).unwrap();
-        assert_eq!(p.tokens[prep].lower, "with");
+        assert_eq!(p.tokens[prep].lower(), "with");
         let pobj = p.dependent(prep, Rel::Pobj).unwrap();
-        assert_eq!(p.tokens[pobj].lower, "advertisers");
+        assert_eq!(p.tokens[pobj].lower(), "advertisers");
     }
 
     #[test]
@@ -729,9 +723,9 @@ mod tests {
         let p = parse("we will not store your real phone number , name and contacts");
         let r = p.root.unwrap();
         let obj = p.dependent(r, Rel::Dobj).unwrap();
-        assert_eq!(p.tokens[obj].lower, "number");
+        assert_eq!(p.tokens[obj].lower(), "number");
         let conjs = p.dependents(obj, Rel::Conj);
-        let words: Vec<&str> = conjs.iter().map(|&i| p.tokens[i].lower.as_str()).collect();
+        let words: Vec<&str> = conjs.iter().map(|&i| p.tokens[i].lower()).collect();
         assert!(words.contains(&"name"));
         assert!(words.contains(&"contacts"));
     }
@@ -740,22 +734,19 @@ mod tests {
     fn leading_conditional_clause() {
         let p = parse("if you register an account , we will collect your email address");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
         let advcl = p.dependent(r, Rel::Advcl).unwrap();
-        assert_eq!(p.tokens[advcl].lemma, "register");
+        assert_eq!(p.tokens[advcl].lemma(), "register");
         let mark = p.dependent(advcl, Rel::Mark).unwrap();
-        assert_eq!(p.tokens[mark].lower, "if");
+        assert_eq!(p.tokens[mark].lower(), "if");
     }
 
     #[test]
     fn trailing_when_clause() {
         let p = parse("we collect usage data when you use the service");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
-        let advcl = p
-            .dependents(r, Rel::Advcl)
-            .into_iter()
-            .find(|&i| p.tokens[i].lemma == "use");
+        assert_eq!(p.tokens[r].lemma(), "collect");
+        let advcl = p.dependents(r, Rel::Advcl).into_iter().find(|&i| p.tokens[i].lemma() == "use");
         assert!(advcl.is_some());
     }
 
@@ -763,18 +754,18 @@ mod tests {
     fn negative_subject_parse() {
         let p = parse("nothing will be collected");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
         let subj = p.dependent(r, Rel::NsubjPass).unwrap();
-        assert_eq!(p.tokens[subj].lower, "nothing");
+        assert_eq!(p.tokens[subj].lower(), "nothing");
     }
 
     #[test]
     fn coordinated_verbs() {
         let p = parse("we collect and store your location");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
         let conj = p.dependent(r, Rel::Conj).unwrap();
-        assert_eq!(p.tokens[conj].lemma, "store");
+        assert_eq!(p.tokens[conj].lemma(), "store");
     }
 
     #[test]
@@ -797,9 +788,9 @@ mod tests {
         let r = p.root.unwrap();
         assert!(p.has_auxpass(r));
         let prep = p.dependent(r, Rel::Prep).unwrap();
-        assert_eq!(p.tokens[prep].lower, "by");
+        assert_eq!(p.tokens[prep].lower(), "by");
         let agent = p.dependent(prep, Rel::Pobj).unwrap();
-        assert_eq!(p.tokens[agent].lower, "us");
+        assert_eq!(p.tokens[agent].lower(), "us");
     }
 }
 
@@ -811,14 +802,14 @@ mod construction_tests {
     fn conjoined_main_clauses_take_first_root() {
         let p = parse("we collect your location and we store your contacts");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
     }
 
     #[test]
     fn double_negative_aux_chain() {
         let p = parse("we will not be collecting your location");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
         assert!(p.dependent(r, Rel::Neg).is_some());
     }
 
@@ -826,7 +817,7 @@ mod construction_tests {
     fn have_been_collected_is_passive() {
         let p = parse("your contacts have been collected");
         let r = p.root.unwrap();
-        assert_eq!(p.tokens[r].lemma, "collect");
+        assert_eq!(p.tokens[r].lemma(), "collect");
         assert!(p.has_auxpass(r));
     }
 
@@ -836,7 +827,7 @@ mod construction_tests {
         let r = p.root.unwrap();
         let advcl = p.dependent(r, Rel::Advcl).expect("unless-clause attaches");
         let mark = p.dependent(advcl, Rel::Mark).unwrap();
-        assert_eq!(p.tokens[mark].lower, "unless");
+        assert_eq!(p.tokens[mark].lower(), "unless");
     }
 
     #[test]

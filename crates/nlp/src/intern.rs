@@ -1,0 +1,371 @@
+//! The string-interning layer the whole text pipeline flows through.
+//!
+//! Every word, lemma and resource phrase the pipeline touches is stored
+//! once in a process-wide [`Interner`] and handled as a [`Symbol`] — a
+//! `Copy` `u32` handle. Equality, hashing and set membership on symbols are
+//! integer operations; the text is recovered with [`Symbol::as_str`], which
+//! returns `&'static str` because interned storage is never freed.
+//!
+//! The global interner starts from a *pre-seeded static table* covering the
+//! closed vocabulary the pipeline consults on every sentence — the lexicon
+//! word classes, the verb-category lists, the synonym list, the negation
+//! markers and the sensitive-resource phrases — so steady-state analysis
+//! interns (and allocates) only for genuinely novel words. Everything else
+//! goes into the dynamic table, which grows monotonically for the life of
+//! the process (see DESIGN.md §9 for the lifetime rules).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string handle. `Copy`, 4 bytes, order-stable within one
+/// process run (symbols compare by interning order, not alphabetically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index into the global interner's table.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Resolves the symbol through the global interner.
+    pub fn as_str(self) -> &'static str {
+        Interner::global().resolve(self)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+/// Counters describing the interner's occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Total distinct symbols, including the pre-seeded table.
+    pub symbols: usize,
+    /// Symbols installed by the static pre-seed at initialization.
+    pub preseeded: usize,
+    /// Total bytes of interned text.
+    pub bytes: usize,
+}
+
+/// A thread-safe append-only string interner.
+///
+/// Interned text is leaked (for dynamic strings) or borrowed from rodata
+/// (for the pre-seeded vocabulary), so resolution hands out `&'static str`
+/// without holding any lock beyond the lookup itself.
+pub struct Interner {
+    inner: RwLock<Inner>,
+    preseeded: usize,
+}
+
+impl Interner {
+    /// An empty interner (tests only; production code uses [`global`]).
+    ///
+    /// [`global`]: Interner::global
+    pub fn new() -> Self {
+        Interner { inner: RwLock::new(Inner::default()), preseeded: 0 }
+    }
+
+    /// The process-wide interner, pre-seeded with the pipeline vocabulary.
+    pub fn global() -> &'static Interner {
+        static GLOBAL: OnceLock<Interner> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let mut interner = Interner::new();
+            {
+                let inner = interner.inner.get_mut().expect("fresh lock");
+                for word in preseed_vocabulary() {
+                    if !inner.map.contains_key(word) {
+                        let id = inner.strings.len() as u32;
+                        inner.strings.push(word);
+                        inner.map.insert(word, id);
+                    }
+                }
+                interner.preseeded = inner.strings.len();
+            }
+            interner
+        })
+    }
+
+    /// Interns `s`, copying it into leaked storage on first sight.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.map.get(s) {
+            return Symbol(id);
+        }
+        let stored: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = inner.strings.len() as u32;
+        inner.strings.push(stored);
+        inner.map.insert(stored, id);
+        Symbol(id)
+    }
+
+    /// Interns a string that is already `'static`, without copying.
+    pub fn intern_static(&self, s: &'static str) -> Symbol {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.map.get(s) {
+            return Symbol(id);
+        }
+        let id = inner.strings.len() as u32;
+        inner.strings.push(s);
+        inner.map.insert(s, id);
+        Symbol(id)
+    }
+
+    /// Looks up `s` without interning it on a miss. Use this on paths that
+    /// probe candidate strings (lemmatizer stem restoration, unknown-verb
+    /// checks) so junk candidates never enter the table.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().expect("interner poisoned").map.get(s).map(|&id| Symbol(id))
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
+        self.inner.read().expect("interner poisoned").strings[sym.0 as usize]
+    }
+
+    /// Current occupancy counters.
+    pub fn stats(&self) -> InternerStats {
+        let inner = self.inner.read().expect("interner poisoned");
+        InternerStats {
+            symbols: inner.strings.len(),
+            preseeded: self.preseeded,
+            bytes: inner.strings.iter().map(|s| s.len()).sum(),
+        }
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Interner")
+            .field("symbols", &stats.symbols)
+            .field("preseeded", &stats.preseeded)
+            .finish()
+    }
+}
+
+/// Interns through the global interner.
+pub fn intern(s: &str) -> Symbol {
+    Interner::global().intern(s)
+}
+
+/// Resolves through the global interner.
+pub fn resolve(sym: Symbol) -> &'static str {
+    Interner::global().resolve(sym)
+}
+
+/// A small sorted symbol set for closed word classes. Membership is a
+/// binary search over `u32`s — no hashing, no string comparison.
+#[derive(Debug, Clone)]
+pub struct SymbolSet {
+    syms: Vec<Symbol>,
+}
+
+impl SymbolSet {
+    /// Interns every word and builds the sorted set.
+    pub fn new(words: &[&'static str]) -> Self {
+        let interner = Interner::global();
+        let mut syms: Vec<Symbol> = words.iter().map(|w| interner.intern_static(w)).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        SymbolSet { syms }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        self.syms.binary_search(&sym).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// `true` when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+}
+
+/// The sensitive-resource vocabulary: the canonical phrases of the paper's
+/// private-information taxonomy (kept in sync with
+/// `ppchecker_apk::PrivateInfo::canonical_phrase`) plus the multi-word
+/// resource phrases the synthetic corpus and detectors compare against.
+pub const SENSITIVE_RESOURCES: &[&str] = &[
+    "location",
+    "device id",
+    "phone number",
+    "ip address",
+    "cookie",
+    "account",
+    "contact",
+    "calendar",
+    "camera",
+    "audio",
+    "app list",
+    "sms",
+    "call log",
+    "browsing history",
+    "sensor",
+    "bluetooth",
+    "carrier",
+    "clipboard",
+    "email address",
+    "name",
+    "birthday",
+    // frequent policy-side surface forms of the same resources
+    "personal information",
+    "location information",
+    "location data",
+    "contacts",
+    "cookies",
+    "e-mail address",
+    "device identifier",
+    "usage data",
+    "information",
+    "data",
+];
+
+/// Everything installed into the global interner's static table.
+fn preseed_vocabulary() -> impl Iterator<Item = &'static str> {
+    use crate::lexicon;
+    let word_classes = [
+        lexicon::MODALS,
+        lexicon::BE_FORMS,
+        lexicon::HAVE_FORMS,
+        lexicon::DO_FORMS,
+        lexicon::SUBORDINATORS,
+        lexicon::PRONOUNS,
+        lexicon::POSS_PRONOUNS,
+        lexicon::DETERMINERS,
+        lexicon::PREPOSITIONS,
+        lexicon::CONJUNCTIONS,
+        lexicon::WH_WORDS,
+        lexicon::VERBS,
+        lexicon::NOUNS,
+        lexicon::ADJECTIVES,
+        lexicon::ADVERBS,
+    ];
+    let punct: &[&'static str] =
+        &[".", ",", ";", ":", "!", "?", "'", "\"", "(", ")", "-", "/", "to", "n't", "'s"];
+    word_classes
+        .into_iter()
+        .flatten()
+        .copied()
+        .chain(crate::lemma::preseed_lemma_vocabulary())
+        .chain(SENSITIVE_RESOURCES.iter().copied())
+        .chain(punct.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = intern("collect");
+        let b = intern("collect");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "collect");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        assert_ne!(intern("alpha-unique-x"), intern("beta-unique-y"));
+    }
+
+    #[test]
+    fn roundtrip_both_ways() {
+        let s = "some dynamic phrase";
+        let sym = intern(s);
+        assert_eq!(resolve(sym), s);
+        assert_eq!(intern(resolve(sym)), sym);
+    }
+
+    #[test]
+    fn preseeded_vocabulary_is_present_without_interning() {
+        let g = Interner::global();
+        assert!(g.get("collect").is_some());
+        assert!(g.get("location").is_some());
+        assert!(g.get("device id").is_some());
+        assert!(g.get("not").is_some());
+        assert!(g.get("zorble-never-seen").is_none());
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let g = Interner::global();
+        let before = g.stats().symbols;
+        assert!(g.get("candidate-stem-miss").is_none());
+        assert_eq!(g.stats().symbols, before);
+    }
+
+    #[test]
+    fn stats_count_preseed() {
+        let stats = Interner::global().stats();
+        assert!(stats.preseeded > 400, "preseed covers the lexicon");
+        assert!(stats.symbols >= stats.preseeded);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn symbol_set_membership() {
+        let set = SymbolSet::new(&["be", "am", "is", "are"]);
+        assert!(set.contains(intern("is")));
+        assert!(!set.contains(intern("collect")));
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn display_resolves() {
+        assert_eq!(intern("location").to_string(), "location");
+    }
+
+    #[test]
+    fn private_interner_is_independent() {
+        let local = Interner::new();
+        let a = local.intern("only-local");
+        assert_eq!(local.resolve(a), "only-local");
+        assert_eq!(local.stats().symbols, 1);
+        assert_eq!(local.stats().preseeded, 0);
+    }
+}

@@ -4,6 +4,15 @@
 //! of the paper ($V_P^{collect}$ etc.), which are stored in base form; this
 //! module undoes English inflection so that "collects", "collected" and
 //! "collecting" all match "collect".
+//!
+//! The symbol entry points ([`lemmatize_verb_sym`], [`lemmatize_noun_sym`])
+//! memoize form → lemma per distinct word, so in steady state a token's
+//! lemma costs one `u32`-keyed map probe instead of suffix analysis and a
+//! fresh `String`.
+
+use crate::intern::{intern, Symbol};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
 
 /// Irregular verb forms → base form.
 const IRREGULAR_VERBS: &[(&str, &str)] = &[
@@ -82,9 +91,32 @@ const IRREGULAR_NOUNS: &[(&str, &str)] = &[
 
 /// Words ending in "s" that are not plurals.
 const S_FINAL_SINGULARS: &[&str] = &[
-    "this", "its", "is", "was", "has", "does", "as", "us", "various", "previous", "plus",
-    "address", "access", "process", "business", "wireless", "status", "basis", "analysis",
-    "gps", "sms", "os", "ios", "iris", "diagnostics", "analytics",
+    "this",
+    "its",
+    "is",
+    "was",
+    "has",
+    "does",
+    "as",
+    "us",
+    "various",
+    "previous",
+    "plus",
+    "address",
+    "access",
+    "process",
+    "business",
+    "wireless",
+    "status",
+    "basis",
+    "analysis",
+    "gps",
+    "sms",
+    "os",
+    "ios",
+    "iris",
+    "diagnostics",
+    "analytics",
 ];
 
 /// Lemmatizes a (lowercased) verb form to its base form.
@@ -99,6 +131,37 @@ const S_FINAL_SINGULARS: &[&str] = &[
 /// assert_eq!(lemmatize_verb("kept"), "keep");
 /// ```
 pub fn lemmatize_verb(lower: &str) -> String {
+    lemmatize_verb_impl(lower)
+}
+
+/// Symbol-keyed, memoized verb lemmatization.
+pub fn lemmatize_verb_sym(lower: Symbol) -> Symbol {
+    static MEMO: OnceLock<RwLock<HashMap<Symbol, Symbol>>> = OnceLock::new();
+    memoized(MEMO.get_or_init(Default::default), lower, lemmatize_verb_impl)
+}
+
+/// Symbol-keyed, memoized noun lemmatization.
+pub fn lemmatize_noun_sym(lower: Symbol) -> Symbol {
+    static MEMO: OnceLock<RwLock<HashMap<Symbol, Symbol>>> = OnceLock::new();
+    memoized(MEMO.get_or_init(Default::default), lower, lemmatize_noun_impl)
+}
+
+fn memoized(
+    memo: &RwLock<HashMap<Symbol, Symbol>>,
+    lower: Symbol,
+    compute: fn(&str) -> String,
+) -> Symbol {
+    if let Some(&lemma) = memo.read().expect("lemma memo poisoned").get(&lower) {
+        return lemma;
+    }
+    let computed = compute(lower.as_str());
+    // Reuse the input symbol when the form is already its own lemma.
+    let lemma = if computed == lower.as_str() { lower } else { intern(&computed) };
+    memo.write().expect("lemma memo poisoned").insert(lower, lemma);
+    lemma
+}
+
+fn lemmatize_verb_impl(lower: &str) -> String {
     if let Some(&(_, base)) = IRREGULAR_VERBS.iter().find(|(f, _)| *f == lower) {
         return base.to_string();
     }
@@ -154,6 +217,10 @@ pub fn lemmatize_verb(lower: &str) -> String {
 /// assert_eq!(lemmatize_noun("data"), "data");
 /// ```
 pub fn lemmatize_noun(lower: &str) -> String {
+    lemmatize_noun_impl(lower)
+}
+
+fn lemmatize_noun_impl(lower: &str) -> String {
     if let Some(&(_, base)) = IRREGULAR_NOUNS.iter().find(|(f, _)| *f == lower) {
         return base.to_string();
     }
@@ -190,23 +257,36 @@ fn undouble_or_restore_e(stem: &str, original: &str) -> String {
     let n = chars.len();
     // Doubled final consonant: "stopp" -> "stop", but keep "ss"/"ll" words
     // like "access"/"sell" intact only when the base is known that way.
-    if n >= 3 && chars[n - 1] == chars[n - 2] && !matches!(chars[n - 1], 'a' | 'e' | 'i' | 'o' | 'u' | 's' | 'l')
+    if n >= 3
+        && chars[n - 1] == chars[n - 2]
+        && !matches!(chars[n - 1], 'a' | 'e' | 'i' | 'o' | 'u' | 's' | 'l')
     {
         return stem[..stem.len() - 1].to_string();
     }
-    // Known verb as-is?
+    // Known verb as-is? (`lookup_str` probes without interning, so the
+    // candidate stems below never pollute the interner.)
     let lex = crate::lexicon::Lexicon::shared();
-    if lex.lookup(stem).is_some_and(|t| t.is_verb()) {
+    if lex.lookup_str(stem).is_some_and(|t| t.is_verb()) {
         return stem.to_string();
     }
     // Try restoring "e": "stor" -> "store", "shar" -> "share".
     let with_e = format!("{stem}e");
-    if lex.lookup(&with_e).is_some_and(|t| t.is_verb()) {
+    if lex.lookup_str(&with_e).is_some_and(|t| t.is_verb()) {
         return with_e;
     }
     // Heuristic: consonant + single vowel + consonant often dropped an "e"
     // if the word isn't known; default to the bare stem.
     stem.to_string()
+}
+
+/// The lemma tables' vocabulary (both inflected and base forms), fed into
+/// the global interner's static pre-seed.
+pub(crate) fn preseed_lemma_vocabulary() -> impl Iterator<Item = &'static str> {
+    IRREGULAR_VERBS
+        .iter()
+        .chain(IRREGULAR_NOUNS.iter())
+        .flat_map(|&(form, base)| [form, base])
+        .chain(S_FINAL_SINGULARS.iter().copied())
 }
 
 #[cfg(test)]
@@ -269,5 +349,23 @@ mod tests {
     fn verb_y_inflection() {
         assert_eq!(lemmatize_verb("carries"), "carry");
         assert_eq!(lemmatize_verb("applies"), "apply");
+    }
+
+    #[test]
+    fn symbol_lemmatization_matches_string_path() {
+        for w in ["collects", "stored", "sharing", "kept", "data", "was"] {
+            assert_eq!(lemmatize_verb_sym(intern(w)).as_str(), lemmatize_verb(w));
+        }
+        for w in ["locations", "companies", "children", "addresses", "gps"] {
+            assert_eq!(lemmatize_noun_sym(intern(w)).as_str(), lemmatize_noun(w));
+        }
+    }
+
+    #[test]
+    fn uninflected_form_reuses_symbol() {
+        let sym = intern("collect");
+        assert_eq!(lemmatize_verb_sym(sym), sym);
+        // Memoized second call returns the identical symbol.
+        assert_eq!(lemmatize_verb_sym(sym), sym);
     }
 }

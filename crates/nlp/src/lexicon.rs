@@ -6,20 +6,21 @@
 //! combined with morphological heuristics for open-class words, which is
 //! sufficient for the constrained register privacy policies are written in.
 
+use crate::intern::{Interner, Symbol, SymbolSet};
 use crate::token::Tag;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-/// Lexicon mapping lowercased word forms to their most likely tag.
+/// Lexicon mapping lowercased word forms (as interned [`Symbol`]s) to
+/// their most likely tag. Lookups hash a `u32`, not the word's bytes.
 #[derive(Debug)]
 pub struct Lexicon {
-    entries: HashMap<&'static str, Tag>,
+    entries: HashMap<Symbol, Tag>,
 }
 
 /// Modal verbs (`MD`).
-pub const MODALS: &[&str] = &[
-    "will", "would", "can", "could", "may", "might", "must", "shall", "should", "wo", "ca",
-];
+pub const MODALS: &[&str] =
+    &["will", "would", "can", "could", "may", "might", "must", "shall", "should", "wo", "ca"];
 
 /// Forms of "be" (used for passive-voice detection).
 pub const BE_FORMS: &[&str] = &["be", "am", "is", "are", "was", "were", "been", "being"];
@@ -40,9 +41,29 @@ pub const SUBORDINATORS: &[&str] = &[
 
 /// Personal pronouns.
 pub const PRONOUNS: &[&str] = &[
-    "we", "you", "they", "it", "i", "he", "she", "us", "them", "me", "him", "her", "itself",
-    "themselves", "ourselves", "yourself", "anyone", "everyone", "nobody", "nothing", "someone",
-    "something", "anything",
+    "we",
+    "you",
+    "they",
+    "it",
+    "i",
+    "he",
+    "she",
+    "us",
+    "them",
+    "me",
+    "him",
+    "her",
+    "itself",
+    "themselves",
+    "ourselves",
+    "yourself",
+    "anyone",
+    "everyone",
+    "nobody",
+    "nothing",
+    "someone",
+    "something",
+    "anything",
 ];
 
 /// Possessive pronouns.
@@ -50,152 +71,522 @@ pub const POSS_PRONOUNS: &[&str] = &["your", "our", "their", "its", "my", "his",
 
 /// Determiners, including negative determiner "no".
 pub const DETERMINERS: &[&str] = &[
-    "the", "a", "an", "this", "that", "these", "those", "no", "any", "some", "each", "every",
-    "all", "both", "such", "another", "either", "neither", "certain", "other", "following",
+    "the",
+    "a",
+    "an",
+    "this",
+    "that",
+    "these",
+    "those",
+    "no",
+    "any",
+    "some",
+    "each",
+    "every",
+    "all",
+    "both",
+    "such",
+    "another",
+    "either",
+    "neither",
+    "certain",
+    "other",
+    "following",
 ];
 
 /// Prepositions.
 pub const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "about", "from", "into", "through", "during",
-    "including", "against", "among", "throughout", "via", "within", "without", "regarding",
-    "concerning", "per", "as", "like", "out", "off", "over", "under", "between", "to",
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "about",
+    "from",
+    "into",
+    "through",
+    "during",
+    "including",
+    "against",
+    "among",
+    "throughout",
+    "via",
+    "within",
+    "without",
+    "regarding",
+    "concerning",
+    "per",
+    "as",
+    "like",
+    "out",
+    "off",
+    "over",
+    "under",
+    "between",
+    "to",
 ];
 
 /// Coordinating conjunctions.
 pub const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "plus"];
 
 /// Wh-words.
-pub const WH_WORDS: &[&str] = &[
-    "which", "who", "whom", "whose", "what", "where", "why", "how", "whether", "that",
-];
+pub const WH_WORDS: &[&str] =
+    &["which", "who", "whom", "whose", "what", "where", "why", "how", "whether", "that"];
 
 /// Verbs that matter to the pipeline, stored in base form. Inflected forms
 /// are recognized through [`crate::lemma`].
 pub const VERBS: &[&str] = &[
     // collect-category and friends
-    "collect", "gather", "obtain", "acquire", "access", "receive", "record", "solicit", "get",
-    "take", "capture", "request", "ask", "check", "know", "track", "monitor", "read", "scan",
+    "collect",
+    "gather",
+    "obtain",
+    "acquire",
+    "access",
+    "receive",
+    "record",
+    "solicit",
+    "get",
+    "take",
+    "capture",
+    "request",
+    "ask",
+    "check",
+    "know",
+    "track",
+    "monitor",
+    "read",
+    "scan",
     // use-category
-    "use", "process", "utilize", "employ", "analyze", "combine", "connect", "link", "associate",
-    "serve", "improve", "personalize", "customize", "operate", "deliver",
+    "use",
+    "process",
+    "utilize",
+    "employ",
+    "analyze",
+    "combine",
+    "connect",
+    "link",
+    "associate",
+    "serve",
+    "improve",
+    "personalize",
+    "customize",
+    "operate",
+    "deliver",
     // retain-category
-    "retain", "store", "keep", "save", "preserve", "hold", "maintain", "archive", "cache",
-    "remember", "log",
+    "retain",
+    "store",
+    "keep",
+    "save",
+    "preserve",
+    "hold",
+    "maintain",
+    "archive",
+    "cache",
+    "remember",
+    "log",
     // disclose-category
-    "disclose", "share", "transfer", "provide", "send", "transmit", "give", "sell", "rent",
-    "release", "reveal", "distribute", "report", "expose", "supply", "pass", "lease", "trade",
-    "display", "show", "upload", "post", "publish",
+    "disclose",
+    "share",
+    "transfer",
+    "provide",
+    "send",
+    "transmit",
+    "give",
+    "sell",
+    "rent",
+    "release",
+    "reveal",
+    "distribute",
+    "report",
+    "expose",
+    "supply",
+    "pass",
+    "lease",
+    "trade",
+    "display",
+    "show",
+    "upload",
+    "post",
+    "publish",
     // general verbs seen in policies
-    "agree", "allow", "permit", "enable", "require", "need", "want", "help", "make", "create",
-    "delete", "remove", "protect", "secure", "encrypt", "review", "update", "change", "modify",
-    "contact", "notify", "inform", "register", "sign", "visit", "browse", "download", "install",
-    "uninstall", "open", "close", "click", "tap", "enter", "submit", "choose", "select",
-    "prevent", "stop", "refuse", "decline", "deny", "opt", "consent", "comply", "apply",
-    "include", "contain", "cover", "describe", "explain", "govern", "identify", "locate",
-    "determine", "enhance", "measure", "offer", "support", "ensure", "limit", "restrict",
-    "encourage", "respond", "occur", "happen", "work", "run", "play", "see", "view", "find",
-    "learn", "understand", "believe", "think", "say", "state", "mention", "note", "write",
+    "agree",
+    "allow",
+    "permit",
+    "enable",
+    "require",
+    "need",
+    "want",
+    "help",
+    "make",
+    "create",
+    "delete",
+    "remove",
+    "protect",
+    "secure",
+    "encrypt",
+    "review",
+    "update",
+    "change",
+    "modify",
+    "contact",
+    "notify",
+    "inform",
+    "register",
+    "sign",
+    "visit",
+    "browse",
+    "download",
+    "install",
+    "uninstall",
+    "open",
+    "close",
+    "click",
+    "tap",
+    "enter",
+    "submit",
+    "choose",
+    "select",
+    "prevent",
+    "stop",
+    "refuse",
+    "decline",
+    "deny",
+    "opt",
+    "consent",
+    "comply",
+    "apply",
+    "include",
+    "contain",
+    "cover",
+    "describe",
+    "explain",
+    "govern",
+    "identify",
+    "locate",
+    "determine",
+    "enhance",
+    "measure",
+    "offer",
+    "support",
+    "ensure",
+    "limit",
+    "restrict",
+    "encourage",
+    "respond",
+    "occur",
+    "happen",
+    "work",
+    "run",
+    "play",
+    "see",
+    "view",
+    "find",
+    "learn",
+    "understand",
+    "believe",
+    "think",
+    "say",
+    "state",
+    "mention",
+    "note",
+    "write",
 ];
 
 /// Nouns that matter to the pipeline (privacy resources, actors, etc.).
 pub const NOUNS: &[&str] = &[
     // resources
-    "information", "data", "location", "address", "name", "email", "e-mail", "phone", "number",
-    "contact", "contacts", "calendar", "account", "accounts", "identifier", "id", "device",
-    "cookie", "cookies", "ip", "camera", "photo", "photos", "picture", "pictures", "image",
-    "images", "audio", "microphone", "voice", "video", "sms", "message", "messages", "text",
-    "call", "calls", "history", "list", "apps", "app", "application", "applications",
-    "latitude", "longitude", "gps", "birthday", "birthdate", "age", "gender", "password",
-    "username", "profile", "preferences", "settings", "content", "contents", "file", "files",
-    "log", "logs", "record", "records", "detail", "details", "imei", "imsi", "mac", "wifi",
-    "network", "browser", "os", "carrier", "sim", "storage", "clipboard", "sensor", "sensors",
+    "information",
+    "data",
+    "location",
+    "address",
+    "name",
+    "email",
+    "e-mail",
+    "phone",
+    "number",
+    "contact",
+    "contacts",
+    "calendar",
+    "account",
+    "accounts",
+    "identifier",
+    "id",
+    "device",
+    "cookie",
+    "cookies",
+    "ip",
+    "camera",
+    "photo",
+    "photos",
+    "picture",
+    "pictures",
+    "image",
+    "images",
+    "audio",
+    "microphone",
+    "voice",
+    "video",
+    "sms",
+    "message",
+    "messages",
+    "text",
+    "call",
+    "calls",
+    "history",
+    "list",
+    "apps",
+    "app",
+    "application",
+    "applications",
+    "latitude",
+    "longitude",
+    "gps",
+    "birthday",
+    "birthdate",
+    "age",
+    "gender",
+    "password",
+    "username",
+    "profile",
+    "preferences",
+    "settings",
+    "content",
+    "contents",
+    "file",
+    "files",
+    "log",
+    "logs",
+    "record",
+    "records",
+    "detail",
+    "details",
+    "imei",
+    "imsi",
+    "mac",
+    "wifi",
+    "network",
+    "browser",
+    "os",
+    "carrier",
+    "sim",
+    "storage",
+    "clipboard",
+    "sensor",
+    "sensors",
     // actors and misc
-    "user", "users", "visitor", "visitors", "customer", "customers", "member", "members",
-    "child", "children", "party", "parties", "company", "companies", "partner", "partners",
-    "advertiser", "advertisers", "affiliate", "affiliates", "provider", "providers", "vendor",
-    "vendors", "service", "services", "website", "websites", "site", "sites", "server",
-    "servers", "policy", "policies", "privacy", "terms", "law", "laws", "regulation",
-    "regulations", "consent", "permission", "permissions", "purpose", "purposes", "time",
-    "period", "library", "libraries", "lib", "libs", "sdk", "analytics", "advertising",
-    "advertisement", "advertisements", "ads", "ad", "game", "games", "feature", "features",
-    "functionality", "security", "practice", "practices", "right", "rights", "option",
-    "options", "question", "questions", "section", "page", "pages", "agreement", "notice",
-    "identifiers", "friends", "field", "force", "way", "tasks", "task", "order", "experience",
-    "quality", "basis", "internet",
+    "user",
+    "users",
+    "visitor",
+    "visitors",
+    "customer",
+    "customers",
+    "member",
+    "members",
+    "child",
+    "children",
+    "party",
+    "parties",
+    "company",
+    "companies",
+    "partner",
+    "partners",
+    "advertiser",
+    "advertisers",
+    "affiliate",
+    "affiliates",
+    "provider",
+    "providers",
+    "vendor",
+    "vendors",
+    "service",
+    "services",
+    "website",
+    "websites",
+    "site",
+    "sites",
+    "server",
+    "servers",
+    "policy",
+    "policies",
+    "privacy",
+    "terms",
+    "law",
+    "laws",
+    "regulation",
+    "regulations",
+    "consent",
+    "permission",
+    "permissions",
+    "purpose",
+    "purposes",
+    "time",
+    "period",
+    "library",
+    "libraries",
+    "lib",
+    "libs",
+    "sdk",
+    "analytics",
+    "advertising",
+    "advertisement",
+    "advertisements",
+    "ads",
+    "ad",
+    "game",
+    "games",
+    "feature",
+    "features",
+    "functionality",
+    "security",
+    "practice",
+    "practices",
+    "right",
+    "rights",
+    "option",
+    "options",
+    "question",
+    "questions",
+    "section",
+    "page",
+    "pages",
+    "agreement",
+    "notice",
+    "identifiers",
+    "friends",
+    "field",
+    "force",
+    "way",
+    "tasks",
+    "task",
+    "order",
+    "experience",
+    "quality",
+    "basis",
+    "internet",
 ];
 
 /// Adjectives seen in policies.
 pub const ADJECTIVES: &[&str] = &[
-    "personal", "private", "sensitive", "personally", "identifiable", "anonymous", "aggregate",
-    "aggregated", "technical", "mobile", "unique", "real", "actual", "third", "third-party",
-    "necessary", "able", "unable", "responsible", "applicable", "available", "current",
-    "precise", "approximate", "demographic", "financial", "medical", "geographic", "such",
-    "certain", "other", "own", "new", "free", "optional", "legal", "specific", "general",
-    "additional", "effective", "important", "relevant", "various", "non-personal", "online",
+    "personal",
+    "private",
+    "sensitive",
+    "personally",
+    "identifiable",
+    "anonymous",
+    "aggregate",
+    "aggregated",
+    "technical",
+    "mobile",
+    "unique",
+    "real",
+    "actual",
+    "third",
+    "third-party",
+    "necessary",
+    "able",
+    "unable",
+    "responsible",
+    "applicable",
+    "available",
+    "current",
+    "precise",
+    "approximate",
+    "demographic",
+    "financial",
+    "medical",
+    "geographic",
+    "such",
+    "certain",
+    "other",
+    "own",
+    "new",
+    "free",
+    "optional",
+    "legal",
+    "specific",
+    "general",
+    "additional",
+    "effective",
+    "important",
+    "relevant",
+    "various",
+    "non-personal",
+    "online",
 ];
 
 /// Adverbs, including negation markers the paper's Step 5 relies on.
 pub const ADVERBS: &[&str] = &[
-    "not", "n't", "never", "hardly", "rarely", "seldom", "no longer", "also", "only",
-    "automatically", "directly", "indirectly", "always", "sometimes", "occasionally",
-    "periodically", "solely", "generally", "typically", "specifically", "currently", "however",
-    "therefore", "moreover", "furthermore", "additionally", "please", "again", "already",
-    "together", "too", "very", "well", "then", "thus", "hereby", "herein", "instead",
+    "not",
+    "n't",
+    "never",
+    "hardly",
+    "rarely",
+    "seldom",
+    "no longer",
+    "also",
+    "only",
+    "automatically",
+    "directly",
+    "indirectly",
+    "always",
+    "sometimes",
+    "occasionally",
+    "periodically",
+    "solely",
+    "generally",
+    "typically",
+    "specifically",
+    "currently",
+    "however",
+    "therefore",
+    "moreover",
+    "furthermore",
+    "additionally",
+    "please",
+    "again",
+    "already",
+    "together",
+    "too",
+    "very",
+    "well",
+    "then",
+    "thus",
+    "hereby",
+    "herein",
+    "instead",
 ];
 
 impl Lexicon {
     fn build() -> Self {
+        let interner = Interner::global();
         let mut entries = HashMap::new();
+        let mut insert_all = |words: &[&'static str], tag: Tag| {
+            for &w in words {
+                entries.insert(interner.intern_static(w), tag);
+            }
+        };
         // Order matters: later inserts win, so put the highest-priority
         // (closed) classes last.
-        for &w in NOUNS {
-            entries.insert(w, Tag::Noun);
-        }
-        for &w in VERBS {
-            entries.insert(w, Tag::VerbBase);
-        }
-        for &w in ADJECTIVES {
-            entries.insert(w, Tag::Adj);
-        }
-        for &w in ADVERBS {
-            entries.insert(w, Tag::Adv);
-        }
-        for &w in WH_WORDS {
-            entries.insert(w, Tag::Wh);
-        }
-        for &w in PREPOSITIONS {
-            entries.insert(w, Tag::Prep);
-        }
-        for &w in SUBORDINATORS {
-            entries.insert(w, Tag::Prep);
-        }
-        for &w in CONJUNCTIONS {
-            entries.insert(w, Tag::Conj);
-        }
-        for &w in DETERMINERS {
-            entries.insert(w, Tag::Det);
-        }
-        for &w in PRONOUNS {
-            entries.insert(w, Tag::Pronoun);
-        }
-        for &w in POSS_PRONOUNS {
-            entries.insert(w, Tag::PronounPoss);
-        }
-        for &w in MODALS {
-            entries.insert(w, Tag::Modal);
-        }
-        for &w in BE_FORMS {
-            entries.insert(w, Tag::VerbPres);
-        }
-        for &w in HAVE_FORMS {
-            entries.insert(w, Tag::VerbPres);
-        }
-        for &w in DO_FORMS {
-            entries.insert(w, Tag::VerbPres);
-        }
-        entries.insert("to", Tag::To);
-        entries.insert("not", Tag::Adv);
-        entries.insert("n't", Tag::Adv);
+        insert_all(NOUNS, Tag::Noun);
+        insert_all(VERBS, Tag::VerbBase);
+        insert_all(ADJECTIVES, Tag::Adj);
+        insert_all(ADVERBS, Tag::Adv);
+        insert_all(WH_WORDS, Tag::Wh);
+        insert_all(PREPOSITIONS, Tag::Prep);
+        insert_all(SUBORDINATORS, Tag::Prep);
+        insert_all(CONJUNCTIONS, Tag::Conj);
+        insert_all(DETERMINERS, Tag::Det);
+        insert_all(PRONOUNS, Tag::Pronoun);
+        insert_all(POSS_PRONOUNS, Tag::PronounPoss);
+        insert_all(MODALS, Tag::Modal);
+        insert_all(BE_FORMS, Tag::VerbPres);
+        insert_all(HAVE_FORMS, Tag::VerbPres);
+        insert_all(DO_FORMS, Tag::VerbPres);
+        entries.insert(interner.intern_static("to"), Tag::To);
+        entries.insert(interner.intern_static("not"), Tag::Adv);
+        entries.insert(interner.intern_static("n't"), Tag::Adv);
         Lexicon { entries }
     }
 
@@ -205,18 +596,25 @@ impl Lexicon {
         LEX.get_or_init(Lexicon::build)
     }
 
-    /// Looks up a lowercased word form.
-    pub fn lookup(&self, lower: &str) -> Option<Tag> {
-        self.entries.get(lower).copied()
+    /// Looks up a lowercased word form by its symbol.
+    pub fn lookup(&self, lower: Symbol) -> Option<Tag> {
+        self.entries.get(&lower).copied()
+    }
+
+    /// Looks up a candidate string without interning it — misses (e.g. the
+    /// lemmatizer probing restored stems) leave the interner untouched.
+    pub fn lookup_str(&self, lower: &str) -> Option<Tag> {
+        let sym = Interner::global().get(lower)?;
+        self.lookup(sym)
     }
 
     /// Returns `true` if the word (in any inflection) is a known verb.
-    pub fn is_known_verb(&self, lower: &str) -> bool {
+    pub fn is_known_verb(&self, lower: Symbol) -> bool {
         if matches!(self.lookup(lower), Some(t) if t.is_verb()) {
             return true;
         }
-        let lemma = crate::lemma::lemmatize_verb(lower);
-        matches!(self.lookup(&lemma), Some(t) if t.is_verb())
+        let lemma = crate::lemma::lemmatize_verb_sym(lower);
+        matches!(self.lookup(lemma), Some(t) if t.is_verb())
     }
 
     /// Guesses the tag of an out-of-vocabulary word from its morphology.
@@ -252,6 +650,34 @@ impl Lexicon {
     }
 }
 
+fn set(cell: &'static OnceLock<SymbolSet>, words: &'static [&'static str]) -> &'static SymbolSet {
+    cell.get_or_init(|| SymbolSet::new(words))
+}
+
+/// `true` if `sym` is a form of "be".
+pub fn is_be_form(sym: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    set(&SET, BE_FORMS).contains(sym)
+}
+
+/// `true` if `sym` is an auxiliary form of "have".
+pub fn is_have_form(sym: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    set(&SET, HAVE_FORMS).contains(sym)
+}
+
+/// `true` if `sym` is an auxiliary form of "do".
+pub fn is_do_form(sym: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    set(&SET, DO_FORMS).contains(sym)
+}
+
+/// `true` if `sym` is a subordinating word ([`SUBORDINATORS`]).
+pub fn is_subordinator(sym: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    set(&SET, SUBORDINATORS).contains(sym)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,19 +685,30 @@ mod tests {
     #[test]
     fn closed_class_lookup() {
         let lex = Lexicon::shared();
-        assert_eq!(lex.lookup("will"), Some(Tag::Modal));
-        assert_eq!(lex.lookup("your"), Some(Tag::PronounPoss));
-        assert_eq!(lex.lookup("no"), Some(Tag::Det));
-        assert_eq!(lex.lookup("to"), Some(Tag::To));
-        assert_eq!(lex.lookup("and"), Some(Tag::Conj));
+        assert_eq!(lex.lookup_str("will"), Some(Tag::Modal));
+        assert_eq!(lex.lookup_str("your"), Some(Tag::PronounPoss));
+        assert_eq!(lex.lookup_str("no"), Some(Tag::Det));
+        assert_eq!(lex.lookup_str("to"), Some(Tag::To));
+        assert_eq!(lex.lookup_str("and"), Some(Tag::Conj));
     }
 
     #[test]
     fn open_class_lookup() {
         let lex = Lexicon::shared();
-        assert_eq!(lex.lookup("collect"), Some(Tag::VerbBase));
-        assert_eq!(lex.lookup("location"), Some(Tag::Noun));
-        assert_eq!(lex.lookup("personal"), Some(Tag::Adj));
+        assert_eq!(lex.lookup_str("collect"), Some(Tag::VerbBase));
+        assert_eq!(lex.lookup_str("location"), Some(Tag::Noun));
+        assert_eq!(lex.lookup_str("personal"), Some(Tag::Adj));
+        assert_eq!(lex.lookup(crate::intern::intern("collect")), Some(Tag::VerbBase));
+    }
+
+    #[test]
+    fn symbol_word_class_sets() {
+        use crate::intern::intern;
+        assert!(is_be_form(intern("were")));
+        assert!(!is_be_form(intern("collect")));
+        assert!(is_have_form(intern("has")));
+        assert!(is_do_form(intern("does")));
+        assert!(is_subordinator(intern("unless")));
     }
 
     #[test]
@@ -287,11 +724,12 @@ mod tests {
 
     #[test]
     fn inflected_verbs_are_known() {
+        use crate::intern::intern;
         let lex = Lexicon::shared();
-        assert!(lex.is_known_verb("collects"));
-        assert!(lex.is_known_verb("collected"));
-        assert!(lex.is_known_verb("sharing"));
-        assert!(lex.is_known_verb("kept"));
-        assert!(!lex.is_known_verb("location"));
+        assert!(lex.is_known_verb(intern("collects")));
+        assert!(lex.is_known_verb(intern("collected")));
+        assert!(lex.is_known_verb(intern("sharing")));
+        assert!(lex.is_known_verb(intern("kept")));
+        assert!(!lex.is_known_verb(intern("location")));
     }
 }

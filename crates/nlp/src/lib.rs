@@ -17,12 +17,17 @@
 //!
 //! let p = parse("we will not collect your location");
 //! let root = p.root.unwrap();
-//! assert_eq!(p.tokens[root].lemma, "collect");
+//! assert_eq!(p.tokens[root].lemma(), "collect");
 //! assert!(p.dependent(root, Rel::Neg).is_some());
 //! ```
+//!
+//! All text flows through the interning layer in [`mod@intern`]: tokens carry
+//! [`Symbol`] handles rather than owned strings, and downstream crates
+//! compare, hash and memoize on those `u32` handles (see DESIGN.md §9).
 
 pub mod chunk;
 pub mod depparse;
+pub mod intern;
 pub mod lemma;
 pub mod lexicon;
 pub mod sentence;
@@ -32,5 +37,6 @@ pub mod tree;
 
 pub use chunk::NounPhrase;
 pub use depparse::{parse, Dependency, Parse, Rel};
+pub use intern::{intern, resolve, Interner, InternerStats, Symbol, SymbolSet};
 pub use sentence::split_sentences;
 pub use token::{Tag, Token};

@@ -56,8 +56,7 @@ pub fn naive_split(text: &str) -> Vec<String> {
                         && i + 1 < n
                         && chars[i + 1].is_ascii_digit())
                         || ends_with_abbreviation(&current)
-                        || (i + 1 < n
-                            && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')));
+                        || (i + 1 < n && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')));
                 current.push(c);
                 if !interior_dot {
                     flush(&mut sentences, &mut current);
@@ -91,10 +90,7 @@ fn flush(sentences: &mut Vec<String>, current: &mut String) {
 /// Lowercases and collapses whitespace, and strips non-ASCII symbols
 /// (the paper's Step 1 keeps only English letters and specified punctuation).
 fn normalize(s: &str) -> String {
-    let filtered: String = s
-        .chars()
-        .filter(|c| c.is_ascii())
-        .collect();
+    let filtered: String = s.chars().filter(|c| c.is_ascii()).collect();
     let collapsed = filtered.split_whitespace().collect::<Vec<_>>().join(" ");
     collapsed.to_lowercase()
 }

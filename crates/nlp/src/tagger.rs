@@ -1,7 +1,7 @@
 //! Rule-based part-of-speech tagging with Brill-style contextual repair.
 
-use crate::lemma::{lemmatize_noun, lemmatize_verb};
-use crate::lexicon::{Lexicon, BE_FORMS, DO_FORMS, HAVE_FORMS};
+use crate::lemma::{lemmatize_noun_sym, lemmatize_verb, lemmatize_verb_sym};
+use crate::lexicon::{self, Lexicon, BE_FORMS, DO_FORMS, HAVE_FORMS};
 use crate::token::{Tag, Token};
 
 /// Tags every token in place (assigning [`Token::tag`] and [`Token::lemma`]).
@@ -26,18 +26,18 @@ pub fn tag(tokens: &mut [Token]) {
     for tok in tokens.iter_mut() {
         tok.tag = initial_tag(lex, tok);
         tok.lemma = match tok.tag {
-            t if t.is_verb() => lemmatize_verb(&tok.lower),
-            Tag::Noun | Tag::NounPlural => lemmatize_noun(&tok.lower),
-            _ => tok.lower.clone(),
+            t if t.is_verb() => lemmatize_verb_sym(tok.lower),
+            Tag::Noun | Tag::NounPlural => lemmatize_noun_sym(tok.lower),
+            _ => tok.lower,
         };
     }
     contextual_repair(tokens);
     // Re-lemmatize tokens whose tag changed during repair.
     for tok in tokens.iter_mut() {
         if tok.tag.is_verb() {
-            tok.lemma = lemmatize_verb(&tok.lower);
+            tok.lemma = lemmatize_verb_sym(tok.lower);
         } else if matches!(tok.tag, Tag::Noun | Tag::NounPlural) {
-            tok.lemma = lemmatize_noun(&tok.lower);
+            tok.lemma = lemmatize_noun_sym(tok.lower);
         }
     }
 }
@@ -46,21 +46,19 @@ fn initial_tag(lex: &Lexicon, tok: &Token) -> Tag {
     if tok.is_punct() {
         return Tag::Punct;
     }
-    let lower = tok.lower.as_str();
-    if let Some(t) = lex.lookup(lower) {
-        return refine_verb_form(lower, t);
+    if let Some(t) = lex.lookup(tok.lower) {
+        return refine_verb_form(tok.lower(), t);
     }
     // Inflected form of a known word?
-    let vlemma = lemmatize_verb(lower);
-    if vlemma != lower && lex.lookup(&vlemma).is_some_and(|t| t.is_verb()) {
-        return inflected_verb_tag(lower);
+    let vlemma = lemmatize_verb_sym(tok.lower);
+    if vlemma != tok.lower && lex.lookup(vlemma).is_some_and(|t| t.is_verb()) {
+        return inflected_verb_tag(tok.lower());
     }
-    let nlemma = lemmatize_noun(lower);
-    if nlemma != lower && lex.lookup(&nlemma).is_some_and(|t| t.is_nominal() || t == Tag::Noun)
-    {
+    let nlemma = lemmatize_noun_sym(tok.lower);
+    if nlemma != tok.lower && lex.lookup(nlemma).is_some_and(|t| t.is_nominal() || t == Tag::Noun) {
         return Tag::NounPlural;
     }
-    lex.guess(&tok.text, lower)
+    lex.guess(tok.text(), tok.lower())
 }
 
 /// For base-form lexicon hits, work out the actual inflection of this form.
@@ -77,7 +75,29 @@ fn inflected_verb_tag(lower: &str) -> Tag {
     }
     if lower.ends_with("ing") {
         Tag::VerbGerund
-    } else if lower.ends_with("ed") || matches!(lower, "kept" | "held" | "sent" | "sold" | "given" | "taken" | "known" | "seen" | "written" | "done" | "gotten" | "made" | "found" | "paid" | "meant" | "met" | "left" | "understood") {
+    } else if lower.ends_with("ed")
+        || matches!(
+            lower,
+            "kept"
+                | "held"
+                | "sent"
+                | "sold"
+                | "given"
+                | "taken"
+                | "known"
+                | "seen"
+                | "written"
+                | "done"
+                | "gotten"
+                | "made"
+                | "found"
+                | "paid"
+                | "meant"
+                | "met"
+                | "left"
+                | "understood"
+        )
+    {
         Tag::VerbPastPart
     } else if lower.ends_with('s') && !lower.ends_with("ss") && lemmatize_verb(lower) != lower {
         Tag::Verb3sg
@@ -92,17 +112,13 @@ fn contextual_repair(tokens: &mut [Token]) {
     for i in 0..n {
         let cur = tokens[i].tag;
         let prev = if i > 0 { Some(tokens[i - 1].tag) } else { None };
-        let prev_lower = if i > 0 {
-            Some(tokens[i - 1].lower.as_str())
-        } else {
-            None
-        };
+        let prev_lower = if i > 0 { Some(tokens[i - 1].lower) } else { None };
 
         // Rule: after "to", an ambiguous word is a base-form verb
         // ("to collect"), unless it heads a noun phrase ("to third parties").
         if prev == Some(Tag::To)
             && matches!(cur, Tag::Noun | Tag::Verb3sg | Tag::VerbPres | Tag::VerbPast)
-            && Lexicon::shared().is_known_verb(&tokens[i].lower)
+            && Lexicon::shared().is_known_verb(tokens[i].lower)
         {
             tokens[i].tag = Tag::VerbBase;
             continue;
@@ -126,11 +142,9 @@ fn contextual_repair(tokens: &mut [Token]) {
         // Rule: a base-form verb directly after a non-auxiliary verb is
         // really a noun ("have access", "make use").
         if cur == Tag::VerbBase
-            && !BE_FORMS.contains(&tokens[i].lower.as_str())
+            && !lexicon::is_be_form(tokens[i].lower)
             && prev.is_some_and(|p| p.is_verb())
-            && prev_lower.is_some_and(|w| {
-                !BE_FORMS.contains(&w) && !DO_FORMS.contains(&w)
-            })
+            && prev_lower.is_some_and(|w| !lexicon::is_be_form(w) && !lexicon::is_do_form(w))
         {
             tokens[i].tag = Tag::Noun;
             continue;
@@ -142,8 +156,8 @@ fn contextual_repair(tokens: &mut [Token]) {
             && cur != Tag::VerbGerund
             && matches!(prev, Some(Tag::Det) | Some(Tag::PronounPoss) | Some(Tag::Adj))
         {
-            tokens[i].tag = if tokens[i].lower.ends_with('s') && !tokens[i].lower.ends_with("ss")
-            {
+            let lower = tokens[i].lower();
+            tokens[i].tag = if lower.ends_with('s') && !lower.ends_with("ss") {
                 Tag::NounPlural
             } else {
                 Tag::Noun
@@ -154,14 +168,10 @@ fn contextual_repair(tokens: &mut [Token]) {
         // Rule: pronoun subject directly before a base/plural-ambiguous word
         // makes it a present-tense verb ("we collect", "we harvest" — OOV
         // words included so bootstrapping can discover new verbs).
-        if matches!(cur, Tag::Noun | Tag::NounPlural | Tag::VerbBase)
-            && prev == Some(Tag::Pronoun)
+        if matches!(cur, Tag::Noun | Tag::NounPlural | Tag::VerbBase) && prev == Some(Tag::Pronoun)
         {
-            tokens[i].tag = if tokens[i].lower.ends_with('s') {
-                Tag::Verb3sg
-            } else {
-                Tag::VerbPres
-            };
+            tokens[i].tag =
+                if tokens[i].lower().ends_with('s') { Tag::Verb3sg } else { Tag::VerbPres };
             continue;
         }
 
@@ -170,13 +180,20 @@ fn contextual_repair(tokens: &mut [Token]) {
         // (passive). A VBD/VBN ambiguous "-ed" after a pronoun/noun subject
         // with no auxiliary is past tense.
         if cur == Tag::VerbPastPart {
-            let aux_before = prev_lower.is_some_and(|w| {
-                BE_FORMS.contains(&w) || HAVE_FORMS.contains(&w) || w == "been" || w == "being"
-            }) || prev == Some(Tag::Adv) && i >= 2 && {
-                let w = tokens[i - 2].lower.as_str();
-                BE_FORMS.contains(&w) || HAVE_FORMS.contains(&w)
-            };
-            if !aux_before && matches!(prev, Some(Tag::Pronoun) | Some(Tag::Noun) | Some(Tag::NounPlural) | Some(Tag::NounProper))
+            let aux_before = prev_lower
+                .is_some_and(|w| lexicon::is_be_form(w) || lexicon::is_have_form(w))
+                || prev == Some(Tag::Adv) && i >= 2 && {
+                    let w = tokens[i - 2].lower;
+                    lexicon::is_be_form(w) || lexicon::is_have_form(w)
+                };
+            if !aux_before
+                && matches!(
+                    prev,
+                    Some(Tag::Pronoun)
+                        | Some(Tag::Noun)
+                        | Some(Tag::NounPlural)
+                        | Some(Tag::NounProper)
+                )
             {
                 tokens[i].tag = Tag::VerbPast;
                 continue;
@@ -190,7 +207,7 @@ fn contextual_repair(tokens: &mut [Token]) {
             && i + 1 < n
             && tokens[i + 1].tag.is_nominal()
             && prev != Some(Tag::Modal)
-            && !prev_lower.is_some_and(|w| BE_FORMS.contains(&w))
+            && !prev_lower.is_some_and(lexicon::is_be_form)
         {
             tokens[i].tag = Tag::Adj;
             continue;
@@ -205,7 +222,7 @@ fn contextual_repair(tokens: &mut [Token]) {
 /// ```
 /// use ppchecker_nlp::tagger::tag_str;
 /// let toks = tag_str("Your personal information will be used.");
-/// assert!(toks.iter().any(|t| t.lemma == "use"));
+/// assert!(toks.iter().any(|t| t.lemma() == "use"));
 /// ```
 pub fn tag_str(sentence: &str) -> Vec<Token> {
     let mut toks = crate::token::tokenize(sentence);
@@ -224,17 +241,14 @@ mod tests {
     #[test]
     fn simple_active_sentence() {
         let t = tags("we will collect your location");
-        assert_eq!(
-            t,
-            vec![Tag::Pronoun, Tag::Modal, Tag::VerbBase, Tag::PronounPoss, Tag::Noun]
-        );
+        assert_eq!(t, vec![Tag::Pronoun, Tag::Modal, Tag::VerbBase, Tag::PronounPoss, Tag::Noun]);
     }
 
     #[test]
     fn passive_sentence() {
         let toks = tag_str("your personal information will be used");
         assert_eq!(toks.last().unwrap().tag, Tag::VerbPastPart);
-        assert_eq!(toks.last().unwrap().lemma, "use");
+        assert_eq!(toks.last().unwrap().lemma(), "use");
     }
 
     #[test]
@@ -247,20 +261,20 @@ mod tests {
     fn verb_after_pronoun() {
         let toks = tag_str("we collect information");
         assert_eq!(toks[1].tag, Tag::VerbPres);
-        assert_eq!(toks[1].lemma, "collect");
+        assert_eq!(toks[1].lemma(), "collect");
     }
 
     #[test]
     fn third_person_singular() {
         let toks = tag_str("it collects your device id");
         assert_eq!(toks[1].tag, Tag::Verb3sg);
-        assert_eq!(toks[1].lemma, "collect");
+        assert_eq!(toks[1].lemma(), "collect");
     }
 
     #[test]
     fn infinitive_after_to() {
         let toks = tag_str("we are able to access your contacts");
-        let access = toks.iter().find(|t| t.lower == "access").unwrap();
+        let access = toks.iter().find(|t| t.lower() == "access").unwrap();
         assert_eq!(access.tag, Tag::VerbBase);
     }
 
@@ -269,21 +283,21 @@ mod tests {
         let toks = tag_str("we will not collect data");
         assert_eq!(toks[2].tag, Tag::Adv);
         let toks = tag_str("we don't sell data");
-        assert!(toks.iter().any(|t| t.lower == "n't" && t.tag == Tag::Adv));
+        assert!(toks.iter().any(|t| t.lower() == "n't" && t.tag == Tag::Adv));
     }
 
     #[test]
     fn modal_then_adverb_then_verb() {
         let toks = tag_str("we will never share your contacts");
-        let share = toks.iter().find(|t| t.lower == "share").unwrap();
+        let share = toks.iter().find(|t| t.lower() == "share").unwrap();
         assert_eq!(share.tag, Tag::VerbBase);
     }
 
     #[test]
     fn lemmas_assigned() {
         let toks = tag_str("we stored your contacts");
-        assert_eq!(toks[1].lemma, "store");
-        assert_eq!(toks[3].lemma, "contact");
+        assert_eq!(toks[1].lemma(), "store");
+        assert_eq!(toks[3].lemma(), "contact");
     }
 }
 
@@ -294,7 +308,7 @@ mod rule_tests {
     fn tag_of(sentence: &str, word: &str) -> Tag {
         tag_str(sentence)
             .into_iter()
-            .find(|t| t.lower == word)
+            .find(|t| t.lower() == word)
             .unwrap_or_else(|| panic!("{word} not in {sentence}"))
             .tag
     }

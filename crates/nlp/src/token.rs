@@ -1,5 +1,6 @@
 //! Tokens, part-of-speech tags, and the tokenizer.
 
+use crate::intern::{intern, Symbol};
 use std::fmt;
 
 /// Part-of-speech tags, modeled on the Penn Treebank tag set that the
@@ -69,10 +70,7 @@ impl Tag {
 
     /// Returns `true` for any nominal tag (`NN*`, pronouns).
     pub fn is_nominal(self) -> bool {
-        matches!(
-            self,
-            Tag::Noun | Tag::NounPlural | Tag::NounProper | Tag::Pronoun
-        )
+        matches!(self, Tag::Noun | Tag::NounPlural | Tag::NounProper | Tag::Pronoun)
     }
 
     /// Returns `true` for tags that may appear inside a noun phrase before
@@ -122,38 +120,68 @@ impl fmt::Display for Tag {
     }
 }
 
-/// A single token: its surface text, lowercased form, and (after tagging)
-/// its part of speech and lemma.
+/// A single token: its interned surface text, lowercased form, and (after
+/// tagging) its part of speech and lemma.
+///
+/// The three text fields are [`Symbol`]s into the process-wide interner —
+/// a `Token` is `Copy`-cheap to clone and carries no owned strings. The
+/// source position survives as the `start` byte offset (with
+/// [`Token::end`] derived from the resolved text), so span-based slicing
+/// of the original sentence still works. Same-named accessor methods
+/// ([`Token::text`], [`Token::lower`], [`Token::lemma`]) resolve the
+/// symbols to `&'static str` for string-shaped call sites.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
-    /// Surface form as it appeared in the input.
-    pub text: String,
-    /// Lowercased surface form.
-    pub lower: String,
+    /// Surface form as it appeared in the input (interned).
+    pub text: Symbol,
+    /// Lowercased surface form (interned).
+    pub lower: Symbol,
     /// Part-of-speech tag; [`Tag::Other`] until tagged.
     pub tag: Tag,
-    /// Lemma (base form); equals `lower` until lemmatized.
-    pub lemma: String,
+    /// Lemma (base form); equals `lower` until lemmatized (interned).
+    pub lemma: Symbol,
     /// Byte offset of the token start in the original sentence string.
     pub start: usize,
 }
 
 impl Token {
-    /// Creates an untagged token.
+    /// Creates an untagged token, interning its surface form.
     pub fn new(text: &str, start: usize) -> Self {
-        let lower = text.to_lowercase();
-        Token {
-            text: text.to_string(),
-            lemma: lower.clone(),
-            lower,
-            tag: Tag::Other,
-            start,
-        }
+        let text_sym = intern(text);
+        // Policy sentences are normalized to lowercase upstream, so the
+        // common case needs no second allocation or interner probe.
+        let lower = if text.chars().any(|c| c.is_uppercase()) {
+            intern(&text.to_lowercase())
+        } else {
+            text_sym
+        };
+        Token { text: text_sym, lemma: lower, lower, tag: Tag::Other, start }
+    }
+
+    /// The surface text.
+    pub fn text(&self) -> &'static str {
+        self.text.as_str()
+    }
+
+    /// The lowercased surface text.
+    pub fn lower(&self) -> &'static str {
+        self.lower.as_str()
+    }
+
+    /// The lemma text.
+    pub fn lemma(&self) -> &'static str {
+        self.lemma.as_str()
+    }
+
+    /// One past the last byte of the token in the original sentence.
+    pub fn end(&self) -> usize {
+        self.start + self.text().len()
     }
 
     /// Returns `true` if this token is punctuation-only.
     pub fn is_punct(&self) -> bool {
-        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_punctuation())
+        let text = self.text();
+        !text.is_empty() && text.chars().all(|c| c.is_ascii_punctuation())
     }
 }
 
@@ -174,7 +202,7 @@ impl fmt::Display for Token {
 /// ```
 /// use ppchecker_nlp::token::tokenize;
 /// let toks = tokenize("We don't sell your e-mail address.");
-/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// let words: Vec<&str> = toks.iter().map(|t| t.text()).collect();
 /// assert_eq!(words, ["We", "do", "n't", "sell", "your", "e-mail", "address", "."]);
 /// ```
 pub fn tokenize(sentence: &str) -> Vec<Token> {
@@ -240,15 +268,13 @@ pub fn tokenize(sentence: &str) -> Vec<Token> {
             // "don't"/"won't": move the "n" from the previous token so the
             // negation surfaces as the Penn-style "n't" token.
             if suffix == "'t"
-                && tokens
-                    .last()
-                    .is_some_and(|t| t.lower.ends_with('n') && t.lower.len() > 1)
+                && tokens.last().is_some_and(|t| t.lower().ends_with('n') && t.lower().len() > 1)
             {
                 let prev = tokens.pop().expect("checked non-empty");
-                let keep_len = prev.text.len() - 1;
-                let keep = prev.text[..keep_len].to_string();
+                let prev_text = prev.text();
+                let keep_len = prev_text.len() - 1;
                 let prev_start = prev.start;
-                tokens.push(Token::new(&keep, prev_start));
+                tokens.push(Token::new(&prev_text[..keep_len], prev_start));
                 tokens.push(Token::new("n't", prev_start + keep_len));
             } else {
                 tokens.push(Token::new(suffix, start));
@@ -266,10 +292,7 @@ pub fn tokenize(sentence: &str) -> Vec<Token> {
 /// looks like a reverse-domain prefix) as dotted identifiers.
 fn word_so_far_is_dotted(prefix: &str) -> bool {
     prefix.contains('.')
-        || matches!(
-            prefix,
-            "com" | "org" | "net" | "android" | "io" | "www" | "edu"
-        )
+        || matches!(prefix, "com" | "org" | "net" | "android" | "io" | "www" | "edu")
 }
 
 fn push_word(tokens: &mut Vec<Token>, word: &str, start: usize) {
@@ -292,27 +315,27 @@ mod tests {
     #[test]
     fn tokenize_simple_sentence() {
         let toks = tokenize("We will collect your location.");
-        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        let words: Vec<&str> = toks.iter().map(|t| t.text()).collect();
         assert_eq!(words, ["We", "will", "collect", "your", "location", "."]);
     }
 
     #[test]
     fn tokenize_keeps_hyphenated_words() {
         let toks = tokenize("third-party libraries");
-        assert_eq!(toks[0].text, "third-party");
+        assert_eq!(toks[0].text(), "third-party");
     }
 
     #[test]
     fn tokenize_splits_negative_contraction() {
         let toks = tokenize("we won't share data");
-        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        let words: Vec<&str> = toks.iter().map(|t| t.text()).collect();
         assert_eq!(words, ["we", "wo", "n't", "share", "data"]);
     }
 
     #[test]
     fn tokenize_handles_uri_like_tokens() {
         let toks = tokenize("query content://com.android.calendar now");
-        assert!(toks.iter().any(|t| t.text.contains("content://")));
+        assert!(toks.iter().any(|t| t.text().contains("content://")));
     }
 
     #[test]
@@ -331,8 +354,18 @@ mod tests {
     #[test]
     fn punctuation_detection() {
         let toks = tokenize("data, and logs;");
-        assert!(toks.iter().any(|t| t.text == "," && t.is_punct()));
-        assert!(toks.iter().any(|t| t.text == ";" && t.is_punct()));
+        assert!(toks.iter().any(|t| t.text() == "," && t.is_punct()));
+        assert!(toks.iter().any(|t| t.text() == ";" && t.is_punct()));
+    }
+
+    #[test]
+    fn lowercase_input_shares_symbols() {
+        let toks = tokenize("collect location");
+        assert_eq!(toks[0].text, toks[0].lower);
+        let toks2 = tokenize("Collect location");
+        assert_ne!(toks2[0].text, toks2[0].lower);
+        assert_eq!(toks2[0].lower(), "collect");
+        assert_eq!(toks2[0].end(), 7);
     }
 
     #[test]

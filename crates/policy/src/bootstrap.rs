@@ -13,6 +13,7 @@ use crate::elements;
 use crate::patterns::{match_sentence, Pattern, PatternKind};
 use crate::verbs::VerbCategory;
 use ppchecker_nlp::depparse::{parse, Parse, Rel};
+use ppchecker_nlp::intern::Symbol;
 use std::collections::HashMap;
 
 /// A mining-corpus sentence, labeled with the behaviour section it came
@@ -59,17 +60,41 @@ impl Default for Bootstrapper {
         let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect();
         Bootstrapper {
             subject_blacklist: s(&[
-                "you", "user", "users", "visitor", "visitors", "customer", "customers",
-                "member", "members", "child", "children",
+                "you",
+                "user",
+                "users",
+                "visitor",
+                "visitors",
+                "customer",
+                "customers",
+                "member",
+                "members",
+                "child",
+                "children",
             ]),
             verb_blacklist: s(&[
-                "be", "have", "make", "do", "go", "come", "see", "say", "want", "like",
-                "visit", "click", "agree", "read", "contact", "review",
+                "be", "have", "make", "do", "go", "come", "see", "say", "want", "like", "visit",
+                "click", "agree", "read", "contact", "review",
             ]),
             object_blacklist: s(&[
-                "service", "services", "website", "site", "app", "application", "policy",
-                "terms", "agreement", "question", "questions", "page", "pages", "feature",
-                "features", "experience", "time", "support",
+                "service",
+                "services",
+                "website",
+                "site",
+                "app",
+                "application",
+                "policy",
+                "terms",
+                "agreement",
+                "question",
+                "questions",
+                "page",
+                "pages",
+                "feature",
+                "features",
+                "experience",
+                "time",
+                "support",
             ]),
         }
     }
@@ -80,29 +105,28 @@ impl Bootstrapper {
     /// patterns followed by every mined pattern (unranked — rank with
     /// [`score_patterns`]).
     pub fn mine(&self, corpus: &[CorpusSentence]) -> Vec<Pattern> {
-        let parses: Vec<(Parse, VerbCategory)> = corpus
-            .iter()
-            .map(|s| (parse(&s.text), s.category))
-            .collect();
+        let parses: Vec<(Parse, VerbCategory)> =
+            corpus.iter().map(|s| (parse(&s.text), s.category)).collect();
 
         let mut patterns = Pattern::seeds();
 
         loop {
             // Phase a: harvest subjects/objects from matched sentences.
-            let mut subjects: HashMap<String, usize> = HashMap::new();
+            let mut subjects: HashMap<Symbol, usize> = HashMap::new();
             let mut objects: HashMap<String, usize> = HashMap::new();
             let mut matched = vec![false; parses.len()];
             for (i, (p, _)) in parses.iter().enumerate() {
                 if let Some(m) = match_sentence(p, &patterns) {
                     matched[i] = true;
                     if let Some(exec) = elements::executor_of(p, m.verb) {
-                        if !self.subject_blacklist.contains(&exec) {
+                        if !self.subject_blacklist.iter().any(|b| b == exec.as_str()) {
                             *subjects.entry(exec).or_insert(0) += 1;
                         }
                     }
                     for r in elements::resources_of(p, &m) {
+                        let text = r.as_str();
                         let head = ppchecker_nlp::lemma::lemmatize_noun(
-                            r.split_whitespace().last().unwrap_or(&r),
+                            text.split_whitespace().last().unwrap_or(text),
                         );
                         if !self.object_blacklist.contains(&head) {
                             *objects.entry(head).or_insert(0) += 1;
@@ -110,7 +134,7 @@ impl Bootstrapper {
                     }
                 }
             }
-            let subj_list = above_median(&subjects);
+            let subj_list = above_median_syms(&subjects);
             let obj_list = above_median(&objects);
 
             // Phase b: propose patterns from unmatched sentences whose
@@ -141,30 +165,32 @@ impl Bootstrapper {
         &self,
         p: &Parse,
         category: VerbCategory,
-        subj_list: &[String],
+        subj_list: &[Symbol],
         obj_list: &[String],
     ) -> Option<Pattern> {
         let root = p.root?;
-        let subj = p
-            .dependent(root, Rel::Nsubj)
-            .or_else(|| p.dependent(root, Rel::NsubjPass))?;
-        let subj_word = p.tokens[subj].lower.clone();
-        if self.subject_blacklist.contains(&subj_word) || !subj_list.contains(&subj_word) {
+        let subj = p.dependent(root, Rel::Nsubj).or_else(|| p.dependent(root, Rel::NsubjPass))?;
+        let subj_word = p.tokens[subj].lower;
+        if self.subject_blacklist.iter().any(|b| b == subj_word.as_str())
+            || !subj_list.contains(&subj_word)
+        {
             return None;
         }
-        let root_lemma = p.lemma(root).to_string();
-        if self.verb_blacklist.contains(&root_lemma) {
+        let root_lemma = p.lemma_sym(root);
+        if self.verb_blacklist.iter().any(|b| b == root_lemma.as_str()) {
             // "have access to X": the verb is blacklisted but the
             // verb+object-noun shape may still be meaningful.
             let obj = p.dependent(root, Rel::Dobj)?;
-            let noun = p.lemma(obj).to_string();
-            if self.object_blacklist.contains(&noun) {
+            let noun = p.lemma_sym(obj);
+            if self.object_blacklist.iter().any(|b| b == noun.as_str()) {
                 return None;
             }
             // The actual resource must follow and be known.
             let chunk = p.chunks.iter().find(|c| c.start > obj)?;
-            let res_head = p.tokens[chunk.head].lemma.clone();
-            if !obj_list.contains(&res_head) || self.object_blacklist.contains(&res_head) {
+            let res_head = p.tokens[chunk.head].lemma;
+            if !obj_list.iter().any(|o| o == res_head.as_str())
+                || self.object_blacklist.iter().any(|b| b == res_head.as_str())
+            {
                 return None;
             }
             return Some(Pattern::new(PatternKind::VerbNounResource {
@@ -174,18 +200,29 @@ impl Bootstrapper {
             }));
         }
         // Plain new verb: its object must be a known resource.
-        let obj = p
-            .dependent(root, Rel::Dobj)
-            .or_else(|| p.dependent(root, Rel::NsubjPass))?;
-        let obj_lemma = p.tokens[obj].lemma.clone();
-        if self.object_blacklist.contains(&obj_lemma) || !obj_list.contains(&obj_lemma) {
+        let obj = p.dependent(root, Rel::Dobj).or_else(|| p.dependent(root, Rel::NsubjPass))?;
+        let obj_lemma = p.tokens[obj].lemma;
+        if self.object_blacklist.iter().any(|b| b == obj_lemma.as_str())
+            || !obj_list.iter().any(|o| o == obj_lemma.as_str())
+        {
             return None;
         }
-        if VerbCategory::of_verb(&root_lemma).is_some() {
+        if VerbCategory::of_verb_sym(root_lemma).is_some() {
             return None; // already covered by seeds
         }
         Some(Pattern::new(PatternKind::LexicalVerb { verb: root_lemma, category }))
     }
+}
+
+fn above_median_syms(freqs: &HashMap<Symbol, usize>) -> Vec<Symbol> {
+    if freqs.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<usize> = freqs.values().copied().collect();
+    counts.sort_unstable();
+    let median = counts[counts.len() / 2];
+    let threshold = median.max(1);
+    freqs.iter().filter(|(_, &c)| c >= threshold).map(|(&w, _)| w).collect()
 }
 
 fn above_median(freqs: &HashMap<String, usize>) -> Vec<String> {
@@ -196,11 +233,7 @@ fn above_median(freqs: &HashMap<String, usize>) -> Vec<String> {
     counts.sort_unstable();
     let median = counts[counts.len() / 2];
     let threshold = median.max(1);
-    freqs
-        .iter()
-        .filter(|(_, &c)| c >= threshold)
-        .map(|(w, _)| w.clone())
-        .collect()
+    freqs.iter().filter(|(_, &c)| c >= threshold).map(|(w, _)| w.clone()).collect()
 }
 
 /// Scores patterns against manually-labeled positive and negative sentence
@@ -224,24 +257,14 @@ pub fn score_patterns(
         .iter()
         .map(|pat| {
             let single = std::slice::from_ref(pat);
-            let pos = pos_parses
-                .iter()
-                .filter(|p| match_sentence(p, single).is_some())
-                .count();
-            let neg = neg_parses
-                .iter()
-                .filter(|p| match_sentence(p, single).is_some())
-                .count();
+            let pos = pos_parses.iter().filter(|p| match_sentence(p, single).is_some()).count();
+            let neg = neg_parses.iter().filter(|p| match_sentence(p, single).is_some()).count();
             let denom = (pos + neg) as f64;
             let acc = if denom > 0.0 { pos as f64 / denom } else { 0.0 };
             let conf_denom = (pos + neg + unk) as f64;
-            let conf = if conf_denom > 0.0 {
-                (pos as f64 - neg as f64) / conf_denom
-            } else {
-                0.0
-            };
+            let conf = if conf_denom > 0.0 { (pos as f64 - neg as f64) / conf_denom } else { 0.0 };
             let score = if pos > 0 { conf * (pos as f64).ln() } else { f64::NEG_INFINITY };
-            ScoredPattern { pattern: pat.clone(), pos, neg, acc, conf, score }
+            ScoredPattern { pattern: *pat, pos, neg, acc, conf, score }
         })
         .collect();
     scored.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
@@ -250,7 +273,7 @@ pub fn score_patterns(
 
 /// Takes the top-`n` patterns from a scored ranking.
 pub fn select_top_n(scored: &[ScoredPattern], n: usize) -> Vec<Pattern> {
-    scored.iter().take(n).map(|s| s.pattern.clone()).collect()
+    scored.iter().take(n).map(|s| s.pattern).collect()
 }
 
 #[cfg(test)]
@@ -277,7 +300,7 @@ mod tests {
         let b = Bootstrapper::default();
         let pats = b.mine(&corpus());
         assert!(pats.iter().any(|p| matches!(
-            &p.kind,
+            p.kind,
             PatternKind::LexicalVerb { verb, category: VerbCategory::Collect } if verb == "harvest"
         )));
     }
@@ -287,7 +310,7 @@ mod tests {
         let b = Bootstrapper::default();
         let pats = b.mine(&corpus());
         assert!(pats.iter().any(|p| matches!(
-            &p.kind,
+            p.kind,
             PatternKind::VerbNounResource { verb, noun, .. } if verb == "have" && noun == "access"
         )));
     }
@@ -302,7 +325,7 @@ mod tests {
         });
         let pats = b.mine(&c);
         assert!(!pats.iter().any(|p| matches!(
-            &p.kind,
+            p.kind,
             PatternKind::LexicalVerb { verb, .. } if verb == "download"
         )));
     }

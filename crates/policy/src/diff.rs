@@ -58,11 +58,7 @@ fn statements(analysis: &PolicyAnalysis) -> BTreeSet<Statement> {
     for cat in VerbCategory::ALL {
         for negative in [false, true] {
             for r in analysis.resources(cat, negative) {
-                out.insert(Statement {
-                    category: cat,
-                    resource: r.to_string(),
-                    negative,
-                });
+                out.insert(Statement { category: cat, resource: r.to_string(), negative });
             }
         }
     }

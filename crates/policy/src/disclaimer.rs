@@ -60,8 +60,6 @@ mod tests {
 
     #[test]
     fn liability_variant() {
-        assert!(is_disclaimer(
-            "we are not liable for the data collection of third parties"
-        ));
+        assert!(is_disclaimer("we are not liable for the data collection of third parties"));
     }
 }

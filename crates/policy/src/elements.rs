@@ -3,7 +3,8 @@
 
 use crate::patterns::SentenceMatch;
 use ppchecker_nlp::depparse::{Parse, Rel};
-use ppchecker_nlp::lexicon::SUBORDINATORS;
+use ppchecker_nlp::intern::Symbol;
+use ppchecker_nlp::lexicon;
 
 /// Constraint kind: pre-conditions start with "if"/"upon"/"unless";
 /// post-conditions start with "when"/"before" (and kin).
@@ -25,22 +26,42 @@ pub struct Constraint {
 }
 
 /// The four information elements of a useful sentence.
+///
+/// Verb, executor and resources are interned [`Symbol`]s; the string views
+/// are recovered through the accessor methods.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Elements {
     /// The main verb lemma.
-    pub main_verb: String,
+    pub main_verb: Symbol,
     /// The action executor (subject), lowercased, if present.
-    pub executor: Option<String>,
+    pub executor: Option<Symbol>,
     /// Resource phrases (determiner-stripped noun phrases).
-    pub resources: Vec<String>,
+    pub resources: Vec<Symbol>,
     /// Constraints attached to the sentence.
     pub constraints: Vec<Constraint>,
+}
+
+impl Elements {
+    /// The main verb lemma as text.
+    pub fn main_verb(&self) -> &'static str {
+        self.main_verb.as_str()
+    }
+
+    /// The executor as text.
+    pub fn executor(&self) -> Option<&'static str> {
+        self.executor.map(Symbol::as_str)
+    }
+
+    /// The resource phrases as text, in extraction order.
+    pub fn resource_texts(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.resources.iter().map(|s| s.as_str())
+    }
 }
 
 /// Extracts the information elements for a matched sentence.
 pub fn extract(parse: &Parse, m: &SentenceMatch) -> Elements {
     Elements {
-        main_verb: parse.lemma(m.verb).to_string(),
+        main_verb: parse.lemma_sym(m.verb),
         executor: executor_of(parse, m.verb),
         resources: resources_of(parse, m),
         constraints: constraints_of(parse),
@@ -49,20 +70,17 @@ pub fn extract(parse: &Parse, m: &SentenceMatch) -> Elements {
 
 /// The action executor: the subject of the verb, or of its governor for
 /// xcomp chains ("we are able to collect" — executor "we").
-pub fn executor_of(parse: &Parse, verb: usize) -> Option<String> {
-    let direct = parse
-        .dependent(verb, Rel::Nsubj)
-        .or_else(|| parse.dependent(verb, Rel::NsubjPass));
+pub fn executor_of(parse: &Parse, verb: usize) -> Option<Symbol> {
+    let direct =
+        parse.dependent(verb, Rel::Nsubj).or_else(|| parse.dependent(verb, Rel::NsubjPass));
     let subj = direct.or_else(|| {
         [Rel::Xcomp, Rel::Advcl, Rel::Conj].iter().find_map(|&r| {
             parse.governor(verb, r).and_then(|g| {
-                parse
-                    .dependent(g, Rel::Nsubj)
-                    .or_else(|| parse.dependent(g, Rel::NsubjPass))
+                parse.dependent(g, Rel::Nsubj).or_else(|| parse.dependent(g, Rel::NsubjPass))
             })
         })
     })?;
-    Some(parse.tokens[subj].lower.clone())
+    Some(parse.tokens[subj].lower)
 }
 
 /// Extracts the resource phrases handled by the matched verb.
@@ -71,7 +89,7 @@ pub fn executor_of(parse: &Parse, verb: usize) -> Option<String> {
 /// "such as"/"including" appositions. Passive voice: the passive subject
 /// and its conjuncts. [`SentenceMatch::resource_after`] overrides with the
 /// NP following the object noun ("access **to your contacts**").
-pub fn resources_of(parse: &Parse, m: &SentenceMatch) -> Vec<String> {
+pub fn resources_of(parse: &Parse, m: &SentenceMatch) -> Vec<Symbol> {
     let mut heads: Vec<usize> = Vec::new();
 
     if let Some(after) = m.resource_after {
@@ -92,7 +110,7 @@ pub fn resources_of(parse: &Parse, m: &SentenceMatch) -> Vec<String> {
     // hanging off the verb ("collect information such as your name").
     if !heads.is_empty() || m.resource_after.is_none() {
         for prep in parse.dependents(m.verb, Rel::Prep) {
-            let w = parse.tokens[prep].lower.as_str();
+            let w = parse.tokens[prep].lower();
             if matches!(w, "as" | "including" | "of") {
                 if let Some(pobj) = parse.dependent(prep, Rel::Pobj) {
                     push_with_conjs(parse, pobj, &mut heads);
@@ -104,14 +122,14 @@ pub fn resources_of(parse: &Parse, m: &SentenceMatch) -> Vec<String> {
     heads
         .into_iter()
         .filter_map(|h| {
-            let text = parse
+            let sym = parse
                 .chunk_headed_by(h)
-                .map(|c| c.content_text(&parse.tokens))
-                .unwrap_or_else(|| parse.tokens[h].lower.clone());
-            if text.is_empty() {
+                .map(|c| c.content_symbol(&parse.tokens))
+                .unwrap_or(parse.tokens[h].lower);
+            if sym.as_str().is_empty() {
                 None
             } else {
-                Some(text)
+                Some(sym)
             }
         })
         .collect()
@@ -137,10 +155,10 @@ pub fn constraints_of(parse: &Parse) -> Vec<Constraint> {
             continue;
         }
         let marker = d.dep;
-        let word = parse.tokens[marker].lower.as_str();
-        if !SUBORDINATORS.contains(&word) {
+        if !lexicon::is_subordinator(parse.tokens[marker].lower) {
             continue;
         }
+        let word = parse.tokens[marker].lower();
         let kind = match word {
             "if" | "upon" | "unless" => ConstraintKind::Pre,
             _ => ConstraintKind::Post,
@@ -148,14 +166,11 @@ pub fn constraints_of(parse: &Parse) -> Vec<Constraint> {
         // Clause text: marker up to the next comma or sentence end.
         let end = parse.tokens[marker + 1..]
             .iter()
-            .position(|t| t.lower == ",")
+            .position(|t| t.lower() == ",")
             .map(|p| marker + 1 + p)
             .unwrap_or(parse.tokens.len());
-        let text = parse.tokens[marker..end]
-            .iter()
-            .map(|t| t.lower.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
+        let text =
+            parse.tokens[marker..end].iter().map(|t| t.lower()).collect::<Vec<_>>().join(" ");
         out.push(Constraint { kind, text });
     }
     out
@@ -180,9 +195,9 @@ mod tests {
         let e = elements(
             "we will provide your information to third party companies to improve service if you agree",
         );
-        assert_eq!(e.main_verb, "provide");
-        assert_eq!(e.executor.as_deref(), Some("we"));
-        assert_eq!(e.resources, vec!["information"]);
+        assert_eq!(e.main_verb(), "provide");
+        assert_eq!(e.executor(), Some("we"));
+        assert_eq!(e.resource_texts().collect::<Vec<_>>(), vec!["information"]);
         assert_eq!(e.constraints.len(), 1);
         assert_eq!(e.constraints[0].kind, ConstraintKind::Pre);
         assert!(e.constraints[0].text.starts_with("if you"));
@@ -191,25 +206,27 @@ mod tests {
     #[test]
     fn passive_resource_is_subject() {
         let e = elements("your location will be collected by us");
-        assert_eq!(e.main_verb, "collect");
-        assert_eq!(e.resources, vec!["location"]);
+        assert_eq!(e.main_verb(), "collect");
+        assert_eq!(e.resource_texts().collect::<Vec<_>>(), vec!["location"]);
     }
 
     #[test]
     fn coordinated_resources() {
         let e = elements("we will not store your real phone number , name and contacts");
         assert_eq!(e.resources.len(), 3);
-        assert!(e.resources.contains(&"real phone number".to_string()));
-        assert!(e.resources.contains(&"name".to_string()));
-        assert!(e.resources.contains(&"contacts".to_string()));
+        let texts: Vec<&str> = e.resource_texts().collect();
+        assert!(texts.contains(&"real phone number"));
+        assert!(texts.contains(&"name"));
+        assert!(texts.contains(&"contacts"));
     }
 
     #[test]
     fn such_as_expansion() {
         let e = elements("we collect information such as your name and your email address");
-        assert!(e.resources.contains(&"information".to_string()));
-        assert!(e.resources.contains(&"name".to_string()));
-        assert!(e.resources.contains(&"email address".to_string()));
+        let texts: Vec<&str> = e.resource_texts().collect();
+        assert!(texts.contains(&"information"));
+        assert!(texts.contains(&"name"));
+        assert!(texts.contains(&"email address"));
     }
 
     #[test]
@@ -222,8 +239,8 @@ mod tests {
     #[test]
     fn executor_through_xcomp() {
         let e = elements("we are able to collect location information");
-        assert_eq!(e.executor.as_deref(), Some("we"));
-        assert_eq!(e.resources, vec!["location information"]);
+        assert_eq!(e.executor(), Some("we"));
+        assert_eq!(e.resource_texts().collect::<Vec<_>>(), vec!["location information"]);
     }
 }
 
@@ -271,8 +288,9 @@ mod more_tests {
     #[test]
     fn passive_conjunction_resources() {
         let e = elements("your name and your email address will be collected");
-        assert!(e.resources.contains(&"name".to_string()));
-        assert!(e.resources.contains(&"email address".to_string()));
+        let texts: Vec<&str> = e.resource_texts().collect();
+        assert!(texts.contains(&"name"));
+        assert!(texts.contains(&"email address"));
     }
 
     #[test]

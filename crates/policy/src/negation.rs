@@ -7,21 +7,40 @@
 //! adverbs ("hardly"), adjectives ("unable"), and determiners ("no").
 
 use ppchecker_nlp::depparse::{Parse, Rel};
+use ppchecker_nlp::intern::{Symbol, SymbolSet};
+use std::sync::OnceLock;
 
 /// Negative adverbs and particles.
-pub const NEG_ADVERBS: &[&str] = &[
-    "not", "n't", "never", "hardly", "rarely", "seldom", "scarcely", "barely", "neither", "nor",
-];
+pub const NEG_ADVERBS: &[&str] =
+    &["not", "n't", "never", "hardly", "rarely", "seldom", "scarcely", "barely", "neither", "nor"];
 
 /// Negative determiners and pronouns.
 pub const NEG_DETERMINERS: &[&str] = &["no", "none", "nothing", "nobody", "neither"];
 
 /// Negative verbs: their complement is negated ("we prevent the app from
 /// collecting...").
-pub const NEG_VERBS: &[&str] = &["prevent", "refuse", "decline", "deny", "avoid", "prohibit", "forbid"];
+pub const NEG_VERBS: &[&str] =
+    &["prevent", "refuse", "decline", "deny", "avoid", "prohibit", "forbid"];
 
 /// Negative adjectives ("we are unable to collect ...").
 pub const NEG_ADJECTIVES: &[&str] = &["unable", "unlikely", "impossible"];
+
+/// Negative verbs and adjectives, as an interned set.
+fn is_neg_head(lemma: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut words: Vec<&'static str> = NEG_VERBS.to_vec();
+        words.extend_from_slice(NEG_ADJECTIVES);
+        SymbolSet::new(&words)
+    })
+    .contains(lemma)
+}
+
+/// Negative determiners and pronouns, as an interned set.
+fn is_neg_determiner(word: Symbol) -> bool {
+    static SET: OnceLock<SymbolSet> = OnceLock::new();
+    SET.get_or_init(|| SymbolSet::new(NEG_DETERMINERS)).contains(word)
+}
 
 /// Decides whether the clause rooted at `verb` is negated.
 ///
@@ -35,8 +54,7 @@ pub fn is_negative(parse: &Parse, verb: usize) -> bool {
         return true;
     }
     // Negative root lemma (negative verb or adjective as root/governor).
-    let lemma = parse.lemma(verb);
-    if NEG_VERBS.contains(&lemma) || NEG_ADJECTIVES.contains(&lemma) {
+    if is_neg_head(parse.lemma_sym(verb)) {
         return true;
     }
     // A negated or negative governor: "we are unable to collect",
@@ -47,8 +65,7 @@ pub fn is_negative(parse: &Parse, verb: usize) -> bool {
             if parse.dependent(gov, Rel::Neg).is_some() {
                 return true;
             }
-            let gl = parse.lemma(gov);
-            if NEG_VERBS.contains(&gl) || NEG_ADJECTIVES.contains(&gl) {
+            if is_neg_head(parse.lemma_sym(gov)) {
                 return true;
             }
         }
@@ -61,27 +78,25 @@ pub fn is_negative(parse: &Parse, verb: usize) -> bool {
             // Subject may attach to the governor ("we are unable to ...").
             [Rel::Xcomp, Rel::Advcl].iter().find_map(|&r| {
                 parse.governor(verb, r).and_then(|g| {
-                    parse
-                        .dependent(g, Rel::Nsubj)
-                        .or_else(|| parse.dependent(g, Rel::NsubjPass))
+                    parse.dependent(g, Rel::Nsubj).or_else(|| parse.dependent(g, Rel::NsubjPass))
                 })
             })
         });
     if let Some(s) = subj {
-        if NEG_DETERMINERS.contains(&parse.tokens[s].lower.as_str()) {
+        if is_neg_determiner(parse.tokens[s].lower) {
             return true;
         }
         if let Some(chunk) = parse.chunk_headed_by(s) {
             for i in chunk.start..chunk.end {
-                if NEG_DETERMINERS.contains(&parse.tokens[i].lower.as_str()) {
+                if is_neg_determiner(parse.tokens[i].lower) {
                     return true;
                 }
             }
             // Partitive negative subjects: "none of your contacts will be
             // collected" — the negative head sits before the "of".
             if chunk.start >= 2
-                && parse.tokens[chunk.start - 1].lower == "of"
-                && NEG_DETERMINERS.contains(&parse.tokens[chunk.start - 2].lower.as_str())
+                && parse.tokens[chunk.start - 1].lower() == "of"
+                && is_neg_determiner(parse.tokens[chunk.start - 2].lower)
             {
                 return true;
             }

@@ -8,10 +8,15 @@
 
 use crate::verbs::VerbCategory;
 use ppchecker_nlp::depparse::{Parse, Rel};
+use ppchecker_nlp::intern::{Interner, Symbol};
 use std::fmt;
+use std::sync::OnceLock;
 
-/// The shape a pattern matches.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The shape a pattern matches. Lexical material (trigger words, mined
+/// verb/noun lemmas) is held as interned [`Symbol`]s, so matching compares
+/// `u32`s against the parse's lemma symbols and a whole `Pattern` is a
+/// small `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatternKind {
     /// P1: the root verb is a main verb, active voice
     /// ("we will collect location").
@@ -24,13 +29,13 @@ pub enum PatternKind {
     /// ("we are allowed to access your personal information").
     PassiveAllow {
         /// The participle word, e.g. "allowed".
-        trigger: String,
+        trigger: Symbol,
     },
     /// P4: ability expression — root is the copular adjective `trigger`
     /// with an xcomp main verb ("we are able to collect location").
     AbilityAdj {
         /// The adjective, e.g. "able".
-        trigger: String,
+        trigger: Symbol,
     },
     /// P5: purpose expression — the root has an advcl/xcomp verb that is a
     /// main verb ("we use GPS to get your location").
@@ -39,7 +44,7 @@ pub enum PatternKind {
     /// category ("we may harvest your contacts" → collect).
     LexicalVerb {
         /// The verb lemma.
-        verb: String,
+        verb: Symbol,
         /// Category the bootstrapper assigned.
         category: VerbCategory,
     },
@@ -47,16 +52,16 @@ pub enum PatternKind {
     /// noun ("we have access to your contacts").
     VerbNounResource {
         /// Root verb lemma, e.g. "have".
-        verb: String,
+        verb: Symbol,
         /// Object noun lemma, e.g. "access".
-        noun: String,
+        noun: Symbol,
         /// Category the bootstrapper assigned.
         category: VerbCategory,
     },
 }
 
 /// A selectable pattern.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pattern {
     /// The matcher.
     pub kind: PatternKind,
@@ -68,15 +73,30 @@ impl Pattern {
         Pattern { kind }
     }
 
-    /// The five seed patterns of Table II.
+    /// The five seed patterns of Table II, as a shared static table.
+    pub fn seed_set() -> &'static [Pattern] {
+        static SEEDS: OnceLock<[Pattern; 5]> = OnceLock::new();
+        SEEDS
+            .get_or_init(|| {
+                let interner = Interner::global();
+                [
+                    Pattern::new(PatternKind::ActiveVoice),
+                    Pattern::new(PatternKind::PassiveVoice),
+                    Pattern::new(PatternKind::PassiveAllow {
+                        trigger: interner.intern_static("allow"),
+                    }),
+                    Pattern::new(PatternKind::AbilityAdj {
+                        trigger: interner.intern_static("able"),
+                    }),
+                    Pattern::new(PatternKind::PurposeClause),
+                ]
+            })
+            .as_slice()
+    }
+
+    /// The five seed patterns of Table II as an owned, extendable list.
     pub fn seeds() -> Vec<Pattern> {
-        vec![
-            Pattern::new(PatternKind::ActiveVoice),
-            Pattern::new(PatternKind::PassiveVoice),
-            Pattern::new(PatternKind::PassiveAllow { trigger: "allow".to_string() }),
-            Pattern::new(PatternKind::AbilityAdj { trigger: "able".to_string() }),
-            Pattern::new(PatternKind::PurposeClause),
-        ]
+        Pattern::seed_set().to_vec()
     }
 }
 
@@ -116,18 +136,15 @@ pub struct SentenceMatch {
 /// the first hit.
 pub fn match_sentence(parse: &Parse, patterns: &[Pattern]) -> Option<SentenceMatch> {
     let root = parse.root?;
-    patterns
-        .iter()
-        .enumerate()
-        .find_map(|(idx, p)| match_one(parse, root, idx, p))
+    patterns.iter().enumerate().find_map(|(idx, p)| match_one(parse, root, idx, p))
 }
 
 fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Option<SentenceMatch> {
-    let root_lemma = parse.lemma(root).to_string();
+    let root_lemma = parse.lemma_sym(root);
     let root_passive = parse.has_auxpass(root);
-    match &pattern.kind {
+    match pattern.kind {
         PatternKind::ActiveVoice => {
-            let cat = VerbCategory::of_verb(&root_lemma)?;
+            let cat = VerbCategory::of_verb_sym(root_lemma)?;
             if root_passive {
                 return None;
             }
@@ -140,7 +157,7 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
             })
         }
         PatternKind::PassiveVoice => {
-            let cat = VerbCategory::of_verb(&root_lemma)?;
+            let cat = VerbCategory::of_verb_sym(root_lemma)?;
             if !root_passive {
                 return None;
             }
@@ -153,11 +170,11 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
             })
         }
         PatternKind::PassiveAllow { trigger } => {
-            if &root_lemma != trigger || !root_passive {
+            if root_lemma != trigger || !root_passive {
                 return None;
             }
             let x = parse.dependent(root, Rel::Xcomp)?;
-            let cat = VerbCategory::of_verb(parse.lemma(x))?;
+            let cat = VerbCategory::of_verb_sym(parse.lemma_sym(x))?;
             Some(SentenceMatch {
                 pattern_idx: idx,
                 category: cat,
@@ -167,11 +184,11 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
             })
         }
         PatternKind::AbilityAdj { trigger } => {
-            if &root_lemma != trigger {
+            if root_lemma != trigger {
                 return None;
             }
             let x = parse.dependent(root, Rel::Xcomp)?;
-            let cat = VerbCategory::of_verb(parse.lemma(x))?;
+            let cat = VerbCategory::of_verb_sym(parse.lemma_sym(x))?;
             Some(SentenceMatch {
                 pattern_idx: idx,
                 category: cat,
@@ -183,7 +200,7 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
         PatternKind::PurposeClause => {
             // Root itself must NOT be a main verb (those are P1/P2), but an
             // advcl/xcomp child is.
-            if VerbCategory::of_verb(&root_lemma).is_some() {
+            if VerbCategory::of_verb_sym(root_lemma).is_some() {
                 return None;
             }
             for rel in [Rel::Advcl, Rel::Xcomp] {
@@ -193,7 +210,7 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
                     if parse.dependent(child, Rel::Mark).is_some() {
                         continue;
                     }
-                    if let Some(cat) = VerbCategory::of_verb(parse.lemma(child)) {
+                    if let Some(cat) = VerbCategory::of_verb_sym(parse.lemma_sym(child)) {
                         return Some(SentenceMatch {
                             pattern_idx: idx,
                             category: cat,
@@ -207,28 +224,28 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
             None
         }
         PatternKind::LexicalVerb { verb, category } => {
-            if &root_lemma != verb {
+            if root_lemma != verb {
                 return None;
             }
             Some(SentenceMatch {
                 pattern_idx: idx,
-                category: *category,
+                category,
                 verb: root,
                 passive: root_passive,
                 resource_after: None,
             })
         }
         PatternKind::VerbNounResource { verb, noun, category } => {
-            if &root_lemma != verb {
+            if root_lemma != verb {
                 return None;
             }
             let obj = parse.dependent(root, Rel::Dobj)?;
-            if parse.lemma(obj) != noun {
+            if parse.lemma_sym(obj) != noun {
                 return None;
             }
             Some(SentenceMatch {
                 pattern_idx: idx,
-                category: *category,
+                category,
                 verb: root,
                 passive: false,
                 resource_after: Some(obj),
@@ -241,6 +258,7 @@ fn match_one(parse: &Parse, root: usize, idx: usize, pattern: &Pattern) -> Optio
 mod tests {
     use super::*;
     use ppchecker_nlp::depparse::parse;
+    use ppchecker_nlp::intern::intern;
 
     fn match_with_seeds(s: &str) -> Option<SentenceMatch> {
         match_sentence(&parse(s), &Pattern::seeds())
@@ -290,7 +308,7 @@ mod tests {
     fn mined_lexical_verb() {
         let mut pats = Pattern::seeds();
         pats.push(Pattern::new(PatternKind::LexicalVerb {
-            verb: "harvest".to_string(),
+            verb: intern("harvest"),
             category: VerbCategory::Collect,
         }));
         let m = match_sentence(&parse("we may harvest your contacts"), &pats).unwrap();
@@ -301,8 +319,8 @@ mod tests {
     fn mined_verb_noun_resource() {
         let mut pats = Pattern::seeds();
         pats.push(Pattern::new(PatternKind::VerbNounResource {
-            verb: "have".to_string(),
-            noun: "access".to_string(),
+            verb: intern("have"),
+            noun: intern("access"),
             category: VerbCategory::Collect,
         }));
         let m = match_sentence(&parse("we have access to your contacts"), &pats).unwrap();
@@ -319,7 +337,6 @@ mod tests {
     #[test]
     fn unmined_verb_is_unmatched_without_its_pattern() {
         // The paper's false negative: "display" is not in the seed lists.
-        assert!(match_with_seeds("we will not display any of your personal information")
-            .is_none());
+        assert!(match_with_seeds("we will not display any of your personal information").is_none());
     }
 }

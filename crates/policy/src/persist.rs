@@ -4,6 +4,7 @@
 
 use crate::patterns::{Pattern, PatternKind};
 use crate::verbs::VerbCategory;
+use ppchecker_nlp::intern::intern;
 use std::fmt;
 
 /// Error produced when parsing a persisted pattern list fails.
@@ -85,14 +86,14 @@ pub fn from_text(text: &str) -> Result<Vec<Pattern>, ParsePatternError> {
             "active" => PatternKind::ActiveVoice,
             "passive" => PatternKind::PassiveVoice,
             "allow" => PatternKind::PassiveAllow {
-                trigger: f.next().ok_or_else(|| err("allow needs a trigger"))?.to_string(),
+                trigger: intern(f.next().ok_or_else(|| err("allow needs a trigger"))?),
             },
             "ability" => PatternKind::AbilityAdj {
-                trigger: f.next().ok_or_else(|| err("ability needs a trigger"))?.to_string(),
+                trigger: intern(f.next().ok_or_else(|| err("ability needs a trigger"))?),
             },
             "purpose" => PatternKind::PurposeClause,
             "verb" => {
-                let verb = f.next().ok_or_else(|| err("verb needs a lemma"))?.to_string();
+                let verb = intern(f.next().ok_or_else(|| err("verb needs a lemma"))?);
                 let cat = f
                     .next()
                     .and_then(parse_category)
@@ -100,8 +101,8 @@ pub fn from_text(text: &str) -> Result<Vec<Pattern>, ParsePatternError> {
                 PatternKind::LexicalVerb { verb, category: cat }
             }
             "verbnoun" => {
-                let verb = f.next().ok_or_else(|| err("verbnoun needs a verb"))?.to_string();
-                let noun = f.next().ok_or_else(|| err("verbnoun needs a noun"))?.to_string();
+                let verb = intern(f.next().ok_or_else(|| err("verbnoun needs a verb"))?);
+                let noun = intern(f.next().ok_or_else(|| err("verbnoun needs a noun"))?);
                 let cat = f
                     .next()
                     .and_then(parse_category)

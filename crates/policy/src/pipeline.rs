@@ -9,8 +9,11 @@ use crate::negation;
 use crate::patterns::{match_sentence, Pattern, PatternKind};
 use crate::verbs::VerbCategory;
 use ppchecker_nlp::depparse::parse;
+use ppchecker_nlp::intern::{Interner, Symbol};
 use ppchecker_nlp::sentence::split_sentences;
+use std::borrow::Cow;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// A useful sentence with its extracted elements.
 #[derive(Debug, Clone)]
@@ -30,8 +33,13 @@ pub struct AnalyzedSentence {
 }
 
 impl AnalyzedSentence {
-    /// Resource phrases of this sentence.
-    pub fn resources(&self) -> &[String] {
+    /// Resource phrases of this sentence, as text.
+    pub fn resources(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.elements.resource_texts()
+    }
+
+    /// Resource phrases of this sentence, as interned symbols.
+    pub fn resource_symbols(&self) -> &[Symbol] {
         &self.elements.resources
     }
 }
@@ -50,29 +58,39 @@ pub struct PolicyAnalysis {
 impl PolicyAnalysis {
     /// Resources of positive (`negative == false`) or negative sentences in
     /// one category: the paper's `Collect_PP` / `NotCollect_PP` etc.
-    pub fn resources(&self, category: VerbCategory, negative: bool) -> BTreeSet<&str> {
+    pub fn resources(&self, category: VerbCategory, negative: bool) -> BTreeSet<&'static str> {
         self.sentences
             .iter()
             .filter(|s| s.category == category && s.negative == negative)
-            .flat_map(|s| s.resources().iter().map(|r| r.as_str()))
+            .flat_map(|s| s.resources())
+            .collect()
+    }
+
+    /// Like [`resources`](PolicyAnalysis::resources), but as interned
+    /// symbols — the form the cross-checker's set operations consume.
+    pub fn resource_symbols(&self, category: VerbCategory, negative: bool) -> BTreeSet<Symbol> {
+        self.sentences
+            .iter()
+            .filter(|s| s.category == category && s.negative == negative)
+            .flat_map(|s| s.resource_symbols().iter().copied())
             .collect()
     }
 
     /// Union of positive resources across all four categories: the
     /// `PPInfos` set of Algorithms 1–2.
-    pub fn mentioned_resources(&self) -> BTreeSet<&str> {
-        VerbCategory::ALL
-            .into_iter()
-            .flat_map(|c| self.resources(c, false))
-            .collect()
+    pub fn mentioned_resources(&self) -> BTreeSet<&'static str> {
+        VerbCategory::ALL.into_iter().flat_map(|c| self.resources(c, false)).collect()
+    }
+
+    /// [`mentioned_resources`](PolicyAnalysis::mentioned_resources) as
+    /// interned symbols, for the incompleteness detectors' ESA probes.
+    pub fn mentioned_resource_symbols(&self) -> BTreeSet<Symbol> {
+        VerbCategory::ALL.into_iter().flat_map(|c| self.resource_symbols(c, false)).collect()
     }
 
     /// Union of negated resources across all four categories.
-    pub fn denied_resources(&self) -> BTreeSet<&str> {
-        VerbCategory::ALL
-            .into_iter()
-            .flat_map(|c| self.resources(c, true))
-            .collect()
+    pub fn denied_resources(&self) -> BTreeSet<&'static str> {
+        VerbCategory::ALL.into_iter().flat_map(|c| self.resources(c, true)).collect()
     }
 
     /// Positive sentences (for Algorithm 5's lib side).
@@ -86,12 +104,40 @@ impl PolicyAnalysis {
     }
 }
 
+/// Subjects describing the *user* rather than the app.
+const SUBJECT_BLACKLIST: &[&str] =
+    &["you", "user", "users", "visitor", "visitors", "customer", "customers", "member", "members"];
+
+/// Resources that are not personal information.
+const OBJECT_BLACKLIST: &[&str] = &[
+    "service",
+    "services",
+    "website",
+    "site",
+    "app",
+    "application",
+    "policy",
+    "terms",
+    "agreement",
+    "experience",
+    "question",
+    "questions",
+    "feature",
+    "features",
+    "support",
+    "page",
+    "pages",
+    "time",
+];
+
 /// The configured analyzer: a pattern list plus the filtering blacklists.
+///
+/// The stock pattern table (seeds + curated mined patterns) is built once
+/// per process and borrowed by every [`PolicyAnalyzer::new`] instance;
+/// only analyzers with custom or expanded pattern lists own their table.
 #[derive(Debug, Clone)]
 pub struct PolicyAnalyzer {
-    patterns: Vec<Pattern>,
-    subject_blacklist: Vec<&'static str>,
-    object_blacklist: Vec<&'static str>,
+    patterns: Cow<'static, [Pattern]>,
     model_constraints: bool,
 }
 
@@ -105,27 +151,13 @@ impl PolicyAnalyzer {
     /// An analyzer with the seed patterns plus the curated mined patterns
     /// the deployed system ships with.
     pub fn new() -> Self {
-        let mut patterns = Pattern::seeds();
-        patterns.extend(default_mined_patterns());
-        PolicyAnalyzer::with_patterns(patterns)
+        PolicyAnalyzer { patterns: Cow::Borrowed(default_pattern_set()), model_constraints: false }
     }
 
     /// An analyzer over an explicit (e.g. freshly bootstrapped) pattern
     /// list.
     pub fn with_patterns(patterns: Vec<Pattern>) -> Self {
-        PolicyAnalyzer {
-            patterns,
-            model_constraints: false,
-            subject_blacklist: vec![
-                "you", "user", "users", "visitor", "visitors", "customer", "customers",
-                "member", "members",
-            ],
-            object_blacklist: vec![
-                "service", "services", "website", "site", "app", "application", "policy",
-                "terms", "agreement", "experience", "question", "questions", "feature",
-                "features", "support", "page", "pages", "time",
-            ],
-        }
+        PolicyAnalyzer { patterns: Cow::Owned(patterns), model_constraints: false }
     }
 
     /// The active pattern list.
@@ -147,9 +179,10 @@ impl PolicyAnalyzer {
     /// additional verbs like "display" are mapped onto the four categories,
     /// recovering sentences the mined patterns miss.
     pub fn with_synonym_expansion(mut self) -> Self {
-        for p in crate::synonyms::synonym_patterns() {
-            if !self.patterns.contains(&p) {
-                self.patterns.push(p);
+        let patterns = self.patterns.to_mut();
+        for &p in crate::synonyms::synonym_patterns() {
+            if !patterns.contains(&p) {
+                patterns.push(p);
             }
         }
         self
@@ -163,10 +196,8 @@ impl PolicyAnalyzer {
     /// Analyzes plain policy text.
     pub fn analyze_text(&self, text: &str) -> PolicyAnalysis {
         let sents = split_sentences(text);
-        let mut analysis = PolicyAnalysis {
-            total_sentences: sents.len(),
-            ..PolicyAnalysis::default()
-        };
+        let mut analysis =
+            PolicyAnalysis { total_sentences: sents.len(), ..PolicyAnalysis::default() };
         for sent in sents {
             if disclaimer::is_disclaimer(&sent) {
                 analysis.has_disclaimer = true;
@@ -195,8 +226,8 @@ impl PolicyAnalyzer {
         }
 
         // Subject blacklist: sentences about the user's own actions.
-        if let Some(exec) = &els.executor {
-            if self.subject_blacklist.contains(&exec.as_str()) {
+        if let Some(exec) = els.executor() {
+            if SUBJECT_BLACKLIST.contains(&exec) {
                 return None;
             }
             if exec.contains("website") || exec.contains("site") {
@@ -213,14 +244,15 @@ impl PolicyAnalyzer {
         }
 
         // Object blacklist: resources that are not personal information.
-        let resources: Vec<String> = els
+        let resources: Vec<Symbol> = els
             .resources
             .iter()
+            .copied()
             .filter(|r| {
-                let head = r.split_whitespace().last().unwrap_or(r);
-                !self.object_blacklist.contains(&head)
+                let text = r.as_str();
+                let head = text.split_whitespace().last().unwrap_or(text);
+                !OBJECT_BLACKLIST.contains(&head)
             })
-            .cloned()
             .collect();
         if resources.is_empty() {
             return None;
@@ -256,13 +288,25 @@ fn has_consent_exception(sentence: &str) -> bool {
     EXCEPTIONS.iter().any(|e| lower.contains(e))
 }
 
+/// The full stock pattern table (seeds + curated mined patterns), built
+/// once per process.
+pub fn default_pattern_set() -> &'static [Pattern] {
+    static SET: OnceLock<Vec<Pattern>> = OnceLock::new();
+    SET.get_or_init(|| {
+        let mut patterns = Pattern::seeds();
+        patterns.extend(default_mined_patterns());
+        patterns
+    })
+}
+
 /// The curated mined patterns the deployed analyzer ships with (a compact
 /// stand-in for the top-230 bootstrap selection; the full bootstrap is
 /// exercised by the Fig. 12 bench).
 pub fn default_mined_patterns() -> Vec<Pattern> {
     use VerbCategory::*;
-    let lex = |verb: &str, category| {
-        Pattern::new(PatternKind::LexicalVerb { verb: verb.to_string(), category })
+    let interner = Interner::global();
+    let lex = |verb: &'static str, category| {
+        Pattern::new(PatternKind::LexicalVerb { verb: interner.intern_static(verb), category })
     };
     vec![
         lex("harvest", Collect),
@@ -278,13 +322,13 @@ pub fn default_mined_patterns() -> Vec<Pattern> {
         lex("publish", Disclose),
         lex("report", Disclose),
         Pattern::new(PatternKind::VerbNounResource {
-            verb: "have".to_string(),
-            noun: "access".to_string(),
+            verb: interner.intern_static("have"),
+            noun: interner.intern_static("access"),
             category: Collect,
         }),
         Pattern::new(PatternKind::VerbNounResource {
-            verb: "make".to_string(),
-            noun: "use".to_string(),
+            verb: interner.intern_static("make"),
+            noun: interner.intern_static("use"),
             category: Use,
         }),
     ]
@@ -314,8 +358,8 @@ mod tests {
     #[test]
     fn negative_retain_set() {
         // com.easyxapp.secret's sentence (§II-B).
-        let a = analyzer()
-            .analyze_text("We will not store your real phone number, name and contacts.");
+        let a =
+            analyzer().analyze_text("We will not store your real phone number, name and contacts.");
         let not_retained = a.resources(VerbCategory::Retain, true);
         assert!(not_retained.contains("real phone number"));
         assert!(not_retained.contains("name"));
@@ -330,9 +374,8 @@ mod tests {
 
     #[test]
     fn website_constraint_dropped() {
-        let a = analyzer().analyze_text(
-            "We collect your email address when you register through our website.",
-        );
+        let a = analyzer()
+            .analyze_text("We collect your email address when you register through our website.");
         assert!(a.sentences.is_empty());
     }
 
@@ -360,9 +403,7 @@ mod tests {
             <p>We will not disclose your phone number.</p></body></html>";
         let a = analyzer().analyze_html(htmldoc);
         assert!(a.resources(VerbCategory::Collect, false).contains("location"));
-        assert!(a
-            .resources(VerbCategory::Disclose, true)
-            .contains("phone number"));
+        assert!(a.resources(VerbCategory::Disclose, true).contains("phone number"));
     }
 
     #[test]
@@ -397,8 +438,7 @@ mod tests {
 mod constraint_tests {
     use super::*;
 
-    const CONDITIONAL_DENIAL: &str =
-        "we will not share your location without your consent.";
+    const CONDITIONAL_DENIAL: &str = "we will not share your location without your consent.";
 
     #[test]
     fn conditional_denial_is_marked() {

@@ -9,6 +9,8 @@
 
 use crate::patterns::{Pattern, PatternKind};
 use crate::verbs::VerbCategory;
+use ppchecker_nlp::intern::Interner;
+use std::sync::OnceLock;
 
 /// Synonyms of the main verbs, by category.
 pub const SYNONYMS: &[(&str, VerbCategory)] = &[
@@ -43,17 +45,21 @@ pub const SYNONYMS: &[(&str, VerbCategory)] = &[
     ("divulge", VerbCategory::Disclose),
 ];
 
-/// Builds the synonym patterns.
-pub fn synonym_patterns() -> Vec<Pattern> {
-    SYNONYMS
-        .iter()
-        .map(|(verb, category)| {
-            Pattern::new(PatternKind::LexicalVerb {
-                verb: verb.to_string(),
-                category: *category,
+/// The synonym patterns, built once and shared by every analyzer.
+pub fn synonym_patterns() -> &'static [Pattern] {
+    static PATTERNS: OnceLock<Vec<Pattern>> = OnceLock::new();
+    PATTERNS.get_or_init(|| {
+        let interner = Interner::global();
+        SYNONYMS
+            .iter()
+            .map(|&(verb, category)| {
+                Pattern::new(PatternKind::LexicalVerb {
+                    verb: interner.intern_static(verb),
+                    category,
+                })
             })
-        })
-        .collect()
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -94,9 +100,7 @@ mod tests {
     fn expansion_does_not_change_plain_matches() {
         let text = "we will collect your location. we will not share your contacts.";
         let plain = PolicyAnalyzer::new().analyze_text(text);
-        let expanded = PolicyAnalyzer::new()
-            .with_synonym_expansion()
-            .analyze_text(text);
+        let expanded = PolicyAnalyzer::new().with_synonym_expansion().analyze_text(text);
         assert_eq!(plain.sentences.len(), expanded.sentences.len());
     }
 }

@@ -1,7 +1,10 @@
 //! The four main-verb categories of privacy-policy sentences
 //! ($V_P^{collect}$, $V_P^{use}$, $V_P^{retain}$, $V_P^{disclose}$).
 
+use ppchecker_nlp::intern::{Interner, Symbol};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The behaviour a policy sentence describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -18,39 +21,68 @@ pub enum VerbCategory {
 
 impl VerbCategory {
     /// All categories.
-    pub const ALL: [VerbCategory; 4] = [
-        VerbCategory::Collect,
-        VerbCategory::Use,
-        VerbCategory::Retain,
-        VerbCategory::Disclose,
-    ];
+    pub const ALL: [VerbCategory; 4] =
+        [VerbCategory::Collect, VerbCategory::Use, VerbCategory::Retain, VerbCategory::Disclose];
 
     /// The seed verbs of the category (base forms).
     pub fn verbs(self) -> &'static [&'static str] {
         match self {
             VerbCategory::Collect => &[
-                "collect", "gather", "obtain", "acquire", "access", "receive", "record",
-                "request", "track", "capture", "solicit", "read",
+                "collect", "gather", "obtain", "acquire", "access", "receive", "record", "request",
+                "track", "capture", "solicit", "read",
             ],
-            VerbCategory::Use => &[
-                "use", "process", "utilize", "employ", "analyze", "combine", "link", "associate",
-            ],
+            VerbCategory::Use => {
+                &["use", "process", "utilize", "employ", "analyze", "combine", "link", "associate"]
+            }
             VerbCategory::Retain => &[
                 "retain", "store", "keep", "save", "preserve", "hold", "maintain", "archive",
                 "cache", "remember",
             ],
             VerbCategory::Disclose => &[
-                "disclose", "share", "transfer", "provide", "send", "transmit", "give", "sell",
-                "rent", "release", "reveal", "distribute", "supply", "pass", "trade", "expose",
+                "disclose",
+                "share",
+                "transfer",
+                "provide",
+                "send",
+                "transmit",
+                "give",
+                "sell",
+                "rent",
+                "release",
+                "reveal",
+                "distribute",
+                "supply",
+                "pass",
+                "trade",
+                "expose",
             ],
         }
     }
 
     /// Classifies a verb lemma into its category, if it is a main verb.
+    ///
+    /// Every category verb is pre-interned, so a lemma that never made it
+    /// into the interner cannot be a main verb and is rejected without a
+    /// string comparison.
     pub fn of_verb(lemma: &str) -> Option<VerbCategory> {
-        VerbCategory::ALL
-            .into_iter()
-            .find(|c| c.verbs().contains(&lemma))
+        Interner::global().get(lemma).and_then(VerbCategory::of_verb_sym)
+    }
+
+    /// Symbol-keyed category lookup: one hash probe on a `u32`.
+    pub fn of_verb_sym(lemma: Symbol) -> Option<VerbCategory> {
+        static MAP: OnceLock<HashMap<Symbol, VerbCategory>> = OnceLock::new();
+        MAP.get_or_init(|| {
+            let interner = Interner::global();
+            let mut map = HashMap::new();
+            for cat in VerbCategory::ALL {
+                for v in cat.verbs() {
+                    map.insert(interner.intern_static(v), cat);
+                }
+            }
+            map
+        })
+        .get(&lemma)
+        .copied()
     }
 }
 
@@ -77,6 +109,17 @@ mod tests {
         assert_eq!(VerbCategory::of_verb("share"), Some(VerbCategory::Disclose));
         assert_eq!(VerbCategory::of_verb("process"), Some(VerbCategory::Use));
         assert_eq!(VerbCategory::of_verb("dance"), None);
+    }
+
+    #[test]
+    fn symbol_lookup_matches_string_lookup() {
+        use ppchecker_nlp::intern::intern;
+        for cat in VerbCategory::ALL {
+            for v in cat.verbs() {
+                assert_eq!(VerbCategory::of_verb_sym(intern(v)), Some(cat));
+            }
+        }
+        assert_eq!(VerbCategory::of_verb_sym(intern("dance")), None);
     }
 
     #[test]

@@ -63,10 +63,7 @@ pub fn seed_of(name: &str) -> u64 {
 
 /// Number of cases per property (override with `PROPTEST_CASES`).
 pub fn case_count() -> usize {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
 }
 
 // ---------------------------------------------------------------------
@@ -536,8 +533,8 @@ macro_rules! proptest {
 /// The prelude, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
-        Arbitrary, BoxedStrategy, Just, OneOf, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, OneOf, Strategy,
     };
     /// Nested module mirror so `prop::collection::vec` paths resolve.
     pub mod prop {
@@ -556,9 +553,7 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-zA-Z0-9 .,;:!?]{0,30}".generate(&mut rng);
             assert!(s.len() <= 30);
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || " .,;:!?".contains(c)));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " .,;:!?".contains(c)));
         }
     }
 

@@ -105,16 +105,8 @@ pub fn analyze_with(apk: &Apk, opts: AnalysisOptions) -> Result<StaticReport, Pa
             let reachable = in_scope.contains(&mid);
             let app_owned = class.name.starts_with(&package);
             let record = |info: PrivateInfo, api: String, report: &mut StaticReport| {
-                let site = Callsite {
-                    class: class.name.clone(),
-                    method: m.name.clone(),
-                    api,
-                };
-                let map = if app_owned {
-                    &mut report.collected
-                } else {
-                    &mut report.lib_collected
-                };
+                let site = Callsite { class: class.name.clone(), method: m.name.clone(), api };
+                let map = if app_owned { &mut report.collected } else { &mut report.lib_collected };
                 let sites = map.entry(info).or_default();
                 if !sites.contains(&site) {
                     sites.push(site);
@@ -140,9 +132,7 @@ pub fn analyze_with(apk: &Apk, opts: AnalysisOptions) -> Result<StaticReport, Pa
                         UriValue::Literal(s) => {
                             (uris::match_uri_string(s).map(|u| u.info), s.clone())
                         }
-                        UriValue::Field(f) => {
-                            (uris::match_uri_field(f).map(|u| u.info), f.clone())
-                        }
+                        UriValue::Field(f) => (uris::match_uri_field(f).map(|u| u.info), f.clone()),
                     };
                     if let Some(info) = info {
                         if reachable {
@@ -240,11 +230,9 @@ mod tests {
         let with = analyze(&apk).unwrap();
         assert!(with.collect_code().is_empty());
         assert_eq!(with.unreachable_sensitive_calls, 1);
-        let without = analyze_with(
-            &apk,
-            AnalysisOptions { reachability: false, uri_analysis: true },
-        )
-        .unwrap();
+        let without =
+            analyze_with(&apk, AnalysisOptions { reachability: false, uri_analysis: true })
+                .unwrap();
         assert!(without.collect_code().contains(&PrivateInfo::Location));
     }
 
@@ -254,23 +242,16 @@ mod tests {
             .class("com.dooing.dooing.Main", |c| {
                 c.method("onCreate", 1, |m| {
                     m.const_string(1, "content://sms");
-                    m.invoke_virtual(
-                        "android.content.ContentResolver",
-                        "query",
-                        &[0, 1],
-                        Some(2),
-                    );
+                    m.invoke_virtual("android.content.ContentResolver", "query", &[0, 1], Some(2));
                 });
             })
             .build();
         let apk = Apk::new(manifest(), dex);
         let with = analyze(&apk).unwrap();
         assert!(with.collect_code().contains(&PrivateInfo::Sms));
-        let without = analyze_with(
-            &apk,
-            AnalysisOptions { reachability: true, uri_analysis: false },
-        )
-        .unwrap();
+        let without =
+            analyze_with(&apk, AnalysisOptions { reachability: true, uri_analysis: false })
+                .unwrap();
         assert!(!without.collect_code().contains(&PrivateInfo::Sms));
     }
 

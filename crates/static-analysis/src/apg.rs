@@ -15,9 +15,9 @@ use std::collections::HashMap;
 /// Lifecycle entry methods per component kind.
 pub fn lifecycle_methods(kind: ComponentKind) -> &'static [&'static str] {
     match kind {
-        ComponentKind::Activity => &[
-            "onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy", "onRestart",
-        ],
+        ComponentKind::Activity => {
+            &["onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy", "onRestart"]
+        }
         ComponentKind::Service => &["onCreate", "onStartCommand", "onBind", "onDestroy"],
         ComponentKind::Receiver => &["onReceive"],
         ComponentKind::Provider => &["onCreate", "query", "insert", "update", "delete"],
@@ -89,13 +89,7 @@ impl Apg {
             }
         }
 
-        let mut apg = Apg {
-            graph,
-            dex,
-            method_ids,
-            method_names,
-            component_ids: Vec::new(),
-        };
+        let mut apg = Apg { graph, dex, method_ids, method_names, component_ids: Vec::new() };
 
         apg.add_call_edges();
         apg.add_implicit_callback_edges();
@@ -141,9 +135,7 @@ impl Apg {
             if c.name == class {
                 continue;
             }
-            if self.superclass_chain_contains(&c.name, class)
-                && c.method(method).is_some()
-            {
+            if self.superclass_chain_contains(&c.name, class) && c.method(method).is_some() {
                 if let Some(&id) = self.method_ids.get(&(c.name.clone(), method.to_string())) {
                     out.push(id);
                 }
@@ -234,18 +226,19 @@ impl Apg {
                         }
                         Insn::Invoke { class: cc, method: mm, args, .. }
                             if cc == "android.content.Intent"
-                                && matches!(mm.as_str(), "setClass" | "setClassName" | "setComponent") =>
+                                && matches!(
+                                    mm.as_str(),
+                                    "setClass" | "setClassName" | "setComponent"
+                                ) =>
                         {
-                            if let (Some(&intent_reg), Some(target)) = (
-                                args.first(),
-                                args.iter().skip(1).find_map(|r| strings.get(r)),
-                            ) {
+                            if let (Some(&intent_reg), Some(target)) =
+                                (args.first(), args.iter().skip(1).find_map(|r| strings.get(r)))
+                            {
                                 intent_target.insert(intent_reg, target.clone());
                             }
                         }
                         Insn::Invoke { method: mm, args, .. } => {
-                            let Some((_, entries)) =
-                                LAUNCHERS.iter().find(|(name, _)| name == mm)
+                            let Some((_, entries)) = LAUNCHERS.iter().find(|(name, _)| name == mm)
                             else {
                                 continue;
                             };
@@ -281,9 +274,8 @@ impl Apg {
                 self.graph.set_attr(nid, "main", "true");
             }
             for entry in lifecycle_methods(comp.kind) {
-                if let Some(&mid) = self
-                    .method_ids
-                    .get(&(comp.class_name.clone(), entry.to_string()))
+                if let Some(&mid) =
+                    self.method_ids.get(&(comp.class_name.clone(), entry.to_string()))
                 {
                     self.graph.add_edge(nid, EdgeKind::Lifecycle, mid);
                 }
@@ -337,12 +329,7 @@ mod tests {
             .class("com.example.app.Listener", |c| {
                 c.implements("android.view.View$OnClickListener");
                 c.method("onClick", 1, |m| {
-                    m.invoke_virtual(
-                        "android.location.Location",
-                        "getLatitude",
-                        &[0],
-                        Some(3),
-                    );
+                    m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(3));
                 });
             })
             .class("com.example.app.Helper", |c| {
@@ -355,10 +342,9 @@ mod tests {
     #[test]
     fn builds_ast_nodes() {
         let apg = Apg::build(&sample_apk()).unwrap();
-        assert!(apg.method_ids.contains_key(&(
-            "com.example.app.Main".to_string(),
-            "onCreate".to_string()
-        )));
+        assert!(apg
+            .method_ids
+            .contains_key(&("com.example.app.Main".to_string(), "onCreate".to_string())));
         assert!(apg.graph.node_count() > 5);
     }
 
@@ -375,10 +361,7 @@ mod tests {
         let apg = Apg::build(&sample_apk()).unwrap();
         let caller = apg.method_ids[&("com.example.app.Main".into(), "onCreate".into())];
         let cb = apg.method_ids[&("com.example.app.Listener".into(), "onClick".into())];
-        assert!(apg
-            .graph
-            .successors(caller, EdgeKind::ImplicitCallback)
-            .contains(&cb));
+        assert!(apg.graph.successors(caller, EdgeKind::ImplicitCallback).contains(&cb));
     }
 
     #[test]

@@ -35,7 +35,11 @@ pub const REGISTRATIONS: &[CallbackRegistration] = &[
     reg("java.lang.Thread", "start", "run"),
     reg("java.util.Timer", "schedule", "run"),
     reg("android.os.AsyncTask", "execute", "doInBackground"),
-    reg("android.content.SharedPreferences", "registerOnSharedPreferenceChangeListener", "onSharedPreferenceChanged"),
+    reg(
+        "android.content.SharedPreferences",
+        "registerOnSharedPreferenceChangeListener",
+        "onSharedPreferenceChanged",
+    ),
     reg("android.widget.DatePicker", "init", "onDateChanged"),
     reg("android.media.MediaPlayer", "setOnCompletionListener", "onCompletion"),
     reg("android.webkit.WebView", "setWebViewClient", "onPageFinished"),
@@ -78,10 +82,7 @@ mod tests {
 
     #[test]
     fn click_listener_maps_to_on_click() {
-        assert_eq!(
-            callback_for("android.view.View", "setOnClickListener"),
-            Some("onClick")
-        );
+        assert_eq!(callback_for("android.view.View", "setOnClickListener"), Some("onClick"));
     }
 
     #[test]
@@ -99,10 +100,8 @@ mod tests {
 
     #[test]
     fn table_has_no_duplicates() {
-        let mut keys: Vec<(&str, &str)> = REGISTRATIONS
-            .iter()
-            .map(|r| (r.register_class, r.register_method))
-            .collect();
+        let mut keys: Vec<(&str, &str)> =
+            REGISTRATIONS.iter().map(|r| (r.register_class, r.register_method)).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), REGISTRATIONS.len());

@@ -38,9 +38,7 @@ pub fn resolve_uri(method: &Method, at: usize, reg: Reg) -> Option<UriValue> {
             }
             Insn::FieldGet { class, field, dst } if *dst == wanted => {
                 if class.starts_with("android.provider") || field.contains("CONTENT_URI") {
-                    return Some(UriValue::Field(format!(
-                        "<{class}: android.net.Uri {field}>"
-                    )));
+                    return Some(UriValue::Field(format!("<{class}: android.net.Uri {field}>")));
                 }
                 return None;
             }
@@ -108,10 +106,7 @@ mod tests {
         });
         let sites = query_sites(&m);
         assert_eq!(sites.len(), 1);
-        assert_eq!(
-            sites[0].1,
-            UriValue::Literal("content://contacts".to_string())
-        );
+        assert_eq!(sites[0].1, UriValue::Literal("content://contacts".to_string()));
     }
 
     #[test]
@@ -123,10 +118,7 @@ mod tests {
             b.invoke_virtual("android.content.ContentResolver", "query", &[0, 3], Some(4));
         });
         let sites = query_sites(&m);
-        assert_eq!(
-            sites[0].1,
-            UriValue::Literal("content://com.android.calendar".to_string())
-        );
+        assert_eq!(sites[0].1, UriValue::Literal("content://com.android.calendar".to_string()));
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl Graph {
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            kind,
-            label: label.into(),
-            attrs: HashMap::new(),
-        });
+        self.nodes.push(Node { kind, label: label.into(), attrs: HashMap::new() });
         id
     }
 
@@ -129,11 +125,7 @@ impl Graph {
 
     /// All node ids of a given kind.
     pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(move |(_, n)| n.kind == kind)
-            .map(|(i, _)| NodeId(i))
+        self.nodes.iter().enumerate().filter(move |(_, n)| n.kind == kind).map(|(i, _)| NodeId(i))
     }
 
     /// Finds the first node of `kind` whose label equals `label`.

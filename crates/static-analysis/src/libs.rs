@@ -132,19 +132,8 @@ pub fn by_id(id: &str) -> Option<&'static KnownLib> {
 /// Detects the third-party libraries embedded in a dex by scanning class
 /// name prefixes. Returns library ids, deduplicated, in table order.
 pub fn detect_libs(dex: &Dex) -> Vec<&'static KnownLib> {
-    let prefixes: BTreeSet<&str> = dex
-        .classes
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
-    KNOWN_LIBS
-        .iter()
-        .filter(|l| {
-            prefixes
-                .iter()
-                .any(|class| class.starts_with(l.prefix))
-        })
-        .collect()
+    let prefixes: BTreeSet<&str> = dex.classes.iter().map(|c| c.name.as_str()).collect();
+    KNOWN_LIBS.iter().filter(|l| prefixes.iter().any(|class| class.starts_with(l.prefix))).collect()
 }
 
 #[cfg(test)]

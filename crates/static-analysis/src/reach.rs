@@ -46,10 +46,7 @@ pub fn entry_points(apg: &Apg) -> Vec<NodeId> {
 pub fn reachable_methods(apg: &Apg) -> HashSet<NodeId> {
     let entries = entry_points(apg);
     apg.graph
-        .reachable_from(
-            &entries,
-            &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc],
-        )
+        .reachable_from(&entries, &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc])
         .into_iter()
         .collect()
 }

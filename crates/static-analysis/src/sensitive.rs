@@ -118,9 +118,7 @@ const fn api(class: &'static str, method: &'static str, info: PrivateInfo) -> Se
 
 /// Looks up `(class, method)` in the sensitive-API table.
 pub fn lookup(class: &str, method: &str) -> Option<&'static SensitiveApi> {
-    SENSITIVE_APIS
-        .iter()
-        .find(|a| a.class == class && a.method == method)
+    SENSITIVE_APIS.iter().find(|a| a.class == class && a.method == method)
 }
 
 #[cfg(test)]
@@ -152,13 +150,19 @@ mod tests {
     fn covers_all_paper_categories() {
         use PrivateInfo::*;
         for cat in [
-            DeviceId, IpAddress, Cookie, Location, Account, Contact, Calendar, PhoneNumber,
-            Camera, Audio, AppList,
+            DeviceId,
+            IpAddress,
+            Cookie,
+            Location,
+            Account,
+            Contact,
+            Calendar,
+            PhoneNumber,
+            Camera,
+            Audio,
+            AppList,
         ] {
-            assert!(
-                SENSITIVE_APIS.iter().any(|a| a.info == cat),
-                "missing category {cat:?}"
-            );
+            assert!(SENSITIVE_APIS.iter().any(|a| a.info == cat), "missing category {cat:?}");
         }
     }
 }

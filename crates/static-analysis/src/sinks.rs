@@ -96,7 +96,9 @@ mod tests {
 
     #[test]
     fn all_five_categories_present() {
-        for kind in [SinkKind::Log, SinkKind::File, SinkKind::Network, SinkKind::Sms, SinkKind::Bluetooth] {
+        for kind in
+            [SinkKind::Log, SinkKind::File, SinkKind::Network, SinkKind::Sms, SinkKind::Bluetooth]
+        {
             assert!(SINKS.iter().any(|s| s.kind == kind), "missing {kind}");
         }
     }

@@ -123,8 +123,14 @@ impl Engine<'_> {
         for _pass in 0..4 {
             let before: usize = regs.values().map(|s| s.len()).sum::<usize>() + self.leaks.len();
             self.interpret(
-                method, &class_name, &method_name, mid, &query_uris, &intent_targets,
-                &mut regs, in_scope,
+                method,
+                &class_name,
+                &method_name,
+                mid,
+                &query_uris,
+                &intent_targets,
+                &mut regs,
+                in_scope,
             );
             let after: usize = regs.values().map(|s| s.len()).sum::<usize>() + self.leaks.len();
             if after == before {
@@ -182,17 +188,23 @@ impl Engine<'_> {
                 Insn::Return { src: Some(s) } => {
                     if let Some(t) = regs.get(s) {
                         if !t.is_empty() {
-                            self.return_taint
-                                .entry(mid)
-                                .or_default()
-                                .extend(t.iter().cloned());
+                            self.return_taint.entry(mid).or_default().extend(t.iter().cloned());
                         }
                     }
                 }
                 Insn::Invoke { class, method: callee, args, dst, .. } => {
                     self.handle_invoke(
-                        idx, class, callee, args, *dst, class_name, method_name, query_uris,
-                        intent_targets, regs, in_scope,
+                        idx,
+                        class,
+                        callee,
+                        args,
+                        *dst,
+                        class_name,
+                        method_name,
+                        query_uris,
+                        intent_targets,
+                        regs,
+                        in_scope,
                     );
                 }
                 _ => {}
@@ -215,19 +227,15 @@ impl Engine<'_> {
         regs: &mut HashMap<Reg, TaintSet>,
         in_scope: &HashSet<NodeId>,
     ) {
-        let arg_taint: TaintSet = args
-            .iter()
-            .filter_map(|r| regs.get(r))
-            .flat_map(|s| s.iter().cloned())
-            .collect();
+        let arg_taint: TaintSet =
+            args.iter().filter_map(|r| regs.get(r)).flat_map(|s| s.iter().cloned()).collect();
 
         // Source: sensitive API.
         if let Some(api) = sensitive::lookup(class, callee) {
             if let Some(d) = dst {
-                regs.entry(d).or_default().insert(Label {
-                    info: api.info,
-                    source_api: format!("{class}.{callee}"),
-                });
+                regs.entry(d)
+                    .or_default()
+                    .insert(Label { info: api.info, source_api: format!("{class}.{callee}") });
             }
         }
 
@@ -253,8 +261,10 @@ impl Engine<'_> {
                         .extend(arg_taint.iter().cloned());
                 }
             }
-            if matches!(callee, "getStringExtra" | "getExtras" | "getParcelableExtra" | "getIntExtra")
-            {
+            if matches!(
+                callee,
+                "getStringExtra" | "getExtras" | "getParcelableExtra" | "getIntExtra"
+            ) {
                 if let (Some(d), Some(t)) = (dst, self.icc_taint.get(class_name)) {
                     if !t.is_empty() {
                         regs.entry(d).or_default().extend(t.iter().cloned());
@@ -280,18 +290,11 @@ impl Engine<'_> {
         // taint out. Framework call: taint-through (args → result).
         let mut returned = TaintSet::new();
         let mut is_app_call = false;
-        if let Some(&target) = self
-            .apg
-            .method_ids
-            .get(&(class.to_string(), callee.to_string()))
-        {
+        if let Some(&target) = self.apg.method_ids.get(&(class.to_string(), callee.to_string())) {
             is_app_call = true;
             if in_scope.contains(&target) {
                 if !arg_taint.is_empty() {
-                    self.param_taint
-                        .entry(target)
-                        .or_default()
-                        .extend(arg_taint.iter().cloned());
+                    self.param_taint.entry(target).or_default().extend(arg_taint.iter().cloned());
                 }
                 if let Some(r) = self.return_taint.get(&target) {
                     returned.extend(r.iter().cloned());
@@ -376,10 +379,7 @@ mod tests {
         assert_eq!(leaks[0].info, PrivateInfo::AppList);
         assert_eq!(leaks[0].sink, SinkKind::Log);
         // The witness pair reads like the paper's finding.
-        assert_eq!(
-            leaks[0].source_api,
-            "android.content.pm.PackageManager.getInstalledPackages"
-        );
+        assert_eq!(leaks[0].source_api, "android.content.pm.PackageManager.getInstalledPackages");
         assert_eq!(leaks[0].sink_api, "android.util.Log.e");
     }
 
@@ -418,9 +418,7 @@ mod tests {
             })
             .build();
         let leaks = analyze_apk(&Apk::new(manifest(), dex));
-        assert!(leaks
-            .iter()
-            .any(|l| l.info == PrivateInfo::DeviceId && l.sink == SinkKind::File));
+        assert!(leaks.iter().any(|l| l.info == PrivateInfo::DeviceId && l.sink == SinkKind::File));
     }
 
     #[test]
@@ -449,20 +447,13 @@ mod tests {
             .class("com.x.Main", |c| {
                 c.method("onCreate", 1, |m| {
                     m.const_string(1, "content://com.android.contacts");
-                    m.invoke_virtual(
-                        "android.content.ContentResolver",
-                        "query",
-                        &[0, 1],
-                        Some(2),
-                    );
+                    m.invoke_virtual("android.content.ContentResolver", "query", &[0, 1], Some(2));
                     m.invoke_static("android.util.Log", "i", &[2], None);
                 });
             })
             .build();
         let leaks = analyze_apk(&Apk::new(manifest(), dex));
-        assert!(leaks
-            .iter()
-            .any(|l| l.info == PrivateInfo::Contact && l.sink == SinkKind::Log));
+        assert!(leaks.iter().any(|l| l.info == PrivateInfo::Contact && l.sink == SinkKind::Log));
     }
 
     #[test]

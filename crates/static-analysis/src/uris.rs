@@ -54,7 +54,12 @@ const FIELD_PLAN: &[(&str, usize, Permission, PrivateInfo)] = &[
     ("android.provider.CalendarContract", 85, Permission::ReadCalendar, PrivateInfo::Calendar),
     ("android.provider.Telephony$Sms", 110, Permission::ReceiveSms, PrivateInfo::Sms),
     ("android.provider.CallLog", 60, Permission::ReadCallLog, PrivateInfo::CallLog),
-    ("android.provider.Browser", 55, Permission::ReadHistoryBookmarks, PrivateInfo::BrowsingHistory),
+    (
+        "android.provider.Browser",
+        55,
+        Permission::ReadHistoryBookmarks,
+        PrivateInfo::BrowsingHistory,
+    ),
     ("android.provider.MediaStore$Images", 45, Permission::Camera, PrivateInfo::Camera),
     ("android.provider.MediaStore$Audio", 30, Permission::RecordAudio, PrivateInfo::Audio),
     ("android.provider.Settings", 40, Permission::ReadPhoneState, PrivateInfo::DeviceId),
@@ -112,14 +117,11 @@ pub fn match_uri_field(field: &str) -> Option<&'static UriField> {
     if !field.contains("CONTENT_URI") {
         return None;
     }
-    FIELD_PLAN
-        .iter()
-        .position(|(provider, ..)| class.starts_with(provider))
-        .map(|i| {
-            // The family's canonical CONTENT_URI entry stands in.
-            let offset: usize = FIELD_PLAN[..i].iter().map(|(_, c, ..)| *c).sum();
-            &uri_fields()[offset]
-        })
+    FIELD_PLAN.iter().position(|(provider, ..)| class.starts_with(provider)).map(|i| {
+        // The family's canonical CONTENT_URI entry stands in.
+        let offset: usize = FIELD_PLAN[..i].iter().map(|(_, c, ..)| *c).sum();
+        &uri_fields()[offset]
+    })
 }
 
 #[cfg(test)]
@@ -155,10 +157,8 @@ mod tests {
 
     #[test]
     fn field_lookup_maps_to_permission_and_info() {
-        let f = match_uri_field(
-            "<android.provider.Telephony$Sms: android.net.Uri CONTENT_URI>",
-        )
-        .unwrap();
+        let f = match_uri_field("<android.provider.Telephony$Sms: android.net.Uri CONTENT_URI>")
+            .unwrap();
         assert_eq!(f.permission, Permission::ReceiveSms);
         assert_eq!(f.info, PrivateInfo::Sms);
     }

@@ -10,10 +10,7 @@ use ppchecker_corpus::small_dataset;
 use std::collections::BTreeMap;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(250);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(250);
     println!("auditing a {n}-app store slice...\n");
 
     let dataset = small_dataset(42, n);
@@ -39,8 +36,7 @@ fn main() {
         if report.is_inconsistent() {
             inconsistent += 1;
         }
-        let findings =
-            report.missed.len() + report.incorrect.len() + report.inconsistencies.len();
+        let findings = report.missed.len() + report.incorrect.len() + report.inconsistencies.len();
         if findings > 0 {
             worst.push((findings, report.package.clone()));
         }

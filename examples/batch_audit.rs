@@ -18,10 +18,7 @@ use ppchecker_corpus::{export_dataset, small_dataset};
 use ppchecker_engine::available_jobs;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60);
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60);
 
     let dir = std::env::temp_dir().join(format!("ppchecker-batch-audit-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -31,10 +28,10 @@ fn main() {
     export_dataset(&dir, &dataset, n).expect("export corpus");
 
     let jobs = available_jobs();
-    let (serial, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 })
-        .expect("serial batch");
-    let (parallel, metrics) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs })
-        .expect("parallel batch");
+    let (serial, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).expect("serial batch");
+    let (parallel, metrics) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs }).expect("parallel batch");
 
     assert_eq!(serial, parallel, "record streams must be byte-identical");
     println!(

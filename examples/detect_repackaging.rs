@@ -27,10 +27,7 @@ fn main() {
     );
 
     println!("== repackaging with a contact+location stealer ==");
-    let repackaged = repackage(
-        &original.input,
-        &[PrivateInfo::Contact, PrivateInfo::Location],
-    );
+    let repackaged = repackage(&original.input, &[PrivateInfo::Contact, PrivateInfo::Location]);
     let after = checker.check(&repackaged).expect("analyzes cleanly");
     println!("{after}");
 

@@ -47,10 +47,7 @@ fn main() {
     };
 
     let mut checker = PPChecker::new();
-    checker.register_lib_policy(
-        "admob",
-        "<p>we may share your device id with our partners.</p>",
-    );
+    checker.register_lib_policy("admob", "<p>we may share your device id with our partners.</p>");
     let report = checker.check(&app).expect("analyzes cleanly");
 
     println!("== findings ==");

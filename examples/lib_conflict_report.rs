@@ -57,7 +57,11 @@ fn main() {
     for inc in &report.inconsistencies {
         println!(
             "[{}] {} conflict:\n    app: «{}»\n    lib: «{}» (resource: {} ↔ {})\n",
-            inc.lib_id, inc.category, inc.app_sentence, inc.lib_sentence, inc.app_resource,
+            inc.lib_id,
+            inc.category,
+            inc.app_sentence,
+            inc.lib_sentence,
+            inc.app_resource,
             inc.lib_resource,
         );
     }

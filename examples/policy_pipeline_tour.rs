@@ -52,9 +52,9 @@ fn main() {
             "  [{}{}] verb={} executor={:?} resources={:?} constraints={}",
             if s.negative { "NOT " } else { "" },
             s.category,
-            s.elements.main_verb,
-            s.elements.executor,
-            s.resources(),
+            s.elements.main_verb(),
+            s.elements.executor(),
+            s.resources().collect::<Vec<_>>(),
             s.elements.constraints.len(),
         );
         println!("      «{}»", s.text);

@@ -39,10 +39,7 @@ fn main() {
         println!("  - no longer promises NOT to {} {}", s.category, s.resource);
     }
     if let Some(appeared) = d.disclaimer_changed {
-        println!(
-            "\nthird-party disclaimer {}",
-            if appeared { "ADDED" } else { "REMOVED" }
-        );
+        println!("\nthird-party disclaimer {}", if appeared { "ADDED" } else { "REMOVED" });
     }
 
     assert!(!d.is_empty());

@@ -27,12 +27,7 @@ fn parallel_evaluation_is_deterministic_across_worker_counts() {
 #[test]
 fn aggregate_rendering_is_byte_identical() {
     let dataset = small_dataset(7, 50);
-    let libs = || {
-        dataset
-            .lib_policies
-            .iter()
-            .map(|lp| (lp.lib.id.to_string(), lp.html.clone()))
-    };
+    let libs = || dataset.lib_policies.iter().map(|lp| (lp.lib.id.to_string(), lp.html.clone()));
 
     let one = Engine::with_lib_policies(PPChecker::new(), libs())
         .with_jobs(1)
@@ -63,10 +58,7 @@ fn corrupt_dex_app_is_isolated_to_one_error_record() {
 
     let engine = Engine::with_lib_policies(
         PPChecker::new(),
-        dataset
-            .lib_policies
-            .iter()
-            .map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+        dataset.lib_policies.iter().map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
     )
     .with_jobs(4);
     let batch = engine.run(inputs);
@@ -89,15 +81,12 @@ fn batch_cli_records_are_jobs_invariant_over_exported_corpus() {
     use ppchecker_cli::{run_batch, BatchOptions};
 
     let dataset = small_dataset(42, 12);
-    let dir = std::env::temp_dir()
-        .join(format!("ppchecker-engine-it-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("ppchecker-engine-it-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     export_dataset(&dir, &dataset, 12).unwrap();
 
-    let (serial, _) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
-    let (parallel, _) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8 }).unwrap();
+    let (serial, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
+    let (parallel, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8 }).unwrap();
     assert_eq!(serial, parallel, "JSONL output must be byte-identical");
     assert_eq!(serial.lines().count(), 13, "12 records + 1 aggregate line");
     let _ = std::fs::remove_dir_all(&dir);

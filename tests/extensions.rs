@@ -20,10 +20,7 @@ fn synonym_expansion_recovers_planted_false_negatives() {
 
     let plain = dataset.make_checker();
     let report = plain.check(&fn_app.input).unwrap();
-    assert!(
-        !report.is_inconsistent(),
-        "without expansion the FN plant must stay undetected"
-    );
+    assert!(!report.is_inconsistent(), "without expansion the FN plant must stay undetected");
 
     let mut expanded =
         PPChecker::new().with_analyzer(PolicyAnalyzer::new().with_synonym_expansion());
@@ -31,10 +28,7 @@ fn synonym_expansion_recovers_planted_false_negatives() {
         expanded.register_lib_policy(lp.lib.id, &lp.html);
     }
     let report = expanded.check(&fn_app.input).unwrap();
-    assert!(
-        report.is_inconsistent(),
-        "synonym expansion must recover the display-verb denial"
-    );
+    assert!(report.is_inconsistent(), "synonym expansion must recover the display-verb denial");
 }
 
 /// Consent-gated denials stop producing inconsistency findings when
@@ -53,8 +47,7 @@ fn constraint_modeling_silences_consent_gated_denials() {
         .build();
     let app = AppInput {
         package: "com.x".to_string(),
-        policy_html: "<p>We will not share your device id without your consent.</p>"
-            .to_string(),
+        policy_html: "<p>We will not share your device id without your consent.</p>".to_string(),
         description: "A simple game.".to_string(),
         apk: Apk::new(manifest, dex),
     };
@@ -123,8 +116,5 @@ fn applying_suggestions_fixes_incompleteness() {
     }
     let patched = AppInput { policy_html: patched_html, ..app.input.clone() };
     let report2 = checker.check(&patched).unwrap();
-    assert!(
-        !report2.is_incomplete(),
-        "suggested additions must cover the gap: {report2}"
-    );
+    assert!(!report2.is_incomplete(), "suggested additions must cover the gap: {report2}");
 }

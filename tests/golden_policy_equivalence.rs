@@ -1,0 +1,81 @@
+//! Golden-snapshot equivalence for the policy-analysis pipeline.
+//!
+//! The snapshot in `tests/golden/policy_analyses_seed42_50.txt` was rendered
+//! from the pre-interning pipeline over a 50-app seeded corpus. The interned
+//! Symbol representation is internal only: the resolved string view of every
+//! `PolicyAnalysis` (sentences, categories, negation flags, resources,
+//! executors, constraints) must stay byte-identical.
+//!
+//! Regenerate (only when the *analysis semantics* intentionally change) with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_policy_equivalence`
+
+use ppchecker_corpus::small_dataset;
+use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = "tests/golden/policy_analyses_seed42_50.txt";
+
+/// Renders the public string view of one analysis in a stable text form.
+fn render(package: &str, a: &PolicyAnalysis) -> String {
+    let mut out = String::new();
+    writeln!(out, "## {package} total={} disclaimer={}", a.total_sentences, a.has_disclaimer)
+        .unwrap();
+    for s in &a.sentences {
+        let resources: Vec<&str> = s.resources().collect();
+        let constraints: Vec<String> =
+            s.elements.constraints.iter().map(|c| format!("{:?}:{}", c.kind, c.text)).collect();
+        writeln!(
+            out,
+            "- cat={} neg={} cond={} verb={} exec={} res=[{}] cons=[{}]",
+            s.category,
+            s.negative,
+            s.conditional,
+            s.elements.main_verb(),
+            s.elements.executor().unwrap_or("-"),
+            resources.join(" | "),
+            constraints.join(" ; "),
+        )
+        .unwrap();
+        writeln!(out, "  text={}", s.text).unwrap();
+    }
+    out
+}
+
+fn render_corpus() -> String {
+    let dataset = small_dataset(42, 50);
+    let analyzer = PolicyAnalyzer::new();
+    let mut out = String::new();
+    for app in &dataset.apps {
+        let a = analyzer.analyze_html(&app.input.policy_html);
+        out.push_str(&render(&app.input.package, &a));
+    }
+    out
+}
+
+#[test]
+fn resolved_analyses_match_pre_refactor_snapshot() {
+    let rendered = render_corpus();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    if rendered != golden {
+        // Pinpoint the first divergent line rather than dumping both files.
+        let mismatch = rendered.lines().zip(golden.lines()).enumerate().find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "analysis diverged from pre-refactor snapshot at line {}:\n  got:  {got}\n  want: {want}",
+                i + 1
+            ),
+            None => panic!(
+                "analysis diverged in length: got {} lines, want {}",
+                rendered.lines().count(),
+                golden.lines().count()
+            ),
+        }
+    }
+}

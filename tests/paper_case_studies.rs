@@ -39,12 +39,8 @@ fn dooing_incomplete_policy() {
     };
     let report = PPChecker::new().check(&app).unwrap();
     assert!(report.is_incomplete());
-    assert!(report
-        .missed_via_description()
-        .any(|m| m.info == PrivateInfo::Location));
-    assert!(report
-        .missed_via_code()
-        .any(|m| m.info == PrivateInfo::Location));
+    assert!(report.missed_via_description().any(|m| m.info == PrivateInfo::Location));
+    assert!(report.missed_via_code().any(|m| m.info == PrivateInfo::Location));
     assert!(!report.is_incorrect());
 }
 
@@ -93,11 +89,7 @@ fn easyxapp_incorrect_policy() {
 fn myobservatory_incorrect_policy() {
     let mut manifest = Manifest::new("hko.MyObservatory_v1_0");
     manifest.add_permission(Permission::AccessFineLocation);
-    manifest.add_component(
-        ComponentKind::Activity,
-        "hko.MyObservatory_v1_0.Main",
-        true,
-    );
+    manifest.add_component(ComponentKind::Activity, "hko.MyObservatory_v1_0.Main", true);
     let dex = Dex::builder()
         .class("hko.MyObservatory_v1_0.Main", |c| {
             c.extends("android.app.Activity");
@@ -159,11 +151,7 @@ fn templerun_inconsistent_policy() {
 #[test]
 fn hammertime_disclaimer_suppresses_inconsistency() {
     let mut manifest = Manifest::new("com.shortbreakstudios.HammerTime");
-    manifest.add_component(
-        ComponentKind::Activity,
-        "com.shortbreakstudios.HammerTime.Main",
-        true,
-    );
+    manifest.add_component(ComponentKind::Activity, "com.shortbreakstudios.HammerTime.Main", true);
     let dex = Dex::builder()
         .class("com.shortbreakstudios.HammerTime.Main", |c| {
             c.method("onCreate", 1, |_| {});
@@ -183,10 +171,7 @@ fn hammertime_disclaimer_suppresses_inconsistency() {
         apk: Apk::new(manifest, dex),
     };
     let mut checker = PPChecker::new();
-    checker.register_lib_policy(
-        "unity3d",
-        "<p>We may receive your location information.</p>",
-    );
+    checker.register_lib_policy("unity3d", "<p>We may receive your location information.</p>");
     let report = checker.check(&app).unwrap();
     assert!(report.has_disclaimer);
     assert!(!report.is_inconsistent());
@@ -198,11 +183,7 @@ fn hammertime_disclaimer_suppresses_inconsistency() {
 fn qisiemoji_retains_app_list() {
     let mut manifest = Manifest::new("com.qisiemoji.inputmethod");
     manifest.add_permission(Permission::GetTasks);
-    manifest.add_component(
-        ComponentKind::Activity,
-        "com.qisiemoji.inputmethod.Main",
-        true,
-    );
+    manifest.add_component(ComponentKind::Activity, "com.qisiemoji.inputmethod.Main", true);
     let dex = Dex::builder()
         .class("com.qisiemoji.inputmethod.Main", |c| {
             c.method("onCreate", 1, |m| {
@@ -238,16 +219,13 @@ fn staffmark_esa_false_positive_reproduced() {
         .build();
     let app = AppInput {
         package: "com.staffmark.app".to_string(),
-        policy_html: "<p>We do not transmit that information over the internet.</p>"
-            .to_string(),
+        policy_html: "<p>We do not transmit that information over the internet.</p>".to_string(),
         description: "Find your next job.".to_string(),
         apk: Apk::new(manifest, dex),
     };
     let mut checker = PPChecker::new();
-    checker.register_lib_policy(
-        "admob",
-        "<p>We will share personal information with companies.</p>",
-    );
+    checker
+        .register_lib_policy("admob", "<p>We will share personal information with companies.</p>");
     let report = checker.check(&app).unwrap();
     // The detector flags it — matching the paper's false positive.
     assert!(report.is_inconsistent());

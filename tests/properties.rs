@@ -1,10 +1,30 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants of the pipeline.
 
-use proptest::prelude::*;
 use ppchecker_apk::{packer, Dex, Insn, InvokeKind};
 use ppchecker_esa::Interpreter;
-use ppchecker_nlp::{depparse, sentence, token};
+use ppchecker_nlp::{depparse, intern, resolve, sentence, token};
+use proptest::prelude::*;
+
+// ---------- interning ----------
+
+proptest! {
+    /// Interning round-trips: `resolve(intern(s)) == s` and re-interning
+    /// the resolved text yields the same symbol.
+    #[test]
+    fn intern_resolve_roundtrip(s in ".{0,60}") {
+        let sym = intern(&s);
+        prop_assert_eq!(resolve(sym), s.as_str());
+        prop_assert_eq!(intern(resolve(sym)), sym);
+    }
+
+    /// Symbol equality coincides with string equality: two strings intern
+    /// to the same symbol iff they are byte-identical.
+    #[test]
+    fn symbol_equality_is_string_equality(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        prop_assert_eq!(intern(&a) == intern(&b), a == b);
+    }
+}
 
 // ---------- NLP ----------
 
@@ -15,8 +35,8 @@ proptest! {
     fn tokenizer_is_total_and_clean(s in ".{0,200}") {
         let toks = token::tokenize(&s);
         for t in &toks {
-            prop_assert!(!t.text.is_empty());
-            prop_assert!(!t.text.chars().any(char::is_whitespace));
+            prop_assert!(!t.text().is_empty());
+            prop_assert!(!t.text().chars().any(char::is_whitespace));
             prop_assert!(t.start <= s.len());
         }
     }
@@ -102,16 +122,20 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         ("[ -~]{0,40}", 0u32..16).prop_map(|(v, r)| Insn::ConstString { dst: r, value: v }),
         (0u32..16, 0u32..16).prop_map(|(d, s)| Insn::Move { dst: d, src: s }),
-        ("[a-zA-Z.$]{1,30}", "[a-zA-Z]{1,15}", proptest::collection::vec(0u32..16, 0..4))
-            .prop_map(|(c, m, args)| Insn::Invoke {
+        ("[a-zA-Z.$]{1,30}", "[a-zA-Z]{1,15}", proptest::collection::vec(0u32..16, 0..4)).prop_map(
+            |(c, m, args)| Insn::Invoke {
                 kind: InvokeKind::Virtual,
                 class: c,
                 method: m,
                 args,
                 dst: None,
-            }),
-        ("[a-zA-Z.]{1,20}", "[a-zA-Z]{1,12}", 0u32..16)
-            .prop_map(|(c, f, r)| Insn::FieldPut { class: c, field: f, src: r }),
+            }
+        ),
+        ("[a-zA-Z.]{1,20}", "[a-zA-Z]{1,12}", 0u32..16).prop_map(|(c, f, r)| Insn::FieldPut {
+            class: c,
+            field: f,
+            src: r
+        }),
         (0u32..16).prop_map(|r| Insn::Return { src: Some(r) }),
         Just(Insn::Nop),
     ]
@@ -202,7 +226,7 @@ proptest! {
     fn useful_sentences_always_carry_resources(s in "[a-z .,]{0,200}") {
         let analyzer = ppchecker_policy::PolicyAnalyzer::new();
         for sent in &analyzer.analyze_text(&s).sentences {
-            prop_assert!(!sent.resources().is_empty());
+            prop_assert!(!sent.resource_symbols().is_empty());
             for r in sent.resources() {
                 prop_assert!(!r.is_empty());
             }

@@ -42,7 +42,12 @@ const CASES: &[Case] = &[
     case("Cookies are stored on your device.", Retain, false, "cookies"),
     // ---- P3 / P4 ----
     case("We are able to collect location information.", Collect, false, "location"),
-    case("We are allowed to access your personal information.", Collect, false, "personal information"),
+    case(
+        "We are allowed to access your personal information.",
+        Collect,
+        false,
+        "personal information",
+    ),
     // ---- P5 purpose ----
     case("We need your consent to access your contacts.", Collect, false, "contacts"),
     // ---- retain ----
@@ -51,7 +56,12 @@ const CASES: &[Case] = &[
     case("We may store your photos on our servers.", Retain, false, "photos"),
     // ---- disclose ----
     case("We may share your device id with our partners.", Disclose, false, "device id"),
-    case("We will disclose your information to comply with the law.", Disclose, false, "information"),
+    case(
+        "We will disclose your information to comply with the law.",
+        Disclose,
+        false,
+        "information",
+    ),
     case("We may transfer your data to our affiliates.", Disclose, false, "data"),
     case("We sell aggregated location data to advertisers.", Disclose, false, "location data"),
     // ---- negation forms ----
@@ -70,7 +80,12 @@ const CASES: &[Case] = &[
     case("We collect your name, your ip address and your device id.", Collect, false, "ip address"),
     case("We will not store your real phone number, name and contacts.", Retain, true, "contacts"),
     // ---- such as / including ----
-    case("We collect information such as your name and your email address.", Collect, false, "email address"),
+    case(
+        "We collect information such as your name and your email address.",
+        Collect,
+        false,
+        "email address",
+    ),
     case("We may share data including your device id.", Disclose, false, "device id"),
     // ---- constraints ----
     case("If you enable sync, we collect your calendar events.", Collect, false, "calendar"),
@@ -88,21 +103,15 @@ fn regression_corpus_analyzes_as_expected() {
             continue;
         };
         if s.category != c.category {
-            failures.push(format!(
-                "CATEGORY {:?} != {:?}: {}",
-                s.category, c.category, c.sentence
-            ));
+            failures.push(format!("CATEGORY {:?} != {:?}: {}", s.category, c.category, c.sentence));
         }
         if s.negative != c.negative {
-            failures.push(format!(
-                "POLARITY {} != {}: {}",
-                s.negative, c.negative, c.sentence
-            ));
+            failures.push(format!("POLARITY {} != {}: {}", s.negative, c.negative, c.sentence));
         }
-        if !s.resources().iter().any(|r| r.contains(c.resource)) {
+        if !s.resources().any(|r| r.contains(c.resource)) {
             failures.push(format!(
                 "RESOURCE {:?} missing {:?}: {}",
-                s.resources(),
+                s.resources().collect::<Vec<_>>(),
                 c.resource,
                 c.sentence
             ));
@@ -137,7 +146,7 @@ fn noise_sentences_rejected() {
         assert!(
             analysis.sentences.is_empty(),
             "noise selected: {s} -> {:?}",
-            analysis.sentences[0].resources()
+            analysis.sentences[0].resources().collect::<Vec<_>>()
         );
     }
 }
