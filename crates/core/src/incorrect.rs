@@ -9,7 +9,7 @@ use crate::matcher::Matcher;
 use crate::problems::{Channel, IncorrectFinding};
 use ppchecker_apk::PrivateInfo;
 use ppchecker_desc::DescriptionAnalysis;
-use ppchecker_nlp::intern;
+use ppchecker_nlp::{intern, Symbol};
 use ppchecker_policy::{PolicyAnalysis, VerbCategory};
 use ppchecker_static::StaticReport;
 
@@ -51,17 +51,21 @@ pub fn via_code(
     esa: &Matcher,
 ) -> Vec<IncorrectFinding> {
     let mut out = Vec::new();
-    let collected = code.collect_code();
-    let retained = code.retain_code();
+    // Canonical phrases are preseeded in the interner; still, resolve each
+    // info's symbol once up front instead of once per negative sentence.
+    let with_syms = |infos: std::collections::BTreeSet<PrivateInfo>| -> Vec<(PrivateInfo, Symbol)> {
+        infos.into_iter().map(|i| (i, intern(i.canonical_phrase()))).collect()
+    };
+    let collected = with_syms(code.collect_code());
+    let retained = with_syms(code.retain_code());
     for sent in policy.negative_sentences() {
         // "we will not collect/use X" is refuted by Collect_code; "we will
         // not store/transmit X" only by X actually reaching a sink.
-        let code_infos: Vec<PrivateInfo> = match sent.category {
-            VerbCategory::Collect | VerbCategory::Use => collected.iter().copied().collect(),
-            VerbCategory::Retain | VerbCategory::Disclose => retained.iter().copied().collect(),
+        let code_infos: &[(PrivateInfo, Symbol)] = match sent.category {
+            VerbCategory::Collect | VerbCategory::Use => &collected,
+            VerbCategory::Retain | VerbCategory::Disclose => &retained,
         };
-        for info in code_infos {
-            let info_sym = intern(info.canonical_phrase());
+        for &(info, info_sym) in code_infos {
             for &res in sent.resource_symbols() {
                 if esa.same_thing_sym(info_sym, res) {
                     out.push(IncorrectFinding {

@@ -42,16 +42,23 @@ impl Matcher {
     }
 
     /// The paper's "refer to the same thing" predicate.
+    ///
+    /// Routed through the interpreter's pruned threshold predicate: pairs
+    /// whose norm bound cannot reach the threshold are rejected without a
+    /// dot product, with the exact cosine as fallback — the verdict is
+    /// identical to comparing [`Interpreter::similarity`] by hand.
     pub fn same_thing(&self, a: &str, b: &str) -> bool {
-        self.esa.similarity(a, b) >= self.threshold
+        self.esa.same_thing_at(a, b, self.threshold)
     }
 
-    /// [`same_thing`] over interned symbols: identical symbols short-circuit
-    /// and both concept vectors come from the symbol-keyed memo.
+    /// [`same_thing`] over interned symbols: identical symbols short-circuit,
+    /// both concept vectors come from the symbol-keyed memo, and (at the
+    /// paper threshold) repeat pairs are answered from the interpreter's
+    /// sharded pair-verdict memo.
     ///
     /// [`same_thing`]: Matcher::same_thing
     pub fn same_thing_sym(&self, a: Symbol, b: Symbol) -> bool {
-        a == b || self.esa.similarity_sym(a, b) >= self.threshold
+        a == b || self.esa.same_thing_sym_at(a, b, self.threshold)
     }
 }
 

@@ -23,11 +23,12 @@
 //! ```
 
 use ppchecker_apk::{Permission, PrivateInfo};
-use ppchecker_esa::Interpreter;
+use ppchecker_esa::{Interpreter, SparseVector};
 use ppchecker_nlp::chunk::chunk_nps;
 use ppchecker_nlp::sentence::split_sentences;
 use ppchecker_nlp::tagger::tag_str;
 use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
 
 /// One matched description phrase and the permission it implies.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +79,27 @@ pub fn analyze_description(text: &str) -> DescriptionAnalysis {
     analyze_description_with(text, Interpreter::shared())
 }
 
+/// The permission profiles as interpretation vectors. Resolved once per
+/// process for the shared interpreter (the common case), per call for a
+/// custom one.
+fn profile_vectors(
+    esa: &Interpreter,
+) -> std::borrow::Cow<'static, [(Permission, Arc<SparseVector>)]> {
+    use std::borrow::Cow;
+    fn resolve(esa: &Interpreter) -> Vec<(Permission, Arc<SparseVector>)> {
+        permission_profiles()
+            .iter()
+            .map(|(perm, text)| (perm.clone(), esa.vector_of(text)))
+            .collect()
+    }
+    if std::ptr::eq(esa, Interpreter::shared()) {
+        static SHARED: OnceLock<Vec<(Permission, Arc<SparseVector>)>> = OnceLock::new();
+        Cow::Borrowed(SHARED.get_or_init(|| resolve(esa)).as_slice())
+    } else {
+        Cow::Owned(resolve(esa))
+    }
+}
+
 /// Analyzes a description with an explicit ESA interpreter.
 ///
 /// Every noun phrase of every sentence is compared against each permission
@@ -85,6 +107,12 @@ pub fn analyze_description(text: &str) -> DescriptionAnalysis {
 /// infers the permission.
 pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAnalysis {
     let mut out = DescriptionAnalysis::default();
+    // Resolve each profile's interpretation vector once per description
+    // (not once per noun phrase), then compare phrase vectors against them
+    // directly: same cosines as `esa.similarity`, without a vector-cache
+    // probe per (phrase, profile) pair. For the shared interpreter the
+    // profile vectors are resolved once per process.
+    let profiles = profile_vectors(esa);
     for sent in split_sentences(text) {
         let tokens = tag_str(&sent);
         for np in chunk_nps(&tokens) {
@@ -92,19 +120,28 @@ pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAna
             if phrase.is_empty() {
                 continue;
             }
-            for (perm, profile) in permission_profiles() {
-                let sim = esa.similarity(&phrase, profile);
-                if sim >= ppchecker_esa::SIMILARITY_THRESHOLD {
-                    out.permissions.insert(perm.clone());
-                    for &info in PrivateInfo::from_permission(perm) {
-                        out.info.insert(info);
-                    }
-                    out.evidence.push(Evidence {
-                        phrase: phrase.clone(),
-                        permission: perm.clone(),
-                        similarity: sim,
-                    });
+            let phrase_vec = esa.vector_of(&phrase);
+            if phrase_vec.is_empty() {
+                // No known terms: similarity against every profile is 0.
+                continue;
+            }
+            for (perm, profile_vec) in profiles.iter() {
+                let Some(sim) = esa.similarity_above(
+                    &phrase_vec,
+                    profile_vec,
+                    ppchecker_esa::SIMILARITY_THRESHOLD,
+                ) else {
+                    continue;
+                };
+                out.permissions.insert(perm.clone());
+                for &info in PrivateInfo::from_permission(perm) {
+                    out.info.insert(info);
                 }
+                out.evidence.push(Evidence {
+                    phrase: phrase.clone(),
+                    permission: perm.clone(),
+                    similarity: sim,
+                });
             }
         }
     }

@@ -138,7 +138,10 @@ impl Engine {
     {
         let started = Instant::now();
         let policy_before = self.cache.stats();
-        let (esa_hits_before, esa_misses_before) = Interpreter::shared().vector_cache_stats();
+        let esa = Interpreter::shared();
+        let (esa_hits_before, esa_misses_before) = esa.vector_cache_stats();
+        let (pair_hits_before, pair_misses_before) = esa.pair_memo_stats();
+        let pruned_before = esa.pruned_comparisons();
 
         let jobs = self.config.jobs.max(1);
         let mut outputs =
@@ -157,7 +160,8 @@ impl Engine {
         }
 
         let policy_after = self.cache.stats();
-        let (esa_hits_after, esa_misses_after) = Interpreter::shared().vector_cache_stats();
+        let (esa_hits_after, esa_misses_after) = esa.vector_cache_stats();
+        let (pair_hits_after, pair_misses_after) = esa.pair_memo_stats();
         let metrics = MetricsSummary {
             jobs,
             apps: records.len(),
@@ -173,8 +177,14 @@ impl Engine {
             esa_cache: CacheStats {
                 hits: esa_hits_after - esa_hits_before,
                 misses: esa_misses_after - esa_misses_before,
-                entries: Interpreter::shared().vector_cache_len(),
+                entries: esa.vector_cache_len(),
             },
+            esa_pair_memo: CacheStats {
+                hits: pair_hits_after - pair_hits_before,
+                misses: pair_misses_after - pair_misses_before,
+                entries: esa.pair_memo_len(),
+            },
+            esa_pruned: esa.pruned_comparisons() - pruned_before,
             interner: ppchecker_nlp::Interner::global().stats(),
         };
         BatchReport { records, metrics }

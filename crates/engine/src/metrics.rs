@@ -34,6 +34,11 @@ pub struct MetricsSummary {
     /// ESA interpretation-vector cache counters, as a delta over the run
     /// (the interpreter is process-wide).
     pub esa_cache: CacheStats,
+    /// ESA symbol-pair verdict-memo counters, as a delta over the run.
+    pub esa_pair_memo: CacheStats,
+    /// ESA threshold comparisons answered by the norm bound alone (no dot
+    /// product), as a delta over the run.
+    pub esa_pruned: u64,
     /// Global interner occupancy at the end of the run (process-wide:
     /// includes the static pre-seed plus everything interned so far).
     pub interner: InternerStats,
@@ -97,6 +102,15 @@ impl fmt::Display for MetricsSummary {
             self.esa_cache.misses,
             self.esa_cache.hit_rate() * 100.0,
         )?;
+        writeln!(
+            f,
+            "esa kernel: pair memo {} hits / {} misses ({:.1}% hit rate, {} entries); {} comparisons pruned",
+            self.esa_pair_memo.hits,
+            self.esa_pair_memo.misses,
+            self.esa_pair_memo.hit_rate() * 100.0,
+            self.esa_pair_memo.entries,
+            self.esa_pruned,
+        )?;
         write!(
             f,
             "interner: {} symbols ({} preseeded, {} bytes)",
@@ -141,5 +155,7 @@ mod tests {
         assert!(text.contains("policy cache"));
         assert!(text.contains("stages:"));
         assert!(text.contains("interner:"));
+        assert!(text.contains("pair memo"));
+        assert!(text.contains("pruned"));
     }
 }

@@ -1,7 +1,15 @@
 //! The ESA interpreter: term → concept-space vectors and text similarity.
+//!
+//! The numeric core lives in [`crate::kernel`]: the inverted index is
+//! compiled to CSR once at construction, interpretation vectors are flat
+//! sorted [`SparseVector`]s, and the threshold predicate combines a
+//! norm-bound prune with a sharded symbol-pair verdict memo. The `f64`
+//! public API and the 0.67 verdict semantics are unchanged (DESIGN.md §10).
 
 use crate::kb::{concepts, Concept};
+use crate::kernel::{self, CsrIndex, SparseVector};
 use ppchecker_nlp::intern::{Interner, Symbol};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -11,13 +19,116 @@ use std::sync::{Arc, OnceLock, RwLock};
 pub const SIMILARITY_THRESHOLD: f64 = 0.67;
 
 /// A sparse vector in concept space: `concept index → weight`.
+///
+/// Retained as the *reference representation*: [`Interpreter::interpret`]
+/// produces it and [`cosine`] consumes it, and the property tests hold the
+/// CSR kernel to it within 1e-6. The hot path uses [`SparseVector`].
 pub type ConceptVector = HashMap<usize, f64>;
+
+/// Number of lock shards for the vector cache and the pair memo. Sharding
+/// by symbol hash keeps the PR-1 parallel engine from serializing on one
+/// global `RwLock` at high `--jobs`.
+const SHARDS: usize = 16;
+
+/// Upper bound on memoized interpretation vectors across all shards; past
+/// this the cache stops admitting new texts (hits still count).
+const VECTOR_CACHE_CAP: usize = 65_536;
+const VECTOR_SHARD_CAP: usize = VECTOR_CACHE_CAP / SHARDS;
+
+/// Upper bound on memoized symbol-pair verdicts across all shards.
+const PAIR_MEMO_CAP: usize = 131_072;
+const PAIR_MEMO_SHARD_CAP: usize = PAIR_MEMO_CAP / SHARDS;
+
+/// Fibonacci-multiply hasher for the symbol-keyed caches. Keys are one or
+/// two interned `u32` ids; SipHash's DoS resistance buys nothing for them
+/// and costs a large fraction of a cache probe. fxhash-style mix: rotate,
+/// xor, multiply by the 64-bit golden ratio.
+#[derive(Debug, Default, Clone, Copy)]
+struct SymHasher(u64);
+
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl std::hash::Hasher for SymHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FIB);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0.rotate_left(20) ^ n as u64).wrapping_mul(FIB);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(20) ^ n).wrapping_mul(FIB);
+    }
+}
+
+type SymBuild = std::hash::BuildHasherDefault<SymHasher>;
+
+type VectorShard = RwLock<HashMap<Symbol, Arc<SparseVector>, SymBuild>>;
+type PairShard = RwLock<HashMap<(Symbol, Symbol), bool, SymBuild>>;
+
+/// Sharded, cap-bounded memo of `same_thing` verdicts at the paper
+/// threshold, keyed by canonically-ordered symbol pairs. A corpus re-asks
+/// identical resource pairs thousands of times across apps; after the
+/// first decision each repeat is one read-locked `u64`-keyed probe.
+#[derive(Debug, Default)]
+struct PairMemo {
+    shards: [PairShard; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PairMemo {
+    /// Canonical key: cosine is symmetric, so `(a,b)` and `(b,a)` share
+    /// one entry.
+    fn key(a: Symbol, b: Symbol) -> (Symbol, Symbol) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn shard_of(key: (Symbol, Symbol)) -> usize {
+        let packed = ((key.0.id() as u64) << 32) | key.1.id() as u64;
+        (packed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+    }
+
+    fn get(&self, a: Symbol, b: Symbol) -> Option<bool> {
+        let key = Self::key(a, b);
+        let found =
+            self.shards[Self::shard_of(key)].read().expect("pair memo lock").get(&key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, a: Symbol, b: Symbol, verdict: bool) {
+        let key = Self::key(a, b);
+        let mut shard = self.shards[Self::shard_of(key)].write().expect("pair memo lock");
+        if shard.len() < PAIR_MEMO_SHARD_CAP {
+            shard.insert(key, verdict);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("pair memo lock").len()).sum()
+    }
+}
 
 /// Explicit Semantic Analysis interpreter over the bundled knowledge base.
 ///
-/// Builds a TF-IDF inverted index from terms to concepts once; texts are
-/// interpreted as the TF-weighted sum of their terms' concept vectors and
-/// compared by cosine similarity.
+/// Builds a TF-IDF inverted index from terms to concepts once (in CSR
+/// layout); texts are interpreted as the TF-weighted sum of their terms'
+/// concept vectors and compared by cosine similarity.
 ///
 /// # Examples
 ///
@@ -29,31 +140,26 @@ pub type ConceptVector = HashMap<usize, f64>;
 /// ```
 #[derive(Debug)]
 pub struct Interpreter {
-    /// term → vector of (concept, tf-idf weight).
-    index: HashMap<String, Vec<(usize, f64)>>,
+    /// term → sorted (concept, tf-idf weight) postings, CSR-compiled.
+    index: CsrIndex,
     n_concepts: usize,
-    /// Memoized interpretation vectors, keyed by interned [`Symbol`]
-    /// (text → vector + norm). Policy phrases and resource names repeat
+    /// Memoized interpretation vectors, keyed by interned [`Symbol`] and
+    /// sharded by symbol hash. Policy phrases and resource names repeat
     /// massively across a corpus, so [`similarity`](Self::similarity) is
-    /// served from here — one `u32` hash probe, no string hashing — after
-    /// the first interpretation of each text. Bounded by
-    /// [`VECTOR_CACHE_CAP`]; thread-safe. Texts are only interned once the
-    /// cache admits them, so the cap also bounds interner growth from this
-    /// path.
-    vector_cache: RwLock<HashMap<Symbol, Arc<CachedVector>>>,
+    /// served from here — one `u32` hash probe under a per-shard lock —
+    /// after the first interpretation of each text. Bounded by
+    /// [`VECTOR_CACHE_CAP`]; texts are only interned once the cache admits
+    /// them, so the cap also bounds interner growth from this path.
+    vector_cache: [VectorShard; SHARDS],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-}
-
-/// Upper bound on memoized interpretation vectors; past this the cache
-/// stops admitting new texts (hits on existing entries still count).
-const VECTOR_CACHE_CAP: usize = 65_536;
-
-/// An interpretation vector with its precomputed L2 norm.
-#[derive(Debug)]
-struct CachedVector {
-    vector: ConceptVector,
-    norm: f64,
+    /// Entry count across all shards, mirrored out of the shard maps so
+    /// the admission pre-check is one relaxed load instead of a scan over
+    /// all shard locks.
+    cache_entries: AtomicU64,
+    /// Threshold comparisons answered by the norm bound alone.
+    pruned: AtomicU64,
+    pair_memo: PairMemo,
 }
 
 impl Interpreter {
@@ -73,30 +179,34 @@ impl Interpreter {
             }
             tf.push(counts);
         }
-        let mut index: HashMap<String, Vec<(usize, f64)>> = HashMap::new();
+        let mut postings: HashMap<String, Vec<(u32, f64)>> = HashMap::new();
         for (ci, counts) in tf.iter().enumerate() {
             for (term, &count) in counts {
                 let idf = ((n as f64 + 1.0) / (df[term] as f64 + 1.0)).ln() + 1.0;
                 let w = (1.0 + count.ln()) * idf;
-                index.entry(term.clone()).or_default().push((ci, w));
+                postings.entry(term.clone()).or_default().push((ci as u32, w));
             }
         }
         // L2-normalize each term's interpretation vector so frequent terms
-        // don't dominate purely by article length.
-        for vec in index.values_mut() {
-            let norm = vec.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        // don't dominate purely by article length. Rows are already sorted
+        // by concept id (the outer loop runs in concept order).
+        for row in postings.values_mut() {
+            let norm = row.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
             if norm > 0.0 {
-                for (_, w) in vec.iter_mut() {
+                for (_, w) in row.iter_mut() {
                     *w /= norm;
                 }
             }
         }
         Interpreter {
-            index,
+            index: CsrIndex::build(postings),
             n_concepts: n,
-            vector_cache: RwLock::new(HashMap::new()),
+            vector_cache: std::array::from_fn(|_| RwLock::new(HashMap::default())),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            pair_memo: PairMemo::default(),
         }
     }
 
@@ -112,58 +222,99 @@ impl Interpreter {
     }
 
     /// Maps a text to its concept-space interpretation vector.
+    ///
+    /// Reference (HashMap) representation; the hot path uses
+    /// [`interpret_sparse`](Self::interpret_sparse). Both read the same
+    /// CSR rows, so they agree to within the kernel's f32 quantization.
     pub fn interpret(&self, text: &str) -> ConceptVector {
         let mut v: ConceptVector = HashMap::new();
         for term in terms(text) {
-            if let Some(tv) = self.index.get(&term) {
-                for &(ci, w) in tv {
-                    *v.entry(ci).or_insert(0.0) += w;
+            if let Some(id) = self.index.term_id(&term) {
+                let (concepts, weights) = self.index.row(id);
+                for (&ci, &w) in concepts.iter().zip(weights) {
+                    *v.entry(ci as usize).or_insert(0.0) += w as f64;
                 }
             }
         }
         v
     }
 
-    /// The memoized interpretation of `text`, with its norm. Probes the
-    /// interner without interning first: a text that was never interned
-    /// cannot be cached yet.
-    fn cached_vector(&self, text: &str) -> Arc<CachedVector> {
+    /// Maps a text to its kernel-form interpretation vector: sorted
+    /// `(concept, weight)` pairs with precomputed norm and max weight.
+    pub fn interpret_sparse(&self, text: &str) -> SparseVector {
+        let mut contributions: Vec<(u32, f64)> = Vec::new();
+        for term in terms(text) {
+            if let Some(id) = self.index.term_id(&term) {
+                let (concepts, weights) = self.index.row(id);
+                contributions.reserve(concepts.len());
+                for (&ci, &w) in concepts.iter().zip(weights) {
+                    contributions.push((ci, w as f64));
+                }
+            }
+        }
+        SparseVector::from_contributions(contributions)
+    }
+
+    fn shard_of(sym: Symbol) -> usize {
+        ((sym.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
+    }
+
+    /// The memoized interpretation of `text`. Probes the interner without
+    /// interning first: a text that was never interned cannot be cached yet.
+    fn cached_vector(&self, text: &str) -> Arc<SparseVector> {
         if let Some(sym) = Interner::global().get(text) {
             return self.cached_vector_sym(sym);
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(self.compute_vector(text));
-        let mut cache = self.vector_cache.write().expect("esa cache lock");
-        if cache.len() < VECTOR_CACHE_CAP {
-            // Intern only when the cache admits the text, so a full cache
-            // never grows the interner.
-            let sym = Interner::global().intern(text);
-            // Two threads may race to interpret the same text; both
-            // compute the same pure result, so either insert wins.
-            cache.entry(sym).or_insert_with(|| Arc::clone(&entry));
+        let entry = Arc::new(self.interpret_sparse(text));
+        if self.cache_entries.load(Ordering::Relaxed) as usize >= VECTOR_CACHE_CAP {
+            // Intern only when the cache can admit the text, so a full
+            // cache never grows the interner.
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            return entry;
         }
-        entry
+        let sym = Interner::global().intern(text);
+        self.admit(sym, entry)
     }
 
     /// Symbol-keyed variant of [`cached_vector`](Self::cached_vector).
-    fn cached_vector_sym(&self, sym: Symbol) -> Arc<CachedVector> {
-        if let Some(hit) = self.vector_cache.read().expect("esa cache lock").get(&sym) {
+    fn cached_vector_sym(&self, sym: Symbol) -> Arc<SparseVector> {
+        let shard = &self.vector_cache[Self::shard_of(sym)];
+        if let Some(hit) = shard.read().expect("esa cache lock").get(&sym) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(self.compute_vector(sym.as_str()));
-        let mut cache = self.vector_cache.write().expect("esa cache lock");
-        if cache.len() < VECTOR_CACHE_CAP {
-            cache.entry(sym).or_insert_with(|| Arc::clone(&entry));
-        }
-        entry
+        let entry = Arc::new(self.interpret_sparse(sym.as_str()));
+        self.admit(sym, entry)
     }
 
-    fn compute_vector(&self, text: &str) -> CachedVector {
-        let vector = self.interpret(text);
-        let norm = vector.values().map(|v| v * v).sum::<f64>().sqrt();
-        CachedVector { vector, norm }
+    /// Inserts a freshly computed vector, counting a miss only for the
+    /// insert that wins: two threads interpreting the same uncached text
+    /// both compute the (pure, identical) vector, but the loser's lookup
+    /// resolves from the cache as a hit, so `vector_cache_stats()` misses
+    /// stay consistent with `vector_cache_len()`.
+    fn admit(&self, sym: Symbol, entry: Arc<SparseVector>) -> Arc<SparseVector> {
+        let shard = &self.vector_cache[Self::shard_of(sym)];
+        let mut map = shard.write().expect("esa cache lock");
+        if map.len() >= VECTOR_SHARD_CAP && !map.contains_key(&sym) {
+            drop(map);
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            return entry;
+        }
+        match map.entry(sym) {
+            Entry::Occupied(existing) => {
+                let out = Arc::clone(existing.get());
+                drop(map);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                out
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(Arc::clone(&entry));
+                drop(map);
+                self.cache_entries.fetch_add(1, Ordering::Relaxed);
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                entry
+            }
+        }
     }
 
     /// `(hits, misses)` of the interpretation-vector cache.
@@ -171,9 +322,25 @@ impl Interpreter {
         (self.cache_hits.load(Ordering::Relaxed), self.cache_misses.load(Ordering::Relaxed))
     }
 
-    /// Number of memoized interpretation vectors.
+    /// Number of memoized interpretation vectors across all shards.
     pub fn vector_cache_len(&self) -> usize {
-        self.vector_cache.read().expect("esa cache lock").len()
+        self.vector_cache.iter().map(|s| s.read().expect("esa cache lock").len()).sum()
+    }
+
+    /// `(hits, misses)` of the symbol-pair verdict memo.
+    pub fn pair_memo_stats(&self) -> (u64, u64) {
+        (self.pair_memo.hits.load(Ordering::Relaxed), self.pair_memo.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of memoized pair verdicts across all shards.
+    pub fn pair_memo_len(&self) -> usize {
+        self.pair_memo.len()
+    }
+
+    /// Threshold comparisons decided by the norm bound without a dot
+    /// product.
+    pub fn pruned_comparisons(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 
     /// Cosine similarity of two texts in concept space, in `[0, 1]`.
@@ -184,47 +351,111 @@ impl Interpreter {
     /// [`vector_cache_stats`](Self::vector_cache_stats)); the memo is a
     /// pure-function cache, so results are identical with or without it.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
-        Self::cosine_cached(&self.cached_vector(a), &self.cached_vector(b))
+        kernel::cosine(&self.cached_vector(a), &self.cached_vector(b))
     }
 
     /// Symbol-keyed similarity: both interpretation vectors are looked up
     /// (and memoized) under the symbols themselves.
     pub fn similarity_sym(&self, a: Symbol, b: Symbol) -> f64 {
-        Self::cosine_cached(&self.cached_vector_sym(a), &self.cached_vector_sym(b))
+        kernel::cosine(&self.cached_vector_sym(a), &self.cached_vector_sym(b))
     }
 
-    fn cosine_cached(ca: &CachedVector, cb: &CachedVector) -> f64 {
-        if ca.norm == 0.0 || cb.norm == 0.0 {
-            return 0.0;
+    /// The memoized kernel-form interpretation of `text`.
+    ///
+    /// Callers that compare one text against many (e.g. the description
+    /// analyzer's permission profiles) should resolve each vector once and
+    /// combine them with [`similarity_above`](Self::similarity_above) or
+    /// [`kernel::cosine`], instead of paying a cache probe per pair.
+    pub fn vector_of(&self, text: &str) -> Arc<SparseVector> {
+        self.cached_vector(text)
+    }
+
+    /// Symbol-keyed [`vector_of`](Self::vector_of).
+    pub fn vector_of_sym(&self, sym: Symbol) -> Arc<SparseVector> {
+        self.cached_vector_sym(sym)
+    }
+
+    /// The cosine similarity of two interpretation vectors when it reaches
+    /// `threshold`, `None` otherwise.
+    ///
+    /// Pairs whose norm bound cannot reach the threshold are rejected
+    /// without a dot product; the bound dominates the cosine, so the
+    /// outcome is exactly `(cos >= threshold).then_some(cos)`.
+    pub fn similarity_above(
+        &self,
+        a: &SparseVector,
+        b: &SparseVector,
+        threshold: f64,
+    ) -> Option<f64> {
+        if kernel::cosine_upper_bound(a, b) < threshold - kernel::PRUNE_MARGIN {
+            self.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
         }
-        let (small, large) = if ca.vector.len() <= cb.vector.len() {
-            (&ca.vector, &cb.vector)
-        } else {
-            (&cb.vector, &ca.vector)
-        };
-        let dot: f64 = small.iter().filter_map(|(k, va)| large.get(k).map(|vb| va * vb)).sum();
-        (dot / (ca.norm * cb.norm)).clamp(0.0, 1.0)
+        let cos = kernel::cosine(a, b);
+        (cos >= threshold).then_some(cos)
+    }
+
+    /// `similarity(a, b) >= threshold`, decided without the dot product
+    /// when the norm bound already rules the pair out (exact: the bound
+    /// dominates the cosine, so a pruned answer is the answer the full
+    /// computation would give).
+    fn decide(&self, ca: &SparseVector, cb: &SparseVector, threshold: f64) -> bool {
+        self.similarity_above(ca, cb, threshold).is_some()
     }
 
     /// Decides the paper's "matching" predicate: whether two pieces of
     /// information refer to the same thing (similarity ≥ threshold).
     pub fn same_thing(&self, a: &str, b: &str) -> bool {
-        self.similarity(a, b) >= SIMILARITY_THRESHOLD
+        self.same_thing_at(a, b, SIMILARITY_THRESHOLD)
     }
 
-    /// Symbol-keyed [`same_thing`](Self::same_thing).
+    /// [`same_thing`](Self::same_thing) at a caller-chosen threshold
+    /// (norm-bound pruned, verdict-exact for any threshold).
+    pub fn same_thing_at(&self, a: &str, b: &str, threshold: f64) -> bool {
+        self.decide(&self.cached_vector(a), &self.cached_vector(b), threshold)
+    }
+
+    /// Symbol-keyed [`same_thing`](Self::same_thing); verdicts at the
+    /// paper threshold are memoized per canonical symbol pair.
     pub fn same_thing_sym(&self, a: Symbol, b: Symbol) -> bool {
-        self.similarity_sym(a, b) >= SIMILARITY_THRESHOLD
+        self.same_thing_sym_at(a, b, SIMILARITY_THRESHOLD)
+    }
+
+    /// [`same_thing_sym`](Self::same_thing_sym) at a caller-chosen
+    /// threshold. Only the paper threshold consults the pair memo (a
+    /// verdict is threshold-specific); other thresholds still get the
+    /// vector memo and the norm-bound prune.
+    pub fn same_thing_sym_at(&self, a: Symbol, b: Symbol, threshold: f64) -> bool {
+        let memoizable = threshold == SIMILARITY_THRESHOLD;
+        if memoizable {
+            if let Some(verdict) = self.pair_memo.get(a, b) {
+                return verdict;
+            }
+        }
+        let verdict =
+            self.decide(&self.cached_vector_sym(a), &self.cached_vector_sym(b), threshold);
+        if memoizable {
+            self.pair_memo.insert(a, b, verdict);
+        }
+        verdict
     }
 }
 
-/// Cosine similarity between sparse concept vectors.
+/// Cosine similarity between sparse concept vectors (reference path).
+///
+/// Routed through the same merge kernel as the CSR hot path
+/// ([`kernel::merge_dot`]) after sorting the map entries.
 pub fn cosine(a: &ConceptVector, b: &ConceptVector) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small.iter().filter_map(|(k, va)| large.get(k).map(|vb| va * vb)).sum();
+    fn sorted(m: &ConceptVector) -> (Vec<u32>, Vec<f64>) {
+        let mut v: Vec<(u32, f64)> = m.iter().map(|(&c, &w)| (c as u32, w)).collect();
+        v.sort_unstable_by_key(|&(c, _)| c);
+        v.into_iter().unzip()
+    }
+    let ((ia, wa), (ib, wb)) = (sorted(a), sorted(b));
+    let dot = kernel::merge_dot(&ia, &wa, &ib, &wb);
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -253,8 +484,23 @@ fn terms(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// Nouns whose singular ends in "-ie": their "-ies" plural is just the
+/// singular plus "s", so stripping it must not rewrite the ending to "y"
+/// ("cookies" → "cookie", not "cooky").
+const IE_SINGULARS: &[&str] = &[
+    "birdie", "brownie", "calorie", "cookie", "freebie", "genie", "goalie", "laddie", "movie",
+    "newbie", "pixie", "prairie", "rookie", "selfie", "smoothie", "sortie", "veggie", "zombie",
+];
+
 fn singularize(t: &str) -> String {
     if t.ends_with("ies") && t.len() > 4 {
+        let minus_s = &t[..t.len() - 1];
+        let before = t.as_bytes()[t.len() - 4];
+        if IE_SINGULARS.contains(&minus_s) || matches!(before, b'a' | b'e' | b'i' | b'o' | b'u') {
+            // "-ie" singulars and vowel+"ies" words pluralize by bare "s";
+            // only consonant+"ies" comes from a "-y" singular.
+            return minus_s.to_string();
+        }
         format!("{}y", &t[..t.len() - 3])
     } else if t.ends_with('s')
         && !t.ends_with("ss")
@@ -347,6 +593,93 @@ mod tests {
         let s1 = esa().similarity("cookie", "cookies");
         assert!(s1 > 0.99);
     }
+
+    #[test]
+    fn singularize_consonant_ies_becomes_y() {
+        assert_eq!(singularize("categories"), "category");
+        assert_eq!(singularize("policies"), "policy");
+        assert_eq!(singularize("parties"), "party");
+    }
+
+    #[test]
+    fn singularize_ie_nouns_keep_their_ending() {
+        assert_eq!(singularize("cookies"), "cookie");
+        assert_eq!(singularize("movies"), "movie");
+        assert_eq!(singularize("selfies"), "selfie");
+        assert_eq!(singularize("zombies"), "zombie");
+    }
+
+    #[test]
+    fn singular_and_plural_map_to_the_same_term() {
+        for (singular, plural) in [
+            ("cookie", "cookies"),
+            ("movie", "movies"),
+            ("category", "categories"),
+            ("policy", "policies"),
+        ] {
+            assert_eq!(terms(singular), terms(plural), "{singular} vs {plural}");
+        }
+    }
+
+    #[test]
+    fn threshold_predicate_matches_exact_similarity() {
+        // The norm-bound prune and the pair memo must be invisible at the
+        // verdict level: every predicate answer equals the exact
+        // similarity compared against the threshold — asked twice, so the
+        // second round is served by the memo.
+        let phrases = ["location", "device id", "cookie", "personal information", "game score"];
+        for _ in 0..2 {
+            for a in phrases {
+                for b in phrases {
+                    assert_eq!(
+                        esa().same_thing(a, b),
+                        esa().similarity(a, b) >= SIMILARITY_THRESHOLD,
+                        "verdict diverged for ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_memo_serves_repeats() {
+        use ppchecker_nlp::intern::intern;
+        let esa = esa();
+        let (a, b) = (intern("memo probe alpha location"), intern("memo probe beta gps"));
+        let first = esa.same_thing_sym(a, b);
+        let (_, misses_before) = esa.pair_memo_stats();
+        let second = esa.same_thing_sym(a, b);
+        let (hits_after, misses_after) = esa.pair_memo_stats();
+        assert_eq!(first, second);
+        assert_eq!(misses_after, misses_before, "repeat must not miss");
+        assert!(hits_after > 0);
+        // Symmetric ask shares the canonical entry.
+        assert_eq!(esa.same_thing_sym(b, a), first);
+        assert!(esa.pair_memo_len() > 0);
+    }
+
+    #[test]
+    fn custom_threshold_bypasses_the_memo_but_stays_exact() {
+        use ppchecker_nlp::intern::intern;
+        let esa = esa();
+        let (a, b) = (intern("location"), intern("latitude"));
+        let sim = esa.similarity_sym(a, b);
+        for threshold in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(esa.same_thing_sym_at(a, b, threshold), sim >= threshold);
+        }
+    }
+
+    #[test]
+    fn pruning_fires_and_stays_exact() {
+        let esa = esa();
+        let before = esa.pruned_comparisons();
+        // Disjoint-domain pairs have tiny norm bounds: the predicate
+        // should answer at least some of them without a dot product.
+        for (a, b) in [("location", "game score text chat"), ("cookie", "weather forecast")] {
+            assert_eq!(esa.same_thing(a, b), esa.similarity(a, b) >= SIMILARITY_THRESHOLD);
+        }
+        assert!(esa.pruned_comparisons() >= before, "prune counter is monotonic");
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +699,21 @@ mod interpretation_tests {
     fn interpret_of_unknown_text_is_empty() {
         let esa = Interpreter::shared();
         assert!(esa.interpret("qqq zzz xxx").is_empty());
+        assert!(esa.interpret_sparse("qqq zzz xxx").is_empty());
+    }
+
+    #[test]
+    fn sparse_and_reference_interpretations_agree() {
+        let esa = Interpreter::shared();
+        for text in ["location gps latitude", "personal information data", "camera photo"] {
+            let reference = esa.interpret(text);
+            let sparse = esa.interpret_sparse(text);
+            assert_eq!(reference.len(), sparse.len());
+            for (c, w) in sparse.pairs() {
+                let r = reference[&(c as usize)];
+                assert!((r - w as f64).abs() < 1e-6, "concept {c}: {r} vs {w}");
+            }
+        }
     }
 
     #[test]
@@ -392,7 +740,7 @@ mod interpretation_tests {
         let second = esa.similarity("alpha beta", "gamma");
         let (h1, m1) = esa.vector_cache_stats();
         assert_eq!(h1, 2, "repeat lookup served from cache");
-        assert_eq!(m1, 2);
+        assert_eq!(m1, 2, "a miss is only counted for the winning insert");
         assert_eq!(first, second);
         assert_eq!(esa.vector_cache_len(), 2);
     }

@@ -1,0 +1,326 @@
+//! The CSR sparse-vector kernel behind ESA similarity.
+//!
+//! The ESA hot path is "dot product of two small sparse vectors", asked
+//! millions of times per corpus run. This module keeps all of that math on
+//! flat sorted arrays:
+//!
+//! - [`CsrIndex`] compiles the term → concept inverted index into
+//!   compressed-sparse-row form — one shared `Vec<u32>` of concept ids, one
+//!   shared `Vec<f32>` of weights, and per-term offsets — built once in
+//!   `Interpreter::new`. A term's interpretation is a contiguous slice pair,
+//!   not a heap-allocated map.
+//! - [`SparseVector`] is an interpretation vector as sorted concept ids
+//!   with parallel weights (structure-of-arrays: the id scan of the merge
+//!   never drags weight bytes through cache) plus a 128-bit concept
+//!   occupancy mask, its L2 norm and its max weight, all precomputed.
+//! - Dot products are a branchless linear two-pointer merge
+//!   ([`merge_dot`]) — sequential reads, no hashing, no probing — behind
+//!   two O(1) rejections: the mask intersection proves disjointness
+//!   without touching the arrays, and [`cosine_upper_bound`] proves
+//!   "below threshold" for the predicate without computing the dot
+//!   (see DESIGN.md §10 for the exactness argument).
+//!
+//! Weights are stored as `f32` (the tf-idf values carry nowhere near 24 bits
+//! of signal); all accumulation happens in `f64`, and the public similarity
+//! API stays `f64`.
+
+/// A sparse concept-space vector: strictly-sorted concept ids with
+/// parallel weights, plus precomputed occupancy mask, L2 norm and maximum
+/// weight.
+///
+/// The norm and max weight are derived from the stored (f32-rounded)
+/// weights so every consumer sees one consistent quantization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVector {
+    ids: Vec<u32>,
+    weights: Vec<f32>,
+    /// Bit `id % 128` set for every stored concept id: a zero mask
+    /// intersection proves two vectors share no concept (collisions only
+    /// ever create false overlap, handled by the merge).
+    mask: u128,
+    norm: f64,
+    max_weight: f32,
+}
+
+impl SparseVector {
+    /// Builds a vector from possibly unsorted, possibly duplicated
+    /// `(concept, weight)` contributions; duplicates are summed in `f64`
+    /// in their input order (so accumulation matches the HashMap reference
+    /// implementation bit-for-bit before the final f32 rounding).
+    pub fn from_contributions(mut contributions: Vec<(u32, f64)>) -> Self {
+        contributions.sort_by_key(|&(c, _)| c); // stable: preserves input order per concept
+        let mut coalesced: Vec<(u32, f64)> = Vec::with_capacity(contributions.len());
+        for (concept, w) in contributions {
+            match coalesced.last_mut() {
+                Some((last, acc)) if *last == concept => *acc += w,
+                _ => coalesced.push((concept, w)),
+            }
+        }
+        Self::from_sorted_pairs(coalesced.into_iter().map(|(c, w)| (c, w as f32)).collect())
+    }
+
+    /// Builds a vector from already-sorted, already-coalesced pairs.
+    pub fn from_sorted_pairs(pairs: Vec<(u32, f32)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "pairs must be strictly sorted");
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut weights = Vec::with_capacity(pairs.len());
+        let mut mask = 0u128;
+        let mut norm_sq = 0.0f64;
+        let mut max_weight = 0.0f32;
+        for (concept, w) in pairs {
+            ids.push(concept);
+            weights.push(w);
+            mask |= 1u128 << (concept % 128);
+            norm_sq += (w as f64) * (w as f64);
+            max_weight = max_weight.max(w);
+        }
+        SparseVector { ids, weights, mask, norm: norm_sq.sqrt(), max_weight }
+    }
+
+    /// The sorted concept ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The weights, parallel to [`ids`](Self::ids).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The vector as `(concept id, weight)` pairs (allocates; for tests
+    /// and interop — the hot path reads the parallel arrays directly).
+    pub fn pairs(&self) -> Vec<(u32, f32)> {
+        self.ids.iter().copied().zip(self.weights.iter().copied()).collect()
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the vector has no known-term mass.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Precomputed L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Largest single weight.
+    pub fn max_weight(&self) -> f32 {
+        self.max_weight
+    }
+}
+
+/// Dot product of two sorted sparse vectors (as parallel id/weight
+/// slices) by branchless linear two-pointer merge, accumulated in `f64`.
+/// Generic over the stored weight width so one merge loop serves both the
+/// f32 kernel vectors and the retained f64 HashMap reference path
+/// ([`crate::cosine`]).
+#[inline]
+pub fn merge_dot<A, B>(a_ids: &[u32], a_weights: &[A], b_ids: &[u32], b_weights: &[B]) -> f64
+where
+    A: Copy + Into<f64>,
+    B: Copy + Into<f64>,
+{
+    debug_assert_eq!(a_ids.len(), a_weights.len());
+    debug_assert_eq!(b_ids.len(), b_weights.len());
+    let mut dot = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a_ids.len() && j < b_ids.len() {
+        let (ca, cb) = (a_ids[i], b_ids[j]);
+        if ca == cb {
+            dot += a_weights[i].into() * b_weights[j].into();
+            i += 1;
+            j += 1;
+        } else {
+            // Branchless advance: the comparison results are materialized
+            // as 0/1 instead of predicted, so random id interleavings
+            // don't stall the pipeline.
+            i += (ca < cb) as usize;
+            j += (cb < ca) as usize;
+        }
+    }
+    dot
+}
+
+/// Exact cosine of two kernel vectors, clamped to `[0, 1]`; `0.0` when
+/// either vector is empty. Provably-disjoint pairs (empty mask
+/// intersection) return without touching the arrays.
+#[inline]
+pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+    if a.norm == 0.0 || b.norm == 0.0 || a.mask & b.mask == 0 {
+        return 0.0;
+    }
+    let dot = merge_dot(&a.ids, &a.weights, &b.ids, &b.weights);
+    (dot / (a.norm * b.norm)).clamp(0.0, 1.0)
+}
+
+/// A cheap upper bound on `cosine(a, b)`.
+///
+/// At most `min(|a|, |b|)` concept ids can coincide, and each coinciding
+/// product is at most `max_w(a) · max_w(b)`, so
+/// `dot(a, b) ≤ min(|a|,|b|) · max_w(a) · max_w(b)` — dividing by the norms
+/// bounds the cosine. The bound never undercuts the true cosine (beyond
+/// f64 rounding, which callers absorb with [`PRUNE_MARGIN`]), so a
+/// threshold predicate may return `false` without the merge whenever the
+/// bound falls below the threshold. Mask-disjoint pairs bound to `0.0`
+/// exactly.
+#[inline]
+pub fn cosine_upper_bound(a: &SparseVector, b: &SparseVector) -> f64 {
+    if a.norm == 0.0 || b.norm == 0.0 || a.mask & b.mask == 0 {
+        return 0.0;
+    }
+    let overlap = a.len().min(b.len()) as f64;
+    let bound = overlap * (a.max_weight as f64) * (b.max_weight as f64) / (a.norm * b.norm);
+    bound.min(1.0)
+}
+
+/// Safety margin for norm-bound pruning: the predicate only prunes when
+/// `bound < threshold - PRUNE_MARGIN`, absorbing f64 rounding in the bound
+/// so a pruned `false` is always the verdict the exact cosine would give.
+pub const PRUNE_MARGIN: f64 = 1e-9;
+
+/// The term → concept inverted index in compressed-sparse-row layout.
+///
+/// Row `t` (a term's L2-normalized tf-idf interpretation) is the slice pair
+/// `concept_ids[offsets[t]..offsets[t+1]]` / `weights[offsets[t]..offsets[t+1]]`,
+/// sorted by concept id. Built once; lookups never allocate.
+#[derive(Debug, Default)]
+pub struct CsrIndex {
+    term_ids: std::collections::HashMap<String, u32>,
+    offsets: Vec<u32>,
+    concept_ids: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl CsrIndex {
+    /// Compiles per-term posting lists (each sorted by concept id, weights
+    /// in f64 from the tf-idf build) into the flat CSR arrays.
+    pub fn build<I, S>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Vec<(u32, f64)>)>,
+        S: Into<String>,
+    {
+        let mut index = CsrIndex { offsets: vec![0], ..CsrIndex::default() };
+        for (term, postings) in rows {
+            debug_assert!(
+                postings.windows(2).all(|w| w[0].0 < w[1].0),
+                "postings must be strictly sorted by concept id"
+            );
+            let id = index.offsets.len() as u32 - 1;
+            index.term_ids.insert(term.into(), id);
+            for (concept, w) in postings {
+                index.concept_ids.push(concept);
+                index.weights.push(w as f32);
+            }
+            index.offsets.push(index.concept_ids.len() as u32);
+        }
+        index
+    }
+
+    /// The row id of `term`, if the term occurs in the knowledge base.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.term_ids.get(term).copied()
+    }
+
+    /// The posting slices of row `id`.
+    pub fn row(&self, id: u32) -> (&[u32], &[f32]) {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        (&self.concept_ids[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Number of terms (rows).
+    pub fn term_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total stored postings across all rows.
+    pub fn posting_count(&self) -> usize {
+        self.concept_ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_sorted_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn dot_merges_shared_concepts_only() {
+        let a = vector(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = vector(&[(1, 1.0), (2, 4.0), (5, 0.5)]);
+        let dot = merge_dot(a.ids(), a.weights(), b.ids(), b.weights());
+        assert!((dot - (2.0 * 4.0 + 3.0 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let a = vector(&[(3, 0.25), (7, 0.5), (9, 0.125)]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_or_empty_is_zero() {
+        let a = vector(&[(0, 1.0)]);
+        let b = vector(&[(1, 1.0)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+        assert_eq!(cosine(&a, &SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    fn mask_collisions_still_merge_exactly() {
+        // Concepts 0 and 128 collide in the occupancy mask; the mask only
+        // claims *possible* overlap, and the merge finds none.
+        let a = vector(&[(0, 1.0)]);
+        let b = vector(&[(128, 1.0)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+        // A genuinely shared id alongside the collision still dots.
+        let c = vector(&[(0, 1.0), (128, 1.0)]);
+        assert!((cosine(&a, &c) - 1.0 / 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_dominates_cosine() {
+        let a = vector(&[(0, 0.3), (4, 0.9), (6, 0.1)]);
+        let b = vector(&[(0, 0.8), (4, 0.2), (9, 0.7), (11, 0.4)]);
+        assert!(cosine_upper_bound(&a, &b) + PRUNE_MARGIN >= cosine(&a, &b));
+        // Self-comparison: the bound must still dominate (here it exceeds 1
+        // before clamping, so it is exactly 1 ≥ cosine = 1).
+        assert!(cosine_upper_bound(&a, &a) + PRUNE_MARGIN >= cosine(&a, &a));
+    }
+
+    #[test]
+    fn contributions_coalesce_in_order() {
+        let v = SparseVector::from_contributions(vec![(5, 0.5), (2, 1.0), (5, 0.25), (2, 0.125)]);
+        assert_eq!(v.pairs(), vec![(2, 1.125), (5, 0.75)]);
+        assert_eq!(v.len(), 2);
+        assert!((v.max_weight() - 1.125).abs() < 1e-9);
+        let expected_norm = (1.125f64 * 1.125 + 0.75 * 0.75).sqrt();
+        assert!((v.norm() - expected_norm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csr_rows_round_trip() {
+        let index = CsrIndex::build(vec![
+            ("alpha", vec![(0, 0.5), (3, 1.0)]),
+            ("beta", vec![(1, 0.25)]),
+            ("gamma", Vec::new()),
+        ]);
+        assert_eq!(index.term_count(), 3);
+        assert_eq!(index.posting_count(), 3);
+        let alpha = index.term_id("alpha").unwrap();
+        let (concepts, weights) = index.row(alpha);
+        assert_eq!(concepts, &[0, 3]);
+        assert_eq!(weights, &[0.5, 1.0]);
+        let gamma = index.term_id("gamma").unwrap();
+        assert_eq!(index.row(gamma).0.len(), 0);
+        assert!(index.term_id("delta").is_none());
+    }
+}

@@ -22,6 +22,8 @@
 
 pub mod interpreter;
 pub mod kb;
+pub mod kernel;
 
 pub use interpreter::{cosine, ConceptVector, Interpreter, SIMILARITY_THRESHOLD};
 pub use kb::Concept;
+pub use kernel::{merge_dot, CsrIndex, SparseVector};

@@ -1,0 +1,81 @@
+//! Property tests holding the CSR kernel to the retained HashMap
+//! reference implementation.
+//!
+//! The kernel stores f32 weights and merges sorted pairs; the reference
+//! path ([`Interpreter::interpret`] + [`ppchecker_esa::cosine`]) keeps f64
+//! HashMaps. Over random texts drawn from the knowledge-base vocabulary
+//! (plus out-of-vocabulary junk), similarities must agree within 1e-6 and
+//! every threshold verdict — with norm-bound pruning and the pair memo
+//! active — must equal the exact comparison.
+
+use ppchecker_esa::{cosine, kb, Interpreter, SIMILARITY_THRESHOLD};
+use proptest::prelude::*;
+
+/// Deduplicated words of every knowledge-base article, the exact universe
+/// the index is built from.
+fn vocabulary() -> &'static [&'static str] {
+    use std::sync::OnceLock;
+    static VOCAB: OnceLock<Vec<&'static str>> = OnceLock::new();
+    VOCAB.get_or_init(|| {
+        let mut words: Vec<&'static str> =
+            kb::concepts().iter().flat_map(|c| c.text.split_whitespace()).collect();
+        words.sort_unstable();
+        words.dedup();
+        words
+    })
+}
+
+/// Builds a text from vocabulary indices; indices past the vocabulary
+/// inject unknown terms so empty/partial vectors are exercised too.
+fn text_from(ids: &[usize]) -> String {
+    let vocab = vocabulary();
+    ids.iter()
+        .map(|&i| if i % 8 == 7 { "zzunknownzz" } else { vocab[i % vocab.len()] })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    /// CSR kernel similarity equals the HashMap reference within 1e-6.
+    #[test]
+    fn kernel_matches_hashmap_reference(
+        a in prop::collection::vec(0usize..100_000, 0..10),
+        b in prop::collection::vec(0usize..100_000, 0..10),
+    ) {
+        let esa = Interpreter::shared();
+        let (ta, tb) = (text_from(&a), text_from(&b));
+        let kernel = esa.similarity(&ta, &tb);
+        let reference = cosine(&esa.interpret(&ta), &esa.interpret(&tb));
+        prop_assert!(
+            (kernel - reference).abs() < 1e-6,
+            "kernel {} vs reference {} for ({}) / ({})", kernel, reference, ta, tb
+        );
+    }
+
+    /// The pruned + memoized threshold predicate is verdict-exact.
+    #[test]
+    fn predicate_matches_exact_similarity(
+        a in prop::collection::vec(0usize..100_000, 0..10),
+        b in prop::collection::vec(0usize..100_000, 0..10),
+    ) {
+        let esa = Interpreter::shared();
+        let (ta, tb) = (text_from(&a), text_from(&b));
+        let exact = esa.similarity(&ta, &tb) >= SIMILARITY_THRESHOLD;
+        prop_assert_eq!(esa.same_thing(&ta, &tb), exact);
+        // Symmetric ask agrees (and exercises the canonical pair key).
+        prop_assert_eq!(esa.same_thing(&tb, &ta), exact);
+    }
+
+    /// Interpretation norms: the kernel's precomputed norm matches the
+    /// reference vector's norm within f32 quantization error.
+    #[test]
+    fn norms_agree(ids in prop::collection::vec(0usize..100_000, 0..10)) {
+        let esa = Interpreter::shared();
+        let text = text_from(&ids);
+        let sparse = esa.interpret_sparse(&text);
+        let reference = esa.interpret(&text);
+        let ref_norm = reference.values().map(|w| w * w).sum::<f64>().sqrt();
+        prop_assert!((sparse.norm() - ref_norm).abs() < 1e-5);
+        prop_assert_eq!(sparse.len(), reference.len());
+    }
+}

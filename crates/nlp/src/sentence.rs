@@ -38,25 +38,25 @@ pub fn split_sentences(text: &str) -> Vec<String> {
 }
 
 /// The naive NLTK-like split (exposed for testing the repair step).
+///
+/// Single pass over `char_indices` with one-character lookbehind and
+/// lookahead — no `Vec<char>` materialization of the document.
 pub fn naive_split(text: &str) -> Vec<String> {
     let mut sentences = Vec::new();
     let mut current = String::new();
-    let chars: Vec<char> = text.chars().collect();
-    let n = chars.len();
-    let mut i = 0;
-    while i < n {
-        let c = chars[i];
+    let mut prev: Option<char> = None;
+    let mut iter = text.chars().peekable();
+    while let Some(c) = iter.next() {
         match c {
             '.' | '!' | '?' => {
                 // A dot inside a decimal number, after an abbreviation, or
                 // interior to a package name / URL does not end a sentence.
+                let next = iter.peek().copied();
                 let interior_dot = c == '.'
-                    && ((i > 0
-                        && chars[i - 1].is_ascii_digit()
-                        && i + 1 < n
-                        && chars[i + 1].is_ascii_digit())
+                    && ((prev.is_some_and(|p| p.is_ascii_digit())
+                        && next.is_some_and(|x| x.is_ascii_digit()))
                         || ends_with_abbreviation(&current)
-                        || (i + 1 < n && (chars[i + 1].is_alphanumeric() || chars[i + 1] == '/')));
+                        || next.is_some_and(|x| x.is_alphanumeric() || x == '/'));
                 current.push(c);
                 if !interior_dot {
                     flush(&mut sentences, &mut current);
@@ -64,16 +64,18 @@ pub fn naive_split(text: &str) -> Vec<String> {
             }
             '\n' => {
                 // Paragraph break ends a sentence; single newline is a space.
-                if i + 1 < n && chars[i + 1] == '\n' {
+                if iter.peek() == Some(&'\n') {
                     flush(&mut sentences, &mut current);
-                    i += 1;
+                    iter.next();
+                    prev = Some('\n');
+                    continue;
                 } else {
                     current.push(' ');
                 }
             }
             _ => current.push(c),
         }
-        i += 1;
+        prev = Some(c);
     }
     flush(&mut sentences, &mut current);
     sentences
@@ -89,23 +91,36 @@ fn flush(sentences: &mut Vec<String>, current: &mut String) {
 
 /// Lowercases and collapses whitespace, and strips non-ASCII symbols
 /// (the paper's Step 1 keeps only English letters and specified punctuation).
+///
+/// One allocation: ASCII filtering, whitespace collapsing, and
+/// lowercasing fold into a single pass (every kept char is ASCII, so
+/// per-char `to_ascii_lowercase` equals the Unicode lowering).
 fn normalize(s: &str) -> String {
-    let filtered: String = s.chars().filter(|c| c.is_ascii()).collect();
-    let collapsed = filtered.split_whitespace().collect::<Vec<_>>().join(" ");
-    collapsed.to_lowercase()
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for c in s.chars().filter(char::is_ascii) {
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+        } else {
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    out
 }
 
 fn ends_with_abbreviation(current: &str) -> bool {
-    let last_word: String = current
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '.')
-        .collect::<String>()
-        .chars()
-        .rev()
-        .collect();
-    let lw = last_word.trim_end_matches('.').to_lowercase();
-    ABBREVIATIONS.contains(&lw.as_str())
+    // The candidate is the trailing alphanumeric-or-dot run; compare it
+    // (minus trailing dots) case-insensitively without allocating.
+    let tail_start = current
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '.'))
+        .map(|i| i + current[i..].chars().next().map_or(1, char::len_utf8))
+        .unwrap_or(0);
+    let last_word = current[tail_start..].trim_end_matches('.');
+    ABBREVIATIONS.iter().any(|a| a.eq_ignore_ascii_case(last_word))
 }
 
 /// The paper's repair: if the previous sentence ends with `;`, `,` or `:`,
