@@ -173,6 +173,203 @@ impl Dex {
     pub fn instruction_count(&self) -> usize {
         self.iter_methods().map(|(_, m)| m.instructions.len()).sum()
     }
+
+    /// Total number of method bodies.
+    pub fn method_count(&self) -> usize {
+        self.classes.iter().map(|c| c.methods.len()).sum()
+    }
+
+    /// Dense [`MethodRef`]s for every method, in declaration order.
+    ///
+    /// Position `i` of the returned table is the stable dense id of the
+    /// `i`-th method of the dex; analyses that index per-method state by
+    /// `u32` build their tables off this ordering.
+    pub fn method_refs(&self) -> Vec<MethodRef> {
+        let mut out = Vec::with_capacity(self.method_count());
+        for (ci, class) in self.classes.iter().enumerate() {
+            for mi in 0..class.methods.len() {
+                out.push(MethodRef { class: ci as u32, method: mi as u32 });
+            }
+        }
+        out
+    }
+
+    /// Resolves a [`MethodRef`] back to its class and method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds for this dex.
+    pub fn method_at(&self, r: MethodRef) -> (&Class, &Method) {
+        let class = &self.classes[r.class as usize];
+        (class, &class.methods[r.method as usize])
+    }
+
+    /// A stable structural hash of all classes (see [`stable_hash_classes`]).
+    pub fn stable_hash(&self) -> u64 {
+        stable_hash_classes(self.classes.iter())
+    }
+}
+
+/// A dense reference to one method body: indexes into [`Dex::classes`] and
+/// that class's method list. Assigned in declaration order, so the same
+/// dex bytes always produce the same ids (unlike map-derived orderings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodRef {
+    /// Index into [`Dex::classes`].
+    pub class: u32,
+    /// Index into the class's method list.
+    pub method: u32,
+}
+
+/// A stable content hash over a set of classes (FNV-1a over a canonical
+/// byte encoding of names, hierarchy, and instructions).
+///
+/// Unlike `std`'s `Hash`, the digest depends only on the class *content*
+/// and order — not on process-specific hasher state — so it is usable as
+/// a cross-run cache key (e.g. keying per-library taint summaries by the
+/// embedded library's bytes).
+pub fn stable_hash_classes<'a>(classes: impl Iterator<Item = &'a Class>) -> u64 {
+    let mut h = Fnv::new();
+    for class in classes {
+        class.hash_into(&mut h);
+    }
+    h.finish()
+}
+
+impl Class {
+    /// The stable content hash of this class alone.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut Fnv) {
+        h.str(&self.name);
+        h.str(&self.superclass);
+        h.u64(self.interfaces.len() as u64);
+        for i in &self.interfaces {
+            h.str(i);
+        }
+        h.u64(self.methods.len() as u64);
+        for m in &self.methods {
+            h.str(&m.name);
+            h.u64(u64::from(m.param_count));
+            h.u64(m.instructions.len() as u64);
+            for insn in &m.instructions {
+                insn.hash_into(h);
+            }
+        }
+    }
+}
+
+impl Insn {
+    fn hash_into(&self, h: &mut Fnv) {
+        match self {
+            Insn::ConstString { dst, value } => {
+                h.u64(1);
+                h.u64(u64::from(*dst));
+                h.str(value);
+            }
+            Insn::Invoke { kind, class, method, args, dst } => {
+                h.u64(2);
+                h.u64(match kind {
+                    InvokeKind::Virtual => 0,
+                    InvokeKind::Static => 1,
+                    InvokeKind::Direct => 2,
+                    InvokeKind::Interface => 3,
+                });
+                h.str(class);
+                h.str(method);
+                h.u64(args.len() as u64);
+                for &a in args {
+                    h.u64(u64::from(a));
+                }
+                h.u64(dst.map_or(u64::MAX, u64::from));
+            }
+            Insn::Move { dst, src } => {
+                h.u64(3);
+                h.u64(u64::from(*dst));
+                h.u64(u64::from(*src));
+            }
+            Insn::FieldPut { class, field, src } => {
+                h.u64(4);
+                h.str(class);
+                h.str(field);
+                h.u64(u64::from(*src));
+            }
+            Insn::FieldGet { class, field, dst } => {
+                h.u64(5);
+                h.str(class);
+                h.str(field);
+                h.u64(u64::from(*dst));
+            }
+            Insn::NewInstance { dst, class } => {
+                h.u64(6);
+                h.u64(u64::from(*dst));
+                h.str(class);
+            }
+            Insn::Return { src } => {
+                h.u64(7);
+                h.u64(src.map_or(u64::MAX, u64::from));
+            }
+            Insn::Goto { target } => {
+                h.u64(8);
+                h.u64(*target as u64);
+            }
+            Insn::IfNonZero { cond, target } => {
+                h.u64(9);
+                h.u64(u64::from(*cond));
+                h.u64(*target as u64);
+            }
+            Insn::Nop => h.u64(10),
+        }
+    }
+}
+
+/// 64-bit FNV-style xor-multiply mix (the usual offset basis and prime),
+/// folded over 8-byte little-endian chunks rather than single bytes: one
+/// multiply per word instead of eight, which matters when every class of
+/// every embedded lib is hashed per app. Length-prefixing every string
+/// keeps the chunk stream prefix-free (the zero-padded tail cannot
+/// collide with a longer string because the length differs).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.word(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        self.0 ^= w;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Fluent builder for [`Dex`].
@@ -391,6 +588,45 @@ mod tests {
         let dex = sample_dex();
         assert_eq!(dex.iter_methods().count(), 1);
         assert_eq!(dex.instruction_count(), 3);
+    }
+
+    #[test]
+    fn method_refs_are_declaration_ordered() {
+        let dex = Dex::builder()
+            .class("com.x.A", |c| {
+                c.method("a", 0, |_| {});
+                c.method("b", 0, |_| {});
+            })
+            .class("com.x.B", |c| {
+                c.method("c", 0, |_| {});
+            })
+            .build();
+        let refs = dex.method_refs();
+        assert_eq!(refs.len(), 3);
+        assert_eq!(dex.method_count(), 3);
+        assert_eq!(refs[0], MethodRef { class: 0, method: 0 });
+        assert_eq!(refs[2], MethodRef { class: 1, method: 0 });
+        let (cls, m) = dex.method_at(refs[1]);
+        assert_eq!((cls.name.as_str(), m.name.as_str()), ("com.x.A", "b"));
+    }
+
+    #[test]
+    fn stable_hash_is_content_addressed() {
+        let dex = sample_dex();
+        // Same bytes, same digest — across independently built values.
+        assert_eq!(dex.stable_hash(), sample_dex().stable_hash());
+        // Any content change moves the digest.
+        let mut renamed = dex.clone();
+        renamed.classes[0].methods[0].name = "onResume".into();
+        assert_ne!(dex.stable_hash(), renamed.stable_hash());
+        let mut rewired = dex.clone();
+        if let Insn::Invoke { args, .. } = &mut rewired.classes[0].methods[0].instructions[0] {
+            args[0] = 7;
+        }
+        assert_ne!(dex.stable_hash(), rewired.stable_hash());
+        // Per-class digests feed the same canonical stream.
+        assert_eq!(dex.stable_hash(), stable_hash_classes(dex.classes.iter()));
+        assert_eq!(dex.classes[0].stable_hash(), dex.stable_hash());
     }
 
     #[test]

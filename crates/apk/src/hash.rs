@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for analysis-internal maps.
+//!
+//! The pipeline's hottest maps are keyed by short class/method name
+//! strings (or small integers) and probed once per bytecode instruction.
+//! `std`'s default SipHash pays a per-probe finalization cost that
+//! dominates at those key sizes; this FNV-style xor-multiply over 8-byte
+//! chunks hashes a typical qualified class name in a handful of cycles.
+//!
+//! These maps are process-internal (never fed attacker-chosen keys in an
+//! adversarial setting the analysis cares about), so SipHash's DoS
+//! resistance buys nothing here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a-flavoured [`Hasher`] folding 8-byte little-endian chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            h = (h ^ u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+                .wrapping_mul(PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            h = (h ^ u64::from_le_bytes(buf)).wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Multiplicative mixing under-diffuses high bits into low ones;
+        // fold them back so hashbrown's bucket index and control tag both
+        // see well-mixed bits.
+        let h = self.0;
+        h ^ (h >> 32)
+    }
+}
+
+/// `BuildHasher` for [`FnvHasher`].
+pub type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// `HashMap` keyed with [`FnvHasher`].
+pub type FnvMap<K, V> = HashMap<K, V, FnvBuild>;
+
+/// `HashSet` keyed with [`FnvHasher`].
+pub type FnvSet<T> = HashSet<T, FnvBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_with_string_keys() {
+        let mut m: FnvMap<String, u32> = FnvMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("com.example.pkg{i}.Class{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("com.example.pkg{i}.Class{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn distinct_short_strings_hash_apart() {
+        let mut seen = std::collections::HashSet::new();
+        for s in ["a", "b", "ab", "ba", "", "a.b", "b.a", "android.util.Log"] {
+            let mut h = FnvHasher::default();
+            h.write(s.as_bytes());
+            assert!(seen.insert(h.finish()), "collision for {s:?}");
+        }
+    }
+}

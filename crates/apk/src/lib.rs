@@ -34,12 +34,17 @@
 
 pub mod apk;
 pub mod dex;
+pub mod hash;
 pub mod info;
 pub mod manifest;
 pub mod packer;
 
 pub use apk::{Apk, Payload};
-pub use dex::{Class, Dex, DexBuilder, Insn, InvokeKind, Method, MethodBuilder, Reg};
+pub use dex::{
+    stable_hash_classes, Class, Dex, DexBuilder, Insn, InvokeKind, Method, MethodBuilder,
+    MethodRef, Reg,
+};
+pub use hash::{FnvBuild, FnvHasher, FnvMap, FnvSet};
 pub use info::PrivateInfo;
 pub use manifest::{Component, ComponentKind, Manifest, ParseManifestError, Permission};
 pub use packer::ParseDexError;

@@ -9,7 +9,7 @@ use crate::problems::Report;
 use ppchecker_apk::{Apk, ParseDexError};
 use ppchecker_desc::analyze_description_with;
 use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
-use ppchecker_static::{analyze_with, AnalysisOptions};
+use ppchecker_static::{analyze_with_cache, AnalysisOptions, TaintSummaryCache};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -130,6 +130,7 @@ pub struct PPChecker {
     matcher: Matcher,
     lib_policies: HashMap<String, PolicyAnalysis>,
     static_options: AnalysisOptions,
+    taint_cache: Option<Arc<TaintSummaryCache>>,
 }
 
 impl Default for PPChecker {
@@ -146,6 +147,7 @@ impl PPChecker {
             matcher: Matcher::new(),
             lib_policies: HashMap::new(),
             static_options: AnalysisOptions::default(),
+            taint_cache: None,
         }
     }
 
@@ -165,6 +167,15 @@ impl PPChecker {
     /// Overrides the ESA similarity threshold (the paper uses 0.67).
     pub fn with_similarity_threshold(mut self, threshold: f64) -> Self {
         self.matcher = Matcher::with_threshold(threshold);
+        self
+    }
+
+    /// Attaches a cross-app library taint-summary cache. Batch runtimes
+    /// share one cache across every app so the taint kernel summarizes
+    /// each distinct embedded lib once per run; leak results are
+    /// unchanged (the cache only skips recomputation).
+    pub fn with_taint_summary_cache(mut self, cache: Arc<TaintSummaryCache>) -> Self {
+        self.taint_cache = Some(cache);
         self
     }
 
@@ -242,7 +253,7 @@ impl PPChecker {
         timings.description = t.elapsed();
 
         let t = Instant::now();
-        let code = analyze_with(&app.apk, self.static_options)?;
+        let code = analyze_with_cache(&app.apk, self.static_options, self.taint_cache.as_deref())?;
         timings.static_analysis = t.elapsed();
 
         let t = Instant::now();

@@ -14,6 +14,7 @@
 
 use ppchecker_nlp::{intern, Symbol};
 use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
+use ppchecker_static::TaintSummaryCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -48,6 +49,11 @@ pub struct ArtifactCache {
     policies: RwLock<HashMap<Symbol, Arc<PolicyAnalysis>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Cross-app library taint-summary store, keyed by lib content hash
+    /// (see `ppchecker_static::summary`). Shared with the checker via
+    /// `Arc` so the taint kernel inside workers and the engine's metrics
+    /// observe the same counters.
+    taint_summaries: Arc<TaintSummaryCache>,
 }
 
 impl ArtifactCache {
@@ -93,6 +99,20 @@ impl ArtifactCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.policies.read().expect("cache lock").len(),
+        }
+    }
+
+    /// The shared library taint-summary cache (to clone into a checker).
+    pub fn taint_summaries(&self) -> &Arc<TaintSummaryCache> {
+        &self.taint_summaries
+    }
+
+    /// Snapshot of the taint-summary cache counters.
+    pub fn taint_summary_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.taint_summaries.hits(),
+            misses: self.taint_summaries.misses(),
+            entries: self.taint_summaries.entries(),
         }
     }
 }

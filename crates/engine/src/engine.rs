@@ -72,15 +72,13 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wraps an already-configured checker (lib policies registered).
+    /// Wraps an already-configured checker (lib policies registered) and
+    /// attaches the engine's cross-app taint-summary cache to it.
     pub fn new(checker: PPChecker) -> Self {
         let lib_policies = checker.lib_policy_count();
-        Engine {
-            checker,
-            cache: ArtifactCache::new(),
-            config: EngineConfig::default(),
-            lib_policies,
-        }
+        let cache = ArtifactCache::new();
+        let checker = checker.with_taint_summary_cache(Arc::clone(cache.taint_summaries()));
+        Engine { checker, cache, config: EngineConfig::default(), lib_policies }
     }
 
     /// Builds an engine from a bare checker plus `(lib id, policy html)`
@@ -98,6 +96,7 @@ impl Engine {
             checker.register_lib_policy_analysis(&id, (*analysis).clone());
             count += 1;
         }
+        let checker = checker.with_taint_summary_cache(Arc::clone(cache.taint_summaries()));
         Engine { checker, cache, config: EngineConfig::default(), lib_policies: count }
     }
 
@@ -138,6 +137,7 @@ impl Engine {
     {
         let started = Instant::now();
         let policy_before = self.cache.stats();
+        let taint_before = self.cache.taint_summary_stats();
         let esa = Interpreter::shared();
         let (esa_hits_before, esa_misses_before) = esa.vector_cache_stats();
         let (pair_hits_before, pair_misses_before) = esa.pair_memo_stats();
@@ -160,6 +160,7 @@ impl Engine {
         }
 
         let policy_after = self.cache.stats();
+        let taint_after = self.cache.taint_summary_stats();
         let (esa_hits_after, esa_misses_after) = esa.vector_cache_stats();
         let (pair_hits_after, pair_misses_after) = esa.pair_memo_stats();
         let metrics = MetricsSummary {
@@ -185,6 +186,11 @@ impl Engine {
                 entries: esa.pair_memo_len(),
             },
             esa_pruned: esa.pruned_comparisons() - pruned_before,
+            taint_summary_cache: CacheStats {
+                hits: taint_after.hits - taint_before.hits,
+                misses: taint_after.misses - taint_before.misses,
+                entries: taint_after.entries,
+            },
             interner: ppchecker_nlp::Interner::global().stats(),
         };
         BatchReport { records, metrics }
@@ -386,6 +392,56 @@ mod tests {
         // pays for the two distinct app policy texts.
         assert_eq!(batch.metrics.policy_cache.misses, 2);
         assert_eq!(batch.metrics.lib_policies, 2);
+    }
+
+    #[test]
+    fn shared_lib_taint_summaries_hit_across_apps() {
+        let inputs: Vec<AppInput> = (0..6)
+            .map(|i| {
+                let package = format!("com.libuser{i}");
+                let mut manifest = Manifest::new(&package);
+                manifest.add_component(ComponentKind::Activity, &format!("{package}.Main"), true);
+                let dex = Dex::builder()
+                    .class("com.google.android.gms.ads.Sdk", |c| {
+                        c.method("init", 1, |m| {
+                            m.invoke_virtual(
+                                "android.telephony.TelephonyManager",
+                                "getDeviceId",
+                                &[0],
+                                Some(1),
+                            );
+                            m.invoke_static("android.util.Log", "d", &[1], None);
+                            m.ret(Some(1));
+                        });
+                    })
+                    .class(&format!("{package}.Main"), |c| {
+                        c.extends("android.app.Activity");
+                        c.method("onCreate", 1, |m| {
+                            m.invoke_virtual(
+                                "com.google.android.gms.ads.Sdk",
+                                "init",
+                                &[0],
+                                Some(1),
+                            );
+                        });
+                    })
+                    .build();
+                AppInput {
+                    package,
+                    policy_html: "<p>we may collect your device id.</p>".to_string(),
+                    description: "An app with an embedded ad SDK.".to_string(),
+                    apk: Apk::new(manifest, dex),
+                }
+            })
+            .collect();
+        let batch = Engine::new(PPChecker::new()).with_jobs(2).run(inputs);
+        assert_eq!(batch.metrics.errors, 0);
+        // One distinct lib content across six apps: summarized once,
+        // replayed five times.
+        assert_eq!(batch.metrics.taint_summary_cache.misses, 1);
+        assert_eq!(batch.metrics.taint_summary_cache.hits, 5);
+        assert_eq!(batch.metrics.taint_summary_cache.entries, 1);
+        assert!(batch.metrics.to_string().contains("taint summaries: 5 hits / 1 misses"));
     }
 
     #[test]

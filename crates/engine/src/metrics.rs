@@ -39,6 +39,10 @@ pub struct MetricsSummary {
     /// ESA threshold comparisons answered by the norm bound alone (no dot
     /// product), as a delta over the run.
     pub esa_pruned: u64,
+    /// Cross-app library taint-summary cache counters, as a delta over
+    /// the run (`misses` counts distinct embedded lib contents, `hits`
+    /// apps that reused another app's lib summaries).
+    pub taint_summary_cache: CacheStats,
     /// Global interner occupancy at the end of the run (process-wide:
     /// includes the static pre-seed plus everything interned so far).
     pub interner: InternerStats,
@@ -111,6 +115,14 @@ impl fmt::Display for MetricsSummary {
             self.esa_pair_memo.entries,
             self.esa_pruned,
         )?;
+        writeln!(
+            f,
+            "taint summaries: {} hits / {} misses ({:.1}% hit rate, {} libs cached)",
+            self.taint_summary_cache.hits,
+            self.taint_summary_cache.misses,
+            self.taint_summary_cache.hit_rate() * 100.0,
+            self.taint_summary_cache.entries,
+        )?;
         write!(
             f,
             "interner: {} symbols ({} preseeded, {} bytes)",
@@ -157,5 +169,6 @@ mod tests {
         assert!(text.contains("interner:"));
         assert!(text.contains("pair memo"));
         assert!(text.contains("pruned"));
+        assert!(text.contains("taint summaries"));
     }
 }

@@ -83,6 +83,22 @@ pub fn analyze(apk: &Apk) -> Result<StaticReport, ParseDexError> {
 ///
 /// Returns [`ParseDexError`] when a packed dex cannot be recovered.
 pub fn analyze_with(apk: &Apk, opts: AnalysisOptions) -> Result<StaticReport, ParseDexError> {
+    analyze_with_cache(apk, opts, None)
+}
+
+/// [`analyze_with`] plus an optional cross-app library taint-summary
+/// cache (see [`crate::summary::TaintSummaryCache`]); batch runners
+/// share one cache across every app so identical embedded libs are
+/// summarized once.
+///
+/// # Errors
+///
+/// Returns [`ParseDexError`] when a packed dex cannot be recovered.
+pub fn analyze_with_cache(
+    apk: &Apk,
+    opts: AnalysisOptions,
+    cache: Option<&crate::summary::TaintSummaryCache>,
+) -> Result<StaticReport, ParseDexError> {
     let apg = Apg::build(apk)?;
     let package = apk.manifest.package.clone();
 
@@ -147,7 +163,7 @@ pub fn analyze_with(apk: &Apk, opts: AnalysisOptions) -> Result<StaticReport, Pa
     }
 
     // Retain_code via taint analysis.
-    report.retained = taint::analyze(&apg, &in_scope);
+    report.retained = taint::analyze_cached(&apg, &in_scope, cache);
 
     Ok(report)
 }

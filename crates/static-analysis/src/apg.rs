@@ -9,8 +9,13 @@
 
 use crate::callbacks;
 use crate::graph::{EdgeKind, Graph, NodeId, NodeKind};
-use ppchecker_apk::{Apk, ComponentKind, Dex, Insn, ParseDexError};
+use crate::libs::{self, KnownLib};
+use ppchecker_apk::{
+    stable_hash_classes, Apk, Class, ComponentKind, Dex, FnvMap, Insn, Method, MethodRef,
+    ParseDexError,
+};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Lifecycle entry methods per component kind.
 pub fn lifecycle_methods(kind: ComponentKind) -> &'static [&'static str] {
@@ -37,6 +42,42 @@ pub struct Apg {
     pub method_names: HashMap<NodeId, (String, String)>,
     /// Component nodes (from the manifest).
     pub component_ids: Vec<NodeId>,
+    /// Dense `u32` method index + CSR call adjacency (see [`MethodIndex`]).
+    dense: MethodIndex,
+    /// Detected known libs with their content-hash cache keys, computed
+    /// on first use (see [`Apg::known_lib_keys`]).
+    lib_keys: OnceLock<Vec<(&'static KnownLib, u64)>>,
+}
+
+/// Dense-ID view of the method layer, compiled once at APG construction.
+///
+/// Every method body gets a `u32` index in dex declaration order (stable
+/// across builds, unlike map iteration orders). The combined
+/// call/implicit-callback/intent adjacency is stored as CSR arrays over
+/// those indexes, so reachability and the taint fixpoint walk flat
+/// slices instead of hashing `(NodeId, EdgeKind)` keys per step.
+#[derive(Debug, Default)]
+pub struct MethodIndex {
+    /// ix → graph method node.
+    node_of: Vec<NodeId>,
+    /// ix → dense dex position.
+    ref_of: Vec<MethodRef>,
+    /// Graph method node → ix.
+    ix_of_node: FnvMap<NodeId, u32>,
+    /// class → method → ix: zero-allocation name lookup (a nested map is
+    /// queryable with borrowed `&str` keys, unlike `(String, String)`),
+    /// FNV-hashed — it is probed once per invoke in the taint kernel.
+    by_name: FnvMap<String, FnvMap<String, u32>>,
+    /// CSR row offsets (`method_count + 1` entries) of the combined
+    /// Call + ImplicitCallback + Icc adjacency, deduplicated per row.
+    call_row: Vec<u32>,
+    /// CSR column array of callee indexes.
+    call_col: Vec<u32>,
+    /// True when the dex declares the same `(class, method)` twice; the
+    /// dense view keeps the first body (mirroring `Dex::class` /
+    /// `Class::method` lookup), and callers that need exact duplicate
+    /// semantics fall back to name-resolved processing.
+    has_duplicates: bool,
 }
 
 impl Apg {
@@ -89,13 +130,151 @@ impl Apg {
             }
         }
 
-        let mut apg = Apg { graph, dex, method_ids, method_names, component_ids: Vec::new() };
+        let mut apg = Apg {
+            graph,
+            dex,
+            method_ids,
+            method_names,
+            component_ids: Vec::new(),
+            dense: MethodIndex::default(),
+            lib_keys: OnceLock::new(),
+        };
 
         apg.add_call_edges();
         apg.add_implicit_callback_edges();
         apg.add_icc_edges();
         apg.add_components(apk);
+        apg.build_dense_index();
         Ok(apg)
+    }
+
+    /// Compiles the dense method index and the combined call CSR. Runs
+    /// after all edges exist; everything here is derived state.
+    fn build_dense_index(&mut self) {
+        let mut dense = MethodIndex::default();
+        for r in self.dex.method_refs() {
+            let (class, m) = self.dex.method_at(r);
+            let methods = dense.by_name.entry(class.name.clone()).or_default();
+            if methods.contains_key(&m.name) {
+                dense.has_duplicates = true;
+                continue;
+            }
+            // Method nodes were created in the same declaration order the
+            // refs walk, so the name map resolves the first declaration's
+            // node — matching `Dex::class`/`Class::method` first-match
+            // semantics.
+            let ix = dense.node_of.len() as u32;
+            let node = self.method_ids[&(class.name.clone(), m.name.clone())];
+            methods.insert(m.name.clone(), ix);
+            dense.node_of.push(node);
+            dense.ref_of.push(r);
+        }
+        // With duplicate declarations, `method_ids` (last-wins) may hand a
+        // later node to the name map; the dense view is then advisory
+        // only, which `has_duplicates` already signals.
+        dense.ix_of_node =
+            dense.node_of.iter().enumerate().map(|(ix, &n)| (n, ix as u32)).collect();
+
+        // Combined Call + ImplicitCallback + Icc adjacency, deduplicated
+        // (CHA can record one call edge per matching override and repeat
+        // targets per site; reachability and taint only need the set).
+        let n = dense.node_of.len();
+        dense.call_row = Vec::with_capacity(n + 1);
+        dense.call_row.push(0);
+        let mut scratch: Vec<u32> = Vec::new();
+        for &node in &dense.node_of {
+            scratch.clear();
+            for kind in [EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc] {
+                for target in self.graph.successors(node, kind) {
+                    if let Some(&ix) = dense.ix_of_node.get(target) {
+                        scratch.push(ix);
+                    }
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            dense.call_col.extend_from_slice(&scratch);
+            dense.call_row.push(dense.call_col.len() as u32);
+        }
+        self.dense = dense;
+    }
+
+    /// Number of dense-indexed methods.
+    pub fn method_count(&self) -> usize {
+        self.dense.node_of.len()
+    }
+
+    /// The dense index of a method node.
+    pub fn method_ix(&self, id: NodeId) -> Option<u32> {
+        self.dense.ix_of_node.get(&id).copied()
+    }
+
+    /// The graph node of a dense method index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    pub fn method_node(&self, ix: u32) -> NodeId {
+        self.dense.node_of[ix as usize]
+    }
+
+    /// The class and body of a dense method index — O(1), no name lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ix` is out of bounds.
+    pub fn method_def(&self, ix: u32) -> (&Class, &Method) {
+        self.dex.method_at(self.dense.ref_of[ix as usize])
+    }
+
+    /// Dense callee indexes of `ix` over the combined call, implicit
+    /// callback, and intent adjacency (sorted, deduplicated).
+    pub fn callees(&self, ix: u32) -> &[u32] {
+        let row = &self.dense.call_row;
+        &self.dense.call_col[row[ix as usize] as usize..row[ix as usize + 1] as usize]
+    }
+
+    /// Zero-allocation `(class, method)` → dense index lookup.
+    pub fn lookup_ix(&self, class: &str, method: &str) -> Option<u32> {
+        self.dense.by_name.get(class)?.get(method).copied()
+    }
+
+    /// Zero-allocation `(class, method)` → method node lookup (the
+    /// borrowed-key counterpart of indexing [`Apg::method_ids`]).
+    pub fn method_id(&self, class: &str, method: &str) -> Option<NodeId> {
+        if self.dense.has_duplicates {
+            // Keep exact last-wins map semantics for degenerate dexes.
+            return self.method_ids.get(&(class.to_string(), method.to_string())).copied();
+        }
+        self.lookup_ix(class, method).map(|ix| self.method_node(ix))
+    }
+
+    /// True when the dex declares the same `(class, method)` twice, making
+    /// the dense view advisory (first declaration wins).
+    pub fn has_duplicate_methods(&self) -> bool {
+        self.dense.has_duplicates
+    }
+
+    /// Known third-party libs embedded in the app, each with the
+    /// content-hash key its taint summary is cached under. Detection and
+    /// hashing run once per APG — the dex is immutable after build — so
+    /// a batch engine re-analyzing the app hits this as a slice read.
+    pub fn known_lib_keys(&self) -> &[(&'static KnownLib, u64)] {
+        self.lib_keys.get_or_init(|| {
+            libs::detect_libs(&self.dex)
+                .into_iter()
+                .map(|lib| {
+                    let mut classes: Vec<&Class> = self
+                        .dex
+                        .classes
+                        .iter()
+                        .filter(|c| c.name.starts_with(lib.prefix))
+                        .collect();
+                    classes.sort_by(|a, b| a.name.cmp(&b.name));
+                    (lib, stable_hash_classes(classes.iter().copied()))
+                })
+                .collect()
+        })
     }
 
     /// Method call graph: for each invoke, link the caller method to every
@@ -370,6 +549,38 @@ mod tests {
         let comp = apg.component_ids[0];
         let entry = apg.method_ids[&("com.example.app.Main".into(), "onCreate".into())];
         assert!(apg.graph.successors(comp, EdgeKind::Lifecycle).contains(&entry));
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        let apg = Apg::build(&sample_apk()).unwrap();
+        assert_eq!(apg.method_count(), 3);
+        assert!(!apg.has_duplicate_methods());
+        for ix in 0..apg.method_count() as u32 {
+            let node = apg.method_node(ix);
+            assert_eq!(apg.method_ix(node), Some(ix));
+            let (class, m) = apg.method_def(ix);
+            assert_eq!(apg.lookup_ix(&class.name, &m.name), Some(ix));
+            assert_eq!(apg.method_id(&class.name, &m.name), Some(node));
+            assert_eq!(apg.method_name(node), &(class.name.clone(), m.name.clone()));
+        }
+        assert_eq!(apg.lookup_ix("com.example.app.Main", "missing"), None);
+    }
+
+    #[test]
+    fn dense_callees_mirror_graph_edges() {
+        use std::collections::HashSet;
+        let apg = Apg::build(&sample_apk()).unwrap();
+        for ix in 0..apg.method_count() as u32 {
+            let node = apg.method_node(ix);
+            let via_csr: HashSet<NodeId> =
+                apg.callees(ix).iter().map(|&c| apg.method_node(c)).collect();
+            let mut via_map: HashSet<NodeId> = HashSet::new();
+            for kind in [EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc] {
+                via_map.extend(apg.graph.successors(node, kind).iter().copied());
+            }
+            assert_eq!(via_csr, via_map);
+        }
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub fn resolve_uri(method: &Method, at: usize, reg: Reg) -> Option<UriValue> {
     None
 }
 
+/// Whether an invoke is a `ContentResolver.query`-style call — the
+/// trigger for URI resolution at that site.
+pub fn is_query_call(class: &str, method: &str) -> bool {
+    (method == "query"
+        && (class == "android.content.ContentResolver"
+            || class == "android.content.ContentProviderClient"))
+        || (class == "android.content.CursorLoader" && method == "loadInBackground")
+}
+
 /// All `ContentResolver.query`-style call sites in a method, with their
 /// resolved URIs: `(instruction index, uri)`.
 pub fn query_sites(method: &Method) -> Vec<(usize, UriValue)> {
@@ -66,11 +75,7 @@ pub fn query_sites(method: &Method) -> Vec<(usize, UriValue)> {
         let Insn::Invoke { class, method: m, args, .. } = insn else {
             continue;
         };
-        let is_query = (m == "query"
-            && (class == "android.content.ContentResolver"
-                || class == "android.content.ContentProviderClient"))
-            || (class == "android.content.CursorLoader" && m == "loadInBackground");
-        if !is_query {
+        if !is_query_call(class, m) {
             continue;
         }
         // The URI argument follows the receiver.

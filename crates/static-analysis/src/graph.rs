@@ -137,6 +137,37 @@ impl Graph {
             .map(|(i, _)| NodeId(i))
     }
 
+    /// Compiles the adjacency of `kinds` into one CSR array pair over all
+    /// node ids: a prefix-sum row table plus a flat `u32` column array.
+    ///
+    /// Traversals that probe the same edge kinds repeatedly (reachability,
+    /// fixpoints) walk contiguous slices instead of hashing one
+    /// `(NodeId, EdgeKind)` key per step. Rows concatenate the kinds in
+    /// the order given, so the result is deterministic for a given graph.
+    pub fn csr(&self, kinds: &[EdgeKind]) -> CsrAdjacency {
+        let n = self.nodes.len();
+        let mut row = vec![0u32; n + 1];
+        for id in 0..n {
+            for &kind in kinds {
+                row[id + 1] += self.successors(NodeId(id), kind).len() as u32;
+            }
+        }
+        for i in 0..n {
+            row[i + 1] += row[i];
+        }
+        let mut col = vec![0u32; row[n] as usize];
+        let mut cursor: Vec<u32> = row[..n].to_vec();
+        for id in 0..n {
+            for &kind in kinds {
+                for &NodeId(t) in self.successors(NodeId(id), kind) {
+                    col[cursor[id] as usize] = t as u32;
+                    cursor[id] += 1;
+                }
+            }
+        }
+        CsrAdjacency { row, col }
+    }
+
     /// Breadth-first closure from `starts` following `kinds` edges forward.
     pub fn reachable_from(&self, starts: &[NodeId], kinds: &[EdgeKind]) -> Vec<NodeId> {
         let mut seen = vec![false; self.nodes.len()];
@@ -157,6 +188,56 @@ impl Graph {
                         seen[next.0] = true;
                         queue.push(next);
                     }
+                }
+            }
+        }
+        queue
+    }
+}
+
+/// CSR-compiled adjacency for a fixed set of edge kinds (see
+/// [`Graph::csr`]). Node `i`'s successors are the contiguous slice
+/// `col[row[i]..row[i + 1]]`.
+#[derive(Debug, Clone, Default)]
+pub struct CsrAdjacency {
+    row: Vec<u32>,
+    col: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    /// Successor node ids of `id`, as raw `u32` indexes.
+    pub fn successors(&self, id: NodeId) -> &[u32] {
+        &self.col[self.row[id.0] as usize..self.row[id.0 + 1] as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.row.len().saturating_sub(1)
+    }
+
+    /// Total edges stored.
+    pub fn edge_count(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Breadth-first closure from `starts`, in visit order.
+    pub fn reachable_from(&self, starts: &[NodeId]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &s in starts {
+            if !seen[s.0] {
+                seen[s.0] = true;
+                queue.push(s);
+            }
+        }
+        let mut i = 0;
+        while i < queue.len() {
+            let cur = queue[i];
+            i += 1;
+            for &next in self.successors(cur) {
+                if !seen[next as usize] {
+                    seen[next as usize] = true;
+                    queue.push(NodeId(next as usize));
                 }
             }
         }
@@ -203,6 +284,31 @@ mod tests {
         let r = g.reachable_from(&[a], &[EdgeKind::Call]);
         assert!(r.contains(&a) && r.contains(&b) && r.contains(&c));
         assert!(!r.contains(&d));
+    }
+
+    #[test]
+    fn csr_matches_hashmap_adjacency() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Method, "a");
+        let b = g.add_node(NodeKind::Method, "b");
+        let c = g.add_node(NodeKind::Method, "c");
+        let d = g.add_node(NodeKind::Method, "d");
+        g.add_edge(a, EdgeKind::Call, b);
+        g.add_edge(a, EdgeKind::Icc, c);
+        g.add_edge(b, EdgeKind::Call, c);
+        g.add_edge(d, EdgeKind::ImplicitCallback, a);
+        let csr = g.csr(&[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc]);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        // Rows concatenate kinds in the order given.
+        assert_eq!(csr.successors(a), &[b.0 as u32, c.0 as u32]);
+        assert_eq!(csr.successors(b), &[c.0 as u32]);
+        assert_eq!(csr.successors(c), &[] as &[u32]);
+        assert_eq!(csr.successors(d), &[a.0 as u32]);
+        // CSR BFS agrees with the per-query HashMap BFS.
+        let via_map =
+            g.reachable_from(&[a], &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc]);
+        assert_eq!(csr.reachable_from(&[a]), via_map);
     }
 
     #[test]

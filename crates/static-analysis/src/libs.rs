@@ -7,7 +7,6 @@
 //! paper evaluates: 52 ad libs, 9 social libs, and 20 development tools.
 
 use ppchecker_apk::Dex;
-use std::collections::BTreeSet;
 
 /// Family of a third-party library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -132,8 +131,9 @@ pub fn by_id(id: &str) -> Option<&'static KnownLib> {
 /// Detects the third-party libraries embedded in a dex by scanning class
 /// name prefixes. Returns library ids, deduplicated, in table order.
 pub fn detect_libs(dex: &Dex) -> Vec<&'static KnownLib> {
-    let prefixes: BTreeSet<&str> = dex.classes.iter().map(|c| c.name.as_str()).collect();
-    KNOWN_LIBS.iter().filter(|l| prefixes.iter().any(|class| class.starts_with(l.prefix))).collect()
+    // Scanned per app analysis: keep it allocation-free apart from the
+    // result vector, and let `starts_with` reject on the first byte.
+    KNOWN_LIBS.iter().filter(|l| dex.classes.iter().any(|c| c.name.starts_with(l.prefix))).collect()
 }
 
 #[cfg(test)]

@@ -32,9 +32,17 @@ pub fn entry_points(apg: &Apg) -> Vec<NodeId> {
     // Lifecycle-named methods in classes extending framework components but
     // not declared in the manifest (defensive: exported fragments etc.) are
     // NOT entries — the paper starts only from declared components — but UI
-    // callbacks anywhere in the app are (XML-wired handlers).
-    for ((_class, method), &mid) in &apg.method_ids {
-        if UI_CALLBACKS.contains(&method.as_str()) && seen.insert(mid) {
+    // callbacks anywhere in the app are (XML-wired handlers). Sorted by
+    // (class, method) so the entry order is independent of HashMap iteration.
+    let mut ui: Vec<(&(String, String), NodeId)> = apg
+        .method_ids
+        .iter()
+        .filter(|((_, method), _)| UI_CALLBACKS.contains(&method.as_str()))
+        .map(|(key, &mid)| (key, mid))
+        .collect();
+    ui.sort_unstable_by_key(|&(key, _)| key);
+    for (_, mid) in ui {
+        if seen.insert(mid) {
             entries.push(mid);
         }
     }
@@ -45,10 +53,38 @@ pub fn entry_points(apg: &Apg) -> Vec<NodeId> {
 /// implicit-callback, and intent edges.
 pub fn reachable_methods(apg: &Apg) -> HashSet<NodeId> {
     let entries = entry_points(apg);
-    apg.graph
-        .reachable_from(&entries, &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc])
-        .into_iter()
-        .collect()
+    if apg.has_duplicate_methods() {
+        // The dense method index skips shadowed duplicate declarations, so
+        // fall back to the exact HashMap-adjacency walk for odd inputs.
+        return apg
+            .graph
+            .reachable_from(&entries, &[EdgeKind::Call, EdgeKind::ImplicitCallback, EdgeKind::Icc])
+            .into_iter()
+            .collect();
+    }
+    // Dense BFS over the precompiled method CSR (Call + ImplicitCallback +
+    // Icc rows), avoiding a HashMap probe per (node, kind) expansion.
+    let n = apg.method_count();
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<u32> = entries
+        .iter()
+        .filter_map(|&e| apg.method_ix(e))
+        .inspect(|&ix| visited[ix as usize] = true)
+        .collect();
+    let mut out = HashSet::with_capacity(queue.len() * 2);
+    for &e in &entries {
+        out.insert(e);
+    }
+    while let Some(ix) = queue.pop_front() {
+        out.insert(apg.method_node(ix));
+        for &next in apg.callees(ix) {
+            if !visited[next as usize] {
+                visited[next as usize] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    out
 }
 
 /// Convenience used by tests and ablations: is the lifecycle table sane for
@@ -152,6 +188,36 @@ mod tests {
         let reach = reachable_methods(&apg);
         let deep = apg.method_ids[&("com.x.Deep".into(), "fetch".into())];
         assert!(reach.contains(&deep));
+    }
+
+    #[test]
+    fn entry_points_are_deterministic() {
+        // Many UI-callback classes exercise the former HashMap-iteration
+        // ordering bug: two independently built APGs must agree exactly.
+        let mut manifest = Manifest::new("com.x");
+        manifest.add_component(ComponentKind::Activity, "com.x.Main", true);
+        let mut builder = Dex::builder().class("com.x.Main", |c| {
+            c.extends("android.app.Activity");
+            c.method("onCreate", 1, |_| {});
+        });
+        for i in 0..24 {
+            builder = builder.class(&format!("com.x.Handler{i}"), |c| {
+                c.method("onClick", 1, |_| {});
+                c.method("onTouch", 1, |_| {});
+            });
+        }
+        let apk = Apk::new(manifest, builder.build());
+        let a = Apg::build(&apk).unwrap();
+        let b = Apg::build(&apk).unwrap();
+        let ea = entry_points(&a);
+        let eb = entry_points(&b);
+        assert_eq!(ea.len(), 49);
+        let names_a: Vec<_> = ea.iter().map(|&m| a.method_name(m)).collect();
+        let names_b: Vec<_> = eb.iter().map(|&m| b.method_name(m)).collect();
+        assert_eq!(names_a, names_b);
+        // NodeIds are assigned in dex declaration order, so the id vectors
+        // themselves must also match between the two builds.
+        assert_eq!(ea, eb);
     }
 
     #[test]

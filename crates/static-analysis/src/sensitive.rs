@@ -6,7 +6,8 @@
 //! SuSi-style data sets, and maps each to the information it yields by
 //! reading the official documentation.
 
-use ppchecker_apk::PrivateInfo;
+use ppchecker_apk::{FnvMap, PrivateInfo};
+use std::sync::OnceLock;
 
 /// One sensitive API: declaring class, method name, and the information it
 /// exposes.
@@ -116,9 +117,28 @@ const fn api(class: &'static str, method: &'static str, info: PrivateInfo) -> Se
     SensitiveApi { class, method, info }
 }
 
+/// Table entries grouped by declaring class, built once. A failed class
+/// probe — the overwhelmingly common case on real bytecode — costs one
+/// hash lookup instead of a scan over all 68 entries.
+fn by_class() -> &'static FnvMap<&'static str, Vec<&'static SensitiveApi>> {
+    static MAP: OnceLock<FnvMap<&'static str, Vec<&'static SensitiveApi>>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let mut map: FnvMap<&'static str, Vec<&'static SensitiveApi>> = FnvMap::default();
+        for api in SENSITIVE_APIS {
+            map.entry(api.class).or_default().push(api);
+        }
+        map
+    })
+}
+
 /// Looks up `(class, method)` in the sensitive-API table.
 pub fn lookup(class: &str, method: &str) -> Option<&'static SensitiveApi> {
-    SENSITIVE_APIS.iter().find(|a| a.class == class && a.method == method)
+    // Every table entry lives under `android.` or `java.`; one byte
+    // rejects app-package classes before the map is even hashed.
+    if !matches!(class.as_bytes().first(), Some(b'a') | Some(b'j')) {
+        return None;
+    }
+    by_class().get(class)?.iter().find(|a| a.method == method).copied()
 }
 
 #[cfg(test)]

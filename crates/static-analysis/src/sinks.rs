@@ -6,7 +6,9 @@
 //! SMS (`sendTextMessage()`), or Bluetooth
 //! (`BluetoothOutputStream.write()`)."
 
+use ppchecker_apk::FnvMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Where tainted data escapes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,9 +81,27 @@ const fn sink(class: &'static str, method: &'static str, kind: SinkKind) -> Sink
     SinkApi { class, method, kind }
 }
 
+/// Sink entries grouped by declaring class, built once, so a failed
+/// class probe is a single hash lookup rather than a table scan.
+fn by_class() -> &'static FnvMap<&'static str, Vec<&'static SinkApi>> {
+    static MAP: OnceLock<FnvMap<&'static str, Vec<&'static SinkApi>>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let mut map: FnvMap<&'static str, Vec<&'static SinkApi>> = FnvMap::default();
+        for sink in SINKS {
+            map.entry(sink.class).or_default().push(sink);
+        }
+        map
+    })
+}
+
 /// Looks up `(class, method)` in the sink table.
 pub fn lookup(class: &str, method: &str) -> Option<&'static SinkApi> {
-    SINKS.iter().find(|s| s.class == class && s.method == method)
+    // Every sink lives under `android.`, `java.` or `org.apache.`; one
+    // byte rejects app-package classes before the map is even hashed.
+    if !matches!(class.as_bytes().first(), Some(b'a') | Some(b'j') | Some(b'o')) {
+        return None;
+    }
+    by_class().get(class)?.iter().find(|s| s.method == method).copied()
 }
 
 #[cfg(test)]

@@ -1,0 +1,169 @@
+//! Cross-app library taint-summary cache.
+//!
+//! Ad/social/developer SDKs repeat byte-for-byte across a corpus (the
+//! paper finds 57.9% of apps embedding at least one of 81 known libs), so
+//! the taint kernel's work on a lib's methods repeats with them. This
+//! module caches, per *library content hash*, the first-iteration taint
+//! contribution of each lib method — `F_m(∅)`: what the method adds to
+//! return/field/param/ICC taint and to the leak set when its own inputs
+//! carry no taint. A later app embedding the identical lib classes seeds
+//! its fixpoint from the summary and skips the initial interpretation of
+//! every summarized method; the dirty-bit worklist still reprocesses any
+//! lib method whose inputs grow beyond ∅, so leak results are unchanged
+//! (see DESIGN.md §11 for the soundness argument).
+//!
+//! Keying is content-addressed: the FNV-1a hash of the lib's class set
+//! ([`ppchecker_apk::stable_hash_classes`]) over sorted class names, so a
+//! recompiled or trimmed copy of a lib never matches a stale summary.
+
+use crate::sensitive::SensitiveApi;
+use crate::sinks::SinkApi;
+use ppchecker_apk::{FnvMap, PrivateInfo};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One taint label in app-independent form. Table-sourced labels are
+/// kept as pointers into the static sensitive-API table — two apps
+/// interning the same API produce the same pointer, so replaying a
+/// summary translates labels by pointer equality instead of hashing or
+/// comparing dotted name strings. URI labels carry the witness string.
+#[derive(Debug, Clone)]
+pub(crate) enum NamedLabel {
+    Api(&'static SensitiveApi),
+    Uri { info: PrivateInfo, src: String },
+}
+
+/// `F_m(∅)` for one library method; contributions that reference app
+/// code (fields, params, channels) stay name-keyed, everything bound to
+/// a static table is a pointer.
+#[derive(Debug, Clone)]
+pub(crate) struct MethodSummary {
+    /// Declaring class of the summarized method.
+    pub(crate) class: String,
+    /// Method name.
+    pub(crate) method: String,
+    /// Labels the method adds to its own return taint.
+    pub(crate) ret: Vec<NamedLabel>,
+    /// `(class, field)` → labels written by `FieldPut`.
+    pub(crate) fields: Vec<(String, String, Vec<NamedLabel>)>,
+    /// `(callee class, callee method)` → labels pushed into parameters
+    /// of lib-internal calls.
+    pub(crate) params: Vec<(String, String, Vec<NamedLabel>)>,
+    /// Intent target class → labels put into the ICC channel.
+    pub(crate) channels: Vec<(String, Vec<NamedLabel>)>,
+    /// Leaks the method produces on its own (source and sink both local).
+    pub(crate) leaks: Vec<SummaryLeak>,
+}
+
+/// A leak contribution: static sink-table pointer plus the declaring
+/// `(class, method)` names of the call site.
+#[derive(Debug, Clone)]
+pub(crate) struct SummaryLeak {
+    pub(crate) label: NamedLabel,
+    pub(crate) api: &'static SinkApi,
+    pub(crate) at_class: String,
+    pub(crate) at_method: String,
+}
+
+/// Per-library bundle of method summaries.
+///
+/// Only methods whose first-iteration behavior is app-independent are
+/// included (lib-internal calls resolved and in scope, everything else
+/// framework); the kernel processes omitted methods normally.
+#[derive(Debug, Clone, Default)]
+pub struct LibSummary {
+    pub(crate) methods: Vec<MethodSummary>,
+    /// Union of the `(class, method)` pairs the summarized methods
+    /// invoke that resolved neither in the lib class set nor (at summary
+    /// time) in the embedding app. The summaries treated them as
+    /// framework taint-through calls, so the bundle only applies to an
+    /// app where they still resolve to no app method — checked once per
+    /// app instead of once per method.
+    pub(crate) external_calls: Vec<(String, String)>,
+}
+
+impl LibSummary {
+    /// Number of summarized methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+}
+
+/// Thread-safe, content-addressed store of [`LibSummary`] values, shared
+/// across all apps of a batch run (the cross-app half of the taint
+/// kernel).
+///
+/// Mirrors the engine's `ArtifactCache` discipline: compute outside the
+/// write lock, first insert wins, `misses` counts distinct lib contents.
+#[derive(Debug, Default)]
+pub struct TaintSummaryCache {
+    map: RwLock<FnvMap<u64, Arc<LibSummary>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TaintSummaryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TaintSummaryCache::default()
+    }
+
+    /// Looks up the summary for a lib content hash, counting a hit or a
+    /// miss.
+    pub(crate) fn get(&self, key: u64) -> Option<Arc<LibSummary>> {
+        let hit = self.map.read().expect("summary cache lock").get(&key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Stores a freshly computed summary; the first insert wins so every
+    /// consumer shares one allocation.
+    pub(crate) fn insert(&self, key: u64, summary: LibSummary) -> Arc<LibSummary> {
+        let fresh = Arc::new(summary);
+        let mut map = self.map.write().expect("summary cache lock");
+        Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no summary (distinct lib contents seen).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Summaries resident.
+    pub fn entries(&self) -> usize {
+        self.map.read().expect("summary cache lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = TaintSummaryCache::new();
+        assert!(cache.get(42).is_none());
+        cache.insert(42, LibSummary::default());
+        assert!(cache.get(42).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = TaintSummaryCache::new();
+        let a = cache.insert(7, LibSummary::default());
+        let b = cache.insert(7, LibSummary::default());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.entries(), 1);
+    }
+}

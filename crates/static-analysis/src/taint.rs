@@ -34,18 +34,39 @@ pub struct Leak {
 /// A taint label: what information, and the source-API witness that
 /// introduced it (so a leak reports the full source→sink pair, as the
 /// paper does: "a path between getLatitude() and Log.i()").
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Label {
-    info: PrivateInfo,
-    source_api: String,
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Label {
+    pub(crate) info: PrivateInfo,
+    pub(crate) source_api: String,
 }
 
 type TaintSet = BTreeSet<Label>;
 
 /// Runs the taint analysis over `methods` (normally the reachable set).
 ///
-/// Returns the deduplicated leaks.
+/// Returns the deduplicated leaks. Dispatches to the dense-ID bitset
+/// kernel (`crate::kernel`) whenever the app fits its envelope (no
+/// duplicate method declarations, ≤ 256 taint labels), falling back to
+/// the reference engine otherwise; both produce the identical leak set.
 pub fn analyze(apg: &Apg, methods: &HashSet<NodeId>) -> Vec<Leak> {
+    analyze_cached(apg, methods, None)
+}
+
+/// [`analyze`] with an optional cross-app library summary cache: known
+/// libs embedded in the app get their per-method taint summaries reused
+/// across apps with byte-identical lib classes (see [`crate::summary`]).
+pub fn analyze_cached(
+    apg: &Apg,
+    methods: &HashSet<NodeId>,
+    cache: Option<&crate::summary::TaintSummaryCache>,
+) -> Vec<Leak> {
+    crate::kernel::run(apg, methods, cache).unwrap_or_else(|| analyze_reference(apg, methods))
+}
+
+/// The reference engine: string-keyed maps, whole-corpus sweeps. Kept as
+/// the oracle the kernel is property-tested against (and the fallback
+/// for apps outside the kernel envelope).
+pub fn analyze_reference(apg: &Apg, methods: &HashSet<NodeId>) -> Vec<Leak> {
     let mut engine = Engine {
         apg,
         field_taint: HashMap::new(),
@@ -60,7 +81,10 @@ pub fn analyze(apg: &Apg, methods: &HashSet<NodeId>) -> Vec<Leak> {
 
 struct Engine<'a> {
     apg: &'a Apg,
-    field_taint: HashMap<(String, String), TaintSet>,
+    /// Class → field → taint. Nested (rather than keyed by a
+    /// `(String, String)` pair) so the hot read path probes with two
+    /// borrowed `&str`s instead of allocating a fresh tuple per lookup.
+    field_taint: HashMap<String, HashMap<String, TaintSet>>,
     param_taint: HashMap<NodeId, TaintSet>,
     return_taint: HashMap<NodeId, TaintSet>,
     /// Inter-component channel taint: intent extras put for a target
@@ -91,7 +115,11 @@ impl Engine<'_> {
     }
 
     fn state_size(&self) -> usize {
-        self.field_taint.values().map(|s| s.len()).sum::<usize>()
+        self.field_taint
+            .values()
+            .flat_map(|by_field| by_field.values())
+            .map(|s| s.len())
+            .sum::<usize>()
             + self.param_taint.values().map(|s| s.len()).sum::<usize>()
             + self.return_taint.values().map(|s| s.len()).sum::<usize>()
             + self.icc_taint.values().map(|s| s.len()).sum::<usize>()
@@ -170,15 +198,25 @@ impl Engine<'_> {
                 Insn::FieldPut { class, field, src } => {
                     if let Some(t) = regs.get(src) {
                         if !t.is_empty() {
-                            self.field_taint
-                                .entry((class.clone(), field.clone()))
-                                .or_default()
-                                .extend(t.iter().cloned());
+                            // Allocate the String keys only on first sight
+                            // of the class/field; steady-state puts probe
+                            // with borrowed strs.
+                            if !self.field_taint.contains_key(class.as_str()) {
+                                self.field_taint.insert(class.clone(), HashMap::new());
+                            }
+                            let by_field =
+                                self.field_taint.get_mut(class.as_str()).expect("just inserted");
+                            match by_field.get_mut(field.as_str()) {
+                                Some(set) => set.extend(t.iter().cloned()),
+                                None => {
+                                    by_field.insert(field.clone(), t.clone());
+                                }
+                            }
                         }
                     }
                 }
                 Insn::FieldGet { class, field, dst } => {
-                    match self.field_taint.get(&(class.clone(), field.clone())) {
+                    match self.field_taint.get(class.as_str()).and_then(|m| m.get(field.as_str())) {
                         Some(t) if !t.is_empty() => {
                             regs.entry(*dst).or_default().extend(t.iter().cloned());
                         }
@@ -273,16 +311,21 @@ impl Engine<'_> {
             }
         }
 
-        // Sink: record a leak for every tainted argument.
+        // Sink: record a leak for every tainted argument. The api/method
+        // witness strings are built once per sink call, not per label.
         if let Some(sink) = sinks::lookup(class, callee) {
-            for label in &arg_taint {
-                self.leaks.insert(Leak {
-                    info: label.info,
-                    sink: sink.kind,
-                    source_api: label.source_api.clone(),
-                    sink_api: format!("{class}.{callee}"),
-                    at_method: format!("{class_name}.{method_name}"),
-                });
+            if !arg_taint.is_empty() {
+                let sink_api = format!("{class}.{callee}");
+                let at_method = format!("{class_name}.{method_name}");
+                for label in &arg_taint {
+                    self.leaks.insert(Leak {
+                        info: label.info,
+                        sink: sink.kind,
+                        source_api: label.source_api.clone(),
+                        sink_api: sink_api.clone(),
+                        at_method: at_method.clone(),
+                    });
+                }
             }
         }
 
@@ -290,7 +333,7 @@ impl Engine<'_> {
         // taint out. Framework call: taint-through (args → result).
         let mut returned = TaintSet::new();
         let mut is_app_call = false;
-        if let Some(&target) = self.apg.method_ids.get(&(class.to_string(), callee.to_string())) {
+        if let Some(target) = self.apg.method_id(class, callee) {
             is_app_call = true;
             if in_scope.contains(&target) {
                 if !arg_taint.is_empty() {
@@ -316,7 +359,7 @@ impl Engine<'_> {
 
 /// Maps intent registers to their `setClass`-style target classes inside
 /// one method (mirrors the APG's IccTA-substitute resolution).
-fn intent_targets(method: &Method) -> HashMap<Reg, String> {
+pub(crate) fn intent_targets(method: &Method) -> HashMap<Reg, String> {
     let mut strings: HashMap<Reg, String> = HashMap::new();
     let mut targets: HashMap<Reg, String> = HashMap::new();
     for insn in &method.instructions {

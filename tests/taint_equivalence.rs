@@ -1,0 +1,41 @@
+//! Leak-level equivalence of the dense-ID taint kernel over the full
+//! paper corpus.
+//!
+//! The PR-4 kernel replaces the reference taint engine's hash-map
+//! fixpoint with interned labels, bitset taint words and a dirty-bit
+//! worklist, and adds a cross-app library summary cache. All of it must
+//! be invisible at the leak level: every app of the 1,197-app corpus is
+//! analyzed by the reference engine and by the kernel — cold and again
+//! with a shared warm summary cache — and the leak vectors must be
+//! byte-identical.
+
+use ppchecker_corpus::paper_dataset;
+use ppchecker_static::apg::Apg;
+use ppchecker_static::{reach, taint, TaintSummaryCache};
+
+#[test]
+fn kernel_leaks_match_reference_across_full_corpus() {
+    let dataset = paper_dataset(42);
+    let cache = TaintSummaryCache::new();
+    let mut apps = 0usize;
+    let mut leaky = 0usize;
+    for app in dataset.iter_apps() {
+        let Ok(apg) = Apg::build(&app.apk) else {
+            continue; // adversarially corrupted dex: nothing to compare
+        };
+        let methods = reach::reachable_methods(&apg);
+        let reference = taint::analyze_reference(&apg, &methods);
+        let cold = taint::analyze(&apg, &methods);
+        assert_eq!(cold, reference, "cold kernel diverged for {}", app.package);
+        let warm = taint::analyze_cached(&apg, &methods, Some(&cache));
+        assert_eq!(warm, reference, "summary-warm kernel diverged for {}", app.package);
+        apps += 1;
+        if !reference.is_empty() {
+            leaky += 1;
+        }
+    }
+    assert!(apps >= 1000, "corpus should analyze ≥ 1000 apps, got {apps}");
+    assert!(leaky > 0, "corpus should contain leaking apps");
+    assert!(cache.hits() > 0, "shared libs must be served from the summary cache");
+    assert!(cache.entries() > 0, "at least one lib summarized");
+}
