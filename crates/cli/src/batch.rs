@@ -31,11 +31,14 @@ pub struct BatchOptions {
     pub corpus_dir: PathBuf,
     /// Worker threads; defaults to the available cores.
     pub jobs: usize,
+    /// When set, write a Chrome `trace_event` JSON of the run to this
+    /// file (loadable in `about:tracing` / Perfetto).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { corpus_dir: PathBuf::new(), jobs: available_jobs() }
+        BatchOptions { corpus_dir: PathBuf::new(), jobs: available_jobs(), trace: None }
     }
 }
 
@@ -168,7 +171,7 @@ pub fn render_batch(
                     "{{\"index\":{},\"ok\":false,\"package\":\"{}\",\"error\":\"{}\"}}",
                     record.index,
                     escape(&record.package),
-                    escape(record.error().unwrap_or_default()),
+                    escape(&record.error().map(ToString::to_string).unwrap_or_default()),
                 );
             }
         }
@@ -177,14 +180,28 @@ pub fn render_batch(
     (records, format!("{}\n", batch.metrics))
 }
 
-/// The `batch` entry point: load, run, render.
+/// The `batch` entry point: load, run, render. Enables obs span metrics
+/// for the duration of the process (that is where the stderr quantile
+/// table comes from), and captures a Chrome trace when asked to.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] when the corpus directory is unreadable.
+/// Returns [`CliError`] when the corpus directory is unreadable or the
+/// trace file cannot be written.
 pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
     let (apps, libs) = load_corpus(&opts.corpus_dir)?;
-    Ok(render_batch(apps, libs, opts.jobs.max(1)))
+    ppchecker_obs::set_enabled(true);
+    if opts.trace.is_some() {
+        ppchecker_obs::set_tracing(true);
+    }
+    let out = render_batch(apps, libs, opts.jobs.max(1));
+    if let Some(path) = &opts.trace {
+        ppchecker_obs::set_tracing(false);
+        let events = ppchecker_obs::trace::drain();
+        fs::write(path, ppchecker_obs::trace::to_chrome_json(&events))
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -240,8 +257,10 @@ mod tests {
     fn batch_output_is_jobs_invariant() {
         let dir = temp_dir("determinism");
         write_corpus(&dir, 6, None);
-        let serial = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
-        let parallel = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4 }).unwrap();
+        let serial =
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, trace: None }).unwrap();
+        let parallel =
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4, trace: None }).unwrap();
         assert_eq!(serial.0, parallel.0, "record stream must be byte-identical");
         assert!(serial.0.lines().count() == 7, "6 records + aggregate line");
         assert!(serial.0.contains("\"aggregate\""));
@@ -253,7 +272,7 @@ mod tests {
         let dir = temp_dir("corrupt");
         write_corpus(&dir, 4, Some(2));
         let (records, metrics) =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 2 }).unwrap();
+            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 2, trace: None }).unwrap();
         assert!(records.contains("\"ok\":false"));
         assert!(records.contains("com.batch.app2"));
         assert_eq!(records.matches("\"ok\":true").count(), 3);
@@ -264,9 +283,12 @@ mod tests {
 
     #[test]
     fn missing_corpus_dir_is_an_error() {
-        let err =
-            run_batch(&BatchOptions { corpus_dir: PathBuf::from("/nonexistent/corpus"), jobs: 1 })
-                .unwrap_err();
+        let err = run_batch(&BatchOptions {
+            corpus_dir: PathBuf::from("/nonexistent/corpus"),
+            jobs: 1,
+            trace: None,
+        })
+        .unwrap_err();
         assert!(err.0.contains("/nonexistent/corpus"));
     }
 }

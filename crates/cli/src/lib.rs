@@ -8,7 +8,9 @@
 //!                 --manifest manifest.txt --dex app.dex \
 //!                 [--lib-policy ID=policy.html]... [--suggest] \
 //!                 [--synonyms] [--constraints]
-//! ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl]
+//! ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \
+//!                 [--trace trace.json]
+//! ppchecker trace-check <trace.json>  # validate a batch --trace file
 //! ppchecker policy <policy.html>      # inspect the six-step analysis
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
 //! ppchecker unpack <in.pkdx> <out.txt>
@@ -188,6 +190,18 @@ pub fn run_pack(dex_text: &str, key: u8) -> Result<Vec<u8>, CliError> {
 pub fn run_unpack(blob: &[u8]) -> Result<String, CliError> {
     let dex = packer::unpack(blob).map_err(|e| CliError(e.to_string()))?;
     Ok(packer::serialize(&dex))
+}
+
+/// Validates a Chrome `trace_event` JSON file produced by
+/// `batch --trace` (the `trace-check` subcommand): well-formed JSON,
+/// required event fields, and balanced `B`/`E` span nesting per thread.
+///
+/// # Errors
+///
+/// Returns [`CliError`] describing the first structural problem found.
+pub fn run_trace_check(trace_json: &str) -> Result<String, CliError> {
+    let check = ppchecker_obs::trace::validate(trace_json).map_err(CliError)?;
+    Ok(format!("{check}\n"))
 }
 
 /// Runs the bundled demo (the `demo` subcommand).

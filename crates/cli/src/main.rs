@@ -1,8 +1,8 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    run_batch, run_check, run_demo, run_pack, run_policy, run_unpack, BatchOptions, CheckOptions,
-    CliError,
+    run_batch, run_check, run_demo, run_pack, run_policy, run_trace_check, run_unpack,
+    BatchOptions, CheckOptions, CliError,
 };
 use std::fs;
 use std::process::ExitCode;
@@ -15,7 +15,9 @@ USAGE:
                   --manifest <manifest.txt> --dex <app.dex> \\
                   [--lib-policy ID=policy.html]... [--suggest] \\
                   [--synonyms] [--constraints] [--json]
-  ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl]
+  ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \\
+                  [--trace trace.json]
+  ppchecker trace-check <trace.json>
   ppchecker policy <policy.html>
   ppchecker pack <dex.txt> <out.pkdx> [--key N]
   ppchecker unpack <in.pkdx> <out.txt>
@@ -40,6 +42,10 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("check") => check(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("trace-check") => {
+            let path = args.get(1).ok_or_else(|| CliError("missing trace file".into()))?;
+            run_trace_check(&fs::read_to_string(path)?)
+        }
         Some("policy") => {
             let path = args.get(1).ok_or_else(|| CliError("missing policy file".into()))?;
             Ok(run_policy(&fs::read_to_string(path)?))
@@ -81,6 +87,9 @@ fn batch(args: &[String]) -> Result<String, CliError> {
             .ok()
             .filter(|&n| n > 0)
             .ok_or_else(|| CliError("--jobs needs a positive integer".into()))?;
+    }
+    if let Some(path) = flag_value(args, "--trace") {
+        opts.trace = Some(path.into());
     }
     let (records, metrics) = run_batch(&opts)?;
     // The record stream is deterministic; the timing summary goes to

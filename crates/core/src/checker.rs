@@ -1,6 +1,7 @@
 //! The PPChecker orchestrator: wires the policy, description, and static
 //! analysis modules through the problem-identification algorithms.
 
+use crate::error::Error;
 use crate::incomplete;
 use crate::inconsistent;
 use crate::incorrect;
@@ -8,12 +9,14 @@ use crate::matcher::Matcher;
 use crate::problems::Report;
 use ppchecker_apk::{Apk, ParseDexError};
 use ppchecker_desc::analyze_description_with;
+use ppchecker_obs::SpanGuard;
 use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
 use ppchecker_static::{analyze_with_cache, AnalysisOptions, TaintSummaryCache};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Everything PPChecker needs about one app: the policy, the description,
 /// and the APK (Fig. 4's inputs; third-party lib policies are registered
@@ -53,10 +56,14 @@ impl From<ParseDexError> for CheckError {
     }
 }
 
-/// Wall time spent in each stage of one [`PPChecker::check_timed`] call.
+/// Wall time spent in each stage of one [`PPChecker::check`] call.
 ///
 /// The four stages mirror Fig. 4: policy NLP, description analysis,
 /// static analysis, and the matching/problem-identification algorithms.
+/// Since the obs integration this is a thin view over the pipeline's
+/// `check.*` spans: each duration is what the corresponding
+/// [`SpanGuard`] measured, so the same numbers land in the
+/// `ppchecker-obs` histograms whenever metrics are enabled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimings {
     /// Policy-analysis stage (HTML → [`PolicyAnalysis`]). Zero when a
@@ -82,6 +89,144 @@ impl StageTimings {
         self.description += other.description;
         self.static_analysis += other.static_analysis;
         self.matching += other.matching;
+    }
+}
+
+/// The policy-analysis source a [`CheckRequest`] can plug in (batch
+/// runtimes pass their content-addressed cache here).
+type PolicyProvider<'a> = Box<dyn FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis> + 'a>;
+
+/// A built-up request for one [`PPChecker::check`] call.
+///
+/// `check` accepts anything convertible into a request, so the plain
+/// form stays a one-liner — `checker.check(&app)` — while extras chain
+/// off the builder:
+///
+/// ```no_run
+/// # use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+/// # use std::sync::Arc;
+/// # fn demo(checker: &PPChecker, app: &AppInput) -> Result<(), ppchecker_core::Error> {
+/// let outcome = checker.check(
+///     CheckRequest::for_app(app)
+///         .with_policy_provider(|analyzer, html| Arc::new(analyzer.analyze_html(html)))
+///         .capture_timings(),
+/// )?;
+/// println!("{} in {:?}", outcome.report.package, outcome.timings.unwrap().total());
+/// # Ok(())
+/// # }
+/// ```
+pub struct CheckRequest<'a> {
+    app: &'a AppInput,
+    provide_policy: Option<PolicyProvider<'a>>,
+    capture_timings: bool,
+    capture_trace: bool,
+}
+
+impl<'a> CheckRequest<'a> {
+    /// A plain request: default policy analysis, no captures.
+    pub fn for_app(app: &'a AppInput) -> Self {
+        CheckRequest { app, provide_policy: None, capture_timings: false, capture_trace: false }
+    }
+
+    /// Plugs in a policy-analysis source. Batch runtimes pass a
+    /// content-addressed cache so duplicate policy texts (and the fixed
+    /// set of third-party lib policies) are parsed once per run; the
+    /// default calls [`PolicyAnalyzer::analyze_html`].
+    pub fn with_policy_provider<F>(mut self, provide_policy: F) -> Self
+    where
+        F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis> + 'a,
+    {
+        self.provide_policy = Some(Box::new(provide_policy));
+        self
+    }
+
+    /// Asks for per-stage wall time in [`CheckOutcome::timings`]. A
+    /// cached policy analysis shows up as a near-zero `policy` stage.
+    pub fn capture_timings(mut self) -> Self {
+        self.capture_timings = true;
+        self
+    }
+
+    /// Asks for the executed stage spans (name + duration, in execution
+    /// order) in [`CheckOutcome::trace`].
+    pub fn capture_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// The app under check.
+    pub fn app(&self) -> &AppInput {
+        self.app
+    }
+}
+
+impl<'a> From<&'a AppInput> for CheckRequest<'a> {
+    fn from(app: &'a AppInput) -> Self {
+        CheckRequest::for_app(app)
+    }
+}
+
+impl fmt::Debug for CheckRequest<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckRequest")
+            .field("app", &self.app.package)
+            .field("custom_policy_provider", &self.provide_policy.is_some())
+            .field("capture_timings", &self.capture_timings)
+            .field("capture_trace", &self.capture_trace)
+            .finish()
+    }
+}
+
+/// One executed pipeline stage: its span name and wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpan {
+    /// The obs span name (`check.policy`, `check.description`,
+    /// `check.static`, `check.matching`).
+    pub name: &'static str,
+    /// Wall time the stage took.
+    pub duration: Duration,
+}
+
+/// What one [`PPChecker::check`] call produced.
+///
+/// Dereferences to the [`Report`], so existing call sites keep reading
+/// `outcome.is_incomplete()`, `outcome.missed`, `format!("{outcome}")`,
+/// or passing `&outcome` where a `&Report` is expected.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The problem report (Algorithms 1–5).
+    pub report: Report,
+    /// Per-stage wall time, when the request
+    /// [asked for it](CheckRequest::capture_timings).
+    pub timings: Option<StageTimings>,
+    /// Executed stage spans in order, when the request
+    /// [asked for them](CheckRequest::capture_trace).
+    pub trace: Option<Vec<StageSpan>>,
+}
+
+impl CheckOutcome {
+    /// Consumes the outcome, keeping only the report.
+    pub fn into_report(self) -> Report {
+        self.report
+    }
+
+    /// The problem report.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+}
+
+impl Deref for CheckOutcome {
+    type Target = Report;
+
+    fn deref(&self) -> &Report {
+        &self.report
+    }
+}
+
+impl fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.report.fmt(f)
     }
 }
 
@@ -122,7 +267,7 @@ impl StageTimings {
 /// };
 /// let report = PPChecker::new().check(&app)?;
 /// assert!(report.is_incomplete()); // location is collected but never mentioned
-/// # Ok::<(), ppchecker_core::CheckError>(())
+/// # Ok::<(), ppchecker_core::Error>(())
 /// ```
 #[derive(Debug)]
 pub struct PPChecker {
@@ -204,36 +349,53 @@ impl PPChecker {
 
     /// Runs the complete PPChecker pipeline on one app.
     ///
+    /// Accepts anything convertible into a [`CheckRequest`]: pass
+    /// `&app` for the plain pipeline, or build a request to plug in a
+    /// policy provider and capture timings or the stage trace.
+    ///
     /// # Errors
     ///
-    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
-    pub fn check(&self, app: &AppInput) -> Result<Report, CheckError> {
-        self.check_timed(app).map(|(report, _)| report)
+    /// Returns [`Error::Check`] (wrapping [`CheckError::Dex`]) when a
+    /// packed dex cannot be recovered.
+    pub fn check<'a>(&self, request: impl Into<CheckRequest<'a>>) -> Result<CheckOutcome, Error> {
+        let request = request.into();
+        let (report, timings) = self.run_pipeline(request.app, request.provide_policy)?;
+        Ok(CheckOutcome {
+            report,
+            timings: request.capture_timings.then_some(timings),
+            trace: request.capture_trace.then(|| {
+                vec![
+                    StageSpan { name: "check.policy", duration: timings.policy },
+                    StageSpan { name: "check.description", duration: timings.description },
+                    StageSpan { name: "check.static", duration: timings.static_analysis },
+                    StageSpan { name: "check.matching", duration: timings.matching },
+                ]
+            }),
+        })
     }
 
-    /// Like [`check`](Self::check), also reporting per-stage wall time.
+    /// Like `check(&app)`, also reporting per-stage wall time.
     ///
     /// # Errors
     ///
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `check(CheckRequest::for_app(&app).capture_timings())`"
+    )]
     pub fn check_timed(&self, app: &AppInput) -> Result<(Report, StageTimings), CheckError> {
-        self.check_with_policy_provider(app, |analyzer, html| Arc::new(analyzer.analyze_html(html)))
+        self.run_pipeline(app, None)
     }
 
     /// The instrumented pipeline with a pluggable policy-analysis source.
     ///
-    /// `provide_policy` maps the app's policy HTML to its analysis; batch
-    /// runtimes pass a content-addressed cache here so duplicate policy
-    /// texts (and the fixed set of third-party lib policies) are parsed
-    /// once per run instead of once per app. The default provider simply
-    /// calls [`PolicyAnalyzer::analyze_html`].
-    ///
-    /// The returned [`StageTimings`] measure this call only; a cached
-    /// policy analysis shows up as a near-zero `policy` stage.
-    ///
     /// # Errors
     ///
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `check(CheckRequest::for_app(&app).with_policy_provider(f).capture_timings())`"
+    )]
     pub fn check_with_policy_provider<F>(
         &self,
         app: &AppInput,
@@ -242,23 +404,39 @@ impl PPChecker {
     where
         F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis>,
     {
+        self.run_pipeline(app, Some(Box::new(provide_policy)))
+    }
+
+    /// The pipeline proper. Each stage runs under an always-timed obs
+    /// span (`check.*`): the measured duration both populates
+    /// [`StageTimings`] and — when `ppchecker_obs::set_enabled(true)` —
+    /// lands in the registry histogram of the same name, with `B`/`E`
+    /// trace events when tracing is on.
+    fn run_pipeline(
+        &self,
+        app: &AppInput,
+        provide_policy: Option<PolicyProvider<'_>>,
+    ) -> Result<(Report, StageTimings), CheckError> {
         let mut timings = StageTimings::default();
 
-        let t = Instant::now();
-        let policy = provide_policy(&self.analyzer, &app.policy_html);
-        timings.policy = t.elapsed();
+        let span = SpanGuard::timed("check.policy");
+        let policy = match provide_policy {
+            Some(provide) => provide(&self.analyzer, &app.policy_html),
+            None => Arc::new(self.analyzer.analyze_html(&app.policy_html)),
+        };
+        timings.policy = span.finish();
 
-        let t = Instant::now();
+        let span = SpanGuard::timed("check.description");
         let desc = analyze_description_with(&app.description, self.matcher.esa());
-        timings.description = t.elapsed();
+        timings.description = span.finish();
 
-        let t = Instant::now();
+        let span = SpanGuard::timed("check.static");
         let code = analyze_with_cache(&app.apk, self.static_options, self.taint_cache.as_deref())?;
-        timings.static_analysis = t.elapsed();
+        timings.static_analysis = span.finish();
 
-        let t = Instant::now();
+        let span = SpanGuard::timed("check.matching");
         let report = self.identify_problems(app, &policy, &desc, &code);
-        timings.matching = t.elapsed();
+        timings.matching = span.finish();
 
         Ok((report, timings))
     }
@@ -390,9 +568,11 @@ mod tests {
         assert_send_sync::<PPChecker>();
         assert_send_sync::<AppInput>();
         assert_send_sync::<StageTimings>();
+        assert_send_sync::<CheckOutcome>();
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the shim against the new entry point
     fn timed_check_matches_untimed() {
         let app = weather_app("We collect your email address.");
         let checker = PPChecker::new();
@@ -403,6 +583,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the shim against the new entry point
     fn policy_provider_result_is_used_verbatim() {
         let app = weather_app("We collect your email address.");
         let checker = PPChecker::new();
@@ -417,5 +598,61 @@ mod tests {
             .unwrap();
         assert!(called);
         assert!(report.is_incomplete());
+    }
+
+    #[test]
+    fn plain_request_captures_nothing() {
+        let app = weather_app("We collect your email address.");
+        let outcome = PPChecker::new().check(&app).unwrap();
+        assert!(outcome.timings.is_none());
+        assert!(outcome.trace.is_none());
+        // Deref keeps the old read patterns working.
+        assert!(outcome.is_incomplete());
+        assert_eq!(format!("{outcome}"), format!("{}", outcome.report));
+    }
+
+    #[test]
+    fn request_builder_captures_timings_and_trace() {
+        let app = weather_app("We collect your email address.");
+        let checker = PPChecker::new();
+        let cached = Arc::new(checker.analyzer().analyze_html(&app.policy_html));
+        let outcome = checker
+            .check(
+                CheckRequest::for_app(&app)
+                    .with_policy_provider(|_, _| Arc::clone(&cached))
+                    .capture_timings()
+                    .capture_trace(),
+            )
+            .unwrap();
+        let timings = outcome.timings.expect("timings requested");
+        let trace = outcome.trace.as_deref().expect("trace requested");
+        assert_eq!(
+            trace.iter().map(|s| s.name).collect::<Vec<_>>(),
+            ["check.policy", "check.description", "check.static", "check.matching"],
+        );
+        assert_eq!(trace.iter().map(|s| s.duration).sum::<Duration>(), timings.total());
+        assert!(outcome.is_incomplete());
+    }
+
+    #[test]
+    fn builder_outcome_matches_plain_check() {
+        let app = weather_app("We will not collect your location information.");
+        let checker = PPChecker::new();
+        let plain = checker.check(&app).unwrap();
+        let built = checker.check(CheckRequest::for_app(&app).capture_timings()).unwrap();
+        assert_eq!(format!("{plain}"), format!("{built}"));
+        assert_eq!(plain.report.incorrect.len(), built.report.incorrect.len());
+    }
+
+    #[test]
+    fn check_error_converts_into_unified_error() {
+        let mut app = weather_app("We collect your email address.");
+        app.apk = ppchecker_apk::Apk::from_packed_blob(
+            app.apk.manifest.clone(),
+            b"PKDX\x01not a payload".to_vec(),
+        );
+        let err = PPChecker::new().check(&app).unwrap_err();
+        assert_eq!(err.stage(), crate::error::Stage::StaticAnalysis);
+        assert!(err.to_string().contains("static analysis failed"), "{err}");
     }
 }

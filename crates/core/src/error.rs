@@ -1,0 +1,143 @@
+//! The workspace-wide error type returned by the unified check entry
+//! point ([`crate::PPChecker::check`]) and carried per-app through the
+//! batch engine, with a [`stage()`](Error::stage) accessor naming the
+//! pipeline stage that failed.
+
+use crate::checker::CheckError;
+use ppchecker_apk::ParseDexError;
+use std::fmt;
+
+/// The pipeline stage an [`Error`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Loading or constructing the app's inputs (corpus I/O, manifest
+    /// parsing) — before the pipeline proper.
+    Input,
+    /// Policy analysis (HTML → `PolicyAnalysis`).
+    Policy,
+    /// Description analysis.
+    Description,
+    /// Static analysis (unpack + APG + taint).
+    StaticAnalysis,
+    /// Matching + Algorithms 1–5.
+    Matching,
+    /// The batch runtime itself (worker panic, scheduling).
+    Batch,
+}
+
+impl Stage {
+    /// Stable lowercase name, matching the span names in traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Input => "input",
+            Stage::Policy => "policy",
+            Stage::Description => "description",
+            Stage::StaticAnalysis => "static",
+            Stage::Matching => "matching",
+            Stage::Batch => "batch",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Any failure the pipeline or batch runtime can report for one app.
+///
+/// One type flows from the unified [`crate::PPChecker::check`] entry
+/// point through the engine's per-app records to the CLI, so callers
+/// match on structure (and [`stage()`](Error::stage)) instead of
+/// scraping strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The pipeline itself failed (today: dex recovery).
+    Check(CheckError),
+    /// The app's inputs could not be loaded or were malformed.
+    Input(String),
+    /// A batch worker died while processing the app (panic payload).
+    Worker(String),
+}
+
+impl Error {
+    /// An input-loading failure.
+    pub fn input(message: impl Into<String>) -> Self {
+        Error::Input(message.into())
+    }
+
+    /// A batch-worker failure.
+    pub fn worker(message: impl Into<String>) -> Self {
+        Error::Worker(message.into())
+    }
+
+    /// The stage this error came from.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Error::Check(CheckError::Dex(_)) => Stage::StaticAnalysis,
+            Error::Input(_) => Stage::Input,
+            Error::Worker(_) => Stage::Batch,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Check(e) => write!(f, "{e}"),
+            Error::Input(m) => write!(f, "input error: {m}"),
+            Error::Worker(m) => write!(f, "worker failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Check(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckError> for Error {
+    fn from(e: CheckError) -> Self {
+        Error::Check(e)
+    }
+}
+
+impl From<ParseDexError> for Error {
+    fn from(e: ParseDexError) -> Self {
+        Error::Check(CheckError::Dex(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_have_stable_names() {
+        assert_eq!(Stage::StaticAnalysis.as_str(), "static");
+        assert_eq!(Stage::Batch.to_string(), "batch");
+    }
+
+    #[test]
+    fn check_error_display_is_preserved() {
+        let dex = ParseDexError { line: 3, message: "truncated payload".to_string() };
+        let check = CheckError::from(dex.clone());
+        let unified = Error::from(dex);
+        assert_eq!(unified.to_string(), check.to_string());
+        assert!(unified.to_string().contains("static analysis failed"));
+        assert_eq!(unified.stage(), Stage::StaticAnalysis);
+    }
+
+    #[test]
+    fn input_and_worker_errors_carry_their_stage() {
+        assert_eq!(Error::input("missing policy.html").stage(), Stage::Input);
+        assert_eq!(Error::worker("panicked").stage(), Stage::Batch);
+        assert!(Error::input("x").to_string().contains("input error"));
+        assert!(Error::worker("x").to_string().contains("worker failure"));
+    }
+}

@@ -19,6 +19,7 @@
 //! See [`PPChecker`] for the end-to-end entry point.
 
 pub mod checker;
+pub mod error;
 pub mod incomplete;
 pub mod inconsistent;
 pub mod incorrect;
@@ -26,7 +27,10 @@ pub mod matcher;
 pub mod problems;
 pub mod suggest;
 
-pub use checker::{AppInput, CheckError, PPChecker, StageTimings};
+pub use checker::{
+    AppInput, CheckError, CheckOutcome, CheckRequest, PPChecker, StageSpan, StageTimings,
+};
+pub use error::{Error, Stage};
 pub use matcher::Matcher;
 pub use problems::{Channel, Inconsistency, IncorrectFinding, MissedInfo, Report};
 pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};

@@ -106,6 +106,7 @@ fn profile_vectors(
 /// profile; a similarity at or above [`ppchecker_esa::SIMILARITY_THRESHOLD`]
 /// infers the permission.
 pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAnalysis {
+    let _span = ppchecker_obs::span!("desc.analyze");
     let mut out = DescriptionAnalysis::default();
     // Resolve each profile's interpretation vector once per description
     // (not once per noun phrase), then compare phrase vectors against them

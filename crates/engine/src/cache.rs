@@ -65,6 +65,7 @@ impl ArtifactCache {
     /// Returns the analysis of `html`, computing it with `analyzer` on
     /// first sight of the text.
     pub fn policy(&self, analyzer: &PolicyAnalyzer, html: &str) -> Arc<PolicyAnalysis> {
+        let _span = ppchecker_obs::span!("engine.cache_probe");
         let key = intern(html);
         if let Some(hit) = self.policies.read().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);

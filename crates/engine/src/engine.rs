@@ -30,9 +30,9 @@
 //! `jobs=16` runs emit byte-identical record sequences and aggregates.
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::metrics::MetricsSummary;
+use crate::metrics::{MetricsSummary, StageStats};
 use crate::report::{AppOutcome, AppRecord, BatchReport};
-use ppchecker_core::{AppInput, PPChecker, StageTimings};
+use ppchecker_core::{AppInput, CheckRequest, Error, PPChecker, StageTimings};
 use ppchecker_esa::Interpreter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -136,6 +136,7 @@ impl Engine {
         I: IntoIterator<Item = AppInput>,
     {
         let started = Instant::now();
+        let obs_before = ppchecker_obs::snapshot();
         let policy_before = self.cache.stats();
         let taint_before = self.cache.taint_summary_stats();
         let esa = Interpreter::shared();
@@ -163,6 +164,7 @@ impl Engine {
         let taint_after = self.cache.taint_summary_stats();
         let (esa_hits_after, esa_misses_after) = esa.vector_cache_stats();
         let (pair_hits_after, pair_misses_after) = esa.pair_memo_stats();
+        let stage_quantiles = stage_quantiles_since(&obs_before);
         let metrics = MetricsSummary {
             jobs,
             apps: records.len(),
@@ -170,6 +172,7 @@ impl Engine {
             lib_policies: self.lib_policies,
             wall_time: started.elapsed(),
             stage_totals,
+            stage_quantiles,
             policy_cache: CacheStats {
                 hits: policy_after.hits - policy_before.hits,
                 misses: policy_after.misses - policy_before.misses,
@@ -217,7 +220,9 @@ impl Engine {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || loop {
                     // Hold the receiver lock only for the dequeue itself.
+                    let wait = ppchecker_obs::span!("engine.queue_wait");
                     let job = job_rx.lock().expect("job queue lock").recv();
+                    drop(wait);
                     match job {
                         Ok((index, app)) => {
                             if result_tx.send(self.process_one(index, app)).is_err() {
@@ -249,28 +254,57 @@ impl Engine {
     fn process_one(&self, index: usize, app: AppInput) -> (AppRecord, StageTimings) {
         let package = app.package.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.checker.check_with_policy_provider(&app, |analyzer, html| {
-                self.cache.policy(analyzer, html)
-            })
+            let _span = ppchecker_obs::span!("app.check", app.package);
+            self.checker.check(
+                CheckRequest::for_app(&app)
+                    .with_policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
+                    .capture_timings(),
+            )
         }));
         match outcome {
-            Ok(Ok((report, timings))) => {
-                (AppRecord { index, package, outcome: AppOutcome::Report(report) }, timings)
+            Ok(Ok(checked)) => {
+                let timings = checked.timings.unwrap_or_default();
+                let record = AppRecord {
+                    index,
+                    package,
+                    outcome: AppOutcome::Report(checked.into_report()),
+                };
+                (record, timings)
             }
-            Ok(Err(check_error)) => (
-                AppRecord { index, package, outcome: AppOutcome::Error(check_error.to_string()) },
+            Ok(Err(error)) => (
+                AppRecord { index, package, outcome: AppOutcome::Error(error) },
                 StageTimings::default(),
             ),
             Err(panic) => (
                 AppRecord {
                     index,
                     package,
-                    outcome: AppOutcome::Error(format!("worker panic: {}", panic_message(&panic))),
+                    outcome: AppOutcome::Error(Error::worker(panic_message(&panic))),
                 },
                 StageTimings::default(),
             ),
         }
     }
+}
+
+/// The per-span distribution deltas since `before`, for every span that
+/// recorded during the run. Histograms are striped across threads;
+/// `snapshot()` merges the stripes, so a name's delta aggregates every
+/// worker shard (stripe merging is commutative and associative — worker
+/// assignment cannot change the result).
+fn stage_quantiles_since(
+    before: &[(&'static str, ppchecker_obs::HistogramSnapshot)],
+) -> Vec<StageStats> {
+    let earlier: std::collections::HashMap<&'static str, &ppchecker_obs::HistogramSnapshot> =
+        before.iter().map(|(name, snap)| (*name, snap)).collect();
+    let empty = ppchecker_obs::HistogramSnapshot::default();
+    ppchecker_obs::snapshot()
+        .into_iter()
+        .filter_map(|(name, after)| {
+            let delta = after.delta_since(earlier.get(name).copied().unwrap_or(&empty));
+            (delta.count > 0).then(|| StageStats::from_snapshot(name, &delta))
+        })
+        .collect()
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
@@ -365,7 +399,9 @@ mod tests {
         let batch = Engine::new(PPChecker::new()).with_jobs(2).run(inputs);
         assert_eq!(batch.records.len(), 7);
         assert_eq!(batch.metrics.errors, 1);
-        assert!(batch.records[3].error().unwrap().contains("static analysis failed"));
+        let error = batch.records[3].error().unwrap();
+        assert_eq!(error.stage(), ppchecker_core::Stage::StaticAnalysis);
+        assert!(error.to_string().contains("static analysis failed"));
         assert!(batch.records.iter().filter(|r| r.report().is_some()).count() == 6);
     }
 

@@ -8,8 +8,45 @@
 use crate::cache::CacheStats;
 use ppchecker_core::StageTimings;
 use ppchecker_nlp::InternerStats;
+use ppchecker_obs::HistogramSnapshot;
 use std::fmt;
 use std::time::Duration;
+
+/// Distribution of one span's durations over a batch run, read off the
+/// obs histogram delta (quantiles are log2-bucket upper bounds clamped
+/// to the observed max — see `ppchecker-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// The span name (`check.policy`, `nlp.depparse`, …).
+    pub name: &'static str,
+    /// Spans recorded during the run.
+    pub count: u64,
+    /// Median duration.
+    pub p50: Duration,
+    /// 90th-percentile duration.
+    pub p90: Duration,
+    /// 99th-percentile duration.
+    pub p99: Duration,
+    /// Longest single span.
+    pub max: Duration,
+    /// Sum across all spans.
+    pub total: Duration,
+}
+
+impl StageStats {
+    /// Reads the quantities off a histogram delta.
+    pub fn from_snapshot(name: &'static str, snap: &HistogramSnapshot) -> Self {
+        StageStats {
+            name,
+            count: snap.count,
+            p50: snap.p50(),
+            p90: snap.p90(),
+            p99: snap.p99(),
+            max: snap.max_duration(),
+            total: snap.total(),
+        }
+    }
+}
 
 /// Everything a batch run reports about itself.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +65,10 @@ pub struct MetricsSummary {
     /// Sum of per-stage wall time across all workers. With `jobs > 1`
     /// this exceeds `wall_time`; the ratio is the effective parallelism.
     pub stage_totals: StageTimings,
+    /// Per-span duration distributions (p50/p90/p99/max), read off the
+    /// obs histogram deltas over the run and merged across worker
+    /// shards. Empty when `ppchecker_obs` metrics were disabled.
+    pub stage_quantiles: Vec<StageStats>,
     /// Policy artifact cache counters (app policies only; lib policies
     /// enter the cache during construction).
     pub policy_cache: CacheStats,
@@ -90,6 +131,25 @@ impl fmt::Display for MetricsSummary {
             self.stage_totals.static_analysis,
             self.stage_totals.matching,
         )?;
+        if !self.stage_quantiles.is_empty() {
+            writeln!(
+                f,
+                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                "span", "count", "p50", "p90", "p99", "max"
+            )?;
+            for s in &self.stage_quantiles {
+                writeln!(
+                    f,
+                    "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                    s.name,
+                    s.count,
+                    format!("{:.1?}", s.p50),
+                    format!("{:.1?}", s.p90),
+                    format!("{:.1?}", s.p99),
+                    format!("{:.1?}", s.max),
+                )?;
+            }
+        }
         writeln!(
             f,
             "policy cache: {} hits / {} misses ({:.1}% hit rate, {} entries); lib policies analyzed: {}",
@@ -170,5 +230,27 @@ mod tests {
         assert!(text.contains("pair memo"));
         assert!(text.contains("pruned"));
         assert!(text.contains("taint summaries"));
+        // No quantile table without recorded spans.
+        assert!(!text.contains("p99"));
+    }
+
+    #[test]
+    fn display_renders_the_quantile_table_when_present() {
+        let hist = ppchecker_obs::histogram("metrics.test.stage");
+        hist.record(Duration::from_micros(100));
+        hist.record(Duration::from_micros(900));
+        let snap = hist.snapshot();
+        let m = MetricsSummary {
+            stage_quantiles: vec![StageStats::from_snapshot("metrics.test.stage", &snap)],
+            ..MetricsSummary::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("p50"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("metrics.test.stage"));
+        let row = m.stage_quantiles[0];
+        assert_eq!(row.count, 2);
+        assert!(row.p50 <= row.p99);
+        assert!(row.p99 <= row.max.max(row.p99));
     }
 }

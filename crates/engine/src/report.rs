@@ -2,7 +2,7 @@
 //! aggregation.
 
 use crate::metrics::MetricsSummary;
-use ppchecker_core::Report;
+use ppchecker_core::{Error, Report};
 use std::fmt;
 
 /// What one app produced: a full report, or an error record. A poisoned
@@ -12,8 +12,9 @@ use std::fmt;
 pub enum AppOutcome {
     /// The pipeline completed.
     Report(Report),
-    /// The pipeline failed; the message describes why.
-    Error(String),
+    /// The pipeline failed; the structured error says where and why
+    /// (`error.stage()` names the failing stage).
+    Error(Error),
 }
 
 /// One app's result, tagged with its submission index.
@@ -36,8 +37,8 @@ impl AppRecord {
         }
     }
 
-    /// The error message, if the app failed.
-    pub fn error(&self) -> Option<&str> {
+    /// The structured error, if the app failed.
+    pub fn error(&self) -> Option<&Error> {
         match &self.outcome {
             AppOutcome::Report(_) => None,
             AppOutcome::Error(e) => Some(e),
@@ -149,7 +150,7 @@ mod tests {
         let batch = BatchReport {
             records: vec![
                 record(0, AppOutcome::Report(ok)),
-                record(1, AppOutcome::Error("bad dex".into())),
+                record(1, AppOutcome::Error(Error::input("bad dex"))),
             ],
             metrics: MetricsSummary::default(),
         };
@@ -161,8 +162,10 @@ mod tests {
 
     #[test]
     fn accessors_distinguish_outcomes() {
-        let r = record(0, AppOutcome::Error("boom".into()));
+        let r = record(0, AppOutcome::Error(Error::worker("boom")));
         assert!(r.report().is_none());
-        assert_eq!(r.error(), Some("boom"));
+        let err = r.error().unwrap();
+        assert_eq!(err.stage(), ppchecker_core::Stage::Batch);
+        assert!(err.to_string().contains("boom"));
     }
 }

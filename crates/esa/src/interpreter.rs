@@ -8,7 +8,7 @@
 
 use crate::kb::{concepts, Concept};
 use crate::kernel::{self, CsrIndex, SparseVector};
-use ppchecker_nlp::intern::{Interner, Symbol};
+use ppchecker_nlp::intern::{intern, Symbol};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +70,24 @@ impl std::hash::Hasher for SymHasher {
 
 type SymBuild = std::hash::BuildHasherDefault<SymHasher>;
 
+/// The crate's obs counters, resolved from the registry once. Hot paths
+/// consult [`ppchecker_obs::enabled`] (one relaxed load) before touching
+/// them, so disabled runs pay nothing beyond that branch.
+struct ObsCounters {
+    memo_hits: &'static ppchecker_obs::Counter,
+    memo_misses: &'static ppchecker_obs::Counter,
+    kernel_dots: &'static ppchecker_obs::Counter,
+}
+
+fn obs_counters() -> &'static ObsCounters {
+    static COUNTERS: OnceLock<ObsCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| ObsCounters {
+        memo_hits: ppchecker_obs::counter("esa.pair_memo.hits"),
+        memo_misses: ppchecker_obs::counter("esa.pair_memo.misses"),
+        kernel_dots: ppchecker_obs::counter("esa.kernel.dots"),
+    })
+}
+
 type VectorShard = RwLock<HashMap<Symbol, Arc<SparseVector>, SymBuild>>;
 type PairShard = RwLock<HashMap<(Symbol, Symbol), bool, SymBuild>>;
 
@@ -108,6 +126,12 @@ impl PairMemo {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        if ppchecker_obs::enabled() {
+            match found {
+                Some(_) => obs_counters().memo_hits.inc(),
+                None => obs_counters().memo_misses.inc(),
+            }
+        }
         found
     }
 
@@ -148,15 +172,11 @@ pub struct Interpreter {
     /// massively across a corpus, so [`similarity`](Self::similarity) is
     /// served from here — one `u32` hash probe under a per-shard lock —
     /// after the first interpretation of each text. Bounded by
-    /// [`VECTOR_CACHE_CAP`]; texts are only interned once the cache admits
-    /// them, so the cap also bounds interner growth from this path.
+    /// [`VECTOR_CACHE_CAP`] through the per-shard cap in
+    /// [`admit`](Self::admit).
     vector_cache: [VectorShard; SHARDS],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-    /// Entry count across all shards, mirrored out of the shard maps so
-    /// the admission pre-check is one relaxed load instead of a scan over
-    /// all shard locks.
-    cache_entries: AtomicU64,
     /// Threshold comparisons answered by the norm bound alone.
     pruned: AtomicU64,
     pair_memo: PairMemo,
@@ -204,7 +224,6 @@ impl Interpreter {
             vector_cache: std::array::from_fn(|_| RwLock::new(HashMap::default())),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            cache_entries: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
             pair_memo: PairMemo::default(),
         }
@@ -259,30 +278,15 @@ impl Interpreter {
         ((sym.id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize
     }
 
-    /// The memoized interpretation of `text`. Probes the interner without
-    /// interning first: a text that was never interned cannot be cached yet.
-    fn cached_vector(&self, text: &str) -> Arc<SparseVector> {
-        if let Some(sym) = Interner::global().get(text) {
-            return self.cached_vector_sym(sym);
-        }
-        let entry = Arc::new(self.interpret_sparse(text));
-        if self.cache_entries.load(Ordering::Relaxed) as usize >= VECTOR_CACHE_CAP {
-            // Intern only when the cache can admit the text, so a full
-            // cache never grows the interner.
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            return entry;
-        }
-        let sym = Interner::global().intern(text);
-        self.admit(sym, entry)
-    }
-
-    /// Symbol-keyed variant of [`cached_vector`](Self::cached_vector).
+    /// The memoized interpretation of `sym`. Every text-keyed entry point
+    /// interns and lands here, so one symbol-keyed cache serves both.
     fn cached_vector_sym(&self, sym: Symbol) -> Arc<SparseVector> {
         let shard = &self.vector_cache[Self::shard_of(sym)];
         if let Some(hit) = shard.read().expect("esa cache lock").get(&sym) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        let _span = ppchecker_obs::span!("esa.vector_build");
         let entry = Arc::new(self.interpret_sparse(sym.as_str()));
         self.admit(sym, entry)
     }
@@ -310,7 +314,6 @@ impl Interpreter {
             Entry::Vacant(slot) => {
                 slot.insert(Arc::clone(&entry));
                 drop(map);
-                self.cache_entries.fetch_add(1, Ordering::Relaxed);
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
                 entry
             }
@@ -347,11 +350,12 @@ impl Interpreter {
     ///
     /// Returns `0.0` when either text has no known terms.
     ///
-    /// Interpretation vectors are memoized per text (see
-    /// [`vector_cache_stats`](Self::vector_cache_stats)); the memo is a
-    /// pure-function cache, so results are identical with or without it.
+    /// A thin wrapper over [`similarity_sym`](Self::similarity_sym): the
+    /// texts are interned and the symbol path does the work, so both
+    /// entry points share one memo. The memo is a pure-function cache —
+    /// results are identical with or without it.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
-        kernel::cosine(&self.cached_vector(a), &self.cached_vector(b))
+        self.similarity_sym(intern(a), intern(b))
     }
 
     /// Symbol-keyed similarity: both interpretation vectors are looked up
@@ -367,7 +371,7 @@ impl Interpreter {
     /// combine them with [`similarity_above`](Self::similarity_above) or
     /// [`kernel::cosine`], instead of paying a cache probe per pair.
     pub fn vector_of(&self, text: &str) -> Arc<SparseVector> {
-        self.cached_vector(text)
+        self.cached_vector_sym(intern(text))
     }
 
     /// Symbol-keyed [`vector_of`](Self::vector_of).
@@ -391,6 +395,9 @@ impl Interpreter {
             self.pruned.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        if ppchecker_obs::enabled() {
+            obs_counters().kernel_dots.inc();
+        }
         let cos = kernel::cosine(a, b);
         (cos >= threshold).then_some(cos)
     }
@@ -405,14 +412,17 @@ impl Interpreter {
 
     /// Decides the paper's "matching" predicate: whether two pieces of
     /// information refer to the same thing (similarity ≥ threshold).
+    ///
+    /// A thin wrapper over [`same_thing_sym`](Self::same_thing_sym), so
+    /// text-keyed and symbol-keyed callers share the pair-verdict memo.
     pub fn same_thing(&self, a: &str, b: &str) -> bool {
-        self.same_thing_at(a, b, SIMILARITY_THRESHOLD)
+        self.same_thing_sym(intern(a), intern(b))
     }
 
     /// [`same_thing`](Self::same_thing) at a caller-chosen threshold
     /// (norm-bound pruned, verdict-exact for any threshold).
     pub fn same_thing_at(&self, a: &str, b: &str, threshold: f64) -> bool {
-        self.decide(&self.cached_vector(a), &self.cached_vector(b), threshold)
+        self.same_thing_sym_at(intern(a), intern(b), threshold)
     }
 
     /// Symbol-keyed [`same_thing`](Self::same_thing); verdicts at the

@@ -229,6 +229,7 @@ pub fn parse(sentence: &str) -> Parse {
 
 /// Parses already-tagged tokens.
 pub fn parse_tokens(tokens: Vec<Token>) -> Parse {
+    let _span = ppchecker_obs::span!("nlp.depparse");
     let chunks = chunk_nps(&tokens);
     let groups = find_verb_groups(&tokens);
     let sub_spans = subordinate_spans(&tokens);

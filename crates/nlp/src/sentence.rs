@@ -33,6 +33,7 @@ const ABBREVIATIONS: &[&str] = &[
 /// assert!(sents[1].contains("device id"));
 /// ```
 pub fn split_sentences(text: &str) -> Vec<String> {
+    let _span = ppchecker_obs::span!("nlp.split");
     let naive = naive_split(text);
     repair_enumerations(naive)
 }

@@ -22,6 +22,7 @@ use crate::token::{Tag, Token};
 /// assert_eq!(toks[4].tag, Tag::Noun);
 /// ```
 pub fn tag(tokens: &mut [Token]) {
+    let _span = ppchecker_obs::span!("nlp.tag");
     let lex = Lexicon::shared();
     for tok in tokens.iter_mut() {
         tok.tag = initial_tag(lex, tok);

@@ -206,6 +206,7 @@ impl fmt::Display for Token {
 /// assert_eq!(words, ["We", "do", "n't", "sell", "your", "e-mail", "address", "."]);
 /// ```
 pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let _span = ppchecker_obs::span!("nlp.tokenize");
     let mut tokens = Vec::new();
     // (byte offset, char) pairs — all slicing below happens on char
     // boundaries.

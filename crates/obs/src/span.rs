@@ -1,0 +1,198 @@
+//! Span-scoped timing: RAII guards over a thread-local span stack.
+//!
+//! [`SpanGuard::enter`] is the gated fast path — when both toggles are
+//! off it costs two relaxed loads and a branch (no clock read, no
+//! thread-local touch). Active guards push their name onto the thread's
+//! span stack (giving the trace its hierarchy), read the clock once on
+//! entry and once on drop, record the duration into the registry
+//! histogram of the same name, and — when tracing — emit balanced
+//! `B`/`E` events into the thread's trace sink.
+//!
+//! [`SpanGuard::timed`] is the ungated variant for measurements the
+//! caller needs regardless of the toggles (e.g. `StageTimings`, which is
+//! a view over these spans): it always times, and reports to the
+//! histogram/trace only when the toggles say so.
+
+use crate::hist::Histogram;
+use crate::trace;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A small stable id for the current thread (1-based, assigned on first
+/// use). Doubles as the trace `tid` and the histogram stripe selector.
+pub fn thread_tid() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            static NEXT: AtomicU64 = AtomicU64::new(1);
+            id = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// Current span nesting depth on this thread.
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// The current span stack on this thread, outermost first.
+pub fn stack() -> Vec<&'static str> {
+    STACK.with(|s| s.borrow().clone())
+}
+
+/// An RAII span: times the enclosed scope, then records and (when
+/// tracing) emits on drop. Construct through [`crate::span!`],
+/// [`SpanGuard::enter`], or [`SpanGuard::timed`].
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; bind it to a `_guard`"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    hist: Option<&'static Histogram>,
+    traced: bool,
+}
+
+impl SpanGuard {
+    /// The gated span: inert (no clock read) unless metrics or tracing
+    /// are enabled.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() && !crate::tracing() {
+            return SpanGuard { name, start: None, hist: None, traced: false };
+        }
+        Self::activate(name, None)
+    }
+
+    /// The gated span with a trace argument. `arg` is only invoked when
+    /// tracing is on, so the disabled path never formats it.
+    #[inline]
+    pub fn enter_with(name: &'static str, arg: impl FnOnce() -> String) -> SpanGuard {
+        if !crate::enabled() && !crate::tracing() {
+            return SpanGuard { name, start: None, hist: None, traced: false };
+        }
+        let arg = crate::tracing().then(arg);
+        Self::activate(name, arg)
+    }
+
+    /// An always-timed span: measures even with both toggles off (for
+    /// callers that consume [`finish`](Self::finish)'s duration), but
+    /// records/emits only when the toggles are on.
+    pub fn timed(name: &'static str) -> SpanGuard {
+        Self::activate(name, None)
+    }
+
+    fn activate(name: &'static str, arg: Option<String>) -> SpanGuard {
+        STACK.with(|s| s.borrow_mut().push(name));
+        let traced = crate::tracing();
+        let hist = crate::enabled().then(|| crate::histogram(name));
+        let start = Instant::now();
+        if traced {
+            trace::emit_begin(name, arg);
+        }
+        SpanGuard { name, start: Some(start), hist, traced }
+    }
+
+    /// The span name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Ends the span now, returning its duration (zero for an inert
+    /// guard). Recording happens exactly once whether a span ends by
+    /// `finish` or by drop.
+    pub fn finish(mut self) -> Duration {
+        self.complete()
+    }
+
+    fn complete(&mut self) -> Duration {
+        let Some(start) = self.start.take() else {
+            return Duration::ZERO;
+        };
+        let dur = start.elapsed();
+        if self.traced {
+            trace::emit_end(self.name);
+        }
+        if let Some(h) = self.hist {
+            h.record(dur);
+        }
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            debug_assert_eq!(stack.last().copied(), Some(self.name), "unbalanced span stack");
+            stack.pop();
+        });
+        dur
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.complete();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_reads_no_clock_and_stays_off_the_stack() {
+        let _serial = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        let g = SpanGuard::enter("test.disabled");
+        assert!(g.start.is_none());
+        assert_eq!(depth(), 0);
+        assert_eq!(g.finish(), Duration::ZERO);
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn nested_spans_stack_and_record() {
+        let _serial = crate::test_guard();
+        crate::set_enabled(true);
+        let outer = SpanGuard::enter("test.outer");
+        {
+            let inner = SpanGuard::enter("test.inner");
+            assert_eq!(stack(), vec!["test.outer", "test.inner"]);
+            drop(inner);
+        }
+        assert_eq!(stack(), vec!["test.outer"]);
+        let d = outer.finish();
+        assert_eq!(depth(), 0);
+        assert!(d > Duration::ZERO);
+        assert!(crate::histogram("test.outer").snapshot().count >= 1);
+        assert!(crate::histogram("test.inner").snapshot().count >= 1);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn timed_span_measures_even_when_disabled() {
+        let _serial = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        let before = crate::histogram("test.timed").snapshot().count;
+        let g = SpanGuard::timed("test.timed");
+        std::thread::sleep(Duration::from_millis(1));
+        let d = g.finish();
+        assert!(d >= Duration::from_millis(1));
+        // Disabled: measured but not recorded.
+        assert_eq!(crate::histogram("test.timed").snapshot().count, before);
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let here = thread_tid();
+        assert_eq!(here, thread_tid());
+        let other = std::thread::spawn(thread_tid).join().unwrap();
+        assert_ne!(here, other);
+    }
+}

@@ -1,0 +1,324 @@
+//! Trace-event capture and the Chrome `trace_event` JSON exporter.
+//!
+//! Active spans emit balanced `B`(egin)/`E`(nd) events into a per-thread
+//! sink (an uncontended mutex each thread registers on first use);
+//! [`drain`] collects every sink and stable-sorts by timestamp, which
+//! preserves each thread's own emission order, so per-`tid` nesting in
+//! the output stays balanced. [`to_chrome_json`] renders the drained
+//! events in the format `about:tracing` / Perfetto load directly, and
+//! [`validate`] re-parses such a file and checks it structurally — the
+//! `ppchecker trace-check` subcommand and CI both run it.
+
+use crate::json::{self, Value};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Begin or end of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span opened (`"B"`).
+    Begin,
+    /// Span closed (`"E"`).
+    End,
+}
+
+impl Phase {
+    /// The `ph` field value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+        }
+    }
+}
+
+/// One captured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a stable stage name, e.g. `check.policy`).
+    pub name: &'static str,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Emitting thread (see [`crate::span::thread_tid`]).
+    pub tid: u64,
+    /// Optional display argument (e.g. the app package on `app.check`).
+    pub arg: Option<Box<str>>,
+}
+
+/// The trace epoch: pinned the first time tracing is enabled, so every
+/// event timestamp is relative to one origin.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type Sink = std::sync::Arc<Mutex<Vec<TraceEvent>>>;
+
+fn sinks() -> &'static Mutex<Vec<Sink>> {
+    static SINKS: OnceLock<Mutex<Vec<Sink>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: std::cell::OnceCell<Sink> = const { std::cell::OnceCell::new() };
+}
+
+fn with_local_sink(f: impl FnOnce(&mut Vec<TraceEvent>)) {
+    LOCAL.with(|cell| {
+        let sink = cell.get_or_init(|| {
+            let sink: Sink = std::sync::Arc::new(Mutex::new(Vec::new()));
+            sinks().lock().expect("trace sink registry").push(std::sync::Arc::clone(&sink));
+            sink
+        });
+        f(&mut sink.lock().expect("trace sink"));
+    });
+}
+
+pub(crate) fn emit_begin(name: &'static str, arg: Option<String>) {
+    let ts_us = epoch().elapsed().as_micros() as u64;
+    let tid = crate::span::thread_tid();
+    with_local_sink(|events| {
+        events.push(TraceEvent {
+            name,
+            phase: Phase::Begin,
+            ts_us,
+            tid,
+            arg: arg.map(String::into_boxed_str),
+        });
+    });
+}
+
+pub(crate) fn emit_end(name: &'static str) {
+    let ts_us = epoch().elapsed().as_micros() as u64;
+    let tid = crate::span::thread_tid();
+    with_local_sink(|events| {
+        events.push(TraceEvent { name, phase: Phase::End, ts_us, tid, arg: None });
+    });
+}
+
+/// Removes and returns every captured event, merged across all thread
+/// sinks and stable-sorted by timestamp (each thread's own order — and
+/// therefore per-`tid` begin/end balance — is preserved).
+pub fn drain() -> Vec<TraceEvent> {
+    let sinks = sinks().lock().expect("trace sink registry");
+    let mut all = Vec::new();
+    for sink in sinks.iter() {
+        all.append(&mut sink.lock().expect("trace sink"));
+    }
+    drop(sinks);
+    all.sort_by_key(|e| e.ts_us);
+    all
+}
+
+/// Renders events as a Chrome `trace_event` JSON document, loadable in
+/// `about:tracing` and [Perfetto](https://ui.perfetto.dev).
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"ppchecker\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            json::escape(e.name),
+            e.phase.as_str(),
+            e.ts_us,
+            e.tid,
+        );
+        if let Some(arg) = &e.arg {
+            let _ = write!(out, ",\"args\":{{\"arg\":\"{}\"}}", json::escape(arg));
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// What [`validate`] learned about a trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Completed (balanced `B`/`E`) spans.
+    pub spans: usize,
+    /// Distinct span names, sorted.
+    pub names: BTreeSet<String>,
+    /// Deepest nesting observed on any one thread.
+    pub max_depth: usize,
+    /// Distinct emitting threads.
+    pub threads: usize,
+}
+
+impl std::fmt::Display for TraceCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "trace OK: {} events, {} spans, {} threads, max depth {}",
+            self.events, self.spans, self.threads, self.max_depth
+        )?;
+        write!(f, "stages: ")?;
+        for (i, name) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structurally validates a Chrome `trace_event` JSON document: it must
+/// parse, carry a `traceEvents` array of well-formed `B`/`E` events, and
+/// every thread's begin/end events must balance with matching names.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate(text: &str) -> Result<TraceCheck, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing traceEvents key".to_string())?
+        .as_array()
+        .ok_or_else(|| "traceEvents is not an array".to_string())?;
+
+    let mut check = TraceCheck { events: events.len(), ..TraceCheck::default() };
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let field = |key: &str| -> Result<&Value, String> {
+            event.get(key).ok_or_else(|| format!("event {i}: missing {key}"))
+        };
+        let name =
+            field("name")?.as_str().ok_or_else(|| format!("event {i}: name not a string"))?;
+        let ph = field("ph")?.as_str().ok_or_else(|| format!("event {i}: ph not a string"))?;
+        let ts = field("ts")?.as_f64().ok_or_else(|| format!("event {i}: ts not a number"))?;
+        field("pid")?.as_f64().ok_or_else(|| format!("event {i}: pid not a number"))?;
+        let tid =
+            field("tid")?.as_f64().ok_or_else(|| format!("event {i}: tid not a number"))? as u64;
+        if name.is_empty() {
+            return Err(format!("event {i}: empty span name"));
+        }
+        if ts < 0.0 {
+            return Err(format!("event {i}: negative timestamp"));
+        }
+        check.names.insert(name.to_string());
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                check.max_depth = check.max_depth.max(stack.len());
+            }
+            "E" => {
+                let Some(open) = stack.pop() else {
+                    return Err(format!("event {i}: E \"{name}\" on tid {tid} with no open span"));
+                };
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E \"{name}\" on tid {tid} closes open span \"{open}\""
+                    ));
+                }
+                check.spans += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: {} span(s) never closed: {stack:?}", stack.len()));
+        }
+    }
+    check.threads = stacks.len();
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captured_spans_round_trip_through_chrome_json() {
+        let _serial = crate::test_guard();
+        drain(); // discard events from other tests
+        crate::set_tracing(true);
+        {
+            let _outer = crate::span!("test.trace.outer", "com.example.app");
+            let _inner = crate::span!("test.trace.inner");
+        }
+        crate::set_tracing(false);
+        let events = drain();
+        assert_eq!(events.len(), 4, "two B + two E: {events:?}");
+        let json = to_chrome_json(&events);
+        let check = validate(&json).expect("trace validates");
+        assert_eq!(check.events, 4);
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.max_depth, 2);
+        assert!(check.names.contains("test.trace.outer"));
+        assert!(check.names.contains("test.trace.inner"));
+        assert!(json.contains("\"arg\":\"com.example.app\""), "arg survives: {json}");
+        assert!(drain().is_empty(), "drain empties the sinks");
+    }
+
+    #[test]
+    fn multi_thread_events_keep_per_tid_balance() {
+        let _serial = crate::test_guard();
+        drain();
+        crate::set_tracing(true);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let _g = crate::span!("test.trace.worker");
+                    }
+                });
+            }
+        });
+        crate::set_tracing(false);
+        let events = drain();
+        assert_eq!(events.len(), 80);
+        let check = validate(&to_chrome_json(&events)).expect("balanced across threads");
+        assert_eq!(check.spans, 40);
+        assert_eq!(check.threads, 4);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").unwrap_err().contains("traceEvents"));
+        assert!(validate("{\"traceEvents\":3}").unwrap_err().contains("not an array"));
+        // Unbalanced: a lone B.
+        let lone_b = r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate(lone_b).unwrap_err().contains("never closed"));
+        // Mismatched close.
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}"#;
+        assert!(validate(crossed).unwrap_err().contains("closes open span"));
+        // E with no B.
+        let lone_e = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate(lone_e).unwrap_err().contains("no open span"));
+        // Missing field.
+        let no_tid = r#"{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1}]}"#;
+        assert!(validate(no_tid).unwrap_err().contains("missing tid"));
+    }
+
+    #[test]
+    fn validator_accepts_interleaved_threads() {
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"a","ph":"B","ts":2,"pid":1,"tid":2},
+            {"name":"a","ph":"E","ts":3,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":4,"pid":1,"tid":2}]}"#;
+        let check = validate(ok).unwrap();
+        assert_eq!(check.spans, 2);
+        assert_eq!(check.threads, 2);
+        assert_eq!(check.max_depth, 1);
+        assert!(check.to_string().contains("trace OK"));
+    }
+}

@@ -190,6 +190,7 @@ impl PolicyAnalyzer {
 
     /// Analyzes a privacy policy delivered as HTML.
     pub fn analyze_html(&self, html_doc: &str) -> PolicyAnalysis {
+        let _span = ppchecker_obs::span!("policy.analyze");
         self.analyze_text(&html::extract_text(html_doc))
     }
 

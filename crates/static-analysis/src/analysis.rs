@@ -99,7 +99,10 @@ pub fn analyze_with_cache(
     opts: AnalysisOptions,
     cache: Option<&crate::summary::TaintSummaryCache>,
 ) -> Result<StaticReport, ParseDexError> {
-    let apg = Apg::build(apk)?;
+    let apg = {
+        let _span = ppchecker_obs::span!("static.apg_build");
+        Apg::build(apk)?
+    };
     let package = apk.manifest.package.clone();
 
     let in_scope: HashSet<NodeId> = if opts.reachability {
@@ -115,6 +118,7 @@ pub fn analyze_with_cache(
     };
 
     // Collect_code: scan sensitive API invocations and query() URIs.
+    let scan_span = ppchecker_obs::span!("static.scan");
     for class in &apg.dex.classes {
         for m in &class.methods {
             let mid = apg.method_ids[&(class.name.clone(), m.name.clone())];
@@ -162,7 +166,10 @@ pub fn analyze_with_cache(
         }
     }
 
+    drop(scan_span);
+
     // Retain_code via taint analysis.
+    let _span = ppchecker_obs::span!("static.taint");
     report.retained = taint::analyze_cached(&apg, &in_scope, cache);
 
     Ok(report)

@@ -73,9 +73,13 @@ pub(crate) fn run(
     }
     COMPILE.with(|cell| {
         let mut cs = cell.borrow_mut();
-        compile(apg, methods, &mut cs)?;
+        {
+            let _span = ppchecker_obs::span!("taint.compile");
+            compile(apg, methods, &mut cs)?;
+        }
         let cs = &*cs;
         let prog = Program { apg, cs };
+        let _span = ppchecker_obs::span!("taint.fixpoint");
         Some(match cs.labels.len() {
             0..=64 => STATE1.with(|s| exec::<1>(&prog, cache, &mut s.borrow_mut())),
             65..=128 => STATE2.with(|s| exec::<2>(&prog, cache, &mut s.borrow_mut())),
@@ -834,6 +838,7 @@ fn exec<const W: usize>(
 ) -> Vec<Leak> {
     st.reset(prog);
     if let Some(cache) = cache {
+        let _span = ppchecker_obs::span!("taint.summary_replay");
         seed_from_summaries(prog, st, cache);
     }
     for &ix in &prog.cs.scope_ixs {

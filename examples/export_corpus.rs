@@ -1,0 +1,26 @@
+//! Export a seeded corpus slice to disk in the `corpus::export` layout
+//! (`app-NNNN/` dirs + `libs/*.html`), ready for `ppchecker batch`:
+//!
+//! ```sh
+//! cargo run --release --example export_corpus -- corpus/ 50
+//! cargo run --release -p ppchecker-cli -- batch --corpus corpus/ --jobs 4 \
+//!     --trace trace.json
+//! cargo run --release -p ppchecker-cli -- trace-check trace.json
+//! ```
+
+use ppchecker_corpus::{export_dataset, small_dataset};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir: PathBuf = args.next().unwrap_or_else(|| "corpus".to_string()).into();
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50);
+
+    let dataset = small_dataset(42, n);
+    export_dataset(&dir, &dataset, n).expect("export corpus");
+    println!(
+        "exported {n} apps + {} lib policies to {}",
+        dataset.lib_policies.len(),
+        dir.display()
+    );
+}

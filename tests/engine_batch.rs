@@ -65,7 +65,9 @@ fn corrupt_dex_app_is_isolated_to_one_error_record() {
 
     assert_eq!(batch.records.len(), 20);
     assert_eq!(batch.metrics.errors, 1);
-    assert!(batch.records[11].error().unwrap().contains("static analysis failed"));
+    let error = batch.records[11].error().unwrap();
+    assert_eq!(error.stage(), ppchecker_core::Stage::StaticAnalysis);
+    assert!(error.to_string().contains("static analysis failed"));
     assert_eq!(
         batch.records.iter().filter(|r| r.report().is_some()).count(),
         19,
@@ -85,8 +87,10 @@ fn batch_cli_records_are_jobs_invariant_over_exported_corpus() {
     let _ = std::fs::remove_dir_all(&dir);
     export_dataset(&dir, &dataset, 12).unwrap();
 
-    let (serial, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1 }).unwrap();
-    let (parallel, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8 }).unwrap();
+    let (serial, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, trace: None }).unwrap();
+    let (parallel, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8, trace: None }).unwrap();
     assert_eq!(serial, parallel, "JSONL output must be byte-identical");
     assert_eq!(serial.lines().count(), 13, "12 records + 1 aggregate line");
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,48 @@
+//! End-to-end observability test: export a seeded 50-app corpus, run it
+//! through `ppchecker batch` with trace capture, and validate the Chrome
+//! `trace_event` output — well-formed JSON, balanced `B`/`E` events per
+//! thread, and the stable pipeline span names.
+
+use ppchecker_cli::{run_batch, run_trace_check, BatchOptions};
+use ppchecker_corpus::{export_dataset, small_dataset};
+use std::fs;
+
+#[test]
+fn batch_trace_is_balanced_valid_json_with_stable_stage_names() {
+    let dataset = small_dataset(42, 50);
+    let dir = std::env::temp_dir().join(format!("ppchecker-obs-it-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    export_dataset(&dir, &dataset, 50).unwrap();
+    let trace_path = dir.join("trace.json");
+
+    let (records, metrics) = run_batch(&BatchOptions {
+        corpus_dir: dir.clone(),
+        jobs: 4,
+        trace: Some(trace_path.clone()),
+    })
+    .unwrap();
+    assert_eq!(records.lines().count(), 51, "50 records + 1 aggregate line");
+
+    // The stderr summary renders the per-span quantile table.
+    assert!(metrics.contains("p50") && metrics.contains("p99"), "no quantile table:\n{metrics}");
+    assert!(metrics.contains("check.policy"), "no per-stage rows:\n{metrics}");
+    assert!(metrics.contains("app.check"), "no per-app rows:\n{metrics}");
+
+    let trace_json = fs::read_to_string(&trace_path).unwrap();
+    let check = ppchecker_obs::trace::validate(&trace_json).expect("trace must validate");
+    assert!(check.events > 0, "trace captured no events");
+    assert_eq!(check.spans * 2, check.events, "every span is one B/E pair");
+    for required in
+        ["app.check", "check.policy", "check.description", "check.static", "check.matching"]
+    {
+        assert!(check.names.contains(required), "missing span {required}: {:?}", check.names);
+    }
+    assert!(check.max_depth >= 2, "spans must nest (app.check above check.*)");
+    assert!(check.threads >= 1, "at least one worker thread traced");
+
+    // The CLI validator subcommand agrees.
+    let report = run_trace_check(&trace_json).unwrap();
+    assert!(report.contains("trace OK"), "unexpected validator output: {report}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
