@@ -8,6 +8,7 @@
 //! per run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ppchecker_bench::emit::BenchResult;
 use ppchecker_core::PPChecker;
 use ppchecker_corpus::{paper_dataset, small_dataset, Dataset};
 use ppchecker_engine::{available_jobs, Engine};
@@ -58,8 +59,39 @@ fn report_full_corpus() {
     );
 }
 
+/// Repeated parallel runs over a 150-app slice, emitted as
+/// `BENCH_engine.json` at the repo root (same schema as the serve
+/// bench; see [`ppchecker_bench::emit`]).
+fn emit_bench_json() {
+    const SLICE: usize = 150;
+    const RUNS: usize = 5;
+    let dataset = small_dataset(42, SLICE);
+    let jobs = available_jobs();
+    let mut runs = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let (wall, _, _) = run_once(&dataset, jobs);
+        runs.push(wall);
+    }
+    let total: f64 = runs.iter().map(std::time::Duration::as_secs_f64).sum();
+    let throughput = (RUNS * SLICE) as f64 / total;
+    let result = BenchResult {
+        bench: "engine_throughput".to_string(),
+        config: vec![
+            ("apps".to_string(), SLICE.to_string()),
+            ("jobs".to_string(), jobs.to_string()),
+            ("runs".to_string(), RUNS.to_string()),
+            ("seed".to_string(), "42".to_string()),
+        ],
+        runs,
+        throughput,
+    };
+    let path = result.write("engine").expect("write BENCH_engine.json");
+    println!("engine_throughput: {throughput:.1} apps/s sustained, wrote {}", path.display());
+}
+
 fn bench_engine(c: &mut Criterion) {
     report_full_corpus();
+    emit_bench_json();
 
     // Sampled benches on a 150-app slice keep criterion's runtime sane
     // while preserving the serial-vs-parallel contrast.

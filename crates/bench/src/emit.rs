@@ -1,0 +1,130 @@
+//! The checked-in bench artifact: `BENCH_<name>.json` at the repo root.
+//!
+//! Every throughput bench emits one JSON document with a stable schema,
+//! so successive PRs can diff headline numbers without parsing
+//! criterion's sample directories:
+//!
+//! ```json
+//! {
+//!   "bench": "serve_throughput",
+//!   "config": {"workers": 8, "apps": 48},
+//!   "runs": [1234, 1310, ...],        // per-run latencies, microseconds
+//!   "p50_us": 1280, "p90_us": 1890, "p99_us": 2410,
+//!   "throughput": 312.5               // operations per second
+//! }
+//! ```
+//!
+//! `runs` holds every individual measurement (request latencies for the
+//! serve bench, per-run wall times for the engine bench); the quantiles
+//! are computed from it by nearest-rank so the document is
+//! self-consistent.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The repo root, resolved from the bench crate's manifest dir — benches
+/// run with the package as CWD, and the artifact belongs at the root.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Nearest-rank quantile over an unsorted sample, in microseconds.
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One bench's headline result, ready to serialize.
+#[derive(Debug)]
+pub struct BenchResult {
+    /// Bench name (`serve_throughput`, `engine_throughput`).
+    pub bench: String,
+    /// Key/value config the numbers were measured under, in insertion
+    /// order. Values are serialized raw, so pass numbers as numbers
+    /// (`("workers", "8")`) and pre-quote actual strings.
+    pub config: Vec<(String, String)>,
+    /// Individual measurements, as durations.
+    pub runs: Vec<Duration>,
+    /// Operations per second over the whole measured window.
+    pub throughput: f64,
+}
+
+impl BenchResult {
+    /// Renders the stable JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut sorted: Vec<u64> = self.runs.iter().map(|d| d.as_micros() as u64).collect();
+        sorted.sort_unstable();
+        let config: Vec<String> = self.config.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        let runs: Vec<String> = sorted.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"bench\":\"{}\",\"config\":{{{}}},\"runs\":[{}],\
+             \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"throughput\":{:.2}}}\n",
+            self.bench,
+            config.join(","),
+            runs.join(","),
+            quantile_us(&sorted, 0.50),
+            quantile_us(&sorted, 0.90),
+            quantile_us(&sorted, 0.99),
+            self.throughput,
+        )
+    }
+
+    /// Writes `BENCH_<suffix>.json` at the repo root and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, suffix: &str) -> io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{suffix}.json"));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(list: &[u64]) -> Vec<Duration> {
+        list.iter().map(|&n| Duration::from_micros(n)).collect()
+    }
+
+    #[test]
+    fn schema_has_all_headline_fields() {
+        let result = BenchResult {
+            bench: "unit_test".to_string(),
+            config: vec![
+                ("workers".to_string(), "4".to_string()),
+                ("apps".to_string(), "10".to_string()),
+            ],
+            runs: us(&[300, 100, 200]),
+            throughput: 123.456,
+        };
+        let json = result.to_json();
+        assert!(json.contains("\"bench\":\"unit_test\""));
+        assert!(json.contains("\"config\":{\"workers\":4,\"apps\":10}"));
+        assert!(json.contains("\"runs\":[100,200,300]"), "runs sorted: {json}");
+        assert!(json.contains("\"p50_us\":200"));
+        assert!(json.contains("\"p90_us\":300"));
+        assert!(json.contains("\"p99_us\":300"));
+        assert!(json.contains("\"throughput\":123.46"));
+        // The emitted document parses with the workspace JSON parser.
+        assert!(ppchecker_obs::json::parse(json.trim()).is_ok());
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_us(&sorted, 0.50), 50);
+        assert_eq!(quantile_us(&sorted, 0.90), 90);
+        assert_eq!(quantile_us(&sorted, 0.99), 99);
+        assert_eq!(quantile_us(&[], 0.5), 0);
+        assert_eq!(quantile_us(&[7], 0.99), 7);
+    }
+}

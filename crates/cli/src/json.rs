@@ -1,132 +1,22 @@
-//! Minimal JSON rendering of a [`Report`] for machine consumption
-//! (`ppchecker check --format json`). Hand-rolled to keep the dependency
-//! set at zero; strings are escaped per RFC 8259.
+//! JSON rendering of a [`ppchecker_core::Report`] for machine
+//! consumption (`ppchecker check --format json` and batch JSONL).
+//!
+//! The implementation lives in [`ppchecker_serve::json`] — the daemon's
+//! wire schema and the CLI's JSON output are the same format by
+//! construction — and is re-exported here so existing `ppchecker_cli`
+//! callers keep their import paths.
 
-use ppchecker_core::{Channel, Report};
-
-/// Escapes a string for inclusion in a JSON document.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn str_array(items: impl Iterator<Item = String>) -> String {
-    let inner: Vec<String> = items.map(|s| format!("\"{}\"", escape(&s))).collect();
-    format!("[{}]", inner.join(","))
-}
-
-/// Renders a report as a JSON object.
-pub fn report_to_json(report: &Report) -> String {
-    let missed: Vec<String> = report
-        .missed
-        .iter()
-        .map(|m| {
-            format!(
-                "{{\"info\":\"{}\",\"channel\":\"{}\",\"retained\":{},\"permission\":{}}}",
-                escape(&m.info.to_string()),
-                match m.channel {
-                    Channel::Description => "description",
-                    Channel::Code => "code",
-                },
-                m.retained,
-                m.permission
-                    .as_ref()
-                    .map(|p| format!("\"{}\"", escape(p.short_name())))
-                    .unwrap_or_else(|| "null".to_string()),
-            )
-        })
-        .collect();
-    let incorrect: Vec<String> = report
-        .incorrect
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"info\":\"{}\",\"category\":\"{}\",\"sentence\":\"{}\"}}",
-                escape(&f.info.to_string()),
-                f.category,
-                escape(&f.sentence),
-            )
-        })
-        .collect();
-    let inconsistencies: Vec<String> = report
-        .inconsistencies
-        .iter()
-        .map(|i| {
-            format!(
-                "{{\"lib\":\"{}\",\"category\":\"{}\",\"app_sentence\":\"{}\",\"lib_sentence\":\"{}\"}}",
-                escape(&i.lib_id),
-                i.category,
-                escape(&i.app_sentence),
-                escape(&i.lib_sentence),
-            )
-        })
-        .collect();
-
-    format!(
-        "{{\"package\":\"{}\",\"incomplete\":{},\"incorrect\":{},\"inconsistent\":{},\
-         \"has_disclaimer\":{},\"libs\":{},\"missed\":[{}],\"incorrect_findings\":[{}],\
-         \"inconsistencies\":[{}]}}",
-        escape(&report.package),
-        report.is_incomplete(),
-        report.is_incorrect(),
-        report.is_inconsistent(),
-        report.has_disclaimer,
-        str_array(report.libs.iter().cloned()),
-        missed.join(","),
-        incorrect.join(","),
-        inconsistencies.join(","),
-    )
-}
+pub use ppchecker_serve::json::{escape, report_to_json};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppchecker_apk::PrivateInfo;
-    use ppchecker_core::MissedInfo;
+    use ppchecker_core::Report;
 
     #[test]
-    fn escape_handles_specials() {
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-        assert_eq!(escape("plain"), "plain");
-    }
-
-    #[test]
-    fn empty_report_renders() {
+    fn reexports_render_reports() {
         let json = report_to_json(&Report::default());
-        assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"incomplete\":false"));
-        assert!(json.contains("\"missed\":[]"));
-    }
-
-    #[test]
-    fn findings_render_with_fields() {
-        let report = Report {
-            package: "com.x".to_string(),
-            missed: vec![MissedInfo {
-                info: PrivateInfo::Location,
-                channel: Channel::Code,
-                permission: Some(ppchecker_apk::Permission::AccessFineLocation),
-                retained: true,
-            }],
-            libs: vec!["admob".to_string()],
-            ..Report::default()
-        };
-        let json = report_to_json(&report);
-        assert!(json.contains("\"info\":\"location\""));
-        assert!(json.contains("\"retained\":true"));
-        assert!(json.contains("\"permission\":\"ACCESS_FINE_LOCATION\""));
-        assert!(json.contains("\"libs\":[\"admob\"]"));
+        assert_eq!(escape("a\"b"), "a\\\"b");
     }
 }

@@ -15,6 +15,8 @@
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
 //! ppchecker unpack <in.pkdx> <out.txt>
 //! ppchecker demo                      # run the bundled sample app
+//! ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] \
+//!                 [--workers N] [--queue-depth N] [--corpus <dir>]
 //! ```
 //!
 //! The dex file uses the textual serialization of
@@ -24,11 +26,13 @@
 pub mod batch;
 pub mod json;
 pub mod manifest_text;
+pub mod serve;
 
 pub use batch::{run_batch, BatchOptions};
+pub use serve::{parse_serve_args, run_serve, ServeOptions};
 
 use ppchecker_apk::{packer, Apk};
-use ppchecker_core::{suggest_fixes, AppInput, PPChecker};
+use ppchecker_core::{suggest_fixes, AppInput, CheckRequest, PPChecker};
 use ppchecker_policy::{PolicyAnalyzer, VerbCategory};
 use std::fmt::Write as _;
 
@@ -114,7 +118,7 @@ pub fn run_check(opts: &CheckOptions) -> Result<String, CliError> {
         checker.register_lib_policy(id, html);
     }
 
-    let report = checker.check(&app).map_err(|e| CliError(e.to_string()))?;
+    let report = checker.check(CheckRequest::for_app(&app)).map_err(|e| CliError(e.to_string()))?;
     if opts.json {
         return Ok(format!("{}\n", json::report_to_json(&report)));
     }

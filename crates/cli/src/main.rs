@@ -1,8 +1,8 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    run_batch, run_check, run_demo, run_pack, run_policy, run_trace_check, run_unpack,
-    BatchOptions, CheckOptions, CliError,
+    parse_serve_args, run_batch, run_check, run_demo, run_pack, run_policy, run_serve,
+    run_trace_check, run_unpack, BatchOptions, CheckOptions, CliError,
 };
 use std::fs;
 use std::process::ExitCode;
@@ -22,6 +22,8 @@ USAGE:
   ppchecker pack <dex.txt> <out.pkdx> [--key N]
   ppchecker unpack <in.pkdx> <out.txt>
   ppchecker demo
+  ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] [--workers N] \\
+                  [--queue-depth N] [--max-body-bytes N] [--corpus <dir>]
 ";
 
 fn main() -> ExitCode {
@@ -69,6 +71,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             Ok(format!("unpacked into {output}\n"))
         }
         Some("demo") => run_demo(),
+        Some("serve") => run_serve(parse_serve_args(&args[1..])?),
         _ => Err(CliError("missing or unknown subcommand".into())),
     }
 }

@@ -1,0 +1,150 @@
+//! The `ppchecker serve` subcommand: boot the resident daemon over a
+//! warm engine and block until it drains.
+
+use crate::batch::load_corpus;
+use crate::CliError;
+use ppchecker_core::PPChecker;
+use ppchecker_engine::Engine;
+use ppchecker_serve::{install_sigterm_handler, ServeConfig, Server};
+use std::path::PathBuf;
+
+/// Parsed `serve` options.
+#[derive(Debug, Default)]
+pub struct ServeOptions {
+    /// Daemon configuration (addresses, pool sizing, body cap).
+    pub config: ServeConfig,
+    /// Optional corpus directory; its `libs/*.html` policies are
+    /// registered on the engine at boot so every request benefits from
+    /// pre-analyzed third-party lib policies.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// Parses `serve` flags.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unparsable numeric flags.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
+    let flag_value = |flag: &str| -> Option<&str> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    let positive = |flag: &str| -> Result<Option<usize>, CliError> {
+        flag_value(flag)
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError(format!("{flag} needs a positive integer")))
+            })
+            .transpose()
+    };
+    let mut opts = ServeOptions::default();
+    if let Some(addr) = flag_value("--addr") {
+        opts.config.addr = addr.to_string();
+    }
+    if let Some(addr) = flag_value("--jsonl-addr") {
+        opts.config.jsonl_addr = Some(addr.to_string());
+    }
+    if let Some(workers) = positive("--workers")? {
+        opts.config.workers = workers;
+        opts.config.queue_depth = 2 * workers;
+    }
+    if let Some(depth) = positive("--queue-depth")? {
+        opts.config.queue_depth = depth;
+    }
+    if let Some(bytes) = positive("--max-body-bytes")? {
+        opts.config.max_body_bytes = bytes;
+    }
+    if let Some(dir) = flag_value("--corpus") {
+        opts.corpus_dir = Some(PathBuf::from(dir));
+    }
+    Ok(opts)
+}
+
+/// Boots the daemon and blocks until it has drained (via
+/// `POST /shutdown` or SIGTERM). Returns a one-line summary.
+///
+/// # Errors
+///
+/// Returns [`CliError`] when the corpus fails to load or a listen
+/// address cannot be bound.
+pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
+    let checker = PPChecker::new();
+    let engine = match &opts.corpus_dir {
+        Some(dir) => {
+            let (_, libs) = load_corpus(dir)?;
+            let count = libs.len();
+            let engine = Engine::with_lib_policies(checker, libs);
+            eprintln!("serve: registered {count} lib policies from {}", dir.display());
+            engine
+        }
+        None => Engine::new(checker),
+    };
+    install_sigterm_handler();
+    let handle = Server::start(engine, opts.config.clone())
+        .map_err(|e| CliError(format!("failed to start daemon: {e}")))?;
+    eprintln!(
+        "serve: listening on http://{} ({} workers, queue depth {}){}",
+        handle.addr(),
+        opts.config.workers,
+        opts.config.queue_depth,
+        match handle.jsonl_addr() {
+            Some(addr) => format!(", jsonl on {addr}"),
+            None => String::new(),
+        },
+    );
+    let addr = handle.addr();
+    handle.join();
+    Ok(format!("serve: drained, was listening on {addr}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let opts = parse_serve_args(&[]).unwrap();
+        assert_eq!(opts.config.addr, "127.0.0.1:7171");
+        assert!(opts.config.jsonl_addr.is_none());
+        assert!(opts.corpus_dir.is_none());
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let opts = parse_serve_args(&args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--jsonl-addr",
+            "127.0.0.1:9001",
+            "--workers",
+            "3",
+            "--queue-depth",
+            "11",
+            "--corpus",
+            "corpus-dir",
+        ]))
+        .unwrap();
+        assert_eq!(opts.config.addr, "0.0.0.0:9000");
+        assert_eq!(opts.config.jsonl_addr.as_deref(), Some("127.0.0.1:9001"));
+        assert_eq!(opts.config.workers, 3);
+        assert_eq!(opts.config.queue_depth, 11);
+        assert_eq!(opts.corpus_dir.as_deref().unwrap().to_str(), Some("corpus-dir"));
+    }
+
+    #[test]
+    fn workers_sets_queue_depth_unless_overridden() {
+        let opts = parse_serve_args(&args(&["--workers", "4"])).unwrap();
+        assert_eq!(opts.config.queue_depth, 8);
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--queue-depth", "lots"])).is_err());
+    }
+}

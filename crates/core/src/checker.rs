@@ -381,7 +381,7 @@ impl PPChecker {
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
     #[deprecated(
         since = "0.2.0",
-        note = "use `check(CheckRequest::for_app(&app).capture_timings())`"
+        note = "removed after serve lands; use `check(CheckRequest::for_app(&app).capture_timings())`"
     )]
     pub fn check_timed(&self, app: &AppInput) -> Result<(Report, StageTimings), CheckError> {
         self.run_pipeline(app, None)
@@ -394,7 +394,8 @@ impl PPChecker {
     /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
     #[deprecated(
         since = "0.2.0",
-        note = "use `check(CheckRequest::for_app(&app).with_policy_provider(f).capture_timings())`"
+        note = "removed after serve lands; use \
+                `check(CheckRequest::for_app(&app).with_policy_provider(f).capture_timings())`"
     )]
     pub fn check_with_policy_provider<F>(
         &self,

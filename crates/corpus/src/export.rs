@@ -59,7 +59,7 @@ mod tests {
     use super::*;
     use crate::dataset::small_dataset;
     use ppchecker_apk::{Apk, Manifest};
-    use ppchecker_core::{AppInput, PPChecker};
+    use ppchecker_core::{AppInput, CheckRequest, PPChecker};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let dir =
@@ -88,8 +88,8 @@ mod tests {
         };
 
         let checker = dataset.make_checker();
-        let original = checker.check(&app.input).unwrap();
-        let again = PPChecker::new().check(&reloaded).unwrap();
+        let original = checker.check(CheckRequest::for_app(&app.input)).unwrap();
+        let again = PPChecker::new().check(CheckRequest::for_app(&reloaded)).unwrap();
         assert_eq!(original.is_incomplete(), again.is_incomplete());
         assert_eq!(original.is_incorrect(), again.is_incorrect());
         let _ = fs::remove_dir_all(&dir);

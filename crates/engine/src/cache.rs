@@ -42,13 +42,22 @@ impl CacheStats {
     }
 }
 
+/// Upper bound on resident policy analyses. Past this the cache stops
+/// admitting new entries (hits still serve, misses still compute) — the
+/// same stop-admitting idiom as the ESA vector cache — so a week-long
+/// daemon fed an unbounded stream of distinct policies holds at most
+/// this many parsed analyses. 32k entries ≈ hundreds of MB worst case;
+/// batch runs over the paper corpus use a few hundred.
+pub const POLICY_CACHE_CAP: usize = 32_768;
+
 /// Thread-safe memo of parsed policy analyses, shared by all workers of
 /// a batch run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArtifactCache {
     policies: RwLock<HashMap<Symbol, Arc<PolicyAnalysis>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    cap: usize,
     /// Cross-app library taint-summary store, keyed by lib content hash
     /// (see `ppchecker_static::summary`). Shared with the checker via
     /// `Arc` so the taint kernel inside workers and the engine's metrics
@@ -56,10 +65,33 @@ pub struct ArtifactCache {
     taint_summaries: Arc<TaintSummaryCache>,
 }
 
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache {
+            policies: RwLock::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            cap: POLICY_CACHE_CAP,
+            taint_summaries: Arc::default(),
+        }
+    }
+}
+
 impl ArtifactCache {
     /// An empty cache.
     pub fn new() -> Self {
         ArtifactCache::default()
+    }
+
+    /// An empty cache with a custom entry cap (tests; `0` means
+    /// admit nothing).
+    pub fn with_cap(cap: usize) -> Self {
+        ArtifactCache { cap, ..ArtifactCache::default() }
+    }
+
+    /// The entry cap.
+    pub fn cap(&self) -> usize {
+        self.cap
     }
 
     /// Returns the analysis of `html`, computing it with `analyzer` on
@@ -78,20 +110,21 @@ impl ArtifactCache {
         // cache, so `misses` always equals the number of distinct texts.
         let fresh = Arc::new(analyzer.analyze_html(html));
         let mut map = self.policies.write().expect("cache lock");
-        match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(entry) => {
-                let out = Arc::clone(entry.get());
-                drop(map);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                out
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(Arc::clone(&fresh));
-                drop(map);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                fresh
-            }
+        if let Some(hit) = map.get(&key) {
+            let out = Arc::clone(hit);
+            drop(map);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return out;
         }
+        // Cap-bounded admission (the ESA vector-cache idiom): at capacity
+        // the fresh analysis is still returned, just not retained, so a
+        // resident process can't accrete unbounded parsed analyses.
+        if map.len() < self.cap {
+            map.insert(key, Arc::clone(&fresh));
+        }
+        drop(map);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        fresh
     }
 
     /// Snapshot of the counters.
@@ -145,6 +178,26 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.entries, 1);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cap_stops_admission_but_not_results() {
+        let cache = ArtifactCache::with_cap(1);
+        let analyzer = PolicyAnalyzer::new();
+        let first = cache.policy(&analyzer, "<p>we collect your location.</p>");
+        let second = cache.policy(&analyzer, "<p>we collect your contacts.</p>");
+        assert!(!first.sentences.is_empty());
+        assert!(!second.sentences.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "second text not retained past the cap");
+        assert_eq!(stats.misses, 2);
+        // The capped-out text recomputes on every lookup; the retained
+        // one keeps hitting.
+        let _ = cache.policy(&analyzer, "<p>we collect your contacts.</p>");
+        let _ = cache.policy(&analyzer, "<p>we collect your location.</p>");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

@@ -30,13 +30,13 @@
 //! `jobs=16` runs emit byte-identical record sequences and aggregates.
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::metrics::{MetricsSummary, StageStats};
+use crate::metrics::{EngineSnapshot, MetricsSummary, StageStats};
 use crate::report::{AppOutcome, AppRecord, BatchReport};
-use ppchecker_core::{AppInput, CheckRequest, Error, PPChecker, StageTimings};
+use crate::scheduler;
+use ppchecker_core::{AppInput, CheckOutcome, CheckRequest, Error, PPChecker, StageTimings};
 use ppchecker_esa::Interpreter;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
@@ -210,43 +210,61 @@ impl Engine {
     where
         I: IntoIterator<Item = AppInput>,
     {
-        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, AppInput)>(self.config.channel_depth);
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (result_tx, result_rx) = mpsc::channel();
-
-        thread::scope(|scope| {
-            for _ in 0..jobs {
-                let job_rx = Arc::clone(&job_rx);
-                let result_tx = result_tx.clone();
-                scope.spawn(move || loop {
-                    // Hold the receiver lock only for the dequeue itself.
-                    let wait = ppchecker_obs::span!("engine.queue_wait");
-                    let job = job_rx.lock().expect("job queue lock").recv();
-                    drop(wait);
-                    match job {
-                        Ok((index, app)) => {
-                            if result_tx.send(self.process_one(index, app)).is_err() {
-                                break; // collector gone; shut down
-                            }
-                        }
-                        Err(_) => break, // producer done and queue drained
-                    }
-                });
-            }
-            drop(result_tx);
-
-            // Produce under backpressure, then collect. The result channel
-            // is unbounded so workers never block sending while this
-            // thread is still feeding.
-            for job in apps.into_iter().enumerate() {
-                if job_tx.send(job).is_err() {
-                    break; // all workers died; stop feeding
-                }
-            }
-            drop(job_tx);
-
-            result_rx.iter().collect()
+        scheduler::run_scoped(apps, jobs, self.config.channel_depth, |index, app| {
+            self.process_one(index, app)
         })
+    }
+
+    /// Runs one app through the full pipeline via the engine's shared
+    /// caches — the single-request entry point a resident service calls
+    /// per admitted request. Cache warmth accumulates across calls
+    /// exactly as it does within one [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the pipeline's structured [`Error`]; worker panics are
+    /// caught and surfaced as [`Error::worker`].
+    pub fn check_one(&self, app: &AppInput) -> Result<CheckOutcome, Error> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _span = ppchecker_obs::span!("app.check", app.package);
+            self.checker.check(
+                CheckRequest::for_app(app)
+                    .with_policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
+                    .capture_timings(),
+            )
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(panic) => Err(Error::worker(panic_message(&panic))),
+        }
+    }
+
+    /// Cumulative cache and occupancy counters since process start — the
+    /// engine's metrics-snapshot API. Unlike the per-run deltas inside
+    /// [`BatchReport`]'s [`MetricsSummary`], these are running totals, so
+    /// a resident service can scrape them at any moment (and difference
+    /// two scrapes itself if it wants a window).
+    pub fn metrics_snapshot(&self) -> EngineSnapshot {
+        let esa = Interpreter::shared();
+        let (esa_hits, esa_misses) = esa.vector_cache_stats();
+        let (pair_hits, pair_misses) = esa.pair_memo_stats();
+        EngineSnapshot {
+            lib_policies: self.lib_policies,
+            policy_cache: self.cache.stats(),
+            esa_cache: CacheStats {
+                hits: esa_hits,
+                misses: esa_misses,
+                entries: esa.vector_cache_len(),
+            },
+            esa_pair_memo: CacheStats {
+                hits: pair_hits,
+                misses: pair_misses,
+                entries: esa.pair_memo_len(),
+            },
+            esa_pruned: esa.pruned_comparisons(),
+            taint_summary_cache: self.cache.taint_summary_stats(),
+            interner: ppchecker_nlp::Interner::global().stats(),
+        }
     }
 
     /// Runs one app through the full pipeline, converting failures (and

@@ -18,6 +18,11 @@
 //! * **Deterministic aggregation** — records come back in submission
 //!   order and [`BatchReport::aggregate`] is a pure fold over them, so
 //!   `jobs=1` and `jobs=16` produce byte-identical aggregate reports.
+//! * **A resident face** — the same scheduler is exported as
+//!   [`WorkerPool`] (long-lived workers, ticketed admission control),
+//!   and [`Engine::check_one`] + [`Engine::metrics_snapshot`] serve
+//!   single requests against the warm caches; this is what the
+//!   `ppchecker-serve` daemon builds on.
 //!
 //! ```
 //! use ppchecker_core::PPChecker;
@@ -34,8 +39,10 @@ pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod report;
+pub mod scheduler;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use engine::{available_jobs, Engine, EngineConfig};
-pub use metrics::MetricsSummary;
+pub use metrics::{EngineSnapshot, MetricsSummary};
 pub use report::{AggregateSummary, AppOutcome, AppRecord, BatchReport};
+pub use scheduler::{AdmitError, AdmitTicket, PoolStats, WorkerPool};

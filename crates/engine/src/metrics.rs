@@ -48,6 +48,29 @@ impl StageStats {
     }
 }
 
+/// Cumulative cache and occupancy counters since process start, as
+/// returned by [`Engine::metrics_snapshot`](crate::Engine::metrics_snapshot).
+/// Running totals rather than per-run deltas: a resident service scrapes
+/// these on demand (e.g. for a `/metrics` endpoint) and differences two
+/// scrapes itself when it wants a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Third-party lib policies registered on the engine's checker.
+    pub lib_policies: usize,
+    /// Policy artifact cache totals.
+    pub policy_cache: CacheStats,
+    /// ESA interpretation-vector cache totals (process-wide).
+    pub esa_cache: CacheStats,
+    /// ESA symbol-pair verdict-memo totals.
+    pub esa_pair_memo: CacheStats,
+    /// Threshold comparisons answered by the norm bound alone.
+    pub esa_pruned: u64,
+    /// Cross-app library taint-summary cache totals.
+    pub taint_summary_cache: CacheStats,
+    /// Global interner occupancy.
+    pub interner: InternerStats,
+}
+
 /// Everything a batch run reports about itself.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSummary {

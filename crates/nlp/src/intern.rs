@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 /// An interned string handle. `Copy`, 4 bytes, order-stable within one
@@ -68,7 +69,21 @@ pub struct InternerStats {
     pub preseeded: usize,
     /// Total bytes of interned text.
     pub bytes: usize,
+    /// The soft occupancy cap, in bytes of interned text.
+    pub soft_cap_bytes: usize,
+    /// Whether occupancy has crossed the soft cap. Interning still works
+    /// past the cap (symbols are load-bearing for correctness), but a
+    /// long-lived process should treat this as an operational warning —
+    /// something is feeding unbounded novel vocabulary (see
+    /// [`Interner::over_cap_interns`]).
+    pub over_soft_cap: bool,
 }
+
+/// Default soft cap on interned text: 64 MiB. The steady-state pipeline
+/// interns only genuinely novel words, so a week-long daemon crossing
+/// this is a signal (adversarial vocabulary, unbounded corpus churn),
+/// not normal growth — corpus runs sit around a few MiB.
+pub const DEFAULT_INTERN_SOFT_CAP_BYTES: usize = 64 * 1024 * 1024;
 
 /// A thread-safe append-only string interner.
 ///
@@ -78,6 +93,10 @@ pub struct InternerStats {
 pub struct Interner {
     inner: RwLock<Inner>,
     preseeded: usize,
+    bytes: AtomicUsize,
+    soft_cap_bytes: AtomicUsize,
+    over_cap_interns: AtomicUsize,
+    warned: AtomicBool,
 }
 
 impl Interner {
@@ -85,7 +104,14 @@ impl Interner {
     ///
     /// [`global`]: Interner::global
     pub fn new() -> Self {
-        Interner { inner: RwLock::new(Inner::default()), preseeded: 0 }
+        Interner {
+            inner: RwLock::new(Inner::default()),
+            preseeded: 0,
+            bytes: AtomicUsize::new(0),
+            soft_cap_bytes: AtomicUsize::new(DEFAULT_INTERN_SOFT_CAP_BYTES),
+            over_cap_interns: AtomicUsize::new(0),
+            warned: AtomicBool::new(false),
+        }
     }
 
     /// The process-wide interner, pre-seeded with the pipeline vocabulary.
@@ -95,14 +121,17 @@ impl Interner {
             let mut interner = Interner::new();
             {
                 let inner = interner.inner.get_mut().expect("fresh lock");
+                let mut bytes = 0;
                 for word in preseed_vocabulary() {
                     if !inner.map.contains_key(word) {
                         let id = inner.strings.len() as u32;
                         inner.strings.push(word);
                         inner.map.insert(word, id);
+                        bytes += word.len();
                     }
                 }
                 interner.preseeded = inner.strings.len();
+                *interner.bytes.get_mut() = bytes;
             }
             interner
         })
@@ -121,6 +150,8 @@ impl Interner {
         let id = inner.strings.len() as u32;
         inner.strings.push(stored);
         inner.map.insert(stored, id);
+        drop(inner);
+        self.account(stored.len());
         Symbol(id)
     }
 
@@ -136,7 +167,39 @@ impl Interner {
         let id = inner.strings.len() as u32;
         inner.strings.push(s);
         inner.map.insert(s, id);
+        drop(inner);
+        self.account(s.len());
         Symbol(id)
+    }
+
+    /// Books `len` freshly interned bytes against the soft cap: past it,
+    /// each further intern counts (for `/metrics`-style scrapes) and the
+    /// first crossing logs one warning. Interning itself never fails —
+    /// symbols are identity, not cache — the cap exists so a week-long
+    /// daemon surfaces unbounded vocabulary growth *before* it OOMs
+    /// instead of inside the allocator.
+    fn account(&self, len: usize) {
+        let total = self.bytes.fetch_add(len, Ordering::Relaxed) + len;
+        let cap = self.soft_cap_bytes.load(Ordering::Relaxed);
+        if cap > 0 && total > cap {
+            self.over_cap_interns.fetch_add(1, Ordering::Relaxed);
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: interner occupancy {total} bytes crossed the soft cap \
+                     ({cap} bytes); novel vocabulary is accumulating without bound"
+                );
+            }
+        }
+    }
+
+    /// Overrides the soft occupancy cap (`0` disables the warning).
+    pub fn set_soft_cap_bytes(&self, cap: usize) {
+        self.soft_cap_bytes.store(cap, Ordering::Relaxed);
+    }
+
+    /// Interns recorded after occupancy crossed the soft cap.
+    pub fn over_cap_interns(&self) -> usize {
+        self.over_cap_interns.load(Ordering::Relaxed)
     }
 
     /// Looks up `s` without interning it on a miss. Use this on paths that
@@ -157,11 +220,15 @@ impl Interner {
 
     /// Current occupancy counters.
     pub fn stats(&self) -> InternerStats {
-        let inner = self.inner.read().expect("interner poisoned");
+        let symbols = self.inner.read().expect("interner poisoned").strings.len();
+        let bytes = self.bytes.load(Ordering::Relaxed);
+        let soft_cap_bytes = self.soft_cap_bytes.load(Ordering::Relaxed);
         InternerStats {
-            symbols: inner.strings.len(),
+            symbols,
             preseeded: self.preseeded,
-            bytes: inner.strings.iter().map(|s| s.len()).sum(),
+            bytes,
+            soft_cap_bytes,
+            over_soft_cap: soft_cap_bytes > 0 && bytes > soft_cap_bytes,
         }
     }
 }
@@ -358,6 +425,43 @@ mod tests {
     #[test]
     fn display_resolves() {
         assert_eq!(intern("location").to_string(), "location");
+    }
+
+    #[test]
+    fn soft_cap_warns_without_refusing() {
+        let local = Interner::new();
+        local.set_soft_cap_bytes(8);
+        let a = local.intern("four");
+        assert!(!local.stats().over_soft_cap);
+        assert_eq!(local.over_cap_interns(), 0);
+        let b = local.intern("crosses-the-cap");
+        // Interning still works past the cap; the stats flag flips.
+        assert_eq!(local.resolve(a), "four");
+        assert_eq!(local.resolve(b), "crosses-the-cap");
+        assert!(local.stats().over_soft_cap);
+        assert_eq!(local.over_cap_interns(), 1);
+        let _ = local.intern("and-another-one");
+        assert_eq!(local.over_cap_interns(), 2);
+    }
+
+    #[test]
+    fn zero_cap_disables_the_warning() {
+        let local = Interner::new();
+        local.set_soft_cap_bytes(0);
+        let _ = local.intern("whatever length this is");
+        assert!(!local.stats().over_soft_cap);
+        assert_eq!(local.over_cap_interns(), 0);
+    }
+
+    #[test]
+    fn stats_bytes_track_interned_text() {
+        let local = Interner::new();
+        let _ = local.intern("abcde");
+        let _ = local.intern("xyz");
+        let _ = local.intern("abcde"); // duplicate: no growth
+        let stats = local.stats();
+        assert_eq!(stats.bytes, 8);
+        assert_eq!(stats.soft_cap_bytes, DEFAULT_INTERN_SOFT_CAP_BYTES);
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod tree;
 
 pub use chunk::NounPhrase;
 pub use depparse::{parse, Dependency, Parse, Rel};
-pub use intern::{intern, resolve, Interner, InternerStats, Symbol, SymbolSet};
+pub use intern::{
+    intern, resolve, Interner, InternerStats, Symbol, SymbolSet, DEFAULT_INTERN_SOFT_CAP_BYTES,
+};
 pub use sentence::split_sentences;
 pub use token::{Tag, Token};

@@ -1,0 +1,301 @@
+//! The wire schema: JSON encode/decode for check requests and outcomes.
+//!
+//! The reader side is [`ppchecker_obs::json`] — the recursive-descent
+//! parser the `trace-check` validator introduced, generalized here into
+//! the daemon's request decoder. The writer side is hand-rolled
+//! formatting in the style of the CLI's JSONL output (RFC 8259 string
+//! escaping, stable key order), so the whole wire layer stays inside the
+//! workspace's zero-dependency budget.
+//!
+//! ## Request shape
+//!
+//! One app per request object; the field formats are exactly the CLI's
+//! file formats (textual manifest, textual dex):
+//!
+//! ```json
+//! {
+//!   "package": "com.example.app",        // optional; manifest wins
+//!   "policy_html": "<p>we collect…</p>",
+//!   "description": "An app that…",
+//!   "manifest": "package com.example.app\npermission …",
+//!   "dex": "class com.example.app.Main\n…"
+//! }
+//! ```
+//!
+//! `POST /batch` and the JSONL transport reuse the same object — batch
+//! wraps a list in `{"apps": […]}`, JSONL sends one object per line.
+
+use ppchecker_apk::{packer, Apk, Manifest};
+use ppchecker_core::{AppInput, CheckOutcome, Error, Report, StageTimings};
+
+pub use ppchecker_obs::json::{escape, parse, Value};
+
+use ppchecker_core::Channel;
+
+/// Decodes one wire app object into an [`AppInput`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending field on missing keys or
+/// manifest/dex parse failures.
+pub fn parse_app(value: &Value) -> Result<AppInput, String> {
+    let field = |key: &str| -> Result<&str, String> {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing or non-string field {key:?}"))
+    };
+    let manifest = Manifest::from_text(field("manifest")?).map_err(|e| format!("manifest: {e}"))?;
+    let dex = packer::deserialize(field("dex")?).map_err(|e| format!("dex: {e}"))?;
+    let package = match value.get("package").and_then(Value::as_str) {
+        Some(p) => p.to_string(),
+        None => manifest.package.clone(),
+    };
+    Ok(AppInput {
+        package,
+        policy_html: field("policy_html")?.to_string(),
+        description: field("description")?.to_string(),
+        apk: Apk::new(manifest, dex),
+    })
+}
+
+/// Encodes an [`AppInput`] as a wire app object (the client side of
+/// [`parse_app`]).
+pub fn app_to_json(app: &AppInput) -> String {
+    format!(
+        "{{\"package\":\"{}\",\"policy_html\":\"{}\",\"description\":\"{}\",\
+         \"manifest\":\"{}\",\"dex\":\"{}\"}}",
+        escape(&app.package),
+        escape(&app.policy_html),
+        escape(&app.description),
+        escape(&app.apk.manifest.to_text()),
+        escape(&packer::serialize(&app.apk.dex().expect("wire apps carry plain dex"))),
+    )
+}
+
+/// Renders a report as a JSON object (also re-exported by the CLI for
+/// its `--json` and JSONL outputs).
+pub fn report_to_json(report: &Report) -> String {
+    let missed: Vec<String> = report
+        .missed
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"info\":\"{}\",\"channel\":\"{}\",\"retained\":{},\"permission\":{}}}",
+                escape(&m.info.to_string()),
+                match m.channel {
+                    Channel::Description => "description",
+                    Channel::Code => "code",
+                },
+                m.retained,
+                m.permission
+                    .as_ref()
+                    .map(|p| format!("\"{}\"", escape(p.short_name())))
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    let incorrect: Vec<String> = report
+        .incorrect
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"info\":\"{}\",\"category\":\"{}\",\"sentence\":\"{}\"}}",
+                escape(&f.info.to_string()),
+                f.category,
+                escape(&f.sentence),
+            )
+        })
+        .collect();
+    let inconsistencies: Vec<String> = report
+        .inconsistencies
+        .iter()
+        .map(|i| {
+            format!(
+                "{{\"lib\":\"{}\",\"category\":\"{}\",\"app_sentence\":\"{}\",\"lib_sentence\":\"{}\"}}",
+                escape(&i.lib_id),
+                i.category,
+                escape(&i.app_sentence),
+                escape(&i.lib_sentence),
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\"package\":\"{}\",\"incomplete\":{},\"incorrect\":{},\"inconsistent\":{},\
+         \"has_disclaimer\":{},\"libs\":{},\"missed\":[{}],\"incorrect_findings\":[{}],\
+         \"inconsistencies\":[{}]}}",
+        escape(&report.package),
+        report.is_incomplete(),
+        report.is_incorrect(),
+        report.is_inconsistent(),
+        report.has_disclaimer,
+        str_array(report.libs.iter().cloned()),
+        missed.join(","),
+        incorrect.join(","),
+        inconsistencies.join(","),
+    )
+}
+
+fn str_array(items: impl Iterator<Item = String>) -> String {
+    let inner: Vec<String> = items.map(|s| format!("\"{}\"", escape(&s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn timings_to_json(t: &StageTimings) -> String {
+    format!(
+        "{{\"policy\":{},\"description\":{},\"static\":{},\"matching\":{},\"total\":{}}}",
+        t.policy.as_micros(),
+        t.description.as_micros(),
+        t.static_analysis.as_micros(),
+        t.matching.as_micros(),
+        t.total().as_micros(),
+    )
+}
+
+/// Renders one check's result — report or structured pipeline error —
+/// as the wire result object shared by `/check`, `/batch` entries, and
+/// JSONL response lines.
+pub fn outcome_to_json(package: &str, outcome: &Result<CheckOutcome, Error>) -> String {
+    match outcome {
+        Ok(checked) => {
+            let timings = checked.timings.unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"package\":\"{}\",\"report\":{},\"timings_us\":{}}}",
+                escape(&checked.report.package),
+                report_to_json(&checked.report),
+                timings_to_json(&timings),
+            )
+        }
+        Err(error) => format!(
+            "{{\"ok\":false,\"package\":\"{}\",\"stage\":\"{}\",\"error\":\"{}\"}}",
+            escape(package),
+            error.stage(),
+            escape(&error.to_string()),
+        ),
+    }
+}
+
+/// A top-level error body, e.g. `{"error":"overloaded"}`.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppchecker_apk::PrivateInfo;
+    use ppchecker_core::MissedInfo;
+
+    fn wire_app() -> AppInput {
+        let mut manifest = Manifest::new("com.wire.app");
+        manifest.add_permission(ppchecker_apk::Permission::AccessFineLocation);
+        manifest.add_component(ppchecker_apk::ComponentKind::Activity, "com.wire.app.Main", true);
+        let dex = ppchecker_apk::Dex::builder()
+            .class("com.wire.app.Main", |c| {
+                c.extends("android.app.Activity");
+                c.method("onCreate", 1, |m| {
+                    m.invoke_virtual("android.location.Location", "getLatitude", &[0], Some(1));
+                });
+            })
+            .build();
+        AppInput {
+            package: "com.wire.app".to_string(),
+            policy_html: "<p>we \"collect\" your location.</p>".to_string(),
+            description: "A handy\nmulti-line app.".to_string(),
+            apk: Apk::new(manifest, dex),
+        }
+    }
+
+    #[test]
+    fn app_round_trips_through_the_wire() {
+        let app = wire_app();
+        let doc = parse(&app_to_json(&app)).unwrap();
+        let back = parse_app(&doc).unwrap();
+        assert_eq!(back.package, app.package);
+        assert_eq!(back.policy_html, app.policy_html);
+        assert_eq!(back.description, app.description);
+        assert_eq!(back.apk.manifest, app.apk.manifest);
+        assert_eq!(back.apk.dex().unwrap(), app.apk.dex().unwrap());
+    }
+
+    #[test]
+    fn package_defaults_to_the_manifest() {
+        let app = wire_app();
+        let json = app_to_json(&app).replacen("\"package\":\"com.wire.app\",", "", 1);
+        let back = parse_app(&parse(&json).unwrap()).unwrap();
+        assert_eq!(back.package, "com.wire.app");
+    }
+
+    #[test]
+    fn missing_fields_name_the_key() {
+        let err = parse_app(&parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+        let err = parse_app(&parse(r#"{"manifest":"package a","dex":""}"#).unwrap())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("policy_html") || err.contains("dex"), "{err}");
+    }
+
+    #[test]
+    fn bad_manifest_and_dex_are_named() {
+        let err =
+            parse_app(&parse(r#"{"manifest":"bogus directive","dex":""}"#).unwrap()).unwrap_err();
+        assert!(err.starts_with("manifest:"), "{err}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let json = report_to_json(&Report::default());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"incomplete\":false"));
+        assert!(json.contains("\"missed\":[]"));
+    }
+
+    #[test]
+    fn findings_render_with_fields() {
+        let report = Report {
+            package: "com.x".to_string(),
+            missed: vec![MissedInfo {
+                info: PrivateInfo::Location,
+                channel: Channel::Code,
+                permission: Some(ppchecker_apk::Permission::AccessFineLocation),
+                retained: true,
+            }],
+            libs: vec!["admob".to_string()],
+            ..Report::default()
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"info\":\"location\""));
+        assert!(json.contains("\"retained\":true"));
+        assert!(json.contains("\"permission\":\"ACCESS_FINE_LOCATION\""));
+        assert!(json.contains("\"libs\":[\"admob\"]"));
+    }
+
+    #[test]
+    fn outcome_renders_ok_and_error() {
+        let ok = Ok(CheckOutcome {
+            report: Report { package: "com.x".into(), ..Report::default() },
+            timings: None,
+            trace: None,
+        });
+        let json = outcome_to_json("com.x", &ok);
+        assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\"timings_us\""));
+        assert!(parse(&json).is_ok());
+
+        let err: Result<CheckOutcome, Error> = Err(Error::worker("boom"));
+        let json = outcome_to_json("com.y", &err);
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"stage\":\"batch\""));
+        assert!(json.contains("boom"));
+        assert!(parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,534 @@
+//! The resident daemon: accept loops, request routing, admission, and
+//! the `/metrics` document.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::start`] binds the HTTP listener (and optionally the JSONL
+//! one), warms a [`ppchecker_engine::Engine`], and spawns one acceptor
+//! thread per transport plus one handler thread per connection. All of
+//! them share one `Shared` hub: the engine, the resident
+//! [`WorkerPool`], the request counters, and the drain flag.
+//!
+//! ## Admission
+//!
+//! Checks never run on connection threads — every app goes through the
+//! pool's ticket gate. HTTP uses [`WorkerPool::try_admit`] so a full
+//! queue answers `429 overloaded` immediately (`/batch` admits
+//! all-or-nothing: a batch the queue can't hold entirely is rejected
+//! rather than half-admitted). The JSONL transport uses
+//! [`WorkerPool::admit_blocking`] — bulk clients want backpressure, not
+//! retries.
+//!
+//! ## Drain
+//!
+//! `POST /shutdown` (or SIGTERM) flips one flag: acceptors stop
+//! accepting, idle keep-alive connections see EOF, admitted work runs to
+//! completion, and responses for in-flight requests are still written.
+//! [`ServerHandle::join`] returns once the last connection closes and
+//! the pool is idle.
+
+use crate::http::{self, HttpRequest, ReadError};
+use crate::json;
+use crate::jsonl;
+use crate::ServeConfig;
+use ppchecker_core::AppInput;
+use ppchecker_engine::{AdmitError, CacheStats, Engine, WorkerPool};
+use std::io::{self, BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often blocked accept/read loops re-check the drain flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Monotonic request counters, scraped verbatim into `/metrics`.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// HTTP requests parsed (any route).
+    pub http_requests: AtomicU64,
+    /// JSONL request lines received.
+    pub jsonl_lines: AtomicU64,
+    /// Checks that produced a report.
+    pub checks_ok: AtomicU64,
+    /// Checks that produced a structured pipeline error.
+    pub check_errors: AtomicU64,
+    /// Admissions refused with `overloaded`.
+    pub overloaded: AtomicU64,
+    /// Requests/lines rejected as malformed.
+    pub malformed: AtomicU64,
+    /// Requests rejected for exceeding the body cap.
+    pub oversized: AtomicU64,
+    /// `/batch` requests served.
+    pub batches: AtomicU64,
+}
+
+/// Everything the daemon's threads share.
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) pool: WorkerPool,
+    pub(crate) config: ServeConfig,
+    pub(crate) counters: Counters,
+    started: Instant,
+    draining: AtomicBool,
+    connections: Mutex<usize>,
+    connections_closed: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Flips the daemon into drain mode (idempotent): acceptors stop,
+    /// new admissions fail with `draining`, admitted work finishes.
+    pub(crate) fn begin_shutdown(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.pool.start_drain();
+        }
+    }
+
+    fn connection_opened(&self) {
+        *self.connections.lock().expect("connection count") += 1;
+    }
+
+    fn connection_closed(&self) {
+        let mut n = self.connections.lock().expect("connection count");
+        *n -= 1;
+        if *n == 0 {
+            self.connections_closed.notify_all();
+        }
+    }
+
+    fn wait_connections_closed(&self) {
+        let mut n = self.connections.lock().expect("connection count");
+        while *n > 0 {
+            n = self.connections_closed.wait(n).expect("connection count");
+        }
+    }
+
+    /// Runs one admitted check on the pool and waits for its outcome,
+    /// already rendered as a wire result object.
+    pub(crate) fn run_check(
+        self: &Arc<Self>,
+        mut ticket: ppchecker_engine::AdmitTicket,
+        app: AppInput,
+    ) -> String {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.submit_check(&mut ticket, app, 0, tx);
+        match rx.recv() {
+            Ok((_seq, rendered)) => rendered,
+            Err(_) => json::error_body("worker lost").trim_end().to_string(),
+        }
+    }
+
+    /// Submits one check job; the rendered result arrives as
+    /// `(seq, json)` on `tx`.
+    pub(crate) fn submit_check(
+        self: &Arc<Self>,
+        ticket: &mut ppchecker_engine::AdmitTicket,
+        app: AppInput,
+        seq: u64,
+        tx: mpsc::SyncSender<(u64, String)>,
+    ) {
+        let shared = Arc::clone(self);
+        self.pool.submit(ticket, move || {
+            let result = shared.engine.check_one(&app);
+            let counter = if result.is_ok() {
+                &shared.counters.checks_ok
+            } else {
+                &shared.counters.check_errors
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send((seq, json::outcome_to_json(&app.package, &result)));
+        });
+    }
+}
+
+/// A bound, running daemon. Dropping the handle does NOT stop the
+/// server; call [`shutdown`](ServerHandle::shutdown) (or hit
+/// `POST /shutdown`) and then [`join`](ServerHandle::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    jsonl_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    acceptors: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound HTTP address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound JSONL address, when that transport was enabled.
+    pub fn jsonl_addr(&self) -> Option<SocketAddr> {
+        self.jsonl_addr
+    }
+
+    /// Starts a graceful drain, as if `POST /shutdown` had arrived.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the daemon has fully drained: acceptors exited, all
+    /// connections closed, all admitted work completed.
+    pub fn join(self) {
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        self.shared.wait_connections_closed();
+        self.shared.pool.wait_idle();
+    }
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+impl Server {
+    /// Binds the configured listeners over a warm engine and starts
+    /// serving. Metrics collection ([`ppchecker_obs`]) is switched on —
+    /// a daemon without its `/metrics` endpoint populated is blind.
+    pub fn start(engine: Engine, config: ServeConfig) -> io::Result<ServerHandle> {
+        ppchecker_obs::set_enabled(true);
+        let http_listener = TcpListener::bind(&config.addr)?;
+        let addr = http_listener.local_addr()?;
+        let jsonl_listener = match &config.jsonl_addr {
+            Some(spec) => Some(TcpListener::bind(spec)?),
+            None => None,
+        };
+        let jsonl_addr = match &jsonl_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
+        let pool = WorkerPool::new(config.workers, config.queue_depth);
+        let shared = Arc::new(Shared {
+            engine,
+            pool,
+            config,
+            counters: Counters::default(),
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            connections: Mutex::new(0),
+            connections_closed: Condvar::new(),
+        });
+
+        let mut acceptors = Vec::new();
+        let hub = Arc::clone(&shared);
+        acceptors.push(
+            thread::Builder::new()
+                .name("ppchecker-accept-http".to_string())
+                .spawn(move || accept_loop(hub, http_listener, handle_http_connection))
+                .expect("spawn acceptor"),
+        );
+        if let Some(listener) = jsonl_listener {
+            let hub = Arc::clone(&shared);
+            acceptors.push(
+                thread::Builder::new()
+                    .name("ppchecker-accept-jsonl".to_string())
+                    .spawn(move || accept_loop(hub, listener, jsonl::handle_connection))
+                    .expect("spawn acceptor"),
+            );
+        }
+
+        Ok(ServerHandle { addr, jsonl_addr, shared, acceptors })
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, handler: fn(Arc<Shared>, TcpStream)) {
+    listener.set_nonblocking(true).expect("nonblocking listener");
+    loop {
+        if crate::sigterm_received() {
+            shared.begin_shutdown();
+        }
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                shared.connection_opened();
+                let hub = Arc::clone(&shared);
+                let spawned =
+                    thread::Builder::new().name("ppchecker-conn".to_string()).spawn(move || {
+                        let _guard = ConnGuard(&hub);
+                        handler(Arc::clone(&hub), stream);
+                    });
+                if spawned.is_err() {
+                    shared.connection_closed();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Decrements the connection count when a handler thread exits, however
+/// it exits.
+struct ConnGuard<'a>(&'a Arc<Shared>);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connection_closed();
+    }
+}
+
+/// A [`Read`] wrapper that turns socket timeouts into either a retry
+/// (normal operation) or EOF (the daemon is draining), so keep-alive
+/// connections park cheaply yet exit promptly on shutdown.
+pub(crate) struct PatientReader {
+    pub(crate) stream: TcpStream,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Read for PatientReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if self.shared.draining() {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// What `route` decided: a status, a body, and lifecycle side effects.
+struct Response {
+    status: u16,
+    body: String,
+    close: bool,
+    begin_shutdown: bool,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Response { status: 200, body, close: false, begin_shutdown: false }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Response { status, body: json::error_body(message), close: false, begin_shutdown: false }
+    }
+}
+
+fn handle_http_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(PatientReader { stream, shared: Arc::clone(&shared) });
+    loop {
+        match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(request) => {
+                shared.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+                let _span = ppchecker_obs::span!("serve.request");
+                let response = route(&shared, &request);
+                let keep_alive = request.keep_alive && !response.close;
+                let written =
+                    http::write_response(&mut writer, response.status, &response.body, keep_alive);
+                if response.begin_shutdown {
+                    shared.begin_shutdown();
+                }
+                if written.is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed(message)) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(&mut writer, 400, &json::error_body(&message), false);
+                return;
+            }
+            Err(ReadError::TooLarge(len)) => {
+                shared.counters.oversized.fetch_add(1, Ordering::Relaxed);
+                let message =
+                    format!("body of {len} bytes exceeds cap of {}", shared.config.max_body_bytes);
+                let _ = http::write_response(&mut writer, 413, &json::error_body(&message), false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, request: &HttpRequest) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/check") => handle_check(shared, &request.body),
+        ("POST", "/batch") => handle_batch(shared, &request.body),
+        ("GET", "/metrics") => Response::ok(metrics_to_json(shared)),
+        ("GET", "/healthz") => Response::ok(healthz_to_json(shared)),
+        ("POST", "/shutdown") => Response {
+            status: 200,
+            body: "{\"status\":\"draining\"}".to_string(),
+            close: true,
+            begin_shutdown: true,
+        },
+        ("GET", "/check" | "/batch" | "/shutdown") | ("POST", "/metrics" | "/healthz") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn handle_check(shared: &Arc<Shared>, body: &str) -> Response {
+    let parsed = json::parse(body).and_then(|doc| json::parse_app(&doc));
+    let app = match parsed {
+        Ok(app) => app,
+        Err(message) => {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &message);
+        }
+    };
+    match shared.pool.try_admit(1) {
+        Ok(ticket) => Response::ok(shared.run_check(ticket, app)),
+        Err(AdmitError::Overloaded) => {
+            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            Response::error(429, "overloaded")
+        }
+        Err(AdmitError::Draining) => Response::error(503, "draining"),
+    }
+}
+
+fn handle_batch(shared: &Arc<Shared>, body: &str) -> Response {
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(message) => {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            return Response::error(400, &message);
+        }
+    };
+    let Some(entries) = doc.get("apps").and_then(json::Value::as_array) else {
+        shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+        return Response::error(400, "missing \"apps\" array");
+    };
+    let mut apps = Vec::with_capacity(entries.len());
+    for (index, entry) in entries.iter().enumerate() {
+        match json::parse_app(entry) {
+            Ok(app) => apps.push(app),
+            Err(message) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                return Response::error(400, &format!("apps[{index}]: {message}"));
+            }
+        }
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    let count = apps.len();
+    if count == 0 {
+        return Response::ok("{\"count\":0,\"results\":[]}".to_string());
+    }
+    // All-or-nothing admission: either the queue holds the whole batch
+    // or the caller gets an immediate `overloaded` and retries later —
+    // never a half-admitted batch wedged against its own remainder.
+    let mut ticket = match shared.pool.try_admit(count) {
+        Ok(ticket) => ticket,
+        Err(AdmitError::Overloaded) => {
+            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Response::error(429, "overloaded");
+        }
+        Err(AdmitError::Draining) => return Response::error(503, "draining"),
+    };
+    let (tx, rx) = mpsc::sync_channel(count);
+    for (index, app) in apps.into_iter().enumerate() {
+        shared.submit_check(&mut ticket, app, index as u64, tx.clone());
+    }
+    drop(tx);
+    let mut results = vec![String::new(); count];
+    for (index, rendered) in rx {
+        results[index as usize] = rendered;
+    }
+    Response::ok(format!("{{\"count\":{count},\"results\":[{}]}}", results.join(",")))
+}
+
+fn healthz_to_json(shared: &Shared) -> String {
+    let status = if shared.draining() { "draining" } else { "ok" };
+    format!(
+        "{{\"status\":\"{status}\",\"inflight\":{},\"uptime_ms\":{}}}",
+        shared.pool.stats().inflight,
+        shared.started.elapsed().as_millis(),
+    )
+}
+
+fn cache_to_json(stats: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"entries\":{},\"hit_rate\":{:.4}}}",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate(),
+    )
+}
+
+/// Renders the full `/metrics` document: request counters, queue
+/// occupancy, cache effectiveness, interner occupancy, and per-span
+/// latency quantiles — cumulative since process start (scrape twice and
+/// difference for a window).
+fn metrics_to_json(shared: &Shared) -> String {
+    let counters = &shared.counters;
+    let queue = shared.pool.stats();
+    let engine = shared.engine.metrics_snapshot();
+    let interner = engine.interner;
+    let spans: Vec<String> = ppchecker_obs::snapshot()
+        .iter()
+        .map(|(name, snap)| {
+            format!(
+                "\"{}\":{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\
+                 \"max_us\":{},\"total_us\":{}}}",
+                json::escape(name),
+                snap.count,
+                snap.p50().as_micros(),
+                snap.p90().as_micros(),
+                snap.p99().as_micros(),
+                snap.max_duration().as_micros(),
+                snap.total().as_micros(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"uptime_ms\":{},\
+         \"requests\":{{\"http\":{},\"jsonl_lines\":{},\"checks_ok\":{},\"check_errors\":{},\
+         \"overloaded\":{},\"malformed\":{},\"oversized\":{},\"batches\":{}}},\
+         \"queue\":{{\"workers\":{},\"capacity\":{},\"inflight\":{},\"draining\":{}}},\
+         \"lib_policies\":{},\
+         \"caches\":{{\"policy\":{},\"policy_cap\":{},\"esa_vectors\":{},\"esa_pair_memo\":{},\
+         \"esa_pruned\":{},\"taint_summaries\":{}}},\
+         \"interner\":{{\"symbols\":{},\"preseeded\":{},\"bytes\":{},\"soft_cap_bytes\":{},\
+         \"over_soft_cap\":{},\"over_cap_interns\":{}}},\
+         \"spans\":{{{}}}}}",
+        shared.started.elapsed().as_millis(),
+        counters.http_requests.load(Ordering::Relaxed),
+        counters.jsonl_lines.load(Ordering::Relaxed),
+        counters.checks_ok.load(Ordering::Relaxed),
+        counters.check_errors.load(Ordering::Relaxed),
+        counters.overloaded.load(Ordering::Relaxed),
+        counters.malformed.load(Ordering::Relaxed),
+        counters.oversized.load(Ordering::Relaxed),
+        counters.batches.load(Ordering::Relaxed),
+        queue.workers,
+        queue.capacity,
+        queue.inflight,
+        queue.draining,
+        engine.lib_policies,
+        cache_to_json(&engine.policy_cache),
+        shared.engine.cache().cap(),
+        cache_to_json(&engine.esa_cache),
+        cache_to_json(&engine.esa_pair_memo),
+        engine.esa_pruned,
+        cache_to_json(&engine.taint_summary_cache),
+        interner.symbols,
+        interner.preseeded,
+        interner.bytes,
+        interner.soft_cap_bytes,
+        interner.over_soft_cap,
+        ppchecker_nlp::Interner::global().over_cap_interns(),
+        spans.join(","),
+    )
+}

@@ -1,0 +1,277 @@
+//! Wire-layer matrix against a live daemon: malformed input, oversized
+//! bodies, mid-stream disconnects, admission under a full queue, cache
+//! warm-up across requests, JSONL ordering, and graceful drain.
+
+use ppchecker_core::PPChecker;
+use ppchecker_corpus::small_dataset;
+use ppchecker_engine::Engine;
+use ppchecker_serve::json::Value;
+use ppchecker_serve::{Client, JsonlClient, ServeConfig, Server, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// Boots a daemon on ephemeral ports over a plain checker.
+fn daemon(workers: usize, queue_depth: usize, jsonl: bool) -> ServerHandle {
+    daemon_with(Engine::new(PPChecker::new()), workers, queue_depth, jsonl, 4 * 1024 * 1024)
+}
+
+fn daemon_with(
+    engine: Engine,
+    workers: usize,
+    queue_depth: usize,
+    jsonl: bool,
+    max_body_bytes: usize,
+) -> ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jsonl_addr: jsonl.then(|| "127.0.0.1:0".to_string()),
+        workers,
+        queue_depth,
+        max_body_bytes,
+    };
+    Server::start(engine, config).expect("daemon boots")
+}
+
+fn shut_down(handle: ServerHandle) {
+    handle.shutdown();
+    handle.join();
+}
+
+fn number(doc: &Value, path: &[&str]) -> f64 {
+    let mut node = doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("metrics missing {path:?}"));
+    }
+    node.as_f64().unwrap_or_else(|| panic!("{path:?} is not a number"))
+}
+
+#[test]
+fn check_roundtrips_and_second_pass_hits_warm_caches() {
+    let dataset = small_dataset(11, 3);
+    let handle = daemon_with(Engine::new(dataset.make_checker()), 2, 4, false, 4 * 1024 * 1024);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Cold pass: every app analyzed from scratch.
+    for app in dataset.iter_apps() {
+        let (status, body) = client.check(app).unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        assert!(body.contains("\"ok\":true"), "body: {body}");
+        assert!(body
+            .contains(&format!("\"package\":\"{}\"", ppchecker_serve::json::escape(&app.package))));
+    }
+    // Warm pass: identical texts and libs must be served from the caches.
+    for app in dataset.iter_apps() {
+        let (status, _) = client.check(app).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    let metrics = client.metrics().unwrap();
+    assert!(number(&metrics, &["caches", "policy", "hits"]) > 0.0, "policy cache never hit");
+    assert!(
+        number(&metrics, &["caches", "taint_summaries", "hits"]) > 0.0,
+        "taint summary cache never hit"
+    );
+    assert!(number(&metrics, &["caches", "esa_vectors", "hits"]) > 0.0, "esa cache never hit");
+    assert!(number(&metrics, &["requests", "checks_ok"]) >= 6.0);
+    assert!(number(&metrics, &["interner", "symbols"]) > 0.0);
+    assert!(number(&metrics, &["interner", "soft_cap_bytes"]) > 0.0);
+    shut_down(handle);
+}
+
+#[test]
+fn malformed_json_gets_400_and_connection_survives() {
+    let handle = daemon(1, 2, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (status, body) = client.request("POST", "/check", "this is not json").unwrap();
+    assert_eq!(status, 400);
+    assert!(body.contains("error"));
+    // Keep-alive holds: the same connection still serves requests.
+    let (status, body) = client.healthz().unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""));
+
+    let metrics = client.metrics().unwrap();
+    assert!(number(&metrics, &["requests", "malformed"]) >= 1.0);
+    shut_down(handle);
+}
+
+#[test]
+fn malformed_http_gets_400_then_close() {
+    let handle = daemon(1, 2, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.send_raw(b"THIS IS NOT HTTP AT ALL\r\n\r\n").unwrap();
+    let (status, _) = client.read_response().unwrap();
+    assert_eq!(status, 400);
+    // The daemon closed the connection; the next read sees EOF.
+    assert!(client.read_response().is_err());
+    shut_down(handle);
+}
+
+#[test]
+fn oversized_body_gets_413_without_reading_it() {
+    let handle = daemon_with(Engine::new(PPChecker::new()), 1, 2, false, 1024);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let big = "x".repeat(4096);
+    let (status, body) = client.request("POST", "/check", &big).unwrap();
+    assert_eq!(status, 413);
+    assert!(body.contains("exceeds cap"));
+
+    let mut probe = Client::connect(handle.addr()).unwrap();
+    let metrics = probe.metrics().unwrap();
+    assert!(number(&metrics, &["requests", "oversized"]) >= 1.0);
+    shut_down(handle);
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_the_daemon_healthy() {
+    let handle = daemon(1, 2, false);
+    // Promise a body, send half of it, vanish.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(b"POST /check HTTP/1.1\r\ncontent-length: 500\r\n\r\nonly a fragment")
+            .unwrap();
+        stream.flush().unwrap();
+    }
+    // Disconnect mid-headers too.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"POST /check HTTP/1.1\r\ncontent-len").unwrap();
+        stream.flush().unwrap();
+    }
+    thread::sleep(Duration::from_millis(50));
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (status, body) = client.healthz().unwrap();
+    assert_eq!(status, 200, "daemon unhealthy after disconnects: {body}");
+    shut_down(handle);
+}
+
+#[test]
+fn batch_beyond_capacity_is_overloaded_not_a_hang() {
+    let dataset = small_dataset(13, 6);
+    // Capacity = workers + queue_depth = 2; a 6-app batch can never fit.
+    let handle = daemon(1, 1, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let apps: Vec<_> = dataset.iter_apps().cloned().collect();
+    let (status, body) = client.batch(&apps).unwrap();
+    assert_eq!(status, 429, "body: {body}");
+    assert!(body.contains("overloaded"));
+
+    let metrics = client.metrics().unwrap();
+    assert!(number(&metrics, &["requests", "overloaded"]) >= 1.0);
+    shut_down(handle);
+}
+
+#[test]
+fn concurrent_checks_against_a_tiny_queue_all_resolve() {
+    let dataset = small_dataset(17, 4);
+    let handle = daemon(1, 1, false);
+    let addr = handle.addr();
+    let apps: Vec<_> = dataset.iter_apps().cloned().collect();
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let apps = apps.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut statuses = Vec::new();
+                for app in &apps {
+                    let (status, _) = client.check(app).unwrap();
+                    statuses.push(status);
+                }
+                (t, statuses)
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (t, statuses) = worker.join().expect("client thread survived");
+        for status in statuses {
+            assert!(
+                status == 200 || status == 429,
+                "thread {t}: unexpected status {status} — checks must resolve or shed, never hang"
+            );
+        }
+    }
+    shut_down(handle);
+}
+
+#[test]
+fn jsonl_preserves_input_order_and_survives_malformed_lines() {
+    let dataset = small_dataset(19, 2);
+    let handle = daemon(2, 4, true);
+    let apps: Vec<_> = dataset.iter_apps().cloned().collect();
+    let lines = vec![
+        ppchecker_serve::json::app_to_json(&apps[0]),
+        "definitely not json".to_string(),
+        ppchecker_serve::json::app_to_json(&apps[1]),
+    ];
+    let client = JsonlClient::connect(handle.jsonl_addr().unwrap()).unwrap();
+    let responses = client.send_lines(&lines).unwrap();
+    assert_eq!(responses.len(), 3, "one response line per input line: {responses:?}");
+    assert!(responses[0].contains("\"ok\":true"));
+    assert!(responses[0].contains(&apps[0].package));
+    assert!(responses[1].contains("\"ok\":false"));
+    assert!(responses[2].contains("\"ok\":true"));
+    assert!(responses[2].contains(&apps[1].package));
+    shut_down(handle);
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_work() {
+    let dataset = small_dataset(23, 4);
+    let handle = daemon(1, 4, false);
+    let addr = handle.addr();
+    let apps: Vec<_> = dataset.iter_apps().cloned().collect();
+    let count = apps.len();
+    let in_flight = thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.batch(&apps).unwrap()
+    });
+    // Let the batch admit, then pull the plug while it runs.
+    thread::sleep(Duration::from_millis(30));
+    let mut control = Client::connect(addr).unwrap();
+    let (status, body) = control.shutdown().unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"));
+
+    let (status, body) = in_flight.join().expect("batch client survived");
+    assert_eq!(status, 200, "in-flight batch must complete through the drain: {body}");
+    assert!(body.contains(&format!("\"count\":{count}")));
+    // Every admitted app produced a result object.
+    assert_eq!(body.matches("\"ok\":").count(), count, "body: {body}");
+    handle.join();
+}
+
+#[test]
+fn unknown_routes_and_wrong_methods_are_refused() {
+    let handle = daemon(1, 2, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (status, _) = client.request("GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("GET", "/check", "").unwrap();
+    assert_eq!(status, 405);
+    let (status, _) = client.request("POST", "/healthz", "").unwrap();
+    assert_eq!(status, 405);
+    shut_down(handle);
+}
+
+#[test]
+fn metrics_document_is_well_formed_json_with_span_quantiles() {
+    let dataset = small_dataset(29, 1);
+    let handle = daemon(1, 2, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let app = dataset.iter_apps().next().unwrap();
+    let (status, _) = client.check(app).unwrap();
+    assert_eq!(status, 200);
+    let metrics = client.metrics().unwrap();
+    // Request handling and check pipeline spans both appear with
+    // quantile fields once traffic has flowed.
+    let spans = metrics.get("spans").expect("spans object");
+    let request_span = spans.get("serve.request").expect("serve.request span recorded");
+    assert!(number(request_span, &["count"]) >= 1.0);
+    assert!(request_span.get("p50_us").is_some());
+    assert!(request_span.get("p99_us").is_some());
+    assert!(spans.get("app.check").is_some(), "engine span missing from /metrics");
+    shut_down(handle);
+}

@@ -7,7 +7,7 @@
 //! ```
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
-use ppchecker_core::{describe_leak, suggest_fixes, AppInput, PPChecker};
+use ppchecker_core::{describe_leak, suggest_fixes, AppInput, CheckRequest, PPChecker};
 
 fn main() {
     let mut manifest = Manifest::new("com.example.fitness");
@@ -48,7 +48,7 @@ fn main() {
 
     let mut checker = PPChecker::new();
     checker.register_lib_policy("admob", "<p>we may share your device id with our partners.</p>");
-    let report = checker.check(&app).expect("analyzes cleanly");
+    let report = checker.check(CheckRequest::for_app(&app)).expect("analyzes cleanly");
 
     println!("== findings ==");
     println!("{report}");

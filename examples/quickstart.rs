@@ -6,7 +6,7 @@
 //! ```
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
-use ppchecker_core::{AppInput, PPChecker};
+use ppchecker_core::{AppInput, CheckRequest, PPChecker};
 
 fn main() {
     // 1. The app's manifest: a weather app asking for fine location.
@@ -47,7 +47,7 @@ fn main() {
 
     // 4. Run PPChecker.
     let checker = PPChecker::new();
-    let report = checker.check(&app).expect("plain dex analyzes cleanly");
+    let report = checker.check(CheckRequest::for_app(&app)).expect("plain dex analyzes cleanly");
 
     println!("{report}");
     println!("incomplete?   {}", report.is_incomplete());

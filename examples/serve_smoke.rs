@@ -1,0 +1,89 @@
+//! CI smoke test for the resident daemon: boot `ppchecker serve`'s
+//! server in-process, drive it like an external caller would — warm
+//! checks, one malformed request, a `/metrics` scrape — and drain.
+//!
+//! Exits non-zero (panics) if any step misbehaves, so CI can run it as
+//! a plain `cargo run --release --example serve_smoke`. The warm-cache
+//! assertion uses hit *counters*, not latencies: on a loaded CI runner
+//! wall times swing, but a second pass over the same corpus must be
+//! served from the resident caches.
+
+use ppchecker_corpus::small_dataset;
+use ppchecker_engine::Engine;
+use ppchecker_serve::json::Value;
+use ppchecker_serve::{Client, ServeConfig, Server};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn refused(addr: SocketAddr) -> bool {
+    TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err()
+}
+
+fn number(metrics: &Value, path: &[&str]) -> f64 {
+    let mut node = metrics;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("metrics missing {path:?}"));
+    }
+    node.as_f64().unwrap_or_else(|| panic!("metrics {path:?} not a number"))
+}
+
+fn main() {
+    let dataset = small_dataset(7, 6);
+    let engine = Engine::with_lib_policies(
+        dataset.make_checker(),
+        dataset.lib_policies.iter().map(|lp| (lp.lib.id.to_string(), lp.html.clone())),
+    );
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let handle = Server::start(engine, config).expect("daemon boots");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    println!("serve_smoke: daemon on {}", handle.addr());
+
+    // Two passes over the corpus: the first is cold, the second must be
+    // served from the resident caches.
+    let apps: Vec<_> = dataset.iter_apps().cloned().collect();
+    for pass in 1..=2 {
+        for app in &apps {
+            let (status, body) = client.check(app).expect("check round-trips");
+            assert_eq!(status, 200, "pass {pass}, body: {body}");
+            assert!(body.contains("\"ok\":true"), "pass {pass}, body: {body}");
+        }
+        println!("serve_smoke: pass {pass} ok ({} apps)", apps.len());
+    }
+
+    // A malformed request must get a clean 400, and the daemon must
+    // keep serving afterwards.
+    let (status, _) = client
+        .request("POST", "/check", "{\"policy_html\": unterminated")
+        .expect("gets a response");
+    assert_eq!(status, 400, "malformed JSON is refused");
+    let (status, _) = client.check(&apps[0]).expect("daemon survives malformed input");
+    assert_eq!(status, 200);
+    println!("serve_smoke: malformed request refused with 400, daemon still healthy");
+
+    // The metrics document must show warm-cache hits and the request
+    // counters this smoke generated.
+    let metrics = client.metrics().expect("metrics scrape");
+    let hits = |cache: &str| number(&metrics, &["caches", cache, "hits"]);
+    assert!(hits("policy") > 0.0, "second pass hits the policy cache");
+    assert!(hits("esa_vectors") > 0.0, "second pass hits the ESA vector cache");
+    assert!(number(&metrics, &["requests", "checks_ok"]) >= (2 * apps.len() + 1) as f64);
+    assert!(number(&metrics, &["requests", "malformed"]) >= 1.0);
+    assert!(number(&metrics, &["interner", "symbols"]) > 0.0);
+    let span_count = number(&metrics, &["spans", "serve.request", "count"]);
+    assert!(span_count >= (2 * apps.len()) as f64, "requests are traced: {span_count}");
+    println!(
+        "serve_smoke: metrics ok — policy cache {} hits, esa vectors {} hits, {} checks",
+        hits("policy"),
+        hits("esa_vectors"),
+        number(&metrics, &["requests", "checks_ok"]),
+    );
+
+    // Graceful drain: shutdown is acknowledged, join returns, and a new
+    // connection is refused afterwards.
+    let (status, body) = client.shutdown().expect("shutdown accepted");
+    assert_eq!(status, 200, "body: {body}");
+    let addr = handle.addr();
+    handle.join();
+    assert!(refused(addr), "drained daemon no longer accepts");
+    println!("serve_smoke: drained cleanly");
+}

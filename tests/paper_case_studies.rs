@@ -2,7 +2,7 @@
 //! crate boundaries (policy + description + static analysis + core).
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
-use ppchecker_core::{AppInput, PPChecker};
+use ppchecker_core::{AppInput, CheckRequest, PPChecker};
 use ppchecker_policy::VerbCategory;
 
 /// §II-B (1) / Fig. 2 — com.dooing.dooing: the description advertises
@@ -37,7 +37,7 @@ fn dooing_incomplete_policy() {
             .to_string(),
         apk: Apk::new(manifest, dex),
     };
-    let report = PPChecker::new().check(&app).unwrap();
+    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
     assert!(report.is_incomplete());
     assert!(report.missed_via_description().any(|m| m.info == PrivateInfo::Location));
     assert!(report.missed_via_code().any(|m| m.info == PrivateInfo::Location));
@@ -74,7 +74,7 @@ fn easyxapp_incorrect_policy() {
         description: "Share secrets anonymously with people around you.".to_string(),
         apk: Apk::new(manifest, dex),
     };
-    let report = PPChecker::new().check(&app).unwrap();
+    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
     assert!(report.is_incorrect());
     assert!(report
         .incorrect
@@ -107,7 +107,7 @@ fn myobservatory_incorrect_policy() {
         description: "The official weather app.".to_string(),
         apk: Apk::new(manifest, dex),
     };
-    let report = PPChecker::new().check(&app).unwrap();
+    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
     assert!(report.is_incorrect());
     assert!(report.incorrect.iter().any(|f| f.info == PrivateInfo::Location));
 }
@@ -139,7 +139,7 @@ fn templerun_inconsistent_policy() {
         "unity3d",
         "<p>We may receive your location information and device identifiers.</p>",
     );
-    let report = checker.check(&app).unwrap();
+    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
     assert!(report.is_inconsistent());
     assert_eq!(report.inconsistencies[0].lib_id, "unity3d");
     assert_eq!(report.inconsistencies[0].category, VerbCategory::Collect);
@@ -172,7 +172,7 @@ fn hammertime_disclaimer_suppresses_inconsistency() {
     };
     let mut checker = PPChecker::new();
     checker.register_lib_policy("unity3d", "<p>We may receive your location information.</p>");
-    let report = checker.check(&app).unwrap();
+    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
     assert!(report.has_disclaimer);
     assert!(!report.is_inconsistent());
 }
@@ -226,7 +226,7 @@ fn staffmark_esa_false_positive_reproduced() {
     let mut checker = PPChecker::new();
     checker
         .register_lib_policy("admob", "<p>We will share personal information with companies.</p>");
-    let report = checker.check(&app).unwrap();
+    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
     // The detector flags it — matching the paper's false positive.
     assert!(report.is_inconsistent());
 }
