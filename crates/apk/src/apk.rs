@@ -83,6 +83,31 @@ impl Apk {
             Payload::Packed(_) => None,
         }
     }
+
+    /// A content hash of the whole APK — manifest text plus dex payload —
+    /// stable across runs and platforms. This is the artifact store's
+    /// per-app invalidation key: any change to permissions, components,
+    /// or bytecode produces a different hash, so a stored report is only
+    /// replayed for a byte-identical app.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::hash::FnvHasher::default();
+        let manifest = self.manifest.to_text();
+        h.write_u64(manifest.len() as u64);
+        h.write(manifest.as_bytes());
+        match &self.payload {
+            Payload::Plain(d) => {
+                h.write_u64(0);
+                h.write_u64(d.stable_hash());
+            }
+            Payload::Packed(blob) => {
+                h.write_u64(1);
+                h.write_u64(blob.len() as u64);
+                h.write(blob);
+            }
+        }
+        h.finish()
+    }
 }
 
 impl fmt::Display for Apk {
@@ -126,6 +151,24 @@ mod tests {
         assert!(apk.is_packed());
         assert!(apk.plain_dex().is_none());
         assert_eq!(apk.dex().unwrap(), dex());
+    }
+
+    #[test]
+    fn content_hash_tracks_manifest_and_dex() {
+        let base = Apk::new(Manifest::new("com.x"), dex());
+        assert_eq!(base.content_hash(), Apk::new(Manifest::new("com.x"), dex()).content_hash());
+
+        let mut perm = Manifest::new("com.x");
+        perm.add_permission(crate::Permission::ReadContacts);
+        assert_ne!(base.content_hash(), Apk::new(perm, dex()).content_hash());
+
+        let other_dex = Dex::builder().class("com.x.Other", |_| {}).build();
+        assert_ne!(base.content_hash(), Apk::new(Manifest::new("com.x"), other_dex).content_hash());
+
+        // Packed and plain forms of the same app hash apart (the packed
+        // payload is what the pipeline would actually re-analyze).
+        let packed = Apk::new_packed(Manifest::new("com.x"), &dex(), 0x33);
+        assert_ne!(base.content_hash(), packed.content_hash());
     }
 
     #[test]

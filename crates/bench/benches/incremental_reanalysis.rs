@@ -1,0 +1,143 @@
+//! Cold-vs-warm re-analysis over a versioned corpus: the persistent
+//! artifact store's headline workload.
+//!
+//! The bench builds a [`ppchecker_corpus::versioned_history`] — a base
+//! snapshot plus mutated releases (policy drift, permission adds, lib
+//! swaps on ~10% of apps per version) — then measures three regimes
+//! against one on-disk store:
+//!
+//! 1. **cold** — empty store, every app analyzed from scratch;
+//! 2. **warm** — same snapshot re-run through a fresh engine: every
+//!    report replays from disk (the issue's acceptance bar is a ≥3×
+//!    wall-clock win);
+//! 3. **incremental** — the next release re-run warm: only the mutated
+//!    apps pay for analysis.
+//!
+//! Headline numbers land in `BENCH_store.json` at the repo root (stable
+//! schema, see [`ppchecker_bench::emit`]): `runs` holds the warm
+//! wall-times, and `config` records the cold baseline and speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppchecker_bench::emit::BenchResult;
+use ppchecker_corpus::{versioned_history, CorpusVersion, VersionedHistory};
+use ppchecker_engine::Engine;
+use ppchecker_store::Store;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const APPS: usize = 150;
+const VERSIONS: usize = 3;
+const CHANGE_PERCENT: u64 = 10;
+const SEED: u64 = 42;
+const WARM_RUNS: usize = 5;
+
+fn scratch_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppbench-store-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one snapshot through a fresh engine over `store`, returning the
+/// wall time and how many apps replayed from disk.
+fn run_version(
+    history: &VersionedHistory,
+    version: &CorpusVersion,
+    store: &Arc<Store>,
+) -> (Duration, u64) {
+    let engine = Engine::new(history.make_checker()).with_store(Arc::clone(store));
+    let t = Instant::now();
+    let batch = engine.run(version.apps.iter().map(|a| a.input.clone()));
+    let wall = t.elapsed();
+    assert_eq!(batch.metrics.errors, 0, "generated corpora analyze cleanly");
+    let skipped = batch.metrics.store.map(|s| s.apps_skipped).unwrap_or(0);
+    (wall, skipped)
+}
+
+fn emit_bench_json() {
+    let history = versioned_history(SEED, APPS, VERSIONS, CHANGE_PERCENT);
+    let dir = scratch_store("emit");
+    let store = Arc::new(Store::open(&dir).expect("open scratch store"));
+    let base = &history.versions[0];
+
+    let (cold, cold_skipped) = run_version(&history, base, &store);
+    assert_eq!(cold_skipped, 0, "cold run must analyze everything");
+
+    let mut warm_runs = Vec::with_capacity(WARM_RUNS);
+    for _ in 0..WARM_RUNS {
+        let (wall, skipped) = run_version(&history, base, &store);
+        assert_eq!(skipped as usize, APPS, "warm run must replay every app");
+        warm_runs.push(wall);
+    }
+    let warm_total: f64 = warm_runs.iter().map(Duration::as_secs_f64).sum();
+    let warm_mean = warm_total / WARM_RUNS as f64;
+    let speedup = cold.as_secs_f64() / warm_mean;
+
+    // The incremental regime: the next release over the same store.
+    let next = &history.versions[1];
+    let (incr, incr_skipped) = run_version(&history, next, &store);
+    let changed = next.changes.len();
+    assert_eq!(
+        incr_skipped as usize,
+        APPS - changed,
+        "incremental run must re-analyze exactly the changed apps"
+    );
+
+    let throughput = (WARM_RUNS * APPS) as f64 / warm_total;
+    let result = BenchResult {
+        bench: "incremental_reanalysis".to_string(),
+        config: vec![
+            ("apps".to_string(), APPS.to_string()),
+            ("versions".to_string(), VERSIONS.to_string()),
+            ("change_percent".to_string(), CHANGE_PERCENT.to_string()),
+            ("seed".to_string(), SEED.to_string()),
+            ("cold_us".to_string(), (cold.as_micros() as u64).to_string()),
+            ("incremental_us".to_string(), (incr.as_micros() as u64).to_string()),
+            ("incremental_changed".to_string(), changed.to_string()),
+            ("warm_speedup".to_string(), format!("{speedup:.2}")),
+        ],
+        runs: warm_runs,
+        throughput,
+    };
+    let path = result.write("store").expect("write BENCH_store.json");
+    println!(
+        "incremental_reanalysis: cold {cold:?}, warm mean {:.1?} ({speedup:.1}x), \
+         incremental {incr:?} over {changed}/{APPS} changed apps; wrote {}",
+        Duration::from_secs_f64(warm_mean),
+        path.display()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    emit_bench_json();
+
+    let history = versioned_history(SEED, 60, 2, CHANGE_PERCENT);
+    let base = &history.versions[0];
+    let next = &history.versions[1];
+    let mut g = c.benchmark_group("store");
+    g.sample_size(10);
+    g.bench_function("cold_60", |b| {
+        b.iter(|| {
+            let dir = scratch_store("cold");
+            let store = Arc::new(Store::open(&dir).expect("open scratch store"));
+            black_box(run_version(&history, base, &store));
+            let _ = std::fs::remove_dir_all(&dir);
+        })
+    });
+    {
+        let dir = scratch_store("warm");
+        let store = Arc::new(Store::open(&dir).expect("open scratch store"));
+        run_version(&history, base, &store);
+        g.bench_function("warm_60", |b| b.iter(|| black_box(run_version(&history, base, &store))));
+        g.bench_function("incremental_60", |b| {
+            b.iter(|| black_box(run_version(&history, next, &store)))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Validates every checked-in `BENCH_*.json` against the stable bench
+//! schema (see [`ppchecker_bench::emit`]).
+//!
+//! ```text
+//! bench_schema_check [<dir>] [--baseline <dir>]
+//! ```
+//!
+//! Scans `<dir>` (default: the repo root) for `BENCH_*.json`, fails on
+//! any schema violation, and — when `--baseline` points at a directory
+//! holding an older set of artifacts — prints throughput deltas.
+//! Throughput drift is **warn-only**: hardware varies across CI runners,
+//! so a slowdown never fails the check, it just shows up in the log.
+
+use ppchecker_bench::emit::{repo_root, validate};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--baseline" {
+            baseline = args.get(i + 1).map(PathBuf::from);
+            i += 2;
+        } else {
+            dir = Some(PathBuf::from(&args[i]));
+            i += 1;
+        }
+    }
+    let dir = dir.unwrap_or_else(repo_root);
+
+    let files = bench_files(&dir);
+    if files.is_empty() {
+        eprintln!("bench_schema_check: no BENCH_*.json under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {name}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate(&text) {
+            Ok(headline) => {
+                println!(
+                    "ok   {name}: bench={} runs={} throughput={:.2}/s",
+                    headline.bench, headline.runs, headline.throughput
+                );
+                if let Some(base_dir) = &baseline {
+                    diff_against_baseline(name, headline.throughput, base_dir);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench_schema_check: {} artifact(s) conform", files.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// Warn-only throughput comparison against the same-named artifact in
+/// `base_dir`.
+fn diff_against_baseline(name: &str, throughput: f64, base_dir: &Path) {
+    let base_path = base_dir.join(name);
+    let Ok(text) = std::fs::read_to_string(&base_path) else {
+        println!("     {name}: no baseline at {}", base_path.display());
+        return;
+    };
+    match validate(&text) {
+        Ok(base) if base.throughput > 0.0 => {
+            let ratio = throughput / base.throughput;
+            let verdict = if ratio < 0.8 { "WARN slower" } else { "within range" };
+            println!(
+                "     {name}: {:.2}/s -> {throughput:.2}/s ({ratio:.2}x, {verdict})",
+                base.throughput
+            );
+        }
+        Ok(_) => println!("     {name}: baseline throughput is zero, skipping diff"),
+        Err(e) => println!("     {name}: baseline invalid ({e}), skipping diff"),
+    }
+}

@@ -87,6 +87,71 @@ impl BenchResult {
     }
 }
 
+/// A validated bench document's headline numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchHeadline {
+    /// The `bench` name.
+    pub bench: String,
+    /// Number of entries in `runs`.
+    pub runs: usize,
+    /// The `throughput` field, operations per second.
+    pub throughput: f64,
+}
+
+/// Validates a `BENCH_*.json` document against the stable schema that
+/// [`BenchResult::to_json`] emits: `bench` (string), `config` (object),
+/// `runs` (sorted array of non-negative integers), `p50_us`/`p90_us`/
+/// `p99_us` (numbers consistent with `runs` by nearest rank), and
+/// `throughput` (non-negative number).
+///
+/// # Errors
+///
+/// Returns a one-line description of the first schema violation.
+pub fn validate(text: &str) -> Result<BenchHeadline, String> {
+    use ppchecker_obs::json::{parse, Value};
+    let doc = parse(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("missing or non-string \"bench\"")?
+        .to_string();
+    match doc.get("config") {
+        Some(Value::Obj(_)) => {}
+        _ => return Err("missing or non-object \"config\"".to_string()),
+    }
+    let runs: Vec<u64> = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("missing or non-array \"runs\"")?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+                .map(|n| n as u64)
+                .ok_or_else(|| "\"runs\" entries must be non-negative integers".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    if runs.windows(2).any(|w| w[0] > w[1]) {
+        return Err("\"runs\" must be sorted ascending".to_string());
+    }
+    for (key, q) in [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)] {
+        let got = doc
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric \"{key}\""))?;
+        let want = quantile_us(&runs, q) as f64;
+        if got != want {
+            return Err(format!("\"{key}\" is {got} but runs say {want}"));
+        }
+    }
+    let throughput = doc
+        .get("throughput")
+        .and_then(Value::as_f64)
+        .filter(|t| *t >= 0.0)
+        .ok_or("missing, non-numeric, or negative \"throughput\"")?;
+    Ok(BenchHeadline { bench, runs: runs.len(), throughput })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +181,38 @@ mod tests {
         assert!(json.contains("\"throughput\":123.46"));
         // The emitted document parses with the workspace JSON parser.
         assert!(ppchecker_obs::json::parse(json.trim()).is_ok());
+    }
+
+    #[test]
+    fn emitted_documents_validate() {
+        let result = BenchResult {
+            bench: "round_trip".to_string(),
+            config: vec![("apps".to_string(), "3".to_string())],
+            runs: us(&[500, 100, 900]),
+            throughput: 42.0,
+        };
+        let headline = validate(&result.to_json()).unwrap();
+        assert_eq!(headline.bench, "round_trip");
+        assert_eq!(headline.runs, 3);
+        assert!((headline.throughput - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_schema_drift() {
+        let good = BenchResult {
+            bench: "x".to_string(),
+            config: vec![],
+            runs: us(&[100, 200]),
+            throughput: 1.0,
+        }
+        .to_json();
+        assert!(validate("not json").is_err());
+        assert!(validate(&good.replace("\"bench\":\"x\"", "\"bench\":7")).is_err());
+        assert!(validate(&good.replace("\"p90_us\":200", "\"p90_us\":999"))
+            .unwrap_err()
+            .contains("p90_us"));
+        assert!(validate(&good.replace("[100,200]", "[200,100]")).unwrap_err().contains("sorted"));
+        assert!(validate(&good.replace("\"throughput\":1.00", "\"throughput\":-1.00")).is_err());
     }
 
     #[test]

@@ -20,9 +20,11 @@ use crate::{manifest_text, CliError};
 use ppchecker_apk::{packer, Apk};
 use ppchecker_core::{AppInput, PPChecker};
 use ppchecker_engine::{available_jobs, AggregateSummary, Engine};
+use ppchecker_store::Store;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Parsed `batch` options.
 #[derive(Debug)]
@@ -34,11 +36,22 @@ pub struct BatchOptions {
     /// When set, write a Chrome `trace_event` JSON of the run to this
     /// file (loadable in `about:tracing` / Perfetto).
     pub trace: Option<PathBuf>,
+    /// When set, open (or create) a persistent artifact store at this
+    /// directory: parsed policies, lib taint summaries, and whole app
+    /// reports replay across invocations, so a re-run over an unchanged
+    /// corpus skips nearly all per-app work (the stderr metrics report
+    /// the skip counts).
+    pub store: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { corpus_dir: PathBuf::new(), jobs: available_jobs(), trace: None }
+        BatchOptions {
+            corpus_dir: PathBuf::new(),
+            jobs: available_jobs(),
+            trace: None,
+            store: None,
+        }
     }
 }
 
@@ -150,8 +163,12 @@ pub fn render_batch(
     apps: Vec<AppInput>,
     libs: Vec<(String, String)>,
     jobs: usize,
+    store: Option<Arc<Store>>,
 ) -> (String, String) {
-    let engine = Engine::with_lib_policies(PPChecker::new(), libs).with_jobs(jobs);
+    let mut engine = Engine::with_lib_policies(PPChecker::new(), libs).with_jobs(jobs);
+    if let Some(store) = store {
+        engine = engine.with_store(store);
+    }
     let batch = engine.run(apps);
 
     let mut records = String::new();
@@ -190,11 +207,23 @@ pub fn render_batch(
 /// trace file cannot be written.
 pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
     let (apps, libs) = load_corpus(&opts.corpus_dir)?;
+    let store = opts
+        .store
+        .as_deref()
+        .map(|dir| {
+            Store::open(dir)
+                .map(Arc::new)
+                .map_err(|e| CliError(format!("--store {}: {e}", dir.display())))
+        })
+        .transpose()?;
     ppchecker_obs::set_enabled(true);
     if opts.trace.is_some() {
         ppchecker_obs::set_tracing(true);
     }
-    let out = render_batch(apps, libs, opts.jobs.max(1));
+    let out = render_batch(apps, libs, opts.jobs.max(1), store.clone());
+    if let Some(store) = &store {
+        store.flush_index();
+    }
     if let Some(path) = &opts.trace {
         ppchecker_obs::set_tracing(false);
         let events = ppchecker_obs::trace::drain();
@@ -257,10 +286,18 @@ mod tests {
     fn batch_output_is_jobs_invariant() {
         let dir = temp_dir("determinism");
         write_corpus(&dir, 6, None);
-        let serial =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, trace: None }).unwrap();
-        let parallel =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 4, trace: None }).unwrap();
+        let serial = run_batch(&BatchOptions {
+            corpus_dir: dir.clone(),
+            jobs: 1,
+            ..BatchOptions::default()
+        })
+        .unwrap();
+        let parallel = run_batch(&BatchOptions {
+            corpus_dir: dir.clone(),
+            jobs: 4,
+            ..BatchOptions::default()
+        })
+        .unwrap();
         assert_eq!(serial.0, parallel.0, "record stream must be byte-identical");
         assert!(serial.0.lines().count() == 7, "6 records + aggregate line");
         assert!(serial.0.contains("\"aggregate\""));
@@ -271,8 +308,12 @@ mod tests {
     fn corrupt_app_becomes_error_record() {
         let dir = temp_dir("corrupt");
         write_corpus(&dir, 4, Some(2));
-        let (records, metrics) =
-            run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 2, trace: None }).unwrap();
+        let (records, metrics) = run_batch(&BatchOptions {
+            corpus_dir: dir.clone(),
+            jobs: 2,
+            ..BatchOptions::default()
+        })
+        .unwrap();
         assert!(records.contains("\"ok\":false"));
         assert!(records.contains("com.batch.app2"));
         assert_eq!(records.matches("\"ok\":true").count(), 3);
@@ -282,11 +323,32 @@ mod tests {
     }
 
     #[test]
+    fn second_store_run_skips_and_matches_byte_for_byte() {
+        let dir = temp_dir("incremental");
+        write_corpus(&dir, 8, None);
+        let store_dir = dir.join(".ppstore");
+        let opts = BatchOptions {
+            corpus_dir: dir.clone(),
+            jobs: 2,
+            store: Some(store_dir.clone()),
+            ..BatchOptions::default()
+        };
+        let (cold_records, cold_metrics) = run_batch(&opts).unwrap();
+        assert!(cold_metrics.contains("store: 0 apps skipped"), "metrics:\n{cold_metrics}");
+
+        let (warm_records, warm_metrics) = run_batch(&opts).unwrap();
+        assert_eq!(cold_records, warm_records, "aggregate reports must be byte-identical");
+        assert!(warm_metrics.contains("store: 8 apps skipped"), "metrics:\n{warm_metrics}");
+        assert!(store_dir.join("ppstore.index").exists(), "index flushed after the run");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_corpus_dir_is_an_error() {
         let err = run_batch(&BatchOptions {
             corpus_dir: PathBuf::from("/nonexistent/corpus"),
             jobs: 1,
-            trace: None,
+            ..BatchOptions::default()
         })
         .unwrap_err();
         assert!(err.0.contains("/nonexistent/corpus"));

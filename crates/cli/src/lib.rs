@@ -9,14 +9,15 @@
 //!                 [--lib-policy ID=policy.html]... [--suggest] \
 //!                 [--synonyms] [--constraints]
 //! ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \
-//!                 [--trace trace.json]
+//!                 [--trace trace.json] [--store <dir>]
 //! ppchecker trace-check <trace.json>  # validate a batch --trace file
 //! ppchecker policy <policy.html>      # inspect the six-step analysis
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
 //! ppchecker unpack <in.pkdx> <out.txt>
 //! ppchecker demo                      # run the bundled sample app
 //! ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] \
-//!                 [--workers N] [--queue-depth N] [--corpus <dir>]
+//!                 [--workers N] [--queue-depth N] [--corpus <dir>] \
+//!                 [--store <dir>]
 //! ```
 //!
 //! The dex file uses the textual serialization of

@@ -16,14 +16,15 @@ USAGE:
                   [--lib-policy ID=policy.html]... [--suggest] \\
                   [--synonyms] [--constraints] [--json]
   ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \\
-                  [--trace trace.json]
+                  [--trace trace.json] [--store <dir>]
   ppchecker trace-check <trace.json>
   ppchecker policy <policy.html>
   ppchecker pack <dex.txt> <out.pkdx> [--key N]
   ppchecker unpack <in.pkdx> <out.txt>
   ppchecker demo
   ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] [--workers N] \\
-                  [--queue-depth N] [--max-body-bytes N] [--corpus <dir>]
+                  [--queue-depth N] [--max-body-bytes N] [--corpus <dir>] \\
+                  [--store <dir>]
 ";
 
 fn main() -> ExitCode {
@@ -93,6 +94,9 @@ fn batch(args: &[String]) -> Result<String, CliError> {
     }
     if let Some(path) = flag_value(args, "--trace") {
         opts.trace = Some(path.into());
+    }
+    if let Some(dir) = flag_value(args, "--store") {
+        opts.store = Some(dir.into());
     }
     let (records, metrics) = run_batch(&opts)?;
     // The record stream is deterministic; the timing summary goes to

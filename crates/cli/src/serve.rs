@@ -6,7 +6,9 @@ use crate::CliError;
 use ppchecker_core::PPChecker;
 use ppchecker_engine::Engine;
 use ppchecker_serve::{install_sigterm_handler, ServeConfig, Server};
+use ppchecker_store::Store;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Parsed `serve` options.
 #[derive(Debug, Default)]
@@ -17,6 +19,10 @@ pub struct ServeOptions {
     /// registered on the engine at boot so every request benefits from
     /// pre-analyzed third-party lib policies.
     pub corpus_dir: Option<PathBuf>,
+    /// Optional persistent artifact store: the daemon boots warm
+    /// (previously analyzed policies, lib summaries, and reports replay
+    /// from disk) and keeps persisting as it serves.
+    pub store_dir: Option<PathBuf>,
 }
 
 /// Parses `serve` flags.
@@ -58,6 +64,9 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     if let Some(dir) = flag_value("--corpus") {
         opts.corpus_dir = Some(PathBuf::from(dir));
     }
+    if let Some(dir) = flag_value("--store") {
+        opts.store_dir = Some(PathBuf::from(dir));
+    }
     Ok(opts)
 }
 
@@ -70,7 +79,7 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
 /// address cannot be bound.
 pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
     let checker = PPChecker::new();
-    let engine = match &opts.corpus_dir {
+    let mut engine = match &opts.corpus_dir {
         Some(dir) => {
             let (_, libs) = load_corpus(dir)?;
             let count = libs.len();
@@ -80,6 +89,14 @@ pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
         }
         None => Engine::new(checker),
     };
+    if let Some(dir) = &opts.store_dir {
+        let store = Store::open(dir)
+            .map(Arc::new)
+            .map_err(|e| CliError(format!("--store {}: {e}", dir.display())))?;
+        let reports = store.records_on_disk(ppchecker_store::RecordKind::Report);
+        engine = engine.with_store(store);
+        eprintln!("serve: artifact store at {} ({reports} reports on disk)", dir.display());
+    }
     install_sigterm_handler();
     let handle = Server::start(engine, opts.config.clone())
         .map_err(|e| CliError(format!("failed to start daemon: {e}")))?;
@@ -127,6 +144,8 @@ mod tests {
             "11",
             "--corpus",
             "corpus-dir",
+            "--store",
+            ".ppstore",
         ]))
         .unwrap();
         assert_eq!(opts.config.addr, "0.0.0.0:9000");
@@ -134,6 +153,7 @@ mod tests {
         assert_eq!(opts.config.workers, 3);
         assert_eq!(opts.config.queue_depth, 11);
         assert_eq!(opts.corpus_dir.as_deref().unwrap().to_str(), Some("corpus-dir"));
+        assert_eq!(opts.store_dir.as_deref().unwrap().to_str(), Some(".ppstore"));
     }
 
     #[test]

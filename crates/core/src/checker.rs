@@ -374,38 +374,27 @@ impl PPChecker {
         })
     }
 
-    /// Like `check(&app)`, also reporting per-stage wall time.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "removed after serve lands; use `check(CheckRequest::for_app(&app).capture_timings())`"
-    )]
-    pub fn check_timed(&self, app: &AppInput) -> Result<(Report, StageTimings), CheckError> {
-        self.run_pipeline(app, None)
-    }
-
-    /// The instrumented pipeline with a pluggable policy-analysis source.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CheckError::Dex`] when a packed dex cannot be recovered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "removed after serve lands; use \
-                `check(CheckRequest::for_app(&app).with_policy_provider(f).capture_timings())`"
-    )]
-    pub fn check_with_policy_provider<F>(
-        &self,
-        app: &AppInput,
-        provide_policy: F,
-    ) -> Result<(Report, StageTimings), CheckError>
-    where
-        F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis>,
-    {
-        self.run_pipeline(app, Some(Box::new(provide_policy)))
+    /// A stable fingerprint of everything that shapes this checker's
+    /// verdicts: the policy analyzer's pattern configuration, the ESA
+    /// similarity threshold, the static-analysis options, and every
+    /// registered lib policy. The artifact store folds this into each
+    /// per-app report key, so a stored report is never replayed across a
+    /// configuration change — a new pattern set, a different threshold,
+    /// or an added lib policy all produce fresh keys and a recompute.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut parts = vec![
+            self.analyzer.fingerprint(),
+            self.matcher.threshold().to_bits(),
+            u64::from(self.static_options.reachability),
+            u64::from(self.static_options.uri_analysis),
+        ];
+        let mut libs: Vec<(&String, &PolicyAnalysis)> = self.lib_policies.iter().collect();
+        libs.sort_by_key(|(id, _)| id.as_str());
+        for (id, analysis) in libs {
+            parts.push(ppchecker_store::content_hash(id.as_bytes()));
+            parts.push(ppchecker_store::content_hash(&ppchecker_policy::encode_analysis(analysis)));
+        }
+        ppchecker_store::combine_hashes(&parts)
     }
 
     /// The pipeline proper. Each stage runs under an always-timed obs
@@ -573,32 +562,42 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the shim against the new entry point
-    fn timed_check_matches_untimed() {
-        let app = weather_app("We collect your email address.");
-        let checker = PPChecker::new();
-        let plain = checker.check(&app).unwrap();
-        let (timed, timings) = checker.check_timed(&app).unwrap();
-        assert_eq!(format!("{plain}"), format!("{timed}"));
-        assert!(timings.total() >= timings.matching);
-    }
-
-    #[test]
-    #[allow(deprecated)] // exercises the shim against the new entry point
     fn policy_provider_result_is_used_verbatim() {
         let app = weather_app("We collect your email address.");
         let checker = PPChecker::new();
         // Pre-analyzed elsewhere (as a batch cache would hold it).
         let cached = Arc::new(checker.analyzer().analyze_html(&app.policy_html));
         let mut called = false;
-        let (report, _) = checker
-            .check_with_policy_provider(&app, |_, _| {
+        let outcome = checker
+            .check(CheckRequest::for_app(&app).with_policy_provider(|_, _| {
                 called = true;
                 Arc::clone(&cached)
-            })
+            }))
             .unwrap();
         assert!(called);
-        assert!(report.is_incomplete());
+        assert!(outcome.is_incomplete());
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_knob() {
+        let base = PPChecker::new().config_fingerprint();
+        assert_eq!(base, PPChecker::new().config_fingerprint());
+        assert_ne!(base, PPChecker::new().with_similarity_threshold(0.5).config_fingerprint());
+        assert_ne!(
+            base,
+            PPChecker::new()
+                .with_static_options(AnalysisOptions { reachability: false, uri_analysis: true })
+                .config_fingerprint()
+        );
+        assert_ne!(
+            base,
+            PPChecker::new()
+                .with_analyzer(PolicyAnalyzer::new().with_synonym_expansion())
+                .config_fingerprint()
+        );
+        let mut with_lib = PPChecker::new();
+        with_lib.register_lib_policy("unityads", "<p>We may collect your device id.</p>");
+        assert_ne!(base, with_lib.config_fingerprint());
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod incorrect;
 pub mod matcher;
 pub mod problems;
 pub mod suggest;
+pub mod wire;
 
 pub use checker::{
     AppInput, CheckError, CheckOutcome, CheckRequest, PPChecker, StageSpan, StageTimings,
@@ -34,3 +35,4 @@ pub use error::{Error, Stage};
 pub use matcher::Matcher;
 pub use problems::{Channel, Inconsistency, IncorrectFinding, MissedInfo, Report};
 pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};
+pub use wire::{decode_report, encode_report};

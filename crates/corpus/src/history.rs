@@ -1,0 +1,301 @@
+//! Versioned app histories: the corpus as an app store sees it over
+//! time.
+//!
+//! Real marketplaces re-crawl: most apps are unchanged between crawls,
+//! a few ship a new release. This module simulates that — starting from
+//! a base snapshot, each subsequent version mutates a deterministic
+//! fraction of the apps with one of three release-shaped changes:
+//!
+//! - [`MutationKind::PolicyDrift`] — the policy HTML is rephrased and
+//!   gains a revision marker (same ground truth, new bytes), so the
+//!   stored policy analysis and report are both invalidated.
+//! - [`MutationKind::PermissionAdd`] — the manifest requests one more
+//!   permission; the dex is untouched but the APK content hash moves.
+//! - [`MutationKind::LibSwap`] — one embedded third-party library is
+//!   swapped for another, regenerating the dex.
+//!
+//! Every unchanged app is byte-identical to the previous version, which
+//! is exactly what a persistent artifact store needs to prove its
+//! incremental win: re-analysis work should scale with
+//! [`CorpusVersion::changes`], not with corpus size.
+
+use crate::dataset::GeneratedApp;
+use crate::generate::{generate_apk, generate_app, generate_policy};
+use crate::libs::{lib_policies, LibPolicy};
+use crate::plan::build_plan;
+use ppchecker_apk::Permission;
+use ppchecker_core::PPChecker;
+use ppchecker_static::KNOWN_LIBS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The kind of change an app shipped between two consecutive versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// The policy text was rewritten (hash changes, semantics do not).
+    PolicyDrift,
+    /// The manifest gained a permission it did not request before.
+    PermissionAdd,
+    /// One embedded third-party library was replaced by another.
+    LibSwap,
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MutationKind::PolicyDrift => "policy-drift",
+            MutationKind::PermissionAdd => "permission-add",
+            MutationKind::LibSwap => "lib-swap",
+        })
+    }
+}
+
+/// One app's change record within a [`CorpusVersion`].
+#[derive(Debug, Clone)]
+pub struct VersionChange {
+    /// Corpus index of the changed app.
+    pub index: usize,
+    /// The app's package name.
+    pub package: String,
+    /// What changed.
+    pub kind: MutationKind,
+}
+
+/// One snapshot of the corpus: all apps at a given version, plus the
+/// subset that differs from the previous version.
+#[derive(Debug)]
+pub struct CorpusVersion {
+    /// Version number, starting at 0 for the base snapshot.
+    pub version: usize,
+    /// Every app at this version (unchanged apps are byte-identical to
+    /// the previous snapshot).
+    pub apps: Vec<GeneratedApp>,
+    /// The apps that differ from the previous version. Empty for the
+    /// base snapshot.
+    pub changes: Vec<VersionChange>,
+}
+
+/// A versioned corpus: N successive snapshots over the same app
+/// population, plus the (version-independent) lib-policy corpus.
+#[derive(Debug)]
+pub struct VersionedHistory {
+    /// The snapshots, oldest first.
+    pub versions: Vec<CorpusVersion>,
+    /// The 81 third-party lib policies.
+    pub lib_policies: Vec<LibPolicy>,
+}
+
+impl VersionedHistory {
+    /// Builds a [`PPChecker`] with every lib policy registered.
+    pub fn make_checker(&self) -> PPChecker {
+        let mut checker = PPChecker::new();
+        for lp in &self.lib_policies {
+            checker.register_lib_policy(lp.lib.id, &lp.html);
+        }
+        checker
+    }
+}
+
+/// A cheap keyed mixer (splitmix64-style) deciding, deterministically,
+/// which apps change at which version.
+fn mix(seed: u64, version: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(version.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Permissions a release plausibly adds, tried in order until one is
+/// absent from the app's manifest.
+const ADDABLE: &[Permission] = &[
+    Permission::Bluetooth,
+    Permission::AccessWifiState,
+    Permission::GetTasks,
+    Permission::RecordAudio,
+    Permission::ReadContacts,
+    Permission::ReadCalendar,
+];
+
+/// Applies one mutation to `app`, in place. Returns the kind actually
+/// applied (a [`MutationKind::LibSwap`] on an app with no swappable lib
+/// falls back to a policy drift so every mutation changes bytes).
+fn apply_mutation(
+    app: &mut GeneratedApp,
+    kind: MutationKind,
+    salt: u64,
+    version: usize,
+) -> MutationKind {
+    match kind {
+        MutationKind::PolicyDrift => {
+            let mut rng = StdRng::seed_from_u64(salt);
+            let mut html = generate_policy(&app.spec, &mut rng);
+            let marker = format!("<p>this policy was last revised for release {version}.</p>");
+            match html.rfind("</body>") {
+                Some(pos) => html.insert_str(pos, &marker),
+                None => html.push_str(&marker),
+            }
+            app.input.policy_html = html;
+            MutationKind::PolicyDrift
+        }
+        MutationKind::PermissionAdd => {
+            let start = (salt as usize) % ADDABLE.len();
+            let manifest = &mut app.input.apk.manifest;
+            for i in 0..ADDABLE.len() {
+                let p = &ADDABLE[(start + i) % ADDABLE.len()];
+                if !manifest.permissions.contains(p) {
+                    manifest.add_permission(p.clone());
+                    return MutationKind::PermissionAdd;
+                }
+            }
+            // Every addable permission already present: fall back.
+            apply_mutation(app, MutationKind::PolicyDrift, salt, version)
+        }
+        MutationKind::LibSwap => {
+            if app.spec.libs.is_empty() {
+                return apply_mutation(app, MutationKind::PolicyDrift, salt, version);
+            }
+            let pool: Vec<&'static str> =
+                KNOWN_LIBS.iter().map(|l| l.id).filter(|id| !app.spec.libs.contains(id)).collect();
+            if pool.is_empty() {
+                return apply_mutation(app, MutationKind::PolicyDrift, salt, version);
+            }
+            app.spec.libs[0] = pool[(salt as usize) % pool.len()];
+            let mut rng = StdRng::seed_from_u64(salt);
+            app.input.apk = generate_apk(&app.spec, &app.input.package, &mut rng);
+            MutationKind::LibSwap
+        }
+    }
+}
+
+/// Generates a versioned history: `apps` apps over `versions` snapshots,
+/// mutating roughly `change_percent`% of the population at each step.
+///
+/// Deterministic under `seed` — the same arguments always produce
+/// byte-identical snapshots, and apps untouched at a step are
+/// byte-identical to the previous snapshot.
+///
+/// # Panics
+///
+/// Panics if `versions` is 0 or `change_percent` exceeds 100.
+pub fn versioned_history(
+    seed: u64,
+    apps: usize,
+    versions: usize,
+    change_percent: u64,
+) -> VersionedHistory {
+    assert!(versions > 0, "need at least the base snapshot");
+    assert!(change_percent <= 100, "change_percent is a percentage");
+    let base: Vec<GeneratedApp> = build_plan()
+        .into_iter()
+        .take(apps)
+        .map(|spec| GeneratedApp { input: generate_app(&spec, seed), spec })
+        .collect();
+    let mut snapshots = vec![CorpusVersion { version: 0, apps: base, changes: Vec::new() }];
+
+    for v in 1..versions {
+        let prev = &snapshots[v - 1];
+        let mut apps: Vec<GeneratedApp> = prev.apps.clone();
+        let mut changes = Vec::new();
+        for (i, app) in apps.iter_mut().enumerate() {
+            let roll = mix(seed, v as u64, i as u64);
+            if roll % 100 >= change_percent {
+                continue;
+            }
+            let requested = match (roll >> 8) % 3 {
+                0 => MutationKind::PolicyDrift,
+                1 => MutationKind::PermissionAdd,
+                _ => MutationKind::LibSwap,
+            };
+            let applied = apply_mutation(app, requested, roll >> 16, v);
+            changes.push(VersionChange {
+                index: i,
+                package: app.input.package.clone(),
+                kind: applied,
+            });
+        }
+        snapshots.push(CorpusVersion { version: v, apps, changes });
+    }
+    VersionedHistory { versions: snapshots, lib_policies: lib_policies() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histories_are_deterministic() {
+        let a = versioned_history(9, 12, 3, 25);
+        let b = versioned_history(9, 12, 3, 25);
+        for (va, vb) in a.versions.iter().zip(b.versions.iter()) {
+            assert_eq!(va.changes.len(), vb.changes.len());
+            for (x, y) in va.apps.iter().zip(vb.apps.iter()) {
+                assert_eq!(x.input.policy_html, y.input.policy_html);
+                assert_eq!(x.input.apk, y.input.apk);
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_apps_are_byte_identical_across_versions() {
+        let h = versioned_history(3, 20, 4, 20);
+        for w in h.versions.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            let changed: Vec<usize> = next.changes.iter().map(|c| c.index).collect();
+            for (i, (a, b)) in prev.apps.iter().zip(next.apps.iter()).enumerate() {
+                if changed.contains(&i) {
+                    continue;
+                }
+                assert_eq!(a.input.policy_html, b.input.policy_html, "app {i} policy drifted");
+                assert_eq!(a.input.description, b.input.description);
+                assert_eq!(a.input.apk, b.input.apk, "app {i} apk drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn every_recorded_change_moves_the_invalidation_keys() {
+        let h = versioned_history(5, 30, 3, 30);
+        for w in h.versions.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            assert!(!next.changes.is_empty(), "30% of 30 apps should change");
+            for c in &next.changes {
+                let before = &prev.apps[c.index].input;
+                let after = &next.apps[c.index].input;
+                let moved = before.policy_html != after.policy_html || before.apk != after.apk;
+                assert!(moved, "{} ({}) recorded but byte-identical", c.package, c.kind);
+                match c.kind {
+                    MutationKind::PolicyDrift => {
+                        assert_ne!(before.policy_html, after.policy_html);
+                        assert_eq!(before.apk, after.apk);
+                    }
+                    MutationKind::PermissionAdd => {
+                        assert_eq!(before.policy_html, after.policy_html);
+                        assert!(
+                            after.apk.manifest.permissions.len()
+                                > before.apk.manifest.permissions.len()
+                        );
+                    }
+                    MutationKind::LibSwap => {
+                        assert_ne!(before.apk, after.apk);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn change_rate_tracks_the_requested_percentage() {
+        let h = versioned_history(11, 100, 2, 10);
+        let changed = h.versions[1].changes.len();
+        assert!((2..=25).contains(&changed), "10% of 100 apps, got {changed}");
+    }
+
+    #[test]
+    fn zero_percent_means_frozen_corpus() {
+        let h = versioned_history(2, 10, 3, 0);
+        assert!(h.versions.iter().all(|v| v.changes.is_empty()));
+    }
+}

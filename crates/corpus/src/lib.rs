@@ -15,6 +15,8 @@
 //! - [`generate`] — spec → policy / description / APK
 //! - [`libs`] — the 81 lib policies (52 ad, 9 social, 20 dev tools)
 //! - [`dataset`] — assembly ([`paper_dataset`])
+//! - [`history`] — versioned app histories ([`versioned_history`]) for
+//!   incremental re-analysis workloads
 //! - [`eval`] — the §V statistics harness ([`evaluate`])
 //! - [`fig12`] — the pattern-selection experiment (Fig. 12)
 //!
@@ -35,6 +37,7 @@ pub mod eval;
 pub mod export;
 pub mod fig12;
 pub mod generate;
+pub mod history;
 pub mod libs;
 pub mod phrases;
 pub mod plan;
@@ -42,4 +45,7 @@ pub mod plan;
 pub use dataset::{paper_dataset, small_dataset, stream_apps, Dataset, GeneratedApp};
 pub use eval::{evaluate, evaluate_parallel, Evaluation, RowMetrics};
 pub use export::{export_app, export_dataset};
+pub use history::{
+    versioned_history, CorpusVersion, MutationKind, VersionChange, VersionedHistory,
+};
 pub use plan::{build_plan, AppSpec, GroundTruth, APP_COUNT};

@@ -11,13 +11,28 @@
 //! map. The trade-off: each *distinct* policy text stays resident in the
 //! interner for the life of the process — bounded by corpus text volume,
 //! which the resident analyses already dominate (see DESIGN.md §9).
+//!
+//! ## The disk tier
+//!
+//! When a persistent [`ArtifactTier`] is attached (see
+//! [`ArtifactCache::attach_disk_tier`]), the cache becomes the memory
+//! tier of a two-tier hierarchy: a memory miss probes the store under
+//! `combine(content_hash(html), analyzer_fingerprint)` before paying for
+//! the NLP pipeline, promotes a decoded record into memory, and persists
+//! every freshly computed analysis. The fingerprint in the key means a
+//! reconfigured analyzer (different patterns, different constraint mode)
+//! can never replay a stale parse — it simply misses and recomputes
+//! under the new key. Disk-tier hits count as cache hits, preserving the
+//! invariant that `misses` equals the number of analyses *computed* by
+//! this process.
 
 use ppchecker_nlp::{intern, Symbol};
-use ppchecker_policy::{PolicyAnalysis, PolicyAnalyzer};
+use ppchecker_policy::{decode_analysis, encode_analysis, PolicyAnalysis, PolicyAnalyzer};
 use ppchecker_static::TaintSummaryCache;
+use ppchecker_store::{combine_hashes, content_hash, ArtifactTier, RecordKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Hit/miss counters of one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,6 +78,9 @@ pub struct ArtifactCache {
     /// `Arc` so the taint kernel inside workers and the engine's metrics
     /// observe the same counters.
     taint_summaries: Arc<TaintSummaryCache>,
+    /// Optional persistent tier plus the analyzer fingerprint folded
+    /// into every disk key. Write-once: the first attach wins.
+    disk: OnceLock<(Arc<dyn ArtifactTier>, u64)>,
 }
 
 impl Default for ArtifactCache {
@@ -73,6 +91,7 @@ impl Default for ArtifactCache {
             misses: AtomicU64::new(0),
             cap: POLICY_CACHE_CAP,
             taint_summaries: Arc::default(),
+            disk: OnceLock::new(),
         }
     }
 }
@@ -94,8 +113,22 @@ impl ArtifactCache {
         self.cap
     }
 
-    /// Returns the analysis of `html`, computing it with `analyzer` on
-    /// first sight of the text.
+    /// Attaches a persistent tier consulted on memory misses and fed by
+    /// fresh computes. `analyzer_fingerprint` is folded into every disk
+    /// key so a configuration change invalidates stored parses. The
+    /// first attach wins; later calls are ignored.
+    pub fn attach_disk_tier(&self, tier: Arc<dyn ArtifactTier>, analyzer_fingerprint: u64) {
+        let _ = self.disk.set((tier, analyzer_fingerprint));
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn has_disk_tier(&self) -> bool {
+        self.disk.get().is_some()
+    }
+
+    /// Returns the analysis of `html`, resolving through the memory
+    /// tier, then the disk tier (when attached), then computing with
+    /// `analyzer` on first sight of the text.
     pub fn policy(&self, analyzer: &PolicyAnalyzer, html: &str) -> Arc<PolicyAnalysis> {
         let _span = ppchecker_obs::span!("engine.cache_probe");
         let key = intern(html);
@@ -103,28 +136,66 @@ impl ArtifactCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        let disk_key = self
+            .disk
+            .get()
+            .map(|(_, salt)| combine_hashes(&[content_hash(html.as_bytes()), *salt]));
+        if let Some(stored) = self.load_from_disk(disk_key) {
+            return self.admit(key, stored, true).0;
+        }
         // Analyze outside the write lock; a concurrent duplicate costs
         // one redundant parse but never blocks other texts. First insert
         // wins so every consumer shares one allocation, and only the
         // winner counts a miss — the loser's lookup resolves from the
         // cache, so `misses` always equals the number of distinct texts.
         let fresh = Arc::new(analyzer.analyze_html(html));
+        let (out, won) = self.admit(key, fresh, false);
+        if won {
+            if let (Some((tier, _)), Some(disk_key)) = (self.disk.get(), disk_key) {
+                tier.save(RecordKind::Policy, disk_key, &encode_analysis(&out));
+            }
+        }
+        out
+    }
+
+    /// Probes the disk tier. Any defect — no record, corruption, a wire
+    /// decode failure — reads as `None`, so the caller recomputes and
+    /// overwrites. Corruption can cost time, never correctness.
+    fn load_from_disk(&self, disk_key: Option<u64>) -> Option<Arc<PolicyAnalysis>> {
+        let (tier, _) = self.disk.get()?;
+        let bytes = tier.load(RecordKind::Policy, disk_key?)?;
+        decode_analysis(&bytes).ok().map(Arc::new)
+    }
+
+    /// Inserts under the cap-bounded first-insert-wins discipline and
+    /// counts the lookup: a replay (memory race loser or disk-tier hit)
+    /// is a hit, a fresh compute a miss — so `misses` always equals the
+    /// number of analyses computed by this process. Returns the shared
+    /// analysis and whether this call won the race (the winner, and only
+    /// the winner, persists a freshly computed analysis to disk).
+    fn admit(
+        &self,
+        key: Symbol,
+        candidate: Arc<PolicyAnalysis>,
+        from_disk: bool,
+    ) -> (Arc<PolicyAnalysis>, bool) {
         let mut map = self.policies.write().expect("cache lock");
         if let Some(hit) = map.get(&key) {
             let out = Arc::clone(hit);
             drop(map);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return out;
+            return (out, false);
         }
         // Cap-bounded admission (the ESA vector-cache idiom): at capacity
-        // the fresh analysis is still returned, just not retained, so a
+        // the analysis is still returned, just not retained, so a
         // resident process can't accrete unbounded parsed analyses.
         if map.len() < self.cap {
-            map.insert(key, Arc::clone(&fresh));
+            map.insert(key, Arc::clone(&candidate));
         }
         drop(map);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        fresh
+        let counter = if from_disk { &self.hits } else { &self.misses };
+        counter.fetch_add(1, Ordering::Relaxed);
+        (candidate, true)
     }
 
     /// Snapshot of the counters.
@@ -208,5 +279,118 @@ mod tests {
         let b = cache.policy(&analyzer, "<p>we collect your contacts.</p>");
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    /// Satellite regression: `with_cap` under many concurrent writers at
+    /// tiny caps. Every lookup must count exactly one hit or one miss,
+    /// nothing may panic, and the resident map must respect the cap.
+    #[test]
+    fn with_cap_eviction_is_safe_under_concurrent_writers() {
+        for cap in 1..=4usize {
+            let cache = ArtifactCache::with_cap(cap);
+            let analyzer = PolicyAnalyzer::new();
+            let threads = 8;
+            let per_thread = 24u64;
+            let texts: Vec<String> = (0..6)
+                .map(|i| format!("<p>we may collect your artifact number {i}.</p>"))
+                .collect();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let cache = &cache;
+                    let analyzer = &analyzer;
+                    let texts = &texts;
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            let html = &texts[(t + i as usize) % texts.len()];
+                            let analysis = cache.policy(analyzer, html);
+                            assert!(!analysis.sentences.is_empty());
+                        }
+                    });
+                }
+            });
+            let stats = cache.stats();
+            let lookups = threads as u64 * per_thread;
+            assert_eq!(
+                stats.hits + stats.misses,
+                lookups,
+                "cap={cap}: every lookup counts exactly once"
+            );
+            assert!(stats.entries <= cap, "cap={cap}: resident entries within cap");
+            // Six distinct texts: at least that many computes (capped-out
+            // texts recompute), and at least one per distinct text.
+            assert!(stats.misses >= texts.len() as u64, "cap={cap}");
+        }
+    }
+
+    /// An in-memory tier for exercising the two-tier path without disk.
+    #[derive(Debug, Default)]
+    struct MemTier {
+        records: RwLock<HashMap<(ppchecker_store::RecordKind, u64), Vec<u8>>>,
+        saves: AtomicU64,
+    }
+
+    impl ArtifactTier for MemTier {
+        fn load(&self, kind: ppchecker_store::RecordKind, key: u64) -> Option<Vec<u8>> {
+            self.records.read().unwrap().get(&(kind, key)).cloned()
+        }
+
+        fn save(&self, kind: ppchecker_store::RecordKind, key: u64, payload: &[u8]) {
+            self.saves.fetch_add(1, Ordering::Relaxed);
+            self.records.write().unwrap().insert((kind, key), payload.to_vec());
+        }
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_counts_hits() {
+        let tier = Arc::new(MemTier::default());
+        let analyzer = PolicyAnalyzer::new();
+        let html = "<p>we may collect your precise location.</p>";
+
+        let warm_writer = ArtifactCache::new();
+        warm_writer.attach_disk_tier(Arc::clone(&tier) as Arc<dyn ArtifactTier>, 7);
+        let first = warm_writer.policy(&analyzer, html);
+        assert_eq!(warm_writer.stats().misses, 1);
+        assert_eq!(tier.saves.load(Ordering::Relaxed), 1, "fresh compute persisted");
+
+        // A second cache (a new process, conceptually) warm-starts from
+        // the tier: no compute, the lookup counts as a hit.
+        let warm_reader = ArtifactCache::new();
+        warm_reader.attach_disk_tier(Arc::clone(&tier) as Arc<dyn ArtifactTier>, 7);
+        let replayed = warm_reader.policy(&analyzer, html);
+        let stats = warm_reader.stats();
+        assert_eq!(stats.misses, 0, "disk hit avoids the NLP pipeline");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1, "disk hit promoted into memory");
+        assert_eq!(replayed.sentences.len(), first.sentences.len());
+        assert_eq!(tier.saves.load(Ordering::Relaxed), 1, "replays are not re-persisted");
+
+        // A different fingerprint means a different key space: the
+        // stored parse must not replay for a reconfigured analyzer.
+        let reconfigured = ArtifactCache::new();
+        reconfigured.attach_disk_tier(Arc::clone(&tier) as Arc<dyn ArtifactTier>, 8);
+        let _ = reconfigured.policy(&analyzer, html);
+        assert_eq!(reconfigured.stats().misses, 1, "fingerprint change invalidates");
+    }
+
+    /// A tier that always returns garbage: decode failure must read as a
+    /// miss (recompute + overwrite), never an error.
+    #[derive(Debug, Default)]
+    struct GarbageTier;
+
+    impl ArtifactTier for GarbageTier {
+        fn load(&self, _kind: ppchecker_store::RecordKind, _key: u64) -> Option<Vec<u8>> {
+            Some(vec![0xFF; 24])
+        }
+
+        fn save(&self, _kind: ppchecker_store::RecordKind, _key: u64, _payload: &[u8]) {}
+    }
+
+    #[test]
+    fn corrupt_disk_record_reads_as_miss() {
+        let cache = ArtifactCache::new();
+        cache.attach_disk_tier(Arc::new(GarbageTier), 1);
+        let analysis = cache.policy(&PolicyAnalyzer::new(), "<p>we collect your email.</p>");
+        assert!(!analysis.sentences.is_empty());
+        assert_eq!(cache.stats().misses, 1, "garbage bytes recompute cleanly");
     }
 }

@@ -1,0 +1,310 @@
+//! Per-app verdict deltas between two batch runs — the reporting half of
+//! incremental re-analysis.
+//!
+//! A versioned corpus (see `ppchecker-corpus` histories) re-runs the
+//! batch after every release wave. The store makes the *compute* cheap —
+//! unchanged apps replay their stored report — and this module makes the
+//! *reading* cheap: [`diff_batches`] folds two [`BatchReport`]s into the
+//! per-package verdict changes, so the operator sees "3 apps regressed,
+//! 1 fixed, 2 new" instead of re-reading a thousand records.
+//!
+//! Verdicts compare by problem *shape* (which problem classes fired and
+//! how many findings), not by wall time or cache behavior, so a delta is
+//! deterministic for a given pair of runs regardless of worker count or
+//! store warmth.
+
+use crate::report::{AppOutcome, AppRecord, BatchReport};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The problem shape of one app's outcome: which problem classes fired,
+/// with finding counts. Two runs of an unchanged app always produce
+/// equal verdicts (the pipeline is deterministic), so verdict inequality
+/// means the app — or the checker configuration — actually changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// The pipeline failed (corrupt APK, worker panic).
+    pub error: bool,
+    /// Incomplete-policy findings (Algorithms 1–2).
+    pub missed: usize,
+    /// Incorrect-policy findings (Algorithms 3–4).
+    pub incorrect: usize,
+    /// App-vs-lib inconsistencies (Algorithm 5).
+    pub inconsistent: usize,
+}
+
+impl Verdict {
+    /// Reads the verdict off one record.
+    pub fn of_record(record: &AppRecord) -> Verdict {
+        match &record.outcome {
+            AppOutcome::Error(_) => Verdict { error: true, ..Verdict::default() },
+            AppOutcome::Report(r) => Verdict {
+                error: false,
+                missed: r.missed.len(),
+                incorrect: r.incorrect.len(),
+                inconsistent: r.inconsistencies.len(),
+            },
+        }
+    }
+
+    /// Whether any problem class fired (or the app errored).
+    pub fn has_problems(&self) -> bool {
+        self.error || self.missed + self.incorrect + self.inconsistent > 0
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.error {
+            return write!(f, "error");
+        }
+        if !self.has_problems() {
+            return write!(f, "clean");
+        }
+        let mut parts = Vec::new();
+        if self.missed > 0 {
+            parts.push(format!("{} missed", self.missed));
+        }
+        if self.incorrect > 0 {
+            parts.push(format!("{} incorrect", self.incorrect));
+        }
+        if self.inconsistent > 0 {
+            parts.push(format!("{} inconsistent", self.inconsistent));
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+/// How one package moved between two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Present only in the newer run.
+    Added,
+    /// Present only in the older run.
+    Removed,
+    /// Present in both with different verdicts.
+    Changed,
+}
+
+/// One package's movement between two runs.
+#[derive(Debug, Clone)]
+pub struct AppDelta {
+    /// Package name.
+    pub package: String,
+    /// Added, removed, or changed.
+    pub kind: DeltaKind,
+    /// Verdict in the older run (`None` for additions).
+    pub before: Option<Verdict>,
+    /// Verdict in the newer run (`None` for removals).
+    pub after: Option<Verdict>,
+}
+
+impl fmt::Display for AppDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.kind, self.before, self.after) {
+            (DeltaKind::Added, _, Some(after)) => write!(f, "+ {}: {}", self.package, after),
+            (DeltaKind::Removed, Some(before), _) => {
+                write!(f, "- {}: was {}", self.package, before)
+            }
+            (_, before, after) => write!(
+                f,
+                "~ {}: {} -> {}",
+                self.package,
+                before.unwrap_or_default(),
+                after.unwrap_or_default(),
+            ),
+        }
+    }
+}
+
+/// The verdict-level difference between two batch runs.
+#[derive(Debug, Clone, Default)]
+pub struct BatchDelta {
+    /// Packages present in both runs with identical verdicts.
+    pub unchanged: usize,
+    /// Non-identical packages, sorted by name: additions, removals, and
+    /// verdict changes. Unchanged packages are counted, not listed.
+    pub deltas: Vec<AppDelta>,
+}
+
+impl BatchDelta {
+    /// Whether the two runs agree on every shared package and neither
+    /// adds or removes any.
+    pub fn is_quiet(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Packages only in the newer run.
+    pub fn added(&self) -> usize {
+        self.deltas.iter().filter(|d| d.kind == DeltaKind::Added).count()
+    }
+
+    /// Packages only in the older run.
+    pub fn removed(&self) -> usize {
+        self.deltas.iter().filter(|d| d.kind == DeltaKind::Removed).count()
+    }
+
+    /// Packages whose verdict changed.
+    pub fn changed(&self) -> usize {
+        self.deltas.iter().filter(|d| d.kind == DeltaKind::Changed).count()
+    }
+
+    /// Packages whose verdict gained problems (or newly errored) — the
+    /// regression headline.
+    pub fn regressed(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| {
+                d.kind == DeltaKind::Changed
+                    && matches!((d.before, d.after), (Some(b), Some(a))
+                        if (!b.error && a.error)
+                            || a.missed + a.incorrect + a.inconsistent
+                                > b.missed + b.incorrect + b.inconsistent)
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for BatchDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "delta: {} unchanged, {} changed ({} regressed), {} added, {} removed",
+            self.unchanged,
+            self.changed(),
+            self.regressed(),
+            self.added(),
+            self.removed(),
+        )?;
+        for d in &self.deltas {
+            write!(f, "\n{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Diffs two batch runs by package.
+///
+/// A package appearing more than once in one run keeps its *last*
+/// record — matching the store's overwrite semantics for re-submitted
+/// apps. Output order is lexicographic by package, independent of
+/// submission order on either side.
+pub fn diff_batches(older: &BatchReport, newer: &BatchReport) -> BatchDelta {
+    let before: BTreeMap<&str, Verdict> =
+        older.records.iter().map(|r| (r.package.as_str(), Verdict::of_record(r))).collect();
+    let after: BTreeMap<&str, Verdict> =
+        newer.records.iter().map(|r| (r.package.as_str(), Verdict::of_record(r))).collect();
+
+    let mut delta = BatchDelta::default();
+    for (package, b) in &before {
+        match after.get(package) {
+            None => delta.deltas.push(AppDelta {
+                package: (*package).to_string(),
+                kind: DeltaKind::Removed,
+                before: Some(*b),
+                after: None,
+            }),
+            Some(a) if a == b => delta.unchanged += 1,
+            Some(a) => delta.deltas.push(AppDelta {
+                package: (*package).to_string(),
+                kind: DeltaKind::Changed,
+                before: Some(*b),
+                after: Some(*a),
+            }),
+        }
+    }
+    for (package, a) in &after {
+        if !before.contains_key(package) {
+            delta.deltas.push(AppDelta {
+                package: (*package).to_string(),
+                kind: DeltaKind::Added,
+                before: None,
+                after: Some(*a),
+            });
+        }
+    }
+    delta.deltas.sort_by(|x, y| x.package.cmp(&y.package));
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSummary;
+    use ppchecker_core::{Error, MissedInfo, Report};
+
+    fn record(package: &str, outcome: AppOutcome) -> AppRecord {
+        AppRecord { index: 0, package: package.to_string(), outcome }
+    }
+
+    fn clean(package: &str) -> AppRecord {
+        record(
+            package,
+            AppOutcome::Report(Report { package: package.to_string(), ..Report::default() }),
+        )
+    }
+
+    fn incomplete(package: &str, missed: usize) -> AppRecord {
+        let report = Report {
+            package: package.to_string(),
+            missed: (0..missed)
+                .map(|_| MissedInfo {
+                    info: ppchecker_apk::PrivateInfo::Location,
+                    channel: ppchecker_core::Channel::Code,
+                    permission: None,
+                    retained: false,
+                })
+                .collect(),
+            ..Report::default()
+        };
+        record(package, AppOutcome::Report(report))
+    }
+
+    fn batch(records: Vec<AppRecord>) -> BatchReport {
+        BatchReport { records, metrics: MetricsSummary::default() }
+    }
+
+    #[test]
+    fn identical_runs_are_quiet() {
+        let older = batch(vec![clean("com.a"), incomplete("com.b", 2)]);
+        let newer = batch(vec![incomplete("com.b", 2), clean("com.a")]);
+        let delta = diff_batches(&older, &newer);
+        assert!(delta.is_quiet());
+        assert_eq!(delta.unchanged, 2);
+        assert!(delta.to_string().contains("2 unchanged"));
+    }
+
+    #[test]
+    fn verdict_changes_and_membership_changes_are_reported() {
+        let older = batch(vec![clean("com.a"), incomplete("com.b", 1), clean("com.gone")]);
+        let newer = batch(vec![incomplete("com.a", 3), incomplete("com.b", 1), clean("com.new")]);
+        let delta = diff_batches(&older, &newer);
+        assert_eq!(delta.unchanged, 1);
+        assert_eq!(delta.changed(), 1);
+        assert_eq!(delta.added(), 1);
+        assert_eq!(delta.removed(), 1);
+        assert_eq!(delta.regressed(), 1, "com.a gained findings");
+        let text = delta.to_string();
+        assert!(text.contains("~ com.a: clean -> 3 missed"));
+        assert!(text.contains("+ com.new: clean"));
+        assert!(text.contains("- com.gone: was clean"));
+    }
+
+    #[test]
+    fn errors_count_as_regressions() {
+        let older = batch(vec![clean("com.a")]);
+        let newer = batch(vec![record("com.a", AppOutcome::Error(Error::input("bad dex")))]);
+        let delta = diff_batches(&older, &newer);
+        assert_eq!(delta.regressed(), 1);
+        assert!(delta.to_string().contains("clean -> error"));
+    }
+
+    #[test]
+    fn fixes_change_without_regressing() {
+        let older = batch(vec![incomplete("com.a", 2)]);
+        let newer = batch(vec![clean("com.a")]);
+        let delta = diff_batches(&older, &newer);
+        assert_eq!(delta.changed(), 1);
+        assert_eq!(delta.regressed(), 0);
+    }
+}

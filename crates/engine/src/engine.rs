@@ -30,12 +30,17 @@
 //! `jobs=16` runs emit byte-identical record sequences and aggregates.
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::metrics::{EngineSnapshot, MetricsSummary, StageStats};
+use crate::metrics::{EngineSnapshot, MetricsSummary, StageStats, StoreSummary};
 use crate::report::{AppOutcome, AppRecord, BatchReport};
 use crate::scheduler;
-use ppchecker_core::{AppInput, CheckOutcome, CheckRequest, Error, PPChecker, StageTimings};
+use ppchecker_core::{
+    decode_report, encode_report, AppInput, CheckOutcome, CheckRequest, Error, PPChecker, Report,
+    StageTimings,
+};
 use ppchecker_esa::Interpreter;
+use ppchecker_store::{combine_hashes, content_hash, ArtifactTier, RecordKind, Store};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -69,6 +74,15 @@ pub struct Engine {
     cache: ArtifactCache,
     config: EngineConfig,
     lib_policies: usize,
+    /// Persistent artifact store, when attached via [`Engine::with_store`].
+    /// Kept alongside the `dyn ArtifactTier` handles inside the caches so
+    /// the engine can read per-kind counters for metrics.
+    store: Option<Arc<Store>>,
+    /// Key salt for report records: the checker's configuration
+    /// fingerprint, computed once at attach time.
+    report_salt: u64,
+    /// Apps whose stored report replayed wholesale (cumulative).
+    skipped: AtomicU64,
 }
 
 impl Engine {
@@ -78,7 +92,15 @@ impl Engine {
         let lib_policies = checker.lib_policy_count();
         let cache = ArtifactCache::new();
         let checker = checker.with_taint_summary_cache(Arc::clone(cache.taint_summaries()));
-        Engine { checker, cache, config: EngineConfig::default(), lib_policies }
+        Engine {
+            checker,
+            cache,
+            config: EngineConfig::default(),
+            lib_policies,
+            store: None,
+            report_salt: 0,
+            skipped: AtomicU64::new(0),
+        }
     }
 
     /// Builds an engine from a bare checker plus `(lib id, policy html)`
@@ -97,7 +119,39 @@ impl Engine {
             count += 1;
         }
         let checker = checker.with_taint_summary_cache(Arc::clone(cache.taint_summaries()));
-        Engine { checker, cache, config: EngineConfig::default(), lib_policies: count }
+        Engine {
+            checker,
+            cache,
+            config: EngineConfig::default(),
+            lib_policies: count,
+            store: None,
+            report_salt: 0,
+            skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a persistent artifact store, turning every cache into
+    /// the memory tier of a two-tier hierarchy:
+    ///
+    /// * parsed policies replay from disk keyed by
+    ///   `content_hash(html) × analyzer fingerprint`;
+    /// * library taint summaries replay keyed by lib content hash;
+    /// * whole app reports replay keyed by
+    ///   `policy × description × apk × checker configuration` — when that
+    ///   key hits, the app's entire pipeline is skipped.
+    ///
+    /// Attach the store *before* the first run (typically right after
+    /// construction). The checker's configuration fingerprint is frozen
+    /// into the report keys here, so reconfiguring the checker after
+    /// attach would replay stale reports — the builder API makes that
+    /// impossible to express, since `with_store` consumes `self`.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        let tier: Arc<dyn ArtifactTier> = Arc::clone(&store) as Arc<dyn ArtifactTier>;
+        self.cache.attach_disk_tier(Arc::clone(&tier), self.checker.analyzer().fingerprint());
+        self.cache.taint_summaries().attach_disk_tier(tier);
+        self.report_salt = self.checker.config_fingerprint();
+        self.store = Some(store);
+        self
     }
 
     /// Sets the worker count (clamped to ≥ 1).
@@ -124,6 +178,57 @@ impl Engine {
         &self.cache
     }
 
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// The report-record key of one app: every input the report is a
+    /// function of, combined — policy bytes, description bytes, the APK
+    /// content hash, and the checker configuration fingerprint. Any
+    /// change to any of them lands on a different key, so stale replays
+    /// are structurally impossible.
+    fn report_key(&self, app: &AppInput) -> u64 {
+        combine_hashes(&[
+            content_hash(app.policy_html.as_bytes()),
+            content_hash(app.description.as_bytes()),
+            app.apk.content_hash(),
+            self.report_salt,
+        ])
+    }
+
+    /// Probes the store for `app`'s full report. Any defect — no record,
+    /// corruption, a decode failure, a (vanishingly unlikely) key
+    /// collision against a different package — reads as a miss and the
+    /// pipeline runs in full.
+    fn stored_report(&self, app: &AppInput) -> Option<Report> {
+        let store = self.store.as_ref()?;
+        let _span = ppchecker_obs::span!("engine.store_probe");
+        let bytes = store.load(RecordKind::Report, self.report_key(app))?;
+        let report = decode_report(&bytes).ok()?;
+        if report.package == app.package {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+            Some(report)
+        } else {
+            None
+        }
+    }
+
+    /// Persists a freshly computed report under the app's input key.
+    fn persist_report(&self, app: &AppInput, report: &Report) {
+        if let Some(store) = &self.store {
+            store.save(RecordKind::Report, self.report_key(app), &encode_report(report));
+        }
+    }
+
+    /// Cumulative store counters plus the replay count, when a store is
+    /// attached.
+    fn store_summary(&self) -> Option<StoreSummary> {
+        self.store
+            .as_ref()
+            .map(|s| StoreSummary::cumulative(s, self.skipped.load(Ordering::Relaxed)))
+    }
+
     /// Runs the pipeline over every app in the stream and returns records
     /// in submission order plus run metrics.
     ///
@@ -139,6 +244,7 @@ impl Engine {
         let obs_before = ppchecker_obs::snapshot();
         let policy_before = self.cache.stats();
         let taint_before = self.cache.taint_summary_stats();
+        let store_before = self.store_summary();
         let esa = Interpreter::shared();
         let (esa_hits_before, esa_misses_before) = esa.vector_cache_stats();
         let (pair_hits_before, pair_misses_before) = esa.pair_memo_stats();
@@ -195,6 +301,9 @@ impl Engine {
                 entries: taint_after.entries,
             },
             interner: ppchecker_nlp::Interner::global().stats(),
+            store: self
+                .store_summary()
+                .map(|after| after.delta_since(&store_before.unwrap_or_default())),
         };
         BatchReport { records, metrics }
     }
@@ -225,6 +334,13 @@ impl Engine {
     /// Returns the pipeline's structured [`Error`]; worker panics are
     /// caught and surfaced as [`Error::worker`].
     pub fn check_one(&self, app: &AppInput) -> Result<CheckOutcome, Error> {
+        if let Some(report) = self.stored_report(app) {
+            return Ok(CheckOutcome {
+                report,
+                timings: Some(StageTimings::default()),
+                trace: None,
+            });
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _span = ppchecker_obs::span!("app.check", app.package);
             self.checker.check(
@@ -234,7 +350,12 @@ impl Engine {
             )
         }));
         match outcome {
-            Ok(result) => result,
+            Ok(result) => {
+                if let Ok(checked) = &result {
+                    self.persist_report(app, &checked.report);
+                }
+                result
+            }
             Err(panic) => Err(Error::worker(panic_message(&panic))),
         }
     }
@@ -264,13 +385,21 @@ impl Engine {
             esa_pruned: esa.pruned_comparisons(),
             taint_summary_cache: self.cache.taint_summary_stats(),
             interner: ppchecker_nlp::Interner::global().stats(),
+            store: self.store_summary(),
         }
     }
 
     /// Runs one app through the full pipeline, converting failures (and
-    /// panics) into error records.
+    /// panics) into error records. With a store attached, an unchanged
+    /// app (same policy, description, APK, and checker configuration as
+    /// a previously persisted run) replays its stored report and skips
+    /// the pipeline entirely.
     fn process_one(&self, index: usize, app: AppInput) -> (AppRecord, StageTimings) {
         let package = app.package.clone();
+        if let Some(report) = self.stored_report(&app) {
+            let record = AppRecord { index, package, outcome: AppOutcome::Report(report) };
+            return (record, StageTimings::default());
+        }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _span = ppchecker_obs::span!("app.check", app.package);
             self.checker.check(
@@ -281,6 +410,7 @@ impl Engine {
         }));
         match outcome {
             Ok(Ok(checked)) => {
+                self.persist_report(&app, &checked.report);
                 let timings = checked.timings.unwrap_or_default();
                 let record = AppRecord {
                     index,
@@ -496,6 +626,112 @@ mod tests {
         assert_eq!(batch.metrics.taint_summary_cache.hits, 5);
         assert_eq!(batch.metrics.taint_summary_cache.entries, 1);
         assert!(batch.metrics.to_string().contains("taint summaries: 5 hits / 1 misses"));
+    }
+
+    fn scratch_store(name: &str) -> (std::path::PathBuf, Arc<Store>) {
+        let dir =
+            std::env::temp_dir().join(format!("ppengine-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).expect("open store"));
+        (dir, store)
+    }
+
+    #[test]
+    fn warm_rerun_skips_every_unchanged_app() {
+        let (dir, store) = scratch_store("warm");
+        let cold =
+            Engine::new(PPChecker::new()).with_store(Arc::clone(&store)).with_jobs(2).run(apps(10));
+        let cold_store = cold.metrics.store.expect("store metrics present");
+        assert_eq!(cold_store.apps_skipped, 0, "first run computes everything");
+        assert_eq!(cold_store.reports.writes, 10);
+
+        // A fresh engine (fresh memory tiers — a new process, in effect)
+        // over the same store replays every report.
+        let warm_store = Arc::new(Store::open(&dir).expect("reopen store"));
+        let warm = Engine::new(PPChecker::new()).with_store(warm_store).with_jobs(2).run(apps(10));
+        let warm_stats = warm.metrics.store.expect("store metrics present");
+        assert_eq!(warm_stats.apps_skipped, 10, "all unchanged apps skipped");
+        assert_eq!(warm_stats.reports.writes, 0, "nothing recomputed, nothing rewritten");
+        assert_eq!(warm.metrics.taint_summary_cache.misses, 0, "no taint kernel runs");
+
+        // Byte-identical results either way.
+        assert_eq!(cold.aggregate(), warm.aggregate());
+        for (c, w) in cold.records.iter().zip(warm.records.iter()) {
+            assert_eq!(format!("{:?}", c.outcome), format!("{:?}", w.outcome));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn only_changed_apps_recompute() {
+        let (dir, store) = scratch_store("delta");
+        let engine = Engine::new(PPChecker::new()).with_store(Arc::clone(&store)).with_jobs(2);
+        let first = engine.run(apps(10));
+
+        // Mutate one app's policy; everyone else is unchanged.
+        let mut second_wave = apps(10);
+        second_wave[3].policy_html =
+            "<html><body><p>we no longer collect anything at all.</p></body></html>".into();
+        let second = engine.run(second_wave);
+        let stats = second.metrics.store.expect("store metrics present");
+        assert_eq!(stats.apps_skipped, 9, "only the mutated app re-analyzed");
+        assert_eq!(stats.reports.writes, 1);
+
+        let movement = crate::delta::diff_batches(&first, &second);
+        assert_eq!(movement.unchanged + movement.changed(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_invalidates_stored_reports() {
+        let (dir, store) = scratch_store("config");
+        let _ = Engine::new(PPChecker::new()).with_store(Arc::clone(&store)).run(apps(4));
+        let reopened = Arc::new(Store::open(&dir).expect("reopen"));
+        let strict = PPChecker::new().with_similarity_threshold(0.99);
+        let rerun = Engine::new(strict).with_store(reopened).run(apps(4));
+        let stats = rerun.metrics.store.expect("store metrics present");
+        assert_eq!(stats.apps_skipped, 0, "different checker config, different keys");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_store_recomputes_cleanly() {
+        let (dir, store) = scratch_store("corrupt");
+        let cold = Engine::new(PPChecker::new()).with_store(Arc::clone(&store)).run(apps(6));
+
+        // Truncate every report record on disk.
+        let reports_dir = dir.join("objects").join("report");
+        let mut truncated = 0;
+        for shard in std::fs::read_dir(&reports_dir).expect("report shards").flatten() {
+            for entry in std::fs::read_dir(shard.path()).expect("shard").flatten() {
+                let bytes = std::fs::read(entry.path()).expect("record bytes");
+                std::fs::write(entry.path(), &bytes[..bytes.len() / 2]).expect("truncate");
+                truncated += 1;
+            }
+        }
+        assert_eq!(truncated, 6);
+
+        let reopened = Arc::new(Store::open(&dir).expect("reopen"));
+        let recovered = Engine::new(PPChecker::new()).with_store(reopened).run(apps(6));
+        let stats = recovered.metrics.store.expect("store metrics present");
+        assert_eq!(stats.apps_skipped, 0, "corrupt records never replay");
+        assert_eq!(stats.reports.corrupt, 6);
+        assert_eq!(stats.reports.writes, 6, "recomputed reports overwrite the corruption");
+        assert_eq!(cold.aggregate(), recovered.aggregate());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_one_replays_from_the_store() {
+        let (dir, store) = scratch_store("checkone");
+        let engine = Engine::new(PPChecker::new()).with_store(Arc::clone(&store));
+        let input = app(0, "we may collect your location.");
+        let first = engine.check_one(&input).expect("first check");
+        let again = engine.check_one(&input).expect("replayed check");
+        assert_eq!(format!("{:?}", first.report), format!("{:?}", again.report));
+        let snapshot = engine.metrics_snapshot().store.expect("store metrics");
+        assert_eq!(snapshot.apps_skipped, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

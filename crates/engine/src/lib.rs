@@ -18,6 +18,12 @@
 //! * **Deterministic aggregation** — records come back in submission
 //!   order and [`BatchReport::aggregate`] is a pure fold over them, so
 //!   `jobs=1` and `jobs=16` produce byte-identical aggregate reports.
+//! * **Persistent warm starts** — [`Engine::with_store`] attaches a
+//!   `ppchecker-store` artifact store as the second tier of every cache:
+//!   parsed policies, library taint summaries, and whole app reports
+//!   replay from disk across process restarts, so a re-run over an
+//!   updated corpus only re-analyzes apps that actually changed
+//!   ([`diff_batches`] then reports the per-app verdict movement).
 //! * **A resident face** — the same scheduler is exported as
 //!   [`WorkerPool`] (long-lived workers, ticketed admission control),
 //!   and [`Engine::check_one`] + [`Engine::metrics_snapshot`] serve
@@ -36,13 +42,15 @@
 //! [`PPChecker`]: ppchecker_core::PPChecker
 
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod metrics;
 pub mod report;
 pub mod scheduler;
 
 pub use cache::{ArtifactCache, CacheStats};
+pub use delta::{diff_batches, AppDelta, BatchDelta, DeltaKind, Verdict};
 pub use engine::{available_jobs, Engine, EngineConfig};
-pub use metrics::{EngineSnapshot, MetricsSummary};
+pub use metrics::{EngineSnapshot, MetricsSummary, StoreSummary};
 pub use report::{AggregateSummary, AppOutcome, AppRecord, BatchReport};
 pub use scheduler::{AdmitError, AdmitTicket, PoolStats, WorkerPool};

@@ -9,8 +9,76 @@ use crate::cache::CacheStats;
 use ppchecker_core::StageTimings;
 use ppchecker_nlp::InternerStats;
 use ppchecker_obs::HistogramSnapshot;
+use ppchecker_store::{RecordKind, Store, StoreStats};
 use std::fmt;
 use std::time::Duration;
+
+/// Persistent-store counters over one window (a run, or since process
+/// start), broken out per record kind, plus the number of apps whose
+/// full report replayed from the store — the incremental-reanalysis
+/// headline number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Parsed-policy records (keyed by policy HTML × analyzer config).
+    pub policies: StoreStats,
+    /// Library taint-summary records (keyed by lib content hash).
+    pub lib_summaries: StoreStats,
+    /// Full per-app report records (keyed by app inputs × checker
+    /// config).
+    pub reports: StoreStats,
+    /// Apps whose stored report replayed — the entire pipeline skipped.
+    pub apps_skipped: u64,
+}
+
+impl StoreSummary {
+    /// Cumulative counters of `store` since it was opened, with
+    /// `apps_skipped` supplied by the engine (the store itself cannot
+    /// tell a report probe from a report replay).
+    pub fn cumulative(store: &Store, apps_skipped: u64) -> Self {
+        StoreSummary {
+            policies: store.stats(RecordKind::Policy),
+            lib_summaries: store.stats(RecordKind::LibSummary),
+            reports: store.stats(RecordKind::Report),
+            apps_skipped,
+        }
+    }
+
+    /// The change between two cumulative snapshots.
+    pub fn delta_since(&self, earlier: &StoreSummary) -> StoreSummary {
+        StoreSummary {
+            policies: self.policies.delta_since(&earlier.policies),
+            lib_summaries: self.lib_summaries.delta_since(&earlier.lib_summaries),
+            reports: self.reports.delta_since(&earlier.reports),
+            apps_skipped: self.apps_skipped - earlier.apps_skipped,
+        }
+    }
+
+    /// Total corrupt records encountered across all kinds.
+    pub fn corrupt(&self) -> u64 {
+        self.policies.corrupt + self.lib_summaries.corrupt + self.reports.corrupt
+    }
+}
+
+impl fmt::Display for StoreSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store: {} apps skipped; reports {}h/{}m/{}w, policies {}h/{}m/{}w, \
+             lib summaries {}h/{}m/{}w; {} corrupt",
+            self.apps_skipped,
+            self.reports.hits,
+            self.reports.misses,
+            self.reports.writes,
+            self.policies.hits,
+            self.policies.misses,
+            self.policies.writes,
+            self.lib_summaries.hits,
+            self.lib_summaries.misses,
+            self.lib_summaries.writes,
+            self.corrupt(),
+        )
+    }
+}
 
 /// Distribution of one span's durations over a batch run, read off the
 /// obs histogram delta (quantiles are log2-bucket upper bounds clamped
@@ -69,6 +137,9 @@ pub struct EngineSnapshot {
     pub taint_summary_cache: CacheStats,
     /// Global interner occupancy.
     pub interner: InternerStats,
+    /// Persistent-store totals since the store was opened; `None` when
+    /// the engine runs without a store.
+    pub store: Option<StoreSummary>,
 }
 
 /// Everything a batch run reports about itself.
@@ -110,6 +181,10 @@ pub struct MetricsSummary {
     /// Global interner occupancy at the end of the run (process-wide:
     /// includes the static pre-seed plus everything interned so far).
     pub interner: InternerStats,
+    /// Persistent-store counters as a delta over the run — hit/miss/write
+    /// per record kind plus apps whose report replayed wholesale. `None`
+    /// when the engine runs without a store.
+    pub store: Option<StoreSummary>,
 }
 
 impl MetricsSummary {
@@ -206,11 +281,20 @@ impl fmt::Display for MetricsSummary {
             self.taint_summary_cache.hit_rate() * 100.0,
             self.taint_summary_cache.entries,
         )?;
-        write!(
-            f,
-            "interner: {} symbols ({} preseeded, {} bytes)",
-            self.interner.symbols, self.interner.preseeded, self.interner.bytes,
-        )
+        if let Some(store) = &self.store {
+            writeln!(
+                f,
+                "interner: {} symbols ({} preseeded, {} bytes)",
+                self.interner.symbols, self.interner.preseeded, self.interner.bytes,
+            )?;
+            write!(f, "{store}")
+        } else {
+            write!(
+                f,
+                "interner: {} symbols ({} preseeded, {} bytes)",
+                self.interner.symbols, self.interner.preseeded, self.interner.bytes,
+            )
+        }
     }
 }
 
@@ -255,6 +339,44 @@ mod tests {
         assert!(text.contains("taint summaries"));
         // No quantile table without recorded spans.
         assert!(!text.contains("p99"));
+    }
+
+    #[test]
+    fn display_includes_store_line_only_when_attached() {
+        let m = MetricsSummary {
+            store: Some(StoreSummary {
+                apps_skipped: 95,
+                reports: StoreStats { hits: 95, misses: 5, writes: 5, corrupt: 0 },
+                ..StoreSummary::default()
+            }),
+            ..MetricsSummary::default()
+        };
+        let text = m.to_string();
+        assert!(text.contains("store: 95 apps skipped"));
+        assert!(text.contains("reports 95h/5m/5w"));
+        assert!(!MetricsSummary::default().to_string().contains("store:"));
+    }
+
+    #[test]
+    fn store_summary_delta_subtracts_per_kind() {
+        let earlier = StoreSummary {
+            policies: StoreStats { hits: 1, misses: 2, writes: 2, corrupt: 0 },
+            lib_summaries: StoreStats::default(),
+            reports: StoreStats { hits: 0, misses: 4, writes: 4, corrupt: 1 },
+            apps_skipped: 0,
+        };
+        let later = StoreSummary {
+            policies: StoreStats { hits: 5, misses: 2, writes: 2, corrupt: 0 },
+            lib_summaries: StoreStats { hits: 3, misses: 0, writes: 0, corrupt: 0 },
+            reports: StoreStats { hits: 4, misses: 4, writes: 4, corrupt: 1 },
+            apps_skipped: 4,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.policies.hits, 4);
+        assert_eq!(delta.lib_summaries.hits, 3);
+        assert_eq!(delta.reports.hits, 4);
+        assert_eq!(delta.apps_skipped, 4);
+        assert_eq!(delta.corrupt(), 0);
     }
 
     #[test]

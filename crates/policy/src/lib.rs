@@ -33,6 +33,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod synonyms;
 pub mod verbs;
+pub mod wire;
 
 pub use bootstrap::{score_patterns, select_top_n, Bootstrapper, CorpusSentence, ScoredPattern};
 pub use diff::{diff, PolicyDiff, Statement};
@@ -42,3 +43,4 @@ pub use persist::{from_text as patterns_from_text, to_text as patterns_to_text};
 pub use pipeline::{AnalyzedSentence, PolicyAnalysis, PolicyAnalyzer};
 pub use synonyms::synonym_patterns;
 pub use verbs::VerbCategory;
+pub use wire::{decode_analysis, encode_analysis};

@@ -165,6 +165,20 @@ impl PolicyAnalyzer {
         &self.patterns
     }
 
+    /// A stable fingerprint of this analyzer's configuration: the
+    /// persisted text form of the pattern table plus the constraint-
+    /// modeling flag. Two analyzers with the same fingerprint produce the
+    /// same [`PolicyAnalysis`] for the same input, so the artifact store
+    /// folds this into every policy-derived record key — changing the
+    /// pattern set invalidates stored analyses instead of replaying them.
+    pub fn fingerprint(&self) -> u64 {
+        let text = crate::persist::to_text(&self.patterns);
+        ppchecker_store::combine_hashes(&[
+            ppchecker_store::content_hash(text.as_bytes()),
+            u64::from(self.model_constraints),
+        ])
+    }
+
     /// Enables constraint modeling (the paper's §VI future-work item):
     /// a denial carrying a consent-style exception ("we will not share X
     /// *without your consent*") is conditional rather than absolute, so it
@@ -426,6 +440,24 @@ mod tests {
         assert!(all.contains("location"));
         assert!(all.contains("email address"));
         assert!(all.contains("device id"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_configuration() {
+        let stock = PolicyAnalyzer::new();
+        assert_eq!(stock.fingerprint(), PolicyAnalyzer::new().fingerprint());
+        assert_ne!(
+            stock.fingerprint(),
+            PolicyAnalyzer::new().with_synonym_expansion().fingerprint()
+        );
+        assert_ne!(
+            stock.fingerprint(),
+            PolicyAnalyzer::new().with_constraint_modeling().fingerprint()
+        );
+        assert_ne!(
+            stock.fingerprint(),
+            PolicyAnalyzer::with_patterns(Pattern::seeds()).fingerprint()
+        );
     }
 
     #[test]

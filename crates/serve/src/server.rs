@@ -467,6 +467,27 @@ fn cache_to_json(stats: &CacheStats) -> String {
     )
 }
 
+/// Renders the persistent-store section of `/metrics`, or the literal
+/// `null` when the daemon runs without a store.
+fn store_to_json(store: Option<&ppchecker_engine::StoreSummary>) -> String {
+    let Some(s) = store else {
+        return "null".to_string();
+    };
+    let kind = |stats: &ppchecker_store::StoreStats| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"writes\":{},\"corrupt\":{}}}",
+            stats.hits, stats.misses, stats.writes, stats.corrupt,
+        )
+    };
+    format!(
+        "{{\"apps_skipped\":{},\"reports\":{},\"policies\":{},\"lib_summaries\":{}}}",
+        s.apps_skipped,
+        kind(&s.reports),
+        kind(&s.policies),
+        kind(&s.lib_summaries),
+    )
+}
+
 /// Renders the full `/metrics` document: request counters, queue
 /// occupancy, cache effectiveness, interner occupancy, and per-span
 /// latency quantiles — cumulative since process start (scrape twice and
@@ -500,6 +521,7 @@ fn metrics_to_json(shared: &Shared) -> String {
          \"lib_policies\":{},\
          \"caches\":{{\"policy\":{},\"policy_cap\":{},\"esa_vectors\":{},\"esa_pair_memo\":{},\
          \"esa_pruned\":{},\"taint_summaries\":{}}},\
+         \"store\":{},\
          \"interner\":{{\"symbols\":{},\"preseeded\":{},\"bytes\":{},\"soft_cap_bytes\":{},\
          \"over_soft_cap\":{},\"over_cap_interns\":{}}},\
          \"spans\":{{{}}}}}",
@@ -523,6 +545,7 @@ fn metrics_to_json(shared: &Shared) -> String {
         cache_to_json(&engine.esa_pair_memo),
         engine.esa_pruned,
         cache_to_json(&engine.taint_summary_cache),
+        store_to_json(engine.store.as_ref()),
         interner.symbols,
         interner.preseeded,
         interner.bytes,

@@ -257,6 +257,50 @@ fn unknown_routes_and_wrong_methods_are_refused() {
 }
 
 #[test]
+fn store_backed_daemon_replays_and_reports_in_metrics() {
+    let dataset = small_dataset(31, 2);
+    let store_dir = std::env::temp_dir().join(format!("ppserve-store-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = std::sync::Arc::new(ppchecker_store::Store::open(&store_dir).unwrap());
+    let engine = Engine::new(dataset.make_checker()).with_store(store);
+    let handle = daemon_with(engine, 1, 2, false, 4 * 1024 * 1024);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let app = dataset.iter_apps().next().unwrap();
+    let (status, first) = client.check(app).unwrap();
+    assert_eq!(status, 200, "body: {first}");
+    let (status, second) = client.check(app).unwrap();
+    assert_eq!(status, 200);
+    // The replay carries zeroed stage timings (no stages ran), so
+    // compare the response bodies up to the timings section.
+    let report_part = |body: &str| {
+        body.split_once(",\"timings_us\"").map(|(r, _)| r.to_string()).unwrap_or_default()
+    };
+    assert!(!report_part(&first).is_empty(), "body: {first}");
+    assert_eq!(
+        report_part(&first),
+        report_part(&second),
+        "replayed report matches the computed one"
+    );
+
+    let metrics = client.metrics().unwrap();
+    assert!(number(&metrics, &["store", "apps_skipped"]) >= 1.0, "no replay recorded");
+    assert!(number(&metrics, &["store", "reports", "writes"]) >= 1.0);
+    shut_down(handle);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn storeless_daemon_reports_a_null_store_section() {
+    let handle = daemon(1, 2, false);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.get("store").is_some(), "store key must exist even when null");
+    assert!(metrics.get("store").unwrap().as_f64().is_none(), "storeless daemon has null store");
+    shut_down(handle);
+}
+
+#[test]
 fn metrics_document_is_well_formed_json_with_span_quantiles() {
     let dataset = small_dataset(29, 1);
     let handle = daemon(1, 2, false);

@@ -16,11 +16,12 @@
 //! ([`ppchecker_apk::stable_hash_classes`]) over sorted class names, so a
 //! recompiled or trimmed copy of a lib never matches a stale summary.
 
-use crate::sensitive::SensitiveApi;
-use crate::sinks::SinkApi;
+use crate::sensitive::{self, SensitiveApi};
+use crate::sinks::{self, SinkApi};
 use ppchecker_apk::{FnvMap, PrivateInfo};
+use ppchecker_store::{ArtifactTier, RecordKind, WireError, WireReader, WireWriter};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// One taint label in app-independent form. Table-sourced labels are
 /// kept as pointers into the static sensitive-API table — two apps
@@ -91,15 +92,19 @@ impl LibSummary {
 
 /// Thread-safe, content-addressed store of [`LibSummary`] values, shared
 /// across all apps of a batch run (the cross-app half of the taint
-/// kernel).
+/// kernel), optionally backed by a persistent disk tier so summaries
+/// survive across runs.
 ///
 /// Mirrors the engine's `ArtifactCache` discipline: compute outside the
-/// write lock, first insert wins, `misses` counts distinct lib contents.
+/// write lock, first insert wins, `misses` counts distinct lib contents
+/// *computed this run* — a summary replayed from the disk tier counts as
+/// a hit, since the kernel skipped the work either way.
 #[derive(Debug, Default)]
 pub struct TaintSummaryCache {
     map: RwLock<FnvMap<u64, Arc<LibSummary>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk: OnceLock<Arc<dyn ArtifactTier>>,
 }
 
 impl TaintSummaryCache {
@@ -108,23 +113,61 @@ impl TaintSummaryCache {
         TaintSummaryCache::default()
     }
 
+    /// Attaches a persistent tier consulted on memory misses and written
+    /// on inserts. First attachment wins; later calls are ignored (the
+    /// cache is shared behind `Arc`, so every holder sees the tier).
+    pub fn attach_disk_tier(&self, tier: Arc<dyn ArtifactTier>) {
+        let _ = self.disk.set(tier);
+    }
+
     /// Looks up the summary for a lib content hash, counting a hit or a
-    /// miss.
+    /// miss. On a memory miss the disk tier (when attached) is probed;
+    /// a decodable stored summary is promoted into memory and counts as
+    /// a hit, so `misses` stays "summaries computed this run".
     pub(crate) fn get(&self, key: u64) -> Option<Arc<LibSummary>> {
         let hit = self.map.read().expect("summary cache lock").get(&key).cloned();
-        match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        hit
+        if let Some(summary) = hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(summary);
+        }
+        if let Some(summary) = self.load_from_disk(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(summary);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Disk-tier probe: decode, promote into memory (first insert wins).
+    /// Any defect — missing record, corruption, an API name the current
+    /// tables no longer carry — reads as `None` and the kernel recomputes.
+    fn load_from_disk(&self, key: u64) -> Option<Arc<LibSummary>> {
+        let tier = self.disk.get()?;
+        let bytes = tier.load(RecordKind::LibSummary, key)?;
+        let summary = decode_lib_summary(&bytes).ok()?;
+        let fresh = Arc::new(summary);
+        let mut map = self.map.write().expect("summary cache lock");
+        Some(Arc::clone(map.entry(key).or_insert(fresh)))
     }
 
     /// Stores a freshly computed summary; the first insert wins so every
-    /// consumer shares one allocation.
+    /// consumer shares one allocation. The winning insert is also
+    /// persisted to the disk tier when one is attached.
     pub(crate) fn insert(&self, key: u64, summary: LibSummary) -> Arc<LibSummary> {
         let fresh = Arc::new(summary);
         let mut map = self.map.write().expect("summary cache lock");
-        Arc::clone(map.entry(key).or_insert(fresh))
+        let mut won = false;
+        let shared = Arc::clone(map.entry(key).or_insert_with(|| {
+            won = true;
+            fresh
+        }));
+        drop(map);
+        if won {
+            if let Some(tier) = self.disk.get() {
+                tier.save(RecordKind::LibSummary, key, &encode_lib_summary(&shared));
+            }
+        }
+        shared
     }
 
     /// Lookups served from the cache.
@@ -141,6 +184,167 @@ impl TaintSummaryCache {
     pub fn entries(&self) -> usize {
         self.map.read().expect("summary cache lock").len()
     }
+}
+
+// ---- wire codec -------------------------------------------------------
+//
+// Summaries hold `&'static` pointers into the sensitive-API and sink
+// tables; the encoding carries the `(class, method)` names and decoding
+// re-resolves them through the table lookups. A name the current tables
+// no longer carry makes the whole decode fail — the record was written
+// by an incompatible build, so the kernel recomputes.
+
+fn write_label(w: &mut WireWriter, label: &NamedLabel) {
+    match label {
+        NamedLabel::Api(api) => {
+            w.u8(0);
+            w.str(api.class);
+            w.str(api.method);
+        }
+        NamedLabel::Uri { info, src } => {
+            w.u8(1);
+            w.str(info.canonical_phrase());
+            w.str(src);
+        }
+    }
+}
+
+fn read_label(r: &mut WireReader<'_>) -> Result<NamedLabel, WireError> {
+    match r.u8()? {
+        0 => {
+            let class = r.str()?;
+            let method = r.str()?;
+            let api = sensitive::lookup(class, method)
+                .ok_or_else(|| WireError(format!("unknown sensitive api {class}.{method}")))?;
+            Ok(NamedLabel::Api(api))
+        }
+        1 => {
+            let name = r.str()?;
+            let info = *PrivateInfo::ALL
+                .iter()
+                .find(|i| i.canonical_phrase() == name)
+                .ok_or_else(|| WireError(format!("unknown private info '{name}'")))?;
+            Ok(NamedLabel::Uri { info, src: r.str()?.to_string() })
+        }
+        other => Err(WireError(format!("bad label tag {other}"))),
+    }
+}
+
+fn write_labels(w: &mut WireWriter, labels: &[NamedLabel]) {
+    w.seq(labels.len());
+    for l in labels {
+        write_label(w, l);
+    }
+}
+
+fn read_labels(r: &mut WireReader<'_>) -> Result<Vec<NamedLabel>, WireError> {
+    let n = r.seq()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_label(r)?);
+    }
+    Ok(out)
+}
+
+fn write_named_group(w: &mut WireWriter, group: &[(String, String, Vec<NamedLabel>)]) {
+    w.seq(group.len());
+    for (a, b, labels) in group {
+        w.str(a);
+        w.str(b);
+        write_labels(w, labels);
+    }
+}
+
+fn read_named_group(
+    r: &mut WireReader<'_>,
+) -> Result<Vec<(String, String, Vec<NamedLabel>)>, WireError> {
+    let n = r.seq()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.str()?.to_string(), r.str()?.to_string(), read_labels(r)?));
+    }
+    Ok(out)
+}
+
+/// Encodes a [`LibSummary`] for the artifact store.
+pub fn encode_lib_summary(s: &LibSummary) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.seq(s.methods.len());
+    for m in &s.methods {
+        w.str(&m.class);
+        w.str(&m.method);
+        write_labels(&mut w, &m.ret);
+        write_named_group(&mut w, &m.fields);
+        write_named_group(&mut w, &m.params);
+        w.seq(m.channels.len());
+        for (target, labels) in &m.channels {
+            w.str(target);
+            write_labels(&mut w, labels);
+        }
+        w.seq(m.leaks.len());
+        for leak in &m.leaks {
+            write_label(&mut w, &leak.label);
+            w.str(leak.api.class);
+            w.str(leak.api.method);
+            w.str(&leak.at_class);
+            w.str(&leak.at_method);
+        }
+    }
+    w.seq(s.external_calls.len());
+    for (class, method) in &s.external_calls {
+        w.str(class);
+        w.str(method);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a stored [`LibSummary`], re-resolving every table pointer.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any defect (including API names the current
+/// tables no longer carry); the cache treats that as a miss.
+pub fn decode_lib_summary(bytes: &[u8]) -> Result<LibSummary, WireError> {
+    let mut r = WireReader::new(bytes);
+    let n_methods = r.seq()?;
+    let mut methods = Vec::with_capacity(n_methods);
+    for _ in 0..n_methods {
+        let class = r.str()?.to_string();
+        let method = r.str()?.to_string();
+        let ret = read_labels(&mut r)?;
+        let fields = read_named_group(&mut r)?;
+        let params = read_named_group(&mut r)?;
+        let n_chan = r.seq()?;
+        let mut channels = Vec::with_capacity(n_chan);
+        for _ in 0..n_chan {
+            channels.push((r.str()?.to_string(), read_labels(&mut r)?));
+        }
+        let n_leaks = r.seq()?;
+        let mut leaks = Vec::with_capacity(n_leaks);
+        for _ in 0..n_leaks {
+            let label = read_label(&mut r)?;
+            let sink_class = r.str()?;
+            let sink_method = r.str()?;
+            let api = sinks::lookup(sink_class, sink_method)
+                .ok_or_else(|| WireError(format!("unknown sink {sink_class}.{sink_method}")))?;
+            leaks.push(SummaryLeak {
+                label,
+                api,
+                at_class: r.str()?.to_string(),
+                at_method: r.str()?.to_string(),
+            });
+        }
+        methods.push(MethodSummary { class, method, ret, fields, params, channels, leaks });
+    }
+    let n_ext = r.seq()?;
+    let mut external_calls = Vec::with_capacity(n_ext);
+    for _ in 0..n_ext {
+        external_calls.push((r.str()?.to_string(), r.str()?.to_string()));
+    }
+    if !r.is_exhausted() {
+        return Err(WireError("trailing bytes after summary".into()));
+    }
+    Ok(LibSummary { methods, external_calls })
 }
 
 #[cfg(test)]
@@ -165,5 +369,129 @@ mod tests {
         let b = cache.insert(7, LibSummary::default());
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.entries(), 1);
+    }
+
+    fn sample_summary() -> LibSummary {
+        let loc = sensitive::lookup("android.location.Location", "getLatitude").unwrap();
+        let dev = sensitive::lookup("android.telephony.TelephonyManager", "getDeviceId").unwrap();
+        let log = sinks::lookup("android.util.Log", "d").unwrap();
+        LibSummary {
+            methods: vec![MethodSummary {
+                class: "com.ads.Sdk".into(),
+                method: "init".into(),
+                ret: vec![NamedLabel::Api(loc)],
+                fields: vec![(
+                    "com.ads.Sdk".into(),
+                    "cached".into(),
+                    vec![NamedLabel::Uri {
+                        info: PrivateInfo::Contact,
+                        src: "content://contacts".into(),
+                    }],
+                )],
+                params: vec![("com.ads.Net".into(), "send".into(), vec![NamedLabel::Api(dev)])],
+                channels: vec![("com.ads.Service".into(), vec![NamedLabel::Api(loc)])],
+                leaks: vec![SummaryLeak {
+                    label: NamedLabel::Api(dev),
+                    api: log,
+                    at_class: "com.ads.Sdk".into(),
+                    at_method: "init".into(),
+                }],
+            }],
+            external_calls: vec![("com.app.Main".into(), "callback".into())],
+        }
+    }
+
+    #[test]
+    fn lib_summary_round_trips() {
+        let original = sample_summary();
+        let decoded = decode_lib_summary(&encode_lib_summary(&original)).unwrap();
+        assert_eq!(decoded.methods.len(), 1);
+        let (d, o) = (&decoded.methods[0], &original.methods[0]);
+        assert_eq!(d.class, o.class);
+        assert_eq!(d.method, o.method);
+        // Table pointers re-resolve to the same entries.
+        match (&d.ret[0], &o.ret[0]) {
+            (NamedLabel::Api(a), NamedLabel::Api(b)) => assert!(std::ptr::eq(*a, *b)),
+            other => panic!("label mismatch: {other:?}"),
+        }
+        match &d.fields[0].2[0] {
+            NamedLabel::Uri { info, src } => {
+                assert_eq!(*info, PrivateInfo::Contact);
+                assert_eq!(src, "content://contacts");
+            }
+            other => panic!("expected uri label, got {other:?}"),
+        }
+        assert!(std::ptr::eq(d.leaks[0].api, o.leaks[0].api));
+        assert_eq!(decoded.external_calls, original.external_calls);
+    }
+
+    #[test]
+    fn unknown_api_name_fails_decode() {
+        let mut w = WireWriter::new();
+        w.seq(1);
+        w.str("com.ads.Sdk");
+        w.str("init");
+        // ret: one label pointing at an API no table carries
+        w.seq(1);
+        w.u8(0);
+        w.str("android.gone.Api");
+        w.str("vanished");
+        let bytes = w.into_bytes();
+        assert!(decode_lib_summary(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_summary_fails_decode() {
+        let bytes = encode_lib_summary(&sample_summary());
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_lib_summary(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn disk_tier_persists_and_promotes() {
+        #[derive(Debug, Default)]
+        struct MemTier(RwLock<std::collections::HashMap<u64, Vec<u8>>>);
+        impl ArtifactTier for MemTier {
+            fn load(&self, _kind: RecordKind, key: u64) -> Option<Vec<u8>> {
+                self.0.read().unwrap().get(&key).cloned()
+            }
+            fn save(&self, _kind: RecordKind, key: u64, payload: &[u8]) {
+                self.0.write().unwrap().insert(key, payload.to_vec());
+            }
+        }
+
+        let tier: Arc<MemTier> = Arc::new(MemTier::default());
+        let warm = TaintSummaryCache::new();
+        warm.attach_disk_tier(Arc::clone(&tier) as Arc<dyn ArtifactTier>);
+        assert!(warm.get(99).is_none());
+        warm.insert(99, sample_summary());
+        assert!(tier.0.read().unwrap().contains_key(&99), "insert must persist");
+
+        // A fresh cache over the same tier warm-starts: the probe is a
+        // hit served from disk, and the summary is promoted into memory.
+        let fresh = TaintSummaryCache::new();
+        fresh.attach_disk_tier(tier as Arc<dyn ArtifactTier>);
+        let replayed = fresh.get(99).expect("disk tier serves the summary");
+        assert_eq!(replayed.method_count(), 1);
+        assert_eq!(fresh.hits(), 1);
+        assert_eq!(fresh.misses(), 0);
+        assert_eq!(fresh.entries(), 1);
+    }
+
+    #[test]
+    fn corrupt_disk_record_reads_as_miss() {
+        #[derive(Debug)]
+        struct GarbageTier;
+        impl ArtifactTier for GarbageTier {
+            fn load(&self, _kind: RecordKind, _key: u64) -> Option<Vec<u8>> {
+                Some(vec![0xFF; 9])
+            }
+            fn save(&self, _kind: RecordKind, _key: u64, _payload: &[u8]) {}
+        }
+        let cache = TaintSummaryCache::new();
+        cache.attach_disk_tier(Arc::new(GarbageTier));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.misses(), 1);
     }
 }

@@ -28,10 +28,11 @@ fn main() {
     export_dataset(&dir, &dataset, n).expect("export corpus");
 
     let jobs = available_jobs();
-    let (serial, _) = run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, trace: None })
-        .expect("serial batch");
+    let (serial, _) =
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, ..BatchOptions::default() })
+            .expect("serial batch");
     let (parallel, metrics) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs, trace: None })
+        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs, ..BatchOptions::default() })
             .expect("parallel batch");
 
     assert_eq!(serial, parallel, "record streams must be byte-identical");

@@ -19,6 +19,7 @@ fn batch_trace_is_balanced_valid_json_with_stable_stage_names() {
         corpus_dir: dir.clone(),
         jobs: 4,
         trace: Some(trace_path.clone()),
+        ..BatchOptions::default()
     })
     .unwrap();
     assert_eq!(records.lines().count(), 51, "50 records + 1 aggregate line");
