@@ -1,0 +1,282 @@
+//! # ppchecker-arena
+//!
+//! A tiny per-app bump arena for the output-facing strings of report
+//! construction.
+//!
+//! The checker's hot loop allocates short-lived strings in two places:
+//! dedup keys while the detectors fold findings, and serialization
+//! buffers while reports stream out as JSONL. Both have the same
+//! lifetime — one app — and both previously paid one heap round-trip per
+//! string. [`Bump`] replaces that with pointer-bump allocation into
+//! chunks that are retained across [`reset`](Bump::reset), so the steady
+//! state of a batch run allocates nothing:
+//!
+//! ```
+//! use ppchecker_arena::Bump;
+//!
+//! let mut bump = Bump::new();
+//! let a = bump.alloc_str("hello");
+//! let b = bump.format_args(format_args!("{}-{}", a, 42));
+//! assert_eq!(b, "hello-42");
+//! bump.reset(); // drops the strings, keeps the capacity
+//! assert_eq!(bump.allocated(), 0);
+//! ```
+//!
+//! Lifetimes are the safety story: allocated `&str`s borrow the arena
+//! (`&'bump str`), so the borrow checker proves no string outlives its
+//! app's scope, and `reset` takes `&mut self`, which proves no allocated
+//! string survives it. Internally each chunk is a `String` whose
+//! capacity is fixed at creation — a chunk never reallocates, so
+//! previously returned references stay valid as more strings are bumped
+//! in (see the invariant note on [`Bump::alloc_str`]).
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// Smallest chunk the arena will create. Big enough that a typical app's
+/// dedup keys and report fragments fit in one chunk.
+const MIN_CHUNK: usize = 4 * 1024;
+
+/// A bump allocator for strings with chunk reuse across resets.
+///
+/// Not `Sync`: the intended shape is one `Bump` per worker (the engine
+/// threads each own a thread-local scratch), not one shared arena.
+#[derive(Debug, Default)]
+pub struct Bump {
+    /// Filled chunks plus the currently-open chunk (last). Each chunk's
+    /// capacity is fixed at creation and never grown — that is what keeps
+    /// previously handed-out `&str`s stable while new strings are bumped.
+    chunks: RefCell<Vec<String>>,
+    /// Reusable formatting buffer for [`format_args`](Self::format_args)
+    /// and [`render`](Self::render): the rendered text lands here first
+    /// (a `String` can grow mid-write), then moves into a chunk.
+    scratch: RefCell<String>,
+}
+
+impl Bump {
+    /// An empty arena; the first allocation creates the first chunk.
+    pub fn new() -> Self {
+        Bump::default()
+    }
+
+    /// An arena whose first chunk has at least `bytes` of capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        let bump = Bump::default();
+        bump.chunks.borrow_mut().push(String::with_capacity(bytes.max(MIN_CHUNK)));
+        bump
+    }
+
+    /// Copies `s` into the arena and returns the stable copy.
+    pub fn alloc_str(&self, s: &str) -> &str {
+        let mut chunks = self.chunks.borrow_mut();
+        let needs_chunk = match chunks.last() {
+            Some(open) => open.capacity() - open.len() < s.len(),
+            None => true,
+        };
+        if needs_chunk {
+            let cap = chunks.last().map_or(0, |c| c.capacity() * 2).max(s.len()).max(MIN_CHUNK);
+            chunks.push(String::with_capacity(cap));
+        }
+        let open = chunks.last_mut().expect("an open chunk exists");
+        let start = open.len();
+        // Invariant: capacity was checked above, so this push_str cannot
+        // reallocate the chunk's buffer.
+        debug_assert!(open.capacity() - open.len() >= s.len());
+        open.push_str(s);
+        let slice: &str = &open[start..];
+        // SAFETY: the returned reference points into a chunk's heap
+        // buffer. Chunks never reallocate (capacity is pre-checked) and
+        // are never dropped or truncated while the arena is shared
+        // (`reset` and `trim` take `&mut self`), so the buffer outlives
+        // every `&self` borrow of the arena.
+        unsafe { std::mem::transmute::<&str, &str>(slice) }
+    }
+
+    /// Formats into the arena without intermediate per-call allocation
+    /// (the reusable scratch buffer absorbs the unknown length), returning
+    /// the stable copy: `bump.format_args(format_args!("{x}/{y}"))`.
+    pub fn format_args(&self, args: fmt::Arguments<'_>) -> &str {
+        if let Some(literal) = args.as_str() {
+            return self.alloc_str(literal);
+        }
+        self.render(|out| {
+            fmt::Write::write_fmt(out, args).expect("writing to a String cannot fail");
+        })
+    }
+
+    /// Runs `fill` on a cleared reusable buffer and copies the result into
+    /// the arena — the multi-step-serializer form of
+    /// [`format_args`](Self::format_args). Reentrant `fill`s that touch
+    /// the same arena fall back to a fresh buffer rather than aliasing the
+    /// scratch.
+    pub fn render(&self, fill: impl FnOnce(&mut String)) -> &str {
+        match self.scratch.try_borrow_mut() {
+            Ok(mut scratch) => {
+                scratch.clear();
+                fill(&mut scratch);
+                self.alloc_str(&scratch)
+            }
+            Err(_) => {
+                let mut local = String::new();
+                fill(&mut local);
+                self.alloc_str(&local)
+            }
+        }
+    }
+
+    /// Borrows the reusable scratch buffer directly, cleared, for callers
+    /// that only need a transient buffer (e.g. streaming one JSONL line to
+    /// a writer) and not an arena-lived string.
+    pub fn with_scratch<R>(&self, f: impl FnOnce(&mut String) -> R) -> R {
+        match self.scratch.try_borrow_mut() {
+            Ok(mut scratch) => {
+                scratch.clear();
+                f(&mut scratch)
+            }
+            Err(_) => f(&mut String::new()),
+        }
+    }
+
+    /// Bytes currently allocated (sum of chunk fill levels).
+    pub fn allocated(&self) -> usize {
+        self.chunks.borrow().iter().map(|c| c.len()).sum()
+    }
+
+    /// Bytes of capacity currently held across all chunks.
+    pub fn capacity(&self) -> usize {
+        self.chunks.borrow().iter().map(|c| c.capacity()).sum()
+    }
+
+    /// Number of chunks (a steady-state arena sits at one).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.borrow().len()
+    }
+
+    /// Drops every allocated string but keeps the largest chunk's
+    /// capacity, so the next app's allocations are pure pointer bumps.
+    /// `&mut self` statically proves no allocated `&str` survives.
+    pub fn reset(&mut self) {
+        let chunks = self.chunks.get_mut();
+        if chunks.len() > 1 {
+            // Consolidate to one chunk covering the previous total, so
+            // the next identical workload never grows again: one
+            // allocation on this reset, zero on every reset after.
+            let total = chunks.iter().map(|c| c.capacity()).sum();
+            chunks.clear();
+            chunks.push(String::with_capacity(total));
+        }
+        if let Some(open) = chunks.last_mut() {
+            open.clear();
+        }
+    }
+
+    /// Releases all memory (chunks and scratch).
+    pub fn trim(&mut self) {
+        self.chunks.get_mut().clear();
+        self.chunks.get_mut().shrink_to_fit();
+        let scratch = self.scratch.get_mut();
+        scratch.clear();
+        scratch.shrink_to_fit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_round_trips_and_refs_stay_valid_across_growth() {
+        let bump = Bump::new();
+        let first = bump.alloc_str("alpha");
+        // Force several growth chunks while holding the first reference.
+        let mut held = Vec::new();
+        for i in 0..2000 {
+            held.push(bump.format_args(format_args!("entry-{i:04}")));
+        }
+        assert_eq!(first, "alpha");
+        for (i, s) in held.iter().enumerate() {
+            assert_eq!(*s, format!("entry-{i:04}"));
+        }
+        assert!(bump.chunk_count() >= 1);
+        assert_eq!(bump.allocated(), "alpha".len() + 2000 * "entry-0000".len());
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_zero_allocates_after_warmup() {
+        let mut bump = Bump::new();
+        for i in 0..1000 {
+            bump.alloc_str(&format!("warmup-{i}"));
+        }
+        bump.reset();
+        assert_eq!(bump.allocated(), 0);
+        assert_eq!(bump.chunk_count(), 1);
+        let warm_capacity = bump.capacity();
+        for i in 0..1000 {
+            bump.alloc_str(&format!("steady-{i}"));
+        }
+        // The retained chunk absorbed the same workload without growing.
+        assert_eq!(bump.capacity(), warm_capacity);
+        assert_eq!(bump.chunk_count(), 1);
+    }
+
+    #[test]
+    fn format_args_literal_fast_path() {
+        let bump = Bump::new();
+        assert_eq!(bump.format_args(format_args!("plain literal")), "plain literal");
+    }
+
+    #[test]
+    fn render_builds_multi_step_strings() {
+        let bump = Bump::new();
+        let s = bump.render(|out| {
+            out.push('[');
+            for i in 0..3 {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&i.to_string());
+            }
+            out.push(']');
+        });
+        assert_eq!(s, "[0,1,2]");
+    }
+
+    #[test]
+    fn render_is_reentrant() {
+        let bump = Bump::new();
+        let outer = bump.render(|out| {
+            let inner = bump.render(|o| o.push_str("inner"));
+            out.push_str("outer+");
+            out.push_str(inner);
+        });
+        assert_eq!(outer, "outer+inner");
+    }
+
+    #[test]
+    fn with_scratch_reuses_one_buffer() {
+        let bump = Bump::new();
+        bump.with_scratch(|b| b.push_str("first line that sizes the buffer"));
+        let cap_after_warmup = bump.with_scratch(|b| {
+            b.push_str("second");
+            b.capacity()
+        });
+        assert!(cap_after_warmup >= "first line that sizes the buffer".len());
+    }
+
+    #[test]
+    fn trim_releases_everything() {
+        let mut bump = Bump::with_capacity(1 << 16);
+        bump.alloc_str("x");
+        bump.trim();
+        assert_eq!(bump.capacity(), 0);
+        assert_eq!(bump.allocated(), 0);
+    }
+
+    #[test]
+    fn empty_and_large_strings() {
+        let bump = Bump::new();
+        assert_eq!(bump.alloc_str(""), "");
+        let big = "y".repeat(3 * MIN_CHUNK);
+        assert_eq!(bump.alloc_str(&big), big);
+    }
+}

@@ -8,6 +8,7 @@
 //! allocator, before the sampled criterion groups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ppchecker_bench::emit::BenchResult;
 use ppchecker_corpus::small_dataset;
 use ppchecker_static::apg::Apg;
 use ppchecker_static::graph::NodeId;
@@ -225,10 +226,43 @@ fn report_lib_heavy() {
     );
 }
 
+/// Per-run cold-fixpoint latencies over the golden corpus, emitted as
+/// `BENCH_taint.json` (see [`ppchecker_bench::emit`]); warmup runs are
+/// discarded so the quantiles report steady state, not lazy-init cost.
+fn emit_bench_json(apps: &[(Apg, HashSet<NodeId>)]) {
+    const WARMUP: usize = 2;
+    const RUNS: usize = 10;
+    for _ in 0..WARMUP {
+        black_box(run_kernel_cold(apps));
+    }
+    let mut runs = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        black_box(run_kernel_cold(apps));
+        runs.push(t.elapsed());
+    }
+    let total: f64 = runs.iter().map(Duration::as_secs_f64).sum();
+    let throughput = (RUNS * apps.len()) as f64 / total;
+    let result = BenchResult {
+        bench: "taint_fixpoint".to_string(),
+        config: vec![
+            ("apps".to_string(), apps.len().to_string()),
+            ("warmup".to_string(), WARMUP.to_string()),
+            ("runs".to_string(), RUNS.to_string()),
+            ("seed".to_string(), "42".to_string()),
+        ],
+        runs,
+        throughput,
+    };
+    let path = result.write("taint").expect("write BENCH_taint.json");
+    println!("taint_fixpoint: {throughput:.0} apps/s cold, wrote {}", path.display());
+}
+
 fn bench_taint(c: &mut Criterion) {
     let apps = golden_apgs();
     report_taint(&apps);
     report_lib_heavy();
+    emit_bench_json(&apps);
 
     let mut g = c.benchmark_group("taint");
     g.sample_size(20);

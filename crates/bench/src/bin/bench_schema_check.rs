@@ -1,47 +1,45 @@
 //! Validates every checked-in `BENCH_*.json` against the stable bench
-//! schema (see [`ppchecker_bench::emit`]).
+//! schema and — with `--baseline` — gates them against the checked-in
+//! trajectory baseline (see [`ppchecker_bench::emit`]).
 //!
 //! ```text
-//! bench_schema_check [<dir>] [--baseline <dir>]
+//! bench_schema_check [<dir>] [--baseline <file-or-dir>] [--check-report]
 //! ```
 //!
-//! Scans `<dir>` (default: the repo root) for `BENCH_*.json`, fails on
-//! any schema violation, and — when `--baseline` points at a directory
-//! holding an older set of artifacts — prints throughput deltas.
-//! Throughput drift is **warn-only**: hardware varies across CI runners,
-//! so a slowdown never fails the check, it just shows up in the log.
+//! Scans `<dir>` (default: the repo root) for `BENCH_*.json` (excluding
+//! `BENCH_BASELINE.json`, which has its own schema) and fails on any
+//! schema violation. The comparison modes:
+//!
+//! * `--baseline BENCH_BASELINE.json` (a **file**) — the strict gate:
+//!   every artifact must have a baseline entry and stay inside its
+//!   tolerance band, or the process exits non-zero. This is what CI
+//!   runs; a perf regression fails the build.
+//! * `--baseline <dir>` (a **directory** of older artifacts) — the
+//!   legacy warn-only diff: prints throughput ratios, never fails.
+//!   Useful for eyeballing a local run against a stash of old numbers.
+//! * `--check-report` — re-renders `report.md` from the artifacts and
+//!   fails if the checked-in copy differs (i.e. someone edited an
+//!   artifact without regenerating the report).
 
-use ppchecker_bench::emit::{repo_root, validate};
+use ppchecker_bench::emit::{
+    bench_artifacts, render_report_md, repo_root, validate, Baseline, BenchHeadline,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-fn bench_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map(|entries| {
-            entries
-                .filter_map(Result::ok)
-                .map(|e| e.path())
-                .filter(|p| {
-                    p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-                })
-                .collect()
-        })
-        .unwrap_or_default();
-    files.sort();
-    files
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<PathBuf> = None;
+    let mut check_report = false;
     let mut dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--baseline" {
             baseline = args.get(i + 1).map(PathBuf::from);
             i += 2;
+        } else if args[i] == "--check-report" {
+            check_report = true;
+            i += 1;
         } else {
             dir = Some(PathBuf::from(&args[i]));
             i += 1;
@@ -49,13 +47,36 @@ fn main() -> ExitCode {
     }
     let dir = dir.unwrap_or_else(repo_root);
 
-    let files = bench_files(&dir);
-    if files.is_empty() {
-        eprintln!("bench_schema_check: no BENCH_*.json under {}", dir.display());
-        return ExitCode::FAILURE;
-    }
+    let files = match bench_artifacts(&dir) {
+        Ok(files) if !files.is_empty() => files,
+        Ok(_) => {
+            eprintln!("bench_schema_check: no BENCH_*.json under {}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_schema_check: cannot scan {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The strict gate parses the baseline up front: a malformed or
+    // missing baseline file is itself a failure, not a silent skip.
+    let gate: Option<Baseline> = match &baseline {
+        Some(path) if path.is_file() => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Baseline::parse(&text))
+        {
+            Ok(base) => Some(base),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => None,
+    };
 
     let mut failed = false;
+    let mut headlines: Vec<(String, BenchHeadline)> = Vec::new();
     for path in &files {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
         let text = match std::fs::read_to_string(path) {
@@ -69,12 +90,23 @@ fn main() -> ExitCode {
         match validate(&text) {
             Ok(headline) => {
                 println!(
-                    "ok   {name}: bench={} runs={} throughput={:.2}/s",
-                    headline.bench, headline.runs, headline.throughput
+                    "ok   {name}: bench={} runs={} p50={}us throughput={:.2}/s",
+                    headline.bench, headline.runs, headline.p50_us, headline.throughput
                 );
-                if let Some(base_dir) = &baseline {
-                    diff_against_baseline(name, headline.throughput, base_dir);
+                match (&gate, &baseline) {
+                    (Some(base), _) => match base.check(&headline) {
+                        Ok(summary) => println!("     {name}: {summary}"),
+                        Err(e) => {
+                            eprintln!("FAIL {name}: {e}");
+                            failed = true;
+                        }
+                    },
+                    (None, Some(base_dir)) => {
+                        diff_against_baseline(name, headline.throughput, base_dir);
+                    }
+                    (None, None) => {}
                 }
+                headlines.push((name.to_string(), headline));
             }
             Err(e) => {
                 eprintln!("FAIL {name}: {e}");
@@ -82,6 +114,26 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if check_report && !failed {
+        let want = render_report_md(&headlines);
+        let report_path = dir.join("report.md");
+        match std::fs::read_to_string(&report_path) {
+            Ok(have) if have == want => println!("ok   report.md matches the artifacts"),
+            Ok(_) => {
+                eprintln!(
+                    "FAIL report.md is stale — rerun the benches (or any BenchResult::write) \
+                     to regenerate it"
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("FAIL report.md: unreadable: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {

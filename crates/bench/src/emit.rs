@@ -1,4 +1,6 @@
-//! The checked-in bench artifact: `BENCH_<name>.json` at the repo root.
+//! The checked-in bench evidence: `BENCH_<name>.json` artifacts, the
+//! `BENCH_BASELINE.json` trajectory gate, and the rendered `report.md`,
+//! all at the repo root.
 //!
 //! Every throughput bench emits one JSON document with a stable schema,
 //! so successive PRs can diff headline numbers without parsing
@@ -18,7 +20,20 @@
 //! serve bench, per-run wall times for the engine bench); the quantiles
 //! are computed from it by nearest-rank so the document is
 //! self-consistent.
+//!
+//! On top of the per-artifact schema sit two evidence layers:
+//!
+//! * [`Baseline`] reads `BENCH_BASELINE.json` — expected `p50_us` and
+//!   `throughput` per bench with a relative tolerance `band` — and
+//!   [`Baseline::check`] turns any excursion outside the band into a
+//!   hard error. `bench_schema_check --baseline BENCH_BASELINE.json`
+//!   runs it in CI, so a perf regression fails the build instead of
+//!   scrolling past as a warning.
+//! * [`refresh_report`] renders every artifact into a human `report.md`
+//!   table; [`BenchResult::write`] calls it, so the report can never go
+//!   stale relative to the artifacts it summarizes.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,7 +45,11 @@ pub fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-/// Nearest-rank quantile over an unsorted sample, in microseconds.
+/// The baseline file name — excluded from artifact scans because it
+/// follows the baseline schema, not the per-bench artifact schema.
+pub const BASELINE_FILE: &str = "BENCH_BASELINE.json";
+
+/// Nearest-rank quantile over a sorted sample, in microseconds.
 fn quantile_us(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -74,15 +93,18 @@ impl BenchResult {
         )
     }
 
-    /// Writes `BENCH_<suffix>.json` at the repo root and returns the
+    /// Writes `BENCH_<suffix>.json` at the repo root, refreshes
+    /// `report.md` from the full artifact set, and returns the artifact
     /// path.
     ///
     /// # Errors
     ///
-    /// Propagates the underlying filesystem error.
+    /// Propagates the underlying filesystem error, or a validation
+    /// error if any sibling artifact no longer conforms to the schema.
     pub fn write(&self, suffix: &str) -> io::Result<PathBuf> {
         let path = repo_root().join(format!("BENCH_{suffix}.json"));
         fs::write(&path, self.to_json())?;
+        refresh_report()?;
         Ok(path)
     }
 }
@@ -92,10 +114,31 @@ impl BenchResult {
 pub struct BenchHeadline {
     /// The `bench` name.
     pub bench: String,
+    /// The `config` object, key-sorted, values rendered back to text.
+    pub config: Vec<(String, String)>,
     /// Number of entries in `runs`.
     pub runs: usize,
+    /// Median latency, microseconds (nearest rank over `runs`).
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
     /// The `throughput` field, operations per second.
     pub throughput: f64,
+}
+
+/// Renders a parsed config value back to compact text for the report.
+fn render_value(v: &ppchecker_obs::json::Value) -> String {
+    use ppchecker_obs::json::Value;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => format!("{}", *n as i64),
+        Value::Num(n) => format!("{n}"),
+        Value::Str(s) => s.clone(),
+        Value::Arr(_) | Value::Obj(_) => "…".to_string(),
+    }
 }
 
 /// Validates a `BENCH_*.json` document against the stable schema that
@@ -115,10 +158,10 @@ pub fn validate(text: &str) -> Result<BenchHeadline, String> {
         .and_then(Value::as_str)
         .ok_or("missing or non-string \"bench\"")?
         .to_string();
-    match doc.get("config") {
-        Some(Value::Obj(_)) => {}
+    let config: Vec<(String, String)> = match doc.get("config") {
+        Some(Value::Obj(map)) => map.iter().map(|(k, v)| (k.clone(), render_value(v))).collect(),
         _ => return Err("missing or non-object \"config\"".to_string()),
-    }
+    };
     let runs: Vec<u64> = doc
         .get("runs")
         .and_then(Value::as_array)
@@ -134,7 +177,10 @@ pub fn validate(text: &str) -> Result<BenchHeadline, String> {
     if runs.windows(2).any(|w| w[0] > w[1]) {
         return Err("\"runs\" must be sorted ascending".to_string());
     }
-    for (key, q) in [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)] {
+    let mut quantiles = [0u64; 3];
+    for (slot, (key, q)) in
+        [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)].into_iter().enumerate()
+    {
         let got = doc
             .get(key)
             .and_then(Value::as_f64)
@@ -143,13 +189,218 @@ pub fn validate(text: &str) -> Result<BenchHeadline, String> {
         if got != want {
             return Err(format!("\"{key}\" is {got} but runs say {want}"));
         }
+        quantiles[slot] = want as u64;
     }
     let throughput = doc
         .get("throughput")
         .and_then(Value::as_f64)
         .filter(|t| *t >= 0.0)
         .ok_or("missing, non-numeric, or negative \"throughput\"")?;
-    Ok(BenchHeadline { bench, runs: runs.len(), throughput })
+    Ok(BenchHeadline {
+        bench,
+        config,
+        runs: runs.len(),
+        p50_us: quantiles[0],
+        p90_us: quantiles[1],
+        p99_us: quantiles[2],
+        throughput,
+    })
+}
+
+/// One bench's expected trajectory: the numbers a fresh run must stay
+/// within `band` of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Expected median latency, microseconds.
+    pub p50_us: u64,
+    /// Expected throughput, operations per second.
+    pub throughput: f64,
+    /// Relative tolerance: throughput may drop to `(1-band)×` and p50
+    /// may rise to `(1+band)×` before the gate fails.
+    pub band: f64,
+}
+
+/// The parsed `BENCH_BASELINE.json`: per-bench tolerance bands keyed by
+/// the artifact's `bench` name.
+///
+/// ```json
+/// {
+///   "schema": "ppchecker-bench-baseline-v1",
+///   "benches": {
+///     "engine_throughput": {"p50_us": 7646, "throughput": 18486.0, "band": 0.4}
+///   }
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Expected numbers per bench name.
+    pub benches: BTreeMap<String, BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses a `BENCH_BASELINE.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line description of the first schema violation:
+    /// wrong `schema` tag, non-object `benches`, or an entry with a
+    /// missing/invalid `p50_us`, `throughput`, or `band`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        use ppchecker_obs::json::{parse, Value};
+        let doc = parse(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some("ppchecker-bench-baseline-v1") => {}
+            _ => return Err("missing or unknown \"schema\" tag".to_string()),
+        }
+        let Some(Value::Obj(map)) = doc.get("benches") else {
+            return Err("missing or non-object \"benches\"".to_string());
+        };
+        let mut benches = BTreeMap::new();
+        for (name, entry) in map {
+            let num = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("bench {name:?}: missing or non-numeric \"{key}\""))
+            };
+            let p50 = num("p50_us")?;
+            if p50 < 0.0 || p50.fract() != 0.0 {
+                return Err(format!("bench {name:?}: \"p50_us\" must be a non-negative integer"));
+            }
+            let throughput = num("throughput")?;
+            if throughput <= 0.0 {
+                return Err(format!("bench {name:?}: \"throughput\" must be positive"));
+            }
+            let band = num("band")?;
+            if !(0.0..1.0).contains(&band) {
+                return Err(format!("bench {name:?}: \"band\" must be in [0, 1)"));
+            }
+            benches.insert(name.clone(), BaselineEntry { p50_us: p50 as u64, throughput, band });
+        }
+        Ok(Baseline { benches })
+    }
+
+    /// The strict trajectory gate: checks one artifact's headline
+    /// against its baseline entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bench has no baseline entry (every artifact must be
+    /// tracked — an untracked bench is an un-gated bench), if throughput
+    /// fell below `baseline × (1 - band)`, or if p50 latency rose above
+    /// `baseline × (1 + band)`. On success returns a one-line summary of
+    /// where the run sits inside the band.
+    pub fn check(&self, headline: &BenchHeadline) -> Result<String, String> {
+        let Some(base) = self.benches.get(&headline.bench) else {
+            return Err(format!(
+                "bench {:?} has no entry in {BASELINE_FILE} — add one so it stays gated",
+                headline.bench
+            ));
+        };
+        let floor = base.throughput * (1.0 - base.band);
+        if headline.throughput < floor {
+            return Err(format!(
+                "throughput regression: {:.2}/s is below {:.2}/s (baseline {:.2}/s − {:.0}% band)",
+                headline.throughput,
+                floor,
+                base.throughput,
+                base.band * 100.0
+            ));
+        }
+        let ceiling = base.p50_us as f64 * (1.0 + base.band);
+        if headline.p50_us as f64 > ceiling {
+            return Err(format!(
+                "p50 regression: {}µs is above {:.0}µs (baseline {}µs + {:.0}% band)",
+                headline.p50_us,
+                ceiling,
+                base.p50_us,
+                base.band * 100.0
+            ));
+        }
+        Ok(format!(
+            "throughput {:.2}/s (baseline {:.2}/s, {:+.1}%), p50 {}µs (baseline {}µs)",
+            headline.throughput,
+            base.throughput,
+            (headline.throughput / base.throughput - 1.0) * 100.0,
+            headline.p50_us,
+            base.p50_us,
+        ))
+    }
+}
+
+/// Every `BENCH_*.json` artifact under `dir`, sorted by file name, with
+/// [`BASELINE_FILE`] excluded (it follows a different schema).
+///
+/// # Errors
+///
+/// Propagates the directory-read error.
+pub fn bench_artifacts(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != BASELINE_FILE
+            })
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Renders the human-facing bench report from validated artifacts.
+/// Deterministic: same artifacts in, same markdown out — no timestamps,
+/// so regenerating without a perf change is a no-op in `git diff`.
+pub fn render_report_md(entries: &[(String, BenchHeadline)]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(
+        "# Bench report\n\n\
+         Auto-generated from the checked-in `BENCH_*.json` artifacts — every\n\
+         `cargo bench -p ppchecker-bench` run that rewrites an artifact also\n\
+         rewrites this file. Do not edit by hand. CI holds these numbers inside\n\
+         the tolerance bands of `BENCH_BASELINE.json` via\n\
+         `bench_schema_check --baseline BENCH_BASELINE.json`.\n\n\
+         | artifact | bench | config | runs | p50 (µs) | p90 (µs) | p99 (µs) | throughput (/s) |\n\
+         |---|---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for (name, h) in entries {
+        let config: Vec<String> = h.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2} |\n",
+            name,
+            h.bench,
+            config.join(", "),
+            h.runs,
+            h.p50_us,
+            h.p90_us,
+            h.p99_us,
+            h.throughput,
+        ));
+    }
+    out
+}
+
+/// Re-renders `report.md` at the repo root from every checked-in
+/// artifact. Called by [`BenchResult::write`] after each emission, so
+/// the report tracks the artifacts by construction.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; an artifact that fails [`validate`]
+/// becomes an [`io::ErrorKind::InvalidData`] error naming the file.
+pub fn refresh_report() -> io::Result<PathBuf> {
+    let root = repo_root();
+    let mut entries = Vec::new();
+    for path in bench_artifacts(&root)? {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("BENCH_?.json").to_string();
+        let text = fs::read_to_string(&path)?;
+        let headline = validate(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
+        entries.push((name, headline));
+    }
+    let path = root.join("report.md");
+    fs::write(&path, render_report_md(&entries))?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -194,6 +445,10 @@ mod tests {
         let headline = validate(&result.to_json()).unwrap();
         assert_eq!(headline.bench, "round_trip");
         assert_eq!(headline.runs, 3);
+        assert_eq!(headline.p50_us, 500);
+        assert_eq!(headline.p90_us, 900);
+        assert_eq!(headline.p99_us, 900);
+        assert_eq!(headline.config, vec![("apps".to_string(), "3".to_string())]);
         assert!((headline.throughput - 42.0).abs() < 1e-9);
     }
 
@@ -223,5 +478,94 @@ mod tests {
         assert_eq!(quantile_us(&sorted, 0.99), 99);
         assert_eq!(quantile_us(&[], 0.5), 0);
         assert_eq!(quantile_us(&[7], 0.99), 7);
+    }
+
+    fn baseline(p50: u64, throughput: f64, band: f64) -> Baseline {
+        Baseline::parse(&format!(
+            "{{\"schema\":\"ppchecker-bench-baseline-v1\",\"benches\":{{\
+             \"x\":{{\"p50_us\":{p50},\"throughput\":{throughput},\"band\":{band}}}}}}}"
+        ))
+        .unwrap()
+    }
+
+    fn headline(p50: u64, throughput: f64) -> BenchHeadline {
+        BenchHeadline {
+            bench: "x".to_string(),
+            config: vec![],
+            runs: 5,
+            p50_us: p50,
+            p90_us: p50,
+            p99_us: p50,
+            throughput,
+        }
+    }
+
+    #[test]
+    fn baseline_parses_and_rejects_drift() {
+        let base = baseline(100, 50.0, 0.25);
+        assert_eq!(base.benches["x"], BaselineEntry { p50_us: 100, throughput: 50.0, band: 0.25 });
+        assert!(Baseline::parse("{}").unwrap_err().contains("schema"));
+        assert!(Baseline::parse("{\"schema\":\"ppchecker-bench-baseline-v1\"}")
+            .unwrap_err()
+            .contains("benches"));
+        let bad_band = "{\"schema\":\"ppchecker-bench-baseline-v1\",\"benches\":\
+                        {\"x\":{\"p50_us\":1,\"throughput\":1,\"band\":1.5}}}";
+        assert!(Baseline::parse(bad_band).unwrap_err().contains("band"));
+    }
+
+    #[test]
+    fn gate_fails_outside_the_band_and_passes_inside() {
+        let base = baseline(100, 50.0, 0.20);
+        // In band: small drift both directions.
+        assert!(base.check(&headline(110, 45.0)).is_ok());
+        assert!(base.check(&headline(90, 60.0)).is_ok());
+        // Exactly at the floor/ceiling still passes.
+        assert!(base.check(&headline(120, 40.0)).is_ok());
+        // Throughput below the floor fails.
+        let err = base.check(&headline(100, 39.9)).unwrap_err();
+        assert!(err.contains("throughput regression"), "{err}");
+        // p50 above the ceiling fails.
+        let err = base.check(&headline(121, 50.0)).unwrap_err();
+        assert!(err.contains("p50 regression"), "{err}");
+        // A bench missing from the baseline is an error, not a skip.
+        let mut other = headline(100, 50.0);
+        other.bench = "unknown".to_string();
+        assert!(base.check(&other).unwrap_err().contains("no entry"), "untracked must fail");
+    }
+
+    #[test]
+    fn report_renders_deterministically() {
+        let entries = vec![
+            ("BENCH_a.json".to_string(), headline(10, 5.0)),
+            (
+                "BENCH_b.json".to_string(),
+                BenchHeadline {
+                    config: vec![
+                        ("apps".to_string(), "150".to_string()),
+                        ("jobs".to_string(), "1".to_string()),
+                    ],
+                    ..headline(20, 7.5)
+                },
+            ),
+        ];
+        let md = render_report_md(&entries);
+        assert_eq!(md, render_report_md(&entries), "same input, same output");
+        assert!(md.contains("| BENCH_a.json | x |  | 5 | 10 | 10 | 10 | 5.00 |"), "{md}");
+        assert!(md.contains("| BENCH_b.json | x | apps=150, jobs=1 | 5 | 20 | 20 | 20 | 7.50 |"));
+        assert!(md.starts_with("# Bench report"));
+    }
+
+    #[test]
+    fn baseline_file_is_excluded_from_artifact_scans() {
+        let dir = std::env::temp_dir().join(format!("ppchecker-bench-scan-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("BENCH_a.json"), "{}").unwrap();
+        fs::write(dir.join(BASELINE_FILE), "{}").unwrap();
+        fs::write(dir.join("other.json"), "{}").unwrap();
+        let files = bench_artifacts(&dir).unwrap();
+        fs::remove_dir_all(&dir).ok();
+        let names: Vec<&str> =
+            files.iter().filter_map(|p| p.file_name().and_then(|n| n.to_str())).collect();
+        assert_eq!(names, ["BENCH_a.json"]);
     }
 }

@@ -15,7 +15,7 @@
 //! `--jobs 1` and `--jobs 16` produce byte-identical bytes — while the
 //! timing-dependent metrics summary is returned separately for stderr.
 
-use crate::json::{escape, report_to_json};
+use crate::json::{escape_into, report_to_json_into};
 use crate::{manifest_text, CliError};
 use ppchecker_apk::{packer, Apk};
 use ppchecker_core::{AppInput, PPChecker};
@@ -171,25 +171,25 @@ pub fn render_batch(
     }
     let batch = engine.run(apps);
 
+    // Serialize straight into the output buffer: no per-record report
+    // String, no per-field escape String.
     let mut records = String::new();
     for record in &batch.records {
         match record.report() {
             Some(report) => {
-                let _ = writeln!(
-                    records,
-                    "{{\"index\":{},\"ok\":true,\"report\":{}}}",
-                    record.index,
-                    report_to_json(report),
-                );
+                let _ = write!(records, "{{\"index\":{},\"ok\":true,\"report\":", record.index);
+                report_to_json_into(&mut records, report);
+                records.push_str("}\n");
             }
             None => {
-                let _ = writeln!(
-                    records,
-                    "{{\"index\":{},\"ok\":false,\"package\":\"{}\",\"error\":\"{}\"}}",
-                    record.index,
-                    escape(&record.package),
-                    escape(&record.error().map(ToString::to_string).unwrap_or_default()),
+                let _ = write!(records, "{{\"index\":{},\"ok\":false,\"package\":\"", record.index);
+                escape_into(&mut records, &record.package);
+                records.push_str("\",\"error\":\"");
+                escape_into(
+                    &mut records,
+                    &record.error().map(ToString::to_string).unwrap_or_default(),
                 );
+                records.push_str("\"}\n");
             }
         }
     }

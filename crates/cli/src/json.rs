@@ -6,7 +6,7 @@
 //! construction — and is re-exported here so existing `ppchecker_cli`
 //! callers keep their import paths.
 
-pub use ppchecker_serve::json::{escape, report_to_json};
+pub use ppchecker_serve::json::{escape, escape_into, report_to_json, report_to_json_into};
 
 #[cfg(test)]
 mod tests {

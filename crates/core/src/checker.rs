@@ -407,6 +407,10 @@ impl PPChecker {
         app: &AppInput,
         provide_policy: Option<PolicyProvider<'_>>,
     ) -> Result<(Report, StageTimings), CheckError> {
+        // One app, one arena: everything the detectors bump-allocate below
+        // dies here, and the capacity stays warm for this worker thread's
+        // next app.
+        crate::scratch::reset_app_arena();
         let mut timings = StageTimings::default();
 
         let span = SpanGuard::timed("check.policy");

@@ -63,15 +63,23 @@ pub fn check_all<'a>(
 }
 
 fn dedup(mut v: Vec<Inconsistency>) -> Vec<Inconsistency> {
-    let mut seen: Vec<(String, String, String)> = Vec::new();
-    v.retain(|i| {
-        let key = (i.lib_id.clone(), i.app_sentence.clone(), i.lib_sentence.clone());
-        if seen.contains(&key) {
-            false
-        } else {
-            seen.push(key);
-            true
-        }
+    // Three owned Strings per key become three arena copies reclaimed
+    // wholesale at the next app's reset.
+    crate::scratch::with_app_arena(|bump| {
+        let mut seen: Vec<(&str, &str, &str)> = Vec::new();
+        v.retain(|i| {
+            let dup = seen
+                .iter()
+                .any(|&(l, a, s)| l == i.lib_id && a == i.app_sentence && s == i.lib_sentence);
+            if !dup {
+                seen.push((
+                    bump.alloc_str(&i.lib_id),
+                    bump.alloc_str(&i.app_sentence),
+                    bump.alloc_str(&i.lib_sentence),
+                ));
+            }
+            !dup
+        });
     });
     v
 }

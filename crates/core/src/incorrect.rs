@@ -82,15 +82,18 @@ pub fn via_code(
 }
 
 fn dedup(mut v: Vec<IncorrectFinding>) -> Vec<IncorrectFinding> {
-    let mut seen: Vec<(PrivateInfo, VerbCategory, String)> = Vec::new();
-    v.retain(|f| {
-        let key = (f.info, f.category, f.sentence.clone());
-        if seen.contains(&key) {
-            false
-        } else {
-            seen.push(key);
-            true
-        }
+    // Keys copy into the per-app arena instead of per-key heap Strings:
+    // the arena outlives the retain scan and resets with the next app.
+    crate::scratch::with_app_arena(|bump| {
+        let mut seen: Vec<(PrivateInfo, VerbCategory, &str)> = Vec::new();
+        v.retain(|f| {
+            let dup =
+                seen.iter().any(|&(i, c, s)| i == f.info && c == f.category && s == f.sentence);
+            if !dup {
+                seen.push((f.info, f.category, bump.alloc_str(&f.sentence)));
+            }
+            !dup
+        });
     });
     v
 }

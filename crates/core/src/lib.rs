@@ -25,6 +25,7 @@ pub mod inconsistent;
 pub mod incorrect;
 pub mod matcher;
 pub mod problems;
+pub(crate) mod scratch;
 pub mod suggest;
 pub mod wire;
 

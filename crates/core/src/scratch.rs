@@ -1,0 +1,59 @@
+//! Per-thread, per-app bump arena for the checker's short-lived strings.
+//!
+//! The detectors build dedup keys (and similar app-scoped transients)
+//! whose lifetime is exactly one [`crate::PPChecker::check`] call. Each
+//! engine worker thread owns one [`Bump`] here; the checker resets it at
+//! the top of every pipeline run, so after the first app on a thread the
+//! keys are pure pointer bumps into retained capacity — this is how the
+//! arena is "threaded" checker → engine without touching any public
+//! signature or report type.
+
+use ppchecker_arena::Bump;
+use std::cell::RefCell;
+
+thread_local! {
+    static APP_ARENA: RefCell<Bump> = RefCell::new(Bump::new());
+}
+
+/// Runs `f` with the calling thread's app arena. Do not call
+/// [`reset_app_arena`] from inside `f` (the `RefCell` would panic);
+/// allocated `&str`s must not escape the closure.
+pub(crate) fn with_app_arena<R>(f: impl FnOnce(&Bump) -> R) -> R {
+    APP_ARENA.with(|arena| f(&arena.borrow()))
+}
+
+/// Drops the current app's arena strings, keeping capacity for the next
+/// app. Called once per pipeline run.
+pub(crate) fn reset_app_arena() {
+    APP_ARENA.with(|arena| arena.borrow_mut().reset());
+}
+
+/// `(allocated, capacity)` of this thread's arena, for metrics and tests.
+#[allow(dead_code)]
+pub(crate) fn app_arena_stats() -> (usize, usize) {
+    APP_ARENA.with(|arena| {
+        let arena = arena.borrow();
+        (arena.allocated(), arena.capacity())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_resets_between_apps_and_retains_capacity() {
+        reset_app_arena();
+        with_app_arena(|bump| {
+            for i in 0..100 {
+                bump.alloc_str(&format!("sentence {i} repeated for sizing purposes"));
+            }
+        });
+        let (allocated, _) = app_arena_stats();
+        assert!(allocated > 0);
+        reset_app_arena();
+        let (allocated, capacity) = app_arena_stats();
+        assert_eq!(allocated, 0);
+        assert!(capacity > 0, "reset keeps warm capacity");
+    }
+}

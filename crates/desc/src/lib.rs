@@ -23,7 +23,7 @@
 //! ```
 
 use ppchecker_apk::{Permission, PrivateInfo};
-use ppchecker_esa::{Interpreter, SparseVector};
+use ppchecker_esa::{BoundSoa, Interpreter, SparseVector};
 use ppchecker_nlp::chunk::chunk_nps;
 use ppchecker_nlp::sentence::split_sentences;
 use ppchecker_nlp::tagger::tag_str;
@@ -79,22 +79,25 @@ pub fn analyze_description(text: &str) -> DescriptionAnalysis {
     analyze_description_with(text, Interpreter::shared())
 }
 
-/// The permission profiles as interpretation vectors. Resolved once per
-/// process for the shared interpreter (the common case), per call for a
-/// custom one.
-fn profile_vectors(
-    esa: &Interpreter,
-) -> std::borrow::Cow<'static, [(Permission, Arc<SparseVector>)]> {
+/// Permission profiles as interpretation vectors, paired with their
+/// norm-bound SoA arrays for the batch prune.
+type ProfileSet = (Vec<(Permission, Arc<SparseVector>)>, BoundSoa);
+
+/// The resolved [`ProfileSet`]: once per process for the shared
+/// interpreter (the common case), per call for a custom one.
+fn profile_vectors(esa: &Interpreter) -> std::borrow::Cow<'static, ProfileSet> {
     use std::borrow::Cow;
-    fn resolve(esa: &Interpreter) -> Vec<(Permission, Arc<SparseVector>)> {
-        permission_profiles()
+    fn resolve(esa: &Interpreter) -> ProfileSet {
+        let profiles: Vec<(Permission, Arc<SparseVector>)> = permission_profiles()
             .iter()
             .map(|(perm, text)| (perm.clone(), esa.vector_of(text)))
-            .collect()
+            .collect();
+        let soa = BoundSoa::build(profiles.iter().map(|(_, v)| v.as_ref()));
+        (profiles, soa)
     }
     if std::ptr::eq(esa, Interpreter::shared()) {
-        static SHARED: OnceLock<Vec<(Permission, Arc<SparseVector>)>> = OnceLock::new();
-        Cow::Borrowed(SHARED.get_or_init(|| resolve(esa)).as_slice())
+        static SHARED: OnceLock<ProfileSet> = OnceLock::new();
+        Cow::Borrowed(SHARED.get_or_init(|| resolve(esa)))
     } else {
         Cow::Owned(resolve(esa))
     }
@@ -113,7 +116,9 @@ pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAna
     // directly: same cosines as `esa.similarity`, without a vector-cache
     // probe per (phrase, profile) pair. For the shared interpreter the
     // profile vectors are resolved once per process.
-    let profiles = profile_vectors(esa);
+    let cached = profile_vectors(esa);
+    let (profiles, soa) = (&cached.0, &cached.1);
+    let mut survive: Vec<bool> = Vec::new();
     for sent in split_sentences(text) {
         let tokens = tag_str(&sent);
         for np in chunk_nps(&tokens) {
@@ -126,7 +131,21 @@ pub fn analyze_description_with(text: &str, esa: &Interpreter) -> DescriptionAna
                 // No known terms: similarity against every profile is 0.
                 continue;
             }
-            for (perm, profile_vec) in profiles.iter() {
+            // One SIMD-folded norm-bound pass over all profiles prunes
+            // most of them before any per-pair work; survivors still go
+            // through the exact per-pair predicate, so verdicts are
+            // unchanged (the batch bound never prunes a pair the per-pair
+            // bound would keep).
+            let survivors =
+                soa.survivors(&phrase_vec, ppchecker_esa::SIMILARITY_THRESHOLD, &mut survive);
+            esa.note_pruned((profiles.len() - survivors) as u64);
+            if survivors == 0 {
+                continue;
+            }
+            for (slot, (perm, profile_vec)) in profiles.iter().enumerate() {
+                if !survive[slot] {
+                    continue;
+                }
                 let Some(sim) = esa.similarity_above(
                     &phrase_vec,
                     profile_vec,

@@ -312,7 +312,19 @@ impl Engine {
     where
         I: IntoIterator<Item = AppInput>,
     {
-        apps.into_iter().enumerate().map(|(index, app)| self.process_one(index, app)).collect()
+        // Batch-level prefetch: while app N runs, pull the head of app
+        // N+1's input buffers toward the caches. The worklist is known one
+        // step ahead, so the first-touch misses (content hashing for the
+        // store key, then the policy parse) overlap with real work.
+        let mut queue = apps.into_iter().enumerate().peekable();
+        let mut out = Vec::new();
+        while let Some((index, app)) = queue.next() {
+            if let Some((_, next)) = queue.peek() {
+                prefetch_app_input(next);
+            }
+            out.push(self.process_one(index, app));
+        }
+        out
     }
 
     fn run_parallel<I>(&self, apps: I, jobs: usize) -> Vec<(AppRecord, StageTimings)>
@@ -395,6 +407,9 @@ impl Engine {
     /// a previously persisted run) replays its stored report and skips
     /// the pipeline entirely.
     fn process_one(&self, index: usize, app: AppInput) -> (AppRecord, StageTimings) {
+        // Parallel workers receive apps built on the producer thread; start
+        // the first-touch loads before the store-key hashing walks them.
+        prefetch_app_input(&app);
         let package = app.package.clone();
         if let Some(report) = self.stored_report(&app) {
             let record = AppRecord { index, package, outcome: AppOutcome::Report(report) };
@@ -453,6 +468,36 @@ fn stage_quantiles_since(
             (delta.count > 0).then(|| StageStats::from_snapshot(name, &delta))
         })
         .collect()
+}
+
+/// Best-effort prefetch of the head of one app's input buffers — the
+/// policy HTML and description strings that the store key's content
+/// hashing and the policy stage touch first. A hint only: it cannot
+/// fault, and it costs a few cycles when the data is already resident.
+fn prefetch_app_input(app: &AppInput) {
+    prefetch_head(app.policy_html.as_bytes());
+    prefetch_head(app.description.as_bytes());
+}
+
+/// Prefetches up to the first four cache lines of `bytes` (no-op off
+/// x86-64).
+fn prefetch_head(bytes: &[u8]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let lines = bytes.len().div_ceil(64).min(4);
+        for line in 0..lines {
+            // SAFETY: line * 64 < bytes.len() by construction, and
+            // _mm_prefetch is a cache hint with no architectural effect.
+            unsafe {
+                std::arch::x86_64::_mm_prefetch(
+                    bytes.as_ptr().add(line * 64) as *const i8,
+                    std::arch::x86_64::_MM_HINT_T0,
+                );
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = bytes;
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {

@@ -346,6 +346,15 @@ impl Interpreter {
         self.pruned.load(Ordering::Relaxed)
     }
 
+    /// Records `n` comparisons answered by a batch norm-bound check
+    /// ([`crate::simd::BoundSoa::survivors`]) run outside the interpreter,
+    /// so the prune counter stays meaningful for batch callers.
+    pub fn note_pruned(&self, n: u64) {
+        if n > 0 {
+            self.pruned.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Cosine similarity of two texts in concept space, in `[0, 1]`.
     ///
     /// Returns `0.0` when either text has no known terms.

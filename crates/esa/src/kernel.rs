@@ -38,8 +38,17 @@ pub struct SparseVector {
     /// intersection proves two vectors share no concept (collisions only
     /// ever create false overlap, handled by the merge).
     mask: u128,
+    /// `true` when every id is < 128, i.e. the mask is an *exact* occupancy
+    /// set rather than a collision filter. Two exact vectors can dot by
+    /// ranked mask intersection ([`crate::simd::mask_dot`]) instead of the
+    /// merge — the paper KB has 75 concepts, so the entire real workload
+    /// qualifies.
+    mask_exact: bool,
     norm: f64,
     max_weight: f32,
+    /// Hoisted prune factor `max_weight / norm` (`0.0` for empty vectors),
+    /// so the norm-bound predicate is two multiplies with no division.
+    prune_scale: f64,
 }
 
 impl SparseVector {
@@ -74,7 +83,11 @@ impl SparseVector {
             norm_sq += (w as f64) * (w as f64);
             max_weight = max_weight.max(w);
         }
-        SparseVector { ids, weights, mask, norm: norm_sq.sqrt(), max_weight }
+        // Ids are strictly sorted, so the last one is the largest.
+        let mask_exact = ids.last().is_none_or(|&id| id < 128);
+        let norm = norm_sq.sqrt();
+        let prune_scale = if norm == 0.0 { 0.0 } else { max_weight as f64 * (1.0 / norm) };
+        SparseVector { ids, weights, mask, mask_exact, norm, max_weight, prune_scale }
     }
 
     /// The sorted concept ids.
@@ -111,6 +124,14 @@ impl SparseVector {
     /// Largest single weight.
     pub fn max_weight(&self) -> f32 {
         self.max_weight
+    }
+
+    /// Hoisted norm-bound prune factor `max_weight / norm` (the reciprocal
+    /// is folded in at construction; `0.0` for empty vectors). The cosine
+    /// upper bound of a pair is `min(|a|,|b|) · a.prune_scale() ·
+    /// b.prune_scale()` — no division on the prune path.
+    pub fn prune_scale(&self) -> f64 {
+        self.prune_scale
     }
 }
 
@@ -154,8 +175,22 @@ pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
     if a.norm == 0.0 || b.norm == 0.0 || a.mask & b.mask == 0 {
         return 0.0;
     }
-    let dot = merge_dot(&a.ids, &a.weights, &b.ids, &b.weights);
-    (dot / (a.norm * b.norm)).clamp(0.0, 1.0)
+    (dot(a, b) / (a.norm * b.norm)).clamp(0.0, 1.0)
+}
+
+/// The dispatch-selected dot product behind [`cosine`]: ranked mask
+/// intersection ([`crate::simd::mask_dot`]) when both vectors' ids fit
+/// the exact 128-bit occupancy mask and SIMD is active, the (possibly
+/// vectorized) id merge otherwise. Both accelerated paths find matches
+/// differently but accumulate the scalar way (f64, ascending id), so the
+/// result is bit-identical across dispatch levels — see [`crate::simd`].
+#[inline]
+pub fn dot(a: &SparseVector, b: &SparseVector) -> f64 {
+    if a.mask_exact && b.mask_exact && crate::simd::simd_active() {
+        crate::simd::mask_dot(a.mask, &a.weights, b.mask, &b.weights)
+    } else {
+        crate::simd::merge_dot_f32(&a.ids, &a.weights, &b.ids, &b.weights)
+    }
 }
 
 /// A cheap upper bound on `cosine(a, b)`.
@@ -163,18 +198,22 @@ pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
 /// At most `min(|a|, |b|)` concept ids can coincide, and each coinciding
 /// product is at most `max_w(a) · max_w(b)`, so
 /// `dot(a, b) ≤ min(|a|,|b|) · max_w(a) · max_w(b)` — dividing by the norms
-/// bounds the cosine. The bound never undercuts the true cosine (beyond
-/// f64 rounding, which callers absorb with [`PRUNE_MARGIN`]), so a
-/// threshold predicate may return `false` without the merge whenever the
-/// bound falls below the threshold. Mask-disjoint pairs bound to `0.0`
-/// exactly.
+/// bounds the cosine. The per-vector factor `max_w / norm` is hoisted into
+/// [`SparseVector::prune_scale`] at construction, so the predicate here is
+/// two multiplies and no division. The bound never undercuts the true
+/// cosine (beyond f64 rounding, which callers absorb with
+/// [`PRUNE_MARGIN`]), so a threshold predicate may return `false` without
+/// the merge whenever the bound falls below the threshold. Mask-disjoint
+/// pairs bound to `0.0` exactly.
 #[inline]
 pub fn cosine_upper_bound(a: &SparseVector, b: &SparseVector) -> f64 {
     if a.norm == 0.0 || b.norm == 0.0 || a.mask & b.mask == 0 {
         return 0.0;
     }
     let overlap = a.len().min(b.len()) as f64;
-    let bound = overlap * (a.max_weight as f64) * (b.max_weight as f64) / (a.norm * b.norm);
+    // Same association as simd::BoundSoa's scalar loop, so batch and
+    // per-pair pruning agree bit-for-bit.
+    let bound = (overlap * a.prune_scale) * b.prune_scale;
     bound.min(1.0)
 }
 
@@ -294,6 +333,39 @@ mod tests {
         // Self-comparison: the bound must still dominate (here it exceeds 1
         // before clamping, so it is exactly 1 ≥ cosine = 1).
         assert!(cosine_upper_bound(&a, &a) + PRUNE_MARGIN >= cosine(&a, &a));
+    }
+
+    #[test]
+    fn upper_bound_dominates_cosine_randomized() {
+        // The prune predicate keeps a pair whenever
+        // bound >= threshold - PRUNE_MARGIN; for that to be exact, the
+        // (reciprocal-hoisted) bound must never undercut the true cosine
+        // by more than PRUNE_MARGIN on any input.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut random_vector = |max_len: u64| {
+            let len = (next() % max_len) as usize;
+            let mut ids: Vec<u32> = (0..len).map(|_| (next() % 300) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let pairs = ids.into_iter().map(|id| (id, (1 + next() % 997) as f32 / 300.0)).collect();
+            SparseVector::from_sorted_pairs(pairs)
+        };
+        for _ in 0..3000 {
+            let a = random_vector(50);
+            let b = random_vector(50);
+            let bound = cosine_upper_bound(&a, &b);
+            let exact = cosine(&a, &b);
+            assert!(
+                bound + PRUNE_MARGIN >= exact,
+                "bound {bound} undercuts cosine {exact} beyond PRUNE_MARGIN"
+            );
+        }
     }
 
     #[test]

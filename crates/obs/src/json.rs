@@ -62,6 +62,14 @@ impl Value {
 /// Escapes `s` for embedding inside a JSON string literal.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
+}
+
+/// [`escape`] writing into a caller-owned buffer — the allocation-free
+/// form the JSONL serializers build on.
+pub fn escape_into(out: &mut String, s: &str) {
+    use std::fmt::Write;
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -70,12 +78,11 @@ pub fn escape(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
-    out
 }
 
 /// Parses one JSON document.

@@ -28,7 +28,7 @@
 use ppchecker_apk::{packer, Apk, Manifest};
 use ppchecker_core::{AppInput, CheckOutcome, Error, Report, StageTimings};
 
-pub use ppchecker_obs::json::{escape, parse, Value};
+pub use ppchecker_obs::json::{escape, escape_into, parse, Value};
 
 use ppchecker_core::Channel;
 
@@ -76,103 +76,139 @@ pub fn app_to_json(app: &AppInput) -> String {
 /// Renders a report as a JSON object (also re-exported by the CLI for
 /// its `--json` and JSONL outputs).
 pub fn report_to_json(report: &Report) -> String {
-    let missed: Vec<String> = report
-        .missed
-        .iter()
-        .map(|m| {
-            format!(
-                "{{\"info\":\"{}\",\"channel\":\"{}\",\"retained\":{},\"permission\":{}}}",
-                escape(&m.info.to_string()),
-                match m.channel {
-                    Channel::Description => "description",
-                    Channel::Code => "code",
-                },
-                m.retained,
-                m.permission
-                    .as_ref()
-                    .map(|p| format!("\"{}\"", escape(p.short_name())))
-                    .unwrap_or_else(|| "null".to_string()),
-            )
-        })
-        .collect();
-    let incorrect: Vec<String> = report
-        .incorrect
-        .iter()
-        .map(|f| {
-            format!(
-                "{{\"info\":\"{}\",\"category\":\"{}\",\"sentence\":\"{}\"}}",
-                escape(&f.info.to_string()),
-                f.category,
-                escape(&f.sentence),
-            )
-        })
-        .collect();
-    let inconsistencies: Vec<String> = report
-        .inconsistencies
-        .iter()
-        .map(|i| {
-            format!(
-                "{{\"lib\":\"{}\",\"category\":\"{}\",\"app_sentence\":\"{}\",\"lib_sentence\":\"{}\"}}",
-                escape(&i.lib_id),
-                i.category,
-                escape(&i.app_sentence),
-                escape(&i.lib_sentence),
-            )
-        })
-        .collect();
+    let mut out = String::with_capacity(256);
+    report_to_json_into(&mut out, report);
+    out
+}
 
-    format!(
-        "{{\"package\":\"{}\",\"incomplete\":{},\"incorrect\":{},\"inconsistent\":{},\
-         \"has_disclaimer\":{},\"libs\":{},\"missed\":[{}],\"incorrect_findings\":[{}],\
-         \"inconsistencies\":[{}]}}",
-        escape(&report.package),
+/// [`report_to_json`] writing into a caller-owned buffer. The batch
+/// writers reuse one buffer per worker, so steady-state serialization
+/// allocates nothing — the intermediate per-finding `String`s and joins
+/// of the old formatter are gone.
+pub fn report_to_json_into(out: &mut String, report: &Report) {
+    use std::fmt::Write;
+    out.push_str("{\"package\":\"");
+    escape_into(out, &report.package);
+    let _ = write!(
+        out,
+        "\",\"incomplete\":{},\"incorrect\":{},\"inconsistent\":{},\"has_disclaimer\":{}",
         report.is_incomplete(),
         report.is_incorrect(),
         report.is_inconsistent(),
         report.has_disclaimer,
-        str_array(report.libs.iter().cloned()),
-        missed.join(","),
-        incorrect.join(","),
-        inconsistencies.join(","),
-    )
+    );
+    out.push_str(",\"libs\":[");
+    for (n, lib) in report.libs.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, lib);
+        out.push('"');
+    }
+    out.push_str("],\"missed\":[");
+    for (n, m) in report.missed.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        // PrivateInfo and VerbCategory display as fixed identifiers with
+        // nothing to escape, so they write straight through.
+        let _ = write!(
+            out,
+            "{{\"info\":\"{}\",\"channel\":\"{}\",\"retained\":{},\"permission\":",
+            m.info,
+            match m.channel {
+                Channel::Description => "description",
+                Channel::Code => "code",
+            },
+            m.retained,
+        );
+        match &m.permission {
+            Some(p) => {
+                out.push('"');
+                escape_into(out, p.short_name());
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("],\"incorrect_findings\":[");
+    for (n, f) in report.incorrect.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"info\":\"{}\",\"category\":\"{}\",\"sentence\":\"",
+            f.info, f.category
+        );
+        escape_into(out, &f.sentence);
+        out.push_str("\"}");
+    }
+    out.push_str("],\"inconsistencies\":[");
+    for (n, i) in report.inconsistencies.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"lib\":\"");
+        escape_into(out, &i.lib_id);
+        let _ = write!(out, "\",\"category\":\"{}\",\"app_sentence\":\"", i.category);
+        escape_into(out, &i.app_sentence);
+        out.push_str("\",\"lib_sentence\":\"");
+        escape_into(out, &i.lib_sentence);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
 }
 
-fn str_array(items: impl Iterator<Item = String>) -> String {
-    let inner: Vec<String> = items.map(|s| format!("\"{}\"", escape(&s))).collect();
-    format!("[{}]", inner.join(","))
-}
-
-fn timings_to_json(t: &StageTimings) -> String {
-    format!(
+fn timings_to_json_into(out: &mut String, t: &StageTimings) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
         "{{\"policy\":{},\"description\":{},\"static\":{},\"matching\":{},\"total\":{}}}",
         t.policy.as_micros(),
         t.description.as_micros(),
         t.static_analysis.as_micros(),
         t.matching.as_micros(),
         t.total().as_micros(),
-    )
+    );
 }
 
 /// Renders one check's result — report or structured pipeline error —
 /// as the wire result object shared by `/check`, `/batch` entries, and
 /// JSONL response lines.
 pub fn outcome_to_json(package: &str, outcome: &Result<CheckOutcome, Error>) -> String {
+    let mut out = String::with_capacity(256);
+    outcome_to_json_into(&mut out, package, outcome);
+    out
+}
+
+/// [`outcome_to_json`] writing into a caller-owned buffer (see
+/// [`report_to_json_into`]).
+pub fn outcome_to_json_into(
+    out: &mut String,
+    package: &str,
+    outcome: &Result<CheckOutcome, Error>,
+) {
+    use std::fmt::Write;
     match outcome {
         Ok(checked) => {
-            let timings = checked.timings.unwrap_or_default();
-            format!(
-                "{{\"ok\":true,\"package\":\"{}\",\"report\":{},\"timings_us\":{}}}",
-                escape(&checked.report.package),
-                report_to_json(&checked.report),
-                timings_to_json(&timings),
-            )
+            out.push_str("{\"ok\":true,\"package\":\"");
+            escape_into(out, &checked.report.package);
+            out.push_str("\",\"report\":");
+            report_to_json_into(out, &checked.report);
+            out.push_str(",\"timings_us\":");
+            timings_to_json_into(out, &checked.timings.unwrap_or_default());
+            out.push('}');
         }
-        Err(error) => format!(
-            "{{\"ok\":false,\"package\":\"{}\",\"stage\":\"{}\",\"error\":\"{}\"}}",
-            escape(package),
-            error.stage(),
-            escape(&error.to_string()),
-        ),
+        Err(error) => {
+            out.push_str("{\"ok\":false,\"package\":\"");
+            escape_into(out, package);
+            let _ = write!(out, "\",\"stage\":\"{}\",\"error\":\"", error.stage());
+            escape_into(out, &error.to_string());
+            out.push_str("\"}");
+        }
     }
 }
 

@@ -1,0 +1,93 @@
+//! Byte-identity of the SIMD kernels over the golden corpus.
+//!
+//! The SIMD merge-dot and the batch norm-bound check are engineered to
+//! be *bit*-identical to their scalar references (same accumulator, same
+//! ascending-id accumulation order, same bound association), not merely
+//! close. This test holds that line end to end: every cosine the golden
+//! corpus vocabulary produces must match to the last f64 bit between the
+//! forced-scalar path and the detected SIMD path, and the rendered JSON
+//! report of every golden-corpus app must be byte-for-byte identical
+//! across the two paths.
+//!
+//! Both halves run in one process, so [`ppchecker_esa::force_scalar`]
+//! (the runtime-dispatch test hook) switches paths rather than the
+//! `PPCHECKER_NO_SIMD` environment variable, which is read once at first
+//! dispatch. CI additionally runs the whole tier-1 suite under
+//! `PPCHECKER_NO_SIMD=1` to cover the env-var route.
+
+use ppchecker_core::PPChecker;
+use ppchecker_corpus::small_dataset;
+use ppchecker_engine::Engine;
+use ppchecker_esa::{kernel, Interpreter, SparseVector};
+use ppchecker_policy::PolicyAnalyzer;
+use ppchecker_serve::json::report_to_json;
+use std::collections::BTreeSet;
+
+/// Sparse vectors for every distinct resource phrase the golden corpus
+/// policies mention, plus the canonical sensitive-resource phrases.
+fn corpus_vectors() -> Vec<SparseVector> {
+    let dataset = small_dataset(42, 50);
+    let analyzer = PolicyAnalyzer::new();
+    let esa = Interpreter::shared();
+    let mut phrases: BTreeSet<String> =
+        ppchecker_nlp::intern::SENSITIVE_RESOURCES.iter().map(|s| s.to_string()).collect();
+    for app in &dataset.apps {
+        let analysis = analyzer.analyze_html(&app.input.policy_html);
+        phrases
+            .extend(analysis.mentioned_resource_symbols().iter().map(|s| s.as_str().to_string()));
+    }
+    phrases.iter().map(|p| esa.interpret_sparse(p)).collect()
+}
+
+#[test]
+fn simd_cosines_are_bit_identical_to_scalar_over_golden_corpus() {
+    let vectors = corpus_vectors();
+    assert!(vectors.len() >= 20, "corpus should mention a rich resource vocabulary");
+    // Detected path first (so the SIMD lanes are the ones actually
+    // computing), then forced scalar over the same pairs.
+    ppchecker_esa::force_scalar(false);
+    let simd_path = ppchecker_esa::active_path();
+    let simd: Vec<u64> = vectors
+        .iter()
+        .flat_map(|a| vectors.iter().map(|b| kernel::cosine(a, b).to_bits()))
+        .collect();
+    ppchecker_esa::force_scalar(true);
+    assert_eq!(ppchecker_esa::active_path(), "scalar");
+    let scalar: Vec<u64> = vectors
+        .iter()
+        .flat_map(|a| vectors.iter().map(|b| kernel::cosine(a, b).to_bits()))
+        .collect();
+    ppchecker_esa::force_scalar(false);
+    assert_eq!(simd, scalar, "cosine diverged between scalar and {simd_path} paths");
+}
+
+#[test]
+fn golden_corpus_reports_are_byte_identical_with_simd_on_and_off() {
+    let dataset = small_dataset(42, 50);
+
+    let render = |batch: &ppchecker_engine::BatchReport| -> Vec<String> {
+        batch
+            .records
+            .iter()
+            .map(|r| match &r.outcome {
+                ppchecker_engine::AppOutcome::Report(report) => report_to_json(report),
+                ppchecker_engine::AppOutcome::Error(e) => format!("error: {e:?}"),
+            })
+            .collect()
+    };
+
+    ppchecker_esa::force_scalar(false);
+    let simd_path = ppchecker_esa::active_path();
+    let engine = Engine::new(PPChecker::new()).with_jobs(2);
+    let with_simd = render(&engine.run(dataset.iter_apps().cloned()));
+
+    ppchecker_esa::force_scalar(true);
+    let engine = Engine::new(PPChecker::new()).with_jobs(2);
+    let without_simd = render(&engine.run(dataset.iter_apps().cloned()));
+    ppchecker_esa::force_scalar(false);
+
+    assert_eq!(with_simd.len(), dataset.apps.len());
+    for (i, (a, b)) in with_simd.iter().zip(without_simd.iter()).enumerate() {
+        assert_eq!(a, b, "app {i}: report bytes diverged between {simd_path} and scalar");
+    }
+}
