@@ -18,11 +18,14 @@
 //!   legacy warn-only diff: prints throughput ratios, never fails.
 //!   Useful for eyeballing a local run against a stash of old numbers.
 //! * `--check-report` — re-renders `report.md` from the artifacts and
-//!   fails if the checked-in copy differs (i.e. someone edited an
-//!   artifact without regenerating the report).
+//!   fails if the checked-in copy carries different data (i.e. someone
+//!   edited an artifact without regenerating the report). A copy whose
+//!   table rows hold identical data in a different order passes — row
+//!   order is presentation, not evidence.
 
 use ppchecker_bench::emit::{
-    bench_artifacts, render_report_md, repo_root, validate, Baseline, BenchHeadline,
+    bench_artifacts, render_report_md, repo_root, reports_equivalent, validate, Baseline,
+    BenchHeadline,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -119,7 +122,9 @@ fn main() -> ExitCode {
         let want = render_report_md(&headlines);
         let report_path = dir.join("report.md");
         match std::fs::read_to_string(&report_path) {
-            Ok(have) if have == want => println!("ok   report.md matches the artifacts"),
+            Ok(have) if reports_equivalent(&have, &want) => {
+                println!("ok   report.md matches the artifacts")
+            }
             Ok(_) => {
                 eprintln!(
                     "FAIL report.md is stale — rerun the benches (or any BenchResult::write) \

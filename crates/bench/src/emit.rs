@@ -23,15 +23,20 @@
 //!
 //! On top of the per-artifact schema sit two evidence layers:
 //!
-//! * [`Baseline`] reads `BENCH_BASELINE.json` — expected `p50_us` and
-//!   `throughput` per bench with a relative tolerance `band` — and
+//! * [`Baseline`] reads `BENCH_BASELINE.json` — expected `p50_us`,
+//!   `p90_us`, `p99_us`, and `throughput` per bench with a relative
+//!   tolerance `band` applied to **each quantile independently** (a tail
+//!   regression that leaves the median flat still fails) — and
 //!   [`Baseline::check`] turns any excursion outside the band into a
 //!   hard error. `bench_schema_check --baseline BENCH_BASELINE.json`
 //!   runs it in CI, so a perf regression fails the build instead of
 //!   scrolling past as a warning.
 //! * [`refresh_report`] renders every artifact into a human `report.md`
-//!   table; [`BenchResult::write`] calls it, so the report can never go
-//!   stale relative to the artifacts it summarizes.
+//!   table (run count and seed included, so a rendered row pins the
+//!   exact reproduction recipe); [`BenchResult::write`] calls it, so the
+//!   report can never go stale relative to the artifacts it summarizes.
+//!   [`reports_equivalent`] backs `--check-report`: a report whose rows
+//!   carry identical data in a different order still passes.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -213,21 +218,27 @@ pub fn validate(text: &str) -> Result<BenchHeadline, String> {
 pub struct BaselineEntry {
     /// Expected median latency, microseconds.
     pub p50_us: u64,
+    /// Expected 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// Expected 99th-percentile latency, microseconds.
+    pub p99_us: u64,
     /// Expected throughput, operations per second.
     pub throughput: f64,
-    /// Relative tolerance: throughput may drop to `(1-band)×` and p50
-    /// may rise to `(1+band)×` before the gate fails.
+    /// Relative tolerance: throughput may drop to `(1-band)×` and each
+    /// quantile may rise to `(1+band)×` before the gate fails.
     pub band: f64,
 }
 
 /// The parsed `BENCH_BASELINE.json`: per-bench tolerance bands keyed by
-/// the artifact's `bench` name.
+/// the artifact's `bench` name. Each quantile is banded independently —
+/// a p99 blow-up fails the gate even when p50 and throughput look fine.
 ///
 /// ```json
 /// {
-///   "schema": "ppchecker-bench-baseline-v1",
+///   "schema": "ppchecker-bench-baseline-v2",
 ///   "benches": {
-///     "engine_throughput": {"p50_us": 7646, "throughput": 18486.0, "band": 0.4}
+///     "engine_throughput": {"p50_us": 7646, "p90_us": 8100, "p99_us": 8400,
+///                           "throughput": 18486.0, "band": 0.4}
 ///   }
 /// }
 /// ```
@@ -244,12 +255,17 @@ impl Baseline {
     ///
     /// Returns a one-line description of the first schema violation:
     /// wrong `schema` tag, non-object `benches`, or an entry with a
-    /// missing/invalid `p50_us`, `throughput`, or `band`.
+    /// missing/invalid quantile, `throughput`, or `band`.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         use ppchecker_obs::json::{parse, Value};
         let doc = parse(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
         match doc.get("schema").and_then(Value::as_str) {
-            Some("ppchecker-bench-baseline-v1") => {}
+            Some("ppchecker-bench-baseline-v2") => {}
+            Some("ppchecker-bench-baseline-v1") => {
+                return Err("baseline schema v1 is retired — add p90_us/p99_us to every \
+                            entry and bump the tag to ppchecker-bench-baseline-v2"
+                    .to_string())
+            }
             _ => return Err("missing or unknown \"schema\" tag".to_string()),
         }
         let Some(Value::Obj(map)) = doc.get("benches") else {
@@ -263,9 +279,20 @@ impl Baseline {
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("bench {name:?}: missing or non-numeric \"{key}\""))
             };
-            let p50 = num("p50_us")?;
-            if p50 < 0.0 || p50.fract() != 0.0 {
-                return Err(format!("bench {name:?}: \"p50_us\" must be a non-negative integer"));
+            let quantile = |key: &str| -> Result<u64, String> {
+                let q = num(key)?;
+                if q < 0.0 || q.fract() != 0.0 {
+                    return Err(format!(
+                        "bench {name:?}: \"{key}\" must be a non-negative integer"
+                    ));
+                }
+                Ok(q as u64)
+            };
+            let p50 = quantile("p50_us")?;
+            let p90 = quantile("p90_us")?;
+            let p99 = quantile("p99_us")?;
+            if p50 > p90 || p90 > p99 {
+                return Err(format!("bench {name:?}: quantiles must be non-decreasing"));
             }
             let throughput = num("throughput")?;
             if throughput <= 0.0 {
@@ -275,7 +302,10 @@ impl Baseline {
             if !(0.0..1.0).contains(&band) {
                 return Err(format!("bench {name:?}: \"band\" must be in [0, 1)"));
             }
-            benches.insert(name.clone(), BaselineEntry { p50_us: p50 as u64, throughput, band });
+            benches.insert(
+                name.clone(),
+                BaselineEntry { p50_us: p50, p90_us: p90, p99_us: p99, throughput, band },
+            );
         }
         Ok(Baseline { benches })
     }
@@ -287,9 +317,9 @@ impl Baseline {
     ///
     /// Fails if the bench has no baseline entry (every artifact must be
     /// tracked — an untracked bench is an un-gated bench), if throughput
-    /// fell below `baseline × (1 - band)`, or if p50 latency rose above
-    /// `baseline × (1 + band)`. On success returns a one-line summary of
-    /// where the run sits inside the band.
+    /// fell below `baseline × (1 - band)`, or if any of p50/p90/p99
+    /// latency rose above its own `baseline × (1 + band)`. On success
+    /// returns a one-line summary of where the run sits inside the band.
     pub fn check(&self, headline: &BenchHeadline) -> Result<String, String> {
         let Some(base) = self.benches.get(&headline.bench) else {
             return Err(format!(
@@ -307,23 +337,32 @@ impl Baseline {
                 base.band * 100.0
             ));
         }
-        let ceiling = base.p50_us as f64 * (1.0 + base.band);
-        if headline.p50_us as f64 > ceiling {
-            return Err(format!(
-                "p50 regression: {}µs is above {:.0}µs (baseline {}µs + {:.0}% band)",
-                headline.p50_us,
-                ceiling,
-                base.p50_us,
-                base.band * 100.0
-            ));
+        for (label, got, expected) in [
+            ("p50", headline.p50_us, base.p50_us),
+            ("p90", headline.p90_us, base.p90_us),
+            ("p99", headline.p99_us, base.p99_us),
+        ] {
+            let ceiling = expected as f64 * (1.0 + base.band);
+            if got as f64 > ceiling {
+                return Err(format!(
+                    "{label} regression: {got}µs is above {ceiling:.0}µs \
+                     (baseline {expected}µs + {:.0}% band)",
+                    base.band * 100.0
+                ));
+            }
         }
         Ok(format!(
-            "throughput {:.2}/s (baseline {:.2}/s, {:+.1}%), p50 {}µs (baseline {}µs)",
+            "throughput {:.2}/s (baseline {:.2}/s, {:+.1}%), \
+             p50 {}µs / p90 {}µs / p99 {}µs (baseline {}/{}/{}µs)",
             headline.throughput,
             base.throughput,
             (headline.throughput / base.throughput - 1.0) * 100.0,
             headline.p50_us,
+            headline.p90_us,
+            headline.p99_us,
             base.p50_us,
+            base.p90_us,
+            base.p99_us,
         ))
     }
 }
@@ -360,17 +399,26 @@ pub fn render_report_md(entries: &[(String, BenchHeadline)]) -> String {
          rewrites this file. Do not edit by hand. CI holds these numbers inside\n\
          the tolerance bands of `BENCH_BASELINE.json` via\n\
          `bench_schema_check --baseline BENCH_BASELINE.json`.\n\n\
-         | artifact | bench | config | runs | p50 (µs) | p90 (µs) | p99 (µs) | throughput (/s) |\n\
-         |---|---|---|---:|---:|---:|---:|---:|\n",
+         | artifact | bench | config | runs | seed | p50 (µs) | p90 (µs) | p99 (µs) | throughput (/s) |\n\
+         |---|---|---|---:|---:|---:|---:|---:|---:|\n",
     );
     for (name, h) in entries {
-        let config: Vec<String> = h.config.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        // Seed gets its own column — the reproduction recipe should be
+        // readable without digging through the config blob.
+        let seed = h
+            .config
+            .iter()
+            .find(|(k, _)| k == "seed")
+            .map_or_else(|| "—".to_string(), |(_, v)| v.clone());
+        let config: Vec<String> =
+            h.config.iter().filter(|(k, _)| k != "seed").map(|(k, v)| format!("{k}={v}")).collect();
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.2} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} |\n",
             name,
             h.bench,
             config.join(", "),
             h.runs,
+            seed,
             h.p50_us,
             h.p90_us,
             h.p99_us,
@@ -378,6 +426,31 @@ pub fn render_report_md(entries: &[(String, BenchHeadline)]) -> String {
         ));
     }
     out
+}
+
+/// Order-tolerant report comparison for `--check-report`: two reports
+/// are equivalent when their non-table text matches exactly and their
+/// table rows carry the same data, in any order. A regenerated report
+/// whose only difference is row ordering (e.g. artifacts validated in a
+/// different directory-scan order) is not stale.
+pub fn reports_equivalent(have: &str, want: &str) -> bool {
+    if have == want {
+        return true;
+    }
+    let split = |text: &str| -> (Vec<String>, Vec<String>) {
+        let mut prose = Vec::new();
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            if line.starts_with('|') {
+                rows.push(line.to_string());
+            } else {
+                prose.push(line.to_string());
+            }
+        }
+        rows.sort();
+        (prose, rows)
+    };
+    split(have) == split(want)
 }
 
 /// Re-renders `report.md` at the repo root from every checked-in
@@ -480,55 +553,78 @@ mod tests {
         assert_eq!(quantile_us(&[7], 0.99), 7);
     }
 
-    fn baseline(p50: u64, throughput: f64, band: f64) -> Baseline {
+    fn baseline(quantiles: [u64; 3], throughput: f64, band: f64) -> Baseline {
+        let [p50, p90, p99] = quantiles;
         Baseline::parse(&format!(
-            "{{\"schema\":\"ppchecker-bench-baseline-v1\",\"benches\":{{\
-             \"x\":{{\"p50_us\":{p50},\"throughput\":{throughput},\"band\":{band}}}}}}}"
+            "{{\"schema\":\"ppchecker-bench-baseline-v2\",\"benches\":{{\
+             \"x\":{{\"p50_us\":{p50},\"p90_us\":{p90},\"p99_us\":{p99},\
+             \"throughput\":{throughput},\"band\":{band}}}}}}}"
         ))
         .unwrap()
     }
 
-    fn headline(p50: u64, throughput: f64) -> BenchHeadline {
+    fn headline(quantiles: [u64; 3], throughput: f64) -> BenchHeadline {
         BenchHeadline {
             bench: "x".to_string(),
             config: vec![],
             runs: 5,
-            p50_us: p50,
-            p90_us: p50,
-            p99_us: p50,
+            p50_us: quantiles[0],
+            p90_us: quantiles[1],
+            p99_us: quantiles[2],
             throughput,
         }
     }
 
     #[test]
     fn baseline_parses_and_rejects_drift() {
-        let base = baseline(100, 50.0, 0.25);
-        assert_eq!(base.benches["x"], BaselineEntry { p50_us: 100, throughput: 50.0, band: 0.25 });
+        let base = baseline([100, 150, 200], 50.0, 0.25);
+        assert_eq!(
+            base.benches["x"],
+            BaselineEntry { p50_us: 100, p90_us: 150, p99_us: 200, throughput: 50.0, band: 0.25 }
+        );
         assert!(Baseline::parse("{}").unwrap_err().contains("schema"));
-        assert!(Baseline::parse("{\"schema\":\"ppchecker-bench-baseline-v1\"}")
+        assert!(Baseline::parse("{\"schema\":\"ppchecker-bench-baseline-v2\"}")
             .unwrap_err()
             .contains("benches"));
-        let bad_band = "{\"schema\":\"ppchecker-bench-baseline-v1\",\"benches\":\
-                        {\"x\":{\"p50_us\":1,\"throughput\":1,\"band\":1.5}}}";
+        // v1 documents (no per-quantile bands) are rejected with a
+        // migration hint, not silently accepted.
+        let v1 = "{\"schema\":\"ppchecker-bench-baseline-v1\",\"benches\":\
+                  {\"x\":{\"p50_us\":1,\"throughput\":1,\"band\":0.4}}}";
+        assert!(Baseline::parse(v1).unwrap_err().contains("v1 is retired"));
+        let bad_band = "{\"schema\":\"ppchecker-bench-baseline-v2\",\"benches\":\
+                        {\"x\":{\"p50_us\":1,\"p90_us\":1,\"p99_us\":1,\
+                        \"throughput\":1,\"band\":1.5}}}";
         assert!(Baseline::parse(bad_band).unwrap_err().contains("band"));
+        let missing_p90 = "{\"schema\":\"ppchecker-bench-baseline-v2\",\"benches\":\
+                           {\"x\":{\"p50_us\":1,\"p99_us\":1,\"throughput\":1,\"band\":0.4}}}";
+        assert!(Baseline::parse(missing_p90).unwrap_err().contains("p90_us"));
+        let decreasing = "{\"schema\":\"ppchecker-bench-baseline-v2\",\"benches\":\
+                          {\"x\":{\"p50_us\":9,\"p90_us\":5,\"p99_us\":9,\
+                          \"throughput\":1,\"band\":0.4}}}";
+        assert!(Baseline::parse(decreasing).unwrap_err().contains("non-decreasing"));
     }
 
     #[test]
     fn gate_fails_outside_the_band_and_passes_inside() {
-        let base = baseline(100, 50.0, 0.20);
+        let base = baseline([100, 150, 200], 50.0, 0.20);
         // In band: small drift both directions.
-        assert!(base.check(&headline(110, 45.0)).is_ok());
-        assert!(base.check(&headline(90, 60.0)).is_ok());
-        // Exactly at the floor/ceiling still passes.
-        assert!(base.check(&headline(120, 40.0)).is_ok());
+        assert!(base.check(&headline([110, 160, 210], 45.0)).is_ok());
+        assert!(base.check(&headline([90, 140, 190], 60.0)).is_ok());
+        // Exactly at the floor/ceilings still passes.
+        assert!(base.check(&headline([120, 180, 240], 40.0)).is_ok());
         // Throughput below the floor fails.
-        let err = base.check(&headline(100, 39.9)).unwrap_err();
+        let err = base.check(&headline([100, 150, 200], 39.9)).unwrap_err();
         assert!(err.contains("throughput regression"), "{err}");
-        // p50 above the ceiling fails.
-        let err = base.check(&headline(121, 50.0)).unwrap_err();
+        // Each quantile has its own ceiling: a p99 tail blow-up fails
+        // even when p50 and throughput are fine.
+        let err = base.check(&headline([121, 150, 200], 50.0)).unwrap_err();
         assert!(err.contains("p50 regression"), "{err}");
+        let err = base.check(&headline([100, 181, 200], 50.0)).unwrap_err();
+        assert!(err.contains("p90 regression"), "{err}");
+        let err = base.check(&headline([100, 150, 241], 50.0)).unwrap_err();
+        assert!(err.contains("p99 regression"), "{err}");
         // A bench missing from the baseline is an error, not a skip.
-        let mut other = headline(100, 50.0);
+        let mut other = headline([100, 150, 200], 50.0);
         other.bench = "unknown".to_string();
         assert!(base.check(&other).unwrap_err().contains("no entry"), "untracked must fail");
     }
@@ -536,23 +632,48 @@ mod tests {
     #[test]
     fn report_renders_deterministically() {
         let entries = vec![
-            ("BENCH_a.json".to_string(), headline(10, 5.0)),
+            ("BENCH_a.json".to_string(), headline([10, 10, 10], 5.0)),
             (
                 "BENCH_b.json".to_string(),
                 BenchHeadline {
                     config: vec![
                         ("apps".to_string(), "150".to_string()),
                         ("jobs".to_string(), "1".to_string()),
+                        ("seed".to_string(), "42".to_string()),
                     ],
-                    ..headline(20, 7.5)
+                    ..headline([20, 20, 20], 7.5)
                 },
             ),
         ];
         let md = render_report_md(&entries);
         assert_eq!(md, render_report_md(&entries), "same input, same output");
-        assert!(md.contains("| BENCH_a.json | x |  | 5 | 10 | 10 | 10 | 5.00 |"), "{md}");
-        assert!(md.contains("| BENCH_b.json | x | apps=150, jobs=1 | 5 | 20 | 20 | 20 | 7.50 |"));
+        assert!(md.contains("| BENCH_a.json | x |  | 5 | — | 10 | 10 | 10 | 5.00 |"), "{md}");
+        assert!(
+            md.contains("| BENCH_b.json | x | apps=150, jobs=1 | 5 | 42 | 20 | 20 | 20 | 7.50 |"),
+            "{md}"
+        );
         assert!(md.starts_with("# Bench report"));
+    }
+
+    #[test]
+    fn report_equivalence_tolerates_row_order_only() {
+        let a = headline([10, 10, 10], 5.0);
+        let b = headline([20, 20, 20], 7.5);
+        let fwd = render_report_md(&[
+            ("BENCH_a.json".to_string(), a.clone()),
+            ("BENCH_b.json".to_string(), b.clone()),
+        ]);
+        let rev = render_report_md(&[
+            ("BENCH_b.json".to_string(), b),
+            ("BENCH_a.json".to_string(), a.clone()),
+        ]);
+        assert_ne!(fwd, rev, "rows really are in a different order");
+        assert!(reports_equivalent(&fwd, &rev), "same data, different order");
+        // Different data still fails.
+        let other = render_report_md(&[("BENCH_a.json".to_string(), headline([11, 11, 11], 5.0))]);
+        assert!(!reports_equivalent(&fwd, &other));
+        // Edited prose still fails.
+        assert!(!reports_equivalent(&fwd, &fwd.replace("Do not edit", "Feel free to edit")));
     }
 
     #[test]

@@ -1,16 +1,28 @@
 //! The `ppchecker batch` subcommand: run the batch engine over a corpus
-//! directory in the `corpus::export` layout and emit JSON-lines results.
+//! and emit JSON-lines results.
 //!
-//! Layout consumed (as written by `export_dataset`):
+//! Three input sources:
 //!
-//! ```text
-//! corpus/
-//!   app-0000/ policy.html description.txt manifest.txt app.dex|app.pkdx
-//!   app-0001/ ...
-//!   libs/ admob.html unityads.html ...
-//! ```
+//! * `--corpus <dir>` — a directory in the `corpus::export` layout
+//!   (as written by `export_dataset`):
 //!
-//! Output is one JSON object per app in directory order, followed by one
+//!   ```text
+//!   corpus/
+//!     app-0000/ policy.html description.txt manifest.txt app.dex|app.pkdx
+//!     app-0001/ ...
+//!     libs/ admob.html unityads.html ...
+//!   ```
+//!
+//! * `--stream <n>` — the first `n` apps of the generated scale corpus
+//!   under `--seed`, produced by `--shards` background generator threads
+//!   and analyzed through [`Engine::run_streamed`]: generation overlaps
+//!   analysis under backpressure, records are written to the output sink
+//!   as they complete, and peak memory is constant in `n`.
+//!
+//! * `--manifest <file>` — a dataset manifest naming a reproducible
+//!   subset (seed + ID list); the named apps stream the same way.
+//!
+//! Output is one JSON object per app in submission order, followed by one
 //! `{"aggregate": ...}` line. Everything on that stream is deterministic —
 //! `--jobs 1` and `--jobs 16` produce byte-identical bytes — while the
 //! timing-dependent metrics summary is returned separately for stderr.
@@ -19,18 +31,38 @@ use crate::json::{escape_into, report_to_json_into};
 use crate::{manifest_text, CliError};
 use ppchecker_apk::{packer, Apk};
 use ppchecker_core::{AppInput, PPChecker};
-use ppchecker_engine::{available_jobs, AggregateSummary, Engine};
+use ppchecker_corpus::{stream_scaled_sharded, DatasetManifest};
+use ppchecker_engine::{available_jobs, AggregateSummary, AppRecord, Engine};
 use ppchecker_store::Store;
 use std::fmt::Write as _;
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Where the batch's apps come from.
+#[derive(Debug, Clone)]
+pub enum BatchSource {
+    /// An exported corpus directory (`corpus::export` layout).
+    CorpusDir(PathBuf),
+    /// The first `n` apps of the generated scale corpus.
+    Stream {
+        /// Number of apps to stream.
+        n: usize,
+        /// Generation seed.
+        seed: u64,
+        /// Generator shard threads.
+        shards: usize,
+    },
+    /// A dataset manifest file naming a reproducible subset.
+    Manifest(PathBuf),
+}
 
 /// Parsed `batch` options.
 #[derive(Debug)]
 pub struct BatchOptions {
-    /// Corpus directory (`corpus::export` layout).
-    pub corpus_dir: PathBuf,
+    /// Input source.
+    pub source: BatchSource,
     /// Worker threads; defaults to the available cores.
     pub jobs: usize,
     /// When set, write a Chrome `trace_event` JSON of the run to this
@@ -40,19 +72,36 @@ pub struct BatchOptions {
     /// directory: parsed policies, lib taint summaries, and whole app
     /// reports replay across invocations, so a re-run over an unchanged
     /// corpus skips nearly all per-app work (the stderr metrics report
-    /// the skip counts).
+    /// the skip counts). Composes with every source, including streamed
+    /// generation.
     pub store: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
         BatchOptions {
-            corpus_dir: PathBuf::new(),
+            source: BatchSource::CorpusDir(PathBuf::new()),
             jobs: available_jobs(),
             trace: None,
             store: None,
         }
     }
+}
+
+impl BatchOptions {
+    /// Convenience constructor for the corpus-directory source.
+    pub fn for_corpus_dir(dir: impl Into<PathBuf>) -> Self {
+        BatchOptions { source: BatchSource::CorpusDir(dir.into()), ..BatchOptions::default() }
+    }
+}
+
+/// The built-in 81 third-party lib policies as `(id, html)` pairs — the
+/// lib corpus used when apps are generated rather than loaded from disk.
+pub fn builtin_lib_policies() -> LibPolicies {
+    ppchecker_corpus::libs::lib_policies()
+        .into_iter()
+        .map(|lp| (lp.lib.id.to_string(), lp.html))
+        .collect()
 }
 
 /// Loads one exported app directory into an [`AppInput`].
@@ -156,6 +205,26 @@ fn aggregate_to_json(agg: &AggregateSummary) -> String {
     )
 }
 
+/// Serializes one app record as a JSON line (with trailing newline) into
+/// `buf`, straight into the buffer: no per-record report String, no
+/// per-field escape String.
+fn record_json_into(buf: &mut String, record: &AppRecord) {
+    match record.report() {
+        Some(report) => {
+            let _ = write!(buf, "{{\"index\":{},\"ok\":true,\"report\":", record.index);
+            report_to_json_into(buf, report);
+            buf.push_str("}\n");
+        }
+        None => {
+            let _ = write!(buf, "{{\"index\":{},\"ok\":false,\"package\":\"", record.index);
+            escape_into(buf, &record.package);
+            buf.push_str("\",\"error\":\"");
+            escape_into(buf, &record.error().map(ToString::to_string).unwrap_or_default());
+            buf.push_str("\"}\n");
+        }
+    }
+}
+
 /// Runs the engine over a loaded corpus and renders the two output
 /// streams: the deterministic JSON-lines records (+ aggregate line), and
 /// the timing-dependent metrics summary.
@@ -171,42 +240,69 @@ pub fn render_batch(
     }
     let batch = engine.run(apps);
 
-    // Serialize straight into the output buffer: no per-record report
-    // String, no per-field escape String.
     let mut records = String::new();
     for record in &batch.records {
-        match record.report() {
-            Some(report) => {
-                let _ = write!(records, "{{\"index\":{},\"ok\":true,\"report\":", record.index);
-                report_to_json_into(&mut records, report);
-                records.push_str("}\n");
-            }
-            None => {
-                let _ = write!(records, "{{\"index\":{},\"ok\":false,\"package\":\"", record.index);
-                escape_into(&mut records, &record.package);
-                records.push_str("\",\"error\":\"");
-                escape_into(
-                    &mut records,
-                    &record.error().map(ToString::to_string).unwrap_or_default(),
-                );
-                records.push_str("\"}\n");
-            }
-        }
+        record_json_into(&mut records, record);
     }
     let _ = writeln!(records, "{}", aggregate_to_json(&batch.aggregate()));
     (records, format!("{}\n", batch.metrics))
 }
 
-/// The `batch` entry point: load, run, render. Enables obs span metrics
-/// for the duration of the process (that is where the stderr quantile
-/// table comes from), and captures a Chrome trace when asked to.
+/// Runs a lazily-produced app stream through [`Engine::run_streamed`],
+/// writing each record's JSON line to `out` as it completes. Peak memory
+/// is bounded by the engine's in-flight window, not the stream length.
+fn stream_batch_to<I>(
+    apps: I,
+    jobs: usize,
+    store: Option<Arc<Store>>,
+    out: &mut dyn io::Write,
+) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = AppInput>,
+    I::IntoIter: Send,
+{
+    let mut engine =
+        Engine::with_lib_policies(PPChecker::new(), builtin_lib_policies()).with_jobs(jobs);
+    if let Some(store) = store {
+        engine = engine.with_store(store);
+    }
+
+    let mut line = String::new();
+    let mut write_err: Option<io::Error> = None;
+    let summary = engine.run_streamed(apps, |record| {
+        if write_err.is_some() {
+            return;
+        }
+        line.clear();
+        record_json_into(&mut line, &record);
+        if let Err(e) = out.write_all(line.as_bytes()) {
+            write_err = Some(e);
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(CliError(format!("writing batch output: {e}")));
+    }
+    writeln!(out, "{}", aggregate_to_json(&summary.aggregate))
+        .map_err(|e| CliError(format!("writing batch output: {e}")))?;
+    Ok(format!("{}\n", summary.metrics))
+}
+
+/// The `batch` entry point: resolve the source, run, and write the
+/// deterministic JSON-lines stream (records + aggregate line) to `out`,
+/// returning the timing-dependent metrics summary for stderr.
+///
+/// The corpus-directory source materializes its apps up front (they live
+/// on disk already); the stream and manifest sources generate lazily and
+/// write incrementally, so a 100k-app run holds only the in-flight window
+/// in memory. Enables obs span metrics for the duration of the process
+/// (that is where the stderr quantile table comes from), and captures a
+/// Chrome trace when asked to.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] when the corpus directory is unreadable or the
-/// trace file cannot be written.
-pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
-    let (apps, libs) = load_corpus(&opts.corpus_dir)?;
+/// Returns [`CliError`] when the source is unreadable, the output sink
+/// fails, or the trace file cannot be written.
+pub fn run_batch_to(opts: &BatchOptions, out: &mut dyn io::Write) -> Result<String, CliError> {
     let store = opts
         .store
         .as_deref()
@@ -220,7 +316,29 @@ pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
     if opts.trace.is_some() {
         ppchecker_obs::set_tracing(true);
     }
-    let out = render_batch(apps, libs, opts.jobs.max(1), store.clone());
+    let jobs = opts.jobs.max(1);
+
+    let metrics = match &opts.source {
+        BatchSource::CorpusDir(dir) => {
+            let (apps, libs) = load_corpus(dir)?;
+            let (records, metrics) = render_batch(apps, libs, jobs, store.clone());
+            out.write_all(records.as_bytes())
+                .map_err(|e| CliError(format!("writing batch output: {e}")))?;
+            metrics
+        }
+        BatchSource::Stream { n, seed, shards } => {
+            let apps = stream_scaled_sharded(*seed, *n, *shards).map(|g| g.input);
+            stream_batch_to(apps, jobs, store.clone(), out)?
+        }
+        BatchSource::Manifest(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            let manifest = DatasetManifest::parse(&text)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            stream_batch_to(manifest.apps().map(|g| g.input), jobs, store.clone(), out)?
+        }
+    };
+
     if let Some(store) = &store {
         store.flush_index();
     }
@@ -230,7 +348,21 @@ pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
         fs::write(path, ppchecker_obs::trace::to_chrome_json(&events))
             .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     }
-    Ok(out)
+    Ok(metrics)
+}
+
+/// [`run_batch_to`] with the record stream buffered into a `String` —
+/// the materializing convenience wrapper for tests and small batches.
+///
+/// # Errors
+///
+/// Returns [`CliError`] under the same conditions as [`run_batch_to`].
+pub fn run_batch(opts: &BatchOptions) -> Result<(String, String), CliError> {
+    let mut records = Vec::new();
+    let metrics = run_batch_to(opts, &mut records)?;
+    let records =
+        String::from_utf8(records).map_err(|e| CliError(format!("batch output not UTF-8: {e}")))?;
+    Ok((records, metrics))
 }
 
 #[cfg(test)]
@@ -286,18 +418,10 @@ mod tests {
     fn batch_output_is_jobs_invariant() {
         let dir = temp_dir("determinism");
         write_corpus(&dir, 6, None);
-        let serial = run_batch(&BatchOptions {
-            corpus_dir: dir.clone(),
-            jobs: 1,
-            ..BatchOptions::default()
-        })
-        .unwrap();
-        let parallel = run_batch(&BatchOptions {
-            corpus_dir: dir.clone(),
-            jobs: 4,
-            ..BatchOptions::default()
-        })
-        .unwrap();
+        let serial =
+            run_batch(&BatchOptions { jobs: 1, ..BatchOptions::for_corpus_dir(&dir) }).unwrap();
+        let parallel =
+            run_batch(&BatchOptions { jobs: 4, ..BatchOptions::for_corpus_dir(&dir) }).unwrap();
         assert_eq!(serial.0, parallel.0, "record stream must be byte-identical");
         assert!(serial.0.lines().count() == 7, "6 records + aggregate line");
         assert!(serial.0.contains("\"aggregate\""));
@@ -308,12 +432,8 @@ mod tests {
     fn corrupt_app_becomes_error_record() {
         let dir = temp_dir("corrupt");
         write_corpus(&dir, 4, Some(2));
-        let (records, metrics) = run_batch(&BatchOptions {
-            corpus_dir: dir.clone(),
-            jobs: 2,
-            ..BatchOptions::default()
-        })
-        .unwrap();
+        let (records, metrics) =
+            run_batch(&BatchOptions { jobs: 2, ..BatchOptions::for_corpus_dir(&dir) }).unwrap();
         assert!(records.contains("\"ok\":false"));
         assert!(records.contains("com.batch.app2"));
         assert_eq!(records.matches("\"ok\":true").count(), 3);
@@ -328,10 +448,9 @@ mod tests {
         write_corpus(&dir, 8, None);
         let store_dir = dir.join(".ppstore");
         let opts = BatchOptions {
-            corpus_dir: dir.clone(),
             jobs: 2,
             store: Some(store_dir.clone()),
-            ..BatchOptions::default()
+            ..BatchOptions::for_corpus_dir(&dir)
         };
         let (cold_records, cold_metrics) = run_batch(&opts).unwrap();
         assert!(cold_metrics.contains("store: 0 apps skipped"), "metrics:\n{cold_metrics}");
@@ -346,11 +465,86 @@ mod tests {
     #[test]
     fn missing_corpus_dir_is_an_error() {
         let err = run_batch(&BatchOptions {
-            corpus_dir: PathBuf::from("/nonexistent/corpus"),
+            jobs: 1,
+            ..BatchOptions::for_corpus_dir("/nonexistent/corpus")
+        })
+        .unwrap_err();
+        assert!(err.0.contains("/nonexistent/corpus"));
+    }
+
+    #[test]
+    fn streamed_batch_is_jobs_and_shard_invariant() {
+        let base = BatchOptions {
+            source: BatchSource::Stream { n: 40, seed: 42, shards: 1 },
+            jobs: 1,
+            ..BatchOptions::default()
+        };
+        let serial = run_batch(&base).unwrap();
+        let sharded = run_batch(&BatchOptions {
+            source: BatchSource::Stream { n: 40, seed: 42, shards: 4 },
+            jobs: 3,
+            ..BatchOptions::default()
+        })
+        .unwrap();
+        assert_eq!(serial.0, sharded.0, "record stream must be byte-identical");
+        assert_eq!(serial.0.lines().count(), 41, "40 records + aggregate line");
+        assert!(serial.0.contains("\"aggregate\""));
+        assert!(serial.0.contains("\"apps\":40"));
+    }
+
+    #[test]
+    fn streamed_batch_composes_with_the_store() {
+        let dir = temp_dir("stream-store");
+        fs::create_dir_all(&dir).unwrap();
+        let opts = BatchOptions {
+            source: BatchSource::Stream { n: 12, seed: 42, shards: 2 },
+            jobs: 2,
+            store: Some(dir.join(".ppstore")),
+            ..BatchOptions::default()
+        };
+        let (cold, cold_metrics) = run_batch(&opts).unwrap();
+        assert!(cold_metrics.contains("store: 0 apps skipped"), "metrics:\n{cold_metrics}");
+        let (warm, warm_metrics) = run_batch(&opts).unwrap();
+        assert_eq!(cold, warm, "replayed stream must be byte-identical");
+        assert!(warm_metrics.contains("store: 12 apps skipped"), "metrics:\n{warm_metrics}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_batch_runs_the_named_subset() {
+        use ppchecker_corpus::ScenarioPack;
+        let dir = temp_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        let manifest = ScenarioPack::PathologicalPolicy.manifest(42, 1400);
+        let count = manifest.ids.len();
+        assert!(count > 0, "pack must select something in 1400 apps");
+        let path = dir.join("pathological.ppm");
+        fs::write(&path, manifest.serialize()).unwrap();
+
+        let (records, _) = run_batch(&BatchOptions {
+            source: BatchSource::Manifest(path),
+            jobs: 2,
+            ..BatchOptions::default()
+        })
+        .unwrap();
+        assert_eq!(records.lines().count(), count + 1, "one line per id + aggregate");
+        assert!(records.contains(&format!("\"apps\":{count}")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_manifest_is_an_error() {
+        let dir = temp_dir("bad-manifest");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ppm");
+        fs::write(&path, "not a manifest\n").unwrap();
+        let err = run_batch(&BatchOptions {
+            source: BatchSource::Manifest(path),
             jobs: 1,
             ..BatchOptions::default()
         })
         .unwrap_err();
-        assert!(err.0.contains("/nonexistent/corpus"));
+        assert!(err.0.contains("bad.ppm"), "error names the file: {err:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

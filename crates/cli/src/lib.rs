@@ -8,8 +8,9 @@
 //!                 --manifest manifest.txt --dex app.dex \
 //!                 [--lib-policy ID=policy.html]... [--suggest] \
 //!                 [--synonyms] [--constraints]
-//! ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \
-//!                 [--trace trace.json] [--store <dir>]
+//! ppchecker batch (--corpus <dir> | --stream N | --manifest <file>) \
+//!                 [--seed N] [--shards N] [--jobs N] \
+//!                 [--out results.jsonl] [--trace trace.json] [--store <dir>]
 //! ppchecker trace-check <trace.json>  # validate a batch --trace file
 //! ppchecker policy <policy.html>      # inspect the six-step analysis
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
@@ -17,6 +18,7 @@
 //! ppchecker demo                      # run the bundled sample app
 //! ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] \
 //!                 [--workers N] [--queue-depth N] [--corpus <dir>] \
+//!                 [--stream N] [--seed N] [--manifest <file>] \
 //!                 [--store <dir>]
 //! ```
 //!
@@ -29,7 +31,7 @@ pub mod json;
 pub mod manifest_text;
 pub mod serve;
 
-pub use batch::{run_batch, BatchOptions};
+pub use batch::{builtin_lib_policies, run_batch, run_batch_to, BatchOptions, BatchSource};
 pub use serve::{parse_serve_args, run_serve, ServeOptions};
 
 use ppchecker_apk::{packer, Apk};

@@ -1,10 +1,12 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    parse_serve_args, run_batch, run_check, run_demo, run_pack, run_policy, run_serve,
-    run_trace_check, run_unpack, BatchOptions, CheckOptions, CliError,
+    parse_serve_args, run_batch_to, run_check, run_demo, run_pack, run_policy, run_serve,
+    run_trace_check, run_unpack, BatchOptions, BatchSource, CheckOptions, CliError,
 };
+use ppchecker_engine::available_jobs;
 use std::fs;
+use std::io::{self, BufWriter, Write as _};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -15,7 +17,8 @@ USAGE:
                   --manifest <manifest.txt> --dex <app.dex> \\
                   [--lib-policy ID=policy.html]... [--suggest] \\
                   [--synonyms] [--constraints] [--json]
-  ppchecker batch --corpus <dir> [--jobs N] [--out results.jsonl] \\
+  ppchecker batch (--corpus <dir> | --stream N | --manifest <file>) \\
+                  [--seed N] [--shards N] [--jobs N] [--out results.jsonl] \\
                   [--trace trace.json] [--store <dir>]
   ppchecker trace-check <trace.json>
   ppchecker policy <policy.html>
@@ -82,15 +85,41 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 }
 
 fn batch(args: &[String]) -> Result<String, CliError> {
-    let corpus = flag_value(args, "--corpus")
-        .ok_or_else(|| CliError("missing required --corpus <dir>".into()))?;
-    let mut opts = BatchOptions { corpus_dir: corpus.into(), ..BatchOptions::default() };
-    if let Some(jobs) = flag_value(args, "--jobs") {
-        opts.jobs = jobs
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .ok_or_else(|| CliError("--jobs needs a positive integer".into()))?;
+    let positive = |flag: &str| -> Result<Option<usize>, CliError> {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError(format!("{flag} needs a positive integer")))
+            })
+            .transpose()
+    };
+
+    let corpus = flag_value(args, "--corpus");
+    let stream = positive("--stream")?;
+    let manifest = flag_value(args, "--manifest");
+    let source = match (corpus, stream, manifest) {
+        (Some(dir), None, None) => BatchSource::CorpusDir(dir.into()),
+        (None, Some(n), None) => BatchSource::Stream {
+            n,
+            seed: flag_value(args, "--seed")
+                .map(|v| v.parse::<u64>().map_err(|_| CliError("bad --seed".into())))
+                .transpose()?
+                .unwrap_or(42),
+            shards: positive("--shards")?.unwrap_or_else(available_jobs),
+        },
+        (None, None, Some(path)) => BatchSource::Manifest(path.into()),
+        _ => {
+            return Err(CliError(
+                "need exactly one of --corpus <dir>, --stream N, --manifest <file>".into(),
+            ))
+        }
+    };
+
+    let mut opts = BatchOptions { source, ..BatchOptions::default() };
+    if let Some(jobs) = positive("--jobs")? {
+        opts.jobs = jobs;
     }
     if let Some(path) = flag_value(args, "--trace") {
         opts.trace = Some(path.into());
@@ -98,17 +127,31 @@ fn batch(args: &[String]) -> Result<String, CliError> {
     if let Some(dir) = flag_value(args, "--store") {
         opts.store = Some(dir.into());
     }
-    let (records, metrics) = run_batch(&opts)?;
-    // The record stream is deterministic; the timing summary goes to
-    // stderr so piping/diffing stdout stays byte-stable across runs.
-    eprint!("{metrics}");
-    match flag_value(args, "--out") {
+
+    // The record stream is deterministic (stdout or --out stays
+    // byte-stable across runs and job counts); the timing summary goes
+    // to stderr. Records are written as they complete, so even a
+    // million-app stream never buffers more than the in-flight window.
+    let metrics = match flag_value(args, "--out") {
         Some(path) => {
-            fs::write(path, records)?;
-            Ok(format!("wrote results to {path}\n"))
+            let file =
+                fs::File::create(path).map_err(|e| CliError(format!("--out {path}: {e}")))?;
+            let mut out = BufWriter::new(file);
+            let metrics = run_batch_to(&opts, &mut out)?;
+            out.flush().map_err(|e| CliError(format!("--out {path}: {e}")))?;
+            eprint!("{metrics}");
+            return Ok(format!("wrote results to {path}\n"));
         }
-        None => Ok(records),
-    }
+        None => {
+            let stdout = io::stdout();
+            let mut out = BufWriter::new(stdout.lock());
+            let metrics = run_batch_to(&opts, &mut out)?;
+            out.flush().map_err(|e| CliError(format!("stdout: {e}")))?;
+            metrics
+        }
+    };
+    eprint!("{metrics}");
+    Ok(String::new())
 }
 
 fn check(args: &[String]) -> Result<String, CliError> {

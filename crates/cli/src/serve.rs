@@ -1,17 +1,19 @@
 //! The `ppchecker serve` subcommand: boot the resident daemon over a
 //! warm engine and block until it drains.
 
-use crate::batch::load_corpus;
+use crate::batch::{builtin_lib_policies, load_corpus};
 use crate::CliError;
 use ppchecker_core::PPChecker;
-use ppchecker_engine::Engine;
+use ppchecker_corpus::{stream_scaled_sharded, DatasetManifest};
+use ppchecker_engine::{available_jobs, Engine};
 use ppchecker_serve::{install_sigterm_handler, ServeConfig, Server};
 use ppchecker_store::Store;
+use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Parsed `serve` options.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeOptions {
     /// Daemon configuration (addresses, pool sizing, body cap).
     pub config: ServeConfig,
@@ -19,10 +21,33 @@ pub struct ServeOptions {
     /// registered on the engine at boot so every request benefits from
     /// pre-analyzed third-party lib policies.
     pub corpus_dir: Option<PathBuf>,
+    /// Optional streamed warm-boot: analyze the first N generated scale
+    /// apps through the engine (with the built-in lib policies) before
+    /// serving. With `--store`, this pre-populates the artifact store so
+    /// later requests for the same apps replay from disk.
+    pub stream: Option<usize>,
+    /// Seed for `--stream` generation.
+    pub seed: u64,
+    /// Optional manifest warm-boot: like `stream`, over the manifest's
+    /// named subset.
+    pub manifest: Option<PathBuf>,
     /// Optional persistent artifact store: the daemon boots warm
     /// (previously analyzed policies, lib summaries, and reports replay
     /// from disk) and keeps persisting as it serves.
     pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            config: ServeConfig::default(),
+            corpus_dir: None,
+            stream: None,
+            seed: 42,
+            manifest: None,
+            store_dir: None,
+        }
+    }
 }
 
 /// Parses `serve` flags.
@@ -64,6 +89,15 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     if let Some(dir) = flag_value("--corpus") {
         opts.corpus_dir = Some(PathBuf::from(dir));
     }
+    if let Some(n) = positive("--stream")? {
+        opts.stream = Some(n);
+    }
+    if let Some(seed) = flag_value("--seed") {
+        opts.seed = seed.parse::<u64>().map_err(|_| CliError("bad --seed".into()))?;
+    }
+    if let Some(path) = flag_value("--manifest") {
+        opts.manifest = Some(PathBuf::from(path));
+    }
     if let Some(dir) = flag_value("--store") {
         opts.store_dir = Some(PathBuf::from(dir));
     }
@@ -79,12 +113,20 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
 /// address cannot be bound.
 pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
     let checker = PPChecker::new();
+    let warm_boot = opts.stream.is_some() || opts.manifest.is_some();
     let mut engine = match &opts.corpus_dir {
         Some(dir) => {
             let (_, libs) = load_corpus(dir)?;
             let count = libs.len();
             let engine = Engine::with_lib_policies(checker, libs);
             eprintln!("serve: registered {count} lib policies from {}", dir.display());
+            engine
+        }
+        None if warm_boot => {
+            let libs = builtin_lib_policies();
+            let count = libs.len();
+            let engine = Engine::with_lib_policies(checker, libs);
+            eprintln!("serve: registered {count} built-in lib policies");
             engine
         }
         None => Engine::new(checker),
@@ -96,6 +138,28 @@ pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
         let reports = store.records_on_disk(ppchecker_store::RecordKind::Report);
         engine = engine.with_store(store);
         eprintln!("serve: artifact store at {} ({reports} reports on disk)", dir.display());
+    }
+    // Warm passes run after the store attaches so their results persist.
+    if let Some(n) = opts.stream {
+        let apps = stream_scaled_sharded(opts.seed, n, available_jobs()).map(|g| g.input);
+        let summary = engine.run_streamed(apps, |_| {});
+        eprintln!(
+            "serve: warmed over {n} streamed apps (seed {}, {} problem apps)",
+            opts.seed, summary.aggregate.problem_apps
+        );
+    }
+    if let Some(path) = &opts.manifest {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError(format!("--manifest {}: {e}", path.display())))?;
+        let manifest = DatasetManifest::parse(&text)
+            .map_err(|e| CliError(format!("--manifest {}: {e}", path.display())))?;
+        let summary = engine.run_streamed(manifest.apps().map(|g| g.input), |_| {});
+        eprintln!(
+            "serve: warmed over manifest {} ({} apps, {} problem apps)",
+            manifest.name,
+            manifest.ids.len(),
+            summary.aggregate.problem_apps
+        );
     }
     install_sigterm_handler();
     let handle = Server::start(engine, opts.config.clone())
@@ -166,5 +230,20 @@ mod tests {
     fn bad_numbers_are_rejected() {
         assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--queue-depth", "lots"])).is_err());
+        assert!(parse_serve_args(&args(&["--stream", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--seed", "nope"])).is_err());
+    }
+
+    #[test]
+    fn stream_and_manifest_flags_parse() {
+        let opts =
+            parse_serve_args(&args(&["--stream", "5000", "--seed", "7", "--manifest", "pack.ppm"]))
+                .unwrap();
+        assert_eq!(opts.stream, Some(5000));
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.manifest.as_deref().unwrap().to_str(), Some("pack.ppm"));
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults.seed, 42);
+        assert!(defaults.stream.is_none() && defaults.manifest.is_none());
     }
 }

@@ -6,7 +6,7 @@ use crate::phrases::{
     description_phrases, pick, pick_policy_phrase, COLLECT_TEMPLATES, DISCLOSE_TEMPLATES,
     NEGATIVE_TEMPLATES, NEUTRAL_DESCRIPTIONS, POLICY_BOILERPLATE, RETAIN_TEMPLATES, USE_TEMPLATES,
 };
-use crate::plan::AppSpec;
+use crate::plan::{AppSpec, PolicyShape};
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
 use ppchecker_core::AppInput;
 use ppchecker_policy::VerbCategory;
@@ -14,13 +14,40 @@ use ppchecker_static::KNOWN_LIBS;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+/// The per-app RNG seed: a pure function of `(seed, index)`, which is
+/// what makes generation shardable — any thread can generate any index
+/// and produce the same bytes.
+pub fn app_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
 /// Generates the app for a spec, deterministically under `seed`.
 pub fn generate_app(spec: &AppSpec, seed: u64) -> AppInput {
-    let mut rng =
-        StdRng::seed_from_u64(seed ^ (spec.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng = StdRng::seed_from_u64(app_seed(seed, spec.index));
     let package = format!("com.app{:04}.{}", spec.index, flavor(spec.index));
+    let policy_html = match spec.near_dup_of {
+        // Near-duplicate family member: the body comes from the family
+        // root's random stream (so sibling policies are near-identical
+        // text), differentiated by one revision sentence keyed to this
+        // app's own index.
+        Some(root) => {
+            let mut root_rng = StdRng::seed_from_u64(app_seed(seed, root));
+            let mut html = generate_policy(spec, &mut root_rng);
+            let closer = "</body></html>";
+            if let Some(stripped) = html.strip_suffix(closer) {
+                html = format!(
+                    "{stripped}<p>this revision {} of the policy applies to release channel \
+                     {}.</p>{closer}",
+                    spec.index,
+                    spec.index % 7
+                );
+            }
+            html
+        }
+        None => generate_policy(spec, &mut rng),
+    };
     AppInput {
-        policy_html: generate_policy(spec, &mut rng),
+        policy_html,
         description: generate_description(spec, &mut rng),
         apk: generate_apk(spec, &package, &mut rng),
         package,
@@ -36,13 +63,17 @@ fn flavor(index: usize) -> &'static str {
 
 /// Builds the policy HTML for a spec.
 pub fn generate_policy(spec: &AppSpec, rng: &mut StdRng) -> String {
+    // Near-duplicate family members render exactly as their root would:
+    // every index-dependent branch below keys off the root's index, so
+    // sibling policies differ only by the appended revision sentence.
+    let policy_index = spec.near_dup_of.unwrap_or(spec.index);
     let mut sentences: Vec<String> = Vec::new();
     sentences.push(pick(POLICY_BOILERPLATE, rng).to_string());
 
     // Positive coverage. Some policies render it as one enumeration list
     // (the NLTK-splitting hazard the paper's Step 1 repairs); the rest as
     // one sentence per item, cycling the four behaviour categories.
-    if spec.policy_cover.len() >= 2 && spec.index % 5 == 1 {
+    if spec.policy_cover.len() >= 2 && policy_index % 5 == 1 {
         let items: Vec<&str> =
             spec.policy_cover.iter().map(|&info| pick_policy_phrase(info, rng)).collect();
         sentences.push(format!("we will collect the following information: {}.", items.join("; ")));
@@ -122,6 +153,75 @@ pub fn generate_policy(spec: &AppSpec, rng: &mut StdRng) -> String {
         );
     }
     sentences.push(pick(POLICY_BOILERPLATE, rng).to_string());
+
+    // Scale-corpus pathological shapes (always Normal in the calibrated
+    // paper plan, so the 1,197-app byte stream is untouched).
+    match spec.policy_shape {
+        PolicyShape::Normal | PolicyShape::Malformed => {}
+        PolicyShape::Huge(sections) => {
+            for k in 0..sections {
+                sentences.push(format!(
+                    "section {}: {} {}",
+                    k + 1,
+                    pick(POLICY_BOILERPLATE, rng),
+                    pick(POLICY_BOILERPLATE, rng),
+                ));
+            }
+        }
+        PolicyShape::Enumeration(count) => {
+            const ENUM_POOL: &[PrivateInfo] = &[
+                PrivateInfo::Location,
+                PrivateInfo::DeviceId,
+                PrivateInfo::Email,
+                PrivateInfo::Contact,
+                PrivateInfo::PhoneNumber,
+                PrivateInfo::Cookie,
+            ];
+            let pool: &[PrivateInfo] =
+                if spec.policy_cover.is_empty() { ENUM_POOL } else { &spec.policy_cover };
+            for k in 0..count {
+                let items: Vec<&str> =
+                    (0..4).map(|t| pick_policy_phrase(pool[(k + t) % pool.len()], rng)).collect();
+                sentences.push(format!(
+                    "we may collect, use, retain, or disclose the following: {}.",
+                    items.join("; ")
+                ));
+            }
+        }
+    }
+
+    if matches!(spec.policy_shape, PolicyShape::Malformed) {
+        // Structurally broken HTML: an unclosed heading wrapper, unclosed
+        // and case-mangled paragraph tags, a truncated tag at a paragraph
+        // boundary, and no closing </html>. The parser must degrade, not
+        // die.
+        let mut html = String::from("<html><body><h1>Privacy Policy<div>");
+        for (k, s) in sentences.iter().enumerate() {
+            match k % 4 {
+                0 => {
+                    html.push_str("<p>");
+                    html.push_str(s);
+                }
+                1 => {
+                    html.push_str("<p><b>");
+                    html.push_str(s);
+                    html.push_str("</p>");
+                }
+                2 => {
+                    html.push_str("<P >");
+                    html.push_str(s);
+                    html.push_str("</P><br><br");
+                }
+                _ => {
+                    html.push_str("<p>");
+                    html.push_str(s);
+                    html.push_str("</p></div>");
+                }
+            }
+        }
+        html.push_str("</body>");
+        return html;
+    }
 
     let mut html = String::from("<html><body><h1>Privacy Policy</h1>");
     for s in sentences {

@@ -39,8 +39,10 @@ pub mod fig12;
 pub mod generate;
 pub mod history;
 pub mod libs;
+pub mod manifest;
 pub mod phrases;
 pub mod plan;
+pub mod scale;
 
 pub use dataset::{paper_dataset, small_dataset, stream_apps, Dataset, GeneratedApp};
 pub use eval::{evaluate, evaluate_parallel, Evaluation, RowMetrics};
@@ -48,4 +50,8 @@ pub use export::{export_app, export_dataset};
 pub use history::{
     versioned_history, CorpusVersion, MutationKind, VersionChange, VersionedHistory,
 };
-pub use plan::{build_plan, AppSpec, GroundTruth, APP_COUNT};
+pub use manifest::{DatasetManifest, ManifestError, ScenarioPack};
+pub use plan::{build_plan, AppSpec, GroundTruth, PolicyShape, APP_COUNT};
+pub use scale::{
+    generate_scaled, scaled_spec, scenario_of, stream_scaled, stream_scaled_sharded, Scenario,
+};

@@ -1,0 +1,344 @@
+//! Dataset manifests: named, reproducible workload subsets of the scale
+//! corpus, as a header + ID-list text format.
+//!
+//! A manifest pins everything needed to regenerate a subset bit-for-bit:
+//! the generation seed, the index space it selects from, and the exact
+//! sorted ID list. The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # ppchecker dataset manifest v1
+//! name: packed-dex-heavy
+//! seed: 42
+//! space: 10000
+//! count: 196
+//! ---
+//! 224
+//! 255
+//! …
+//! ```
+//!
+//! [`ScenarioPack`] derives the shipped packs from the same pure index
+//! predicates the scale generator uses ([`crate::scale::scenario_of`]),
+//! so a pack regenerated at any `space` always matches what the engine
+//! would stream for those indices.
+
+use crate::dataset::GeneratedApp;
+use crate::plan::{build_plan, AppSpec, APP_COUNT};
+use crate::scale::{generate_scaled, scenario_of, Scenario};
+use std::fmt;
+use std::sync::Arc;
+
+/// Format tag on the first line of every manifest file.
+pub const MANIFEST_HEADER: &str = "# ppchecker dataset manifest v1";
+
+/// A parse or validation failure, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(pub String);
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// A named, reproducible subset of the scale corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetManifest {
+    /// Subset name (`[a-z0-9-]+`).
+    pub name: String,
+    /// Generation seed the IDs were selected under.
+    pub seed: u64,
+    /// The index space the IDs select from: `0..space` of the scale
+    /// corpus.
+    pub space: usize,
+    /// Selected indices, strictly ascending, all `< space`.
+    pub ids: Vec<usize>,
+}
+
+impl DatasetManifest {
+    /// Parses the manifest text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManifestError`] on a missing or wrong header line,
+    /// missing or malformed header fields, a count mismatch, IDs out of
+    /// range, or IDs out of order.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default().trim();
+        if header != MANIFEST_HEADER {
+            return Err(ManifestError(format!(
+                "bad manifest header: expected {MANIFEST_HEADER:?}, got {header:?}"
+            )));
+        }
+        let mut name = None;
+        let mut seed = None;
+        let mut space = None;
+        let mut count = None;
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line == "---" {
+                break;
+            }
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| ManifestError(format!("malformed header line: {line:?}")))?;
+            let value = value.trim();
+            match key.trim() {
+                "name" => {
+                    if value.is_empty()
+                        || !value
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                    {
+                        return Err(ManifestError(format!("bad manifest name: {value:?}")));
+                    }
+                    name = Some(value.to_string());
+                }
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| ManifestError(format!("bad seed: {value:?}")))?,
+                    );
+                }
+                "space" => {
+                    space = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| ManifestError(format!("bad space: {value:?}")))?,
+                    );
+                }
+                "count" => {
+                    count = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| ManifestError(format!("bad count: {value:?}")))?,
+                    );
+                }
+                other => return Err(ManifestError(format!("unknown header key: {other:?}"))),
+            }
+        }
+        let name = name.ok_or_else(|| ManifestError("missing name header".into()))?;
+        let seed = seed.ok_or_else(|| ManifestError("missing seed header".into()))?;
+        let space = space.ok_or_else(|| ManifestError("missing space header".into()))?;
+        let count = count.ok_or_else(|| ManifestError("missing count header".into()))?;
+
+        let mut ids = Vec::with_capacity(count);
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let id = line
+                .parse::<usize>()
+                .map_err(|_| ManifestError(format!("bad id line: {line:?}")))?;
+            if id >= space {
+                return Err(ManifestError(format!("id {id} outside space {space}")));
+            }
+            if let Some(&last) = ids.last() {
+                if id <= last {
+                    return Err(ManifestError(format!(
+                        "ids must be strictly ascending: {id} after {last}"
+                    )));
+                }
+            }
+            ids.push(id);
+        }
+        if ids.len() != count {
+            return Err(ManifestError(format!(
+                "count header says {count} but {} ids listed",
+                ids.len()
+            )));
+        }
+        Ok(DatasetManifest { name, seed, space, ids })
+    }
+
+    /// Renders the manifest text format (the exact bytes [`Self::parse`]
+    /// accepts — serialization and parsing round-trip).
+    pub fn serialize(&self) -> String {
+        let mut out = String::with_capacity(64 + 8 * self.ids.len());
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("name: {}\n", self.name));
+        out.push_str(&format!("seed: {}\n", self.seed));
+        out.push_str(&format!("space: {}\n", self.space));
+        out.push_str(&format!("count: {}\n", self.ids.len()));
+        out.push_str("---\n");
+        for id in &self.ids {
+            out.push_str(&format!("{id}\n"));
+        }
+        out
+    }
+
+    /// Streams the manifest's apps lazily, in ID order, generated under
+    /// the manifest's pinned seed. Peak memory is one app at a time.
+    pub fn apps(&self) -> impl Iterator<Item = GeneratedApp> + '_ {
+        let plan = Arc::new(build_plan());
+        let seed = self.seed;
+        self.ids.iter().map(move |&id| generate_scaled(&plan, seed, id))
+    }
+}
+
+/// The shipped scenario packs: named subsets selected by pure index
+/// predicates over the scale corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioPack {
+    /// Apps shipping packed dexes (paper plan's packed apps + the scale
+    /// packed bucket).
+    PackedDexHeavy,
+    /// Apps embedding many third-party SDKs (paper apps with ≥3 libs +
+    /// the scale lib-heavy bucket).
+    LibHeavy,
+    /// Huge or structurally malformed policy HTML.
+    PathologicalPolicy,
+    /// Enumeration-style sentence lists (paper enumeration renderings +
+    /// the scale enumeration bucket).
+    AdversarialEnumeration,
+    /// Near-duplicate policy families (roots + members).
+    NearDuplicateFamilies,
+}
+
+impl ScenarioPack {
+    /// All shipped packs.
+    pub const ALL: [ScenarioPack; 5] = [
+        ScenarioPack::PackedDexHeavy,
+        ScenarioPack::LibHeavy,
+        ScenarioPack::PathologicalPolicy,
+        ScenarioPack::AdversarialEnumeration,
+        ScenarioPack::NearDuplicateFamilies,
+    ];
+
+    /// The pack's manifest name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioPack::PackedDexHeavy => "packed-dex-heavy",
+            ScenarioPack::LibHeavy => "lib-heavy",
+            ScenarioPack::PathologicalPolicy => "pathological-policy",
+            ScenarioPack::AdversarialEnumeration => "adversarial-enumeration",
+            ScenarioPack::NearDuplicateFamilies => "near-duplicate-families",
+        }
+    }
+
+    /// Looks a pack up by its manifest name.
+    pub fn by_name(name: &str) -> Option<ScenarioPack> {
+        ScenarioPack::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Whether `index` belongs to this pack. Pure in `(plan, index)`.
+    pub fn matches(&self, plan: &[AppSpec], index: usize) -> bool {
+        let scenario = scenario_of(index);
+        match self {
+            ScenarioPack::PackedDexHeavy => {
+                if index < APP_COUNT {
+                    plan[index].packed
+                } else {
+                    scenario == Scenario::PackedDex
+                }
+            }
+            ScenarioPack::LibHeavy => {
+                if index < APP_COUNT {
+                    plan[index].libs.len() >= 3
+                } else {
+                    scenario == Scenario::LibHeavy
+                }
+            }
+            ScenarioPack::PathologicalPolicy => {
+                matches!(scenario, Scenario::HugePolicy | Scenario::MalformedPolicy)
+            }
+            ScenarioPack::AdversarialEnumeration => {
+                if index < APP_COUNT {
+                    // The paper plan renders coverage as one enumeration
+                    // list on these indices (see `generate_policy`).
+                    plan[index].policy_cover.len() >= 2 && index % 5 == 1
+                } else {
+                    scenario == Scenario::Enumeration
+                }
+            }
+            ScenarioPack::NearDuplicateFamilies => {
+                matches!(scenario, Scenario::FamilyRoot | Scenario::NearDuplicate)
+            }
+        }
+    }
+
+    /// Builds the pack's manifest over `0..space` under `seed`.
+    pub fn manifest(&self, seed: u64, space: usize) -> DatasetManifest {
+        let plan = build_plan();
+        let ids = (0..space).filter(|&i| self.matches(&plan, i)).collect();
+        DatasetManifest { name: self.name().to_string(), seed, space, ids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_parse_round_trip() {
+        let manifest = DatasetManifest {
+            name: "round-trip".into(),
+            seed: 7,
+            space: 5000,
+            ids: vec![0, 17, 1196, 1197, 4999],
+        };
+        let parsed = DatasetManifest::parse(&manifest.serialize()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn parse_rejects_defects() {
+        let good = DatasetManifest { name: "x".into(), seed: 1, space: 100, ids: vec![1, 2, 3] }
+            .serialize();
+        assert!(DatasetManifest::parse(&good).is_ok());
+        assert!(DatasetManifest::parse(&good.replace("manifest v1", "manifest v9")).is_err());
+        assert!(DatasetManifest::parse(&good.replace("count: 3", "count: 4")).is_err());
+        assert!(DatasetManifest::parse(&good.replace("\n2\n", "\n200\n")).is_err(), "id > space");
+        assert!(DatasetManifest::parse(&good.replace("\n2\n", "\n1\n")).is_err(), "not ascending");
+        assert!(DatasetManifest::parse(&good.replace("name: x", "name: X!")).is_err());
+        assert!(DatasetManifest::parse(&good.replace("seed: 1\n", "")).is_err());
+    }
+
+    #[test]
+    fn packs_select_their_scenarios() {
+        let space = 3000;
+        for pack in ScenarioPack::ALL {
+            let manifest = pack.manifest(42, space);
+            assert!(!manifest.ids.is_empty(), "{} selected nothing", pack.name());
+            assert!(manifest.ids.iter().all(|&i| i < space));
+            assert!(manifest.ids.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Pathological and near-dup packs never touch the paper prefix.
+        for pack in [ScenarioPack::PathologicalPolicy, ScenarioPack::NearDuplicateFamilies] {
+            assert!(pack.manifest(42, space).ids.iter().all(|&i| i >= APP_COUNT));
+        }
+        // Packed pack includes paper packed apps.
+        assert!(ScenarioPack::PackedDexHeavy
+            .manifest(42, space)
+            .ids
+            .iter()
+            .any(|&i| i < APP_COUNT));
+    }
+
+    #[test]
+    fn pack_apps_generate_under_the_pinned_seed() {
+        let manifest = ScenarioPack::PathologicalPolicy.manifest(42, 1400);
+        let apps: Vec<GeneratedApp> = manifest.apps().collect();
+        assert_eq!(apps.len(), manifest.ids.len());
+        for (app, &id) in apps.iter().zip(manifest.ids.iter()) {
+            assert_eq!(app.spec.index, id);
+        }
+    }
+
+    #[test]
+    fn pack_names_round_trip() {
+        for pack in ScenarioPack::ALL {
+            assert_eq!(ScenarioPack::by_name(pack.name()), Some(pack));
+        }
+        assert_eq!(ScenarioPack::by_name("no-such-pack"), None);
+    }
+}

@@ -123,6 +123,26 @@ impl GroundTruth {
     }
 }
 
+/// How the policy document is rendered — the scale corpus's pathological
+/// scenarios. The 1,197 calibrated paper apps all use [`PolicyShape::Normal`];
+/// the synthesized indices beyond them mix in the other shapes to stress
+/// the HTML parser, the sentence splitter, and the tokenizer at corpus
+/// scale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PolicyShape {
+    /// The calibrated rendering: one `<p>` per sentence, well-formed HTML.
+    #[default]
+    Normal,
+    /// A huge policy: the given number of filler sections appended.
+    Huge(usize),
+    /// Structurally broken HTML: unclosed and unbalanced tags, truncated
+    /// tag at a paragraph boundary, missing `</html>`.
+    Malformed,
+    /// The given number of adversarial enumeration sentences appended —
+    /// semicolon-joined lists, the splitting hazard of the paper's Step 1.
+    Enumeration(usize),
+}
+
 /// The generator-facing spec for one app.
 #[derive(Debug, Clone, Default)]
 pub struct AppSpec {
@@ -152,6 +172,13 @@ pub struct AppSpec {
     pub context_trap: Option<PrivateInfo>,
     /// Ship the dex packed (exercises the DexHunter substitute).
     pub packed: bool,
+    /// Policy rendering shape (always [`PolicyShape::Normal`] in the
+    /// calibrated paper corpus).
+    pub policy_shape: PolicyShape,
+    /// When set, this app's policy body is generated from the named
+    /// family-root index's random stream plus one differentiating
+    /// sentence — a near-duplicate policy family member.
+    pub near_dup_of: Option<usize>,
     /// The ground truth.
     pub truth: GroundTruth,
 }

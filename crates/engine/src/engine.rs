@@ -31,7 +31,7 @@
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::metrics::{EngineSnapshot, MetricsSummary, StageStats, StoreSummary};
-use crate::report::{AppOutcome, AppRecord, BatchReport};
+use crate::report::{AggregateSummary, AppOutcome, AppRecord, BatchReport};
 use crate::scheduler;
 use ppchecker_core::{
     decode_report, encode_report, AppInput, CheckOutcome, CheckRequest, Error, PPChecker, Report,
@@ -235,20 +235,15 @@ impl Engine {
     /// The stream is consumed incrementally under backpressure — pair it
     /// with a lazy source (e.g. a corpus `iter_apps()` generator or a
     /// directory walker) to keep peak memory at
-    /// `O(jobs + channel_depth + results)` instead of `O(corpus)`.
+    /// `O(jobs + channel_depth + results)` instead of `O(corpus)`. The
+    /// returned records still occupy `O(corpus)`; when the consumer can
+    /// process records one at a time, use [`Engine::run_streamed`] and
+    /// peak memory stays constant in the stream length.
     pub fn run<I>(&self, apps: I) -> BatchReport
     where
         I: IntoIterator<Item = AppInput>,
     {
-        let started = Instant::now();
-        let obs_before = ppchecker_obs::snapshot();
-        let policy_before = self.cache.stats();
-        let taint_before = self.cache.taint_summary_stats();
-        let store_before = self.store_summary();
-        let esa = Interpreter::shared();
-        let (esa_hits_before, esa_misses_before) = esa.vector_cache_stats();
-        let (pair_hits_before, pair_misses_before) = esa.pair_memo_stats();
-        let pruned_before = esa.pruned_comparisons();
+        let probe = MetricsProbe::begin(self);
 
         let jobs = self.config.jobs.max(1);
         let mut outputs =
@@ -266,46 +261,62 @@ impl Engine {
             records.push(record);
         }
 
-        let policy_after = self.cache.stats();
-        let taint_after = self.cache.taint_summary_stats();
-        let (esa_hits_after, esa_misses_after) = esa.vector_cache_stats();
-        let (pair_hits_after, pair_misses_after) = esa.pair_memo_stats();
-        let stage_quantiles = stage_quantiles_since(&obs_before);
-        let metrics = MetricsSummary {
-            jobs,
-            apps: records.len(),
-            errors,
-            lib_policies: self.lib_policies,
-            wall_time: started.elapsed(),
-            stage_totals,
-            stage_quantiles,
-            policy_cache: CacheStats {
-                hits: policy_after.hits - policy_before.hits,
-                misses: policy_after.misses - policy_before.misses,
-                entries: policy_after.entries,
-            },
-            esa_cache: CacheStats {
-                hits: esa_hits_after - esa_hits_before,
-                misses: esa_misses_after - esa_misses_before,
-                entries: esa.vector_cache_len(),
-            },
-            esa_pair_memo: CacheStats {
-                hits: pair_hits_after - pair_hits_before,
-                misses: pair_misses_after - pair_misses_before,
-                entries: esa.pair_memo_len(),
-            },
-            esa_pruned: esa.pruned_comparisons() - pruned_before,
-            taint_summary_cache: CacheStats {
-                hits: taint_after.hits - taint_before.hits,
-                misses: taint_after.misses - taint_before.misses,
-                entries: taint_after.entries,
-            },
-            interner: ppchecker_nlp::Interner::global().stats(),
-            store: self
-                .store_summary()
-                .map(|after| after.delta_since(&store_before.unwrap_or_default())),
-        };
+        let metrics = probe.finish(self, jobs, records.len(), errors, stage_totals);
         BatchReport { records, metrics }
+    }
+
+    /// Runs the pipeline over the stream, handing each record to `sink`
+    /// in submission order *as it completes* instead of materializing a
+    /// record vector. Peak memory is `O(jobs + channel_depth)` apps and
+    /// records — constant in the stream length — which is what lets a
+    /// 100k–1M-app corpus run to completion in a fixed footprint.
+    ///
+    /// Everything else matches [`Engine::run`]: determinism (`jobs = 1`
+    /// and `jobs = 16` hand `sink` byte-identical record sequences),
+    /// fault isolation, store replay, cache accounting. The aggregate is
+    /// folded incrementally via [`AggregateSummary::accumulate`], so the
+    /// returned [`StreamSummary`] equals what `run(..).aggregate()` would
+    /// have produced.
+    ///
+    /// The producer half of the pipeline moves to a scoped thread, hence
+    /// the extra `I::IntoIter: Send` bound — satisfied by any generator
+    /// whose state is plain data (the corpus streamers, vectors, ranges).
+    pub fn run_streamed<I, S>(&self, apps: I, mut sink: S) -> StreamSummary
+    where
+        I: IntoIterator<Item = AppInput>,
+        I::IntoIter: Send,
+        S: FnMut(AppRecord),
+    {
+        let probe = MetricsProbe::begin(self);
+        let jobs = self.config.jobs.max(1);
+        let mut stage_totals = StageTimings::default();
+        let mut aggregate = AggregateSummary::default();
+        if jobs == 1 {
+            let mut queue = apps.into_iter().enumerate().peekable();
+            while let Some((index, app)) = queue.next() {
+                if let Some((_, next)) = queue.peek() {
+                    prefetch_app_input(next);
+                }
+                let (record, timings) = self.process_one(index, app);
+                stage_totals.accumulate(&timings);
+                aggregate.accumulate(&record);
+                sink(record);
+            }
+        } else {
+            scheduler::run_scoped_streamed(
+                apps,
+                jobs,
+                self.config.channel_depth,
+                |index, app| self.process_one(index, app),
+                &mut |_, (record, timings): (AppRecord, StageTimings)| {
+                    stage_totals.accumulate(&timings);
+                    aggregate.accumulate(&record);
+                    sink(record);
+                },
+            );
+        }
+        let metrics = probe.finish(self, jobs, aggregate.apps, aggregate.errors, stage_totals);
+        StreamSummary { aggregate, metrics }
     }
 
     fn run_serial<I>(&self, apps: I) -> Vec<(AppRecord, StageTimings)>
@@ -450,6 +461,104 @@ impl Engine {
     }
 }
 
+/// What a streamed run returns once the sink has seen every record: the
+/// incrementally folded aggregate plus the usual run metrics. Equivalent
+/// to a [`BatchReport`] minus the record vector.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Deterministic aggregate counts, folded record by record.
+    pub aggregate: AggregateSummary,
+    /// Run metrics (timings are measurements, counts are deterministic).
+    pub metrics: MetricsSummary,
+}
+
+/// The before-side snapshot of every counter a [`MetricsSummary`] is a
+/// delta over. Both run shapes ([`Engine::run`] and
+/// [`Engine::run_streamed`]) begin one and finish it, so the metrics
+/// accounting cannot drift between them.
+struct MetricsProbe {
+    started: Instant,
+    obs_before: Vec<(&'static str, ppchecker_obs::HistogramSnapshot)>,
+    policy_before: CacheStats,
+    taint_before: CacheStats,
+    store_before: Option<StoreSummary>,
+    esa_hits_before: u64,
+    esa_misses_before: u64,
+    pair_hits_before: u64,
+    pair_misses_before: u64,
+    pruned_before: u64,
+}
+
+impl MetricsProbe {
+    fn begin(engine: &Engine) -> Self {
+        let esa = Interpreter::shared();
+        let (esa_hits_before, esa_misses_before) = esa.vector_cache_stats();
+        let (pair_hits_before, pair_misses_before) = esa.pair_memo_stats();
+        MetricsProbe {
+            started: Instant::now(),
+            obs_before: ppchecker_obs::snapshot(),
+            policy_before: engine.cache.stats(),
+            taint_before: engine.cache.taint_summary_stats(),
+            store_before: engine.store_summary(),
+            esa_hits_before,
+            esa_misses_before,
+            pair_hits_before,
+            pair_misses_before,
+            pruned_before: esa.pruned_comparisons(),
+        }
+    }
+
+    fn finish(
+        self,
+        engine: &Engine,
+        jobs: usize,
+        apps: usize,
+        errors: usize,
+        stage_totals: StageTimings,
+    ) -> MetricsSummary {
+        let esa = Interpreter::shared();
+        let policy_after = engine.cache.stats();
+        let taint_after = engine.cache.taint_summary_stats();
+        let (esa_hits_after, esa_misses_after) = esa.vector_cache_stats();
+        let (pair_hits_after, pair_misses_after) = esa.pair_memo_stats();
+        let stage_quantiles = stage_quantiles_since(&self.obs_before);
+        MetricsSummary {
+            jobs,
+            apps,
+            errors,
+            lib_policies: engine.lib_policies,
+            wall_time: self.started.elapsed(),
+            stage_totals,
+            stage_quantiles,
+            policy_cache: CacheStats {
+                hits: policy_after.hits - self.policy_before.hits,
+                misses: policy_after.misses - self.policy_before.misses,
+                entries: policy_after.entries,
+            },
+            esa_cache: CacheStats {
+                hits: esa_hits_after - self.esa_hits_before,
+                misses: esa_misses_after - self.esa_misses_before,
+                entries: esa.vector_cache_len(),
+            },
+            esa_pair_memo: CacheStats {
+                hits: pair_hits_after - self.pair_hits_before,
+                misses: pair_misses_after - self.pair_misses_before,
+                entries: esa.pair_memo_len(),
+            },
+            esa_pruned: esa.pruned_comparisons() - self.pruned_before,
+            taint_summary_cache: CacheStats {
+                hits: taint_after.hits - self.taint_before.hits,
+                misses: taint_after.misses - self.taint_before.misses,
+                entries: taint_after.entries,
+            },
+            interner: ppchecker_nlp::Interner::global().stats(),
+            store: engine
+                .store_summary()
+                .map(|after| after.delta_since(&self.store_before.unwrap_or_default())),
+        }
+    }
+}
+
 /// The per-span distribution deltas since `before`, for every span that
 /// recorded during the run. Histograms are striped across threads;
 /// `snapshot()` merges the stripes, so a name's delta aggregates every
@@ -575,6 +684,48 @@ mod tests {
                 s.index
             );
         }
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_run() {
+        let engine = Engine::new(PPChecker::new()).with_jobs(4);
+        let materialized = engine.run(apps(30));
+        let mut streamed_records = Vec::new();
+        let summary = engine.run_streamed(apps(30), |record| streamed_records.push(record));
+        assert_eq!(summary.aggregate, materialized.aggregate());
+        assert_eq!(streamed_records.len(), materialized.records.len());
+        for (s, m) in streamed_records.iter().zip(materialized.records.iter()) {
+            assert_eq!(s.index, m.index);
+            assert_eq!(s.package, m.package);
+            assert_eq!(format!("{:?}", s.outcome), format!("{:?}", m.outcome));
+        }
+        assert_eq!(summary.metrics.apps, 30);
+    }
+
+    #[test]
+    fn streamed_run_is_jobs_invariant() {
+        let mut serial = Vec::new();
+        let serial_summary = Engine::new(PPChecker::new())
+            .with_jobs(1)
+            .run_streamed(apps(17), |r| serial.push(format!("{:?}", r.outcome)));
+        let mut parallel = Vec::new();
+        let parallel_summary = Engine::new(PPChecker::new())
+            .with_jobs(4)
+            .run_streamed(apps(17), |r| parallel.push(format!("{:?}", r.outcome)));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_summary.aggregate, parallel_summary.aggregate);
+    }
+
+    #[test]
+    fn streamed_run_replays_from_the_store() {
+        let (dir, store) = scratch_store("streamed");
+        let engine = Engine::new(PPChecker::new()).with_store(Arc::clone(&store)).with_jobs(2);
+        let cold = engine.run_streamed(apps(8), |_| {});
+        assert_eq!(cold.metrics.store.as_ref().expect("store metrics").apps_skipped, 0);
+        let warm = engine.run_streamed(apps(8), |_| {});
+        assert_eq!(warm.metrics.store.as_ref().expect("store metrics").apps_skipped, 8);
+        assert_eq!(cold.aggregate, warm.aggregate);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,12 +45,14 @@ pub mod cache;
 pub mod delta;
 pub mod engine;
 pub mod metrics;
+pub mod pipeline;
 pub mod report;
 pub mod scheduler;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use delta::{diff_batches, AppDelta, BatchDelta, DeltaKind, Verdict};
-pub use engine::{available_jobs, Engine, EngineConfig};
+pub use engine::{available_jobs, Engine, EngineConfig, StreamSummary};
 pub use metrics::{EngineSnapshot, MetricsSummary, StoreSummary};
+pub use pipeline::{sharded_stream, ShardedStream};
 pub use report::{AggregateSummary, AppOutcome, AppRecord, BatchReport};
 pub use scheduler::{AdmitError, AdmitTicket, PoolStats, WorkerPool};

@@ -72,6 +72,39 @@ pub struct AggregateSummary {
     pub inconsistencies: usize,
 }
 
+impl AggregateSummary {
+    /// Folds one record into the summary. [`BatchReport::aggregate`] is
+    /// this fold over a materialized record vector; a streaming consumer
+    /// ([`crate::Engine::run_streamed`]) applies it record by record so
+    /// the aggregate never requires the records to coexist in memory.
+    pub fn accumulate(&mut self, record: &AppRecord) {
+        self.apps += 1;
+        match &record.outcome {
+            AppOutcome::Error(_) => self.errors += 1,
+            AppOutcome::Report(r) => {
+                if !r.libs.is_empty() {
+                    self.with_libs += 1;
+                }
+                if r.is_incomplete() {
+                    self.incomplete += 1;
+                }
+                if r.is_incorrect() {
+                    self.incorrect += 1;
+                }
+                if r.is_inconsistent() {
+                    self.inconsistent += 1;
+                }
+                if r.has_any_problem() {
+                    self.problem_apps += 1;
+                }
+                self.missed_records += r.missed.len();
+                self.incorrect_findings += r.incorrect.len();
+                self.inconsistencies += r.inconsistencies.len();
+            }
+        }
+    }
+}
+
 impl fmt::Display for AggregateSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -106,31 +139,9 @@ pub struct BatchReport {
 impl BatchReport {
     /// Aggregates the records into deterministic counts.
     pub fn aggregate(&self) -> AggregateSummary {
-        let mut agg = AggregateSummary { apps: self.records.len(), ..AggregateSummary::default() };
+        let mut agg = AggregateSummary::default();
         for record in &self.records {
-            match &record.outcome {
-                AppOutcome::Error(_) => agg.errors += 1,
-                AppOutcome::Report(r) => {
-                    if !r.libs.is_empty() {
-                        agg.with_libs += 1;
-                    }
-                    if r.is_incomplete() {
-                        agg.incomplete += 1;
-                    }
-                    if r.is_incorrect() {
-                        agg.incorrect += 1;
-                    }
-                    if r.is_inconsistent() {
-                        agg.inconsistent += 1;
-                    }
-                    if r.has_any_problem() {
-                        agg.problem_apps += 1;
-                    }
-                    agg.missed_records += r.missed.len();
-                    agg.incorrect_findings += r.incorrect.len();
-                    agg.inconsistencies += r.inconsistencies.len();
-                }
-            }
+            agg.accumulate(record);
         }
         agg
     }

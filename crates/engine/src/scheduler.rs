@@ -83,6 +83,86 @@ where
     })
 }
 
+/// The streaming face of `run_scoped`: same worker topology, but results
+/// are handed to `emit` in submission order *while the run is still in
+/// flight*, and every channel is bounded. Nothing in this function holds
+/// more than `jobs + depth + result-bound` items at once, so memory stays
+/// constant no matter how long the input stream is — this is what lets a
+/// 100k–1M-app batch run without materializing either the corpus or the
+/// result vector.
+///
+/// The producer moves to a scoped thread (hence the `I::IntoIter: Send`
+/// bound) so the calling thread can drain results concurrently; workers
+/// push into a *bounded* result channel, so a slow `emit` back-pressures
+/// the workers instead of buffering the whole run. Out-of-order
+/// completions park in a reorder buffer whose size is capped by the
+/// in-flight bound.
+pub(crate) fn run_scoped_streamed<I, R, F, S>(
+    items: I,
+    jobs: usize,
+    depth: usize,
+    process: F,
+    emit: &mut S,
+) where
+    I: IntoIterator,
+    I::Item: Send,
+    I::IntoIter: Send,
+    R: Send,
+    F: Fn(usize, I::Item) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let depth = depth.max(1);
+    let (job_tx, job_rx) = mpsc::sync_channel::<(usize, I::Item)>(depth);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (result_tx, result_rx) = mpsc::sync_channel::<(usize, R)>(jobs + depth);
+
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let job_rx = Arc::clone(&job_rx);
+            let result_tx = result_tx.clone();
+            let process = &process;
+            scope.spawn(move || loop {
+                let wait = ppchecker_obs::span!("engine.queue_wait");
+                let job = job_rx.lock().expect("job queue lock").recv();
+                drop(wait);
+                match job {
+                    Ok((index, item)) => {
+                        if result_tx.send((index, process(index, item))).is_err() {
+                            break; // collector gone; shut down
+                        }
+                    }
+                    Err(_) => break, // producer done and queue drained
+                }
+            });
+        }
+        drop(result_tx);
+
+        let iter = items.into_iter();
+        scope.spawn(move || {
+            for job in iter.enumerate() {
+                if job_tx.send(job).is_err() {
+                    break; // all workers died; stop feeding
+                }
+            }
+            // job_tx drops here; workers see the disconnect once drained.
+        });
+
+        // In-order reassembly. `pending` can only hold results whose
+        // predecessors are still in flight, so it is bounded by the same
+        // in-flight cap as the channels.
+        let mut next = 0usize;
+        let mut pending: std::collections::BTreeMap<usize, R> = std::collections::BTreeMap::new();
+        for (index, result) in result_rx.iter() {
+            pending.insert(index, result);
+            while let Some(result) = pending.remove(&next) {
+                emit(next, result);
+                next += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "stream ended with a gap in indices");
+    });
+}
+
 /// A unit of resident work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -361,6 +441,42 @@ mod tests {
         let mut results = results;
         results.sort_unstable();
         assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streamed_emits_in_submission_order() {
+        let mut seen = Vec::new();
+        run_scoped_streamed(
+            0..1000usize,
+            4,
+            8,
+            |index, item| {
+                assert_eq!(index, item);
+                item * 3
+            },
+            &mut |index, result| seen.push((index, result)),
+        );
+        assert_eq!(seen.len(), 1000);
+        for (i, (index, result)) in seen.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*result, i * 3);
+        }
+    }
+
+    #[test]
+    fn streamed_survives_a_lazy_unsized_source() {
+        // An iterator with no usable size hint and more items than any
+        // channel bound; the run must still complete in order.
+        let source = (0..500usize).filter(|i| i % 2 == 0);
+        let mut count = 0usize;
+        let mut last = None;
+        run_scoped_streamed(source, 3, 2, |_, item| item, &mut |index, item| {
+            assert_eq!(index * 2, item);
+            last = Some(item);
+            count += 1;
+        });
+        assert_eq!(count, 250);
+        assert_eq!(last, Some(498));
     }
 
     #[test]

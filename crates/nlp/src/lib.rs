@@ -31,6 +31,7 @@ pub mod intern;
 pub mod lemma;
 pub mod lexicon;
 pub mod sentence;
+pub mod simd;
 pub mod tagger;
 pub mod token;
 pub mod tree;

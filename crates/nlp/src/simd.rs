@@ -1,0 +1,347 @@
+//! Runtime-dispatched SIMD byte-class scanners for the tokenizer.
+//!
+//! Tokenizing is the innermost text loop of the pipeline: every policy
+//! sentence, description sentence, and lib-policy sentence passes through
+//! [`crate::token::tokenize`], and at corpus scale that is millions of
+//! calls whose time is dominated by classifying bytes (word characters,
+//! whitespace). This module vectorizes the two classifying scans with
+//! `std::arch` x86 intrinsics behind one runtime dispatch decision,
+//! mirroring the idiom of the ESA kernel's `simd` module. The scalar
+//! loops stay as the always-available reference, and the vector paths
+//! return **exactly** the index the scalar predicate loop would — there
+//! is no numeric accumulation here, so equivalence is structural: both
+//! paths stop at the first byte outside the class.
+//!
+//! * [`word_end`] — advance past `[0-9A-Za-z_]` runs, 32 bytes (AVX2) or
+//!   16 bytes (SSE2) per step. Range membership is computed with the
+//!   unsigned `max/min + cmpeq` trick, so bytes ≥ 0x80 (which never
+//!   appear on the tokenizer's ASCII fast path, but keep the scanner
+//!   total) classify correctly as non-word.
+//! * [`skip_spaces`] — advance past ASCII whitespace. The class is the
+//!   ASCII subset of Unicode `White_Space` (`\t \n \x0B \x0C \r` and
+//!   space), matching `char::is_whitespace` on the fast path's domain.
+//!
+//! Dispatch is decided once per process: `PPCHECKER_NO_SIMD=1` forces
+//! the scalar reference, otherwise AVX2 when the CPU has it, then SSE2
+//! (x86-64 baseline), then scalar elsewhere. [`force_scalar`] is the
+//! test hook behind the differential suites.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Dispatch states for [`DISPATCH`].
+const UNDECIDED: u8 = 0;
+const SCALAR: u8 = 1;
+#[cfg(target_arch = "x86_64")]
+const SSE2: u8 = 2;
+#[cfg(target_arch = "x86_64")]
+const AVX2: u8 = 3;
+
+static DISPATCH: AtomicU8 = AtomicU8::new(UNDECIDED);
+
+/// Environment + CPUID detection, run once (or again after
+/// [`force_scalar`]`(false)`).
+fn detect() -> u8 {
+    let forced_off =
+        std::env::var("PPCHECKER_NO_SIMD").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    if forced_off {
+        return SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return AVX2;
+        }
+        SSE2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SCALAR
+}
+
+#[inline]
+fn dispatch() -> u8 {
+    match DISPATCH.load(Ordering::Relaxed) {
+        UNDECIDED => {
+            let level = detect();
+            DISPATCH.store(level, Ordering::Relaxed);
+            level
+        }
+        level => level,
+    }
+}
+
+/// `true` when a vector path (AVX2 or SSE2) is active.
+pub fn simd_active() -> bool {
+    dispatch() != SCALAR
+}
+
+/// Human-readable name of the active path (`"avx2"`, `"sse2"`,
+/// `"scalar"`), for bench and metrics labels.
+pub fn active_path() -> &'static str {
+    match dispatch() {
+        #[cfg(target_arch = "x86_64")]
+        AVX2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        SSE2 => "sse2",
+        _ => "scalar",
+    }
+}
+
+/// Forces the scalar reference path (`true`) or re-runs detection
+/// (`false`). Test hook — the differential suites flip this to compare
+/// both paths inside one process, which the env var (read once) cannot.
+pub fn force_scalar(on: bool) {
+    DISPATCH.store(if on { SCALAR } else { detect() }, Ordering::Relaxed);
+}
+
+/// Word-character class of the tokenizer's ASCII fast path:
+/// alphanumerics plus `_` (`char::is_alphanumeric || == '_'` restricted
+/// to ASCII).
+#[inline]
+pub fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// ASCII subset of Unicode `White_Space`: `\t \n \x0B \x0C \r` and
+/// space. (Note `u8::is_ascii_whitespace` excludes `\x0B`, which
+/// `char::is_whitespace` includes — the tokenizer's char path uses the
+/// latter, so the fast path must too.)
+#[inline]
+pub fn is_space_byte(b: u8) -> bool {
+    b == b' ' || (0x09..=0x0D).contains(&b)
+}
+
+fn word_end_scalar(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && is_word_byte(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+fn skip_spaces_scalar(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && is_space_byte(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Generates one x86 scanner: classify a full block per step (the
+/// closure returns a movemask with bit `k` set when lane `k` is *in* the
+/// class), stop at the first 0 bit, and finish the sub-block tail with
+/// the scalar reference loop.
+macro_rules! x86_scan {
+    ($name:ident, $feature:literal, $lanes:expr, $block_mask:expr, $scalar:ident) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = $feature)]
+        unsafe fn $name(bytes: &[u8], mut i: usize) -> usize {
+            const LANES: usize = $lanes;
+            const FULL: u32 = (u64::wrapping_shl(1, LANES as u32) - 1) as u32;
+            let n = bytes.len();
+            while i + LANES <= n {
+                // SAFETY: i + LANES <= n bounds the unaligned block load.
+                let mask: u32 = unsafe { $block_mask(bytes.as_ptr().add(i)) };
+                let misses = !mask & FULL;
+                if misses != 0 {
+                    return i + misses.trailing_zeros() as usize;
+                }
+                i += LANES;
+            }
+            $scalar(bytes, i)
+        }
+    };
+}
+
+x86_scan!(
+    word_end_avx2,
+    "avx2",
+    32,
+    |p: *const u8| {
+        use std::arch::x86_64::*;
+        let x = _mm256_loadu_si256(p as *const __m256i);
+        // Unsigned range test: lo <= x <= hi as max(x, lo) == x && min(x, hi) == x.
+        let in_range = |lo: u8, hi: u8| {
+            _mm256_and_si256(
+                _mm256_cmpeq_epi8(_mm256_max_epu8(x, _mm256_set1_epi8(lo as i8)), x),
+                _mm256_cmpeq_epi8(_mm256_min_epu8(x, _mm256_set1_epi8(hi as i8)), x),
+            )
+        };
+        let word = _mm256_or_si256(
+            _mm256_or_si256(in_range(b'0', b'9'), in_range(b'A', b'Z')),
+            _mm256_or_si256(
+                in_range(b'a', b'z'),
+                _mm256_cmpeq_epi8(x, _mm256_set1_epi8(b'_' as i8)),
+            ),
+        );
+        _mm256_movemask_epi8(word) as u32
+    },
+    word_end_scalar
+);
+
+x86_scan!(
+    word_end_sse2,
+    "sse2",
+    16,
+    |p: *const u8| {
+        use std::arch::x86_64::*;
+        let x = _mm_loadu_si128(p as *const __m128i);
+        let in_range = |lo: u8, hi: u8| {
+            _mm_and_si128(
+                _mm_cmpeq_epi8(_mm_max_epu8(x, _mm_set1_epi8(lo as i8)), x),
+                _mm_cmpeq_epi8(_mm_min_epu8(x, _mm_set1_epi8(hi as i8)), x),
+            )
+        };
+        let word = _mm_or_si128(
+            _mm_or_si128(in_range(b'0', b'9'), in_range(b'A', b'Z')),
+            _mm_or_si128(in_range(b'a', b'z'), _mm_cmpeq_epi8(x, _mm_set1_epi8(b'_' as i8))),
+        );
+        _mm_movemask_epi8(word) as u32
+    },
+    word_end_scalar
+);
+
+x86_scan!(
+    skip_spaces_avx2,
+    "avx2",
+    32,
+    |p: *const u8| {
+        use std::arch::x86_64::*;
+        let x = _mm256_loadu_si256(p as *const __m256i);
+        let ctl = _mm256_and_si256(
+            _mm256_cmpeq_epi8(_mm256_max_epu8(x, _mm256_set1_epi8(0x09)), x),
+            _mm256_cmpeq_epi8(_mm256_min_epu8(x, _mm256_set1_epi8(0x0D)), x),
+        );
+        let ws = _mm256_or_si256(ctl, _mm256_cmpeq_epi8(x, _mm256_set1_epi8(b' ' as i8)));
+        _mm256_movemask_epi8(ws) as u32
+    },
+    skip_spaces_scalar
+);
+
+x86_scan!(
+    skip_spaces_sse2,
+    "sse2",
+    16,
+    |p: *const u8| {
+        use std::arch::x86_64::*;
+        let x = _mm_loadu_si128(p as *const __m128i);
+        let ctl = _mm_and_si128(
+            _mm_cmpeq_epi8(_mm_max_epu8(x, _mm_set1_epi8(0x09)), x),
+            _mm_cmpeq_epi8(_mm_min_epu8(x, _mm_set1_epi8(0x0D)), x),
+        );
+        let ws = _mm_or_si128(ctl, _mm_cmpeq_epi8(x, _mm_set1_epi8(b' ' as i8)));
+        _mm_movemask_epi8(ws) as u32
+    },
+    skip_spaces_scalar
+);
+
+/// First index `>= from` whose byte is **not** a word character
+/// (`[0-9A-Za-z_]`), or `bytes.len()`.
+#[inline]
+pub fn word_end(bytes: &[u8], from: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: dispatch() returns AVX2/SSE2 only after the CPUID
+        // check in detect() proved the feature is present.
+        match dispatch() {
+            AVX2 => return unsafe { word_end_avx2(bytes, from) },
+            SSE2 => return unsafe { word_end_sse2(bytes, from) },
+            _ => {}
+        }
+    }
+    word_end_scalar(bytes, from)
+}
+
+/// First index `>= from` whose byte is **not** ASCII whitespace (see
+/// [`is_space_byte`]), or `bytes.len()`.
+#[inline]
+pub fn skip_spaces(bytes: &[u8], from: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: as in `word_end`.
+        match dispatch() {
+            AVX2 => return unsafe { skip_spaces_avx2(bytes, from) },
+            SSE2 => return unsafe { skip_spaces_sse2(bytes, from) },
+            _ => {}
+        }
+    }
+    skip_spaces_scalar(bytes, from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seed-deterministic xorshift (no rand dependency in unit tests).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            self.0 = x;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d049bb133111eb);
+            x ^ (x >> 31)
+        }
+    }
+
+    #[test]
+    fn scanners_match_scalar_on_random_bytes() {
+        let mut rng = Rng(29);
+        for case in 0..500u64 {
+            let len = (rng.next() % 200) as usize;
+            // Bias towards class bytes so runs actually span blocks; keep
+            // some bytes >= 0x80 to prove the unsigned range tests hold.
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| match rng.next() % 10 {
+                    0..=5 => b"aZ0_ \t"[(rng.next() % 6) as usize],
+                    6 => (rng.next() % 256) as u8,
+                    7 => 0x0B,
+                    _ => b'.',
+                })
+                .collect();
+            for from in [0, len / 2, len] {
+                assert_eq!(
+                    word_end(&bytes, from),
+                    word_end_scalar(&bytes, from),
+                    "case {case} from {from} path {}",
+                    active_path()
+                );
+                assert_eq!(
+                    skip_spaces(&bytes, from),
+                    skip_spaces_scalar(&bytes, from),
+                    "case {case} from {from} path {}",
+                    active_path()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_scalar_matches_detected_path() {
+        let bytes = b"alpha_42 beta\tgamma-delta...".to_vec();
+        let auto = (word_end(&bytes, 0), skip_spaces(&bytes, 8));
+        force_scalar(true);
+        assert_eq!(active_path(), "scalar");
+        let forced = (word_end(&bytes, 0), skip_spaces(&bytes, 8));
+        force_scalar(false);
+        assert_eq!(auto, forced);
+        assert_eq!(auto.0, 8, "word run ends at the space");
+        assert_eq!(auto.1, 9, "one space skipped");
+    }
+
+    #[test]
+    fn long_runs_cross_block_boundaries() {
+        let word: Vec<u8> = std::iter::repeat_n(b'x', 100).chain([b' ']).collect();
+        assert_eq!(word_end(&word, 0), 100);
+        let spaces: Vec<u8> = std::iter::repeat_n(b' ', 77).chain([b'q']).collect();
+        assert_eq!(skip_spaces(&spaces, 0), 77);
+    }
+
+    #[test]
+    fn class_predicates_match_char_semantics_on_ascii() {
+        for b in 0u8..128 {
+            let c = b as char;
+            assert_eq!(is_word_byte(b), c.is_alphanumeric() || c == '_', "byte {b:#x}");
+            assert_eq!(is_space_byte(b), c.is_whitespace(), "byte {b:#x}");
+        }
+    }
+}

@@ -149,8 +149,23 @@ impl Token {
     pub fn new(text: &str, start: usize) -> Self {
         let text_sym = intern(text);
         // Policy sentences are normalized to lowercase upstream, so the
-        // common case needs no second allocation or interner probe.
-        let lower = if text.chars().any(|c| c.is_uppercase()) {
+        // common case needs no second allocation or interner probe; and
+        // mixed-case ASCII tokens (most of the rest) lowercase in a
+        // stack buffer instead of a heap String.
+        let lower = if text.is_ascii() {
+            if text.bytes().any(|b| b.is_ascii_uppercase()) {
+                let mut buf = [0u8; 64];
+                if let Some(buf) = buf.get_mut(..text.len()) {
+                    buf.copy_from_slice(text.as_bytes());
+                    buf.make_ascii_lowercase();
+                    intern(std::str::from_utf8(buf).expect("ascii stays utf-8"))
+                } else {
+                    intern(&text.to_ascii_lowercase())
+                }
+            } else {
+                text_sym
+            }
+        } else if text.chars().any(|c| c.is_uppercase()) {
             intern(&text.to_lowercase())
         } else {
             text_sym
@@ -207,6 +222,97 @@ impl fmt::Display for Token {
 /// ```
 pub fn tokenize(sentence: &str) -> Vec<Token> {
     let _span = ppchecker_obs::span!("nlp.tokenize");
+    if sentence.is_ascii() {
+        // Almost all pipeline text is ASCII: scan bytes directly with
+        // the SIMD classifiers — no per-sentence `Vec<(usize, char)>`.
+        tokenize_ascii(sentence)
+    } else {
+        tokenize_chars(sentence)
+    }
+}
+
+/// Byte-at-a-time tokenizer for ASCII input, structurally mirroring
+/// [`tokenize_chars`] (every branch corresponds one-to-one; the
+/// differential tests assert identical output on arbitrary ASCII). Word
+/// runs and whitespace runs advance through [`crate::simd`]'s
+/// block-classifying scanners.
+fn tokenize_ascii(sentence: &str) -> Vec<Token> {
+    use crate::simd::{is_space_byte, is_word_byte, skip_spaces, word_end};
+    let bytes = sentence.as_bytes();
+    let n = bytes.len();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let start = i;
+        let c = bytes[i];
+        if is_space_byte(c) {
+            i = skip_spaces(bytes, i + 1);
+            continue;
+        }
+        if is_word_byte(c) {
+            let mut j = i;
+            loop {
+                j = word_end(bytes, j);
+                if j >= n {
+                    break;
+                }
+                let cj = bytes[j];
+                let next = bytes.get(j + 1).copied();
+                if (cj == b'-' || cj == b'/')
+                    && next.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'/')
+                {
+                    // Keep hyphens and URI slashes inside a token
+                    // (e.g. "third-party", "content://contacts").
+                    j += 1;
+                } else if cj == b':' && next == Some(b'/') && bytes.get(j + 2) == Some(&b'/') {
+                    // URI scheme separator: "content://".
+                    j += 1;
+                } else if cj == b'.'
+                    && next.is_some_and(|c| c.is_ascii_alphanumeric())
+                    && word_so_far_is_dotted(&sentence[start..j])
+                {
+                    // Dotted identifiers like package names: com.example.app
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            // Split trailing "n't" / "'s" style contractions.
+            push_word(&mut tokens, &sentence[start..j], start);
+            i = j;
+        } else if c == b'\'' && i + 1 < n {
+            // Apostrophe beginning a contraction suffix: 's, 't, 're, 'll...
+            let mut j = i + 1;
+            while j < n && bytes[j].is_ascii_alphanumeric() {
+                j += 1;
+            }
+            let suffix = &sentence[start..j];
+            // "don't"/"won't": move the "n" from the previous token so the
+            // negation surfaces as the Penn-style "n't" token.
+            if suffix == "'t"
+                && tokens.last().is_some_and(|t| t.lower().ends_with('n') && t.lower().len() > 1)
+            {
+                let prev = tokens.pop().expect("checked non-empty");
+                let prev_text = prev.text();
+                let keep_len = prev_text.len() - 1;
+                let prev_start = prev.start;
+                tokens.push(Token::new(&prev_text[..keep_len], prev_start));
+                tokens.push(Token::new("n't", prev_start + keep_len));
+            } else {
+                tokens.push(Token::new(suffix, start));
+            }
+            i = j;
+        } else {
+            tokens.push(Token::new(&sentence[start..start + 1], start));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Char-at-a-time reference tokenizer, used for non-ASCII input (and as
+/// the differential baseline for [`tokenize_ascii`]).
+fn tokenize_chars(sentence: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     // (byte offset, char) pairs — all slicing below happens on char
     // boundaries.
@@ -297,14 +403,20 @@ fn word_so_far_is_dotted(prefix: &str) -> bool {
 }
 
 fn push_word(tokens: &mut Vec<Token>, word: &str, start: usize) {
-    let lower = word.to_lowercase();
-    if let Some(stem) = lower.strip_suffix("n't") {
-        if !stem.is_empty() {
-            let keep = &word[..word.len() - 3];
-            tokens.push(Token::new(keep, start));
-            tokens.push(Token::new(&word[word.len() - 3..], start + keep.len()));
-            return;
-        }
+    // Case-insensitive "n't" suffix with a non-empty stem. The only
+    // chars that lowercase to 'n', '\'', 't' are their ASCII case pairs,
+    // so the byte test is equivalent to lowercasing the whole word —
+    // without allocating the lowercase copy on every word.
+    let b = word.as_bytes();
+    let has_nt = b.len() > 3
+        && b[b.len() - 3].eq_ignore_ascii_case(&b'n')
+        && b[b.len() - 2] == b'\''
+        && b[b.len() - 1].eq_ignore_ascii_case(&b't');
+    if has_nt {
+        let keep = &word[..word.len() - 3];
+        tokens.push(Token::new(keep, start));
+        tokens.push(Token::new(&word[word.len() - 3..], start + keep.len()));
+        return;
     }
     tokens.push(Token::new(word, start));
 }
@@ -383,5 +495,71 @@ mod tests {
         assert_eq!(Tag::Noun.to_string(), "NN");
         let t = Token::new("Data", 0);
         assert_eq!(t.to_string(), "Data/X");
+    }
+
+    #[test]
+    fn non_ascii_input_takes_the_char_path() {
+        let toks = tokenize("données privées — café");
+        let words: Vec<&str> = toks.iter().map(|t| t.text()).collect();
+        assert_eq!(words, ["données", "privées", "—", "café"]);
+    }
+
+    #[test]
+    fn long_token_lowercases_without_stack_buffer() {
+        let long: String = "AbC".repeat(40);
+        let t = Token::new(&long, 0);
+        assert_eq!(t.lower(), long.to_lowercase());
+    }
+
+    fn assert_paths_agree(sentence: &str) {
+        let fast = tokenize_ascii(sentence);
+        let reference = tokenize_chars(sentence);
+        let view = |ts: &[Token]| -> Vec<(String, usize)> {
+            ts.iter().map(|t| (t.text().to_string(), t.start)).collect()
+        };
+        assert_eq!(view(&fast), view(&reference), "paths diverge on {sentence:?}");
+        crate::simd::force_scalar(true);
+        let scalar = tokenize_ascii(sentence);
+        crate::simd::force_scalar(false);
+        assert_eq!(view(&fast), view(&scalar), "simd diverges on {sentence:?}");
+    }
+
+    #[test]
+    fn ascii_fast_path_matches_char_path_on_fixtures() {
+        for s in [
+            "",
+            "   \t\n ",
+            "We don't sell your e-mail address.",
+            "query content://com.android.calendar now",
+            "we won't share; they can't either, isn't it, 'tis",
+            "visit https://example.com/a/b?q=1 or www.example.org today",
+            "a_b __ c-d- e--f g-/h i:/j k://l 3.14 v1.2.3 com.example.app.",
+            "don't DON'T DoN't n't 'n't won'tn't",
+            "'s 're 'll ''' 'a1 x' trailing'",
+            "punct!@#$%^&*()[]{}|\\<>~`+=",
+        ] {
+            assert_paths_agree(s);
+        }
+    }
+
+    #[test]
+    fn ascii_fast_path_matches_char_path_on_random_text() {
+        // Seed-deterministic xorshift over a token-shaped alphabet.
+        let mut state = 41u64;
+        let mut next = move || {
+            let mut x = state.wrapping_add(0x9e3779b97f4a7c15);
+            state = x;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            x ^ (x >> 31)
+        };
+        const ALPHABET: &[u8] = b"abcNT '.-/:_09\t,;!?n't";
+        for _ in 0..400 {
+            let len = (next() % 60) as usize;
+            let s: String =
+                (0..len).map(|_| ALPHABET[(next() as usize) % ALPHABET.len()] as char).collect();
+            assert_paths_agree(&s);
+        }
     }
 }

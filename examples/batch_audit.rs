@@ -28,11 +28,10 @@ fn main() {
     export_dataset(&dir, &dataset, n).expect("export corpus");
 
     let jobs = available_jobs();
-    let (serial, _) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, ..BatchOptions::default() })
-            .expect("serial batch");
+    let (serial, _) = run_batch(&BatchOptions { jobs: 1, ..BatchOptions::for_corpus_dir(&dir) })
+        .expect("serial batch");
     let (parallel, metrics) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs, ..BatchOptions::default() })
+        run_batch(&BatchOptions { jobs, ..BatchOptions::for_corpus_dir(&dir) })
             .expect("parallel batch");
 
     assert_eq!(serial, parallel, "record streams must be byte-identical");

@@ -88,11 +88,9 @@ fn batch_cli_records_are_jobs_invariant_over_exported_corpus() {
     export_dataset(&dir, &dataset, 12).unwrap();
 
     let (serial, _) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 1, ..BatchOptions::default() })
-            .unwrap();
+        run_batch(&BatchOptions { jobs: 1, ..BatchOptions::for_corpus_dir(&dir) }).unwrap();
     let (parallel, _) =
-        run_batch(&BatchOptions { corpus_dir: dir.clone(), jobs: 8, ..BatchOptions::default() })
-            .unwrap();
+        run_batch(&BatchOptions { jobs: 8, ..BatchOptions::for_corpus_dir(&dir) }).unwrap();
     assert_eq!(serial, parallel, "JSONL output must be byte-identical");
     assert_eq!(serial.lines().count(), 13, "12 records + 1 aggregate line");
     let _ = std::fs::remove_dir_all(&dir);

@@ -16,10 +16,9 @@ fn batch_trace_is_balanced_valid_json_with_stable_stage_names() {
     let trace_path = dir.join("trace.json");
 
     let (records, metrics) = run_batch(&BatchOptions {
-        corpus_dir: dir.clone(),
         jobs: 4,
         trace: Some(trace_path.clone()),
-        ..BatchOptions::default()
+        ..BatchOptions::for_corpus_dir(&dir)
     })
     .unwrap();
     assert_eq!(records.lines().count(), 51, "50 records + 1 aggregate line");
