@@ -42,7 +42,7 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| {
             let mut flagged = 0usize;
             for app in &dataset.apps {
-                let r = checker.check(black_box(&app.input)).unwrap();
+                let r = checker.check_app(black_box(&app.input)).unwrap();
                 if r.missed_via_description().count() > 0 {
                     flagged += 1;
                 }
@@ -65,7 +65,7 @@ fn bench_fig13(c: &mut Criterion) {
         b.iter(|| {
             let mut records = 0usize;
             for app in &slice {
-                let r = checker.check(black_box(&app.input)).unwrap();
+                let r = checker.check_app(black_box(&app.input)).unwrap();
                 records += r.missed_via_code().count();
             }
             records
@@ -86,7 +86,7 @@ fn bench_table4(c: &mut Criterion) {
         b.iter(|| {
             let mut conflicts = 0usize;
             for app in &slice {
-                let r = checker.check(black_box(&app.input)).unwrap();
+                let r = checker.check_app(black_box(&app.input)).unwrap();
                 conflicts += r.inconsistencies.len();
             }
             conflicts

@@ -66,7 +66,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let checker = PPChecker::new();
     let app = sample_app();
     let mut g = c.benchmark_group("end_to_end");
-    g.bench_function("check_one_app", |b| b.iter(|| checker.check(black_box(&app)).unwrap()));
+    g.bench_function("check_one_app", |b| b.iter(|| checker.check_app(black_box(&app)).unwrap()));
     g.finish();
 }
 

@@ -2,7 +2,7 @@
 //! descriptions (2 apps) and through code (4 confirmed apps + 2
 //! context-caused false positives).
 
-use ppchecker_core::{Channel, CheckRequest};
+use ppchecker_core::Channel;
 use ppchecker_corpus::{evaluate, paper_dataset};
 
 fn main() {
@@ -20,8 +20,7 @@ fn main() {
     println!("\n== flagged apps ==");
     let checker = dataset.make_checker();
     for app in &dataset.apps {
-        let report =
-            checker.check(CheckRequest::for_app(&app.input)).expect("corpus analyzes cleanly");
+        let report = checker.check_app(&app.input).expect("corpus analyzes cleanly");
         if report.is_incorrect() {
             let confirmed = if app.spec.truth.incorrect { "TP" } else { "FP" };
             for f in &report.incorrect {

@@ -3,7 +3,7 @@
 //! detection quality moves on a corpus slice containing both genuine
 //! conflicts and the generic-"information" false-positive bait.
 
-use ppchecker_core::{CheckRequest, PPChecker};
+use ppchecker_core::PPChecker;
 use ppchecker_corpus::small_dataset;
 
 fn main() {
@@ -31,8 +31,7 @@ fn main() {
             if is_true {
                 truth_total += 1;
             }
-            let report =
-                checker.check(CheckRequest::for_app(&app.input)).expect("corpus analyzes cleanly");
+            let report = checker.check_app(&app.input).expect("corpus analyzes cleanly");
             if report.is_inconsistent() {
                 flagged += 1;
                 if is_true {

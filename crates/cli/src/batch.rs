@@ -30,7 +30,9 @@
 use crate::json::{escape_into, report_to_json_into};
 use crate::{manifest_text, CliError};
 use ppchecker_apk::{packer, Apk};
-use ppchecker_core::{AppInput, PPChecker};
+use ppchecker_core::{
+    AppInput, BoilerplateIndex, DataSafetyLabel, DetectorId, DetectorRegistry, PPChecker,
+};
 use ppchecker_corpus::{stream_scaled_sharded, DatasetManifest};
 use ppchecker_engine::{available_jobs, AggregateSummary, AppRecord, Engine};
 use ppchecker_store::Store;
@@ -75,6 +77,11 @@ pub struct BatchOptions {
     /// the skip counts). Composes with every source, including streamed
     /// generation.
     pub store: Option<PathBuf>,
+    /// Detector selection (`--detectors`); `None` runs the paper's
+    /// default registry. The selection folds into the checker's
+    /// configuration fingerprint, so store records keyed under one
+    /// detector set never replay under another.
+    pub detectors: Option<Vec<DetectorId>>,
 }
 
 impl Default for BatchOptions {
@@ -84,6 +91,7 @@ impl Default for BatchOptions {
             jobs: available_jobs(),
             trace: None,
             store: None,
+            detectors: None,
         }
     }
 }
@@ -94,6 +102,29 @@ impl BatchOptions {
         BatchOptions { source: BatchSource::CorpusDir(dir.into()), ..BatchOptions::default() }
     }
 }
+
+/// Builds the batch checker: the default paper registry, or — under a
+/// `--detectors` selection — a registry restricted to exactly those
+/// detectors, with a boilerplate index attached when that detector is
+/// selected (corpus-wide near-duplicate detection needs the shared
+/// index).
+fn build_checker(detectors: Option<&[DetectorId]>) -> PPChecker {
+    match detectors {
+        None => PPChecker::new(),
+        Some(ids) => {
+            let mut checker = PPChecker::new().with_registry(DetectorRegistry::with_ids(ids));
+            if ids.contains(&DetectorId::Boilerplate) {
+                checker = checker
+                    .with_boilerplate_index(Arc::new(BoilerplateIndex::new(BOILERPLATE_THRESHOLD)));
+            }
+            checker
+        }
+    }
+}
+
+/// Default near-duplicate similarity threshold for `--detectors
+/// boilerplate` runs (estimated Jaccard over 3-token shingles).
+pub const BOILERPLATE_THRESHOLD: f64 = 0.8;
 
 /// The built-in 81 third-party lib policies as `(id, html)` pairs — the
 /// lib corpus used when apps are generated rather than loaded from disk.
@@ -134,11 +165,26 @@ pub fn load_app_dir(dir: &Path) -> Result<AppInput, CliError> {
         Apk::from_packed_blob(manifest, blob)
     };
 
+    // Optional Data-Safety declarations: one label per line.
+    let labels_path = dir.join("labels.txt");
+    let labels = if labels_path.exists() {
+        let mut labels = Vec::new();
+        for line in read("labels.txt")?.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            labels.push(DataSafetyLabel::parse(line).ok_or_else(|| {
+                CliError(format!("{}/labels.txt: unknown label {line:?}", dir.display()))
+            })?);
+        }
+        labels
+    } else {
+        Vec::new()
+    };
+
     Ok(AppInput {
         package,
         policy_html: read("policy.html")?,
         description: read("description.txt")?,
         apk,
+        labels,
     })
 }
 
@@ -233,8 +279,9 @@ pub fn render_batch(
     libs: Vec<(String, String)>,
     jobs: usize,
     store: Option<Arc<Store>>,
+    detectors: Option<&[DetectorId]>,
 ) -> (String, String) {
-    let mut engine = Engine::with_lib_policies(PPChecker::new(), libs).with_jobs(jobs);
+    let mut engine = Engine::with_lib_policies(build_checker(detectors), libs).with_jobs(jobs);
     if let Some(store) = store {
         engine = engine.with_store(store);
     }
@@ -255,6 +302,7 @@ fn stream_batch_to<I>(
     apps: I,
     jobs: usize,
     store: Option<Arc<Store>>,
+    detectors: Option<&[DetectorId]>,
     out: &mut dyn io::Write,
 ) -> Result<String, CliError>
 where
@@ -262,7 +310,7 @@ where
     I::IntoIter: Send,
 {
     let mut engine =
-        Engine::with_lib_policies(PPChecker::new(), builtin_lib_policies()).with_jobs(jobs);
+        Engine::with_lib_policies(build_checker(detectors), builtin_lib_policies()).with_jobs(jobs);
     if let Some(store) = store {
         engine = engine.with_store(store);
     }
@@ -321,21 +369,28 @@ pub fn run_batch_to(opts: &BatchOptions, out: &mut dyn io::Write) -> Result<Stri
     let metrics = match &opts.source {
         BatchSource::CorpusDir(dir) => {
             let (apps, libs) = load_corpus(dir)?;
-            let (records, metrics) = render_batch(apps, libs, jobs, store.clone());
+            let (records, metrics) =
+                render_batch(apps, libs, jobs, store.clone(), opts.detectors.as_deref());
             out.write_all(records.as_bytes())
                 .map_err(|e| CliError(format!("writing batch output: {e}")))?;
             metrics
         }
         BatchSource::Stream { n, seed, shards } => {
             let apps = stream_scaled_sharded(*seed, *n, *shards).map(|g| g.input);
-            stream_batch_to(apps, jobs, store.clone(), out)?
+            stream_batch_to(apps, jobs, store.clone(), opts.detectors.as_deref(), out)?
         }
         BatchSource::Manifest(path) => {
             let text = fs::read_to_string(path)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
             let manifest = DatasetManifest::parse(&text)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
-            stream_batch_to(manifest.apps().map(|g| g.input), jobs, store.clone(), out)?
+            stream_batch_to(
+                manifest.apps().map(|g| g.input),
+                jobs,
+                store.clone(),
+                opts.detectors.as_deref(),
+                out,
+            )?
         }
     };
 
@@ -459,6 +514,40 @@ mod tests {
         assert_eq!(cold_records, warm_records, "aggregate reports must be byte-identical");
         assert!(warm_metrics.contains("store: 8 apps skipped"), "metrics:\n{warm_metrics}");
         assert!(store_dir.join("ppstore.index").exists(), "index flushed after the run");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detector_selection_folds_into_the_store_key() {
+        let dir = temp_dir("detector-keying");
+        write_corpus(&dir, 4, None);
+        let store_dir = dir.join(".ppstore");
+        let default_opts = BatchOptions {
+            jobs: 2,
+            store: Some(store_dir.clone()),
+            ..BatchOptions::for_corpus_dir(&dir)
+        };
+        let (_, cold_metrics) = run_batch(&default_opts).unwrap();
+        assert!(cold_metrics.contains("store: 0 apps skipped"), "metrics:\n{cold_metrics}");
+
+        // A different detector set must never replay records keyed under
+        // the default registry: the selection folds into the checker's
+        // configuration fingerprint, so every app re-analyzes.
+        let selected_opts = BatchOptions {
+            jobs: 2,
+            store: Some(store_dir.clone()),
+            detectors: Some(vec![DetectorId::Incomplete]),
+            ..BatchOptions::for_corpus_dir(&dir)
+        };
+        let (_, selected_metrics) = run_batch(&selected_opts).unwrap();
+        assert!(
+            selected_metrics.contains("store: 0 apps skipped"),
+            "detector selection must re-key the store:\n{selected_metrics}"
+        );
+
+        // Re-running the same selection replays its own records.
+        let (_, warm_metrics) = run_batch(&selected_opts).unwrap();
+        assert!(warm_metrics.contains("store: 4 apps skipped"), "metrics:\n{warm_metrics}");
         let _ = fs::remove_dir_all(&dir);
     }
 

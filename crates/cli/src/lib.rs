@@ -7,10 +7,11 @@
 //! ppchecker check --policy policy.html --description desc.txt \
 //!                 --manifest manifest.txt --dex app.dex \
 //!                 [--lib-policy ID=policy.html]... [--suggest] \
-//!                 [--synonyms] [--constraints]
+//!                 [--synonyms] [--constraints] [--detectors IDS]
 //! ppchecker batch (--corpus <dir> | --stream N | --manifest <file>) \
 //!                 [--seed N] [--shards N] [--jobs N] \
-//!                 [--out results.jsonl] [--trace trace.json] [--store <dir>]
+//!                 [--out results.jsonl] [--trace trace.json] [--store <dir>] \
+//!                 [--detectors IDS]
 //! ppchecker trace-check <trace.json>  # validate a batch --trace file
 //! ppchecker policy <policy.html>      # inspect the six-step analysis
 //! ppchecker pack <dex.txt> <out.pkdx> # pack a dex (packer demo)
@@ -19,7 +20,7 @@
 //! ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] \
 //!                 [--workers N] [--queue-depth N] [--corpus <dir>] \
 //!                 [--stream N] [--seed N] [--manifest <file>] \
-//!                 [--store <dir>]
+//!                 [--store <dir>] [--detectors IDS]
 //! ```
 //!
 //! The dex file uses the textual serialization of
@@ -35,7 +36,7 @@ pub use batch::{builtin_lib_policies, run_batch, run_batch_to, BatchOptions, Bat
 pub use serve::{parse_serve_args, run_serve, ServeOptions};
 
 use ppchecker_apk::{packer, Apk};
-use ppchecker_core::{suggest_fixes, AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{suggest_fixes, AppInput, DetectorId, PPChecker};
 use ppchecker_policy::{PolicyAnalyzer, VerbCategory};
 use std::fmt::Write as _;
 
@@ -90,6 +91,32 @@ pub struct CheckOptions {
     pub constraints: bool,
     /// Emit JSON instead of the human-readable report.
     pub json: bool,
+    /// Detector selection (`--detectors`); `None` runs the checker's
+    /// full registry.
+    pub detectors: Option<Vec<DetectorId>>,
+}
+
+/// Parses a `--detectors` value: comma-separated detector ids.
+///
+/// # Errors
+///
+/// Returns [`CliError`] naming the unknown id and listing every
+/// registered id.
+pub fn parse_detectors(value: &str) -> Result<Vec<DetectorId>, CliError> {
+    let mut ids = Vec::new();
+    for name in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let id = DetectorId::parse(name).ok_or_else(|| {
+            let registered: Vec<&str> = DetectorId::ALL.iter().map(|d| d.as_str()).collect();
+            CliError(format!("unknown detector {name:?} (registered: {})", registered.join(", ")))
+        })?;
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return Err(CliError("--detectors requires at least one detector id".to_string()));
+    }
+    Ok(ids)
 }
 
 /// Runs a `check` and renders the report to a string.
@@ -107,6 +134,7 @@ pub fn run_check(opts: &CheckOptions) -> Result<String, CliError> {
         policy_html: opts.policy_html.clone(),
         description: opts.description.clone(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
 
     let mut analyzer = PolicyAnalyzer::new();
@@ -117,11 +145,20 @@ pub fn run_check(opts: &CheckOptions) -> Result<String, CliError> {
         analyzer = analyzer.with_constraint_modeling();
     }
     let mut checker = PPChecker::new().with_analyzer(analyzer);
+    if opts.detectors.is_some() {
+        // An explicit selection runs against the full registry, so ids
+        // beyond the paper's three resolve.
+        checker = checker.with_registry(ppchecker_core::DetectorRegistry::full());
+    }
     for (id, html) in &opts.lib_policies {
         checker.register_lib_policy(id, html);
     }
 
-    let report = checker.check(CheckRequest::for_app(&app)).map_err(|e| CliError(e.to_string()))?;
+    let mut request = ppchecker_core::CheckRequest::builder(&app);
+    if let Some(ids) = &opts.detectors {
+        request = request.detectors(ids);
+    }
+    let report = checker.check(request.build()).map_err(|e| CliError(e.to_string()))?;
     if opts.json {
         return Ok(format!("{}\n", json::report_to_json(&report)));
     }
@@ -256,6 +293,34 @@ mod tests {
         let a = ppchecker_apk::packer::deserialize(assets::DEX).unwrap();
         let b = ppchecker_apk::packer::deserialize(&text).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detectors_flag_rejects_unknown_ids_with_a_listing() {
+        let err = parse_detectors("incomplete,bogus").unwrap_err();
+        assert!(err.0.contains("unknown detector \"bogus\""), "{err}");
+        for id in DetectorId::ALL {
+            assert!(err.0.contains(id.as_str()), "listing missing {id}: {err}");
+        }
+        assert!(parse_detectors(" , ").is_err());
+        let ids = parse_detectors("purpose, purpose ,incomplete").unwrap();
+        assert_eq!(ids, vec![DetectorId::Purpose, DetectorId::Incomplete]);
+    }
+
+    #[test]
+    fn check_accepts_an_explicit_detector_selection() {
+        let out = run_check(&CheckOptions {
+            policy_html: assets::POLICY.to_string(),
+            description: assets::DESCRIPTION.to_string(),
+            manifest_text: assets::MANIFEST.to_string(),
+            dex_text: assets::DEX.to_string(),
+            detectors: Some(vec![DetectorId::Incorrect]),
+            ..CheckOptions::default()
+        })
+        .unwrap();
+        // The incomplete detector was deselected, so its findings vanish
+        // even though the demo app's policy is incomplete by default.
+        assert!(out.contains("incomplete: false"), "selection output:\n{out}");
     }
 
     #[test]

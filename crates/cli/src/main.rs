@@ -1,8 +1,8 @@
 //! The `ppchecker` binary. See [`ppchecker_cli`] for the command surface.
 
 use ppchecker_cli::{
-    parse_serve_args, run_batch_to, run_check, run_demo, run_pack, run_policy, run_serve,
-    run_trace_check, run_unpack, BatchOptions, BatchSource, CheckOptions, CliError,
+    parse_detectors, parse_serve_args, run_batch_to, run_check, run_demo, run_pack, run_policy,
+    run_serve, run_trace_check, run_unpack, BatchOptions, BatchSource, CheckOptions, CliError,
 };
 use ppchecker_engine::available_jobs;
 use std::fs;
@@ -16,10 +16,10 @@ USAGE:
   ppchecker check --policy <policy.html> --description <desc.txt> \\
                   --manifest <manifest.txt> --dex <app.dex> \\
                   [--lib-policy ID=policy.html]... [--suggest] \\
-                  [--synonyms] [--constraints] [--json]
+                  [--synonyms] [--constraints] [--json] [--detectors IDS]
   ppchecker batch (--corpus <dir> | --stream N | --manifest <file>) \\
                   [--seed N] [--shards N] [--jobs N] [--out results.jsonl] \\
-                  [--trace trace.json] [--store <dir>]
+                  [--trace trace.json] [--store <dir>] [--detectors IDS]
   ppchecker trace-check <trace.json>
   ppchecker policy <policy.html>
   ppchecker pack <dex.txt> <out.pkdx> [--key N]
@@ -27,7 +27,10 @@ USAGE:
   ppchecker demo
   ppchecker serve [--addr HOST:PORT] [--jsonl-addr HOST:PORT] [--workers N] \\
                   [--queue-depth N] [--max-body-bytes N] [--corpus <dir>] \\
-                  [--store <dir>]
+                  [--store <dir>] [--detectors IDS]
+
+  --detectors takes a comma-separated detector selection, e.g.
+  incomplete,incorrect,inconsistent,data-safety,purpose,boilerplate.
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +130,9 @@ fn batch(args: &[String]) -> Result<String, CliError> {
     if let Some(dir) = flag_value(args, "--store") {
         opts.store = Some(dir.into());
     }
+    if let Some(ids) = flag_value(args, "--detectors") {
+        opts.detectors = Some(parse_detectors(ids)?);
+    }
 
     // The record stream is deterministic (stdout or --out stays
     // byte-stable across runs and job counts); the timing summary goes
@@ -171,6 +177,9 @@ fn check(args: &[String]) -> Result<String, CliError> {
         json: args.iter().any(|a| a == "--json"),
         ..CheckOptions::default()
     };
+    if let Some(ids) = flag_value(args, "--detectors") {
+        opts.detectors = Some(parse_detectors(ids)?);
+    }
     for (i, a) in args.iter().enumerate() {
         if a == "--lib-policy" {
             let spec =

@@ -1,9 +1,9 @@
 //! The `ppchecker serve` subcommand: boot the resident daemon over a
 //! warm engine and block until it drains.
 
-use crate::batch::{builtin_lib_policies, load_corpus};
-use crate::CliError;
-use ppchecker_core::PPChecker;
+use crate::batch::{builtin_lib_policies, load_corpus, BOILERPLATE_THRESHOLD};
+use crate::{parse_detectors, CliError};
+use ppchecker_core::{BoilerplateIndex, DetectorId, DetectorRegistry, PPChecker};
 use ppchecker_corpus::{stream_scaled_sharded, DatasetManifest};
 use ppchecker_engine::{available_jobs, Engine};
 use ppchecker_serve::{install_sigterm_handler, ServeConfig, Server};
@@ -35,6 +35,9 @@ pub struct ServeOptions {
     /// (previously analyzed policies, lib summaries, and reports replay
     /// from disk) and keeps persisting as it serves.
     pub store_dir: Option<PathBuf>,
+    /// Detector selection (`--detectors`); `None` serves the paper's
+    /// default registry.
+    pub detectors: Option<Vec<DetectorId>>,
 }
 
 impl Default for ServeOptions {
@@ -46,6 +49,7 @@ impl Default for ServeOptions {
             seed: 42,
             manifest: None,
             store_dir: None,
+            detectors: None,
         }
     }
 }
@@ -101,6 +105,9 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
     if let Some(dir) = flag_value("--store") {
         opts.store_dir = Some(PathBuf::from(dir));
     }
+    if let Some(ids) = flag_value("--detectors") {
+        opts.detectors = Some(parse_detectors(ids)?);
+    }
     Ok(opts)
 }
 
@@ -112,7 +119,18 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, CliError> {
 /// Returns [`CliError`] when the corpus fails to load or a listen
 /// address cannot be bound.
 pub fn run_serve(opts: ServeOptions) -> Result<String, CliError> {
-    let checker = PPChecker::new();
+    let mut checker = PPChecker::new();
+    if let Some(ids) = &opts.detectors {
+        checker = checker.with_registry(DetectorRegistry::with_ids(ids));
+        if ids.contains(&DetectorId::Boilerplate) {
+            checker = checker
+                .with_boilerplate_index(Arc::new(BoilerplateIndex::new(BOILERPLATE_THRESHOLD)));
+        }
+        eprintln!(
+            "serve: detectors {}",
+            ids.iter().map(|d| d.as_str()).collect::<Vec<_>>().join(",")
+        );
+    }
     let warm_boot = opts.stream.is_some() || opts.manifest.is_some();
     let mut engine = match &opts.corpus_dir {
         Some(dir) => {
@@ -232,6 +250,18 @@ mod tests {
         assert!(parse_serve_args(&args(&["--queue-depth", "lots"])).is_err());
         assert!(parse_serve_args(&args(&["--stream", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--seed", "nope"])).is_err());
+    }
+
+    #[test]
+    fn detectors_flag_parses_and_rejects_unknown_ids() {
+        let opts = parse_serve_args(&args(&["--detectors", "incomplete,boilerplate"])).unwrap();
+        assert_eq!(
+            opts.detectors.as_deref(),
+            Some(&[DetectorId::Incomplete, DetectorId::Boilerplate][..])
+        );
+        let err = parse_serve_args(&args(&["--detectors", "nosuch"])).unwrap_err();
+        assert!(err.0.contains("unknown detector"), "{err}");
+        assert!(err.0.contains("boilerplate"), "listing includes registered ids: {err}");
     }
 
     #[test]

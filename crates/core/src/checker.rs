@@ -1,11 +1,10 @@
 //! The PPChecker orchestrator: wires the policy, description, and static
 //! analysis modules through the problem-identification algorithms.
 
+use crate::detector::{DataSafetyLabel, DetectorCtx, DetectorId, DetectorRegistry};
 use crate::error::Error;
-use crate::incomplete;
-use crate::inconsistent;
-use crate::incorrect;
 use crate::matcher::Matcher;
+use crate::minhash::BoilerplateIndex;
 use crate::problems::Report;
 use ppchecker_apk::{Apk, ParseDexError};
 use ppchecker_desc::analyze_description_with;
@@ -20,7 +19,8 @@ use std::time::Duration;
 
 /// Everything PPChecker needs about one app: the policy, the description,
 /// and the APK (Fig. 4's inputs; third-party lib policies are registered
-/// on the checker itself).
+/// on the checker itself), plus the optional structured Data-Safety
+/// label declarations the successor-literature detector cross-checks.
 #[derive(Debug, Clone)]
 pub struct AppInput {
     /// Package name, e.g. `com.dooing.dooing`.
@@ -31,6 +31,26 @@ pub struct AppInput {
     pub description: String,
     /// The APK.
     pub apk: Apk,
+    /// Structured Data-Safety label declarations. Empty for apps that
+    /// declare none (the `data-safety` detector then declines to run).
+    pub labels: Vec<DataSafetyLabel>,
+}
+
+impl AppInput {
+    /// A stable fingerprint of the label declarations (0 when none are
+    /// declared). Batch stores fold this into the per-app report key so
+    /// editing an app's labels invalidates its stored report.
+    pub fn labels_fingerprint(&self) -> u64 {
+        if self.labels.is_empty() {
+            return 0;
+        }
+        let parts: Vec<u64> = self
+            .labels
+            .iter()
+            .map(|l| ppchecker_store::content_hash(l.info.canonical_phrase().as_bytes()))
+            .collect();
+        ppchecker_store::combine_hashes(&parts)
+    }
 }
 
 /// Error from a full check.
@@ -96,73 +116,107 @@ impl StageTimings {
 /// runtimes pass their content-addressed cache here).
 type PolicyProvider<'a> = Box<dyn FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis> + 'a>;
 
-/// A built-up request for one [`PPChecker::check`] call.
+/// A built request for one [`PPChecker::check`] call.
 ///
-/// `check` accepts anything convertible into a request, so the plain
-/// form stays a one-liner — `checker.check(&app)` — while extras chain
-/// off the builder:
+/// Built through [`CheckRequest::builder`]; the plain form stays a
+/// one-liner via [`PPChecker::check_app`]. Extras chain off the
+/// builder:
 ///
 /// ```no_run
 /// # use ppchecker_core::{AppInput, CheckRequest, PPChecker};
 /// # use std::sync::Arc;
 /// # fn demo(checker: &PPChecker, app: &AppInput) -> Result<(), ppchecker_core::Error> {
 /// let outcome = checker.check(
-///     CheckRequest::for_app(app)
-///         .with_policy_provider(|analyzer, html| Arc::new(analyzer.analyze_html(html)))
-///         .capture_timings(),
+///     CheckRequest::builder(app)
+///         .policy_provider(|analyzer, html| Arc::new(analyzer.analyze_html(html)))
+///         .capture_timings()
+///         .build(),
 /// )?;
 /// println!("{} in {:?}", outcome.report.package, outcome.timings.unwrap().total());
 /// # Ok(())
 /// # }
 /// ```
+///
+/// `#[non_exhaustive]`: requests grow knobs across revisions; build
+/// them only through the builder.
+#[non_exhaustive]
 pub struct CheckRequest<'a> {
     app: &'a AppInput,
     provide_policy: Option<PolicyProvider<'a>>,
     capture_timings: bool,
     capture_trace: bool,
+    detectors: Option<Vec<DetectorId>>,
 }
 
 impl<'a> CheckRequest<'a> {
-    /// A plain request: default policy analysis, no captures.
-    pub fn for_app(app: &'a AppInput) -> Self {
-        CheckRequest { app, provide_policy: None, capture_timings: false, capture_trace: false }
-    }
-
-    /// Plugs in a policy-analysis source. Batch runtimes pass a
-    /// content-addressed cache so duplicate policy texts (and the fixed
-    /// set of third-party lib policies) are parsed once per run; the
-    /// default calls [`PolicyAnalyzer::analyze_html`].
-    pub fn with_policy_provider<F>(mut self, provide_policy: F) -> Self
-    where
-        F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis> + 'a,
-    {
-        self.provide_policy = Some(Box::new(provide_policy));
-        self
-    }
-
-    /// Asks for per-stage wall time in [`CheckOutcome::timings`]. A
-    /// cached policy analysis shows up as a near-zero `policy` stage.
-    pub fn capture_timings(mut self) -> Self {
-        self.capture_timings = true;
-        self
-    }
-
-    /// Asks for the executed stage spans (name + duration, in execution
-    /// order) in [`CheckOutcome::trace`].
-    pub fn capture_trace(mut self) -> Self {
-        self.capture_trace = true;
-        self
+    /// Starts a request for one app. Defaults: the checker's own policy
+    /// analysis, no captures, every registered detector.
+    pub fn builder(app: &'a AppInput) -> CheckRequestBuilder<'a> {
+        CheckRequestBuilder {
+            request: CheckRequest {
+                app,
+                provide_policy: None,
+                capture_timings: false,
+                capture_trace: false,
+                detectors: None,
+            },
+        }
     }
 
     /// The app under check.
     pub fn app(&self) -> &AppInput {
         self.app
     }
+
+    /// The requested detector selection; `None` means every registered
+    /// detector.
+    pub fn detectors(&self) -> Option<&[DetectorId]> {
+        self.detectors.as_deref()
+    }
 }
 
-impl<'a> From<&'a AppInput> for CheckRequest<'a> {
-    fn from(app: &'a AppInput) -> Self {
-        CheckRequest::for_app(app)
+/// Builder for [`CheckRequest`] (see [`CheckRequest::builder`]).
+pub struct CheckRequestBuilder<'a> {
+    request: CheckRequest<'a>,
+}
+
+impl<'a> CheckRequestBuilder<'a> {
+    /// Plugs in a policy-analysis source. Batch runtimes pass a
+    /// content-addressed cache so duplicate policy texts (and the fixed
+    /// set of third-party lib policies) are parsed once per run; the
+    /// default calls [`PolicyAnalyzer::analyze_html`].
+    pub fn policy_provider<F>(mut self, provide_policy: F) -> Self
+    where
+        F: FnOnce(&PolicyAnalyzer, &str) -> Arc<PolicyAnalysis> + 'a,
+    {
+        self.request.provide_policy = Some(Box::new(provide_policy));
+        self
+    }
+
+    /// Asks for per-stage wall time in [`CheckOutcome::timings`]. A
+    /// cached policy analysis shows up as a near-zero `policy` stage.
+    pub fn capture_timings(mut self) -> Self {
+        self.request.capture_timings = true;
+        self
+    }
+
+    /// Asks for the executed stage spans (name + duration, in execution
+    /// order) in [`CheckOutcome::trace`].
+    pub fn capture_trace(mut self) -> Self {
+        self.request.capture_trace = true;
+        self
+    }
+
+    /// Restricts this check to the given detectors (they must also be
+    /// registered on the checker; selection never adds detectors).
+    pub fn detectors(mut self, ids: &[DetectorId]) -> Self {
+        self.request.detectors = Some(ids.to_vec());
+        self
+    }
+
+    /// Finishes the request.
+    pub fn build(self) -> CheckRequest<'a> {
+        self.request
     }
 }
 
@@ -173,6 +227,7 @@ impl fmt::Debug for CheckRequest<'_> {
             .field("custom_policy_provider", &self.provide_policy.is_some())
             .field("capture_timings", &self.capture_timings)
             .field("capture_trace", &self.capture_trace)
+            .field("detectors", &self.detectors)
             .finish()
     }
 }
@@ -197,10 +252,10 @@ pub struct CheckOutcome {
     /// The problem report (Algorithms 1–5).
     pub report: Report,
     /// Per-stage wall time, when the request
-    /// [asked for it](CheckRequest::capture_timings).
+    /// [asked for it](CheckRequestBuilder::capture_timings).
     pub timings: Option<StageTimings>,
     /// Executed stage spans in order, when the request
-    /// [asked for them](CheckRequest::capture_trace).
+    /// [asked for them](CheckRequestBuilder::capture_trace).
     pub trace: Option<Vec<StageSpan>>,
 }
 
@@ -264,8 +319,9 @@ impl fmt::Display for CheckOutcome {
 ///     policy_html: "<p>We collect your email address.</p>".into(),
 ///     description: "Accurate weather for your location.".into(),
 ///     apk: Apk::new(manifest, dex),
+///     labels: Vec::new(),
 /// };
-/// let report = PPChecker::new().check(&app)?;
+/// let report = PPChecker::new().check_app(&app)?;
 /// assert!(report.is_incomplete()); // location is collected but never mentioned
 /// # Ok::<(), ppchecker_core::Error>(())
 /// ```
@@ -276,6 +332,8 @@ pub struct PPChecker {
     lib_policies: HashMap<String, PolicyAnalysis>,
     static_options: AnalysisOptions,
     taint_cache: Option<Arc<TaintSummaryCache>>,
+    registry: DetectorRegistry,
+    boilerplate: Option<Arc<BoilerplateIndex>>,
 }
 
 impl Default for PPChecker {
@@ -285,7 +343,8 @@ impl Default for PPChecker {
 }
 
 impl PPChecker {
-    /// A checker with the default policy analyzer and ESA interpreter.
+    /// A checker with the default policy analyzer, ESA interpreter, and
+    /// detector registry (the paper's three detectors).
     pub fn new() -> Self {
         PPChecker {
             analyzer: PolicyAnalyzer::new(),
@@ -293,6 +352,8 @@ impl PPChecker {
             lib_policies: HashMap::new(),
             static_options: AnalysisOptions::default(),
             taint_cache: None,
+            registry: DetectorRegistry::paper(),
+            boilerplate: None,
         }
     }
 
@@ -324,6 +385,31 @@ impl PPChecker {
         self
     }
 
+    /// Replaces the detector registry outright (for custom detectors;
+    /// to select among the built-ins use [`with_detectors`](Self::with_detectors)).
+    pub fn with_registry(mut self, registry: DetectorRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Runs exactly these built-in detectors.
+    pub fn with_detectors(mut self, ids: &[DetectorId]) -> Self {
+        self.registry = DetectorRegistry::with_ids(ids);
+        self
+    }
+
+    /// Attaches the corpus-wide near-duplicate index the `boilerplate`
+    /// detector probes. Batch runtimes share one index across the run.
+    pub fn with_boilerplate_index(mut self, index: Arc<BoilerplateIndex>) -> Self {
+        self.boilerplate = Some(index);
+        self
+    }
+
+    /// The detector registry in use.
+    pub fn registry(&self) -> &DetectorRegistry {
+        &self.registry
+    }
+
     /// Registers a third-party lib's privacy policy (HTML) under its id.
     pub fn register_lib_policy(&mut self, lib_id: &str, policy_html: &str) {
         let analysis = self.analyzer.analyze_html(policy_html);
@@ -347,19 +433,30 @@ impl PPChecker {
         &self.analyzer
     }
 
-    /// Runs the complete PPChecker pipeline on one app.
-    ///
-    /// Accepts anything convertible into a [`CheckRequest`]: pass
-    /// `&app` for the plain pipeline, or build a request to plug in a
-    /// policy provider and capture timings or the stage trace.
+    /// Runs the complete PPChecker pipeline on one app with the default
+    /// request (see [`check`](Self::check) for the configurable form).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Check`] (wrapping [`CheckError::Dex`]) when a
     /// packed dex cannot be recovered.
-    pub fn check<'a>(&self, request: impl Into<CheckRequest<'a>>) -> Result<CheckOutcome, Error> {
-        let request = request.into();
-        let (report, timings) = self.run_pipeline(request.app, request.provide_policy)?;
+    pub fn check_app(&self, app: &AppInput) -> Result<CheckOutcome, Error> {
+        self.check(CheckRequest::builder(app).build())
+    }
+
+    /// Runs the complete PPChecker pipeline on one app, as configured by
+    /// the request (built via [`CheckRequest::builder`]): policy
+    /// provider, timing/trace capture, and detector selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Check`] (wrapping [`CheckError::Dex`]) when a
+    /// packed dex cannot be recovered.
+    pub fn check(&self, request: CheckRequest<'_>) -> Result<CheckOutcome, Error> {
+        // Resolve the detector set while the request is still whole —
+        // `applies` sees the full request, including the app's labels.
+        let active = self.registry.active_ids(&request);
+        let (report, timings) = self.run_pipeline(request.app, request.provide_policy, &active)?;
         Ok(CheckOutcome {
             report,
             timings: request.capture_timings.then_some(timings),
@@ -387,6 +484,11 @@ impl PPChecker {
             self.matcher.threshold().to_bits(),
             u64::from(self.static_options.reachability),
             u64::from(self.static_options.uri_analysis),
+            self.registry.fingerprint(),
+            match &self.boilerplate {
+                Some(index) => index.threshold().to_bits(),
+                None => 0,
+            },
         ];
         let mut libs: Vec<(&String, &PolicyAnalysis)> = self.lib_policies.iter().collect();
         libs.sort_by_key(|(id, _)| id.as_str());
@@ -406,6 +508,7 @@ impl PPChecker {
         &self,
         app: &AppInput,
         provide_policy: Option<PolicyProvider<'_>>,
+        active: &[DetectorId],
     ) -> Result<(Report, StageTimings), CheckError> {
         // One app, one arena: everything the detectors bump-allocate below
         // dies here, and the capacity stays warm for this worker thread's
@@ -429,19 +532,22 @@ impl PPChecker {
         timings.static_analysis = span.finish();
 
         let span = SpanGuard::timed("check.matching");
-        let report = self.identify_problems(app, &policy, &desc, &code);
+        let report = self.identify_problems(app, &policy, &desc, &code, active);
         timings.matching = span.finish();
 
         Ok((report, timings))
     }
 
-    /// Algorithms 1–5 over already-analyzed inputs.
+    /// The detector registry over already-analyzed inputs. The paper
+    /// detectors (Algorithms 1–5) fold into the classic report vectors;
+    /// successor-literature findings land in [`Report::findings`].
     fn identify_problems(
         &self,
         app: &AppInput,
         policy: &PolicyAnalysis,
         desc: &ppchecker_desc::DescriptionAnalysis,
         code: &ppchecker_static::StaticReport,
+        active: &[DetectorId],
     ) -> Report {
         let mut report = Report {
             package: app.package.clone(),
@@ -449,26 +555,16 @@ impl PPChecker {
             libs: code.libs.iter().map(|l| l.id.to_string()).collect(),
             ..Report::default()
         };
-
-        // Incomplete (Algorithms 1–2). Information found through both
-        // channels is reported once per channel, as the paper counts them
-        // separately (64 via description, 180 via code).
-        report.missed.extend(incomplete::via_description(policy, desc, &self.matcher));
-        report.missed.extend(incomplete::via_code(policy, code, &app.apk.manifest, &self.matcher));
-
-        // Incorrect (Algorithms 3–4).
-        report.incorrect.extend(incorrect::via_description(policy, desc, &self.matcher));
-        report.incorrect.extend(incorrect::via_code(policy, code, &self.matcher));
-
-        // Inconsistent (Algorithm 5) against the registered policies of
-        // the libs actually embedded in this app.
-        let libs: Vec<(&str, &PolicyAnalysis)> = code
-            .libs
-            .iter()
-            .filter_map(|l| self.lib_policies.get(l.id).map(|p| (l.id, p)))
-            .collect();
-        report.inconsistencies = inconsistent::check_all(policy, libs, &self.matcher);
-
+        let ctx = DetectorCtx {
+            app,
+            policy,
+            desc,
+            code,
+            matcher: &self.matcher,
+            lib_policies: &self.lib_policies,
+            boilerplate: self.boilerplate.as_deref(),
+        };
+        report.absorb_findings(self.registry.run(&ctx, active));
         report
     }
 }
@@ -503,6 +599,7 @@ mod tests {
             policy_html: format!("<html><body><p>{policy}</p></body></html>"),
             description: "Accurate weather forecast for your current location.".to_string(),
             apk: Apk::new(manifest, dex),
+            labels: Vec::new(),
         }
     }
 
@@ -512,14 +609,14 @@ mod tests {
             "We may collect your location to show the forecast. \
              We may also collect your device id.",
         );
-        let report = PPChecker::new().check(&app).unwrap();
+        let report = PPChecker::new().check_app(&app).unwrap();
         assert!(!report.has_any_problem(), "unexpected: {report}");
     }
 
     #[test]
     fn incomplete_app_detected_through_both_channels() {
         let app = weather_app("We collect your email address.");
-        let report = PPChecker::new().check(&app).unwrap();
+        let report = PPChecker::new().check_app(&app).unwrap();
         assert!(report.is_incomplete());
         assert!(report.missed_via_description().count() >= 1);
         assert!(report.missed_via_code().count() >= 1);
@@ -528,7 +625,7 @@ mod tests {
     #[test]
     fn incorrect_app_detected() {
         let app = weather_app("We will not collect your location information.");
-        let report = PPChecker::new().check(&app).unwrap();
+        let report = PPChecker::new().check_app(&app).unwrap();
         assert!(report.is_incorrect());
     }
 
@@ -537,14 +634,14 @@ mod tests {
         let app = weather_app("We may collect your location. We do not collect your device id.");
         let mut checker = PPChecker::new();
         // Without the lib policy: no inconsistency possible.
-        let r1 = checker.check(&app).unwrap();
+        let r1 = checker.check_app(&app).unwrap();
         assert!(!r1.is_inconsistent());
         // With unity3d's policy declaring device-id collection: conflict.
         checker.register_lib_policy(
             "unityads",
             "<p>We may collect your device id and advertising identifier.</p>",
         );
-        let r2 = checker.check(&app).unwrap();
+        let r2 = checker.check_app(&app).unwrap();
         assert!(r2.is_inconsistent());
         assert_eq!(r2.inconsistencies[0].lib_id, "unityads");
     }
@@ -552,7 +649,7 @@ mod tests {
     #[test]
     fn report_lists_embedded_libs() {
         let app = weather_app("We may collect your location and your device id.");
-        let report = PPChecker::new().check(&app).unwrap();
+        let report = PPChecker::new().check_app(&app).unwrap();
         assert!(report.libs.contains(&"unityads".to_string()));
     }
 
@@ -573,10 +670,14 @@ mod tests {
         let cached = Arc::new(checker.analyzer().analyze_html(&app.policy_html));
         let mut called = false;
         let outcome = checker
-            .check(CheckRequest::for_app(&app).with_policy_provider(|_, _| {
-                called = true;
-                Arc::clone(&cached)
-            }))
+            .check(
+                CheckRequest::builder(&app)
+                    .policy_provider(|_, _| {
+                        called = true;
+                        Arc::clone(&cached)
+                    })
+                    .build(),
+            )
             .unwrap();
         assert!(called);
         assert!(outcome.is_incomplete());
@@ -607,7 +708,7 @@ mod tests {
     #[test]
     fn plain_request_captures_nothing() {
         let app = weather_app("We collect your email address.");
-        let outcome = PPChecker::new().check(&app).unwrap();
+        let outcome = PPChecker::new().check_app(&app).unwrap();
         assert!(outcome.timings.is_none());
         assert!(outcome.trace.is_none());
         // Deref keeps the old read patterns working.
@@ -622,10 +723,11 @@ mod tests {
         let cached = Arc::new(checker.analyzer().analyze_html(&app.policy_html));
         let outcome = checker
             .check(
-                CheckRequest::for_app(&app)
-                    .with_policy_provider(|_, _| Arc::clone(&cached))
+                CheckRequest::builder(&app)
+                    .policy_provider(|_, _| Arc::clone(&cached))
                     .capture_timings()
-                    .capture_trace(),
+                    .capture_trace()
+                    .build(),
             )
             .unwrap();
         let timings = outcome.timings.expect("timings requested");
@@ -642,10 +744,119 @@ mod tests {
     fn builder_outcome_matches_plain_check() {
         let app = weather_app("We will not collect your location information.");
         let checker = PPChecker::new();
-        let plain = checker.check(&app).unwrap();
-        let built = checker.check(CheckRequest::for_app(&app).capture_timings()).unwrap();
+        let plain = checker.check_app(&app).unwrap();
+        let built = checker.check(CheckRequest::builder(&app).capture_timings().build()).unwrap();
         assert_eq!(format!("{plain}"), format!("{built}"));
         assert_eq!(plain.report.incorrect.len(), built.report.incorrect.len());
+    }
+
+    #[test]
+    fn data_safety_detector_cross_checks_labels() {
+        use crate::detector::{DataSafetyKind, FindingPayload};
+        let mut app = weather_app("We may collect your location to show the forecast.");
+        // Declared: device id (which neither code nor policy backs).
+        // Undeclared: location (which code collects, permission-gated).
+        app.labels = vec![DataSafetyLabel::new(ppchecker_apk::PrivateInfo::DeviceId)];
+        let checker = PPChecker::new().with_detectors(DetectorId::ALL);
+        let report = checker.check_app(&app).unwrap();
+        let kinds: Vec<_> = report
+            .findings
+            .iter()
+            .filter_map(|f| match &f.payload {
+                FindingPayload::DataSafety(d) => Some((d.info, d.kind)),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&(
+            ppchecker_apk::PrivateInfo::Location,
+            DataSafetyKind::LabelOmitsCollection
+        )));
+        assert!(kinds
+            .contains(&(ppchecker_apk::PrivateInfo::DeviceId, DataSafetyKind::PolicyOmitsLabel)));
+    }
+
+    #[test]
+    fn data_safety_detector_declines_label_free_apps() {
+        let app = weather_app("We collect your email address.");
+        let checker = PPChecker::new().with_detectors(DetectorId::ALL);
+        let report = checker.check_app(&app).unwrap();
+        assert_eq!(report.detector_findings(DetectorId::DataSafety), 0);
+    }
+
+    #[test]
+    fn purpose_detector_flags_contradicted_exclusive_claim() {
+        use crate::detector::{FindingPayload, PurposeKind};
+        // weather_app embeds unityads (an ad lib); the exclusive
+        // functionality claim is contradicted by it.
+        let app = weather_app(
+            "We may collect your location and your device id \
+             only to provide app functionality.",
+        );
+        let checker = PPChecker::new().with_detectors(DetectorId::ALL);
+        let report = checker.check_app(&app).unwrap();
+        let purpose: Vec<_> = report
+            .findings
+            .iter()
+            .filter_map(|f| match &f.payload {
+                FindingPayload::Purpose(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(purpose.len(), 1, "{report}");
+        assert_eq!(purpose[0].kind, PurposeKind::Contradicted { lib_id: "unityads".into() });
+    }
+
+    #[test]
+    fn boilerplate_detector_flags_second_member_of_a_family() {
+        let index = Arc::new(BoilerplateIndex::new(0.8));
+        let checker = PPChecker::new()
+            .with_detectors(DetectorId::ALL)
+            .with_boilerplate_index(Arc::clone(&index));
+        let text = "We may collect your location to show the forecast. \
+                    We may also collect your device id. \
+                    We retain nothing longer than needed and never sell your data. \
+                    We may share aggregate statistics with partners who help us run the service. \
+                    You can request deletion of your account data at any time. \
+                    Changes to this policy will be announced inside the application.";
+        let a = weather_app(text);
+        let mut b = weather_app(&format!("{text} This revision applies to channel three."));
+        b.package = "com.example.weather2".into();
+        assert_eq!(checker.check_app(&a).unwrap().detector_findings(DetectorId::Boilerplate), 0);
+        let report = checker.check_app(&b).unwrap();
+        assert_eq!(report.detector_findings(DetectorId::Boilerplate), 1, "{report}");
+    }
+
+    #[test]
+    fn request_detector_selection_restricts_the_run() {
+        let app = weather_app("We will not collect your location information.");
+        let checker = PPChecker::new().with_detectors(DetectorId::ALL);
+        let full = checker.check_app(&app).unwrap();
+        assert!(full.is_incorrect());
+        let only_incomplete = checker
+            .check(CheckRequest::builder(&app).detectors(&[DetectorId::Incomplete]).build())
+            .unwrap();
+        assert!(!only_incomplete.is_incorrect());
+        assert_eq!(only_incomplete.missed.len(), full.missed.len());
+    }
+
+    #[test]
+    fn default_registry_ignores_labels_and_emits_no_extended_findings() {
+        let mut app = weather_app("We collect your email address.");
+        app.labels = vec![DataSafetyLabel::new(ppchecker_apk::PrivateInfo::DeviceId)];
+        let report = PPChecker::new().check_app(&app).unwrap();
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_registry_and_boilerplate() {
+        let base = PPChecker::new().config_fingerprint();
+        assert_ne!(base, PPChecker::new().with_detectors(DetectorId::ALL).config_fingerprint());
+        assert_ne!(
+            base,
+            PPChecker::new()
+                .with_boilerplate_index(Arc::new(BoilerplateIndex::new(0.8)))
+                .config_fingerprint()
+        );
     }
 
     #[test]
@@ -655,7 +866,7 @@ mod tests {
             app.apk.manifest.clone(),
             b"PKDX\x01not a payload".to_vec(),
         );
-        let err = PPChecker::new().check(&app).unwrap_err();
+        let err = PPChecker::new().check_app(&app).unwrap_err();
         assert_eq!(err.stage(), crate::error::Stage::StaticAnalysis);
         assert!(err.to_string().contains("static analysis failed"), "{err}");
     }

@@ -19,21 +19,32 @@
 //! See [`PPChecker`] for the end-to-end entry point.
 
 pub mod checker;
+pub mod detector;
 pub mod error;
 pub mod incomplete;
 pub mod inconsistent;
 pub mod incorrect;
 pub mod matcher;
+pub mod minhash;
 pub mod problems;
 pub(crate) mod scratch;
 pub mod suggest;
 pub mod wire;
 
 pub use checker::{
-    AppInput, CheckError, CheckOutcome, CheckRequest, PPChecker, StageSpan, StageTimings,
+    AppInput, CheckError, CheckOutcome, CheckRequest, CheckRequestBuilder, PPChecker, StageSpan,
+    StageTimings,
+};
+pub use detector::{
+    BoilerplateFinding, DataSafetyFinding, DataSafetyKind, DataSafetyLabel, Detector, DetectorCtx,
+    DetectorId, DetectorRegistry, Finding, FindingPayload, PurposeFinding, PurposeKind,
 };
 pub use error::{Error, Stage};
+// Part of `PurposeFinding`'s public shape; re-exported so downstream
+// crates can name it without a direct ppchecker-policy dependency.
 pub use matcher::Matcher;
+pub use minhash::BoilerplateIndex;
+pub use ppchecker_policy::Purpose;
 pub use problems::{Channel, Inconsistency, IncorrectFinding, MissedInfo, Report};
 pub use suggest::{describe_leak, suggest_fixes, EditKind, Suggestion};
 pub use wire::{decode_report, encode_report};

@@ -1,0 +1,311 @@
+//! Shingled MinHash over interned policy token streams: the similarity
+//! kernel behind the `boilerplate` detector.
+//!
+//! A policy is reduced to the set of its k-token shingles (k = 3) over
+//! the interned token stream of its extracted text. The MinHash
+//! signature — the minimum of each of [`SIGNATURE_LEN`] independent
+//! hash permutations over that set — estimates Jaccard similarity as
+//! the fraction of equal signature slots, which is what
+//! [`exact_jaccard`] computes exactly for the differential tests.
+//!
+//! [`BoilerplateIndex`] holds one signature per policy *family*
+//! representative and answers probes through MinHash-LSH banding
+//! ([`BANDS`] bands of `SIGNATURE_LEN / BANDS` rows), so indexing a
+//! corpus stays near-linear: a probe only compares full signatures
+//! against candidates sharing at least one band, which near-duplicates
+//! almost surely do and unrelated policies almost surely do not.
+
+use ppchecker_nlp::intern::{intern, Symbol};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hashes per signature.
+pub const SIGNATURE_LEN: usize = 64;
+/// Tokens per shingle.
+pub const SHINGLE_K: usize = 3;
+/// LSH bands (each of `SIGNATURE_LEN / BANDS` rows).
+pub const BANDS: usize = 16;
+
+/// A MinHash signature.
+pub type Signature = [u64; SIGNATURE_LEN];
+
+/// splitmix64: cheap, well-mixed, and stable across platforms.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Lowercases, splits on non-alphanumeric boundaries, and interns the
+/// token stream of one policy's extracted text.
+pub fn policy_tokens(policy_html: &str) -> Vec<Symbol> {
+    let text = ppchecker_policy::html::extract_text(policy_html);
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            word.extend(ch.to_lowercase());
+        } else if !word.is_empty() {
+            tokens.push(intern(&word));
+            word.clear();
+        }
+    }
+    if !word.is_empty() {
+        tokens.push(intern(&word));
+    }
+    tokens
+}
+
+/// The k-shingle hash set of a token stream (hashed, deduplicated,
+/// sorted — the set MinHash and Jaccard both operate on). A stream
+/// shorter than one shingle hashes its whole prefix as a single
+/// shingle so trivial policies still compare.
+pub fn shingle_hashes(tokens: &[Symbol]) -> Vec<u64> {
+    let mut out: Vec<u64> = if tokens.len() < SHINGLE_K {
+        if tokens.is_empty() {
+            Vec::new()
+        } else {
+            let mut h = 0xCBF29CE484222325u64;
+            for t in tokens {
+                h = mix(h ^ u64::from(t.id()));
+            }
+            vec![h]
+        }
+    } else {
+        tokens
+            .windows(SHINGLE_K)
+            .map(|w| {
+                let mut h = 0xCBF29CE484222325u64;
+                for t in w {
+                    h = mix(h ^ u64::from(t.id()));
+                }
+                h
+            })
+            .collect()
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The MinHash signature of a token stream.
+pub fn signature(tokens: &[Symbol]) -> Signature {
+    let shingles = shingle_hashes(tokens);
+    let mut sig = [u64::MAX; SIGNATURE_LEN];
+    for &s in &shingles {
+        for (row, slot) in sig.iter_mut().enumerate() {
+            let h = mix(s ^ mix(row as u64));
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+    sig
+}
+
+/// Estimated Jaccard similarity: the fraction of equal signature slots.
+pub fn similarity(a: &Signature, b: &Signature) -> f64 {
+    let equal = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+    equal as f64 / SIGNATURE_LEN as f64
+}
+
+/// Exact Jaccard similarity of two token streams' shingle sets (the
+/// quantity [`similarity`] estimates; the differential proptest bounds
+/// the estimation error).
+pub fn exact_jaccard(a: &[Symbol], b: &[Symbol]) -> f64 {
+    let sa = shingle_hashes(a);
+    let sb = shingle_hashes(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// The corpus-wide near-duplicate index: one signature per policy
+/// family representative, bucketed for LSH probing.
+///
+/// `probe_insert` is the whole protocol: a policy whose best candidate
+/// similarity reaches the threshold is reported as a member of that
+/// family (and not inserted); otherwise it becomes a new family
+/// representative. Family assignment therefore depends on stream
+/// order — run the corpus through it sequentially (the scale-out
+/// streaming path already is sequential at the sink).
+#[derive(Debug)]
+pub struct BoilerplateIndex {
+    threshold: f64,
+    inner: Mutex<IndexInner>,
+}
+
+#[derive(Debug, Default)]
+struct IndexInner {
+    reps: Vec<(String, Signature)>,
+    buckets: HashMap<(u8, u64), Vec<u32>>,
+}
+
+impl BoilerplateIndex {
+    /// An empty index flagging pairs at or above `threshold` estimated
+    /// Jaccard similarity.
+    pub fn new(threshold: f64) -> Self {
+        BoilerplateIndex { threshold, inner: Mutex::new(IndexInner::default()) }
+    }
+
+    /// The similarity threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Family representatives indexed so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().reps.len()
+    }
+
+    /// `true` when no policy has been indexed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn band_keys(sig: &Signature) -> [(u8, u64); BANDS] {
+        let rows = SIGNATURE_LEN / BANDS;
+        let mut keys = [(0u8, 0u64); BANDS];
+        for (band, key) in keys.iter_mut().enumerate() {
+            let mut h = 0u64;
+            for row in 0..rows {
+                h = mix(h ^ sig[band * rows + row]);
+            }
+            *key = (band as u8, h);
+        }
+        keys
+    }
+
+    /// Probes the index with one policy's signature. Returns the family
+    /// representative (package, similarity) when a candidate reaches
+    /// the threshold; otherwise registers `package` as a new family
+    /// representative and returns `None`.
+    pub fn probe_insert(&self, package: &str, sig: &Signature) -> Option<(String, f64)> {
+        let mut inner = self.inner.lock().unwrap();
+        let keys = Self::band_keys(sig);
+        let mut best: Option<(usize, f64)> = None;
+        let mut seen: Vec<u32> = Vec::new();
+        for key in &keys {
+            if let Some(candidates) = inner.buckets.get(key) {
+                for &c in candidates {
+                    if seen.contains(&c) {
+                        continue;
+                    }
+                    seen.push(c);
+                    let sim = similarity(sig, &inner.reps[c as usize].1);
+                    if sim >= self.threshold && best.is_none_or(|(_, b)| sim > b) {
+                        best = Some((c as usize, sim));
+                    }
+                }
+            }
+        }
+        if let Some((idx, sim)) = best {
+            return Some((inner.reps[idx].0.clone(), sim));
+        }
+        let id = inner.reps.len() as u32;
+        inner.reps.push((package.to_string(), *sig));
+        for key in keys {
+            inner.buckets.entry(key).or_default().push(id);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(text: &str) -> Vec<Symbol> {
+        policy_tokens(&format!("<html><body><p>{text}</p></body></html>"))
+    }
+
+    #[test]
+    fn identical_streams_have_identical_signatures() {
+        let a = tokens("we collect your location and your device id for our records");
+        let b = tokens("we collect your location and your device id for our records");
+        assert_eq!(signature(&a), signature(&b));
+        assert_eq!(similarity(&signature(&a), &signature(&b)), 1.0);
+        assert_eq!(exact_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn unrelated_streams_score_low() {
+        let a =
+            tokens("we collect your location and device id to provide weather forecasts near you");
+        let b = tokens(
+            "all payments are processed by a third party gateway under separate terms entirely",
+        );
+        assert!(similarity(&signature(&a), &signature(&b)) < 0.3);
+        assert!(exact_jaccard(&a, &b) < 0.3);
+    }
+
+    #[test]
+    fn near_duplicates_score_high() {
+        let base = "this privacy policy describes how we handle your information. \
+                    we may collect your location, your device id, and your email address. \
+                    we retain usage logs for thirty days. we never sell your personal data. \
+                    contact us with questions about this policy at any time.";
+        let a = tokens(base);
+        let b = tokens(&format!("{base} this revision applies to release channel three."));
+        let est = similarity(&signature(&a), &signature(&b));
+        let exact = exact_jaccard(&a, &b);
+        assert!(exact > 0.8, "exact {exact}");
+        assert!(est > 0.7, "estimated {est}");
+    }
+
+    #[test]
+    fn empty_and_tiny_streams_are_safe() {
+        assert_eq!(exact_jaccard(&[], &[]), 1.0);
+        let tiny = tokens("we");
+        assert_eq!(shingle_hashes(&tiny).len(), 1);
+        let _ = signature(&tiny);
+        let empty = tokens("");
+        assert!(shingle_hashes(&empty).is_empty());
+    }
+
+    #[test]
+    fn index_assigns_members_to_their_family() {
+        let index = BoilerplateIndex::new(0.8);
+        // Long enough that one appended revision sentence keeps the
+        // exact Jaccard well above the 0.8 threshold.
+        let root = tokens(
+            "this privacy policy describes how we handle your information. \
+             we may collect your location, your device id, and your email address. \
+             we retain usage logs for thirty days. we never sell your personal data. \
+             we may share aggregate statistics with partners who help us run the service. \
+             you can request deletion of your account data at any time by contacting support. \
+             changes to this policy will be announced inside the application before they apply.",
+        );
+        let member = {
+            let mut t = root.clone();
+            t.extend(tokens("this revision applies to release channel three"));
+            t
+        };
+        let other = tokens(
+            "payments are processed externally. our gateway provider has separate terms. \
+             no card numbers are stored by the application itself at any point.",
+        );
+        assert!(index.probe_insert("com.root", &signature(&root)).is_none());
+        assert!(index.probe_insert("com.other", &signature(&other)).is_none());
+        let (family, sim) = index.probe_insert("com.member", &signature(&member)).unwrap();
+        assert_eq!(family, "com.root");
+        assert!(sim >= 0.8);
+        assert_eq!(index.len(), 2, "a matched member is not a new representative");
+    }
+}

@@ -1,5 +1,7 @@
-//! Finding types: the three kinds of privacy-policy problems.
+//! Finding types: the three kinds of privacy-policy problems, plus the
+//! report's extension channel for successor-literature detectors.
 
+use crate::detector::{DetectorId, Finding, FindingPayload};
 use ppchecker_apk::{Permission, PrivateInfo};
 use ppchecker_policy::VerbCategory;
 use std::fmt;
@@ -85,6 +87,10 @@ pub struct Report {
     /// `true` if the app policy disclaims third-party responsibility
     /// (suppresses inconsistency findings).
     pub has_disclaimer: bool,
+    /// Findings from detectors beyond the paper's three (Data-Safety,
+    /// purpose, boilerplate, and any custom detector). Empty under the
+    /// default registry, keeping the classic report unchanged.
+    pub findings: Vec<Finding>,
 }
 
 impl Report {
@@ -118,6 +124,31 @@ impl Report {
     pub fn missed_via_code(&self) -> impl Iterator<Item = &MissedInfo> {
         self.missed.iter().filter(|m| m.channel == Channel::Code)
     }
+
+    /// Number of findings this detector contributed (paper detectors
+    /// count their classic vectors; the rest count [`Report::findings`]).
+    pub fn detector_findings(&self, id: DetectorId) -> usize {
+        match id {
+            DetectorId::Incomplete => self.missed.len(),
+            DetectorId::Incorrect => self.incorrect.len(),
+            DetectorId::Inconsistent => self.inconsistencies.len(),
+            _ => self.findings.iter().filter(|f| f.detector == id).count(),
+        }
+    }
+
+    /// Folds a detector run into the report: paper payloads land in the
+    /// classic vectors (preserving their exact pre-registry shape), the
+    /// rest in [`Report::findings`], all in detector run order.
+    pub(crate) fn absorb_findings(&mut self, findings: Vec<Finding>) {
+        for finding in findings {
+            match finding.payload {
+                FindingPayload::Missed(m) => self.missed.push(m),
+                FindingPayload::Incorrect(i) => self.incorrect.push(i),
+                FindingPayload::Inconsistent(i) => self.inconsistencies.push(i),
+                _ => self.findings.push(finding),
+            }
+        }
+    }
 }
 
 impl fmt::Display for Report {
@@ -145,6 +176,34 @@ impl fmt::Display for Report {
         )?;
         for i in &self.inconsistencies {
             writeln!(f, "    vs {}: app denies but lib declares {}", i.lib_id, i.category)?;
+        }
+        if !self.findings.is_empty() {
+            writeln!(f, "  extended findings: {}", self.findings.len())?;
+            for finding in &self.findings {
+                match &finding.payload {
+                    FindingPayload::DataSafety(d) => writeln!(
+                        f,
+                        "    [{}] {} for {}",
+                        finding.detector,
+                        d.kind.as_str(),
+                        d.info
+                    )?,
+                    FindingPayload::Purpose(p) => writeln!(
+                        f,
+                        "    [{}] {} {} claim: \"{}\"",
+                        finding.detector,
+                        p.kind.as_str(),
+                        p.purpose,
+                        p.sentence
+                    )?,
+                    FindingPayload::Boilerplate(b) => writeln!(
+                        f,
+                        "    [{}] near-duplicate of {} (similarity {:.2})",
+                        finding.detector, b.family, b.similarity
+                    )?,
+                    _ => writeln!(f, "    [{}] finding", finding.detector)?,
+                }
+            }
         }
         Ok(())
     }

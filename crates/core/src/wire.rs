@@ -9,9 +9,13 @@
 //!
 //! [`PPChecker::config_fingerprint`]: crate::PPChecker::config_fingerprint
 
+use crate::detector::{
+    BoilerplateFinding, DataSafetyFinding, DataSafetyKind, DetectorId, Finding, FindingPayload,
+    PurposeFinding, PurposeKind,
+};
 use crate::problems::{Channel, Inconsistency, IncorrectFinding, MissedInfo, Report};
 use ppchecker_apk::{Permission, PrivateInfo};
-use ppchecker_policy::VerbCategory;
+use ppchecker_policy::{Purpose, VerbCategory};
 use ppchecker_store::{WireError, WireReader, WireWriter};
 
 fn category_byte(c: VerbCategory) -> u8 {
@@ -56,6 +60,87 @@ fn info_from(name: &str) -> Result<PrivateInfo, WireError> {
         .ok_or_else(|| WireError(format!("unknown private info '{name}'")))
 }
 
+fn detector_from(name: &str) -> Result<DetectorId, WireError> {
+    DetectorId::parse(name).ok_or_else(|| WireError(format!("unknown detector '{name}'")))
+}
+
+fn purpose_from(name: &str) -> Result<Purpose, WireError> {
+    match name {
+        "advertising" => Ok(Purpose::Advertising),
+        "analytics" => Ok(Purpose::Analytics),
+        "functionality" => Ok(Purpose::Functionality),
+        other => Err(WireError(format!("unknown purpose '{other}'"))),
+    }
+}
+
+fn encode_finding(w: &mut WireWriter, finding: &Finding) {
+    w.str(finding.detector.as_str());
+    match &finding.payload {
+        FindingPayload::DataSafety(d) => {
+            w.u8(0);
+            w.str(d.info.canonical_phrase());
+            w.bool(matches!(d.kind, DataSafetyKind::PolicyOmitsLabel));
+        }
+        FindingPayload::Purpose(p) => {
+            w.u8(1);
+            w.str(p.purpose.as_str());
+            match &p.kind {
+                PurposeKind::Contradicted { lib_id } => {
+                    w.bool(true);
+                    w.str(lib_id);
+                }
+                PurposeKind::Unsupported => w.bool(false),
+            }
+            w.str(&p.sentence);
+        }
+        FindingPayload::Boilerplate(b) => {
+            w.u8(2);
+            w.str(&b.family);
+            w.u64(b.similarity.to_bits());
+        }
+        // Paper payloads never reach Report::findings (they fold into
+        // the classic vectors encoded above); store them defensively as
+        // an opaque tag so a custom registry cannot corrupt the stream.
+        FindingPayload::Missed(_)
+        | FindingPayload::Incorrect(_)
+        | FindingPayload::Inconsistent(_) => w.u8(255),
+    }
+}
+
+fn decode_finding(r: &mut WireReader<'_>) -> Result<Option<Finding>, WireError> {
+    let detector = detector_from(r.str()?)?;
+    let payload = match r.u8()? {
+        0 => FindingPayload::DataSafety(DataSafetyFinding {
+            info: info_from(r.str()?)?,
+            kind: if r.bool()? {
+                DataSafetyKind::PolicyOmitsLabel
+            } else {
+                DataSafetyKind::LabelOmitsCollection
+            },
+        }),
+        1 => {
+            let purpose = purpose_from(r.str()?)?;
+            let kind = if r.bool()? {
+                PurposeKind::Contradicted { lib_id: r.str()?.to_string() }
+            } else {
+                PurposeKind::Unsupported
+            };
+            FindingPayload::Purpose(PurposeFinding {
+                purpose,
+                kind,
+                sentence: r.str()?.to_string(),
+            })
+        }
+        2 => FindingPayload::Boilerplate(BoilerplateFinding {
+            family: r.str()?.to_string(),
+            similarity: f64::from_bits(r.u64()?),
+        }),
+        255 => return Ok(None),
+        other => return Err(WireError(format!("bad finding payload tag {other}"))),
+    };
+    Ok(Some(Finding { detector, payload }))
+}
+
 /// Encodes a report for the artifact store.
 pub fn encode_report(report: &Report) -> Vec<u8> {
     let mut w = WireWriter::new();
@@ -87,6 +172,10 @@ pub fn encode_report(report: &Report) -> Vec<u8> {
         w.str(&i.lib_sentence);
         w.str(&i.app_resource);
         w.str(&i.lib_resource);
+    }
+    w.seq(report.findings.len());
+    for f in &report.findings {
+        encode_finding(&mut w, f);
     }
     w.into_bytes()
 }
@@ -138,10 +227,17 @@ pub fn decode_report(bytes: &[u8]) -> Result<Report, WireError> {
             lib_resource: r.str()?.to_string(),
         });
     }
+    let n_findings = r.seq()?;
+    let mut findings = Vec::with_capacity(n_findings);
+    for _ in 0..n_findings {
+        if let Some(f) = decode_finding(&mut r)? {
+            findings.push(f);
+        }
+    }
     if !r.is_exhausted() {
         return Err(WireError("trailing bytes after report".into()));
     }
-    Ok(Report { package, missed, incorrect, inconsistencies, libs, has_disclaimer })
+    Ok(Report { package, missed, incorrect, inconsistencies, libs, has_disclaimer, findings })
 }
 
 #[cfg(test)]
@@ -181,6 +277,30 @@ mod tests {
             }],
             libs: vec!["unityads".into(), "flurry".into()],
             has_disclaimer: true,
+            findings: vec![
+                Finding {
+                    detector: DetectorId::DataSafety,
+                    payload: FindingPayload::DataSafety(DataSafetyFinding {
+                        info: PrivateInfo::Location,
+                        kind: DataSafetyKind::LabelOmitsCollection,
+                    }),
+                },
+                Finding {
+                    detector: DetectorId::Purpose,
+                    payload: FindingPayload::Purpose(PurposeFinding {
+                        purpose: Purpose::Functionality,
+                        kind: PurposeKind::Contradicted { lib_id: "admob".into() },
+                        sentence: "we use your data only for app functionality".into(),
+                    }),
+                },
+                Finding {
+                    detector: DetectorId::Boilerplate,
+                    payload: FindingPayload::Boilerplate(BoilerplateFinding {
+                        family: "com.family.root".into(),
+                        similarity: 0.921875,
+                    }),
+                },
+            ],
         }
     }
 
@@ -194,6 +314,7 @@ mod tests {
         assert_eq!(decoded.inconsistencies, original.inconsistencies);
         assert_eq!(decoded.libs, original.libs);
         assert_eq!(decoded.has_disclaimer, original.has_disclaimer);
+        assert_eq!(decoded.findings, original.findings);
         // The rendered form — what batch output serializes — matches too.
         assert_eq!(format!("{decoded}"), format!("{original}"));
     }

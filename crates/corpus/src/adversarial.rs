@@ -105,6 +105,7 @@ pub fn repackage(app: &AppInput, stolen: &[PrivateInfo]) -> AppInput {
         policy_html: app.policy_html.clone(),
         description: app.description.clone(),
         apk: Apk::new(manifest, dex),
+        labels: app.labels.clone(),
     }
 }
 
@@ -129,7 +130,7 @@ pub fn deceptive_app(seed: u64) -> AppInput {
 mod tests {
     use super::*;
     use crate::dataset::small_dataset;
-    use ppchecker_core::{CheckRequest, PPChecker};
+    use ppchecker_core::PPChecker;
 
     #[test]
     fn repackaging_breaks_a_clean_app() {
@@ -139,11 +140,11 @@ mod tests {
         let clean = &dataset.apps[500];
         assert!(!clean.spec.truth.has_any_problem(), "picked app must be clean");
         let checker = PPChecker::new();
-        let before = checker.check(CheckRequest::for_app(&clean.input)).unwrap();
+        let before = checker.check_app(&clean.input).unwrap();
         assert!(!before.is_incomplete(), "{before}");
 
         let repackaged = repackage(&clean.input, &[PrivateInfo::Contact]);
-        let after = checker.check(CheckRequest::for_app(&repackaged)).unwrap();
+        let after = checker.check_app(&repackaged).unwrap();
         assert!(after.is_incomplete(), "{after}");
         assert!(after.missed_via_code().any(|m| m.info == PrivateInfo::Contact && m.retained));
     }
@@ -151,7 +152,7 @@ mod tests {
     #[test]
     fn deceptive_policy_is_flagged_incorrect() {
         let app = deceptive_app(7);
-        let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
+        let report = PPChecker::new().check_app(&app).unwrap();
         assert!(report.is_incorrect(), "{report}");
         assert!(report
             .incorrect

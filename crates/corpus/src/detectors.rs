@@ -1,0 +1,299 @@
+//! Successor-literature detector workloads: three corpora with planted
+//! ground truth for the detectors beyond the paper's three, plus the
+//! precision/recall harness that scores a detector against its plants.
+//!
+//! Each workload follows the calibration discipline of the main corpus
+//! ([`crate::plan`]): problems are planted at deterministic indices, the
+//! ground truth travels with the app, and the score compares what the
+//! *real* pipeline detects against what was planted — never against the
+//! detector's own output.
+//!
+//! - [`data_safety_corpus`] — apps carrying structured Data-Safety label
+//!   declarations with seeded mismatches (labels vs. taint-observed
+//!   collection, labels vs. policy coverage).
+//! - [`purpose_corpus`] — policies stating collection purposes
+//!   (advertising / analytics / functionality) that the embedded-library
+//!   evidence confirms or refutes.
+//! - [`boilerplate_corpus`] — policy families planted as near duplicates
+//!   of an earlier family representative, for the corpus-wide MinHash
+//!   detector. Probe order matters: score this corpus sequentially.
+
+use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
+use ppchecker_core::{AppInput, BoilerplateIndex, DataSafetyLabel, DetectorId, PPChecker};
+use std::fmt;
+use std::sync::Arc;
+
+/// Near-duplicate similarity threshold used by [`score_detector`] for
+/// the boilerplate workload (estimated Jaccard over 3-token shingles).
+pub const WORKLOAD_BOILERPLATE_THRESHOLD: f64 = 0.8;
+
+/// One workload app: the checker input plus whether a problem for the
+/// workload's detector was planted in it.
+#[derive(Debug, Clone)]
+pub struct WorkloadApp {
+    /// PPChecker's input bundle.
+    pub input: AppInput,
+    /// `true` when the generator planted a finding for the workload's
+    /// detector in this app.
+    pub planted: bool,
+}
+
+/// App-level precision/recall counters for one detector workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorScore {
+    /// Apps flagged whose plant confirms the finding.
+    pub tp: usize,
+    /// Apps flagged with nothing planted.
+    pub fp: usize,
+    /// Apps with a plant the detector missed.
+    pub fn_: usize,
+}
+
+impl DetectorScore {
+    /// Folds one app's outcome into the counters.
+    pub fn record(&mut self, planted: bool, flagged: bool) {
+        match (planted, flagged) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => {}
+        }
+    }
+
+    /// `TP / (TP + FP)`; 1.0 when nothing was flagged (no false claims).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 1.0 when nothing was planted.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+impl fmt::Display for DetectorScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tp={} fp={} fn={} precision={:.3} recall={:.3}",
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.precision(),
+            self.recall(),
+        )
+    }
+}
+
+/// A location-collecting app skeleton: the dex observably reads the
+/// last-known location (gated by a granted fine-location permission),
+/// and `ad_lib` optionally embeds an advertising library.
+fn base_app(package: &str, policy: &str, ad_lib: bool) -> AppInput {
+    let mut manifest = Manifest::new(package);
+    manifest.add_permission(Permission::AccessFineLocation);
+    manifest.add_component(ComponentKind::Activity, &format!("{package}.Main"), true);
+    let mut builder = Dex::builder().class(&format!("{package}.Main"), |c| {
+        c.extends("android.app.Activity");
+        c.method("onCreate", 1, |m| {
+            m.invoke_virtual(
+                "android.location.LocationManager",
+                "getLastKnownLocation",
+                &[0],
+                Some(1),
+            );
+        });
+    });
+    if ad_lib {
+        builder = builder.class("com.unity3d.ads.UnityAds", |c| {
+            c.method("init", 1, |_| {});
+        });
+    }
+    AppInput {
+        package: package.to_string(),
+        policy_html: format!("<html><body>{policy}</body></html>"),
+        description: "A handy utility app.".to_string(),
+        apk: Apk::new(manifest, builder.build()),
+        labels: Vec::new(),
+    }
+}
+
+/// The Data-Safety workload: every app's code observably collects the
+/// location; labels are planted in four rotating shapes:
+///
+/// | `i % 4` | labels                  | plant                          |
+/// |---------|-------------------------|--------------------------------|
+/// | 0       | `location`              | none (labels match everything) |
+/// | 1       | `device id`             | label omits the code's collection |
+/// | 2       | `location`, `sms`       | policy never covers the `sms` label |
+/// | 3       | `location`              | none                           |
+pub fn data_safety_corpus(n: usize) -> Vec<WorkloadApp> {
+    (0..n)
+        .map(|i| {
+            let package = format!("com.datasafety.app{i}");
+            let policy = "<p>We may collect your location to personalize the \
+                          experience. We may also collect your device id for \
+                          support purposes.</p>";
+            let mut input = base_app(&package, policy, false);
+            let (labels, planted) = match i % 4 {
+                1 => (vec![DataSafetyLabel::new(PrivateInfo::DeviceId)], true),
+                2 => (
+                    vec![
+                        DataSafetyLabel::new(PrivateInfo::Location),
+                        DataSafetyLabel::new(PrivateInfo::Sms),
+                    ],
+                    true,
+                ),
+                _ => (vec![DataSafetyLabel::new(PrivateInfo::Location)], false),
+            };
+            input.labels = labels;
+            WorkloadApp { input, planted }
+        })
+        .collect()
+}
+
+/// The purpose-compliance workload, four rotating shapes:
+///
+/// | `i % 4` | stated purpose                     | ad lib | plant        |
+/// |---------|------------------------------------|--------|--------------|
+/// | 0       | "only to provide app functionality"| yes    | contradicted |
+/// | 1       | "for advertising purposes"         | no     | unsupported  |
+/// | 2       | "for advertising purposes"         | yes    | none         |
+/// | 3       | "to operate the app" (inclusive)   | no     | none         |
+pub fn purpose_corpus(n: usize) -> Vec<WorkloadApp> {
+    (0..n)
+        .map(|i| {
+            let package = format!("com.purpose.app{i}");
+            let (sentence, ad_lib, planted) = match i % 4 {
+                0 => (
+                    "We may collect your location and your device id only to \
+                     provide app functionality.",
+                    true,
+                    true,
+                ),
+                1 => (
+                    "We may collect your location and your device id for \
+                     advertising purposes.",
+                    false,
+                    true,
+                ),
+                2 => (
+                    "We may collect your location and your device id for \
+                     advertising purposes.",
+                    true,
+                    false,
+                ),
+                _ => (
+                    "We may collect your location and your device id to \
+                     operate the app.",
+                    false,
+                    false,
+                ),
+            };
+            let policy = format!("<p>{sentence}</p>");
+            WorkloadApp { input: base_app(&package, &policy, ad_lib), planted }
+        })
+        .collect()
+}
+
+/// A family-root policy: a short shared frame followed by a long run of
+/// root-unique tokens, so two different roots share almost no 3-token
+/// shingles (exact Jaccard far below the threshold) while a planted
+/// near-duplicate shares nearly all of them.
+fn boilerplate_root_policy(root: usize) -> String {
+    let mut body = String::from(
+        "<p>We may collect your location and your device id. \
+         We retain data only as long as necessary.",
+    );
+    for w in 0..28 {
+        let _ = std::fmt::Write::write_fmt(&mut body, format_args!(" term{root}section{w}"));
+    }
+    body.push_str("</p>");
+    body
+}
+
+/// The boilerplate workload: apps arrive in corpus order; every third
+/// app (`i % 3 == 2`) is a planted near duplicate of the family root
+/// two slots earlier, differing by one trailing sentence. Roots and
+/// singletons carry fully distinct token runs, so only the plants sit
+/// above the similarity threshold. Score sequentially — family
+/// assignment depends on probe order.
+pub fn boilerplate_corpus(n: usize) -> Vec<WorkloadApp> {
+    (0..n)
+        .map(|i| {
+            let package = format!("com.boilerplate.app{i}");
+            let (policy, planted) = if i % 3 == 2 {
+                let root = boilerplate_root_policy(i - 2);
+                (root.replace("</p>", " contact support anytime</p>"), true)
+            } else {
+                (boilerplate_root_policy(i), false)
+            };
+            WorkloadApp { input: base_app(&package, &policy, false), planted }
+        })
+        .collect()
+}
+
+/// Runs exactly `id` over the workload (sequentially, in corpus order)
+/// and scores app-level detection against the plants. The boilerplate
+/// detector gets a fresh shared index at
+/// [`WORKLOAD_BOILERPLATE_THRESHOLD`].
+pub fn score_detector(apps: &[WorkloadApp], id: DetectorId) -> DetectorScore {
+    let mut checker = PPChecker::new().with_detectors(&[id]);
+    if id == DetectorId::Boilerplate {
+        checker = checker.with_boilerplate_index(Arc::new(BoilerplateIndex::new(
+            WORKLOAD_BOILERPLATE_THRESHOLD,
+        )));
+    }
+    let mut score = DetectorScore::default();
+    for app in apps {
+        let report = checker.check_app(&app.input).expect("workload apps analyze cleanly");
+        score.record(app.planted, report.detector_findings(id) > 0);
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_plant_the_expected_fraction() {
+        let ds = data_safety_corpus(40);
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.iter().filter(|a| a.planted).count(), 20);
+        let p = purpose_corpus(40);
+        assert_eq!(p.iter().filter(|a| a.planted).count(), 20);
+        let b = boilerplate_corpus(30);
+        assert_eq!(b.iter().filter(|a| a.planted).count(), 10);
+    }
+
+    #[test]
+    fn score_math_handles_the_edges() {
+        let mut s = DetectorScore::default();
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        s.record(true, true);
+        s.record(false, true);
+        s.record(true, false);
+        s.record(false, false);
+        assert_eq!((s.tp, s.fp, s.fn_), (1, 1, 1));
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+        assert!((s.recall() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_labelled_app_declares_at_least_one_label() {
+        // The data-safety detector declines label-free apps; a workload
+        // app with no labels would be unscoreable by construction.
+        for app in data_safety_corpus(16) {
+            assert!(!app.input.labels.is_empty());
+        }
+    }
+}

@@ -5,7 +5,7 @@
 
 use crate::dataset::Dataset;
 use ppchecker_apk::{Permission, PrivateInfo};
-use ppchecker_core::{CheckRequest, Report};
+use ppchecker_core::Report;
 use ppchecker_policy::VerbCategory;
 use std::collections::BTreeMap;
 
@@ -115,9 +115,7 @@ pub fn evaluate(dataset: &Dataset) -> Evaluation {
     let mut ev = Evaluation { total_apps: dataset.apps.len(), ..Evaluation::default() };
 
     for app in &dataset.apps {
-        let report = checker
-            .check(CheckRequest::for_app(&app.input))
-            .expect("generated apps analyze cleanly");
+        let report = checker.check_app(&app.input).expect("generated apps analyze cleanly");
         accumulate(&mut ev, app, &report);
     }
     ev

@@ -59,7 +59,7 @@ mod tests {
     use super::*;
     use crate::dataset::small_dataset;
     use ppchecker_apk::{Apk, Manifest};
-    use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+    use ppchecker_core::{AppInput, PPChecker};
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
         let dir =
@@ -85,11 +85,12 @@ mod tests {
             policy_html: fs::read_to_string(dir.join("policy.html")).unwrap(),
             description: fs::read_to_string(dir.join("description.txt")).unwrap(),
             apk: Apk::new(manifest, dex),
+            labels: Vec::new(),
         };
 
         let checker = dataset.make_checker();
-        let original = checker.check(CheckRequest::for_app(&app.input)).unwrap();
-        let again = PPChecker::new().check(CheckRequest::for_app(&reloaded)).unwrap();
+        let original = checker.check_app(&app.input).unwrap();
+        let again = PPChecker::new().check_app(&reloaded).unwrap();
         assert_eq!(original.is_incomplete(), again.is_incomplete());
         assert_eq!(original.is_incorrect(), again.is_incorrect());
         let _ = fs::remove_dir_all(&dir);

@@ -51,6 +51,7 @@ pub fn generate_app(spec: &AppSpec, seed: u64) -> AppInput {
         description: generate_description(spec, &mut rng),
         apk: generate_apk(spec, &package, &mut rng),
         package,
+        labels: Vec::new(),
     }
 }
 

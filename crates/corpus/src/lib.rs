@@ -18,6 +18,9 @@
 //! - [`history`] — versioned app histories ([`versioned_history`]) for
 //!   incremental re-analysis workloads
 //! - [`eval`] — the §V statistics harness ([`evaluate`])
+//! - [`detectors`] — successor-literature workloads with planted ground
+//!   truth ([`data_safety_corpus`], [`purpose_corpus`],
+//!   [`boilerplate_corpus`]) and their P/R harness ([`score_detector`])
 //! - [`fig12`] — the pattern-selection experiment (Fig. 12)
 //!
 //! # Examples
@@ -33,6 +36,7 @@
 
 pub mod adversarial;
 pub mod dataset;
+pub mod detectors;
 pub mod eval;
 pub mod export;
 pub mod fig12;
@@ -45,6 +49,10 @@ pub mod plan;
 pub mod scale;
 
 pub use dataset::{paper_dataset, small_dataset, stream_apps, Dataset, GeneratedApp};
+pub use detectors::{
+    boilerplate_corpus, data_safety_corpus, purpose_corpus, score_detector, DetectorScore,
+    WorkloadApp,
+};
 pub use eval::{evaluate, evaluate_parallel, Evaluation, RowMetrics};
 pub use export::{export_app, export_dataset};
 pub use history::{

@@ -31,6 +31,9 @@ pub struct Verdict {
     pub incorrect: usize,
     /// App-vs-lib inconsistencies (Algorithm 5).
     pub inconsistent: usize,
+    /// Findings from detectors beyond the paper's three (Data-Safety,
+    /// purpose, boilerplate, custom). Zero under the default registry.
+    pub extended: usize,
 }
 
 impl Verdict {
@@ -43,13 +46,14 @@ impl Verdict {
                 missed: r.missed.len(),
                 incorrect: r.incorrect.len(),
                 inconsistent: r.inconsistencies.len(),
+                extended: r.findings.len(),
             },
         }
     }
 
     /// Whether any problem class fired (or the app errored).
     pub fn has_problems(&self) -> bool {
-        self.error || self.missed + self.incorrect + self.inconsistent > 0
+        self.error || self.missed + self.incorrect + self.inconsistent + self.extended > 0
     }
 }
 
@@ -70,6 +74,9 @@ impl fmt::Display for Verdict {
         }
         if self.inconsistent > 0 {
             parts.push(format!("{} inconsistent", self.inconsistent));
+        }
+        if self.extended > 0 {
+            parts.push(format!("{} extended", self.extended));
         }
         write!(f, "{}", parts.join(", "))
     }
@@ -158,8 +165,8 @@ impl BatchDelta {
                 d.kind == DeltaKind::Changed
                     && matches!((d.before, d.after), (Some(b), Some(a))
                         if (!b.error && a.error)
-                            || a.missed + a.incorrect + a.inconsistent
-                                > b.missed + b.incorrect + b.inconsistent)
+                            || a.missed + a.incorrect + a.inconsistent + a.extended
+                                > b.missed + b.incorrect + b.inconsistent + b.extended)
             })
             .count()
     }

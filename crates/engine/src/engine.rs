@@ -185,7 +185,9 @@ impl Engine {
 
     /// The report-record key of one app: every input the report is a
     /// function of, combined — policy bytes, description bytes, the APK
-    /// content hash, and the checker configuration fingerprint. Any
+    /// content hash, the declared Data-Safety labels, and the checker
+    /// configuration fingerprint (which folds in the detector registry
+    /// and boilerplate threshold, so a `--detectors` change re-keys). Any
     /// change to any of them lands on a different key, so stale replays
     /// are structurally impossible.
     fn report_key(&self, app: &AppInput) -> u64 {
@@ -193,6 +195,7 @@ impl Engine {
             content_hash(app.policy_html.as_bytes()),
             content_hash(app.description.as_bytes()),
             app.apk.content_hash(),
+            app.labels_fingerprint(),
             self.report_salt,
         ])
     }
@@ -251,17 +254,16 @@ impl Engine {
         outputs.sort_by_key(|(record, _)| record.index);
 
         let mut stage_totals = StageTimings::default();
-        let mut errors = 0;
+        let mut aggregate = AggregateSummary::default();
         let mut records = Vec::with_capacity(outputs.len());
         for (record, timings) in outputs {
             stage_totals.accumulate(&timings);
-            if record.error().is_some() {
-                errors += 1;
-            }
+            aggregate.accumulate(&record);
             records.push(record);
         }
 
-        let metrics = probe.finish(self, jobs, records.len(), errors, stage_totals);
+        let mut metrics = probe.finish(self, jobs, records.len(), aggregate.errors, stage_totals);
+        metrics.detector_findings = aggregate.detector_findings;
         BatchReport { records, metrics }
     }
 
@@ -315,7 +317,8 @@ impl Engine {
                 },
             );
         }
-        let metrics = probe.finish(self, jobs, aggregate.apps, aggregate.errors, stage_totals);
+        let mut metrics = probe.finish(self, jobs, aggregate.apps, aggregate.errors, stage_totals);
+        metrics.detector_findings = aggregate.detector_findings;
         StreamSummary { aggregate, metrics }
     }
 
@@ -367,9 +370,10 @@ impl Engine {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _span = ppchecker_obs::span!("app.check", app.package);
             self.checker.check(
-                CheckRequest::for_app(app)
-                    .with_policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
-                    .capture_timings(),
+                CheckRequest::builder(app)
+                    .policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
+                    .capture_timings()
+                    .build(),
             )
         }));
         match outcome {
@@ -429,9 +433,10 @@ impl Engine {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let _span = ppchecker_obs::span!("app.check", app.package);
             self.checker.check(
-                CheckRequest::for_app(&app)
-                    .with_policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
-                    .capture_timings(),
+                CheckRequest::builder(&app)
+                    .policy_provider(|analyzer, html| self.cache.policy(analyzer, html))
+                    .capture_timings()
+                    .build(),
             )
         }));
         match outcome {
@@ -551,6 +556,7 @@ impl MetricsProbe {
                 misses: taint_after.misses - self.taint_before.misses,
                 entries: taint_after.entries,
             },
+            detector_findings: [0; ppchecker_core::DetectorId::COUNT],
             interner: ppchecker_nlp::Interner::global().stats(),
             store: engine
                 .store_summary()
@@ -642,6 +648,7 @@ mod tests {
             policy_html: format!("<html><body><p>{policy}</p></body></html>"),
             description: "A handy utility app.".to_string(),
             apk: Apk::new(manifest, dex),
+            labels: Vec::new(),
         }
     }
 
@@ -653,6 +660,7 @@ mod tests {
             policy_html: "<p>we collect nothing.</p>".to_string(),
             description: "Broken app.".to_string(),
             apk: Apk::from_packed_blob(manifest, vec![0xDE, 0xAD, 0xBE, 0xEF]),
+            labels: Vec::new(),
         }
     }
 
@@ -811,6 +819,7 @@ mod tests {
                     policy_html: "<p>we may collect your device id.</p>".to_string(),
                     description: "An app with an embedded ad SDK.".to_string(),
                     apk: Apk::new(manifest, dex),
+                    labels: Vec::new(),
                 }
             })
             .collect();

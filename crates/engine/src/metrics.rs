@@ -6,7 +6,7 @@
 //! still see real timings.
 
 use crate::cache::CacheStats;
-use ppchecker_core::StageTimings;
+use ppchecker_core::{DetectorId, StageTimings};
 use ppchecker_nlp::InternerStats;
 use ppchecker_obs::HistogramSnapshot;
 use ppchecker_store::{RecordKind, Store, StoreStats};
@@ -185,6 +185,10 @@ pub struct MetricsSummary {
     /// per record kind plus apps whose report replayed wholesale. `None`
     /// when the engine runs without a store.
     pub store: Option<StoreSummary>,
+    /// Finding totals per detector, indexed by [`DetectorId::rank`] in
+    /// [`DetectorId::ALL`] order. Deterministic for a given corpus and
+    /// registry.
+    pub detector_findings: [u64; DetectorId::COUNT],
 }
 
 impl MetricsSummary {
@@ -229,6 +233,16 @@ impl fmt::Display for MetricsSummary {
             self.stage_totals.static_analysis,
             self.stage_totals.matching,
         )?;
+        if self.detector_findings.iter().any(|&n| n > 0) {
+            write!(f, "detectors:")?;
+            for &id in DetectorId::ALL {
+                let n = self.detector_findings[id.rank()];
+                if n > 0 {
+                    write!(f, " {id}={n}")?;
+                }
+            }
+            writeln!(f)?;
+        }
         if !self.stage_quantiles.is_empty() {
             writeln!(
                 f,

@@ -2,7 +2,7 @@
 //! aggregation.
 
 use crate::metrics::MetricsSummary;
-use ppchecker_core::{Error, Report};
+use ppchecker_core::{DetectorId, Error, Report};
 use std::fmt;
 
 /// What one app produced: a full report, or an error record. A poisoned
@@ -70,6 +70,11 @@ pub struct AggregateSummary {
     pub incorrect_findings: usize,
     /// Total app-vs-lib inconsistencies.
     pub inconsistencies: usize,
+    /// Per-detector finding totals, indexed by [`DetectorId::rank`] in
+    /// [`DetectorId::ALL`] order (fixed-size so the summary stays
+    /// `Copy`). Paper detectors mirror the classic totals above; the
+    /// successor-literature slots are zero unless those detectors ran.
+    pub detector_findings: [u64; DetectorId::COUNT],
 }
 
 impl AggregateSummary {
@@ -100,6 +105,9 @@ impl AggregateSummary {
                 self.missed_records += r.missed.len();
                 self.incorrect_findings += r.incorrect.len();
                 self.inconsistencies += r.inconsistencies.len();
+                for &id in DetectorId::ALL {
+                    self.detector_findings[id.rank()] += r.detector_findings(id) as u64;
+                }
             }
         }
     }
@@ -121,7 +129,16 @@ impl fmt::Display for AggregateSummary {
             self.missed_records,
             self.incorrect_findings,
             self.inconsistencies,
-        )
+        )?;
+        // Successor-literature totals only when those detectors fired, so
+        // classic runs render the classic line unchanged.
+        for &id in DetectorId::ALL {
+            let n = self.detector_findings[id.rank()];
+            if n > 0 && !DetectorId::PAPER.contains(&id) {
+                write!(f, ", {n} {id}")?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -31,6 +31,7 @@ pub mod negation;
 pub mod patterns;
 pub mod persist;
 pub mod pipeline;
+pub mod purpose;
 pub mod synonyms;
 pub mod verbs;
 pub mod wire;
@@ -41,6 +42,7 @@ pub use elements::{Constraint, ConstraintKind, Elements};
 pub use patterns::{match_sentence, Pattern, PatternKind, SentenceMatch};
 pub use persist::{from_text as patterns_from_text, to_text as patterns_to_text};
 pub use pipeline::{AnalyzedSentence, PolicyAnalysis, PolicyAnalyzer};
+pub use purpose::{detect_purpose, Purpose, PurposeClaim};
 pub use synonyms::synonym_patterns;
 pub use verbs::VerbCategory;
 pub use wire::{decode_analysis, encode_analysis};

@@ -7,6 +7,7 @@ use crate::elements::{self, Constraint, Elements};
 use crate::html;
 use crate::negation;
 use crate::patterns::{match_sentence, Pattern, PatternKind};
+use crate::purpose::{detect_purpose, PurposeClaim};
 use crate::verbs::VerbCategory;
 use ppchecker_nlp::depparse::parse;
 use ppchecker_nlp::intern::{Interner, Symbol};
@@ -28,6 +29,9 @@ pub struct AnalyzedSentence {
     /// ("without your consent", "unless you opt in" — the paper's §VI
     /// observation that such constraints "affect the actual meaning").
     pub conditional: bool,
+    /// The purpose the sentence states for the practice, if any
+    /// ("for advertising", "only to provide app functionality").
+    pub purpose: Option<PurposeClaim>,
     /// Extracted elements (Step 6).
     pub elements: Elements,
 }
@@ -172,10 +176,15 @@ impl PolicyAnalyzer {
     /// folds this into every policy-derived record key — changing the
     /// pattern set invalidates stored analyses instead of replaying them.
     pub fn fingerprint(&self) -> u64 {
+        // The trailing constant is the analysis format version: bumped
+        // when `AnalyzedSentence` gains a field (and the wire codec a
+        // column), so stored analyses from older formats key differently
+        // and recompute instead of replaying without the new field.
         let text = crate::persist::to_text(&self.patterns);
         ppchecker_store::combine_hashes(&[
             ppchecker_store::content_hash(text.as_bytes()),
             u64::from(self.model_constraints),
+            2,
         ])
     }
 
@@ -278,6 +287,7 @@ impl PolicyAnalyzer {
             category: m.category,
             negative,
             conditional,
+            purpose: detect_purpose(sentence),
             elements: Elements { resources, ..els },
         })
     }
@@ -458,6 +468,25 @@ mod tests {
             stock.fingerprint(),
             PolicyAnalyzer::with_patterns(Pattern::seeds()).fingerprint()
         );
+    }
+
+    #[test]
+    fn purpose_claims_ride_the_analyzed_sentence() {
+        let a = analyzer().analyze_text(
+            "We use your device id only to provide app functionality. \
+             We collect your location for advertising purposes. \
+             We may retain your email address.",
+        );
+        let claims: Vec<_> = a.sentences.iter().map(|s| s.purpose).collect();
+        assert!(claims.contains(&Some(crate::purpose::PurposeClaim {
+            purpose: crate::purpose::Purpose::Functionality,
+            exclusive: true,
+        })));
+        assert!(claims.contains(&Some(crate::purpose::PurposeClaim {
+            purpose: crate::purpose::Purpose::Advertising,
+            exclusive: false,
+        })));
+        assert!(claims.contains(&None));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! The data-*purpose* dimension of policy sentences.
+//!
+//! Successor work to the paper (purpose-compliance checking) asks not
+//! just *what* a policy says is collected but *why*: a sentence may
+//! claim collection "for advertising purposes", "for analytics", or
+//! "only to provide app functionality". The purpose detector
+//! cross-checks these claims against the app's embedded-library
+//! evidence, so the analyzer tags every selected sentence with the
+//! purpose it states, if any.
+
+use std::fmt;
+
+/// A stated purpose of a data practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Purpose {
+    /// Serving or personalizing advertisements.
+    Advertising,
+    /// Usage measurement, crash reporting, statistics.
+    Analytics,
+    /// Providing the app's own features.
+    Functionality,
+}
+
+impl Purpose {
+    /// Stable lowercase identifier (wire and JSON form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Purpose::Advertising => "advertising",
+            Purpose::Analytics => "analytics",
+            Purpose::Functionality => "functionality",
+        }
+    }
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A purpose claim extracted from one sentence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PurposeClaim {
+    /// The stated purpose.
+    pub purpose: Purpose,
+    /// `true` when the sentence restricts the practice to this purpose
+    /// alone ("only", "solely", "exclusively") — an exclusive claim is
+    /// contradicted by evidence of any other purpose.
+    pub exclusive: bool,
+}
+
+const ADVERTISING_MARKERS: &[&str] = &[
+    "for advertising",
+    "advertising purposes",
+    "to serve ads",
+    "to show you ads",
+    "personalized ads",
+    "targeted advertising",
+    "ad personalization",
+];
+
+const ANALYTICS_MARKERS: &[&str] = &[
+    "for analytics",
+    "analytics purposes",
+    "to analyze usage",
+    "for statistical purposes",
+    "usage statistics",
+    "crash reporting",
+];
+
+const FUNCTIONALITY_MARKERS: &[&str] = &[
+    "app functionality",
+    "core functionality",
+    "to provide the service",
+    "to provide our service",
+    "to provide app features",
+    "to operate the app",
+];
+
+const EXCLUSIVITY_MARKERS: &[&str] = &["only", "solely", "exclusively"];
+
+/// Scans one sentence for a stated purpose. Advertising and analytics
+/// markers win over functionality markers when both appear (the more
+/// specific purpose is the claim that matters for compliance).
+pub fn detect_purpose(sentence: &str) -> Option<PurposeClaim> {
+    let lower = sentence.to_lowercase();
+    let purpose = if ADVERTISING_MARKERS.iter().any(|m| lower.contains(m)) {
+        Purpose::Advertising
+    } else if ANALYTICS_MARKERS.iter().any(|m| lower.contains(m)) {
+        Purpose::Analytics
+    } else if FUNCTIONALITY_MARKERS.iter().any(|m| lower.contains(m)) {
+        Purpose::Functionality
+    } else {
+        return None;
+    };
+    let exclusive = EXCLUSIVITY_MARKERS
+        .iter()
+        .any(|m| lower.split(|c: char| !c.is_alphanumeric()).any(|w| w == *m));
+    Some(PurposeClaim { purpose, exclusive })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertising_claim_detected() {
+        let c = detect_purpose("We collect your location for advertising purposes.").unwrap();
+        assert_eq!(c.purpose, Purpose::Advertising);
+        assert!(!c.exclusive);
+    }
+
+    #[test]
+    fn exclusive_functionality_claim_detected() {
+        let c = detect_purpose("We use your device id only to provide app functionality.").unwrap();
+        assert_eq!(c.purpose, Purpose::Functionality);
+        assert!(c.exclusive);
+    }
+
+    #[test]
+    fn analytics_claim_detected() {
+        let c = detect_purpose("We process your ip address solely for analytics.").unwrap();
+        assert_eq!(c.purpose, Purpose::Analytics);
+        assert!(c.exclusive);
+    }
+
+    #[test]
+    fn specific_purpose_wins_over_functionality() {
+        let c =
+            detect_purpose("We use your data to provide the service and for advertising purposes.")
+                .unwrap();
+        assert_eq!(c.purpose, Purpose::Advertising);
+    }
+
+    #[test]
+    fn exclusivity_requires_a_whole_word() {
+        // "only" must be a word, not a substring of e.g. "commonly".
+        let c = detect_purpose("We commonly use your data for analytics.").unwrap();
+        assert!(!c.exclusive);
+    }
+
+    #[test]
+    fn plain_sentences_have_no_claim() {
+        assert!(detect_purpose("We may collect your location.").is_none());
+    }
+}

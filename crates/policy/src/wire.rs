@@ -8,6 +8,7 @@
 
 use crate::elements::{Constraint, ConstraintKind, Elements};
 use crate::pipeline::{AnalyzedSentence, PolicyAnalysis};
+use crate::purpose::{Purpose, PurposeClaim};
 use crate::verbs::VerbCategory;
 use ppchecker_nlp::intern::intern;
 use ppchecker_store::{WireError, WireReader, WireWriter};
@@ -31,6 +32,32 @@ fn category_from(b: u8) -> Result<VerbCategory, WireError> {
     }
 }
 
+fn purpose_byte(p: Option<PurposeClaim>) -> u8 {
+    match p {
+        None => 0,
+        Some(c) => {
+            let base = match c.purpose {
+                Purpose::Advertising => 1,
+                Purpose::Analytics => 2,
+                Purpose::Functionality => 3,
+            };
+            base | if c.exclusive { 0x80 } else { 0 }
+        }
+    }
+}
+
+fn purpose_from(b: u8) -> Result<Option<PurposeClaim>, WireError> {
+    let exclusive = b & 0x80 != 0;
+    let purpose = match b & 0x7F {
+        0 if !exclusive => return Ok(None),
+        1 => Purpose::Advertising,
+        2 => Purpose::Analytics,
+        3 => Purpose::Functionality,
+        other => return Err(WireError(format!("bad purpose {other}"))),
+    };
+    Ok(Some(PurposeClaim { purpose, exclusive }))
+}
+
 /// Encodes a policy analysis for the artifact store.
 pub fn encode_analysis(a: &PolicyAnalysis) -> Vec<u8> {
     let mut w = WireWriter::new();
@@ -42,6 +69,7 @@ pub fn encode_analysis(a: &PolicyAnalysis) -> Vec<u8> {
         w.u8(category_byte(s.category));
         w.bool(s.negative);
         w.bool(s.conditional);
+        w.u8(purpose_byte(s.purpose));
         w.str(s.elements.main_verb.as_str());
         w.opt_str(s.elements.executor.map(|e| e.as_str()));
         w.seq(s.elements.resources.len());
@@ -74,6 +102,7 @@ pub fn decode_analysis(bytes: &[u8]) -> Result<PolicyAnalysis, WireError> {
         let category = category_from(r.u8()?)?;
         let negative = r.bool()?;
         let conditional = r.bool()?;
+        let purpose = purpose_from(r.u8()?)?;
         let main_verb = intern(r.str()?);
         let executor = r.opt_str()?.map(intern);
         let n_res = r.seq()?;
@@ -92,6 +121,7 @@ pub fn decode_analysis(bytes: &[u8]) -> Result<PolicyAnalysis, WireError> {
             category,
             negative,
             conditional,
+            purpose,
             elements: Elements { main_verb, executor, resources, constraints },
         });
     }
@@ -126,6 +156,7 @@ mod tests {
             assert_eq!(d.category, o.category);
             assert_eq!(d.negative, o.negative);
             assert_eq!(d.conditional, o.conditional);
+            assert_eq!(d.purpose, o.purpose);
             assert_eq!(d.elements, o.elements);
         }
         // The derived sets — what the checker actually consumes — match.
@@ -134,6 +165,19 @@ mod tests {
                 assert_eq!(decoded.resources(cat, neg), original.resources(cat, neg));
                 assert_eq!(decoded.resource_symbols(cat, neg), original.resource_symbols(cat, neg));
             }
+        }
+    }
+
+    #[test]
+    fn purpose_claims_round_trip() {
+        let original = PolicyAnalyzer::new().analyze_text(
+            "We use your device id only to provide app functionality. \
+             We collect your location for advertising purposes.",
+        );
+        assert!(original.sentences.iter().any(|s| s.purpose.is_some()));
+        let decoded = decode_analysis(&encode_analysis(&original)).unwrap();
+        for (d, o) in decoded.sentences.iter().zip(&original.sentences) {
+            assert_eq!(d.purpose, o.purpose);
         }
     }
 

@@ -1,11 +1,9 @@
-//! The wire schema: JSON encode/decode for check requests and outcomes.
+//! Compatibility facade over the current wire schema revision.
 //!
-//! The reader side is [`ppchecker_obs::json`] — the recursive-descent
-//! parser the `trace-check` validator introduced, generalized here into
-//! the daemon's request decoder. The writer side is hand-rolled
-//! formatting in the style of the CLI's JSONL output (RFC 8259 string
-//! escaping, stable key order), so the whole wire layer stays inside the
-//! workspace's zero-dependency budget.
+//! All encode/decode now lives in [`crate::wire`], one module per schema
+//! revision; this module re-exports the current revision
+//! ([`crate::wire::v2`]) so existing paths — `ppchecker_serve::json::*`
+//! and the CLI's `ppchecker_cli::json` shim — keep compiling unchanged.
 //!
 //! ## Request shape
 //!
@@ -18,210 +16,26 @@
 //!   "policy_html": "<p>we collect…</p>",
 //!   "description": "An app that…",
 //!   "manifest": "package com.example.app\npermission …",
-//!   "dex": "class com.example.app.Main\n…"
+//!   "dex": "class com.example.app.Main\n…",
+//!   "labels": ["location"]               // optional Data-Safety labels
 //! }
 //! ```
 //!
 //! `POST /batch` and the JSONL transport reuse the same object — batch
 //! wraps a list in `{"apps": […]}`, JSONL sends one object per line.
 
-use ppchecker_apk::{packer, Apk, Manifest};
-use ppchecker_core::{AppInput, CheckOutcome, Error, Report, StageTimings};
-
-pub use ppchecker_obs::json::{escape, escape_into, parse, Value};
-
-use ppchecker_core::Channel;
-
-/// Decodes one wire app object into an [`AppInput`].
-///
-/// # Errors
-///
-/// Returns a message naming the offending field on missing keys or
-/// manifest/dex parse failures.
-pub fn parse_app(value: &Value) -> Result<AppInput, String> {
-    let field = |key: &str| -> Result<&str, String> {
-        value
-            .get(key)
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("missing or non-string field {key:?}"))
-    };
-    let manifest = Manifest::from_text(field("manifest")?).map_err(|e| format!("manifest: {e}"))?;
-    let dex = packer::deserialize(field("dex")?).map_err(|e| format!("dex: {e}"))?;
-    let package = match value.get("package").and_then(Value::as_str) {
-        Some(p) => p.to_string(),
-        None => manifest.package.clone(),
-    };
-    Ok(AppInput {
-        package,
-        policy_html: field("policy_html")?.to_string(),
-        description: field("description")?.to_string(),
-        apk: Apk::new(manifest, dex),
-    })
-}
-
-/// Encodes an [`AppInput`] as a wire app object (the client side of
-/// [`parse_app`]).
-pub fn app_to_json(app: &AppInput) -> String {
-    format!(
-        "{{\"package\":\"{}\",\"policy_html\":\"{}\",\"description\":\"{}\",\
-         \"manifest\":\"{}\",\"dex\":\"{}\"}}",
-        escape(&app.package),
-        escape(&app.policy_html),
-        escape(&app.description),
-        escape(&app.apk.manifest.to_text()),
-        escape(&packer::serialize(&app.apk.dex().expect("wire apps carry plain dex"))),
-    )
-}
-
-/// Renders a report as a JSON object (also re-exported by the CLI for
-/// its `--json` and JSONL outputs).
-pub fn report_to_json(report: &Report) -> String {
-    let mut out = String::with_capacity(256);
-    report_to_json_into(&mut out, report);
-    out
-}
-
-/// [`report_to_json`] writing into a caller-owned buffer. The batch
-/// writers reuse one buffer per worker, so steady-state serialization
-/// allocates nothing — the intermediate per-finding `String`s and joins
-/// of the old formatter are gone.
-pub fn report_to_json_into(out: &mut String, report: &Report) {
-    use std::fmt::Write;
-    out.push_str("{\"package\":\"");
-    escape_into(out, &report.package);
-    let _ = write!(
-        out,
-        "\",\"incomplete\":{},\"incorrect\":{},\"inconsistent\":{},\"has_disclaimer\":{}",
-        report.is_incomplete(),
-        report.is_incorrect(),
-        report.is_inconsistent(),
-        report.has_disclaimer,
-    );
-    out.push_str(",\"libs\":[");
-    for (n, lib) in report.libs.iter().enumerate() {
-        if n > 0 {
-            out.push(',');
-        }
-        out.push('"');
-        escape_into(out, lib);
-        out.push('"');
-    }
-    out.push_str("],\"missed\":[");
-    for (n, m) in report.missed.iter().enumerate() {
-        if n > 0 {
-            out.push(',');
-        }
-        // PrivateInfo and VerbCategory display as fixed identifiers with
-        // nothing to escape, so they write straight through.
-        let _ = write!(
-            out,
-            "{{\"info\":\"{}\",\"channel\":\"{}\",\"retained\":{},\"permission\":",
-            m.info,
-            match m.channel {
-                Channel::Description => "description",
-                Channel::Code => "code",
-            },
-            m.retained,
-        );
-        match &m.permission {
-            Some(p) => {
-                out.push('"');
-                escape_into(out, p.short_name());
-                out.push('"');
-            }
-            None => out.push_str("null"),
-        }
-        out.push('}');
-    }
-    out.push_str("],\"incorrect_findings\":[");
-    for (n, f) in report.incorrect.iter().enumerate() {
-        if n > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"info\":\"{}\",\"category\":\"{}\",\"sentence\":\"",
-            f.info, f.category
-        );
-        escape_into(out, &f.sentence);
-        out.push_str("\"}");
-    }
-    out.push_str("],\"inconsistencies\":[");
-    for (n, i) in report.inconsistencies.iter().enumerate() {
-        if n > 0 {
-            out.push(',');
-        }
-        out.push_str("{\"lib\":\"");
-        escape_into(out, &i.lib_id);
-        let _ = write!(out, "\",\"category\":\"{}\",\"app_sentence\":\"", i.category);
-        escape_into(out, &i.app_sentence);
-        out.push_str("\",\"lib_sentence\":\"");
-        escape_into(out, &i.lib_sentence);
-        out.push_str("\"}");
-    }
-    out.push_str("]}");
-}
-
-fn timings_to_json_into(out: &mut String, t: &StageTimings) {
-    use std::fmt::Write;
-    let _ = write!(
-        out,
-        "{{\"policy\":{},\"description\":{},\"static\":{},\"matching\":{},\"total\":{}}}",
-        t.policy.as_micros(),
-        t.description.as_micros(),
-        t.static_analysis.as_micros(),
-        t.matching.as_micros(),
-        t.total().as_micros(),
-    );
-}
-
-/// Renders one check's result — report or structured pipeline error —
-/// as the wire result object shared by `/check`, `/batch` entries, and
-/// JSONL response lines.
-pub fn outcome_to_json(package: &str, outcome: &Result<CheckOutcome, Error>) -> String {
-    let mut out = String::with_capacity(256);
-    outcome_to_json_into(&mut out, package, outcome);
-    out
-}
-
-/// [`outcome_to_json`] writing into a caller-owned buffer (see
-/// [`report_to_json_into`]).
-pub fn outcome_to_json_into(
-    out: &mut String,
-    package: &str,
-    outcome: &Result<CheckOutcome, Error>,
-) {
-    use std::fmt::Write;
-    match outcome {
-        Ok(checked) => {
-            out.push_str("{\"ok\":true,\"package\":\"");
-            escape_into(out, &checked.report.package);
-            out.push_str("\",\"report\":");
-            report_to_json_into(out, &checked.report);
-            out.push_str(",\"timings_us\":");
-            timings_to_json_into(out, &checked.timings.unwrap_or_default());
-            out.push('}');
-        }
-        Err(error) => {
-            out.push_str("{\"ok\":false,\"package\":\"");
-            escape_into(out, package);
-            let _ = write!(out, "\",\"stage\":\"{}\",\"error\":\"", error.stage());
-            escape_into(out, &error.to_string());
-            out.push_str("\"}");
-        }
-    }
-}
-
-/// A top-level error body, e.g. `{"error":"overloaded"}`.
-pub fn error_body(message: &str) -> String {
-    format!("{{\"error\":\"{}\"}}\n", escape(message))
-}
+pub use crate::wire::v2::{
+    app_to_json, delta_to_json, error_body, escape, escape_into, outcome_to_json,
+    outcome_to_json_into, parse, parse_app, report_to_json, report_to_json_into, Value, SCHEMA,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppchecker_apk::PrivateInfo;
-    use ppchecker_core::MissedInfo;
+    use ppchecker_apk::{Apk, Manifest, PrivateInfo};
+    use ppchecker_core::{
+        AppInput, Channel, CheckOutcome, DataSafetyLabel, Error, MissedInfo, Report,
+    };
 
     fn wire_app() -> AppInput {
         let mut manifest = Manifest::new("com.wire.app");
@@ -240,6 +54,7 @@ mod tests {
             policy_html: "<p>we \"collect\" your location.</p>".to_string(),
             description: "A handy\nmulti-line app.".to_string(),
             apk: Apk::new(manifest, dex),
+            labels: Vec::new(),
         }
     }
 
@@ -253,6 +68,31 @@ mod tests {
         assert_eq!(back.description, app.description);
         assert_eq!(back.apk.manifest, app.apk.manifest);
         assert_eq!(back.apk.dex().unwrap(), app.apk.dex().unwrap());
+        assert!(back.labels.is_empty());
+    }
+
+    #[test]
+    fn labels_round_trip_and_unknown_labels_error() {
+        let mut app = wire_app();
+        app.labels = vec![
+            DataSafetyLabel::new(PrivateInfo::Location),
+            DataSafetyLabel::new(PrivateInfo::DeviceId),
+        ];
+        let json = app_to_json(&app);
+        assert!(json.contains("\"labels\":[\"location\""), "{json}");
+        let back = parse_app(&parse(&json).unwrap()).unwrap();
+        assert_eq!(back.labels, app.labels);
+
+        let bad = json.replacen("\"location\"", "\"blood type\"", 1);
+        let err = parse_app(&parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("unknown label"), "{err}");
+        assert!(err.contains("blood type"), "{err}");
+    }
+
+    #[test]
+    fn label_free_apps_omit_the_labels_key() {
+        let json = app_to_json(&wire_app());
+        assert!(!json.contains("labels"), "{json}");
     }
 
     #[test]
@@ -324,12 +164,14 @@ mod tests {
         });
         let json = outcome_to_json("com.x", &ok);
         assert!(json.contains("\"ok\":true"));
+        assert!(json.contains("\"schema\":2"));
         assert!(json.contains("\"timings_us\""));
         assert!(parse(&json).is_ok());
 
         let err: Result<CheckOutcome, Error> = Err(Error::worker("boom"));
         let json = outcome_to_json("com.y", &err);
         assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"schema\":2"));
         assert!(json.contains("\"stage\":\"batch\""));
         assert!(json.contains("boom"));
         assert!(parse(&json).is_ok());

@@ -48,6 +48,7 @@ pub mod http;
 pub mod json;
 mod jsonl;
 pub mod server;
+pub mod wire;
 
 pub use client::{Client, JsonlClient};
 pub use server::{Counters, Server, ServerHandle};

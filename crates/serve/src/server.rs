@@ -31,7 +31,7 @@ use crate::http::{self, HttpRequest, ReadError};
 use crate::json;
 use crate::jsonl;
 use crate::ServeConfig;
-use ppchecker_core::AppInput;
+use ppchecker_core::{AppInput, DetectorId};
 use ppchecker_engine::{AdmitError, CacheStats, Engine, WorkerPool};
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -62,6 +62,10 @@ pub struct Counters {
     pub oversized: AtomicU64,
     /// `/batch` requests served.
     pub batches: AtomicU64,
+    /// Findings emitted per detector, indexed by [`DetectorId::rank`].
+    /// Paper detectors mirror the classic report counts; successor
+    /// slots stay zero unless the engine's registry runs them.
+    pub detector_findings: [AtomicU64; DetectorId::COUNT],
 }
 
 /// Everything the daemon's threads share.
@@ -141,6 +145,15 @@ impl Shared {
                 &shared.counters.check_errors
             };
             counter.fetch_add(1, Ordering::Relaxed);
+            if let Ok(outcome) = &result {
+                for &id in DetectorId::ALL {
+                    let n = outcome.detector_findings(id) as u64;
+                    if n > 0 {
+                        shared.counters.detector_findings[id.rank()]
+                            .fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            }
             let _ = tx.send((seq, json::outcome_to_json(&app.package, &result)));
         });
     }
@@ -494,6 +507,16 @@ fn store_to_json(store: Option<&ppchecker_engine::StoreSummary>) -> String {
 /// difference for a window).
 fn metrics_to_json(shared: &Shared) -> String {
     let counters = &shared.counters;
+    let detectors: Vec<String> = DetectorId::ALL
+        .iter()
+        .map(|&id| {
+            format!(
+                "\"{}\":{}",
+                id.as_str(),
+                counters.detector_findings[id.rank()].load(Ordering::Relaxed)
+            )
+        })
+        .collect();
     let queue = shared.pool.stats();
     let engine = shared.engine.metrics_snapshot();
     let interner = engine.interner;
@@ -517,6 +540,7 @@ fn metrics_to_json(shared: &Shared) -> String {
         "{{\"uptime_ms\":{},\
          \"requests\":{{\"http\":{},\"jsonl_lines\":{},\"checks_ok\":{},\"check_errors\":{},\
          \"overloaded\":{},\"malformed\":{},\"oversized\":{},\"batches\":{}}},\
+         \"detectors\":{{{}}},\
          \"queue\":{{\"workers\":{},\"capacity\":{},\"inflight\":{},\"draining\":{}}},\
          \"lib_policies\":{},\
          \"caches\":{{\"policy\":{},\"policy_cap\":{},\"esa_vectors\":{},\"esa_pair_memo\":{},\
@@ -534,6 +558,7 @@ fn metrics_to_json(shared: &Shared) -> String {
         counters.malformed.load(Ordering::Relaxed),
         counters.oversized.load(Ordering::Relaxed),
         counters.batches.load(Ordering::Relaxed),
+        detectors.join(","),
         queue.workers,
         queue.capacity,
         queue.inflight,

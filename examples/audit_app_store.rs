@@ -6,7 +6,6 @@
 //! cargo run --release --example audit_app_store -- [num_apps]
 //! ```
 
-use ppchecker_core::CheckRequest;
 use ppchecker_corpus::small_dataset;
 use std::collections::BTreeMap;
 
@@ -24,8 +23,7 @@ fn main() {
     let mut worst: Vec<(usize, String)> = Vec::new();
 
     for app in &dataset.apps {
-        let report =
-            checker.check(CheckRequest::for_app(&app.input)).expect("corpus apps analyze cleanly");
+        let report = checker.check_app(&app.input).expect("corpus apps analyze cleanly");
         if report.is_incomplete() {
             incomplete += 1;
             for m in &report.missed {

@@ -8,7 +8,7 @@
 //! ```
 
 use ppchecker_apk::PrivateInfo;
-use ppchecker_core::{describe_leak, CheckRequest, PPChecker};
+use ppchecker_core::{describe_leak, PPChecker};
 use ppchecker_corpus::adversarial::repackage;
 use ppchecker_corpus::small_dataset;
 
@@ -18,7 +18,7 @@ fn main() {
     let checker = PPChecker::new();
 
     println!("== original app: {} ==", original.input.package);
-    let before = checker.check(CheckRequest::for_app(&original.input)).expect("analyzes cleanly");
+    let before = checker.check_app(&original.input).expect("analyzes cleanly");
     println!(
         "incomplete={} incorrect={} inconsistent={}\n",
         before.is_incomplete(),
@@ -28,7 +28,7 @@ fn main() {
 
     println!("== repackaging with a contact+location stealer ==");
     let repackaged = repackage(&original.input, &[PrivateInfo::Contact, PrivateInfo::Location]);
-    let after = checker.check(CheckRequest::for_app(&repackaged)).expect("analyzes cleanly");
+    let after = checker.check_app(&repackaged).expect("analyzes cleanly");
     println!("{after}");
 
     let static_report = ppchecker_static::analyze(&repackaged.apk).expect("plain dex");

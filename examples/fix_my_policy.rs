@@ -7,7 +7,7 @@
 //! ```
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
-use ppchecker_core::{describe_leak, suggest_fixes, AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{describe_leak, suggest_fixes, AppInput, PPChecker};
 
 fn main() {
     let mut manifest = Manifest::new("com.example.fitness");
@@ -44,11 +44,12 @@ fn main() {
                       phonebook."
             .to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
 
     let mut checker = PPChecker::new();
     checker.register_lib_policy("admob", "<p>we may share your device id with our partners.</p>");
-    let report = checker.check(CheckRequest::for_app(&app)).expect("analyzes cleanly");
+    let report = checker.check_app(&app).expect("analyzes cleanly");
 
     println!("== findings ==");
     println!("{report}");

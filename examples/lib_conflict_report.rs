@@ -8,7 +8,7 @@
 //! ```
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest};
-use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{AppInput, PPChecker};
 use ppchecker_corpus::libs::lib_policies;
 
 fn game_app(policy: &str) -> AppInput {
@@ -35,6 +35,7 @@ fn game_app(policy: &str) -> AppInput {
         policy_html: policy.to_string(),
         description: "An endless runner everyone loves.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     }
 }
 
@@ -51,7 +52,7 @@ fn main() {
          <p>We will never share your device id with anyone.</p>\
          <p>We do not collect your contacts.</p>",
     );
-    let report = checker.check(CheckRequest::for_app(&app)).expect("analyzes cleanly");
+    let report = checker.check_app(&app).expect("analyzes cleanly");
     println!("embedded libs: {:?}\n", report.libs);
     println!("== conflicts ==");
     for inc in &report.inconsistencies {
@@ -72,7 +73,7 @@ fn main() {
         "<p>We are not responsible for the privacy practices of those third party sites.</p>\
          <p>We do not collect your location information.</p>",
     );
-    let report2 = checker.check(CheckRequest::for_app(&disclaimed)).expect("analyzes cleanly");
+    let report2 = checker.check_app(&disclaimed).expect("analyzes cleanly");
     println!(
         "with disclaimer: disclaimer={} conflicts={}",
         report2.has_disclaimer,

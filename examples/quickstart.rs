@@ -6,7 +6,7 @@
 //! ```
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission};
-use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{AppInput, PPChecker};
 
 fn main() {
     // 1. The app's manifest: a weather app asking for fine location.
@@ -43,11 +43,12 @@ fn main() {
         description: "Accurate weather forecasts for your current location, updated hourly."
             .to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
 
     // 4. Run PPChecker.
     let checker = PPChecker::new();
-    let report = checker.check(CheckRequest::for_app(&app)).expect("plain dex analyzes cleanly");
+    let report = checker.check_app(&app).expect("plain dex analyzes cleanly");
 
     println!("{report}");
     println!("incomplete?   {}", report.is_incomplete());

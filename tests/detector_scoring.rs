@@ -1,0 +1,65 @@
+//! Precision/recall floors for the successor-literature detectors.
+//!
+//! Each workload plants its ground truth at deterministic indices
+//! (`ppchecker_corpus::detectors`); the real pipeline runs with exactly
+//! the detector under test, and the score compares detection against
+//! the plants. CI fails this suite when any detector drops below the
+//! floors recorded in EXPERIMENTS.md.
+
+use ppchecker_core::DetectorId;
+use ppchecker_corpus::{
+    boilerplate_corpus, data_safety_corpus, purpose_corpus, score_detector, DetectorScore,
+};
+
+/// The checked-in floor: both precision and recall at or above 0.9.
+const FLOOR: f64 = 0.9;
+
+fn assert_floors(id: DetectorId, score: DetectorScore) {
+    eprintln!("{id}: {score}");
+    assert!(
+        score.precision() >= FLOOR,
+        "{id} precision {:.3} below floor {FLOOR}: {score}",
+        score.precision(),
+    );
+    assert!(
+        score.recall() >= FLOOR,
+        "{id} recall {:.3} below floor {FLOOR}: {score}",
+        score.recall(),
+    );
+}
+
+#[test]
+fn data_safety_detector_meets_the_floors() {
+    let apps = data_safety_corpus(40);
+    let score = score_detector(&apps, DetectorId::DataSafety);
+    assert_eq!(score.tp + score.fn_, 20, "all 20 plants must be accounted for: {score}");
+    assert_floors(DetectorId::DataSafety, score);
+}
+
+#[test]
+fn purpose_detector_meets_the_floors() {
+    let apps = purpose_corpus(40);
+    let score = score_detector(&apps, DetectorId::Purpose);
+    assert_eq!(score.tp + score.fn_, 20, "all 20 plants must be accounted for: {score}");
+    assert_floors(DetectorId::Purpose, score);
+}
+
+#[test]
+fn boilerplate_detector_meets_the_floors() {
+    let apps = boilerplate_corpus(30);
+    let score = score_detector(&apps, DetectorId::Boilerplate);
+    assert_eq!(score.tp + score.fn_, 10, "all 10 plants must be accounted for: {score}");
+    assert_floors(DetectorId::Boilerplate, score);
+}
+
+/// The paper detectors stay untouched by the workloads: running the
+/// default registry over a workload corpus produces no extended
+/// findings, so the new corpora cannot perturb the classic statistics.
+#[test]
+fn default_registry_sees_no_extended_findings_on_the_workloads() {
+    let checker = ppchecker_core::PPChecker::new();
+    for app in data_safety_corpus(8) {
+        let report = checker.check_app(&app.input).unwrap();
+        assert!(report.findings.is_empty(), "{}", report.package);
+    }
+}

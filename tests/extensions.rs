@@ -4,7 +4,7 @@
 //! the sensitivity study expects.
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest};
-use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{AppInput, PPChecker};
 use ppchecker_corpus::{paper_dataset, small_dataset};
 use ppchecker_policy::PolicyAnalyzer;
 
@@ -19,7 +19,7 @@ fn synonym_expansion_recovers_planted_false_negatives() {
     assert!(fn_app.spec.truth.inconsistent());
 
     let plain = dataset.make_checker();
-    let report = plain.check(CheckRequest::for_app(&fn_app.input)).unwrap();
+    let report = plain.check_app(&fn_app.input).unwrap();
     assert!(!report.is_inconsistent(), "without expansion the FN plant must stay undetected");
 
     let mut expanded =
@@ -27,7 +27,7 @@ fn synonym_expansion_recovers_planted_false_negatives() {
     for lp in &dataset.lib_policies {
         expanded.register_lib_policy(lp.lib.id, &lp.html);
     }
-    let report = expanded.check(CheckRequest::for_app(&fn_app.input)).unwrap();
+    let report = expanded.check_app(&fn_app.input).unwrap();
     assert!(report.is_inconsistent(), "synonym expansion must recover the display-verb denial");
 }
 
@@ -50,17 +50,18 @@ fn constraint_modeling_silences_consent_gated_denials() {
         policy_html: "<p>We will not share your device id without your consent.</p>".to_string(),
         description: "A simple game.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
 
     let mut plain = PPChecker::new();
     plain.register_lib_policy("admob", "<p>we may share your device id.</p>");
-    assert!(plain.check(CheckRequest::for_app(&app)).unwrap().is_inconsistent());
+    assert!(plain.check_app(&app).unwrap().is_inconsistent());
 
     let mut modeled =
         PPChecker::new().with_analyzer(PolicyAnalyzer::new().with_constraint_modeling());
     modeled.register_lib_policy("admob", "<p>we may share your device id.</p>");
     assert!(
-        !modeled.check(CheckRequest::for_app(&app)).unwrap().is_inconsistent(),
+        !modeled.check_app(&app).unwrap().is_inconsistent(),
         "a consent-gated denial is conditional, not a conflict"
     );
 }
@@ -75,14 +76,14 @@ fn strict_threshold_trades_recall_for_precision() {
     assert!(!fp_app.spec.truth.inconsistent());
 
     let normal = dataset.make_checker();
-    assert!(normal.check(CheckRequest::for_app(&fp_app.input)).unwrap().is_inconsistent());
+    assert!(normal.check_app(&fp_app.input).unwrap().is_inconsistent());
 
     let mut strict = PPChecker::new().with_similarity_threshold(0.97);
     for lp in &dataset.lib_policies {
         strict.register_lib_policy(lp.lib.id, &lp.html);
     }
     assert!(
-        !strict.check(CheckRequest::for_app(&fp_app.input)).unwrap().is_inconsistent(),
+        !strict.check_app(&fp_app.input).unwrap().is_inconsistent(),
         "at 0.97 the generic-information bait no longer matches"
     );
 }
@@ -96,7 +97,7 @@ fn applying_suggestions_fixes_incompleteness() {
     assert!(app.spec.truth.incomplete_via_code);
 
     let checker = dataset.make_checker();
-    let report = checker.check(CheckRequest::for_app(&app.input)).unwrap();
+    let report = checker.check_app(&app.input).unwrap();
     assert!(report.is_incomplete());
 
     // Append every suggested ADD sentence to the policy and re-check.
@@ -115,6 +116,6 @@ fn applying_suggestions_fixes_incompleteness() {
         patched_html.push_str(&app.input.policy_html);
     }
     let patched = AppInput { policy_html: patched_html, ..app.input.clone() };
-    let report2 = checker.check(CheckRequest::for_app(&patched)).unwrap();
+    let report2 = checker.check_app(&patched).unwrap();
     assert!(!report2.is_incomplete(), "suggested additions must cover the gap: {report2}");
 }

@@ -1,0 +1,57 @@
+//! Golden-snapshot byte-identity for the default detector registry.
+//!
+//! The snapshot in `tests/golden/reports_seed42_50.txt` was rendered with
+//! the pre-registry detection layer (the three paper detectors hardwired
+//! in `checker.rs`) over a 50-app seeded corpus, serialized through the
+//! wire JSON writer. The pluggable `DetectorRegistry` is an internal
+//! redesign: with the default registry the serialized report for every
+//! app must stay byte-identical.
+//!
+//! Regenerate (only when detection semantics intentionally change) with:
+//! `UPDATE_GOLDEN=1 cargo test --test golden_report_equivalence`
+
+use ppchecker_corpus::small_dataset;
+use ppchecker_serve::json::report_to_json;
+use std::path::Path;
+
+const GOLDEN_PATH: &str = "tests/golden/reports_seed42_50.txt";
+
+fn render_corpus() -> String {
+    let dataset = small_dataset(42, 50);
+    let checker = dataset.make_checker();
+    let mut out = String::new();
+    for app in &dataset.apps {
+        match checker.check_app(&app.input) {
+            Ok(outcome) => out.push_str(&report_to_json(&outcome.report)),
+            Err(e) => out.push_str(&format!("error[{}]: {e}", app.input.package)),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn default_registry_reports_match_pre_redesign_snapshot() {
+    let rendered = render_corpus();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden snapshot missing — run with UPDATE_GOLDEN=1 to create it");
+    if rendered != golden {
+        let mismatch = rendered.lines().zip(golden.lines()).enumerate().find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "report diverged from pre-redesign snapshot at line {}:\n  got:  {got}\n  want: {want}",
+                i + 1
+            ),
+            None => panic!(
+                "report output diverged in length: got {} lines, want {}",
+                rendered.lines().count(),
+                golden.lines().count()
+            ),
+        }
+    }
+}

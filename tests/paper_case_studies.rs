@@ -2,7 +2,7 @@
 //! crate boundaries (policy + description + static analysis + core).
 
 use ppchecker_apk::{Apk, ComponentKind, Dex, Manifest, Permission, PrivateInfo};
-use ppchecker_core::{AppInput, CheckRequest, PPChecker};
+use ppchecker_core::{AppInput, PPChecker};
 use ppchecker_policy::VerbCategory;
 
 /// §II-B (1) / Fig. 2 — com.dooing.dooing: the description advertises
@@ -36,8 +36,9 @@ fn dooing_incomplete_policy() {
                       optimum way."
             .to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
-    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
+    let report = PPChecker::new().check_app(&app).unwrap();
     assert!(report.is_incomplete());
     assert!(report.missed_via_description().any(|m| m.info == PrivateInfo::Location));
     assert!(report.missed_via_code().any(|m| m.info == PrivateInfo::Location));
@@ -73,8 +74,9 @@ fn easyxapp_incorrect_policy() {
             .to_string(),
         description: "Share secrets anonymously with people around you.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
-    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
+    let report = PPChecker::new().check_app(&app).unwrap();
     assert!(report.is_incorrect());
     assert!(report
         .incorrect
@@ -106,8 +108,9 @@ fn myobservatory_incorrect_policy() {
             .to_string(),
         description: "The official weather app.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
-    let report = PPChecker::new().check(CheckRequest::for_app(&app)).unwrap();
+    let report = PPChecker::new().check_app(&app).unwrap();
     assert!(report.is_incorrect());
     assert!(report.incorrect.iter().any(|f| f.info == PrivateInfo::Location));
 }
@@ -133,13 +136,14 @@ fn templerun_inconsistent_policy() {
         policy_html: "<p>We do not collect your location information.</p>".to_string(),
         description: "Run for your life in the sequel to the smash hit!".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
     let mut checker = PPChecker::new();
     checker.register_lib_policy(
         "unity3d",
         "<p>We may receive your location information and device identifiers.</p>",
     );
-    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
+    let report = checker.check_app(&app).unwrap();
     assert!(report.is_inconsistent());
     assert_eq!(report.inconsistencies[0].lib_id, "unity3d");
     assert_eq!(report.inconsistencies[0].category, VerbCategory::Collect);
@@ -169,10 +173,11 @@ fn hammertime_disclaimer_suppresses_inconsistency() {
             .to_string(),
         description: "Stop! Hammer time.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
     let mut checker = PPChecker::new();
     checker.register_lib_policy("unity3d", "<p>We may receive your location information.</p>");
-    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
+    let report = checker.check_app(&app).unwrap();
     assert!(report.has_disclaimer);
     assert!(!report.is_inconsistent());
 }
@@ -222,11 +227,12 @@ fn staffmark_esa_false_positive_reproduced() {
         policy_html: "<p>We do not transmit that information over the internet.</p>".to_string(),
         description: "Find your next job.".to_string(),
         apk: Apk::new(manifest, dex),
+        labels: Vec::new(),
     };
     let mut checker = PPChecker::new();
     checker
         .register_lib_policy("admob", "<p>We will share personal information with companies.</p>");
-    let report = checker.check(CheckRequest::for_app(&app)).unwrap();
+    let report = checker.check_app(&app).unwrap();
     // The detector flags it — matching the paper's false positive.
     assert!(report.is_inconsistent());
 }

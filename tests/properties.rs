@@ -292,3 +292,54 @@ proptest! {
         prop_assert_eq!(m, again);
     }
 }
+
+// ---------- MinHash (boilerplate detection) ----------
+
+/// Interns a generated word list into the token stream MinHash consumes.
+fn intern_words(words: &[String]) -> Vec<ppchecker_nlp::Symbol> {
+    words.iter().map(|w| intern(w)).collect()
+}
+
+proptest! {
+    /// The 64-slot MinHash estimate tracks the exact shingle Jaccard:
+    /// bounded, symmetric, exact on identical streams, and within a
+    /// statistical band of the true value on arbitrary pairs.
+    #[test]
+    fn minhash_estimate_tracks_exact_jaccard(
+        a in proptest::collection::vec("[a-e]{1,3}", 4..40),
+        b in proptest::collection::vec("[a-e]{1,3}", 4..40),
+    ) {
+        use ppchecker_core::minhash::{exact_jaccard, signature, similarity};
+        let (ta, tb) = (intern_words(&a), intern_words(&b));
+        let (sa, sb) = (signature(&ta), signature(&tb));
+        let est = similarity(&sa, &sb);
+        let exact = exact_jaccard(&ta, &tb);
+        prop_assert!((0.0..=1.0).contains(&est));
+        prop_assert_eq!(similarity(&sb, &sa), est);
+        // 64 independent min-hash slots: the estimator is a binomial
+        // mean with σ ≤ 1/16, so 0.35 is a > 5σ band — flaky only if
+        // the estimator is actually broken.
+        prop_assert!(
+            (est - exact).abs() <= 0.35,
+            "estimate {} too far from exact {}", est, exact,
+        );
+    }
+
+    /// A stream is always a perfect duplicate of itself, and two streams
+    /// over disjoint alphabets share nothing.
+    #[test]
+    fn minhash_identity_and_disjointness(
+        a in proptest::collection::vec("[a-c]{1,3}", 4..30),
+        b in proptest::collection::vec("[x-z]{1,3}", 4..30),
+    ) {
+        use ppchecker_core::minhash::{exact_jaccard, signature, similarity};
+        let (ta, tb) = (intern_words(&a), intern_words(&b));
+        prop_assert_eq!(similarity(&signature(&ta), &signature(&ta)), 1.0);
+        prop_assert_eq!(exact_jaccard(&ta, &ta), 1.0);
+        prop_assert_eq!(exact_jaccard(&ta, &tb), 0.0);
+        // Disjoint shingle sets can only collide through a 64-bit hash
+        // collision; the estimate must sit at (or indistinguishably
+        // near) zero.
+        prop_assert!(similarity(&signature(&ta), &signature(&tb)) < 0.1);
+    }
+}
